@@ -1,0 +1,44 @@
+//! Criterion benchmark behind Figure 9: Static vs Dynamic vs Cache+Dynamic
+//! maintenance of the decomposed aggregates across successive drill-downs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use reptile_datasets::hiergen::synthetic_hierarchy;
+use reptile_factor::{DrilldownMode, DrilldownSession, Factorization};
+
+/// One Reptile invocation sequence: drill hierarchy A from depth 3 to 6 while
+/// hierarchy B stays at depth `b_depth`.
+fn run_sequence(mode: DrilldownMode, b_depth: usize, width: usize) {
+    let mut session = DrilldownSession::new(mode);
+    for a_depth in 3..=6 {
+        let fact = Factorization::new(vec![
+            synthetic_hierarchy("B", 100, b_depth, width, 2),
+            synthetic_hierarchy("A", 0, a_depth, width, 2),
+        ]);
+        let _ = session.aggregates(&fact);
+    }
+}
+
+fn bench_drilldown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_drilldown");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+    for b_depth in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("static", b_depth), &b_depth, |bench, &b| {
+            bench.iter(|| run_sequence(DrilldownMode::Static, b, 512))
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic", b_depth), &b_depth, |bench, &b| {
+            bench.iter(|| run_sequence(DrilldownMode::Dynamic, b, 512))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cache_dynamic", b_depth),
+            &b_depth,
+            |bench, &b| bench.iter(|| run_sequence(DrilldownMode::CachedDynamic, b, 512)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drilldown);
+criterion_main!(benches);

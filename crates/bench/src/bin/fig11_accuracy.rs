@@ -1,0 +1,160 @@
+//! Figure 11: explanation accuracy on synthetic data — Reptile vs Raw,
+//! Sensitivity and Support — per error class, varying the correlation of the
+//! auxiliary dataset.
+//!
+//! Run with: `cargo run -p reptile-bench --release --bin fig11_accuracy`
+
+use reptile::baselines;
+use reptile::{Complaint, Direction};
+use reptile_bench::print_table;
+use reptile_datasets::errors::ErrorKind;
+use reptile_datasets::synthetic::{SyntheticConfig, SyntheticDataset};
+use reptile_datasets::SimRng;
+use reptile_model::{DesignBuilder, ExtraFeature, FeaturePlan, MultilevelModel};
+use reptile_relational::{AggregateKind, GroupKey, Predicate, Value, View};
+use std::collections::BTreeMap;
+
+/// One (error class, complaint) condition of Figure 11.
+struct Condition {
+    name: &'static str,
+    errors: Vec<(ErrorKind, bool)>,
+    statistic: AggregateKind,
+    direction: Direction,
+}
+
+fn conditions() -> Vec<Condition> {
+    vec![
+        Condition {
+            name: "Missing (COUNT)",
+            errors: vec![(ErrorKind::MissingRecords, true)],
+            statistic: AggregateKind::Count,
+            direction: Direction::TooLow,
+        },
+        Condition {
+            name: "Dup (COUNT)",
+            errors: vec![(ErrorKind::DuplicateRecords, true)],
+            statistic: AggregateKind::Count,
+            direction: Direction::TooHigh,
+        },
+        Condition {
+            name: "Decrease (MEAN)",
+            errors: vec![(ErrorKind::DecreaseValues(5.0), true)],
+            statistic: AggregateKind::Mean,
+            direction: Direction::TooLow,
+        },
+        Condition {
+            name: "Increase (MEAN)",
+            errors: vec![(ErrorKind::IncreaseValues(5.0), true)],
+            statistic: AggregateKind::Mean,
+            direction: Direction::TooHigh,
+        },
+        Condition {
+            name: "Missing+Decrease (SUM)",
+            errors: vec![(ErrorKind::MissingRecords, true), (ErrorKind::DecreaseValues(5.0), true)],
+            statistic: AggregateKind::Sum,
+            direction: Direction::TooLow,
+        },
+        Condition {
+            name: "Dup+Increase (SUM)",
+            errors: vec![(ErrorKind::DuplicateRecords, true), (ErrorKind::IncreaseValues(5.0), true)],
+            statistic: AggregateKind::Sum,
+            direction: Direction::TooHigh,
+        },
+    ]
+}
+
+/// Run `trials` trials of one condition at auxiliary correlation `rho` and
+/// return per-method accuracies (Reptile, Raw, Sensitivity, Support).
+fn accuracy(condition: &Condition, rho: f64, trials: u64) -> [f64; 4] {
+    let mut hits = [0usize; 4];
+    for trial in 0..trials {
+        let data = SyntheticDataset::generate(SyntheticConfig {
+            groups: 50,
+            rho,
+            seed: trial * 7919 + 13,
+            ..Default::default()
+        });
+        let mut rng = SimRng::seed_from_u64(trial * 31 + 7);
+        let (corrupted, injected) = data.corrupt(&condition.errors, &mut rng);
+        let targets: Vec<Value> = injected
+            .iter()
+            .filter(|e| e.is_target)
+            .map(|e| e.group.clone())
+            .collect();
+        let view = View::compute(
+            corrupted.clone(),
+            Predicate::all(),
+            vec![data.group_attr],
+            data.measure,
+        )
+        .unwrap();
+        let complaint = Complaint::new(
+            GroupKey(vec![Value::str("ALL")]),
+            condition.statistic,
+            condition.direction,
+        );
+        // Model-estimated expectations using the auxiliary table.
+        let plan = FeaturePlan::none().with_extra(ExtraFeature::new(
+            "aux",
+            data.group_attr,
+            data.aux_for(condition.statistic).clone(),
+        ));
+        let design = DesignBuilder::new(&view, &data.schema, condition.statistic)
+            .with_plan(plan)
+            .build()
+            .unwrap();
+        let model = MultilevelModel::fit(&design, Default::default()).unwrap();
+        let preds = model.predict_all(&design);
+        let mut expected = BTreeMap::new();
+        for (key, _) in view.groups() {
+            if let Some(row) = design.row_of_key(key) {
+                expected.insert(key.clone(), preds[row]);
+            }
+        }
+        let picks = [
+            baselines::repair_with_expectations(&view, &complaint, &expected),
+            baselines::raw(&view, &complaint),
+            baselines::sensitivity(&view, &complaint),
+            baselines::support(&view),
+        ];
+        for (i, pick) in picks.iter().enumerate() {
+            if let Some(best) = pick.best() {
+                if targets.iter().any(|t| best.values().contains(t)) {
+                    hits[i] += 1;
+                }
+            }
+        }
+    }
+    let t = trials as f64;
+    [
+        hits[0] as f64 / t,
+        hits[1] as f64 / t,
+        hits[2] as f64 / t,
+        hits[3] as f64 / t,
+    ]
+}
+
+fn main() {
+    let trials = 20;
+    for condition in conditions() {
+        let mut rows = Vec::new();
+        for rho in [0.6, 0.8, 1.0] {
+            let acc = accuracy(&condition, rho, trials);
+            rows.push(vec![
+                format!("{rho:.1}"),
+                format!("{:.2}", acc[0]),
+                format!("{:.2}", acc[1]),
+                format!("{:.2}", acc[2]),
+                format!("{:.2}", acc[3]),
+            ]);
+        }
+        print_table(
+            &format!("Figure 11 — {} ({} trials per point)", condition.name, trials),
+            &["rho", "Reptile", "Raw", "Sensitivity", "Support"],
+            &rows,
+        );
+    }
+    println!("\nExpected shape: Reptile is consistently the most accurate and improves with");
+    println!("the auxiliary correlation; Sensitivity/Support are flat (they ignore the");
+    println!("auxiliary data); Raw misses missing/duplicate-record errors.");
+}

@@ -1,0 +1,142 @@
+//! Figure 12: complaint ablation — Reptile vs Outlier when multiple groups
+//! are corrupted and only some of them are consistent with the complaint
+//! direction.
+//!
+//! Run with: `cargo run -p reptile-bench --release --bin fig12_ablation`
+
+use reptile::baselines;
+use reptile::{Complaint, Direction};
+use reptile_bench::print_table;
+use reptile_datasets::errors::ErrorKind;
+use reptile_datasets::synthetic::{SyntheticConfig, SyntheticDataset};
+use reptile_datasets::SimRng;
+use reptile_model::{DesignBuilder, ExtraFeature, FeaturePlan, MultilevelModel};
+use reptile_relational::{AggregateKind, GroupKey, Predicate, Value, View};
+use std::collections::BTreeMap;
+
+struct Condition {
+    name: &'static str,
+    errors: Vec<(ErrorKind, bool)>,
+    statistic: AggregateKind,
+    direction: Direction,
+}
+
+fn conditions() -> Vec<Condition> {
+    vec![
+        Condition {
+            name: "Missing + Duplication (COUNT is low)",
+            errors: vec![
+                (ErrorKind::MissingRecords, true),
+                (ErrorKind::MissingRecords, true),
+                (ErrorKind::DuplicateRecords, false),
+            ],
+            statistic: AggregateKind::Count,
+            direction: Direction::TooLow,
+        },
+        Condition {
+            name: "Decrease + Increase (MEAN is low)",
+            errors: vec![
+                (ErrorKind::DecreaseValues(5.0), true),
+                (ErrorKind::DecreaseValues(5.0), true),
+                (ErrorKind::IncreaseValues(5.0), false),
+            ],
+            statistic: AggregateKind::Mean,
+            direction: Direction::TooLow,
+        },
+        Condition {
+            name: "All (SUM is low)",
+            errors: vec![
+                (ErrorKind::DecreaseValues(5.0), true),
+                (ErrorKind::MissingRecords, true),
+                (ErrorKind::DuplicateRecords, false),
+            ],
+            statistic: AggregateKind::Sum,
+            direction: Direction::TooLow,
+        },
+    ]
+}
+
+fn run(condition: &Condition, rho: f64, trials: u64) -> (f64, f64) {
+    let mut reptile_hits = 0usize;
+    let mut outlier_hits = 0usize;
+    for trial in 0..trials {
+        let data = SyntheticDataset::generate(SyntheticConfig {
+            groups: 50,
+            rho,
+            seed: trial * 104729 + 3,
+            ..Default::default()
+        });
+        let mut rng = SimRng::seed_from_u64(trial * 17 + 1);
+        let (corrupted, injected) = data.corrupt(&condition.errors, &mut rng);
+        let targets: Vec<Value> = injected
+            .iter()
+            .filter(|e| e.is_target)
+            .map(|e| e.group.clone())
+            .collect();
+        let view = View::compute(
+            corrupted.clone(),
+            Predicate::all(),
+            vec![data.group_attr],
+            data.measure,
+        )
+        .unwrap();
+        let complaint = Complaint::new(
+            GroupKey(vec![Value::str("ALL")]),
+            condition.statistic,
+            condition.direction,
+        );
+        let plan = FeaturePlan::none().with_extra(ExtraFeature::new(
+            "aux",
+            data.group_attr,
+            data.aux_for(condition.statistic).clone(),
+        ));
+        let design = DesignBuilder::new(&view, &data.schema, condition.statistic)
+            .with_plan(plan)
+            .build()
+            .unwrap();
+        let model = MultilevelModel::fit(&design, Default::default()).unwrap();
+        let preds = model.predict_all(&design);
+        let mut expected = BTreeMap::new();
+        for (key, _) in view.groups() {
+            if let Some(row) = design.row_of_key(key) {
+                expected.insert(key.clone(), preds[row]);
+            }
+        }
+        let reptile_pick = baselines::repair_with_expectations(&view, &complaint, &expected);
+        let outlier_pick = baselines::outlier(&view, condition.statistic, &expected);
+        let hit = |pick: &baselines::BaselineResult| {
+            pick.best()
+                .map(|k| targets.iter().any(|t| k.values().contains(t)))
+                .unwrap_or(false)
+        };
+        reptile_hits += hit(&reptile_pick) as usize;
+        outlier_hits += hit(&outlier_pick) as usize;
+    }
+    (
+        reptile_hits as f64 / trials as f64,
+        outlier_hits as f64 / trials as f64,
+    )
+}
+
+fn main() {
+    let trials = 20;
+    for condition in conditions() {
+        let mut rows = Vec::new();
+        for rho in [0.6, 0.8, 1.0] {
+            let (reptile, outlier) = run(&condition, rho, trials);
+            rows.push(vec![
+                format!("{rho:.1}"),
+                format!("{reptile:.2}"),
+                format!("{outlier:.2}"),
+            ]);
+        }
+        print_table(
+            &format!("Figure 12 — {} ({} trials per point)", condition.name, trials),
+            &["rho", "Reptile", "Outlier"],
+            &rows,
+        );
+    }
+    println!("\nExpected shape: Outlier cannot distinguish the decoy corruption from the");
+    println!("true errors (accuracy bounded around ~2/3), while Reptile uses the complaint");
+    println!("direction and stays substantially higher.");
+}

@@ -1,0 +1,120 @@
+//! Figure 13 and Tables 1–2: the COVID-19 case study — per-issue detection
+//! (Reptile vs Sensitivity vs Support) on the simulated US and global panels,
+//! plus average correct-rate and runtime.
+//!
+//! Run with: `cargo run -p reptile-bench --release --bin fig13_covid`
+
+use reptile::baselines;
+use reptile::{Complaint, Direction, Reptile};
+use reptile_bench::{fmt, print_table, time};
+use reptile_datasets::covid::{CovidCaseStudy, CovidConfig};
+use reptile_model::{ExtraFeature, FeaturePlan};
+use reptile_relational::{AggregateKind, GroupKey, Predicate, Value, View};
+
+fn evaluate(case_study: &CovidCaseStudy, title: &str) -> (usize, usize, usize, usize, f64) {
+    let schema = case_study.schema.clone();
+    let mut rows = Vec::new();
+    let mut reptile_hits = 0usize;
+    let mut sens_hits = 0usize;
+    let mut supp_hits = 0usize;
+    let mut total_time = 0.0f64;
+    for issue in &case_study.issues {
+        let relation = case_study.corrupted_relation(issue);
+        let day_view = View::compute(
+            relation.clone(),
+            Predicate::all(),
+            vec![schema.attr("day").unwrap()],
+            schema.attr("confirmed").unwrap(),
+        )
+        .unwrap();
+        let key = GroupKey(vec![Value::int(issue.day)]);
+        let direction = if issue.too_low { Direction::TooLow } else { Direction::TooHigh };
+        let complaint = Complaint::new(key.clone(), AggregateKind::Sum, direction);
+        let lag = case_study.lag_feature(&relation, issue.day, 1);
+        let plan = FeaturePlan::none().with_extra(ExtraFeature::new(
+            "lag1",
+            schema.attr("location").unwrap(),
+            lag,
+        ));
+        let mut engine = Reptile::new(relation.clone(), schema.clone()).with_plan(plan);
+        let (recommendation, secs) = time(|| engine.recommend(&day_view, &complaint));
+        total_time += secs;
+        let reptile_ok = recommendation
+            .ok()
+            .and_then(|r| r.best_group().map(|g| g.key.values().contains(&issue.location)))
+            .unwrap_or(false);
+        let geo = schema.hierarchy("geo").unwrap();
+        let dd = day_view.drill_down(&key, geo).unwrap();
+        let sens_ok = baselines::sensitivity(&dd.view, &complaint)
+            .best()
+            .map(|k| k.values().contains(&issue.location))
+            .unwrap_or(false);
+        let supp_ok = baselines::support(&dd.view)
+            .best()
+            .map(|k| k.values().contains(&issue.location))
+            .unwrap_or(false);
+        reptile_hits += reptile_ok as usize;
+        sens_hits += sens_ok as usize;
+        supp_hits += supp_ok as usize;
+        let mark = |b: bool| if b { "yes" } else { "-" }.to_string();
+        rows.push(vec![
+            issue.id.clone(),
+            format!("{:?}{}", issue.kind, if issue.kind.is_prevalent() { " *" } else { "" }),
+            mark(reptile_ok),
+            mark(sens_ok),
+            mark(supp_ok),
+        ]);
+    }
+    print_table(
+        title,
+        &["issue", "kind", "Reptile", "Sensitivity", "Support"],
+        &rows,
+    );
+    (
+        reptile_hits,
+        sens_hits,
+        supp_hits,
+        case_study.issues.len(),
+        total_time / case_study.issues.len() as f64,
+    )
+}
+
+fn main() {
+    let us = CovidCaseStudy::us(CovidConfig {
+        locations: 20,
+        sub_locations: 4,
+        days: 45,
+        seed: 11,
+    });
+    let global = CovidCaseStudy::global(CovidConfig {
+        locations: 24,
+        sub_locations: 3,
+        days: 45,
+        seed: 12,
+    });
+    let (r_us, s_us, p_us, n_us, t_us) = evaluate(&us, "Table 1: simulated US issues (* = prevalent)");
+    let (r_gl, s_gl, p_gl, n_gl, t_gl) =
+        evaluate(&global, "Table 2: simulated global issues (* = prevalent)");
+
+    let total = (n_us + n_gl) as f64;
+    print_table(
+        "Figure 13a: average correct rate over all 30 issues",
+        &["method", "correct rate"],
+        &[
+            vec!["Reptile".into(), format!("{:.2}", (r_us + r_gl) as f64 / total)],
+            vec!["Sensitivity".into(), format!("{:.2}", (s_us + s_gl) as f64 / total)],
+            vec!["Support".into(), format!("{:.2}", (p_us + p_gl) as f64 / total)],
+        ],
+    );
+    print_table(
+        "Figure 13b: average runtime per complaint (seconds, Reptile)",
+        &["dataset", "runtime"],
+        &[
+            vec!["US".into(), fmt(t_us)],
+            vec!["Global".into(), fmt(t_gl)],
+        ],
+    );
+    println!("\nExpected shape: Reptile resolves the large majority of non-prevalent issues");
+    println!("(the paper reports 21/30 overall) while Sensitivity/Support stay close to 0;");
+    println!("Reptile pays ~a model fit per complaint in runtime.");
+}

@@ -1,0 +1,84 @@
+//! Shared utilities for the figure/table harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper's
+//! evaluation (see `DESIGN.md` for the full index) and prints its rows/series
+//! to stdout so that the shapes can be compared against the paper.
+
+use std::time::Instant;
+
+/// Time a closure, returning `(result, seconds)`.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Print a simple aligned table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Format a float with 4 significant-ish decimals for table cells.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_returns_result_and_duration() {
+        let (value, secs) = time(|| (0..1000).sum::<usize>());
+        assert_eq!(value, 499_500);
+        assert!(secs >= 0.0);
+    }
+
+    #[test]
+    fn formatting_is_compact() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(123.456), "123.5");
+        assert_eq!(fmt(1.23456), "1.235");
+        assert_eq!(fmt(0.0123456), "0.01235");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

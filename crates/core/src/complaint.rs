@@ -1,0 +1,98 @@
+//! Complaints over aggregate query results (Section 3.1).
+//!
+//! A complaint identifies an output tuple of the current view, the statistic
+//! that looks wrong, and the direction (`too high`, `too low`, or an exact
+//! expected value). The complaint function `fcomp` maps a (possibly repaired)
+//! value of that statistic to a penalty the engine minimises.
+
+use reptile_relational::{AggregateKind, GroupKey};
+
+/// The direction of a complaint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Direction {
+    /// The value is larger than the user expects (minimising means pushing it
+    /// down).
+    TooHigh,
+    /// The value is smaller than the user expects.
+    TooLow,
+    /// The value should equal this number (`fcomp(t) = |t - v|`).
+    ShouldBe(f64),
+}
+
+/// A user complaint about one output tuple of the current view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Complaint {
+    /// The complained tuple's group-by key in the current view.
+    pub key: GroupKey,
+    /// The aggregate statistic the complaint is about.
+    pub statistic: AggregateKind,
+    /// The complaint direction.
+    pub direction: Direction,
+}
+
+impl Complaint {
+    /// Create a complaint.
+    pub fn new(key: GroupKey, statistic: AggregateKind, direction: Direction) -> Self {
+        Complaint {
+            key,
+            statistic,
+            direction,
+        }
+    }
+
+    /// Convenience constructor for "the value should have been `target`".
+    pub fn should_be(key: GroupKey, statistic: AggregateKind, target: f64) -> Self {
+        Complaint::new(key, statistic, Direction::ShouldBe(target))
+    }
+
+    /// The complaint function `fcomp`: the penalty of the complained tuple
+    /// taking value `value`. Lower is better.
+    pub fn penalty(&self, value: f64) -> f64 {
+        match self.direction {
+            Direction::TooHigh => value,
+            Direction::TooLow => -value,
+            Direction::ShouldBe(target) => (value - target).abs(),
+        }
+    }
+
+    /// How much an intervention improved the complaint relative to the
+    /// original value (positive = improvement).
+    pub fn improvement(&self, original: f64, repaired: f64) -> f64 {
+        self.penalty(original) - self.penalty(repaired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reptile_relational::Value;
+
+    fn key() -> GroupKey {
+        GroupKey(vec![Value::str("Ofla"), Value::int(1986)])
+    }
+
+    #[test]
+    fn too_high_prefers_smaller_values() {
+        let c = Complaint::new(key(), AggregateKind::Std, Direction::TooHigh);
+        assert!(c.penalty(1.0) < c.penalty(3.0));
+        assert!(c.improvement(3.0, 1.0) > 0.0);
+        assert!(c.improvement(1.0, 3.0) < 0.0);
+    }
+
+    #[test]
+    fn too_low_prefers_larger_values() {
+        let c = Complaint::new(key(), AggregateKind::Count, Direction::TooLow);
+        assert!(c.penalty(70.0) < c.penalty(62.0));
+        assert!(c.improvement(62.0, 67.0) > 0.0);
+    }
+
+    #[test]
+    fn should_be_matches_the_paper_example() {
+        // Example 8: count should have been 70; repairing Darube gives 67
+        // (penalty 3), repairing Zata gives 72 (penalty 2) which is preferred.
+        let c = Complaint::should_be(key(), AggregateKind::Count, 70.0);
+        assert_eq!(c.penalty(67.0), 3.0);
+        assert_eq!(c.penalty(72.0), 2.0);
+        assert!(c.penalty(72.0) < c.penalty(67.0));
+    }
+}

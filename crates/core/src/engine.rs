@@ -1,0 +1,488 @@
+//! The Reptile engine: complaint-based drill-down recommendation
+//! (Problem 1, Section 4.5).
+//!
+//! For every candidate hierarchy the engine
+//! 1. drills the complaint tuple down to the hierarchy's next level,
+//! 2. builds the *parallel groups* training view (the same drill-down without
+//!    restricting to the complaint's provenance),
+//! 3. assembles the factorised training design and fits the repair model
+//!    (a multi-level model by default),
+//! 4. predicts every drill-down group's expected statistic, repairs the group
+//!    to it, recombines the complaint tuple with the distributive merge `G`,
+//!    and scores the repair by the complaint function, and
+//! 5. returns the groups of all hierarchies ranked by how much their repair
+//!    resolves the complaint.
+
+use crate::complaint::Complaint;
+use crate::{ReptileError, Result};
+use reptile_model::{
+    DesignBuilder, EmptyGroupPolicy, FeaturePlan, LinearModel, MultilevelConfig, MultilevelModel,
+    TrainingBackend,
+};
+use reptile_relational::{AggState, GroupKey, Hierarchy, Relation, Schema, View};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Which repair model the engine fits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairModelKind {
+    /// Multi-level (mixed effects) model trained with EM — the paper default.
+    MultiLevel,
+    /// Plain linear regression (the "Linear" ablation).
+    Linear,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct ReptileConfig {
+    /// Repair model to fit per candidate drill-down.
+    pub model: RepairModelKind,
+    /// EM configuration for the multi-level model.
+    pub em: MultilevelConfig,
+    /// Backend used to execute the model's matrix operations.
+    pub backend: TrainingBackend,
+    /// How many top groups to keep per recommendation.
+    pub top_k: usize,
+    /// Fill policy for empty parallel groups.
+    pub empty_groups: EmptyGroupPolicy,
+}
+
+impl Default for ReptileConfig {
+    fn default() -> Self {
+        ReptileConfig {
+            model: RepairModelKind::MultiLevel,
+            em: MultilevelConfig::default(),
+            backend: TrainingBackend::Factorized,
+            top_k: 5,
+            empty_groups: EmptyGroupPolicy::GlobalMean,
+        }
+    }
+}
+
+/// One candidate drill-down group with its scores.
+#[derive(Debug, Clone)]
+pub struct ScoredGroup {
+    /// Name of the hierarchy this group belongs to.
+    pub hierarchy: String,
+    /// The attribute added by the drill-down.
+    pub added_attribute: String,
+    /// The group key in the drilled-down view.
+    pub key: GroupKey,
+    /// Observed value of the complained statistic for the group.
+    pub observed: f64,
+    /// Model-estimated expected value of the statistic.
+    pub expected: f64,
+    /// Value of the complaint tuple's statistic after repairing this group.
+    pub repaired_complaint_value: f64,
+    /// Complaint penalty after the repair (lower is better).
+    pub penalty: f64,
+    /// Improvement over the unrepaired complaint penalty.
+    pub improvement: f64,
+}
+
+/// The result of evaluating one hierarchy.
+#[derive(Debug, Clone)]
+pub struct HierarchyRecommendation {
+    /// Hierarchy name.
+    pub hierarchy: String,
+    /// Attribute that the drill-down added.
+    pub added_attribute: String,
+    /// The drilled-down view (restricted to the complaint's provenance).
+    pub view: View,
+    /// The groups of this hierarchy, best first.
+    pub ranked: Vec<ScoredGroup>,
+}
+
+/// A full recommendation: the per-hierarchy details and the overall ranking.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Per-hierarchy results (in schema hierarchy order).
+    pub hierarchies: Vec<HierarchyRecommendation>,
+    /// All groups across hierarchies, best first, truncated to `top_k`.
+    pub ranked: Vec<ScoredGroup>,
+    /// The complaint tuple's original statistic value.
+    pub original_value: f64,
+}
+
+impl Recommendation {
+    /// The best hierarchy to drill down (the one owning the top group).
+    pub fn best_hierarchy(&self) -> Option<&str> {
+        self.ranked.first().map(|g| g.hierarchy.as_str())
+    }
+
+    /// The best group overall.
+    pub fn best_group(&self) -> Option<&ScoredGroup> {
+        self.ranked.first()
+    }
+}
+
+/// The Reptile engine.
+#[derive(Debug)]
+pub struct Reptile {
+    relation: Arc<Relation>,
+    schema: Arc<Schema>,
+    config: ReptileConfig,
+    plan: FeaturePlan,
+}
+
+impl Reptile {
+    /// Create an engine over a relation and its schema with defaults.
+    pub fn new(relation: Arc<Relation>, schema: Arc<Schema>) -> Self {
+        Reptile {
+            relation,
+            schema,
+            config: ReptileConfig::default(),
+            plan: FeaturePlan::none(),
+        }
+    }
+
+    /// Override the configuration.
+    pub fn with_config(mut self, config: ReptileConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Register auxiliary / custom features (Section 3.3).
+    pub fn with_plan(mut self, plan: FeaturePlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// The relation the engine explains.
+    pub fn relation(&self) -> &Arc<Relation> {
+        &self.relation
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &ReptileConfig {
+        &self.config
+    }
+
+    /// Solve Problem 1 for `complaint` posed against `view`: evaluate every
+    /// hierarchy that can still be drilled, rank the drill-down groups, and
+    /// return the overall ranking.
+    pub fn recommend(&mut self, view: &View, complaint: &Complaint) -> Result<Recommendation> {
+        let original_state = view
+            .group(&complaint.key)
+            .map_err(|_| ReptileError::UnknownComplaintTuple(complaint.key.to_string()))?;
+        let original_value = original_state.value(complaint.statistic);
+
+        let candidates: Vec<&Hierarchy> = self
+            .schema
+            .hierarchies()
+            .iter()
+            .filter(|h| h.next_level(view.group_by()).is_some())
+            .collect();
+        if candidates.is_empty() {
+            return Err(ReptileError::NothingToDrill);
+        }
+
+        let mut hierarchies = Vec::with_capacity(candidates.len());
+        let mut all: Vec<ScoredGroup> = Vec::new();
+        for hierarchy in candidates {
+            let rec = self.evaluate_hierarchy(view, complaint, hierarchy, original_value)?;
+            all.extend(rec.ranked.iter().cloned());
+            hierarchies.push(rec);
+        }
+        all.sort_by(|a, b| a.penalty.total_cmp(&b.penalty));
+        all.truncate(self.config.top_k);
+        Ok(Recommendation {
+            hierarchies,
+            ranked: all,
+            original_value,
+        })
+    }
+
+    /// Predicted expected statistics for every group of a candidate
+    /// drill-down (exposed for the Outlier baseline and the case studies).
+    pub fn expected_statistics(
+        &self,
+        view: &View,
+        complaint: &Complaint,
+        hierarchy: &Hierarchy,
+    ) -> Result<BTreeMap<GroupKey, f64>> {
+        let dd = view.drill_down(&complaint.key, hierarchy)?;
+        let (_, predictions) = self.fit_and_predict(view, complaint, hierarchy)?;
+        let mut out = BTreeMap::new();
+        for (key, _) in dd.view.groups() {
+            if let Some(value) = predictions.get(key) {
+                out.insert(key.clone(), *value);
+            }
+        }
+        Ok(out)
+    }
+
+    fn fit_and_predict(
+        &self,
+        view: &View,
+        complaint: &Complaint,
+        hierarchy: &Hierarchy,
+    ) -> Result<(View, BTreeMap<GroupKey, f64>)> {
+        // Training data: the same drill-down over ALL parallel groups.
+        let parallel = view.drill_down_parallel(hierarchy)?;
+        let design = DesignBuilder::new(&parallel.view, &self.schema, complaint.statistic)
+            .with_plan(self.plan.clone())
+            .empty_groups(self.config.empty_groups)
+            .build()?;
+        let predictions_by_row: Vec<f64> = match self.config.model {
+            RepairModelKind::MultiLevel => {
+                let model =
+                    MultilevelModel::fit_with_backend(&design, self.config.em, self.config.backend)?;
+                model.predict_all(&design)
+            }
+            RepairModelKind::Linear => {
+                let model = LinearModel::fit(&design)?;
+                model.predict_all(&design)
+            }
+        };
+        let mut by_key = BTreeMap::new();
+        for (key, _) in parallel.view.groups() {
+            if let Some(row) = design.row_of_key(key) {
+                by_key.insert(key.clone(), predictions_by_row[row]);
+            }
+        }
+        Ok((parallel.view, by_key))
+    }
+
+    fn evaluate_hierarchy(
+        &self,
+        view: &View,
+        complaint: &Complaint,
+        hierarchy: &Hierarchy,
+        original_value: f64,
+    ) -> Result<HierarchyRecommendation> {
+        let dd = view.drill_down(&complaint.key, hierarchy)?;
+        let (_, predictions) = self.fit_and_predict(view, complaint, hierarchy)?;
+        // For complaints over composed statistics (STD/VAR), the repair must
+        // fix the group's *constituent* statistics too: a group whose mean is
+        // far from its expectation inflates the parent's spread even if its
+        // own spread is normal (Figure 1's Zata village). Fit a second model
+        // for the group means in that case.
+        let mean_predictions = if matches!(
+            complaint.statistic,
+            reptile_relational::AggregateKind::Std | reptile_relational::AggregateKind::Var
+        ) {
+            let mean_complaint = Complaint::new(
+                complaint.key.clone(),
+                reptile_relational::AggregateKind::Mean,
+                complaint.direction,
+            );
+            Some(self.fit_and_predict(view, &mean_complaint, hierarchy)?.1)
+        } else {
+            None
+        };
+        let added_attribute = self.schema.name(dd.added_attribute).to_string();
+        let mut ranked = Vec::with_capacity(dd.view.len());
+        for (key, agg) in dd.view.groups() {
+            let observed = agg.value(complaint.statistic);
+            let expected = predictions.get(key).copied().unwrap_or(observed);
+            let mut repaired: AggState = agg.repaired_to(complaint.statistic, expected);
+            if let Some(means) = &mean_predictions {
+                if let Some(expected_mean) = means.get(key) {
+                    repaired = repaired.with_mean(*expected_mean);
+                }
+            }
+            let repaired_total = dd.view.total_with_replacement(key, &repaired)?;
+            let repaired_value = repaired_total.value(complaint.statistic);
+            let penalty = complaint.penalty(repaired_value);
+            ranked.push(ScoredGroup {
+                hierarchy: hierarchy.name.clone(),
+                added_attribute: added_attribute.clone(),
+                key: key.clone(),
+                observed,
+                expected,
+                repaired_complaint_value: repaired_value,
+                penalty,
+                improvement: complaint.improvement(original_value, repaired_value),
+            });
+        }
+        ranked.sort_by(|a, b| a.penalty.total_cmp(&b.penalty));
+        Ok(HierarchyRecommendation {
+            hierarchy: hierarchy.name.clone(),
+            added_attribute,
+            view: dd.view,
+            ranked,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complaint::Direction;
+    use reptile_relational::{AggregateKind, Predicate, Value};
+
+    /// Build a small two-hierarchy dataset where one village in one district
+    /// systematically under-reports in one year.
+    fn dataset(corrupt_village: &str, delta: f64) -> (Arc<Relation>, Arc<Schema>) {
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["district", "village"])
+                .hierarchy("time", ["year"])
+                .measure("severity")
+                .build()
+                .unwrap(),
+        );
+        let mut b = Relation::builder(schema.clone());
+        for year in [1985i64, 1986, 1987] {
+            for d in 0..3 {
+                for v in 0..4 {
+                    let village = format!("D{d}-V{v}");
+                    for rep in 0..5 {
+                        let base = 6.0 + d as f64 * 0.5 + (rep as f64) * 0.1;
+                        let value = if village == corrupt_village && year == 1986 {
+                            base + delta
+                        } else {
+                            base
+                        };
+                        b = b
+                            .row([
+                                Value::str(format!("D{d}")),
+                                Value::str(village.clone()),
+                                Value::int(year),
+                                Value::float(value),
+                            ])
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        (Arc::new(b.build()), schema)
+    }
+
+    fn district_year_view(rel: &Arc<Relation>, schema: &Arc<Schema>) -> View {
+        View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![schema.attr("district").unwrap(), schema.attr("year").unwrap()],
+            schema.attr("severity").unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn recommends_the_corrupted_village_for_a_mean_complaint() {
+        let (rel, schema) = dataset("D1-V2", -4.0);
+        let view = district_year_view(&rel, &schema);
+        let complaint = Complaint::new(
+            GroupKey(vec![Value::str("D1"), Value::int(1986)]),
+            AggregateKind::Mean,
+            Direction::TooLow,
+        );
+        let mut engine = Reptile::new(rel, schema);
+        let rec = engine.recommend(&view, &complaint).unwrap();
+        let best = rec.best_group().unwrap();
+        assert_eq!(best.hierarchy, "geo");
+        assert_eq!(rec.best_hierarchy(), Some("geo"));
+        assert!(best.key.to_string().contains("D1-V2"), "{}", best.key);
+        // the expected value is higher than the corrupted observed mean
+        assert!(best.expected > best.observed + 1.0);
+        // repairing improves the complaint
+        assert!(best.improvement > 0.0);
+    }
+
+    #[test]
+    fn evaluates_all_drillable_hierarchies() {
+        let (rel, schema) = dataset("D0-V0", 3.0);
+        let view = district_year_view(&rel, &schema);
+        let complaint = Complaint::new(
+            GroupKey(vec![Value::str("D0"), Value::int(1986)]),
+            AggregateKind::Mean,
+            Direction::TooHigh,
+        );
+        let mut engine = Reptile::new(rel, schema);
+        let rec = engine.recommend(&view, &complaint).unwrap();
+        // geo can drill to village; time is exhausted (year already grouped)
+        assert_eq!(rec.hierarchies.len(), 1);
+        assert_eq!(rec.hierarchies[0].hierarchy, "geo");
+        assert!(rec.ranked.len() <= engine.config().top_k);
+        assert!(!rec.hierarchies[0].ranked.is_empty());
+    }
+
+    #[test]
+    fn unknown_complaint_tuple_is_rejected() {
+        let (rel, schema) = dataset("D0-V0", 3.0);
+        let view = district_year_view(&rel, &schema);
+        let complaint = Complaint::new(
+            GroupKey(vec![Value::str("D9"), Value::int(1986)]),
+            AggregateKind::Mean,
+            Direction::TooHigh,
+        );
+        let mut engine = Reptile::new(rel, schema);
+        assert!(matches!(
+            engine.recommend(&view, &complaint),
+            Err(ReptileError::UnknownComplaintTuple(_))
+        ));
+    }
+
+    #[test]
+    fn nothing_to_drill_when_all_hierarchies_exhausted() {
+        let (rel, schema) = dataset("D0-V0", 3.0);
+        let view = View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![
+                schema.attr("district").unwrap(),
+                schema.attr("village").unwrap(),
+                schema.attr("year").unwrap(),
+            ],
+            schema.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let key = view.keys().into_iter().next().unwrap();
+        let complaint = Complaint::new(key, AggregateKind::Mean, Direction::TooHigh);
+        let mut engine = Reptile::new(rel, schema);
+        assert!(matches!(
+            engine.recommend(&view, &complaint),
+            Err(ReptileError::NothingToDrill)
+        ));
+    }
+
+    #[test]
+    fn linear_model_configuration_also_works() {
+        let (rel, schema) = dataset("D2-V3", -3.0);
+        let view = district_year_view(&rel, &schema);
+        let complaint = Complaint::new(
+            GroupKey(vec![Value::str("D2"), Value::int(1986)]),
+            AggregateKind::Mean,
+            Direction::TooLow,
+        );
+        let config = ReptileConfig {
+            model: RepairModelKind::Linear,
+            top_k: 3,
+            ..Default::default()
+        };
+        let mut engine = Reptile::new(rel, schema).with_config(config);
+        let rec = engine.recommend(&view, &complaint).unwrap();
+        assert_eq!(rec.ranked.len(), 3);
+        assert!(rec
+            .ranked
+            .iter()
+            .any(|g| g.key.to_string().contains("D2-V3")));
+    }
+
+    #[test]
+    fn expected_statistics_cover_all_drill_down_groups() {
+        let (rel, schema) = dataset("D1-V1", -2.0);
+        let view = district_year_view(&rel, &schema);
+        let complaint = Complaint::new(
+            GroupKey(vec![Value::str("D1"), Value::int(1986)]),
+            AggregateKind::Mean,
+            Direction::TooLow,
+        );
+        let geo = schema.hierarchy("geo").unwrap().clone();
+        let engine = Reptile::new(rel, schema);
+        let expected = engine
+            .expected_statistics(&view, &complaint, &geo)
+            .unwrap();
+        assert_eq!(expected.len(), 4); // four villages in D1
+        for value in expected.values() {
+            assert!(value.is_finite());
+        }
+    }
+}

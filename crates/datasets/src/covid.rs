@@ -1,0 +1,390 @@
+//! Simulated COVID-19 case-study data (Section 5.3, Tables 1 and 2,
+//! Figure 13).
+//!
+//! The paper uses the JHU CSSE COVID-19 panels and 30 resolved GitHub issues
+//! as ground truth. Neither is available offline, so this module synthesises
+//! panels with the same schema (a location hierarchy crossed with a day
+//! hierarchy and a cumulative-report measure) and injects the same classes of
+//! issues the paper evaluates: missing daily reports, backlogs, over-reports,
+//! definition changes, typos, and *prevalent* errors (a missing source that
+//! affects a location across the whole time range — the class Reptile is
+//! documented to miss).
+
+use crate::rng::SimRng;
+use reptile_relational::{Relation, Schema, Value};
+use std::sync::Arc;
+
+/// The issue classes of Tables 1 and 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CovidIssueKind {
+    /// A location reported (almost) nothing on one day.
+    MissingReports,
+    /// A backlog: day `d` under-reports, day `d+1` catches up.
+    Backlog,
+    /// A one-day over-report.
+    OverReported,
+    /// A methodology/definition change inflating one day.
+    DefinitionChange,
+    /// A small typo (digit-swap sized error) — usually below natural noise.
+    Typo,
+    /// A data source missing for the whole period (prevalent error).
+    PrevalentMissingSource,
+}
+
+impl CovidIssueKind {
+    /// Whether the error is prevalent (spread over the whole time range).
+    pub fn is_prevalent(self) -> bool {
+        matches!(self, CovidIssueKind::PrevalentMissingSource)
+    }
+
+    /// Whether the paper expects the complaint direction to be "too low".
+    pub fn too_low(self) -> bool {
+        matches!(
+            self,
+            CovidIssueKind::MissingReports
+                | CovidIssueKind::Backlog
+                | CovidIssueKind::PrevalentMissingSource
+        )
+    }
+}
+
+/// One simulated data-quality issue with its ground truth.
+#[derive(Debug, Clone)]
+pub struct CovidIssue {
+    /// Issue identifier (mirrors the paper's per-issue rows).
+    pub id: String,
+    /// The class of error.
+    pub kind: CovidIssueKind,
+    /// Ground-truth location (value of the top-level location attribute).
+    pub location: Value,
+    /// Day the complaint refers to.
+    pub day: i64,
+    /// Whether the complaint is "total is too low" (else "too high").
+    pub too_low: bool,
+}
+
+/// Configuration of the simulated panel.
+#[derive(Debug, Clone, Copy)]
+pub struct CovidConfig {
+    /// Number of top-level locations (states / countries).
+    pub locations: usize,
+    /// Sub-locations per location (counties / provinces).
+    pub sub_locations: usize,
+    /// Number of days in the panel.
+    pub days: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CovidConfig {
+    fn default() -> Self {
+        CovidConfig {
+            locations: 20,
+            sub_locations: 5,
+            days: 60,
+            seed: 42,
+        }
+    }
+}
+
+/// A simulated COVID case study: the clean panel plus an issue catalogue.
+#[derive(Debug, Clone)]
+pub struct CovidCaseStudy {
+    /// Schema: hierarchy `geo = [location, sub_location]`, `time = [day]`,
+    /// measure `confirmed` (new confirmed reports per day).
+    pub schema: Arc<Schema>,
+    /// The clean panel.
+    pub clean: Arc<Relation>,
+    /// The issues to evaluate (each evaluated on its own corrupted copy).
+    pub issues: Vec<CovidIssue>,
+    /// Per-location base scale (proportional to "population").
+    pub scales: Vec<f64>,
+    config: CovidConfig,
+}
+
+fn location_name(prefix: &str, i: usize) -> String {
+    format!("{prefix}{i:03}")
+}
+
+impl CovidCaseStudy {
+    /// Build the United-States-shaped case study (16 issues, Table 1).
+    pub fn us(config: CovidConfig) -> Self {
+        Self::build("US-State", config, &US_ISSUE_PLAN)
+    }
+
+    /// Build the global-shaped case study (14 issues, Table 2).
+    pub fn global(config: CovidConfig) -> Self {
+        Self::build("Country", config, &GLOBAL_ISSUE_PLAN)
+    }
+
+    fn build(prefix: &str, config: CovidConfig, plan: &[(&str, CovidIssueKind)]) -> Self {
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["location", "sub_location"])
+                .hierarchy("time", ["day"])
+                .measure("confirmed")
+                .build()
+                .unwrap(),
+        );
+        // Epidemic-curve shaped daily reports: per-location scale times a
+        // smooth wave plus a day-of-week dip plus noise.
+        let scales: Vec<f64> = (0..config.locations)
+            .map(|_| rng.uniform_range(0.5, 8.0))
+            .collect();
+        let mut relation = Relation::empty(schema.clone());
+        for (li, scale) in scales.iter().enumerate() {
+            let loc = Value::str(location_name(prefix, li));
+            for si in 0..config.sub_locations {
+                let sub = Value::str(format!("{}-{si:02}", location_name(prefix, li)));
+                let sub_share = 0.5 + 0.1 * si as f64;
+                for day in 0..config.days {
+                    let t = day as f64 / config.days as f64;
+                    let wave = 200.0 * (1.0 + (2.0 * std::f64::consts::PI * (t - 0.3)).sin());
+                    let weekday_dip = if day % 7 >= 5 { 0.7 } else { 1.0 };
+                    let noise = rng.normal(1.0, 0.05).max(0.5);
+                    let confirmed = (scale * sub_share * wave * weekday_dip * noise).round();
+                    relation
+                        .push_row(vec![
+                            loc.clone(),
+                            sub.clone(),
+                            Value::int(day as i64),
+                            Value::float(confirmed.max(0.0)),
+                        ])
+                        .expect("arity");
+                }
+            }
+        }
+        // Assign each planned issue to a location (distinct while possible)
+        // and a mid-range day.
+        let mut issues = Vec::with_capacity(plan.len());
+        let mut chosen = rng.choose_indices(config.locations, plan.len());
+        while chosen.len() < plan.len() {
+            chosen.push(rng.below(config.locations));
+        }
+        for ((id, kind), li) in plan.iter().zip(chosen) {
+            let day = (config.days / 3 + rng.below(config.days / 2)) as i64;
+            issues.push(CovidIssue {
+                id: (*id).to_string(),
+                kind: *kind,
+                location: Value::str(location_name(prefix, li)),
+                day,
+                too_low: kind.too_low(),
+            });
+        }
+        CovidCaseStudy {
+            schema,
+            clean: Arc::new(relation),
+            issues,
+            scales,
+            config,
+        }
+    }
+
+    /// The corrupted panel for one issue.
+    pub fn corrupted_relation(&self, issue: &CovidIssue) -> Arc<Relation> {
+        let mut out = (*self.clean).clone();
+        let location = self.schema.attr("location").unwrap();
+        let day = self.schema.attr("day").unwrap();
+        let confirmed = self.schema.attr("confirmed").unwrap();
+        let rows_of = |rel: &Relation, d: Option<i64>| -> Vec<usize> {
+            rel.filter_indices(|r| {
+                rel.value(r, location) == &issue.location
+                    && d.map(|d| rel.value(r, day) == &Value::int(d)).unwrap_or(true)
+            })
+        };
+        match issue.kind {
+            CovidIssueKind::MissingReports => {
+                for r in rows_of(&out, Some(issue.day)) {
+                    let v = out.value(r, confirmed).as_f64_or_zero();
+                    out.set_value(r, confirmed, Value::float(v * 0.05));
+                }
+            }
+            CovidIssueKind::Backlog => {
+                for r in rows_of(&out, Some(issue.day)) {
+                    let v = out.value(r, confirmed).as_f64_or_zero();
+                    out.set_value(r, confirmed, Value::float(v * 0.1));
+                }
+                for r in rows_of(&out, Some(issue.day + 1)) {
+                    let v = out.value(r, confirmed).as_f64_or_zero();
+                    out.set_value(r, confirmed, Value::float(v * 1.9));
+                }
+            }
+            CovidIssueKind::OverReported | CovidIssueKind::DefinitionChange => {
+                for r in rows_of(&out, Some(issue.day)) {
+                    let v = out.value(r, confirmed).as_f64_or_zero();
+                    out.set_value(r, confirmed, Value::float(v * 2.5));
+                }
+            }
+            CovidIssueKind::Typo => {
+                // A small absolute error on a single sub-location.
+                if let Some(&r) = rows_of(&out, Some(issue.day)).first() {
+                    let v = out.value(r, confirmed).as_f64_or_zero();
+                    out.set_value(r, confirmed, Value::float(v + 27.0));
+                }
+            }
+            CovidIssueKind::PrevalentMissingSource => {
+                for r in rows_of(&out, None) {
+                    let v = out.value(r, confirmed).as_f64_or_zero();
+                    out.set_value(r, confirmed, Value::float(v * 0.8));
+                }
+            }
+        }
+        Arc::new(out)
+    }
+
+    /// One-day-lag auxiliary feature for each location: the location's total
+    /// confirmed count on `day - lag` in the *corrupted* relation (the lag
+    /// features the paper registers for trend/seasonality).
+    pub fn lag_feature(
+        &self,
+        relation: &Relation,
+        day: i64,
+        lag: i64,
+    ) -> std::collections::BTreeMap<Value, f64> {
+        let location = self.schema.attr("location").unwrap();
+        let day_attr = self.schema.attr("day").unwrap();
+        let confirmed = self.schema.attr("confirmed").unwrap();
+        let mut map = std::collections::BTreeMap::new();
+        for r in 0..relation.len() {
+            if relation.value(r, day_attr) == &Value::int(day - lag) {
+                let loc = relation.value(r, location).clone();
+                let v = relation.value(r, confirmed).as_f64_or_zero();
+                *map.entry(loc).or_insert(0.0) += v;
+            }
+        }
+        map
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> CovidConfig {
+        self.config
+    }
+}
+
+/// Issue plan mirroring Table 1 (US dataset): ids and error classes.
+pub const US_ISSUE_PLAN: [(&str, CovidIssueKind); 16] = [
+    ("3572-missing", CovidIssueKind::MissingReports),
+    ("3521-definition", CovidIssueKind::DefinitionChange),
+    ("3482-missing", CovidIssueKind::MissingReports),
+    ("3476-prevalent", CovidIssueKind::PrevalentMissingSource),
+    ("3468-missing", CovidIssueKind::MissingReports),
+    ("3466-missing", CovidIssueKind::MissingReports),
+    ("3456-backlog", CovidIssueKind::Backlog),
+    ("3451-missing", CovidIssueKind::MissingReports),
+    ("3449-over", CovidIssueKind::OverReported),
+    ("3448-over", CovidIssueKind::OverReported),
+    ("3441-prevalent", CovidIssueKind::PrevalentMissingSource),
+    ("3438-backlog", CovidIssueKind::Backlog),
+    ("3424-typo", CovidIssueKind::Typo),
+    ("3416-over", CovidIssueKind::OverReported),
+    ("3414-over", CovidIssueKind::OverReported),
+    ("3402-typo", CovidIssueKind::Typo),
+];
+
+/// Issue plan mirroring Table 2 (global dataset).
+pub const GLOBAL_ISSUE_PLAN: [(&str, CovidIssueKind); 14] = [
+    ("3623-over", CovidIssueKind::OverReported),
+    ("3618-prevalent", CovidIssueKind::PrevalentMissingSource),
+    ("3578-over", CovidIssueKind::OverReported),
+    ("3567-missing", CovidIssueKind::MissingReports),
+    ("3546-prevalent", CovidIssueKind::PrevalentMissingSource),
+    ("3538a-definition", CovidIssueKind::DefinitionChange),
+    ("3538b-missing", CovidIssueKind::MissingReports),
+    ("3518-prevalent", CovidIssueKind::PrevalentMissingSource),
+    ("3498-prevalent", CovidIssueKind::PrevalentMissingSource),
+    ("3494-missing", CovidIssueKind::MissingReports),
+    ("3471-definition", CovidIssueKind::DefinitionChange),
+    ("3423-typo", CovidIssueKind::Typo),
+    ("3413-missing", CovidIssueKind::MissingReports),
+    ("3408-over", CovidIssueKind::OverReported),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reptile_relational::{Predicate, View};
+
+    #[test]
+    fn us_panel_has_expected_shape() {
+        let config = CovidConfig {
+            locations: 8,
+            sub_locations: 3,
+            days: 20,
+            seed: 1,
+        };
+        let cs = CovidCaseStudy::us(config);
+        assert_eq!(cs.clean.len(), 8 * 3 * 20);
+        assert_eq!(cs.issues.len(), 16);
+        assert_eq!(cs.scales.len(), 8);
+        assert_eq!(cs.config().days, 20);
+        // issue days fall inside the panel
+        for issue in &cs.issues {
+            assert!(issue.day >= 0 && (issue.day as usize) < config.days + 1);
+        }
+    }
+
+    #[test]
+    fn global_panel_has_14_issues() {
+        let cs = CovidCaseStudy::global(CovidConfig {
+            locations: 16,
+            sub_locations: 2,
+            days: 15,
+            seed: 2,
+        });
+        assert_eq!(cs.issues.len(), 14);
+        let prevalent = cs.issues.iter().filter(|i| i.kind.is_prevalent()).count();
+        assert_eq!(prevalent, 4);
+    }
+
+    #[test]
+    fn missing_report_issue_reduces_the_day_total() {
+        let config = CovidConfig {
+            locations: 6,
+            sub_locations: 2,
+            days: 20,
+            seed: 3,
+        };
+        let cs = CovidCaseStudy::us(config);
+        let issue = cs
+            .issues
+            .iter()
+            .find(|i| i.kind == CovidIssueKind::MissingReports)
+            .unwrap();
+        let corrupted = cs.corrupted_relation(issue);
+        let s = cs.schema.clone();
+        let day_total = |rel: &Arc<Relation>, loc: &Value| -> f64 {
+            let view = View::compute(
+                rel.clone(),
+                Predicate::eq(s.attr("day").unwrap(), Value::int(issue.day)),
+                vec![s.attr("location").unwrap()],
+                s.attr("confirmed").unwrap(),
+            )
+            .unwrap();
+            view.aggregate_of(&reptile_relational::GroupKey(vec![loc.clone()]), reptile_relational::AggregateKind::Sum)
+                .unwrap()
+        };
+        let clean_total = day_total(&cs.clean, &issue.location);
+        let bad_total = day_total(&corrupted, &issue.location);
+        assert!(bad_total < clean_total * 0.2, "{bad_total} vs {clean_total}");
+        assert!(issue.too_low);
+    }
+
+    #[test]
+    fn lag_feature_sums_previous_day() {
+        let cs = CovidCaseStudy::us(CovidConfig {
+            locations: 3,
+            sub_locations: 2,
+            days: 10,
+            seed: 4,
+        });
+        let lag = cs.lag_feature(&cs.clean, 5, 1);
+        assert_eq!(lag.len(), 3);
+        for v in lag.values() {
+            assert!(*v > 0.0);
+        }
+        // lag beyond the panel start yields an empty map
+        let empty = cs.lag_feature(&cs.clean, 0, 1);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Group-wise error injection (Section 5.2.1).
+//!
+//! The accuracy experiments corrupt one (or several) groups with the error
+//! classes Reptile is designed to find: missing records, duplicated records,
+//! and systematic value drift (all measure values shifted up or down). The
+//! injectors operate on a [`Relation`] and record the injected ground truth so
+//! explanation accuracy can be scored.
+
+use crate::rng::SimRng;
+use reptile_relational::{AttrId, Relation, Value};
+
+/// The class of group-wise error injected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ErrorKind {
+    /// Delete a fraction of the group's rows (default one half).
+    MissingRecords,
+    /// Duplicate a fraction of the group's rows (default one half).
+    DuplicateRecords,
+    /// Add `delta` to every measure value in the group (systematic drift up).
+    IncreaseValues(f64),
+    /// Subtract `delta` from every measure value in the group.
+    DecreaseValues(f64),
+}
+
+impl ErrorKind {
+    /// Short human readable label (used in experiment reports).
+    pub fn label(&self) -> String {
+        match self {
+            ErrorKind::MissingRecords => "Missing".to_string(),
+            ErrorKind::DuplicateRecords => "Dup".to_string(),
+            ErrorKind::IncreaseValues(d) => format!("Increase({d})"),
+            ErrorKind::DecreaseValues(d) => format!("Decrease({d})"),
+        }
+    }
+}
+
+/// A recorded injected error: which group was corrupted and how.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedError {
+    /// Attribute identifying the corrupted group.
+    pub attr: AttrId,
+    /// Group value that was corrupted.
+    pub group: Value,
+    /// The error class.
+    pub kind: ErrorKind,
+    /// Whether this error is one the complaint should surface (`false` for
+    /// the decoy / false-positive corruptions of the ablation study).
+    pub is_target: bool,
+}
+
+/// Apply `kind` to the group `attr = group` of `relation`, returning the
+/// corrupted relation. Row-subset choices use `rng`.
+pub fn inject(
+    relation: &Relation,
+    attr: AttrId,
+    group: &Value,
+    measure: AttrId,
+    kind: ErrorKind,
+    rng: &mut SimRng,
+) -> Relation {
+    let group_rows: Vec<usize> =
+        relation.filter_indices(|r| relation.value(r, attr) == group);
+    match kind {
+        ErrorKind::MissingRecords => {
+            let drop = rng.choose_indices(group_rows.len(), group_rows.len() / 2);
+            let drop_set: Vec<usize> = drop.iter().map(|i| group_rows[*i]).collect();
+            let keep: Vec<usize> = (0..relation.len())
+                .filter(|r| !drop_set.contains(r))
+                .collect();
+            relation.take(&keep)
+        }
+        ErrorKind::DuplicateRecords => {
+            let dup = rng.choose_indices(group_rows.len(), group_rows.len() / 2);
+            let mut out = relation.clone();
+            for i in dup {
+                let row = relation.row(group_rows[i]);
+                out.push_row(row).expect("same arity");
+            }
+            out
+        }
+        ErrorKind::IncreaseValues(delta) | ErrorKind::DecreaseValues(delta) => {
+            let sign = if matches!(kind, ErrorKind::IncreaseValues(_)) {
+                1.0
+            } else {
+                -1.0
+            };
+            let mut out = relation.clone();
+            for r in group_rows {
+                let v = relation
+                    .value(r, measure)
+                    .as_f64()
+                    .unwrap_or(0.0);
+                out.set_value(r, measure, Value::float(v + sign * delta));
+            }
+            out
+        }
+    }
+}
+
+/// Apply several injections in sequence (each on the output of the previous).
+pub fn inject_all(
+    relation: &Relation,
+    measure: AttrId,
+    errors: &[InjectedError],
+    rng: &mut SimRng,
+) -> Relation {
+    let mut current = relation.clone();
+    for e in errors {
+        current = inject(&current, e.attr, &e.group, measure, e.kind, rng);
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reptile_relational::{Predicate, Schema, View};
+    use std::sync::Arc;
+
+    fn relation() -> Relation {
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("dim", ["g"])
+                .measure("m")
+                .build()
+                .unwrap(),
+        );
+        let mut b = Relation::builder(schema);
+        for g in 0..3 {
+            for i in 0..10 {
+                b = b
+                    .row([Value::str(format!("g{g}")), Value::float(100.0 + i as f64)])
+                    .unwrap();
+            }
+        }
+        b.build()
+    }
+
+    fn group_stats(rel: &Relation, g: &str) -> (f64, f64) {
+        let s = rel.schema().clone();
+        let view = View::compute(
+            Arc::new(rel.clone()),
+            Predicate::all(),
+            vec![s.attr("g").unwrap()],
+            s.attr("m").unwrap(),
+        )
+        .unwrap();
+        let key = reptile_relational::GroupKey(vec![Value::str(g)]);
+        let agg = view.group(&key).unwrap();
+        (agg.count(), agg.mean())
+    }
+
+    #[test]
+    fn missing_records_halves_the_group() {
+        let rel = relation();
+        let mut rng = SimRng::seed_from_u64(1);
+        let attr = rel.schema().attr("g").unwrap();
+        let measure = rel.schema().attr("m").unwrap();
+        let corrupted = inject(&rel, attr, &Value::str("g1"), measure, ErrorKind::MissingRecords, &mut rng);
+        assert_eq!(corrupted.len(), 25);
+        let (count, _) = group_stats(&corrupted, "g1");
+        assert_eq!(count, 5.0);
+        let (other, _) = group_stats(&corrupted, "g0");
+        assert_eq!(other, 10.0);
+    }
+
+    #[test]
+    fn duplicate_records_grow_the_group() {
+        let rel = relation();
+        let mut rng = SimRng::seed_from_u64(2);
+        let attr = rel.schema().attr("g").unwrap();
+        let measure = rel.schema().attr("m").unwrap();
+        let corrupted = inject(&rel, attr, &Value::str("g2"), measure, ErrorKind::DuplicateRecords, &mut rng);
+        assert_eq!(corrupted.len(), 35);
+        let (count, _) = group_stats(&corrupted, "g2");
+        assert_eq!(count, 15.0);
+    }
+
+    #[test]
+    fn drift_shifts_only_the_target_group_mean() {
+        let rel = relation();
+        let mut rng = SimRng::seed_from_u64(3);
+        let attr = rel.schema().attr("g").unwrap();
+        let measure = rel.schema().attr("m").unwrap();
+        let (_, before) = group_stats(&rel, "g0");
+        let corrupted = inject(&rel, attr, &Value::str("g0"), measure, ErrorKind::IncreaseValues(5.0), &mut rng);
+        let (count, after) = group_stats(&corrupted, "g0");
+        assert_eq!(count, 10.0);
+        assert!((after - before - 5.0).abs() < 1e-9);
+        let (_, other) = group_stats(&corrupted, "g1");
+        let (_, other_before) = group_stats(&rel, "g1");
+        assert_eq!(other, other_before);
+        let decreased = inject(&rel, attr, &Value::str("g0"), measure, ErrorKind::DecreaseValues(5.0), &mut rng);
+        let (_, dec) = group_stats(&decreased, "g0");
+        assert!((before - dec - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inject_all_applies_sequentially() {
+        let rel = relation();
+        let mut rng = SimRng::seed_from_u64(4);
+        let attr = rel.schema().attr("g").unwrap();
+        let measure = rel.schema().attr("m").unwrap();
+        let errors = vec![
+            InjectedError {
+                attr,
+                group: Value::str("g0"),
+                kind: ErrorKind::MissingRecords,
+                is_target: true,
+            },
+            InjectedError {
+                attr,
+                group: Value::str("g1"),
+                kind: ErrorKind::IncreaseValues(3.0),
+                is_target: false,
+            },
+        ];
+        let corrupted = inject_all(&rel, measure, &errors, &mut rng);
+        assert_eq!(corrupted.len(), 25);
+        let (_, g1_mean) = group_stats(&corrupted, "g1");
+        let (_, g1_before) = group_stats(&rel, "g1");
+        assert!((g1_mean - g1_before - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(ErrorKind::MissingRecords.label(), "Missing");
+        assert_eq!(ErrorKind::DuplicateRecords.label(), "Dup");
+        assert!(ErrorKind::IncreaseValues(5.0).label().contains('5'));
+    }
+}

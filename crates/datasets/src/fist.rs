@@ -1,0 +1,351 @@
+//! Simulated FIST drought-survey data (Sections 1, 5.4, Appendix M).
+//!
+//! The Columbia FIST team collects farmer-reported drought severity (1–10)
+//! per village and year, cross-referenced against satellite rainfall
+//! estimates. The real survey and the 22 user-study complaints are not
+//! available, so this module synthesises a panel with the documented shape
+//! (Region → District → Village geography crossed with Year, severity
+//! inversely related to rainfall) and produces complaints from injected
+//! group-level corruptions — including the documented STD failure mode where
+//! two districts must be repaired together.
+
+use crate::rng::SimRng;
+use reptile_relational::{AggregateKind, Relation, Schema, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Configuration of the simulated survey.
+#[derive(Debug, Clone, Copy)]
+pub struct FistConfig {
+    /// Number of regions.
+    pub regions: usize,
+    /// Districts per region.
+    pub districts_per_region: usize,
+    /// Villages per district.
+    pub villages_per_district: usize,
+    /// Number of survey years.
+    pub years: usize,
+    /// Farmer reports per village and year.
+    pub reports_per_village: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FistConfig {
+    fn default() -> Self {
+        FistConfig {
+            regions: 3,
+            districts_per_region: 4,
+            villages_per_district: 6,
+            years: 8,
+            reports_per_village: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// The kind of data issue behind a simulated complaint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FistComplaintKind {
+    /// One village's reports were shifted down (e.g. year confusion).
+    VillageMeanLow,
+    /// One village's reports were shifted up (over-reported severity).
+    VillageMeanHigh,
+    /// One village lost half of its reports.
+    VillageMissing,
+    /// Two districts shifted in opposite directions so that the region STD is
+    /// inflated — the documented Appendix M failure mode.
+    TwoDistrictStd,
+}
+
+/// A simulated complaint with its ground truth.
+#[derive(Debug, Clone)]
+pub struct FistComplaint {
+    /// Identifier of the complaint.
+    pub id: String,
+    /// The issue class.
+    pub kind: FistComplaintKind,
+    /// The complained statistic.
+    pub statistic: AggregateKind,
+    /// The year the complaint refers to.
+    pub year: i64,
+    /// The district (or region for the STD case) the complaint is scoped to.
+    pub scope_district: Value,
+    /// Ground-truth villages (one, or the two districts' villages for the STD
+    /// failure case the ground truth is the pair of districts).
+    pub true_groups: Vec<Value>,
+    /// Whether the complaint is "too low" (else "too high").
+    pub too_low: bool,
+}
+
+/// The simulated case study.
+#[derive(Debug, Clone)]
+pub struct FistCaseStudy {
+    /// Schema: `geo = [region, district, village]`, `time = [year]`,
+    /// measure `severity`.
+    pub schema: Arc<Schema>,
+    /// The clean panel.
+    pub clean: Arc<Relation>,
+    /// Rainfall auxiliary measure per village (lower rainfall → higher
+    /// severity).
+    pub rainfall: BTreeMap<Value, f64>,
+    /// The complaint catalogue.
+    pub complaints: Vec<FistComplaint>,
+}
+
+impl FistCaseStudy {
+    /// Generate the case study.
+    pub fn generate(config: FistConfig) -> Self {
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["region", "district", "village"])
+                .hierarchy("time", ["year"])
+                .measure("severity")
+                .build()
+                .unwrap(),
+        );
+        let mut relation = Relation::empty(schema.clone());
+        let mut rainfall = BTreeMap::new();
+        let mut districts = Vec::new();
+        let mut villages = Vec::new();
+        for r in 0..config.regions {
+            let region = Value::str(format!("Region{r}"));
+            for d in 0..config.districts_per_region {
+                let district = Value::str(format!("R{r}-D{d}"));
+                districts.push((region.clone(), district.clone()));
+                for v in 0..config.villages_per_district {
+                    let village = Value::str(format!("R{r}-D{d}-V{v}"));
+                    // Each village has a rainfall level; severity tracks
+                    // (10 - rainfall/100) with per-year shocks.
+                    let rain = rng.uniform_range(100.0, 900.0);
+                    rainfall.insert(village.clone(), rain);
+                    villages.push((region.clone(), district.clone(), village.clone(), rain));
+                }
+            }
+        }
+        for year in 0..config.years {
+            let year_v = Value::int(1984 + year as i64);
+            let year_shock = rng.normal(0.0, 0.8);
+            for (region, district, village, rain) in &villages {
+                let base = (10.0 - rain / 100.0).clamp(1.0, 10.0) + year_shock;
+                for _ in 0..config.reports_per_village {
+                    let sev = (base + rng.normal(0.0, 0.8)).clamp(1.0, 10.0);
+                    relation
+                        .push_row(vec![
+                            region.clone(),
+                            district.clone(),
+                            village.clone(),
+                            year_v.clone(),
+                            Value::float(sev),
+                        ])
+                        .expect("arity");
+                }
+            }
+        }
+
+        // Build a complaint catalogue: a few of each class, scoped to
+        // distinct (district, year) combinations.
+        let mut complaints = Vec::new();
+        let kinds = [
+            FistComplaintKind::VillageMeanLow,
+            FistComplaintKind::VillageMeanHigh,
+            FistComplaintKind::VillageMissing,
+        ];
+        let mut cid = 0usize;
+        for (i, (region, district)) in districts.iter().enumerate().take(9) {
+            let kind = kinds[i % kinds.len()];
+            let year = 1984 + (rng.below(config.years)) as i64;
+            let village = Value::str(format!(
+                "{}-V{}",
+                district.as_str().unwrap(),
+                rng.below(config.villages_per_district)
+            ));
+            let (statistic, too_low) = match kind {
+                FistComplaintKind::VillageMeanLow => (AggregateKind::Mean, true),
+                FistComplaintKind::VillageMeanHigh => (AggregateKind::Mean, false),
+                FistComplaintKind::VillageMissing => (AggregateKind::Count, true),
+                FistComplaintKind::TwoDistrictStd => (AggregateKind::Std, false),
+            };
+            complaints.push(FistComplaint {
+                id: format!("C{cid:02}"),
+                kind,
+                statistic,
+                year,
+                scope_district: district.clone(),
+                true_groups: vec![village],
+                too_low,
+            });
+            cid += 1;
+            let _ = region;
+        }
+        // The Appendix M failure case: two districts of one region drift in
+        // opposite directions, inflating the region-level STD.
+        let region0 = Value::str("Region0");
+        let d_a = Value::str("R0-D0");
+        let d_b = Value::str("R0-D1");
+        complaints.push(FistComplaint {
+            id: format!("C{cid:02}"),
+            kind: FistComplaintKind::TwoDistrictStd,
+            statistic: AggregateKind::Std,
+            year: 1984,
+            scope_district: region0,
+            true_groups: vec![d_a, d_b],
+            too_low: false,
+        });
+
+        FistCaseStudy {
+            schema,
+            clean: Arc::new(relation),
+            rainfall,
+            complaints,
+        }
+    }
+
+    /// Corrupted relation for one complaint.
+    pub fn corrupted_relation(&self, complaint: &FistComplaint, seed: u64) -> Arc<Relation> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut out = (*self.clean).clone();
+        let village = self.schema.attr("village").unwrap();
+        let district = self.schema.attr("district").unwrap();
+        let year = self.schema.attr("year").unwrap();
+        let severity = self.schema.attr("severity").unwrap();
+        let year_v = Value::int(complaint.year);
+        let shift = |rel: &mut Relation, attr, value: &Value, delta: f64| {
+            for r in 0..rel.len() {
+                if rel.value(r, attr) == value && rel.value(r, year) == &year_v {
+                    let v = rel.value(r, severity).as_f64_or_zero();
+                    rel.set_value(r, severity, Value::float((v + delta).clamp(1.0, 10.0)));
+                }
+            }
+        };
+        match complaint.kind {
+            FistComplaintKind::VillageMeanLow => {
+                shift(&mut out, village, &complaint.true_groups[0], -4.0);
+            }
+            FistComplaintKind::VillageMeanHigh => {
+                shift(&mut out, village, &complaint.true_groups[0], 4.0);
+            }
+            FistComplaintKind::VillageMissing => {
+                let rows: Vec<usize> = out.filter_indices(|r| {
+                    out.value(r, village) == &complaint.true_groups[0]
+                        && out.value(r, year) == &year_v
+                });
+                let drop = rng.choose_indices(rows.len(), rows.len() / 2);
+                let drop_set: Vec<usize> = drop.iter().map(|i| rows[*i]).collect();
+                let keep: Vec<usize> =
+                    (0..out.len()).filter(|r| !drop_set.contains(r)).collect();
+                out = out.take(&keep);
+            }
+            FistComplaintKind::TwoDistrictStd => {
+                shift(&mut out, district, &complaint.true_groups[0], 3.0);
+                shift(&mut out, district, &complaint.true_groups[1], -3.0);
+            }
+        }
+        Arc::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reptile_relational::{GroupKey, Predicate, View};
+
+    #[test]
+    fn panel_shape_and_rainfall_correlation() {
+        let config = FistConfig::default();
+        let cs = FistCaseStudy::generate(config);
+        let expected_rows = config.regions
+            * config.districts_per_region
+            * config.villages_per_district
+            * config.years
+            * config.reports_per_village;
+        assert_eq!(cs.clean.len(), expected_rows);
+        assert_eq!(
+            cs.rainfall.len(),
+            config.regions * config.districts_per_region * config.villages_per_district
+        );
+        // severity and rainfall should be negatively correlated across villages
+        let s = cs.schema.clone();
+        let view = View::compute(
+            cs.clean.clone(),
+            Predicate::all(),
+            vec![s.attr("village").unwrap()],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let mut sev = Vec::new();
+        let mut rain = Vec::new();
+        for (key, agg) in view.groups() {
+            sev.push(agg.mean());
+            rain.push(cs.rainfall[&key.values()[0]]);
+        }
+        let r = crate::rng::pearson(&sev, &rain);
+        assert!(r < -0.8, "correlation {r}");
+    }
+
+    #[test]
+    fn complaints_cover_all_kinds() {
+        let cs = FistCaseStudy::generate(FistConfig::default());
+        assert!(cs.complaints.len() >= 10);
+        for kind in [
+            FistComplaintKind::VillageMeanLow,
+            FistComplaintKind::VillageMeanHigh,
+            FistComplaintKind::VillageMissing,
+            FistComplaintKind::TwoDistrictStd,
+        ] {
+            assert!(cs.complaints.iter().any(|c| c.kind == kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn corruption_shifts_the_target_village() {
+        let cs = FistCaseStudy::generate(FistConfig::default());
+        let complaint = cs
+            .complaints
+            .iter()
+            .find(|c| c.kind == FistComplaintKind::VillageMeanLow)
+            .unwrap();
+        let corrupted = cs.corrupted_relation(complaint, 1);
+        let s = cs.schema.clone();
+        let year_pred = Predicate::eq(s.attr("year").unwrap(), Value::int(complaint.year));
+        let mean_of = |rel: &Arc<Relation>| -> f64 {
+            let view = View::compute(
+                rel.clone(),
+                year_pred.clone(),
+                vec![s.attr("village").unwrap()],
+                s.attr("severity").unwrap(),
+            )
+            .unwrap();
+            view.group(&GroupKey(vec![complaint.true_groups[0].clone()]))
+                .unwrap()
+                .mean()
+        };
+        assert!(mean_of(&corrupted) < mean_of(&cs.clean) - 1.0);
+    }
+
+    #[test]
+    fn two_district_std_case_inflates_region_std() {
+        let cs = FistCaseStudy::generate(FistConfig::default());
+        let complaint = cs
+            .complaints
+            .iter()
+            .find(|c| c.kind == FistComplaintKind::TwoDistrictStd)
+            .unwrap();
+        let corrupted = cs.corrupted_relation(complaint, 2);
+        let s = cs.schema.clone();
+        let std_of = |rel: &Arc<Relation>| -> f64 {
+            let view = View::compute(
+                rel.clone(),
+                Predicate::eq(s.attr("year").unwrap(), Value::int(complaint.year)),
+                vec![s.attr("region").unwrap()],
+                s.attr("severity").unwrap(),
+            )
+            .unwrap();
+            view.group(&GroupKey(vec![Value::str("Region0")]))
+                .unwrap()
+                .std()
+        };
+        assert!(std_of(&corrupted) > std_of(&cs.clean) + 0.3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Synthetic hierarchical structures for the performance experiments
+//! (Section 5.1, Figures 7–9 and 15).
+//!
+//! The runtime benchmarks only need the *shape* of the data — `d` hierarchies
+//! with `t` attributes of cardinality `w` each — so this module builds
+//! [`Factorization`]s (and matching [`FeatureMap`]s) directly, without going
+//! through a relation.
+
+use reptile_factor::{Factorization, FeatureMap, HierarchyFactor};
+use reptile_relational::{AttrId, Value};
+
+/// Build one synthetic hierarchy with `levels` attributes and `leaf_count`
+/// leaf paths. `fanout = 1` gives the paper's default shape where every level
+/// has the same cardinality as the leaves (a chain); `fanout > 1` gives a
+/// proper tree where each parent has `fanout` children.
+pub fn synthetic_hierarchy(
+    name: &str,
+    first_attr: usize,
+    levels: usize,
+    leaf_count: usize,
+    fanout: usize,
+) -> HierarchyFactor {
+    assert!(levels >= 1 && leaf_count >= 1 && fanout >= 1);
+    let attrs: Vec<AttrId> = (0..levels).map(|i| AttrId(first_attr + i)).collect();
+    let mut paths = Vec::with_capacity(leaf_count);
+    for leaf in 0..leaf_count {
+        let mut path = Vec::with_capacity(levels);
+        for level in 0..levels {
+            // Ancestor index at this level: leaves are grouped into blocks of
+            // size fanout^(levels-1-level).
+            let block = fanout.pow((levels - 1 - level) as u32).max(1);
+            let idx = leaf / block;
+            path.push(Value::str(format!("{name}-L{level}-{idx:06}")));
+        }
+        paths.push(path);
+    }
+    HierarchyFactor::from_paths(name, attrs, paths)
+}
+
+/// Build a factorisation with `d` hierarchies of `t` attributes each, every
+/// attribute having `w` distinct values (the paper's default synthetic
+/// setup), plus an indexed feature map with deterministic pseudo-random
+/// feature values.
+pub fn synthetic_factorization(d: usize, t: usize, w: usize) -> (Factorization, FeatureMap) {
+    synthetic_factorization_with_fanout(d, t, w, 1)
+}
+
+/// Like [`synthetic_factorization`] but with a per-level fanout, producing
+/// `w` leaves per hierarchy with `fanout` children per parent.
+pub fn synthetic_factorization_with_fanout(
+    d: usize,
+    t: usize,
+    w: usize,
+    fanout: usize,
+) -> (Factorization, FeatureMap) {
+    let hierarchies: Vec<HierarchyFactor> = (0..d)
+        .map(|h| synthetic_hierarchy(&format!("H{h}"), h * t, t, w, fanout))
+        .collect();
+    let fact = Factorization::new(hierarchies);
+    let mut features = FeatureMap::zeros(fact.n_cols());
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    for c in 0..fact.n_cols() {
+        let pos = fact.position(c);
+        for (v, _) in fact.hierarchies()[pos.hierarchy].level_runs(pos.level) {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let f = ((seed >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0;
+            features.set(c, v, f);
+        }
+    }
+    (fact, features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_hierarchy_has_requested_cardinalities() {
+        let h = synthetic_hierarchy("A", 0, 3, 10, 1);
+        assert_eq!(h.depth(), 3);
+        assert_eq!(h.leaf_count(), 10);
+        // fanout 1 -> every level has 10 distinct values
+        for level in 0..3 {
+            assert_eq!(h.cardinality(level), 10);
+        }
+    }
+
+    #[test]
+    fn tree_hierarchy_respects_fanout() {
+        let h = synthetic_hierarchy("A", 0, 3, 27, 3);
+        assert_eq!(h.leaf_count(), 27);
+        assert_eq!(h.cardinality(0), 3);
+        assert_eq!(h.cardinality(1), 9);
+        assert_eq!(h.cardinality(2), 27);
+        // every level-1 value has exactly 3 leaf descendants
+        for (v, _) in h.level_runs(1) {
+            assert_eq!(h.descendant_leaves(1, &v), 3);
+        }
+    }
+
+    #[test]
+    fn factorization_shape_is_exponential_in_d() {
+        let (fact, features) = synthetic_factorization(3, 2, 4);
+        assert_eq!(fact.n_cols(), 6);
+        assert_eq!(fact.n_rows(), 4usize.pow(3));
+        assert_eq!(features.n_cols(), 6);
+        // feature values are registered for every domain value
+        for c in 0..fact.n_cols() {
+            let pos = fact.position(c);
+            for (v, _) in fact.hierarchies()[pos.hierarchy].level_runs(pos.level) {
+                assert!(features.value(c, &v).abs() <= 1.0);
+                assert_ne!(features.value(c, &v), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_default_shape() {
+        // Figure 7: d hierarchies, one attribute each, w = 10 -> X is 10^d x d
+        let (fact, _) = synthetic_factorization(4, 1, 10);
+        assert_eq!(fact.n_rows(), 10_000);
+        assert_eq!(fact.n_cols(), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Deterministic random number utilities for the simulators.
+//!
+//! Wraps `rand`'s `StdRng` with the small set of distributions the workload
+//! generators need (uniform, normal via Box–Muller, integer ranges), so the
+//! rest of the crate never depends on distribution crates outside the allowed
+//! dependency set.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded random generator used by every simulator.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create from a seed (all workloads are reproducible given their seed).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..n)
+        }
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1: f64 = self.uniform().max(1e-12);
+        let u2: f64 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.standard_normal()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Choose `k` distinct indices from `0..n`.
+    pub fn choose_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx.truncate(k.min(n));
+        idx
+    }
+}
+
+/// Pearson correlation of two equally long slices.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len().min(b.len()) as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 0.0 || vb <= 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn normal_has_roughly_correct_moments() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn below_and_choose_indices_are_in_range() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(rng.below(10) < 10);
+        }
+        assert_eq!(rng.below(0), 0);
+        let chosen = rng.choose_indices(20, 5);
+        assert_eq!(chosen.len(), 5);
+        let mut sorted = chosen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+        assert!(sorted.iter().all(|i| *i < 20));
+        assert_eq!(rng.choose_indices(3, 10).len(), 3);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_and_no_correlation() {
+        let a: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let b: Vec<f64> = a.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-9);
+        let c: Vec<f64> = a.iter().map(|x| -x).collect();
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Synthetic accuracy workload (Section 5.2, Figures 11 and 12).
+//!
+//! One dimension attribute with `groups` unique values (default 100); the
+//! number of rows per group is drawn from `N(100, 20)` and each measure value
+//! from `N(100, 20)`. For every aggregate statistic an auxiliary table is
+//! generated whose measure is correlated (`rho`) with the clean per-group
+//! statistic. One or more groups are then corrupted with the error classes of
+//! [`crate::errors`], and the injected ground truth is recorded.
+
+use crate::correlate::correlated_with;
+use crate::errors::{inject_all, ErrorKind, InjectedError};
+use crate::rng::SimRng;
+use reptile_relational::{
+    AggState, AggregateKind, AttrId, Predicate, Relation, Schema, Value, View,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Number of groups (unique dimension values).
+    pub groups: usize,
+    /// Mean / std of the per-group row count.
+    pub rows_mean: f64,
+    /// Standard deviation of the per-group row count.
+    pub rows_std: f64,
+    /// Mean / std of the measure values.
+    pub value_mean: f64,
+    /// Standard deviation of the measure values.
+    pub value_std: f64,
+    /// Correlation of the auxiliary tables with the clean statistics.
+    pub rho: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            groups: 100,
+            rows_mean: 100.0,
+            rows_std: 20.0,
+            value_mean: 100.0,
+            value_std: 20.0,
+            rho: 0.8,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated synthetic dataset plus its auxiliary tables and clean
+/// per-group statistics.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// The clean relation.
+    pub relation: Arc<Relation>,
+    /// Shared schema (`dim` hierarchy with attribute `g`, measure `m`).
+    pub schema: Arc<Schema>,
+    /// The group attribute.
+    pub group_attr: AttrId,
+    /// The measure attribute.
+    pub measure: AttrId,
+    /// Auxiliary measure correlated with the clean COUNT of each group.
+    pub aux_count: BTreeMap<Value, f64>,
+    /// Auxiliary measure correlated with the clean MEAN of each group.
+    pub aux_mean: BTreeMap<Value, f64>,
+    /// Auxiliary measure correlated with the clean STD of each group.
+    pub aux_std: BTreeMap<Value, f64>,
+    /// Clean per-group aggregate states (the ground truth before corruption).
+    pub clean_stats: BTreeMap<Value, AggState>,
+}
+
+impl SyntheticDataset {
+    /// Generate a clean dataset.
+    pub fn generate(config: SyntheticConfig) -> Self {
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("dim", ["g"])
+                .measure("m")
+                .build()
+                .unwrap(),
+        );
+        let mut relation = Relation::empty(schema.clone());
+        let group_values: Vec<Value> = (0..config.groups)
+            .map(|i| Value::str(format!("g{i:04}")))
+            .collect();
+        let mut clean_stats: BTreeMap<Value, AggState> = BTreeMap::new();
+        for g in &group_values {
+            let rows = rng
+                .normal(config.rows_mean, config.rows_std)
+                .round()
+                .max(5.0) as usize;
+            let mut agg = AggState::empty();
+            for _ in 0..rows {
+                let v = rng.normal(config.value_mean, config.value_std);
+                agg.push(v);
+                relation
+                    .push_row(vec![g.clone(), Value::float(v)])
+                    .expect("arity");
+            }
+            clean_stats.insert(g.clone(), agg);
+        }
+        // Auxiliary tables correlated with each clean statistic.
+        let aux_for = |kind: AggregateKind, rng: &mut SimRng| -> BTreeMap<Value, f64> {
+            let targets: Vec<f64> = group_values
+                .iter()
+                .map(|g| clean_stats[g].value(kind))
+                .collect();
+            let aux = correlated_with(&targets, config.rho, 50.0, 10.0, rng);
+            group_values.iter().cloned().zip(aux).collect()
+        };
+        let aux_count = aux_for(AggregateKind::Count, &mut rng);
+        let aux_mean = aux_for(AggregateKind::Mean, &mut rng);
+        let aux_std = aux_for(AggregateKind::Std, &mut rng);
+        let group_attr = schema.attr("g").unwrap();
+        let measure = schema.attr("m").unwrap();
+        SyntheticDataset {
+            relation: Arc::new(relation),
+            schema,
+            group_attr,
+            measure,
+            aux_count,
+            aux_mean,
+            aux_std,
+            clean_stats,
+        }
+    }
+
+    /// The auxiliary table matching a complained statistic.
+    pub fn aux_for(&self, kind: AggregateKind) -> &BTreeMap<Value, f64> {
+        match kind {
+            AggregateKind::Count => &self.aux_count,
+            AggregateKind::Std | AggregateKind::Var => &self.aux_std,
+            _ => &self.aux_mean,
+        }
+    }
+
+    /// Corrupt distinct randomly chosen groups with the given error kinds.
+    /// Each `(kind, is_target)` pair corrupts one group; returns the corrupted
+    /// relation and the injected ground truth (in the same order).
+    pub fn corrupt(
+        &self,
+        kinds: &[(ErrorKind, bool)],
+        rng: &mut SimRng,
+    ) -> (Arc<Relation>, Vec<InjectedError>) {
+        let group_values: Vec<Value> = self.clean_stats.keys().cloned().collect();
+        let chosen = rng.choose_indices(group_values.len(), kinds.len());
+        let errors: Vec<InjectedError> = kinds
+            .iter()
+            .zip(&chosen)
+            .map(|((kind, is_target), idx)| InjectedError {
+                attr: self.group_attr,
+                group: group_values[*idx].clone(),
+                kind: *kind,
+                is_target: *is_target,
+            })
+            .collect();
+        let corrupted = inject_all(&self.relation, self.measure, &errors, rng);
+        (Arc::new(corrupted), errors)
+    }
+
+    /// Clean per-group view (useful for assertions and baselines).
+    pub fn clean_view(&self) -> View {
+        View::compute(
+            self.relation.clone(),
+            Predicate::all(),
+            vec![self.group_attr],
+            self.measure,
+        )
+        .expect("clean view")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_matches_configuration() {
+        let config = SyntheticConfig {
+            groups: 20,
+            seed: 3,
+            ..Default::default()
+        };
+        let data = SyntheticDataset::generate(config);
+        assert_eq!(data.clean_stats.len(), 20);
+        assert_eq!(data.aux_count.len(), 20);
+        let view = data.clean_view();
+        assert_eq!(view.len(), 20);
+        // group sizes follow N(100, 20) roughly
+        let counts: Vec<f64> = view.groups().map(|(_, a)| a.count()).collect();
+        let mean = counts.iter().sum::<f64>() / counts.len() as f64;
+        assert!(mean > 70.0 && mean < 130.0, "mean group size {mean}");
+        // clean stats agree with the view
+        for (key, agg) in view.groups() {
+            let clean = &data.clean_stats[&key.values()[0]];
+            assert!((clean.mean() - agg.mean()).abs() < 1e-9);
+            assert!((clean.count() - agg.count()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn aux_tables_are_correlated_with_their_statistic() {
+        let config = SyntheticConfig {
+            groups: 200,
+            rho: 0.9,
+            seed: 11,
+            ..Default::default()
+        };
+        let data = SyntheticDataset::generate(config);
+        let groups: Vec<Value> = data.clean_stats.keys().cloned().collect();
+        let counts: Vec<f64> = groups.iter().map(|g| data.clean_stats[g].count()).collect();
+        let aux: Vec<f64> = groups.iter().map(|g| data.aux_count[g]).collect();
+        let r = crate::rng::pearson(&counts, &aux);
+        assert!(r > 0.8, "correlation {r}");
+        assert!(std::ptr::eq(data.aux_for(AggregateKind::Count), &data.aux_count));
+        assert!(std::ptr::eq(data.aux_for(AggregateKind::Std), &data.aux_std));
+        assert!(std::ptr::eq(data.aux_for(AggregateKind::Sum), &data.aux_mean));
+    }
+
+    #[test]
+    fn corruption_changes_only_chosen_groups() {
+        let config = SyntheticConfig {
+            groups: 30,
+            seed: 5,
+            ..Default::default()
+        };
+        let data = SyntheticDataset::generate(config);
+        let mut rng = SimRng::seed_from_u64(99);
+        let (corrupted, errors) = data.corrupt(
+            &[(ErrorKind::MissingRecords, true), (ErrorKind::IncreaseValues(5.0), false)],
+            &mut rng,
+        );
+        assert_eq!(errors.len(), 2);
+        assert_ne!(errors[0].group, errors[1].group);
+        assert!(errors[0].is_target);
+        assert!(!errors[1].is_target);
+        let view = View::compute(
+            corrupted.clone(),
+            Predicate::all(),
+            vec![data.group_attr],
+            data.measure,
+        )
+        .unwrap();
+        // the missing-records group lost about half its rows
+        let key = reptile_relational::GroupKey(vec![errors[0].group.clone()]);
+        let clean_count = data.clean_stats[&errors[0].group].count();
+        let corrupted_count = view.group(&key).unwrap().count();
+        assert!(corrupted_count < clean_count * 0.75);
+        // an untouched group is unchanged
+        let untouched = data
+            .clean_stats
+            .keys()
+            .find(|g| **g != errors[0].group && **g != errors[1].group)
+            .unwrap();
+        let key = reptile_relational::GroupKey(vec![untouched.clone()]);
+        assert_eq!(
+            view.group(&key).unwrap().count(),
+            data.clean_stats[untouched].count()
+        );
+    }
+}

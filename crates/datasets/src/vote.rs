@@ -1,0 +1,170 @@
+//! Simulated US presidential election dataset (Appendix K "Vote" and the
+//! Georgia case study of Appendix N, Figure 18).
+//!
+//! One geography hierarchy (state → county), a 2020 vote-share measure and a
+//! 2020 total-votes measure, plus auxiliary 2016 per-county results that are
+//! strongly predictive of 2020. The Georgia case study injects missing
+//! records (halved totals) into selected counties.
+
+use crate::correlate::correlated_with;
+use crate::rng::SimRng;
+use reptile_relational::{Relation, Schema, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Configuration of the simulated election data.
+#[derive(Debug, Clone, Copy)]
+pub struct VoteConfig {
+    /// Number of states.
+    pub states: usize,
+    /// Counties per state.
+    pub counties_per_state: usize,
+    /// Correlation between 2016 and 2020 county shares.
+    pub year_correlation: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VoteConfig {
+    fn default() -> Self {
+        VoteConfig {
+            states: 10,
+            counties_per_state: 30,
+            year_correlation: 0.95,
+            seed: 33,
+        }
+    }
+}
+
+/// The simulated dataset.
+#[derive(Debug, Clone)]
+pub struct VoteDataset {
+    /// Schema: hierarchy `geo = [state, county]`, measures `share_2020`
+    /// (percentage of votes for the candidate) and `total_votes`.
+    pub schema: Arc<Schema>,
+    /// One row per county.
+    pub relation: Arc<Relation>,
+    /// Auxiliary 2016 share per county.
+    pub share_2016: BTreeMap<Value, f64>,
+    /// Auxiliary 2016 total votes per county.
+    pub totals_2016: BTreeMap<Value, f64>,
+}
+
+impl VoteDataset {
+    /// Generate the dataset.
+    pub fn generate(config: VoteConfig) -> Self {
+        let mut rng = SimRng::seed_from_u64(config.seed);
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["state", "county"])
+                .measure("share_2020")
+                .measure("total_votes")
+                .build()
+                .unwrap(),
+        );
+        // Underlying county lean: state-level mean plus county noise.
+        let mut counties = Vec::new();
+        let mut lean = Vec::new();
+        let mut sizes = Vec::new();
+        for s in 0..config.states {
+            let state_lean = rng.uniform_range(30.0, 70.0);
+            for c in 0..config.counties_per_state {
+                counties.push((
+                    Value::str(format!("State{s:02}")),
+                    Value::str(format!("S{s:02}-C{c:03}")),
+                ));
+                lean.push((state_lean + rng.normal(0.0, 8.0)).clamp(5.0, 95.0));
+                sizes.push((rng.uniform_range(3.0, 12.0)).exp2() * 1000.0);
+            }
+        }
+        // 2016 share correlated with the county lean; 2020 share = lean + swing.
+        let share_2016_vec = correlated_with(&lean, config.year_correlation, 50.0, 15.0, &mut rng);
+        let mut relation = Relation::empty(schema.clone());
+        let mut share_2016 = BTreeMap::new();
+        let mut totals_2016 = BTreeMap::new();
+        for (i, (state, county)) in counties.iter().enumerate() {
+            let share20 = (lean[i] + rng.normal(-1.0, 2.0)).clamp(1.0, 99.0);
+            let total20 = (sizes[i] * rng.uniform_range(0.9, 1.2)).round();
+            relation
+                .push_row(vec![
+                    state.clone(),
+                    county.clone(),
+                    Value::float(share20),
+                    Value::float(total20),
+                ])
+                .expect("arity");
+            share_2016.insert(county.clone(), share_2016_vec[i].clamp(1.0, 99.0));
+            totals_2016.insert(county.clone(), sizes[i].round());
+        }
+        VoteDataset {
+            schema,
+            relation: Arc::new(relation),
+            share_2016,
+            totals_2016,
+        }
+    }
+
+    /// Inject missing records: halve `total_votes` for the given counties
+    /// (the Figure 18h/i experiment).
+    pub fn with_missing_totals(&self, counties: &[Value]) -> Arc<Relation> {
+        let mut out = (*self.relation).clone();
+        let county = self.schema.attr("county").unwrap();
+        let total = self.schema.attr("total_votes").unwrap();
+        for r in 0..out.len() {
+            if counties.contains(out.value(r, county)) {
+                let v = out.value(r, total).as_f64_or_zero();
+                out.set_value(r, total, Value::float((v * 0.5).round()));
+            }
+        }
+        Arc::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::pearson;
+
+    #[test]
+    fn generates_one_row_per_county() {
+        let config = VoteConfig::default();
+        let data = VoteDataset::generate(config);
+        assert_eq!(
+            data.relation.len(),
+            config.states * config.counties_per_state
+        );
+        assert_eq!(data.share_2016.len(), data.relation.len());
+        assert_eq!(data.totals_2016.len(), data.relation.len());
+    }
+
+    #[test]
+    fn year_to_year_share_is_strongly_correlated() {
+        let data = VoteDataset::generate(VoteConfig::default());
+        let county = data.schema.attr("county").unwrap();
+        let share = data.schema.attr("share_2020").unwrap();
+        let mut s20 = Vec::new();
+        let mut s16 = Vec::new();
+        for r in 0..data.relation.len() {
+            s20.push(data.relation.value(r, share).as_f64_or_zero());
+            s16.push(data.share_2016[data.relation.value(r, county)]);
+        }
+        let r = pearson(&s20, &s16);
+        assert!(r > 0.8, "correlation {r}");
+    }
+
+    #[test]
+    fn missing_totals_halves_selected_counties_only() {
+        let data = VoteDataset::generate(VoteConfig::default());
+        let county_attr = data.schema.attr("county").unwrap();
+        let total_attr = data.schema.attr("total_votes").unwrap();
+        let victim = data.relation.value(0, county_attr).clone();
+        let corrupted = data.with_missing_totals(std::slice::from_ref(&victim));
+        let before = data.relation.value(0, total_attr).as_f64_or_zero();
+        let after = corrupted.value(0, total_attr).as_f64_or_zero();
+        assert!((after - (before * 0.5).round()).abs() < 1e-9);
+        // another county untouched
+        let before1 = data.relation.value(1, total_attr).as_f64_or_zero();
+        let after1 = corrupted.value(1, total_attr).as_f64_or_zero();
+        assert_eq!(before1, after1);
+    }
+}

@@ -1,0 +1,443 @@
+//! Decomposed aggregates `TOTAL`, `COUNT`, `COF` (Section 4.2.1).
+//!
+//! The factorised matrix operations never touch individual rows of the
+//! conceptual matrix. Instead they are expressed over three families of count
+//! aggregates defined on the attribute order `A_n, ..., A_1` (left to right):
+//!
+//! * `TOTAL_A`  — the number of distinct rows of the matrix projected onto
+//!   the columns from `A` rightwards (a single number);
+//! * `COUNT_A[v]` — the same count restricted to rows with `A = v`;
+//! * `COF_{A,B}[a,b]` — the count grouped by both `A` and `B`.
+//!
+//! Within a hierarchy these reduce to descendant-leaf counts; across
+//! hierarchies they factor into products of per-hierarchy counts (the
+//! independence optimisation of Section 4.3), so cross-hierarchy `COF`s are
+//! never materialised. The work-sharing plan of Algorithm 10 corresponds to
+//! computing each hierarchy's per-level tables once, reusing the level below.
+
+use crate::factorization::{AttrPosition, Factorization, HierarchyFactor};
+use reptile_relational::Value;
+use std::collections::BTreeMap;
+
+/// Aggregates local to one hierarchy (independent of the other hierarchies).
+#[derive(Debug, Clone)]
+pub struct HierarchyAggregates {
+    /// Number of distinct leaf paths.
+    pub leaf_count: f64,
+    /// Per level: value -> number of descendant leaf paths.
+    pub desc: Vec<BTreeMap<Value, f64>>,
+    /// Per level: `(value, descendant count)` in path (block) order.
+    pub runs: Vec<Vec<(Value, f64)>>,
+    /// Same-hierarchy `COF` tables for level pairs `(l1, l2)` with `l1 < l2`:
+    /// a list of `(parent value, child value, descendant leaves of child)`.
+    pub cofs: BTreeMap<(usize, usize), Vec<(Value, Value, f64)>>,
+}
+
+impl HierarchyAggregates {
+    /// Compute the per-hierarchy aggregates with work sharing: level `l`'s
+    /// counts are obtained by summing level `l+1`'s counts grouped by parent,
+    /// exactly like the `COUNT_{A_{k+1}} = ⊕ COF_{A_{k+1},A_k}` rewriting of
+    /// Appendix I.
+    pub fn compute(factor: &HierarchyFactor) -> Self {
+        let depth = factor.depth();
+        let leaf_count = factor.leaf_count() as f64;
+        let mut desc: Vec<BTreeMap<Value, f64>> = vec![BTreeMap::new(); depth];
+        let mut runs: Vec<Vec<(Value, f64)>> = vec![Vec::new(); depth];
+
+        if depth > 0 {
+            // Leaf level: every path contributes one leaf.
+            let leaf = depth - 1;
+            for path in &factor.paths {
+                *desc[leaf].entry(path[leaf].clone()).or_insert(0.0) += 1.0;
+            }
+            runs[leaf] = factor
+                .level_runs(leaf)
+                .into_iter()
+                .map(|(v, c)| (v, c as f64))
+                .collect();
+            // Shallower levels reuse the level below (work sharing): a value's
+            // descendant count is the sum of its children's descendant counts.
+            for level in (0..leaf).rev() {
+                let mut map: BTreeMap<Value, f64> = BTreeMap::new();
+                // Walk paths once to attribute child counts to parents.
+                let child_runs = factor.level_runs(level + 1);
+                let mut path_idx = 0usize;
+                for (child, child_leaves) in &child_runs {
+                    let parent = factor.paths[path_idx][level].clone();
+                    *map.entry(parent).or_insert(0.0) += *child_leaves as f64;
+                    path_idx += *child_leaves;
+                    let _ = child;
+                }
+                desc[level] = map;
+                runs[level] = factor
+                    .level_runs(level)
+                    .into_iter()
+                    .map(|(v, c)| (v, c as f64))
+                    .collect();
+            }
+        }
+
+        // Same-hierarchy COF tables for every (shallower, deeper) level pair.
+        let mut cofs = BTreeMap::new();
+        for l1 in 0..depth {
+            for l2 in (l1 + 1)..depth {
+                let mut table: Vec<(Value, Value, f64)> = Vec::new();
+                let mut i = 0usize;
+                while i < factor.paths.len() {
+                    let a = factor.paths[i][l1].clone();
+                    let b = factor.paths[i][l2].clone();
+                    let start = i;
+                    while i < factor.paths.len()
+                        && factor.paths[i][l1] == a
+                        && factor.paths[i][l2] == b
+                    {
+                        i += 1;
+                    }
+                    table.push((a, b, (i - start) as f64));
+                }
+                cofs.insert((l1, l2), table);
+            }
+        }
+
+        HierarchyAggregates {
+            leaf_count,
+            desc,
+            runs,
+            cofs,
+        }
+    }
+}
+
+/// A cross-column `COF` view: either a materialised same-hierarchy table or
+/// an implicit cross-hierarchy product.
+#[derive(Debug)]
+pub enum CofPairs<'a> {
+    /// Same hierarchy: explicit `(a, b, count)` entries (already scaled to
+    /// the global suffix count).
+    Materialized(Vec<(&'a Value, &'a Value, f64)>),
+    /// Different hierarchies: `COF[a,b] = left[a] * right[b] * scale`, never
+    /// materialised.
+    Independent {
+        /// descendant counts for the left column's hierarchy
+        left: &'a BTreeMap<Value, f64>,
+        /// descendant counts for the right column's hierarchy
+        right: &'a BTreeMap<Value, f64>,
+        /// global scaling factor
+        scale: f64,
+    },
+}
+
+/// All decomposed aggregates of a [`Factorization`].
+#[derive(Debug, Clone)]
+pub struct DecomposedAggregates {
+    positions: Vec<AttrPosition>,
+    per_hierarchy: Vec<HierarchyAggregates>,
+    leaf_counts: Vec<f64>,
+}
+
+impl DecomposedAggregates {
+    /// Compute the aggregates for every column of `fact`.
+    pub fn compute(fact: &Factorization) -> Self {
+        let per_hierarchy: Vec<HierarchyAggregates> = fact
+            .hierarchies()
+            .iter()
+            .map(HierarchyAggregates::compute)
+            .collect();
+        Self::from_parts(fact, per_hierarchy)
+    }
+
+    /// Assemble from precomputed per-hierarchy aggregates (used by the
+    /// drill-down cache, which recomputes only the drilled hierarchy).
+    pub fn from_parts(fact: &Factorization, per_hierarchy: Vec<HierarchyAggregates>) -> Self {
+        let positions = (0..fact.n_cols()).map(|c| fact.position(c)).collect();
+        let leaf_counts = per_hierarchy.iter().map(|h| h.leaf_count).collect();
+        DecomposedAggregates {
+            positions,
+            per_hierarchy,
+            leaf_counts,
+        }
+    }
+
+    /// Per-hierarchy aggregates (exposed for the drill-down cache).
+    pub fn per_hierarchy(&self) -> &[HierarchyAggregates] {
+        &self.per_hierarchy
+    }
+
+    /// Number of columns covered.
+    pub fn n_cols(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of hierarchies covered.
+    pub fn n_hierarchies(&self) -> usize {
+        self.per_hierarchy.len()
+    }
+
+    fn pos(&self, column: usize) -> AttrPosition {
+        self.positions[column]
+    }
+
+    /// Product of leaf counts of hierarchies strictly after `h`.
+    fn later_product(&self, h: usize) -> f64 {
+        self.leaf_counts[h + 1..].iter().product()
+    }
+
+    /// Product of leaf counts of hierarchies strictly before `h`.
+    fn earlier_product(&self, h: usize) -> f64 {
+        self.leaf_counts[..h].iter().product()
+    }
+
+    /// `TOTAL` over the whole matrix: the number of conceptual rows.
+    pub fn grand_total(&self) -> f64 {
+        self.leaf_counts.iter().product()
+    }
+
+    /// `TOTAL_A` for the column at `column`.
+    pub fn total(&self, column: usize) -> f64 {
+        let p = self.pos(column);
+        self.per_hierarchy[p.hierarchy].leaf_count * self.later_product(p.hierarchy)
+    }
+
+    /// How many times the suffix pattern starting at `column` repeats in the
+    /// matrix, i.e. `TOTAL_{A_first} / TOTAL_A`.
+    pub fn repetitions(&self, column: usize) -> f64 {
+        let p = self.pos(column);
+        self.earlier_product(p.hierarchy)
+    }
+
+    /// `COUNT_A[v]` for the column at `column`.
+    pub fn count(&self, column: usize, value: &Value) -> f64 {
+        let p = self.pos(column);
+        let desc = self.per_hierarchy[p.hierarchy].desc[p.level]
+            .get(value)
+            .copied()
+            .unwrap_or(0.0);
+        desc * self.later_product(p.hierarchy)
+    }
+
+    /// All `COUNT_A` entries, sorted by value.
+    pub fn counts(&self, column: usize) -> Vec<(Value, f64)> {
+        let p = self.pos(column);
+        let scale = self.later_product(p.hierarchy);
+        self.per_hierarchy[p.hierarchy].desc[p.level]
+            .iter()
+            .map(|(v, c)| (v.clone(), c * scale))
+            .collect()
+    }
+
+    /// `COUNT_A` entries in *block (path) order* together with their counts,
+    /// which is the order in which the values appear inside one repetition of
+    /// the suffix pattern — exactly what the factorised left multiplication
+    /// iterates over.
+    pub fn block_runs(&self, column: usize) -> Vec<(Value, f64)> {
+        let p = self.pos(column);
+        let scale = self.later_product(p.hierarchy);
+        self.per_hierarchy[p.hierarchy].runs[p.level]
+            .iter()
+            .map(|(v, c)| (v.clone(), c * scale))
+            .collect()
+    }
+
+    /// The `COF` view for two columns `left < right` in attribute order.
+    pub fn cof(&self, left: usize, right: usize) -> CofPairs<'_> {
+        assert!(left < right, "cof requires left < right column order");
+        let lp = self.pos(left);
+        let rp = self.pos(right);
+        if lp.hierarchy == rp.hierarchy {
+            let scale = self.later_product(lp.hierarchy);
+            let table = &self.per_hierarchy[lp.hierarchy].cofs[&(lp.level, rp.level)];
+            CofPairs::Materialized(
+                table
+                    .iter()
+                    .map(|(a, b, c)| (a, b, c * scale))
+                    .collect(),
+            )
+        } else {
+            // COF[a,b] = desc_left[a] * desc_right[b] * Π leaf counts of the
+            // hierarchies after `left`'s, excluding `right`'s.
+            CofPairs::Independent {
+                left: &self.per_hierarchy[lp.hierarchy].desc[lp.level],
+                right: &self.per_hierarchy[rp.hierarchy].desc[rp.level],
+                scale: self.later_product(lp.hierarchy) / self.leaf_counts[rp.hierarchy],
+            }
+        }
+    }
+
+    /// `Σ_{a,b} COF_{A,B}[a,b] · f(a) · g(b)` — the weighted pair sum that the
+    /// gram-matrix operator needs. Cross-hierarchy pairs use the independence
+    /// factorisation and never materialise the product.
+    pub fn cof_weighted_sum(
+        &self,
+        left: usize,
+        right: usize,
+        f: impl Fn(&Value) -> f64,
+        g: impl Fn(&Value) -> f64,
+    ) -> f64 {
+        match self.cof(left, right) {
+            CofPairs::Materialized(entries) => entries
+                .iter()
+                .map(|(a, b, c)| c * f(a) * g(b))
+                .sum(),
+            CofPairs::Independent { left, right, scale } => {
+                let ls: f64 = left.iter().map(|(a, c)| c * f(a)).sum();
+                let rs: f64 = right.iter().map(|(b, c)| c * g(b)).sum();
+                ls * rs * scale
+            }
+        }
+    }
+
+    /// `Σ_a COUNT_A[a] · f(a)²` plus the repetition factor — used for the
+    /// diagonal of the gram matrix.
+    pub fn count_weighted_sum(&self, column: usize, f: impl Fn(&Value) -> f64) -> f64 {
+        self.counts(column).iter().map(|(v, c)| c * f(v)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factorization::HierarchyFactor;
+    use reptile_relational::AttrId;
+
+    fn paper_example() -> Factorization {
+        let time = HierarchyFactor::from_paths(
+            "time",
+            vec![AttrId(0)],
+            vec![vec![Value::str("t1")], vec![Value::str("t2")]],
+        );
+        let geo = HierarchyFactor::from_paths(
+            "geo",
+            vec![AttrId(1), AttrId(2)],
+            vec![
+                vec![Value::str("d1"), Value::str("v1")],
+                vec![Value::str("d1"), Value::str("v2")],
+                vec![Value::str("d2"), Value::str("v3")],
+            ],
+        );
+        Factorization::new(vec![time, geo])
+    }
+
+    /// Reference implementation: compute TOTAL/COUNT/COF by brute force over
+    /// the materialised matrix and compare.
+    fn brute_force_check(fact: &Factorization) {
+        let aggs = DecomposedAggregates::compute(fact);
+        let rows = fact.materialize_values();
+        let m = fact.n_cols();
+        for p in 0..m {
+            // TOTAL_p: distinct suffixes from p onward.
+            let mut suffixes: Vec<Vec<Value>> = rows.iter().map(|r| r[p..].to_vec()).collect();
+            suffixes.sort();
+            suffixes.dedup();
+            assert_eq!(aggs.total(p), suffixes.len() as f64, "TOTAL col {p}");
+            assert_eq!(
+                aggs.repetitions(p),
+                rows.len() as f64 / suffixes.len() as f64,
+                "repetitions col {p}"
+            );
+            // COUNT_p[v]
+            let mut counts: BTreeMap<Value, f64> = BTreeMap::new();
+            for s in &suffixes {
+                *counts.entry(s[0].clone()).or_insert(0.0) += 1.0;
+            }
+            for (v, c) in &counts {
+                assert_eq!(aggs.count(p, v), *c, "COUNT col {p} value {v}");
+            }
+            assert_eq!(aggs.counts(p).len(), counts.len());
+            let run_total: f64 = aggs.block_runs(p).iter().map(|(_, c)| c).sum();
+            assert_eq!(run_total, suffixes.len() as f64);
+            // COF_(p,q)
+            for q in (p + 1)..m {
+                let mut cof: BTreeMap<(Value, Value), f64> = BTreeMap::new();
+                for s in &suffixes {
+                    *cof.entry((s[0].clone(), s[q - p].clone())).or_insert(0.0) += 1.0;
+                }
+                for ((a, b), c) in &cof {
+                    let sum = aggs.cof_weighted_sum(
+                        p,
+                        q,
+                        |x| if x == a { 1.0 } else { 0.0 },
+                        |x| if x == b { 1.0 } else { 0.0 },
+                    );
+                    assert!((sum - c).abs() < 1e-9, "COF ({p},{q}) [{a},{b}]");
+                }
+            }
+        }
+        assert_eq!(aggs.grand_total(), rows.len() as f64);
+    }
+
+    #[test]
+    fn paper_example_matches_brute_force() {
+        brute_force_check(&paper_example());
+    }
+
+    #[test]
+    fn three_hierarchies_match_brute_force() {
+        let a = HierarchyFactor::from_paths(
+            "a",
+            vec![AttrId(0), AttrId(1)],
+            vec![
+                vec![Value::int(1), Value::int(11)],
+                vec![Value::int(1), Value::int(12)],
+                vec![Value::int(2), Value::int(21)],
+                vec![Value::int(2), Value::int(22)],
+                vec![Value::int(2), Value::int(23)],
+            ],
+        );
+        let b = HierarchyFactor::from_paths(
+            "b",
+            vec![AttrId(2)],
+            vec![vec![Value::int(100)], vec![Value::int(200)], vec![Value::int(300)]],
+        );
+        let c = HierarchyFactor::from_paths(
+            "c",
+            vec![AttrId(3), AttrId(4)],
+            vec![
+                vec![Value::str("x"), Value::str("x1")],
+                vec![Value::str("y"), Value::str("y1")],
+                vec![Value::str("y"), Value::str("y2")],
+            ],
+        );
+        brute_force_check(&Factorization::new(vec![a, b, c]));
+    }
+
+    #[test]
+    fn paper_figure4_counts() {
+        // Figure 4 of the paper: with order (T, D, V),
+        // TOTAL_T = 6 (all rows), TOTAL_D = TOTAL_V = 3 (geo suffixes).
+        let f = paper_example();
+        let aggs = DecomposedAggregates::compute(&f);
+        assert_eq!(aggs.grand_total(), 6.0);
+        assert_eq!(aggs.total(0), 6.0);
+        assert_eq!(aggs.total(1), 3.0);
+        assert_eq!(aggs.total(2), 3.0);
+        assert_eq!(aggs.count(0, &Value::str("t1")), 3.0);
+        assert_eq!(aggs.count(1, &Value::str("d1")), 2.0);
+        assert_eq!(aggs.count(1, &Value::str("d2")), 1.0);
+        assert_eq!(aggs.count(2, &Value::str("v2")), 1.0);
+        assert_eq!(aggs.count(1, &Value::str("missing")), 0.0);
+        assert_eq!(aggs.repetitions(1), 2.0);
+        assert_eq!(aggs.repetitions(0), 1.0);
+    }
+
+    #[test]
+    fn independent_cof_is_not_materialized() {
+        let f = paper_example();
+        let aggs = DecomposedAggregates::compute(&f);
+        match aggs.cof(0, 1) {
+            CofPairs::Independent { scale, .. } => assert_eq!(scale, 1.0),
+            _ => panic!("cross-hierarchy COF should be independent"),
+        }
+        match aggs.cof(1, 2) {
+            CofPairs::Materialized(entries) => assert_eq!(entries.len(), 3),
+            _ => panic!("same-hierarchy COF should be materialized"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "left < right")]
+    fn cof_requires_ordered_columns() {
+        let f = paper_example();
+        let aggs = DecomposedAggregates::compute(&f);
+        let _ = aggs.cof(2, 1);
+    }
+}

@@ -1,0 +1,608 @@
+//! Per-cluster matrix operations (Appendix E/F).
+//!
+//! The multi-level model's random effects are estimated per *cluster*: one
+//! cluster per combination of the already-grouped (inter-cluster) attributes,
+//! with only the newly drilled attribute (and any features derived from it)
+//! varying inside a cluster. Because the drill-down hierarchy is ordered last
+//! in the factorisation, a cluster's rows are vertically adjacent and every
+//! column except the trailing intra-cluster columns is constant within the
+//! cluster — which is what the per-cluster operators exploit: each cluster's
+//! gram / left / right product is assembled from one shared rank-one structure
+//! plus the (few) intra columns.
+
+use crate::factorization::Factorization;
+use crate::feature::FeatureMap;
+use reptile_linalg::Matrix;
+
+/// One cluster: a contiguous block of conceptual rows sharing every column
+/// except the trailing intra-cluster columns.
+#[derive(Debug, Clone)]
+pub struct ClusterInfo {
+    /// First conceptual row of the cluster.
+    pub start_row: usize,
+    /// Number of rows in the cluster.
+    pub len: usize,
+    /// Feature value of each column for the cluster; entries of intra-cluster
+    /// columns are unused (they vary within the cluster).
+    pub const_features: Vec<f64>,
+    /// Feature values of the intra-cluster columns: `intra_features[r][k]` is
+    /// the value of the k-th intra column in the cluster's r-th row.
+    pub intra_features: Vec<Vec<f64>>,
+}
+
+/// The partition of a factorisation's rows into clusters.
+#[derive(Debug, Clone)]
+pub struct ClusterPartition {
+    clusters: Vec<ClusterInfo>,
+    n_cols: usize,
+    /// Global column indices of the intra-cluster columns (a suffix of the
+    /// column range).
+    intra_columns: Vec<usize>,
+}
+
+impl ClusterPartition {
+    /// Build the partition treating only the very last column as
+    /// intra-cluster (the common single-attribute drill-down).
+    pub fn new(fact: &Factorization, features: &FeatureMap) -> Self {
+        Self::with_intra_levels(fact, features, 1)
+    }
+
+    /// Build the partition with the trailing `intra_levels` levels of the last
+    /// hierarchy treated as intra-cluster columns (used when auxiliary or
+    /// custom features are derived from the drilled attribute).
+    pub fn with_intra_levels(fact: &Factorization, features: &FeatureMap, intra_levels: usize) -> Self {
+        let m = fact.n_cols();
+        let hierarchies = fact.hierarchies();
+        assert!(!hierarchies.is_empty(), "factorization has no hierarchies");
+        let last = hierarchies.len() - 1;
+        let last_factor = &hierarchies[last];
+        let depth = last_factor.depth();
+        let intra_levels = intra_levels.clamp(1, depth);
+        let prefix_len = depth - intra_levels;
+        let intra_columns: Vec<usize> = (prefix_len..depth)
+            .map(|level| fact.column_of(last, level))
+            .collect();
+
+        // Group the last hierarchy's paths by their inter-cluster prefix.
+        let mut prefix_groups: Vec<(usize, usize)> = Vec::new(); // (start path, len)
+        if last_factor.leaf_count() > 0 {
+            if prefix_len == 0 {
+                prefix_groups.push((0, last_factor.leaf_count()));
+            } else {
+                let mut i = 0usize;
+                while i < last_factor.leaf_count() {
+                    let start = i;
+                    let prefix = &last_factor.paths[i][..prefix_len];
+                    while i < last_factor.leaf_count()
+                        && &last_factor.paths[i][..prefix_len] == prefix
+                    {
+                        i += 1;
+                    }
+                    prefix_groups.push((start, i - start));
+                }
+            }
+        }
+
+        // Enumerate earlier-hierarchy combinations in row order.
+        let earlier: Vec<&crate::factorization::HierarchyFactor> =
+            hierarchies[..last].iter().collect();
+        let earlier_combos: usize = earlier.iter().map(|h| h.leaf_count()).product();
+        let last_leafs = last_factor.leaf_count();
+
+        let mut clusters = Vec::with_capacity(earlier_combos.max(1) * prefix_groups.len());
+        for combo in 0..earlier_combos.max(1) {
+            // Decompose the combo into per-hierarchy path indices to read the
+            // constant feature values of the earlier hierarchies.
+            let mut const_features = vec![0.0f64; m];
+            if !earlier.is_empty() {
+                let mut rem = combo;
+                for (h, factor) in earlier.iter().enumerate().rev() {
+                    let idx = rem % factor.leaf_count();
+                    rem /= factor.leaf_count();
+                    for level in 0..factor.depth() {
+                        let col = fact.column_of(h, level);
+                        const_features[col] = features.value(col, &factor.paths[idx][level]);
+                    }
+                }
+            }
+            for &(path_start, path_len) in &prefix_groups {
+                let mut cf = const_features.clone();
+                for level in 0..prefix_len {
+                    let col = fact.column_of(last, level);
+                    cf[col] = features.value(col, &last_factor.paths[path_start][level]);
+                }
+                let intra_features: Vec<Vec<f64>> = (0..path_len)
+                    .map(|i| {
+                        (prefix_len..depth)
+                            .map(|level| {
+                                let col = fact.column_of(last, level);
+                                features.value(col, &last_factor.paths[path_start + i][level])
+                            })
+                            .collect()
+                    })
+                    .collect();
+                clusters.push(ClusterInfo {
+                    start_row: combo * last_leafs + path_start,
+                    len: path_len,
+                    const_features: cf,
+                    intra_features,
+                });
+            }
+        }
+        ClusterPartition {
+            clusters,
+            n_cols: m,
+            intra_columns,
+        }
+    }
+
+    /// The clusters in row order.
+    pub fn clusters(&self) -> &[ClusterInfo] {
+        &self.clusters
+    }
+
+    /// Number of clusters `G`.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Whether there are no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Row ranges `(start, len)` of every cluster — the shape the naive
+    /// baselines consume.
+    pub fn row_ranges(&self) -> Vec<(usize, usize)> {
+        self.clusters.iter().map(|c| (c.start_row, c.len)).collect()
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Global column indices of the intra-cluster columns.
+    pub fn intra_columns(&self) -> &[usize] {
+        &self.intra_columns
+    }
+
+    /// Whether `col` varies within clusters.
+    fn is_intra(&self, col: usize) -> bool {
+        self.intra_columns.contains(&col)
+    }
+
+    fn intra_index(&self, col: usize) -> Option<usize> {
+        self.intra_columns.iter().position(|c| *c == col)
+    }
+
+    /// Per-cluster gram matrices `X_iᵀ·X_i` (Algorithm 5). Exploits that the
+    /// inter-cluster columns are constant within the cluster.
+    pub fn grams(&self) -> Vec<Matrix> {
+        let m = self.n_cols;
+        self.clusters
+            .iter()
+            .map(|c| {
+                let s = c.len as f64;
+                // Sums and cross sums of the intra columns.
+                let k = self.intra_columns.len();
+                let mut intra_sum = vec![0.0f64; k];
+                let mut intra_cross = vec![0.0f64; k * k];
+                for row in &c.intra_features {
+                    for a in 0..k {
+                        intra_sum[a] += row[a];
+                        for b in a..k {
+                            intra_cross[a * k + b] += row[a] * row[b];
+                        }
+                    }
+                }
+                let mut g = Matrix::zeros(m, m);
+                for j in 0..m {
+                    for l in j..m {
+                        let v = match (self.intra_index(j), self.intra_index(l)) {
+                            (None, None) => s * c.const_features[j] * c.const_features[l],
+                            (None, Some(b)) => c.const_features[j] * intra_sum[b],
+                            (Some(a), None) => c.const_features[l] * intra_sum[a],
+                            (Some(a), Some(b)) => {
+                                let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                                intra_cross[a * k + b]
+                            }
+                        };
+                        g.set(j, l, v);
+                        g.set(l, j, v);
+                    }
+                }
+                g
+            })
+            .collect()
+    }
+
+    /// Per-cluster right multiplications `X_i·A_i` (Algorithm 7); `a[i]` must
+    /// be an `m × p` matrix.
+    pub fn right_mult(&self, a: &[Matrix]) -> Vec<Matrix> {
+        assert_eq!(a.len(), self.clusters.len(), "one right operand per cluster");
+        let m = self.n_cols;
+        self.clusters
+            .iter()
+            .zip(a)
+            .map(|(c, ai)| {
+                assert_eq!(ai.rows(), m, "cluster right operand must have {m} rows");
+                let p = ai.cols();
+                // Base contribution of the constant columns, shared by all rows.
+                let mut base = vec![0.0f64; p];
+                for j in 0..m {
+                    if self.is_intra(j) {
+                        continue;
+                    }
+                    let f = c.const_features[j];
+                    if f == 0.0 {
+                        continue;
+                    }
+                    for (col, b) in base.iter_mut().enumerate() {
+                        *b += f * ai.get(j, col);
+                    }
+                }
+                let mut out = Matrix::zeros(c.len, p);
+                for (r, intra) in c.intra_features.iter().enumerate() {
+                    for col in 0..p {
+                        let mut v = base[col];
+                        for (k, &icol) in self.intra_columns.iter().enumerate() {
+                            v += intra[k] * ai.get(icol, col);
+                        }
+                        out.set(r, col, v);
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Per-cluster right multiplication `X_i · beta_i` where each cluster has
+    /// its own coefficient vector; results are concatenated in row order
+    /// (this is the vertical concatenation used for `Z·b`).
+    pub fn right_mult_per_cluster_vec(&self, betas: &[Vec<f64>]) -> Vec<f64> {
+        assert_eq!(betas.len(), self.clusters.len(), "one beta per cluster");
+        let m = self.n_cols;
+        let mut out = Vec::new();
+        for (c, beta) in self.clusters.iter().zip(betas) {
+            assert_eq!(beta.len(), m);
+            let mut base = 0.0;
+            for j in 0..m {
+                if !self.is_intra(j) {
+                    base += c.const_features[j] * beta[j];
+                }
+            }
+            for intra in &c.intra_features {
+                let mut v = base;
+                for (k, &icol) in self.intra_columns.iter().enumerate() {
+                    v += intra[k] * beta[icol];
+                }
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Per-cluster right multiplication with a single shared vector operand
+    /// (the common case `X·β`), concatenated in row order.
+    pub fn right_mult_shared_vec(&self, beta: &[f64]) -> Vec<f64> {
+        assert_eq!(beta.len(), self.n_cols);
+        let m = self.n_cols;
+        let mut out = Vec::new();
+        for c in &self.clusters {
+            let mut base = 0.0;
+            for j in 0..m {
+                if !self.is_intra(j) {
+                    base += c.const_features[j] * beta[j];
+                }
+            }
+            for intra in &c.intra_features {
+                let mut v = base;
+                for (k, &icol) in self.intra_columns.iter().enumerate() {
+                    v += intra[k] * beta[icol];
+                }
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// Per-cluster left multiplications `D_i·X_i` (Algorithm 6); `d[i]` must
+    /// be a `q × len_i` matrix.
+    pub fn left_mult(&self, d: &[Matrix]) -> Vec<Matrix> {
+        assert_eq!(d.len(), self.clusters.len(), "one left operand per cluster");
+        let m = self.n_cols;
+        self.clusters
+            .iter()
+            .zip(d)
+            .map(|(c, di)| {
+                assert_eq!(
+                    di.cols(),
+                    c.len,
+                    "cluster left operand must have as many columns as the cluster has rows"
+                );
+                let q = di.rows();
+                let mut out = Matrix::zeros(q, m);
+                for r in 0..q {
+                    let row = di.row(r);
+                    let row_sum: f64 = row.iter().sum();
+                    for j in 0..m {
+                        if self.is_intra(j) {
+                            continue;
+                        }
+                        out.set(r, j, c.const_features[j] * row_sum);
+                    }
+                    for (k, &icol) in self.intra_columns.iter().enumerate() {
+                        let v: f64 = row
+                            .iter()
+                            .zip(&c.intra_features)
+                            .map(|(a, w)| a * w[k])
+                            .sum();
+                        out.set(r, icol, v);
+                    }
+                }
+                out
+            })
+            .collect()
+    }
+
+    /// Per-cluster left multiplication of one global row vector `v` (length
+    /// `n`): returns, for each cluster, the `1 × m` result of
+    /// `v[cluster rows]·X_i`. This is the shape `X_iᵀ·(y_i − X_i·β)` needs.
+    pub fn left_mult_global_vec(&self, v: &[f64]) -> Vec<Vec<f64>> {
+        let m = self.n_cols;
+        self.clusters
+            .iter()
+            .map(|c| {
+                let slice = &v[c.start_row..c.start_row + c.len];
+                let row_sum: f64 = slice.iter().sum();
+                let mut out = vec![0.0f64; m];
+                for j in 0..m {
+                    if !self.is_intra(j) {
+                        out[j] = c.const_features[j] * row_sum;
+                    }
+                }
+                for (k, &icol) in self.intra_columns.iter().enumerate() {
+                    out[icol] = slice
+                        .iter()
+                        .zip(&c.intra_features)
+                        .map(|(a, w)| a * w[k])
+                        .sum();
+                }
+                out
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factorization::HierarchyFactor;
+    use reptile_linalg::naive;
+    use reptile_relational::{AttrId, Value};
+
+    fn example() -> (Factorization, FeatureMap) {
+        let time = HierarchyFactor::from_paths(
+            "time",
+            vec![AttrId(0)],
+            vec![vec![Value::str("t1")], vec![Value::str("t2")]],
+        );
+        let geo = HierarchyFactor::from_paths(
+            "geo",
+            vec![AttrId(1), AttrId(2)],
+            vec![
+                vec![Value::str("d1"), Value::str("v1")],
+                vec![Value::str("d1"), Value::str("v2")],
+                vec![Value::str("d2"), Value::str("v3")],
+            ],
+        );
+        let fact = Factorization::new(vec![time, geo]);
+        let mut features = FeatureMap::zeros(3);
+        features.set(0, Value::str("t1"), 1.0);
+        features.set(0, Value::str("t2"), 2.0);
+        features.set(1, Value::str("d1"), 3.0);
+        features.set(1, Value::str("d2"), -1.0);
+        features.set(2, Value::str("v1"), 0.5);
+        features.set(2, Value::str("v2"), 1.5);
+        features.set(2, Value::str("v3"), 4.0);
+        (fact, features)
+    }
+
+    /// A 3-level last hierarchy with an extra (pseudo) level, so that two
+    /// trailing columns are intra-cluster.
+    fn example_multi_intra() -> (Factorization, FeatureMap) {
+        let time = HierarchyFactor::from_paths(
+            "time",
+            vec![AttrId(0)],
+            vec![vec![Value::str("t1")], vec![Value::str("t2")], vec![Value::str("t3")]],
+        );
+        let geo = HierarchyFactor::from_paths(
+            "geo",
+            vec![AttrId(1), AttrId(2), AttrId(3)],
+            vec![
+                vec![Value::str("d1"), Value::str("v1"), Value::str("v1")],
+                vec![Value::str("d1"), Value::str("v2"), Value::str("v2")],
+                vec![Value::str("d2"), Value::str("v3"), Value::str("v3")],
+                vec![Value::str("d2"), Value::str("v4"), Value::str("v4")],
+            ],
+        );
+        let fact = Factorization::new(vec![time, geo]);
+        let mut features = FeatureMap::zeros(4);
+        features.set(0, Value::str("t1"), 1.0);
+        features.set(0, Value::str("t2"), 2.0);
+        features.set(0, Value::str("t3"), -1.0);
+        features.set(1, Value::str("d1"), 3.0);
+        features.set(1, Value::str("d2"), -1.0);
+        for (i, v) in ["v1", "v2", "v3", "v4"].iter().enumerate() {
+            features.set(2, Value::str(v), i as f64 + 0.5);
+            // pseudo level: e.g. rainfall per village
+            features.set(3, Value::str(v), 100.0 - 10.0 * i as f64);
+        }
+        (fact, features)
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn clusters_cover_all_rows_contiguously() {
+        let (fact, features) = example();
+        let part = ClusterPartition::new(&fact, &features);
+        // 2 time values x 2 districts = 4 clusters (Figure 3c: siblings per district).
+        assert_eq!(part.len(), 4);
+        let mut next = 0usize;
+        let mut total = 0usize;
+        for c in part.clusters() {
+            assert_eq!(c.start_row, next);
+            next += c.len;
+            total += c.len;
+            assert_eq!(c.intra_features.len(), c.len);
+        }
+        assert_eq!(total, fact.n_rows());
+        assert_eq!(part.row_ranges().len(), 4);
+        assert_eq!(part.intra_columns(), &[2]);
+    }
+
+    #[test]
+    fn cluster_grams_match_naive() {
+        let (fact, features) = example();
+        let part = ClusterPartition::new(&fact, &features);
+        let x = fact.materialize(&features);
+        let expected = naive::cluster_grams(&x, &part.row_ranges()).unwrap();
+        let got = part.grams();
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert!(g.max_abs_diff(e) < 1e-9, "{g:?} vs {e:?}");
+        }
+    }
+
+    #[test]
+    fn cluster_right_mult_matches_naive() {
+        let (fact, features) = example();
+        let part = ClusterPartition::new(&fact, &features);
+        let x = fact.materialize(&features);
+        let a: Vec<Matrix> = (0..part.len())
+            .map(|i| pseudo_random(fact.n_cols(), 2, 10 + i as u64))
+            .collect();
+        let expected = naive::cluster_right_mult(&x, &a, &part.row_ranges()).unwrap();
+        let got = part.right_mult(&a);
+        for (g, e) in got.iter().zip(&expected) {
+            assert!(g.max_abs_diff(e) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cluster_left_mult_matches_naive() {
+        let (fact, features) = example();
+        let part = ClusterPartition::new(&fact, &features);
+        let x = fact.materialize(&features);
+        let d: Vec<Matrix> = part
+            .clusters()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| pseudo_random(2, c.len, 50 + i as u64))
+            .collect();
+        let expected = naive::cluster_left_mult(&d, &x, &part.row_ranges()).unwrap();
+        let got = part.left_mult(&d);
+        for (g, e) in got.iter().zip(&expected) {
+            assert!(g.max_abs_diff(e) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shared_vector_helpers_match_naive() {
+        let (fact, features) = example();
+        let part = ClusterPartition::new(&fact, &features);
+        let x = fact.materialize(&features);
+        let beta = vec![0.3, -1.0, 2.0];
+        let shared = part.right_mult_shared_vec(&beta);
+        let expected = x.matmul(&Matrix::column_vector(&beta)).unwrap();
+        for (i, v) in shared.iter().enumerate() {
+            assert!((v - expected.get(i, 0)).abs() < 1e-9);
+        }
+
+        let v: Vec<f64> = (0..fact.n_rows()).map(|i| i as f64 * 0.25 - 0.5).collect();
+        let per_cluster = part.left_mult_global_vec(&v);
+        for (c, res) in part.clusters().iter().zip(&per_cluster) {
+            let block = x.row_block(c.start_row, c.len);
+            let expected = Matrix::row_vector(&v[c.start_row..c.start_row + c.len])
+                .matmul(&block)
+                .unwrap();
+            for (j, r) in res.iter().enumerate() {
+                assert!((r - expected.get(0, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn per_cluster_vec_mult_matches_block_products() {
+        let (fact, features) = example();
+        let part = ClusterPartition::new(&fact, &features);
+        let x = fact.materialize(&features);
+        let betas: Vec<Vec<f64>> = (0..part.len())
+            .map(|i| vec![i as f64, 1.0 - i as f64, 0.5 * i as f64])
+            .collect();
+        let got = part.right_mult_per_cluster_vec(&betas);
+        let mut idx = 0usize;
+        for (c, beta) in part.clusters().iter().zip(&betas) {
+            let block = x.row_block(c.start_row, c.len);
+            let expected = block.matmul(&Matrix::column_vector(beta)).unwrap();
+            for r in 0..c.len {
+                assert!((got[idx] - expected.get(r, 0)).abs() < 1e-9);
+                idx += 1;
+            }
+        }
+        assert_eq!(idx, fact.n_rows());
+    }
+
+    #[test]
+    fn multiple_intra_levels_match_naive() {
+        let (fact, features) = example_multi_intra();
+        let part = ClusterPartition::with_intra_levels(&fact, &features, 2);
+        assert_eq!(part.intra_columns(), &[2, 3]);
+        // 3 times x 2 districts = 6 clusters of 2 villages each.
+        assert_eq!(part.len(), 6);
+        let x = fact.materialize(&features);
+        let expected = naive::cluster_grams(&x, &part.row_ranges()).unwrap();
+        for (g, e) in part.grams().iter().zip(&expected) {
+            assert!(g.max_abs_diff(e) < 1e-9);
+        }
+        let beta = vec![0.3, -1.0, 2.0, 0.01];
+        let shared = part.right_mult_shared_vec(&beta);
+        let exp = x.matmul(&Matrix::column_vector(&beta)).unwrap();
+        for (i, v) in shared.iter().enumerate() {
+            assert!((v - exp.get(i, 0)).abs() < 1e-9);
+        }
+        let v: Vec<f64> = (0..fact.n_rows()).map(|i| (i % 5) as f64 - 2.0).collect();
+        let per_cluster = part.left_mult_global_vec(&v);
+        for (c, res) in part.clusters().iter().zip(&per_cluster) {
+            let block = x.row_block(c.start_row, c.len);
+            let e = Matrix::row_vector(&v[c.start_row..c.start_row + c.len])
+                .matmul(&block)
+                .unwrap();
+            for (j, r) in res.iter().enumerate() {
+                assert!((r - e.get(0, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn single_hierarchy_forms_one_cluster() {
+        let only = HierarchyFactor::from_paths(
+            "only",
+            vec![AttrId(0)],
+            vec![vec![Value::int(1)], vec![Value::int(2)], vec![Value::int(3)]],
+        );
+        let fact = Factorization::new(vec![only]);
+        let features = FeatureMap::indexed(&[vec![Value::int(1), Value::int(2), Value::int(3)]]);
+        let part = ClusterPartition::new(&fact, &features);
+        assert_eq!(part.len(), 1);
+        assert_eq!(part.clusters()[0].len, 3);
+    }
+}

@@ -1,0 +1,207 @@
+//! Drill-down maintenance of the decomposed aggregates (Section 4.4,
+//! Appendix J, Figure 9).
+//!
+//! After a drill-down only one hierarchy changes (it gains one level), yet a
+//! naive implementation recomputes every decomposed aggregate. Because
+//! hierarchies are independent, the aggregates of the *other* hierarchies can
+//! be carried over unchanged — only the global scaling factors (the leaf-count
+//! products) change, and those are applied lazily by
+//! [`DecomposedAggregates`]. A cross-invocation cache further removes the
+//! cost of re-deriving aggregates for hierarchies that were computed by an
+//! earlier Reptile invocation.
+//!
+//! Three maintenance modes are provided, matching the paper's Figure 9:
+//! `Static` (recompute everything), `Dynamic` (recompute only the drilled
+//! hierarchy, reuse the rest from the previous call), and `CachedDynamic`
+//! (additionally reuse any previously computed hierarchy state).
+
+use crate::aggregates::{DecomposedAggregates, HierarchyAggregates};
+use crate::factorization::Factorization;
+use std::collections::HashMap;
+
+/// Maintenance strategy for successive drill-downs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrilldownMode {
+    /// Recompute every hierarchy's aggregates on every call.
+    Static,
+    /// Reuse the hierarchies that did not change since the previous call.
+    Dynamic,
+    /// Reuse any hierarchy state ever computed in this session.
+    CachedDynamic,
+}
+
+/// Statistics about the last [`DrilldownSession::aggregates`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Hierarchies whose aggregates were recomputed.
+    pub recomputed: usize,
+    /// Hierarchies whose aggregates were served from the session state/cache.
+    pub reused: usize,
+}
+
+/// A stateful session that serves decomposed aggregates across successive
+/// drill-down invocations.
+#[derive(Debug)]
+pub struct DrilldownSession {
+    mode: DrilldownMode,
+    /// Cache keyed by (hierarchy name, depth, leaf count). Leaf count guards
+    /// against reusing stale state if the underlying provenance changed.
+    cache: HashMap<(String, usize, usize), HierarchyAggregates>,
+    /// Keys used by the previous invocation (the `Dynamic` reuse set).
+    previous: Vec<(String, usize, usize)>,
+    stats: SessionStats,
+}
+
+impl DrilldownSession {
+    /// Create a session with the given maintenance mode.
+    pub fn new(mode: DrilldownMode) -> Self {
+        DrilldownSession {
+            mode,
+            cache: HashMap::new(),
+            previous: Vec::new(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The maintenance mode.
+    pub fn mode(&self) -> DrilldownMode {
+        self.mode
+    }
+
+    /// Statistics of the most recent call.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    fn key_of(factor: &crate::factorization::HierarchyFactor) -> (String, usize, usize) {
+        (factor.name.clone(), factor.depth(), factor.leaf_count())
+    }
+
+    /// Compute (or reuse) the decomposed aggregates for `fact`.
+    pub fn aggregates(&mut self, fact: &Factorization) -> DecomposedAggregates {
+        let mut stats = SessionStats::default();
+        let mut parts = Vec::with_capacity(fact.hierarchies().len());
+        let mut current_keys = Vec::with_capacity(fact.hierarchies().len());
+        for factor in fact.hierarchies() {
+            let key = Self::key_of(factor);
+            let reusable = match self.mode {
+                DrilldownMode::Static => false,
+                DrilldownMode::Dynamic => {
+                    self.previous.contains(&key) && self.cache.contains_key(&key)
+                }
+                DrilldownMode::CachedDynamic => self.cache.contains_key(&key),
+            };
+            let aggs = if reusable {
+                stats.reused += 1;
+                self.cache[&key].clone()
+            } else {
+                stats.recomputed += 1;
+                let computed = HierarchyAggregates::compute(factor);
+                self.cache.insert(key.clone(), computed.clone());
+                computed
+            };
+            parts.push(aggs);
+            current_keys.push(key);
+        }
+        if self.mode == DrilldownMode::Dynamic {
+            // Dynamic only keeps state from the immediately preceding call.
+            self.cache.retain(|k, _| current_keys.contains(k));
+        }
+        self.previous = current_keys;
+        self.stats = stats;
+        DecomposedAggregates::from_parts(fact, parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factorization::HierarchyFactor;
+    use reptile_relational::{AttrId, Value};
+
+    fn hierarchy(name: &str, attr: usize, depth: usize, width: usize) -> HierarchyFactor {
+        // Build a `depth`-level hierarchy where every level-l value has
+        // `width` children.
+        let mut paths = Vec::new();
+        let total: usize = width.pow(depth as u32);
+        for leaf in 0..total {
+            let mut path = Vec::with_capacity(depth);
+            let mut acc = leaf;
+            let mut divisor = total;
+            for level in 0..depth {
+                divisor /= width;
+                let idx = acc / divisor;
+                acc %= divisor;
+                path.push(Value::str(format!("{name}-{level}-{idx}")));
+            }
+            // encode the full prefix so FDs hold
+            let mut full = Vec::with_capacity(depth);
+            let mut prefix = String::new();
+            for p in &path {
+                prefix.push('/');
+                prefix.push_str(&p.to_string());
+                full.push(Value::str(prefix.clone()));
+            }
+            paths.push(full);
+        }
+        let attrs = (0..depth).map(|i| AttrId(attr + i)).collect();
+        HierarchyFactor::from_paths(name, attrs, paths)
+    }
+
+    fn fact(depth_a: usize, depth_b: usize) -> Factorization {
+        Factorization::new(vec![
+            hierarchy("A", 0, depth_a, 2),
+            hierarchy("B", 10, depth_b, 2),
+        ])
+    }
+
+    #[test]
+    fn static_mode_recomputes_everything() {
+        let mut s = DrilldownSession::new(DrilldownMode::Static);
+        s.aggregates(&fact(1, 1));
+        assert_eq!(s.stats(), SessionStats { recomputed: 2, reused: 0 });
+        s.aggregates(&fact(1, 1));
+        assert_eq!(s.stats(), SessionStats { recomputed: 2, reused: 0 });
+    }
+
+    #[test]
+    fn dynamic_mode_reuses_unchanged_hierarchies() {
+        let mut s = DrilldownSession::new(DrilldownMode::Dynamic);
+        s.aggregates(&fact(1, 1));
+        assert_eq!(s.stats(), SessionStats { recomputed: 2, reused: 0 });
+        // Drill down hierarchy B: only B is recomputed.
+        s.aggregates(&fact(1, 2));
+        assert_eq!(s.stats(), SessionStats { recomputed: 1, reused: 1 });
+        // Going back to the earlier B depth is NOT cached in dynamic mode.
+        s.aggregates(&fact(1, 1));
+        assert_eq!(s.stats(), SessionStats { recomputed: 1, reused: 1 });
+    }
+
+    #[test]
+    fn cached_mode_reuses_previous_invocations() {
+        let mut s = DrilldownSession::new(DrilldownMode::CachedDynamic);
+        s.aggregates(&fact(1, 1));
+        s.aggregates(&fact(1, 2));
+        assert_eq!(s.stats(), SessionStats { recomputed: 1, reused: 1 });
+        // Revisit the first configuration: everything is served from cache.
+        s.aggregates(&fact(1, 1));
+        assert_eq!(s.stats(), SessionStats { recomputed: 0, reused: 2 });
+        // A brand-new depth still requires work for that hierarchy only.
+        s.aggregates(&fact(2, 1));
+        assert_eq!(s.stats(), SessionStats { recomputed: 1, reused: 1 });
+    }
+
+    #[test]
+    fn aggregates_are_identical_across_modes() {
+        let f = fact(2, 2);
+        let from_static = DrilldownSession::new(DrilldownMode::Static).aggregates(&f);
+        let mut dynamic = DrilldownSession::new(DrilldownMode::CachedDynamic);
+        dynamic.aggregates(&fact(2, 1));
+        let from_dynamic = dynamic.aggregates(&f);
+        for c in 0..f.n_cols() {
+            assert_eq!(from_static.total(c), from_dynamic.total(c));
+            assert_eq!(from_static.counts(c), from_dynamic.counts(c));
+        }
+        assert_eq!(from_static.grand_total(), from_dynamic.grand_total());
+    }
+}

@@ -1,0 +1,38 @@
+//! Factorised representation of hierarchical feature matrices.
+//!
+//! The paper's key systems contribution is that the feature matrix used to
+//! train the multi-level repair model never needs to be materialised: its
+//! rows are the cartesian product of per-hierarchy paths, so the matrix is
+//! exponential in the number of hierarchies while its factorised form is
+//! linear. This crate implements:
+//!
+//! * [`Factorization`] — the f-representation of the attribute/feature matrix
+//!   (Section 3.4, Appendix C), stored as per-hierarchy sorted path tables;
+//! * [`RowIter`] — the delta-based row iterator of Algorithm 1;
+//! * [`DecomposedAggregates`] — the `TOTAL` / `COUNT` / `COF` aggregates of
+//!   Section 4.2.1, computed with the work-sharing plan of Algorithm 10 and
+//!   the cross-hierarchy independence optimisation;
+//! * [`ops`] — factorised gram matrix, left multiplication and right
+//!   multiplication (Algorithms 2–4);
+//! * [`cluster`] — the per-cluster operator variants (Appendix E/F) used by
+//!   the EM algorithm's random-effect updates;
+//! * [`lmfao`] — an LMFAO-style baseline that computes the same aggregate
+//!   batch without cross-hierarchy independence or work sharing (Figure 8);
+//! * [`drilldown`] — the O(1) cross-hierarchy updates and caching performed
+//!   when the user drills down (Section 4.4, Appendix J, Figure 9).
+
+pub mod aggregates;
+pub mod cluster;
+pub mod drilldown;
+pub mod factorization;
+pub mod feature;
+pub mod lmfao;
+pub mod ops;
+pub mod row_iter;
+
+pub use aggregates::DecomposedAggregates;
+pub use cluster::ClusterPartition;
+pub use drilldown::{DrilldownMode, DrilldownSession};
+pub use factorization::{AttrPosition, Factorization, HierarchyFactor};
+pub use feature::FeatureMap;
+pub use row_iter::RowIter;

@@ -1,0 +1,296 @@
+//! Factorised matrix operations (Section 4.2.2, Algorithms 2–4).
+//!
+//! All three operators consume only the [`DecomposedAggregates`] and the
+//! [`FeatureMap`] — the conceptual matrix is never materialised:
+//!
+//! * [`gram`] — `Xᵀ·X`, computed per column pair from `COUNT`/`COF` weighted
+//!   sums scaled by the duplication factor `TOTAL_first / TOTAL_A`;
+//! * [`left_mult`] — `A·X`, using per-row prefix sums of `A` so that the
+//!   contiguous duplicates of each attribute value are summed in O(1);
+//! * [`right_mult`] — `X·A`, using the delta row iterator so each output row
+//!   is updated incrementally from the previous one.
+
+use crate::aggregates::DecomposedAggregates;
+use crate::factorization::Factorization;
+use crate::feature::FeatureMap;
+use crate::row_iter::RowIter;
+use reptile_linalg::{Matrix, PrefixSum};
+
+/// Factorised gram matrix `Xᵀ·X` (Algorithm 2).
+pub fn gram(aggs: &DecomposedAggregates, features: &FeatureMap) -> Matrix {
+    let m = aggs.n_cols();
+    let mut out = Matrix::zeros(m, m);
+    for p in 0..m {
+        // Diagonal: duplication factor times the COUNT-weighted sum of f².
+        let diag = aggs.repetitions(p)
+            * aggs.count_weighted_sum(p, |v| {
+                let f = features.value(p, v);
+                f * f
+            });
+        out.set(p, p, diag);
+        for q in (p + 1)..m {
+            let val = aggs.repetitions(p)
+                * aggs.cof_weighted_sum(
+                    p,
+                    q,
+                    |a| features.value(p, a),
+                    |b| features.value(q, b),
+                );
+            out.set(p, q, val);
+            out.set(q, p, val);
+        }
+    }
+    out
+}
+
+/// Factorised left multiplication `A·X` (Algorithm 3). `A` has `n` columns
+/// where `n` is the number of conceptual rows of the factorisation.
+pub fn left_mult(a: &Matrix, aggs: &DecomposedAggregates, features: &FeatureMap) -> Matrix {
+    let m = aggs.n_cols();
+    let n = aggs.grand_total() as usize;
+    assert_eq!(
+        a.cols(),
+        n,
+        "left operand must have as many columns as the factorised matrix has rows"
+    );
+    let mut out = Matrix::zeros(a.rows(), m);
+    for i in 0..a.rows() {
+        // Prefix sums allow O(1) summation over each contiguous run of a
+        // repeated attribute value.
+        let prefix = PrefixSum::new(a.row(i));
+        for p in 0..m {
+            let runs = aggs.block_runs(p);
+            let reps = aggs.repetitions(p) as usize;
+            let mut acc = 0.0;
+            let mut start = 0usize;
+            for _ in 0..reps {
+                for (value, count) in &runs {
+                    let len = *count as usize;
+                    let range = prefix.range_sum(start, start + len);
+                    acc += features.value(p, value) * range;
+                    start += len;
+                }
+            }
+            debug_assert_eq!(start, n);
+            out.set(i, p, acc);
+        }
+    }
+    out
+}
+
+/// Factorised right multiplication `X·A` (Algorithm 4). The output is
+/// materialised (`n × A.cols()`): each row's dot products are updated
+/// incrementally from the previous row using the delta iterator.
+pub fn right_mult(fact: &Factorization, features: &FeatureMap, a: &Matrix) -> Matrix {
+    let m = fact.n_cols();
+    let n = fact.n_rows();
+    assert_eq!(
+        a.rows(),
+        m,
+        "right operand must have as many rows as the factorised matrix has columns"
+    );
+    let p = a.cols();
+    let mut out = Matrix::zeros(n, p);
+    // current feature value of each column of the conceptual row
+    let mut current = vec![0.0f64; m];
+    // current dot products
+    let mut dots = vec![0.0f64; p];
+    for delta in RowIter::new(fact) {
+        for (col, value) in &delta.changes {
+            let new_f = features.value(*col, value);
+            let old_f = current[*col];
+            if new_f != old_f {
+                for (j, d) in dots.iter_mut().enumerate() {
+                    *d += (new_f - old_f) * a.get(*col, j);
+                }
+                current[*col] = new_f;
+            }
+        }
+        for (j, d) in dots.iter().enumerate() {
+            out.set(delta.row, j, *d);
+        }
+    }
+    out
+}
+
+/// `Xᵀ·v` for a column vector `v` of length `n`, computed as
+/// `(vᵀ·X)ᵀ` with the factorised left multiplication. This is the shape the
+/// EM algorithm needs for `Xᵀ(y − Z·b)`.
+pub fn transpose_vec_mult(
+    v: &[f64],
+    aggs: &DecomposedAggregates,
+    features: &FeatureMap,
+) -> Vec<f64> {
+    let row = Matrix::row_vector(v);
+    let res = left_mult(&row, aggs, features);
+    res.row(0).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factorization::HierarchyFactor;
+    use reptile_linalg::naive;
+    use reptile_relational::{AttrId, Value};
+
+    fn example(with_numbers: bool) -> (Factorization, FeatureMap) {
+        let time = HierarchyFactor::from_paths(
+            "time",
+            vec![AttrId(0)],
+            vec![vec![Value::str("t1")], vec![Value::str("t2")]],
+        );
+        let geo = HierarchyFactor::from_paths(
+            "geo",
+            vec![AttrId(1), AttrId(2)],
+            vec![
+                vec![Value::str("d1"), Value::str("v1")],
+                vec![Value::str("d1"), Value::str("v2")],
+                vec![Value::str("d2"), Value::str("v3")],
+            ],
+        );
+        let fact = Factorization::new(vec![time, geo]);
+        let mut features = FeatureMap::zeros(3);
+        let base = if with_numbers { 1.0 } else { 0.0 };
+        features.set(0, Value::str("t1"), base + 0.5);
+        features.set(0, Value::str("t2"), base + 2.0);
+        features.set(1, Value::str("d1"), base + 3.0);
+        features.set(1, Value::str("d2"), base - 1.0);
+        features.set(2, Value::str("v1"), base + 0.25);
+        features.set(2, Value::str("v2"), base - 0.75);
+        features.set(2, Value::str("v3"), base + 4.0);
+        (fact, features)
+    }
+
+    /// Deterministic pseudo random matrix for baseline comparisons.
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn gram_matches_naive() {
+        let (fact, features) = example(true);
+        let aggs = DecomposedAggregates::compute(&fact);
+        let x = fact.materialize(&features);
+        let expected = naive::gram(&x).unwrap();
+        let got = gram(&aggs, &features);
+        assert!(got.max_abs_diff(&expected) < 1e-9, "{got:?} vs {expected:?}");
+    }
+
+    #[test]
+    fn left_mult_matches_naive() {
+        let (fact, features) = example(true);
+        let aggs = DecomposedAggregates::compute(&fact);
+        let x = fact.materialize(&features);
+        let a = pseudo_random(4, fact.n_rows(), 7);
+        let expected = naive::left_mult(&a, &x).unwrap();
+        let got = left_mult(&a, &aggs, &features);
+        assert!(got.max_abs_diff(&expected) < 1e-9);
+    }
+
+    #[test]
+    fn right_mult_matches_naive() {
+        let (fact, features) = example(true);
+        let x = fact.materialize(&features);
+        let a = pseudo_random(fact.n_cols(), 3, 99);
+        let expected = naive::right_mult(&x, &a).unwrap();
+        let got = right_mult(&fact, &features, &a);
+        assert!(got.max_abs_diff(&expected) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_vec_mult_matches_naive() {
+        let (fact, features) = example(true);
+        let aggs = DecomposedAggregates::compute(&fact);
+        let x = fact.materialize(&features);
+        let v: Vec<f64> = (0..fact.n_rows()).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let expected = x.transpose().matmul(&Matrix::column_vector(&v)).unwrap();
+        let got = transpose_vec_mult(&v, &aggs, &features);
+        for (i, g) in got.iter().enumerate() {
+            assert!((g - expected.get(i, 0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_features_give_zero_products() {
+        let (fact, features) = example(false);
+        // keep some features zero valued; results still match naive
+        let aggs = DecomposedAggregates::compute(&fact);
+        let x = fact.materialize(&features);
+        let got = gram(&aggs, &features);
+        let expected = naive::gram(&x).unwrap();
+        assert!(got.max_abs_diff(&expected) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "left operand")]
+    fn left_mult_shape_checked() {
+        let (fact, features) = example(true);
+        let aggs = DecomposedAggregates::compute(&fact);
+        let a = Matrix::zeros(1, fact.n_rows() + 1);
+        let _ = left_mult(&a, &aggs, &features);
+    }
+
+    #[test]
+    #[should_panic(expected = "right operand")]
+    fn right_mult_shape_checked() {
+        let (fact, features) = example(true);
+        let a = Matrix::zeros(fact.n_cols() + 2, 1);
+        let _ = right_mult(&fact, &features, &a);
+    }
+
+    #[test]
+    fn larger_random_hierarchies_match_naive() {
+        // Three hierarchies with uneven fanout; checks the operators on a
+        // shape that exercises repetitions > 1 and multi-level hierarchies.
+        let h1 = HierarchyFactor::from_paths(
+            "h1",
+            vec![AttrId(0), AttrId(1)],
+            vec![
+                vec![Value::int(1), Value::int(11)],
+                vec![Value::int(1), Value::int(12)],
+                vec![Value::int(2), Value::int(21)],
+            ],
+        );
+        let h2 = HierarchyFactor::from_paths(
+            "h2",
+            vec![AttrId(2)],
+            vec![vec![Value::int(5)], vec![Value::int(6)], vec![Value::int(7)], vec![Value::int(8)]],
+        );
+        let h3 = HierarchyFactor::from_paths(
+            "h3",
+            vec![AttrId(3), AttrId(4)],
+            vec![
+                vec![Value::str("a"), Value::str("a1")],
+                vec![Value::str("a"), Value::str("a2")],
+                vec![Value::str("b"), Value::str("b1")],
+            ],
+        );
+        let fact = Factorization::new(vec![h1, h2, h3]);
+        let mut features = FeatureMap::zeros(fact.n_cols());
+        let mut seed = 5u64;
+        for c in 0..fact.n_cols() {
+            let pos = fact.position(c);
+            for (v, _) in fact.hierarchies()[pos.hierarchy].level_runs(pos.level) {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                features.set(c, v, ((seed >> 33) as f64 / u32::MAX as f64) * 4.0 - 2.0);
+            }
+        }
+        let aggs = DecomposedAggregates::compute(&fact);
+        let x = fact.materialize(&features);
+
+        let g = gram(&aggs, &features);
+        assert!(g.max_abs_diff(&naive::gram(&x).unwrap()) < 1e-8);
+
+        let a = pseudo_random(2, fact.n_rows(), 3);
+        let lm = left_mult(&a, &aggs, &features);
+        assert!(lm.max_abs_diff(&naive::left_mult(&a, &x).unwrap()) < 1e-8);
+
+        let b = pseudo_random(fact.n_cols(), 2, 11);
+        let rm = right_mult(&fact, &features, &b);
+        assert!(rm.max_abs_diff(&naive::right_mult(&x, &b).unwrap()) < 1e-8);
+    }
+}

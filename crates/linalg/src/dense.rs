@@ -1,0 +1,384 @@
+//! Row-major dense matrices.
+
+use crate::{LinalgError, Result};
+use std::fmt;
+
+/// A dense, row-major `f64` matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Build from nested row vectors; panics if the rows are ragged.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "ragged rows passed to Matrix::from_rows");
+            data.extend_from_slice(row);
+        }
+        Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Column vector from a slice.
+    pub fn column_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
+    }
+
+    /// Row vector from a slice.
+    pub fn row_vector(values: &[f64]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Add to an element.
+    #[inline]
+    pub fn add_at(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] += v;
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy one column out.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Flat row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order for better locality on row-major data.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row =
+                    &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| f(*a, *b))
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn scale(&self, s: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| v * s).collect(),
+        }
+    }
+
+    /// Trace (sum of diagonal elements) of a square matrix.
+    pub fn trace(&self) -> Result<f64> {
+        if self.rows != self.cols {
+            return Err(LinalgError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok((0..self.rows).map(|i| self.get(i, i)).sum())
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute element-wise difference to another matrix of the same
+    /// shape; `f64::INFINITY` if shapes differ.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f64 {
+        if self.shape() != rhs.shape() {
+            return f64::INFINITY;
+        }
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Stack matrices vertically (all must share the column count).
+    pub fn vertcat(blocks: &[Matrix]) -> Result<Matrix> {
+        if blocks.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = blocks[0].cols;
+        for b in blocks {
+            if b.cols != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "vertcat",
+                    lhs: (blocks[0].rows, cols),
+                    rhs: b.shape(),
+                });
+            }
+        }
+        let rows = blocks.iter().map(|b| b.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for b in blocks {
+            data.extend_from_slice(&b.data);
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Extract the sub-matrix of rows `[start, start+len)`.
+    pub fn row_block(&self, start: usize, len: usize) -> Matrix {
+        let mut out = Matrix::zeros(len, self.cols);
+        out.data
+            .copy_from_slice(&self.data[start * self.cols..(start + len) * self.cols]);
+        out
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        for r in 0..show_rows {
+            write!(f, "  [")?;
+            let show_cols = self.cols.min(10);
+            for c in 0..show_cols {
+                write!(f, "{:>10.4}", self.get(r, c))?;
+                if c + 1 < show_cols {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > show_cols {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        assert_eq!(m.shape(), (3, 2));
+        assert_eq!(m.get(2, 1), 6.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0, 5.0]);
+        let id = Matrix::identity(3);
+        assert_eq!(id.trace().unwrap(), 3.0);
+        let v = Matrix::column_vector(&[1.0, 2.0]);
+        assert_eq!(v.shape(), (2, 1));
+        let v = Matrix::row_vector(&[1.0, 2.0]);
+        assert_eq!(v.shape(), (1, 2));
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.get(0, 0), 58.0);
+        assert_eq!(c.get(0, 1), 64.0);
+        assert_eq!(c.get(1, 0), 139.0);
+        assert_eq!(c.get(1, 1), 154.0);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn identity_is_matmul_neutral() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn transpose_add_sub_scale() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let t = a.transpose();
+        assert_eq!(t.get(0, 1), 3.0);
+        let sum = a.add(&a).unwrap();
+        assert_eq!(sum.get(1, 1), 8.0);
+        let diff = a.sub(&a).unwrap();
+        assert_eq!(diff.frobenius_norm(), 0.0);
+        let scaled = a.scale(2.0);
+        assert_eq!(scaled.get(0, 0), 2.0);
+        assert!(a.add(&Matrix::zeros(1, 1)).is_err());
+        assert!(Matrix::zeros(2, 3).trace().is_err());
+    }
+
+    #[test]
+    fn vertcat_and_row_block() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let c = Matrix::vertcat(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.get(2, 1), 6.0);
+        let blk = c.row_block(1, 2);
+        assert_eq!(blk, b);
+        assert!(Matrix::vertcat(&[a, Matrix::zeros(1, 3)]).is_err());
+        assert_eq!(Matrix::vertcat(&[]).unwrap().shape(), (0, 0));
+    }
+
+    #[test]
+    fn max_abs_diff() {
+        let a = Matrix::identity(2);
+        let mut b = Matrix::identity(2);
+        b.set(0, 1, 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+        assert_eq!(a.max_abs_diff(&Matrix::zeros(3, 3)), f64::INFINITY);
+    }
+
+    #[test]
+    fn debug_format_is_bounded() {
+        let m = Matrix::zeros(100, 100);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 100x100"));
+        assert!(s.len() < 10_000);
+    }
+}

@@ -1,0 +1,58 @@
+//! Dense linear-algebra substrate for the Reptile reproduction.
+//!
+//! The paper compares its factorised matrix operators against LAPACK (via
+//! Matlab). LAPACK is not available offline, so this crate provides the dense
+//! stand-in: a row-major [`Matrix`] with textbook GEMM, LU-based solves and
+//! inverses, and the [`naive`] module that performs gram-matrix / left- /
+//! right-multiplication over the fully materialised feature matrix. The
+//! factorised counterparts live in the `reptile-factor` crate and are verified
+//! against these implementations by property tests.
+
+pub mod dense;
+pub mod lu;
+pub mod naive;
+pub mod prefix;
+
+pub use dense::Matrix;
+pub use lu::LuDecomposition;
+pub use prefix::PrefixSum;
+
+/// Errors from linear algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Matrix dimensions are incompatible for the requested operation.
+    DimensionMismatch {
+        /// textual description of the operation
+        op: &'static str,
+        /// left operand shape
+        lhs: (usize, usize),
+        /// right operand shape
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorised / inverted.
+    Singular,
+    /// The operation requires a square matrix.
+    NotSquare { rows: usize, cols: usize },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Result alias for the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,257 @@
+//! LU decomposition with partial pivoting: solves, inverses, determinants.
+//!
+//! The EM algorithm of Appendix D needs `(X^T X)^{-1}` and
+//! `(X_i^T X_i / σ² + Σ^{-1})^{-1}` every iteration; these are small `m × m`
+//! systems (m = number of features), so a straightforward LU with partial
+//! pivoting is both adequate and easy to audit.
+
+use crate::dense::Matrix;
+use crate::{LinalgError, Result};
+
+/// An LU factorisation `P·A = L·U` of a square matrix.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (below diagonal, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation applied to A.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 / -1), used for the determinant.
+    sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorise a square matrix. Returns [`LinalgError::Singular`] if a pivot
+    /// is (numerically) zero.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        for k in 0..n {
+            // Partial pivoting: find the largest |value| in column k at or
+            // below the diagonal.
+            let mut pivot_row = k;
+            let mut pivot_val = lu.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = lu.get(r, k).abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    let tmp = lu.get(k, c);
+                    lu.set(k, c, lu.get(pivot_row, c));
+                    lu.set(pivot_row, c, tmp);
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for r in (k + 1)..n {
+                let factor = lu.get(r, k) / pivot;
+                lu.set(r, k, factor);
+                for c in (k + 1)..n {
+                    lu.set(r, c, lu.get(r, c) - factor * lu.get(k, c));
+                }
+            }
+        }
+        Ok(LuDecomposition { lu, perm, sign })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solve `A x = b` for a single right-hand-side column vector.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation then forward/backward substitution.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[self.perm[i]];
+            for j in 0..i {
+                v -= self.lu.get(i, j) * y[j];
+            }
+            y[i] = v;
+        }
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for j in (i + 1)..n {
+                v -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = v / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solve `A X = B` for a matrix right-hand side.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for c in 0..b.cols() {
+            let col: Vec<f64> = (0..n).map(|r| b.get(r, c)).collect();
+            let x = self.solve_vec(&col)?;
+            for (r, v) in x.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The inverse of the factorised matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve(&Matrix::identity(self.dim()))
+    }
+
+    /// The determinant of the factorised matrix.
+    pub fn determinant(&self) -> f64 {
+        let mut det = self.sign;
+        for i in 0..self.dim() {
+            det *= self.lu.get(i, i);
+        }
+        det
+    }
+}
+
+/// Convenience: invert a square matrix, adding `ridge` to the diagonal first
+/// (used to keep near-singular gram matrices invertible during EM).
+pub fn invert_with_ridge(a: &Matrix, ridge: f64) -> Result<Matrix> {
+    let mut reg = a.clone();
+    if ridge != 0.0 {
+        for i in 0..a.rows().min(a.cols()) {
+            reg.add_at(i, i, ridge);
+        }
+    }
+    match LuDecomposition::new(&reg) {
+        Ok(lu) => lu.inverse(),
+        Err(LinalgError::Singular) => {
+            // escalate the ridge once before giving up
+            let mut reg2 = a.clone();
+            let bump = if ridge > 0.0 { ridge * 1e3 } else { 1e-6 };
+            for i in 0..a.rows().min(a.cols()) {
+                reg2.add_at(i, i, bump);
+            }
+            LuDecomposition::new(&reg2)?.inverse()
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert!(a.max_abs_diff(b) < tol, "matrices differ:\n{a:?}\n{b:?}");
+    }
+
+    #[test]
+    fn solve_simple_system() {
+        // 2x + y = 5 ; x + 3y = 10  => x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve_vec(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.5],
+            vec![2.0, 5.0, 1.0],
+            vec![0.5, 1.0, 3.0],
+        ]);
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert_close(&prod, &Matrix::identity(3), 1e-10);
+    }
+
+    #[test]
+    fn determinant_matches_known_value() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() + 2.0).abs() < 1e-12);
+        // Pivoting path (first pivot is small)
+        let b = Matrix::from_rows(&[vec![1e-14, 1.0], vec![1.0, 1.0]]);
+        let lu = LuDecomposition::new(&b).unwrap();
+        assert!((lu.determinant() - (1e-14 - 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::Singular)));
+        // with a ridge it becomes invertible
+        let inv = invert_with_ridge(&a, 1e-3).unwrap();
+        assert_eq!(inv.shape(), (2, 2));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_matrix_rhs() {
+        let a = Matrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![9.0, 1.0], vec![8.0, 2.0]]);
+        let lu = LuDecomposition::new(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let back = a.matmul(&x).unwrap();
+        assert_close(&back, &b, 1e-10);
+        assert!(lu.solve(&Matrix::zeros(3, 1)).is_err());
+        assert!(lu.solve_vec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn random_inverse_property() {
+        // lightweight deterministic pseudo-random check over several sizes
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0
+        };
+        for n in 1..=6 {
+            // diagonally dominant -> well conditioned
+            let mut a = Matrix::from_fn(n, n, |_, _| next());
+            for i in 0..n {
+                a.add_at(i, i, n as f64 + 1.0);
+            }
+            let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+            let prod = a.matmul(&inv).unwrap();
+            assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Naive (materialised) matrix operations.
+//!
+//! These are the "LAPACK / Matlab" style baselines of the paper's Figures 7,
+//! 10 and 15: they operate on a fully materialised feature matrix with plain
+//! dense products. The factorised operators in `reptile-factor` are checked
+//! against them for correctness and benchmarked against them for speed.
+
+use crate::dense::Matrix;
+use crate::Result;
+
+/// Gram matrix `Xᵀ · X` over the materialised feature matrix.
+pub fn gram(x: &Matrix) -> Result<Matrix> {
+    x.transpose().matmul(x)
+}
+
+/// Left multiplication `A · X` with a materialised `X`.
+pub fn left_mult(a: &Matrix, x: &Matrix) -> Result<Matrix> {
+    a.matmul(x)
+}
+
+/// Right multiplication `X · A` with a materialised `X`.
+pub fn right_mult(x: &Matrix, a: &Matrix) -> Result<Matrix> {
+    x.matmul(a)
+}
+
+/// Per-cluster gram matrices `X_iᵀ · X_i`, where `clusters[i]` is the row
+/// range (start, len) of the i-th cluster in `x`.
+pub fn cluster_grams(x: &Matrix, clusters: &[(usize, usize)]) -> Result<Vec<Matrix>> {
+    clusters
+        .iter()
+        .map(|&(start, len)| gram(&x.row_block(start, len)))
+        .collect()
+}
+
+/// Per-cluster left multiplications `A_i · X_i`.
+pub fn cluster_left_mult(a: &[Matrix], x: &Matrix, clusters: &[(usize, usize)]) -> Result<Vec<Matrix>> {
+    a.iter()
+        .zip(clusters)
+        .map(|(ai, &(start, len))| ai.matmul(&x.row_block(start, len)))
+        .collect()
+}
+
+/// Per-cluster right multiplications `X_i · A_i`.
+pub fn cluster_right_mult(x: &Matrix, a: &[Matrix], clusters: &[(usize, usize)]) -> Result<Vec<Matrix>> {
+    a.iter()
+        .zip(clusters)
+        .map(|(ai, &(start, len))| x.row_block(start, len).matmul(ai))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_is_symmetric_and_correct() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = gram(&x).unwrap();
+        assert_eq!(g.shape(), (2, 2));
+        assert_eq!(g.get(0, 0), 35.0);
+        assert_eq!(g.get(0, 1), 44.0);
+        assert_eq!(g.get(1, 0), 44.0);
+        assert_eq!(g.get(1, 1), 56.0);
+    }
+
+    #[test]
+    fn left_and_right_mult() {
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]);
+        let a = Matrix::from_rows(&[vec![3.0, 4.0]]);
+        assert_eq!(left_mult(&a, &x).unwrap().row(0), &[3.0, 8.0]);
+        let b = Matrix::column_vector(&[1.0, 1.0]);
+        assert_eq!(right_mult(&x, &b).unwrap().col(0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn cluster_variants_partition_rows() {
+        let x = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![2.0, 1.0],
+            vec![0.0, 3.0],
+            vec![1.0, 1.0],
+        ]);
+        let clusters = vec![(0usize, 2usize), (2, 2)];
+        let grams = cluster_grams(&x, &clusters).unwrap();
+        assert_eq!(grams.len(), 2);
+        assert_eq!(grams[0].get(0, 0), 5.0);
+        assert_eq!(grams[1].get(1, 1), 10.0);
+
+        let a = vec![Matrix::row_vector(&[1.0, 1.0]), Matrix::row_vector(&[1.0, -1.0])];
+        let lm = cluster_left_mult(&a, &x, &clusters).unwrap();
+        assert_eq!(lm[0].row(0), &[3.0, 1.0]);
+        assert_eq!(lm[1].row(0), &[-1.0, 2.0]);
+
+        let c = vec![Matrix::column_vector(&[1.0, 1.0]), Matrix::column_vector(&[2.0, 0.0])];
+        let rm = cluster_right_mult(&x, &c, &clusters).unwrap();
+        assert_eq!(rm[0].col(0), vec![1.0, 3.0]);
+        assert_eq!(rm[1].col(0), vec![0.0, 2.0]);
+    }
+}

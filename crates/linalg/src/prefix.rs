@@ -1,0 +1,88 @@
+//! Prefix sums for O(1) range summation.
+//!
+//! The factorised left-multiplication operator (Algorithm 3 of the paper)
+//! preprocesses each row of the dense operand into a prefix sum so that the
+//! sum over any contiguous range of elements costs O(1).
+
+/// Prefix sums over a slice of `f64`.
+#[derive(Debug, Clone)]
+pub struct PrefixSum {
+    cumulative: Vec<f64>,
+}
+
+impl PrefixSum {
+    /// Build the prefix-sum table (O(n)).
+    pub fn new(values: &[f64]) -> Self {
+        let mut cumulative = Vec::with_capacity(values.len() + 1);
+        cumulative.push(0.0);
+        let mut acc = 0.0;
+        for v in values {
+            acc += v;
+            cumulative.push(acc);
+        }
+        PrefixSum { cumulative }
+    }
+
+    /// Number of underlying elements.
+    pub fn len(&self) -> usize {
+        self.cumulative.len() - 1
+    }
+
+    /// True if the underlying slice was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of elements in the half-open range `[start, end)`; out-of-range
+    /// bounds are clamped.
+    pub fn range_sum(&self, start: usize, end: usize) -> f64 {
+        let n = self.len();
+        let start = start.min(n);
+        let end = end.min(n);
+        if end <= start {
+            return 0.0;
+        }
+        self.cumulative[end] - self.cumulative[start]
+    }
+
+    /// Sum of all elements.
+    pub fn total(&self) -> f64 {
+        *self.cumulative.last().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_sums_match_direct_summation() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let p = PrefixSum::new(&data);
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.total(), 15.0);
+        for start in 0..=data.len() {
+            for end in start..=data.len() {
+                let direct: f64 = data[start..end].iter().sum();
+                assert!((p.range_sum(start, end) - direct).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_clamped() {
+        let p = PrefixSum::new(&[1.0, 1.0]);
+        assert_eq!(p.range_sum(0, 100), 2.0);
+        assert_eq!(p.range_sum(5, 10), 0.0);
+        assert_eq!(p.range_sum(1, 1), 0.0);
+        assert_eq!(p.range_sum(1, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let p = PrefixSum::new(&[]);
+        assert!(p.is_empty());
+        assert_eq!(p.total(), 0.0);
+        assert_eq!(p.range_sum(0, 1), 0.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Akaike information criterion (Appendix K).
+//!
+//! The paper compares linear vs multi-level models (with and without
+//! auxiliary features) by ΔAIC. We use the Gaussian log-likelihood of the
+//! fitted residuals: `ln L = −n/2 (ln(2π σ̂²) + 1)` with `σ̂² = RSS / n`.
+
+use crate::linear::LinearModel;
+use crate::multilevel::MultilevelModel;
+
+/// Gaussian log-likelihood of residuals with variance `rss / n`.
+pub fn gaussian_log_likelihood(rss: f64, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n_f = n as f64;
+    let sigma2 = (rss / n_f).max(1e-300);
+    -0.5 * n_f * ((2.0 * std::f64::consts::PI * sigma2).ln() + 1.0)
+}
+
+/// `AIC = 2k − 2 ln L`.
+pub fn aic(log_likelihood: f64, k: usize) -> f64 {
+    2.0 * k as f64 - 2.0 * log_likelihood
+}
+
+/// AIC of a fitted OLS model.
+pub fn aic_linear(model: &LinearModel) -> f64 {
+    aic(gaussian_log_likelihood(model.rss, model.n), model.n_params())
+}
+
+/// AIC of a fitted multi-level model.
+pub fn aic_multilevel(model: &MultilevelModel) -> f64 {
+    aic(gaussian_log_likelihood(model.rss, model.n), model.n_params())
+}
+
+/// ΔAIC of each model relative to the best (lowest) in the collection.
+pub fn delta_aic(aics: &[f64]) -> Vec<f64> {
+    let min = aics.iter().copied().fold(f64::INFINITY, f64::min);
+    aics.iter().map(|a| a - min).collect()
+}
+
+/// Rule of thumb from Burnham & Anderson: a model is "substantially better"
+/// when the other's ΔAIC exceeds 10.
+pub const SUBSTANTIALLY_BETTER_DELTA: f64 = 10.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_rss_means_lower_aic_for_same_k() {
+        let good = aic(gaussian_log_likelihood(10.0, 100), 5);
+        let bad = aic(gaussian_log_likelihood(1000.0, 100), 5);
+        assert!(good < bad);
+    }
+
+    #[test]
+    fn more_parameters_penalized() {
+        let small = aic(gaussian_log_likelihood(100.0, 50), 3);
+        let big = aic(gaussian_log_likelihood(100.0, 50), 30);
+        assert!(small < big);
+        assert!((big - small - 2.0 * 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delta_aic_is_relative_to_minimum() {
+        let deltas = delta_aic(&[120.0, 100.0, 135.0]);
+        assert_eq!(deltas, vec![20.0, 0.0, 35.0]);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        assert_eq!(gaussian_log_likelihood(0.0, 0), 0.0);
+        let ll = gaussian_log_likelihood(0.0, 10);
+        assert!(ll.is_finite());
+    }
+}

@@ -1,0 +1,555 @@
+//! Training-design construction: from a parallel-groups drill-down view to a
+//! factorised feature matrix, response vector and cluster partition.
+
+use crate::features::{main_effects, normalize, FeaturePlan};
+use crate::{ModelError, Result};
+use reptile_factor::{ClusterPartition, DecomposedAggregates, Factorization, FeatureMap, HierarchyFactor};
+use reptile_relational::{AggregateKind, AttrId, GroupKey, Schema, Value, View};
+use std::collections::BTreeMap;
+
+/// What response value to assign to drill-down groups that have no data
+/// (the "empty groups" of the worst-case analysis in Section 5.1.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmptyGroupPolicy {
+    /// Use the mean of the observed groups (default; keeps the model
+    /// unbiased by absent combinations).
+    GlobalMean,
+    /// Use zero.
+    Zero,
+}
+
+/// How one column of the design is populated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ColumnKind {
+    /// Main-effect encoding of a group-by attribute.
+    Base,
+    /// Auxiliary / custom feature keyed by a group-by attribute.
+    Extra(usize),
+}
+
+/// Metadata of one design column.
+#[derive(Debug, Clone)]
+struct ColumnSpec {
+    name: String,
+    /// Index into the training view's group-by list providing the value.
+    gb_index: usize,
+    kind: ColumnKind,
+}
+
+/// A complete training design: factorised feature matrix, response, clusters.
+#[derive(Debug, Clone)]
+pub struct TrainingDesign {
+    factorization: Factorization,
+    features: FeatureMap,
+    aggregates: DecomposedAggregates,
+    clusters: ClusterPartition,
+    y: Vec<f64>,
+    observed: Vec<bool>,
+    column_names: Vec<String>,
+    z_columns: Vec<usize>,
+    col_gb_index: Vec<usize>,
+    statistic: AggregateKind,
+}
+
+impl TrainingDesign {
+    /// Number of training rows (all parallel groups, including empty ones).
+    pub fn n_rows(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.factorization.n_cols()
+    }
+
+    /// The factorised feature matrix structure.
+    pub fn factorization(&self) -> &Factorization {
+        &self.factorization
+    }
+
+    /// The per-column feature mappings.
+    pub fn features(&self) -> &FeatureMap {
+        &self.features
+    }
+
+    /// The decomposed aggregates of the factorisation.
+    pub fn aggregates(&self) -> &DecomposedAggregates {
+        &self.aggregates
+    }
+
+    /// The cluster partition used for the random effects.
+    pub fn clusters(&self) -> &ClusterPartition {
+        &self.clusters
+    }
+
+    /// The response vector, aligned with the factorisation's row order.
+    pub fn y(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Whether each row was actually observed in the training view.
+    pub fn observed(&self) -> &[bool] {
+        &self.observed
+    }
+
+    /// Human-readable column names.
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+
+    /// Columns included in the random-effect matrix `Z`.
+    pub fn z_columns(&self) -> &[usize] {
+        &self.z_columns
+    }
+
+    /// The statistic being modelled.
+    pub fn statistic(&self) -> AggregateKind {
+        self.statistic
+    }
+
+    /// Design-row index of a group key of the (same-shaped) drill-down view.
+    pub fn row_of_key(&self, key: &GroupKey) -> Option<usize> {
+        let values: Vec<Value> = self
+            .col_gb_index
+            .iter()
+            .map(|&i| key.value(i).clone())
+            .collect();
+        self.factorization.row_index_of(&values)
+    }
+
+    /// Cluster index of a design row.
+    pub fn cluster_of_row(&self, row: usize) -> Option<usize> {
+        self.clusters
+            .clusters()
+            .iter()
+            .position(|c| row >= c.start_row && row < c.start_row + c.len)
+    }
+
+    /// Materialise the dense feature matrix (used by the Matlab-style
+    /// baseline and by tests). Exponential in the number of hierarchies.
+    pub fn materialize_x(&self) -> reptile_linalg::Matrix {
+        self.factorization.materialize(&self.features)
+    }
+}
+
+/// Builder that assembles a [`TrainingDesign`] from a parallel-groups view.
+#[derive(Debug)]
+pub struct DesignBuilder<'a> {
+    view: &'a View,
+    schema: &'a Schema,
+    statistic: AggregateKind,
+    plan: FeaturePlan,
+    empty_policy: EmptyGroupPolicy,
+}
+
+impl<'a> DesignBuilder<'a> {
+    /// Create a builder for `view` (the result of a *parallel* drill-down,
+    /// i.e. grouped by the original attributes plus the drilled attribute,
+    /// over the complaint view's provenance).
+    pub fn new(view: &'a View, schema: &'a Schema, statistic: AggregateKind) -> Self {
+        DesignBuilder {
+            view,
+            schema,
+            statistic,
+            plan: FeaturePlan::none(),
+            empty_policy: EmptyGroupPolicy::GlobalMean,
+        }
+    }
+
+    /// Attach a featurisation plan (auxiliary datasets, custom features, Z
+    /// exclusions).
+    pub fn with_plan(mut self, plan: FeaturePlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Choose how empty parallel groups are filled.
+    pub fn empty_groups(mut self, policy: EmptyGroupPolicy) -> Self {
+        self.empty_policy = policy;
+        self
+    }
+
+    /// Build the design.
+    pub fn build(self) -> Result<TrainingDesign> {
+        let view = self.view;
+        if view.is_empty() {
+            return Err(ModelError::EmptyTrainingData);
+        }
+        let group_by = view.group_by();
+        let drilled_attr = *group_by.last().expect("non-empty group-by");
+        let drilled_hierarchy = self
+            .schema
+            .hierarchy_of(drilled_attr)
+            .ok_or_else(|| {
+                ModelError::UnknownAttribute(self.schema.name(drilled_attr).to_string())
+            })?;
+
+        // Hierarchy order: every hierarchy that contributes a group-by
+        // attribute, with the drill-down hierarchy last.
+        let mut ordered: Vec<&reptile_relational::Hierarchy> = self
+            .schema
+            .hierarchies()
+            .iter()
+            .filter(|h| {
+                h.name != drilled_hierarchy.name
+                    && h.levels.iter().any(|a| group_by.contains(a))
+            })
+            .collect();
+        ordered.push(drilled_hierarchy);
+
+        // Validate extras reference grouped attributes.
+        for extra in &self.plan.extras {
+            if !group_by.contains(&extra.attr) {
+                return Err(ModelError::UnknownAttribute(extra.name.clone()));
+            }
+        }
+
+        // Per hierarchy: the level specs (base levels in hierarchy order,
+        // then extras keyed by one of those levels).
+        let gb_index_of = |attr: AttrId| group_by.iter().position(|a| *a == attr);
+        let mut factors: Vec<HierarchyFactor> = Vec::new();
+        let mut columns: Vec<ColumnSpec> = Vec::new();
+        let mut drilled_level_in_last = 0usize;
+        for (h_idx, hierarchy) in ordered.iter().enumerate() {
+            let base_levels: Vec<AttrId> = hierarchy.grouped_prefix(group_by);
+            let mut specs: Vec<ColumnSpec> = Vec::new();
+            let mut attrs: Vec<AttrId> = Vec::new();
+            for attr in &base_levels {
+                let gb_index = gb_index_of(*attr).expect("grouped attribute");
+                specs.push(ColumnSpec {
+                    name: self.schema.name(*attr).to_string(),
+                    gb_index,
+                    kind: ColumnKind::Base,
+                });
+                attrs.push(*attr);
+                if h_idx + 1 == ordered.len() && *attr == drilled_attr {
+                    drilled_level_in_last = specs.len() - 1;
+                }
+            }
+            for (e_idx, extra) in self.plan.extras.iter().enumerate() {
+                if base_levels.contains(&extra.attr) {
+                    let gb_index = gb_index_of(extra.attr).expect("grouped attribute");
+                    specs.push(ColumnSpec {
+                        name: extra.name.clone(),
+                        gb_index,
+                        kind: ColumnKind::Extra(e_idx),
+                    });
+                    attrs.push(extra.attr);
+                }
+            }
+            // Build paths from the distinct group-key projections.
+            let mut paths: Vec<Vec<Value>> = view
+                .groups()
+                .map(|(key, _)| specs.iter().map(|s| key.value(s.gb_index).clone()).collect())
+                .collect();
+            paths.sort();
+            paths.dedup();
+            factors.push(HierarchyFactor::from_paths(
+                hierarchy.name.clone(),
+                attrs,
+                paths,
+            ));
+            columns.extend(specs);
+        }
+
+        let factorization = Factorization::new(factors);
+        let n = factorization.n_rows();
+        let m = factorization.n_cols();
+        debug_assert_eq!(m, columns.len());
+
+        // Feature map: main effects for base columns, normalised auxiliary
+        // values for extra columns. The drilled attribute itself is given a
+        // constant (intercept-like) feature: its main effect would be the
+        // group's own statistic, which would leak the anomaly into the model
+        // and make every group look "expected".
+        let drilled_gb_index = group_by.len() - 1;
+        let mut features = FeatureMap::zeros(m);
+        for (c, spec) in columns.iter().enumerate() {
+            match &spec.kind {
+                ColumnKind::Base if spec.gb_index == drilled_gb_index => {
+                    let mut constant = BTreeMap::new();
+                    for (key, _) in view.groups() {
+                        constant.insert(key.value(spec.gb_index).clone(), 1.0);
+                    }
+                    features.set_column(c, constant);
+                }
+                ColumnKind::Base => {
+                    let effects = main_effects(view, spec.gb_index, self.statistic);
+                    features.set_column(c, effects);
+                }
+                ColumnKind::Extra(e_idx) => {
+                    let extra = &self.plan.extras[*e_idx];
+                    let fallback = extra.fallback();
+                    let mut mapping: BTreeMap<Value, f64> = BTreeMap::new();
+                    for (key, _) in view.groups() {
+                        let v = key.value(spec.gb_index).clone();
+                        let fv = extra.values.get(&v).copied().unwrap_or(fallback);
+                        mapping.entry(v).or_insert(fv);
+                    }
+                    normalize(&mut mapping);
+                    features.set_column(c, mapping);
+                }
+            }
+        }
+
+        // Response vector aligned with the factorisation's row order.
+        let mut y = vec![f64::NAN; n];
+        let mut observed = vec![false; n];
+        let col_gb_index: Vec<usize> = columns.iter().map(|c| c.gb_index).collect();
+        let mut sum = 0.0;
+        let mut seen = 0.0;
+        for (key, agg) in view.groups() {
+            let values: Vec<Value> = col_gb_index.iter().map(|&i| key.value(i).clone()).collect();
+            if let Some(row) = factorization.row_index_of(&values) {
+                let value = agg.value(self.statistic);
+                y[row] = value;
+                observed[row] = true;
+                sum += value;
+                seen += 1.0;
+            }
+        }
+        let fill = match self.empty_policy {
+            EmptyGroupPolicy::Zero => 0.0,
+            EmptyGroupPolicy::GlobalMean => {
+                if seen > 0.0 {
+                    sum / seen
+                } else {
+                    0.0
+                }
+            }
+        };
+        for (v, obs) in y.iter_mut().zip(&observed) {
+            if !obs {
+                *v = fill;
+            }
+        }
+
+        // Random-effect columns: everything not explicitly excluded.
+        let z_columns: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !self.plan.exclude_from_random_effects.contains(&c.name))
+            .map(|(i, _)| i)
+            .collect();
+
+        // Cluster partition: the drilled attribute and everything after it in
+        // the last hierarchy vary within a cluster.
+        let last_depth = factorization
+            .hierarchies()
+            .last()
+            .map(|h| h.depth())
+            .unwrap_or(1);
+        let intra_levels = last_depth - drilled_level_in_last;
+        let clusters = ClusterPartition::with_intra_levels(&factorization, &features, intra_levels);
+        let aggregates = DecomposedAggregates::compute(&factorization);
+
+        Ok(TrainingDesign {
+            factorization,
+            features,
+            aggregates,
+            clusters,
+            y,
+            observed,
+            column_names: columns.iter().map(|c| c.name.clone()).collect(),
+            z_columns,
+            col_gb_index,
+            statistic: self.statistic,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::ExtraFeature;
+    use reptile_relational::{Predicate, Relation};
+    use std::sync::Arc;
+
+    fn fist_relation() -> Arc<Relation> {
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["district", "village"])
+                .hierarchy("time", ["year"])
+                .measure("severity")
+                .build()
+                .unwrap(),
+        );
+        let rows: Vec<(&str, &str, i64, f64)> = vec![
+            ("Ofla", "Adishim", 1986, 8.0),
+            ("Ofla", "Adishim", 1986, 7.0),
+            ("Ofla", "Darube", 1986, 2.0),
+            ("Ofla", "Dinka", 1986, 7.5),
+            ("Ofla", "Adishim", 1987, 6.0),
+            ("Ofla", "Darube", 1987, 3.0),
+            ("Ofla", "Dinka", 1987, 6.5),
+            ("Raya", "Zata", 1986, 9.0),
+            ("Raya", "Zata", 1987, 4.0),
+        ];
+        let mut b = Relation::builder(schema);
+        for (d, v, y, s) in rows {
+            b = b
+                .row([Value::str(d), Value::str(v), Value::int(y), Value::float(s)])
+                .unwrap();
+        }
+        Arc::new(b.build())
+    }
+
+    fn training_view(rel: &Arc<Relation>) -> View {
+        let s = rel.schema().clone();
+        View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![
+                s.attr("year").unwrap(),
+                s.attr("district").unwrap(),
+                s.attr("village").unwrap(),
+            ],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_design_with_expected_shape() {
+        let rel = fist_relation();
+        let schema = rel.schema().clone();
+        let view = training_view(&rel);
+        let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .build()
+            .unwrap();
+        // hierarchies: time (year), geo (district, village) -> 3 columns
+        assert_eq!(design.n_cols(), 3);
+        // rows = 2 years x 4 villages (parallel groups incl. empty combos)
+        assert_eq!(design.n_rows(), 8);
+        assert_eq!(design.column_names(), &["year", "district", "village"]);
+        assert_eq!(design.z_columns(), &[0, 1, 2]);
+        // observed groups = 8 (Zata missing nothing: 3 Ofla villages x 2 years + Zata x 2) = 8
+        assert_eq!(design.observed().iter().filter(|o| **o).count(), 8);
+        assert_eq!(design.statistic(), AggregateKind::Mean);
+        // clusters = years x districts = 4
+        assert_eq!(design.clusters().len(), 4);
+    }
+
+    #[test]
+    fn y_is_aligned_with_groups() {
+        let rel = fist_relation();
+        let schema = rel.schema().clone();
+        let view = training_view(&rel);
+        let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .build()
+            .unwrap();
+        for (key, agg) in view.groups() {
+            let row = design.row_of_key(key).unwrap();
+            assert!((design.y()[row] - agg.mean()).abs() < 1e-9);
+            assert!(design.observed()[row]);
+            assert!(design.cluster_of_row(row).is_some());
+        }
+    }
+
+    #[test]
+    fn empty_groups_filled_by_policy() {
+        let rel = fist_relation();
+        let schema = rel.schema().clone();
+        let s = rel.schema().clone();
+        // Group by year and village only (cross product has empty combos,
+        // e.g. Zata does not exist under Ofla but the cartesian product of
+        // hierarchies is over villages x years so all are observed; instead
+        // drop a row to create an unobserved combination).
+        let filtered = Arc::new(rel.take(&(0..rel.len() - 1).collect::<Vec<_>>()));
+        let view = View::compute(
+            filtered.clone(),
+            Predicate::all(),
+            vec![
+                s.attr("year").unwrap(),
+                s.attr("district").unwrap(),
+                s.attr("village").unwrap(),
+            ],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .empty_groups(EmptyGroupPolicy::Zero)
+            .build()
+            .unwrap();
+        let unobserved: Vec<usize> = design
+            .observed()
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| !**o)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!unobserved.is_empty());
+        for row in unobserved {
+            assert_eq!(design.y()[row], 0.0);
+        }
+        let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .empty_groups(EmptyGroupPolicy::GlobalMean)
+            .build()
+            .unwrap();
+        let mean: f64 = view.groups().map(|(_, a)| a.mean()).sum::<f64>() / view.len() as f64;
+        for (i, o) in design.observed().iter().enumerate() {
+            if !o {
+                assert!((design.y()[i] - mean).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn extra_features_become_trailing_columns() {
+        let rel = fist_relation();
+        let schema = rel.schema().clone();
+        let view = training_view(&rel);
+        let mut rainfall = BTreeMap::new();
+        for (v, r) in [("Adishim", 150.0), ("Darube", 600.0), ("Dinka", 200.0), ("Zata", 220.0)] {
+            rainfall.insert(Value::str(v), r);
+        }
+        let plan = FeaturePlan::none()
+            .with_extra(ExtraFeature::new(
+                "rainfall",
+                schema.attr("village").unwrap(),
+                rainfall,
+            ))
+            .exclude_from_z("rainfall");
+        let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .with_plan(plan)
+            .build()
+            .unwrap();
+        assert_eq!(design.n_cols(), 4);
+        assert_eq!(
+            design.column_names(),
+            &["year", "district", "village", "rainfall"]
+        );
+        // rainfall excluded from random effects
+        assert_eq!(design.z_columns(), &[0, 1, 2]);
+        // the rainfall column varies within clusters (it is keyed by village)
+        assert_eq!(design.clusters().intra_columns(), &[2, 3]);
+        // rainfall features are normalised: they sum to ~0 over the domain
+        let col = design.features().column(3);
+        let sum: f64 = col.values().sum();
+        assert!(sum.abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_extra_attribute_is_rejected() {
+        let rel = fist_relation();
+        let schema = rel.schema().clone();
+        let s = rel.schema().clone();
+        let view = View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![s.attr("year").unwrap(), s.attr("district").unwrap()],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let plan = FeaturePlan::none().with_extra(ExtraFeature::new(
+            "rainfall",
+            schema.attr("village").unwrap(),
+            BTreeMap::new(),
+        ));
+        let err = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .with_plan(plan)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::UnknownAttribute(_)));
+    }
+}

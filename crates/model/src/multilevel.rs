@@ -1,0 +1,531 @@
+//! Multi-level (mixed effects) linear model trained with EM (Appendix D).
+//!
+//! The model for cluster `i` is `y_i = X_i·β + Z_i·b_i + ε_i` with
+//! `b_i ~ N(0, Σ)` and `ε_i ~ N(0, σ²I)`. Clusters are the parent groups of
+//! the drill-down (e.g. the districts when drilling from district to
+//! village); `Z_i` defaults to `X_i` restricted to the design's
+//! random-effect columns.
+//!
+//! Two training backends are provided:
+//! * [`TrainingBackend::Factorized`] — every `X`-involving product goes
+//!   through the factorised operators (gram, left/right multiplication,
+//!   per-cluster variants); the feature matrix is never materialised.
+//! * [`TrainingBackend::Materialized`] — the "Matlab/LAPACK style" baseline
+//!   used in Figure 10: the feature matrix is fully materialised and all
+//!   products are dense.
+
+use crate::design::TrainingDesign;
+use crate::{ModelError, Result};
+use reptile_factor::ops;
+use reptile_linalg::lu::invert_with_ridge;
+use reptile_linalg::Matrix;
+
+/// EM training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MultilevelConfig {
+    /// Maximum number of EM iterations (the paper uses 20).
+    pub iterations: usize,
+    /// Ridge added to gram matrices before inversion for numerical safety.
+    pub ridge: f64,
+    /// Early-stopping tolerance on the change of `β` between iterations.
+    pub tolerance: f64,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            iterations: 20,
+            ridge: 1e-8,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// Which execution path EM uses for matrix products.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrainingBackend {
+    /// Factorised operators (Reptile).
+    Factorized,
+    /// Fully materialised dense products (Matlab-style baseline).
+    Materialized,
+}
+
+/// A fitted multi-level model.
+#[derive(Debug, Clone)]
+pub struct MultilevelModel {
+    /// Fixed-effect coefficients (one per design column).
+    pub beta: Vec<f64>,
+    /// Residual variance σ².
+    pub sigma2: f64,
+    /// Random-effect covariance Σ (q × q).
+    pub sigma_b: Matrix,
+    /// Random-effect coefficients per cluster (each of length q).
+    pub b: Vec<Vec<f64>>,
+    /// Design columns included in Z.
+    pub z_columns: Vec<usize>,
+    /// Number of EM iterations actually run.
+    pub iterations_run: usize,
+    /// Whether the β change dropped below the tolerance.
+    pub converged: bool,
+    /// Residual sum of squares of the fitted values (fixed + random).
+    pub rss: f64,
+    /// Number of training rows.
+    pub n: usize,
+}
+
+impl MultilevelModel {
+    /// Fit with the default (factorised) backend.
+    pub fn fit(design: &TrainingDesign, config: MultilevelConfig) -> Result<Self> {
+        Self::fit_with_backend(design, config, TrainingBackend::Factorized)
+    }
+
+    /// Fit with an explicit backend.
+    pub fn fit_with_backend(
+        design: &TrainingDesign,
+        config: MultilevelConfig,
+        backend: TrainingBackend,
+    ) -> Result<Self> {
+        match backend {
+            TrainingBackend::Factorized => Self::fit_factorized(design, config),
+            TrainingBackend::Materialized => Self::fit_materialized(design, config),
+        }
+    }
+
+    /// Fitted values (fixed + random effects) for every design row.
+    pub fn predict_all(&self, design: &TrainingDesign) -> Vec<f64> {
+        let fixed = design.clusters().right_mult_shared_vec(&self.beta);
+        let padded: Vec<Vec<f64>> = self
+            .b
+            .iter()
+            .map(|bi| pad(bi, &self.z_columns, design.n_cols()))
+            .collect();
+        let random = design.clusters().right_mult_per_cluster_vec(&padded);
+        fixed.iter().zip(&random).map(|(f, r)| f + r).collect()
+    }
+
+    /// Fixed-effect-only predictions (`X·β`).
+    pub fn predict_fixed(&self, design: &TrainingDesign) -> Vec<f64> {
+        design.clusters().right_mult_shared_vec(&self.beta)
+    }
+
+    /// Number of estimated parameters, used for AIC: the fixed effects, the
+    /// free entries of Σ, and σ².
+    pub fn n_params(&self) -> usize {
+        let q = self.z_columns.len();
+        self.beta.len() + q * (q + 1) / 2 + 1
+    }
+
+    // ------------------------------------------------------------------
+    // Factorised EM
+    // ------------------------------------------------------------------
+    fn fit_factorized(design: &TrainingDesign, config: MultilevelConfig) -> Result<Self> {
+        if design.n_rows() == 0 {
+            return Err(ModelError::EmptyTrainingData);
+        }
+        let clusters = design.clusters();
+        let z_cols = design.z_columns().to_vec();
+        let m = design.n_cols();
+        let y = design.y();
+
+        // Precomputed, reused every iteration (Appendix D "Bottleneck").
+        let gram = ops::gram(design.aggregates(), design.features());
+        let gram_inv = invert_with_ridge(&gram, config.ridge)?;
+        let cluster_grams_full = clusters.grams();
+        let ztz: Vec<Matrix> = cluster_grams_full
+            .iter()
+            .map(|g| select_square(g, &z_cols))
+            .collect();
+
+        let xty = ops::transpose_vec_mult(y, design.aggregates(), design.features());
+        let xt_residual = |v: &[f64]| -> Vec<f64> {
+            ops::transpose_vec_mult(v, design.aggregates(), design.features())
+        };
+
+        Self::run_em(EmInputs {
+            y,
+            m,
+            z_cols,
+            gram_inv: &gram_inv,
+            ztz: &ztz,
+            xty: &xty,
+            fitted_fixed: &|beta| clusters.right_mult_shared_vec(beta),
+            zb_concat: &|padded| clusters.right_mult_per_cluster_vec(padded),
+            zt_global: &|v| {
+                clusters
+                    .left_mult_global_vec(v)
+                    .into_iter()
+                    .collect::<Vec<Vec<f64>>>()
+            },
+            xt_vec: &xt_residual,
+            config,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Materialised ("Matlab") EM — identical algorithm, dense products.
+    // ------------------------------------------------------------------
+    fn fit_materialized(design: &TrainingDesign, config: MultilevelConfig) -> Result<Self> {
+        if design.n_rows() == 0 {
+            return Err(ModelError::EmptyTrainingData);
+        }
+        let x = design.materialize_x();
+        let ranges = design.clusters().row_ranges();
+        let z_cols = design.z_columns().to_vec();
+        let m = design.n_cols();
+        let y = design.y();
+
+        let gram = x.transpose().matmul(&x)?;
+        let gram_inv = invert_with_ridge(&gram, config.ridge)?;
+        let ztz: Vec<Matrix> = ranges
+            .iter()
+            .map(|&(s, l)| {
+                let block = x.row_block(s, l);
+                select_square(&block.transpose().matmul(&block).unwrap(), &z_cols)
+            })
+            .collect();
+        let xty_m = x.transpose().matmul(&Matrix::column_vector(y))?;
+        let xty = xty_m.col(0);
+
+        let fitted_fixed = |beta: &[f64]| -> Vec<f64> {
+            x.matmul(&Matrix::column_vector(beta)).unwrap().col(0)
+        };
+        let zb_concat = |padded: &[Vec<f64>]| -> Vec<f64> {
+            let mut out = Vec::with_capacity(x.rows());
+            for (&(s, l), b) in ranges.iter().zip(padded) {
+                let block = x.row_block(s, l);
+                out.extend(block.matmul(&Matrix::column_vector(b)).unwrap().col(0));
+            }
+            out
+        };
+        let zt_global = |v: &[f64]| -> Vec<Vec<f64>> {
+            ranges
+                .iter()
+                .map(|&(s, l)| {
+                    let block = x.row_block(s, l);
+                    Matrix::row_vector(&v[s..s + l])
+                        .matmul(&block)
+                        .unwrap()
+                        .row(0)
+                        .to_vec()
+                })
+                .collect()
+        };
+        let xt_vec = |v: &[f64]| -> Vec<f64> {
+            x.transpose()
+                .matmul(&Matrix::column_vector(v))
+                .unwrap()
+                .col(0)
+        };
+
+        Self::run_em(EmInputs {
+            y,
+            m,
+            z_cols,
+            gram_inv: &gram_inv,
+            ztz: &ztz,
+            xty: &xty,
+            fitted_fixed: &fitted_fixed,
+            zb_concat: &zb_concat,
+            zt_global: &zt_global,
+            xt_vec: &xt_vec,
+            config,
+        })
+    }
+
+    /// The EM iterations themselves, shared between backends.
+    fn run_em(inputs: EmInputs<'_>) -> Result<Self> {
+        let EmInputs {
+            y,
+            m,
+            z_cols,
+            gram_inv,
+            ztz,
+            xty,
+            fitted_fixed,
+            zb_concat,
+            zt_global,
+            xt_vec,
+            config,
+        } = inputs;
+        let n = y.len();
+        let q = z_cols.len();
+        let g = ztz.len();
+
+        // Initialise with the OLS solution.
+        let mut beta = gram_inv.matmul(&Matrix::column_vector(xty))?.col(0);
+        let mut fitted = fitted_fixed(&beta);
+        let mut sigma2 = residual_ss(y, &fitted) / n.max(1) as f64;
+        sigma2 = sigma2.max(1e-9);
+        let mut sigma_b = Matrix::identity(q).scale(sigma2.max(1e-6));
+        let mut b: Vec<Vec<f64>> = vec![vec![0.0; q]; g];
+        let mut iterations_run = 0usize;
+        let mut converged = false;
+
+        for _ in 0..config.iterations {
+            iterations_run += 1;
+            // ---------------- E step ----------------
+            let sigma_b_inv = invert_with_ridge(&sigma_b, config.ridge)?;
+            let residual: Vec<f64> = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
+            let zt_r = zt_global(&residual);
+            let mut e_bbt: Vec<Matrix> = Vec::with_capacity(g);
+            for i in 0..g {
+                // V_i = (Z_iᵀZ_i / σ² + Σ⁻¹)⁻¹
+                let vi_inner = ztz[i].scale(1.0 / sigma2).add(&sigma_b_inv)?;
+                let vi = invert_with_ridge(&vi_inner, config.ridge)?;
+                // μ_i = V_i Z_iᵀ (y_i − X_i β) / σ²
+                let zt_ri: Vec<f64> = z_cols.iter().map(|&c| zt_r[i][c]).collect();
+                let mu = vi
+                    .matmul(&Matrix::column_vector(&zt_ri))?
+                    .scale(1.0 / sigma2);
+                let mu_vec = mu.col(0);
+                let mu_outer = mu.matmul(&mu.transpose())?;
+                e_bbt.push(vi.add(&mu_outer)?);
+                b[i] = mu_vec;
+            }
+
+            // ---------------- M step ----------------
+            let padded: Vec<Vec<f64>> = b.iter().map(|bi| pad(bi, &z_cols, m)).collect();
+            let zb = zb_concat(&padded);
+            let y_minus_zb: Vec<f64> = y.iter().zip(&zb).map(|(yi, z)| yi - z).collect();
+            let xt_y_minus_zb = xt_vec(&y_minus_zb);
+            let new_beta = gram_inv
+                .matmul(&Matrix::column_vector(&xt_y_minus_zb))?
+                .col(0);
+
+            // Σ = (1/G) Σ_i E[b_i b_iᵀ]
+            let mut sigma_sum = Matrix::zeros(q, q);
+            for e in &e_bbt {
+                sigma_sum = sigma_sum.add(e)?;
+            }
+            sigma_b = sigma_sum.scale(1.0 / g.max(1) as f64);
+
+            // σ² = (1/n)[(y−Xβ)ᵀ(y−Xβ) + Σ Tr(Z_iᵀZ_i·E[bbᵀ]) − 2(y−Xβ)ᵀ(Z·b)]
+            fitted = fitted_fixed(&new_beta);
+            let resid: Vec<f64> = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
+            let rtr: f64 = resid.iter().map(|r| r * r).sum();
+            let mut trace_term = 0.0;
+            for (zz, e) in ztz.iter().zip(&e_bbt) {
+                trace_term += zz.matmul(e)?.trace()?;
+            }
+            let cross: f64 = resid.iter().zip(&zb).map(|(r, z)| r * z).sum();
+            sigma2 = ((rtr + trace_term - 2.0 * cross) / n as f64).max(1e-12);
+
+            let delta: f64 = beta
+                .iter()
+                .zip(&new_beta)
+                .map(|(a, c)| (a - c) * (a - c))
+                .sum::<f64>()
+                .sqrt();
+            beta = new_beta;
+            if delta < config.tolerance {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final fitted values include the random effects.
+        let padded: Vec<Vec<f64>> = b.iter().map(|bi| pad(bi, &z_cols, m)).collect();
+        let zb = zb_concat(&padded);
+        let fixed = fitted_fixed(&beta);
+        let rss: f64 = y
+            .iter()
+            .zip(fixed.iter().zip(&zb))
+            .map(|(yi, (f, z))| {
+                let e = yi - f - z;
+                e * e
+            })
+            .sum();
+
+        Ok(MultilevelModel {
+            beta,
+            sigma2,
+            sigma_b,
+            b,
+            z_columns: z_cols,
+            iterations_run,
+            converged,
+            rss,
+            n,
+        })
+    }
+}
+
+/// Bundled inputs for the shared EM loop.
+struct EmInputs<'a> {
+    y: &'a [f64],
+    m: usize,
+    z_cols: Vec<usize>,
+    gram_inv: &'a Matrix,
+    ztz: &'a [Matrix],
+    xty: &'a [f64],
+    fitted_fixed: &'a dyn Fn(&[f64]) -> Vec<f64>,
+    zb_concat: &'a dyn Fn(&[Vec<f64>]) -> Vec<f64>,
+    zt_global: &'a dyn Fn(&[f64]) -> Vec<Vec<f64>>,
+    xt_vec: &'a dyn Fn(&[f64]) -> Vec<f64>,
+    config: MultilevelConfig,
+}
+
+/// Expand a q-vector over `z_cols` into an m-vector with zeros elsewhere.
+fn pad(b: &[f64], z_cols: &[usize], m: usize) -> Vec<f64> {
+    let mut out = vec![0.0; m];
+    for (v, &c) in b.iter().zip(z_cols) {
+        out[c] = *v;
+    }
+    out
+}
+
+/// Select the square sub-matrix of `m` given row/column indices.
+fn select_square(m: &Matrix, idx: &[usize]) -> Matrix {
+    Matrix::from_fn(idx.len(), idx.len(), |r, c| m.get(idx[r], idx[c]))
+}
+
+fn residual_ss(y: &[f64], fitted: &[f64]) -> f64 {
+    y.iter().zip(fitted).map(|(a, b)| (a - b) * (a - b)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DesignBuilder;
+    use crate::linear::LinearModel;
+    use reptile_relational::{AggregateKind, Predicate, Relation, Schema, Value, View};
+    use std::sync::Arc;
+
+    /// Hierarchical dataset with strong cluster effects: each district has a
+    /// systematic offset on top of a year effect; villages add noise.
+    fn clustered_dataset(noise: f64) -> (Arc<Relation>, View) {
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("time", ["year"])
+                .hierarchy("geo", ["district", "village"])
+                .measure("m")
+                .build()
+                .unwrap(),
+        );
+        let mut b = Relation::builder(schema.clone());
+        let mut seed = 17u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / u32::MAX as f64) - 0.5
+        };
+        for (yi, year) in [2000i64, 2001, 2002].iter().enumerate() {
+            for (di, district) in ["D0", "D1", "D2", "D3"].iter().enumerate() {
+                for v in 0..4 {
+                    let value = 10.0 * (yi as f64 + 1.0) + 5.0 * di as f64 + noise * next();
+                    b = b
+                        .row([
+                            Value::int(*year),
+                            Value::str(*district),
+                            Value::str(format!("{district}-v{v}")),
+                            Value::float(value),
+                        ])
+                        .unwrap();
+                }
+            }
+        }
+        let rel = Arc::new(b.build());
+        let s = rel.schema().clone();
+        let view = View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![
+                s.attr("year").unwrap(),
+                s.attr("district").unwrap(),
+                s.attr("village").unwrap(),
+            ],
+            s.attr("m").unwrap(),
+        )
+        .unwrap();
+        (rel, view)
+    }
+
+    #[test]
+    fn factorized_and_materialized_backends_agree() {
+        let (rel, view) = clustered_dataset(1.0);
+        let schema = rel.schema().clone();
+        let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .build()
+            .unwrap();
+        let config = MultilevelConfig {
+            iterations: 10,
+            ..Default::default()
+        };
+        let fact = MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Factorized)
+            .unwrap();
+        let dense =
+            MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Materialized)
+                .unwrap();
+        for (a, b) in fact.beta.iter().zip(&dense.beta) {
+            assert!((a - b).abs() < 1e-6, "beta mismatch: {a} vs {b}");
+        }
+        assert!((fact.sigma2 - dense.sigma2).abs() < 1e-6);
+        assert!(fact.sigma_b.max_abs_diff(&dense.sigma_b) < 1e-6);
+        let pf = fact.predict_all(&design);
+        let pd = dense.predict_all(&design);
+        for (a, b) in pf.iter().zip(&pd) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn multilevel_fits_cluster_offsets_better_than_ols() {
+        let (rel, view) = clustered_dataset(2.0);
+        let schema = rel.schema().clone();
+        let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .build()
+            .unwrap();
+        let linear = LinearModel::fit(&design).unwrap();
+        let ml = MultilevelModel::fit(&design, MultilevelConfig::default()).unwrap();
+        assert!(ml.iterations_run >= 1);
+        assert!(
+            ml.rss <= linear.rss + 1e-9,
+            "multi-level RSS {} should not exceed OLS RSS {}",
+            ml.rss,
+            linear.rss
+        );
+        assert_eq!(ml.b.len(), design.clusters().len());
+        assert_eq!(ml.n_params(), design.n_cols() + design.n_cols() * (design.n_cols() + 1) / 2 + 1);
+    }
+
+    #[test]
+    fn predictions_are_reasonable_for_observed_groups() {
+        let (rel, view) = clustered_dataset(0.5);
+        let schema = rel.schema().clone();
+        let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .build()
+            .unwrap();
+        let ml = MultilevelModel::fit(&design, MultilevelConfig::default()).unwrap();
+        let preds = ml.predict_all(&design);
+        let mut total_err = 0.0;
+        let mut count = 0.0;
+        for (row, obs) in design.observed().iter().enumerate() {
+            if *obs {
+                total_err += (preds[row] - design.y()[row]).abs();
+                count += 1.0;
+            }
+        }
+        // Mean absolute error well under the scale of the data (10..45).
+        assert!(total_err / count < 2.0, "MAE = {}", total_err / count);
+    }
+
+    #[test]
+    fn fixed_predictions_exclude_random_effects() {
+        let (rel, view) = clustered_dataset(1.0);
+        let schema = rel.schema().clone();
+        let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .build()
+            .unwrap();
+        let ml = MultilevelModel::fit(&design, MultilevelConfig::default()).unwrap();
+        let fixed = ml.predict_fixed(&design);
+        let full = ml.predict_all(&design);
+        assert_eq!(fixed.len(), full.len());
+        // Random effects are non-trivial for this clustered data, so the two
+        // prediction vectors must differ somewhere.
+        let diff: f64 = fixed
+            .iter()
+            .zip(&full)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(diff > 1e-8);
+    }
+}

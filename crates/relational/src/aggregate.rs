@@ -1,0 +1,389 @@
+//! Distributive aggregation.
+//!
+//! The paper (Section 3.1 and Appendix A) requires the complaint's aggregation
+//! function to be *distributive*: given a partition of the input into subsets
+//! `R1..RJ`, there is a merge function `G` with `f(R) = G(f(R1), ..., f(RJ))`.
+//!
+//! [`AggState`] carries the sufficient statistics (count, sum, sum of squares,
+//! min, max) from which COUNT / SUM / MEAN / STD / VAR / MIN / MAX all derive,
+//! and [`AggState::merge`] implements `G` exactly as in Appendix A.
+//! Repair helpers ([`AggState::with_mean`], [`AggState::with_count`],
+//! [`AggState::with_std`]) produce the "repaired tuple" of the paper's
+//! `frepair` while keeping the other statistics consistent, so a repaired
+//! group can be re-merged into its parent.
+
+/// The aggregate statistic a complaint or repair refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateKind {
+    /// Number of input rows.
+    Count,
+    /// Sum of the measure.
+    Sum,
+    /// Arithmetic mean of the measure.
+    Mean,
+    /// Sample standard deviation of the measure.
+    Std,
+    /// Sample variance of the measure.
+    Var,
+    /// Minimum of the measure.
+    Min,
+    /// Maximum of the measure.
+    Max,
+}
+
+impl AggregateKind {
+    /// Human readable name (used in reports and complaints).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregateKind::Count => "COUNT",
+            AggregateKind::Sum => "SUM",
+            AggregateKind::Mean => "MEAN",
+            AggregateKind::Std => "STD",
+            AggregateKind::Var => "VAR",
+            AggregateKind::Min => "MIN",
+            AggregateKind::Max => "MAX",
+        }
+    }
+}
+
+/// Sufficient statistics for the distributive set {COUNT, SUM, MEAN, STD}.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggState {
+    /// Number of (possibly weighted) rows.
+    pub count: f64,
+    /// Sum of measure values.
+    pub sum: f64,
+    /// Sum of squared measure values.
+    pub sumsq: f64,
+    /// Minimum observed value (`f64::INFINITY` if empty).
+    pub min: f64,
+    /// Maximum observed value (`f64::NEG_INFINITY` if empty).
+    pub max: f64,
+}
+
+impl Default for AggState {
+    fn default() -> Self {
+        AggState::empty()
+    }
+}
+
+impl AggState {
+    /// The empty aggregate (identity of `merge`).
+    pub fn empty() -> Self {
+        AggState {
+            count: 0.0,
+            sum: 0.0,
+            sumsq: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Aggregate of a single measure value.
+    pub fn of(value: f64) -> Self {
+        AggState {
+            count: 1.0,
+            sum: value,
+            sumsq: value * value,
+            min: value,
+            max: value,
+        }
+    }
+
+    /// Build a state from (count, mean, sample std). Used when repairing a
+    /// group to externally predicted statistics.
+    pub fn from_stats(count: f64, mean: f64, std: f64) -> Self {
+        let count = count.max(0.0);
+        let sum = mean * count;
+        let var = std * std;
+        // sample variance: var = (sumsq - count * mean^2) / (count - 1)
+        let sumsq = if count > 1.0 {
+            var * (count - 1.0) + count * mean * mean
+        } else {
+            count * mean * mean
+        };
+        AggState {
+            count,
+            sum,
+            sumsq,
+            min: mean,
+            max: mean,
+        }
+    }
+
+    /// Fold one measure value into the state.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1.0;
+        self.sum += value;
+        self.sumsq += value * value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// The merge function `G` of Appendix A: combine the aggregates of two
+    /// disjoint partitions.
+    pub fn merge(&self, other: &AggState) -> AggState {
+        AggState {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            sumsq: self.sumsq + other.sumsq,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Remove a previously merged partition (inverse of [`AggState::merge`]
+    /// for count/sum/sumsq; min/max become approximate and are clamped to the
+    /// remaining extremes). Used to re-derive a parent aggregate after
+    /// swapping one child for its repaired version.
+    pub fn unmerge(&self, other: &AggState) -> AggState {
+        AggState {
+            count: (self.count - other.count).max(0.0),
+            sum: self.sum - other.sum,
+            sumsq: self.sumsq - other.sumsq,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Is this the empty aggregate?
+    pub fn is_empty(&self) -> bool {
+        self.count <= 0.0
+    }
+
+    /// COUNT.
+    pub fn count(&self) -> f64 {
+        self.count
+    }
+
+    /// SUM.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// MEAN (0 for the empty aggregate).
+    pub fn mean(&self) -> f64 {
+        if self.count > 0.0 {
+            self.sum / self.count
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample variance (0 when fewer than two rows).
+    pub fn var(&self) -> f64 {
+        if self.count > 1.0 {
+            let m = self.mean();
+            ((self.sumsq - self.count * m * m) / (self.count - 1.0)).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.var().sqrt()
+    }
+
+    /// Evaluate any supported aggregate.
+    pub fn value(&self, kind: AggregateKind) -> f64 {
+        match kind {
+            AggregateKind::Count => self.count(),
+            AggregateKind::Sum => self.sum(),
+            AggregateKind::Mean => self.mean(),
+            AggregateKind::Std => self.std(),
+            AggregateKind::Var => self.var(),
+            AggregateKind::Min => {
+                if self.is_empty() {
+                    0.0
+                } else {
+                    self.min
+                }
+            }
+            AggregateKind::Max => {
+                if self.is_empty() {
+                    0.0
+                } else {
+                    self.max
+                }
+            }
+        }
+    }
+
+    /// Repaired state whose MEAN equals `mean`, keeping COUNT and STD.
+    pub fn with_mean(&self, mean: f64) -> AggState {
+        AggState::from_stats(self.count, mean, self.std())
+    }
+
+    /// Repaired state whose COUNT equals `count`, keeping MEAN and STD.
+    pub fn with_count(&self, count: f64) -> AggState {
+        AggState::from_stats(count, self.mean(), self.std())
+    }
+
+    /// Repaired state whose STD equals `std`, keeping COUNT and MEAN.
+    pub fn with_std(&self, std: f64) -> AggState {
+        AggState::from_stats(self.count, self.mean(), std)
+    }
+
+    /// Repaired state whose statistic `kind` equals `target`, keeping the
+    /// others fixed where that is well defined. SUM repairs adjust the mean
+    /// (count kept); MIN/MAX repairs fall back to a mean shift.
+    pub fn repaired_to(&self, kind: AggregateKind, target: f64) -> AggState {
+        match kind {
+            AggregateKind::Count => self.with_count(target),
+            AggregateKind::Mean => self.with_mean(target),
+            AggregateKind::Std | AggregateKind::Var => {
+                let std = if kind == AggregateKind::Var {
+                    target.max(0.0).sqrt()
+                } else {
+                    target.max(0.0)
+                };
+                self.with_std(std)
+            }
+            AggregateKind::Sum => {
+                if self.count > 0.0 {
+                    self.with_mean(target / self.count)
+                } else {
+                    AggState::from_stats(1.0, target, 0.0)
+                }
+            }
+            AggregateKind::Min | AggregateKind::Max => self.with_mean(target),
+        }
+    }
+}
+
+/// Aggregate a slice of measure values directly (convenience used in tests
+/// and baselines).
+pub fn aggregate_values(values: &[f64]) -> AggState {
+    let mut s = AggState::empty();
+    for v in values {
+        s.push(*v);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn push_matches_textbook_statistics() {
+        let s = aggregate_values(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        approx(s.count(), 8.0);
+        approx(s.sum(), 40.0);
+        approx(s.mean(), 5.0);
+        // sample variance of that classic sequence is 32/7
+        approx(s.var(), 32.0 / 7.0);
+        approx(s.std(), (32.0f64 / 7.0).sqrt());
+        approx(s.value(AggregateKind::Min), 2.0);
+        approx(s.value(AggregateKind::Max), 9.0);
+    }
+
+    #[test]
+    fn merge_is_distributive() {
+        let all = aggregate_values(&[1.0, 2.0, 3.0, 10.0, 20.0]);
+        let left = aggregate_values(&[1.0, 2.0, 3.0]);
+        let right = aggregate_values(&[10.0, 20.0]);
+        let merged = left.merge(&right);
+        approx(merged.count(), all.count());
+        approx(merged.sum(), all.sum());
+        approx(merged.mean(), all.mean());
+        approx(merged.std(), all.std());
+        approx(merged.value(AggregateKind::Min), 1.0);
+        approx(merged.value(AggregateKind::Max), 20.0);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let s = aggregate_values(&[5.0, 6.0]);
+        let merged = s.merge(&AggState::empty());
+        approx(merged.count(), s.count());
+        approx(merged.mean(), s.mean());
+        approx(merged.std(), s.std());
+    }
+
+    #[test]
+    fn unmerge_inverts_merge() {
+        let left = aggregate_values(&[1.0, 2.0, 3.0]);
+        let right = aggregate_values(&[10.0, 20.0]);
+        let merged = left.merge(&right);
+        let back = merged.unmerge(&right);
+        approx(back.count(), left.count());
+        approx(back.sum(), left.sum());
+        approx(back.mean(), left.mean());
+        approx(back.var(), left.var());
+    }
+
+    #[test]
+    fn from_stats_round_trips() {
+        let orig = aggregate_values(&[3.0, 5.0, 7.0, 9.0]);
+        let rebuilt = AggState::from_stats(orig.count(), orig.mean(), orig.std());
+        approx(rebuilt.count(), orig.count());
+        approx(rebuilt.mean(), orig.mean());
+        approx(rebuilt.std(), orig.std());
+    }
+
+    #[test]
+    fn repairs_keep_other_statistics() {
+        let s = aggregate_values(&[3.0, 5.0, 7.0, 9.0]);
+        let r = s.with_mean(100.0);
+        approx(r.mean(), 100.0);
+        approx(r.count(), s.count());
+        approx(r.std(), s.std());
+
+        let r = s.with_count(40.0);
+        approx(r.count(), 40.0);
+        approx(r.mean(), s.mean());
+        approx(r.std(), s.std());
+
+        let r = s.with_std(0.0);
+        approx(r.std(), 0.0);
+        approx(r.mean(), s.mean());
+
+        let r = s.repaired_to(AggregateKind::Sum, 100.0);
+        approx(r.sum(), 100.0);
+        approx(r.count(), s.count());
+    }
+
+    #[test]
+    fn repairing_then_remerging_changes_parent() {
+        // Example 8 of the paper: Ofla's 1986 count is 62, should be 70.
+        // Zata's count is repaired from 9 to 17 and the parent recombines.
+        let zata = AggState::from_stats(9.0, 2.2, 1.9);
+        let rest = AggState::from_stats(53.0, 7.6, 1.6);
+        let parent = rest.merge(&zata);
+        approx(parent.count(), 62.0);
+        let repaired = zata.with_count(17.0);
+        let parent_after = rest.merge(&repaired);
+        approx(parent_after.count(), 70.0);
+    }
+
+    #[test]
+    fn single_row_and_empty_edge_cases() {
+        let one = AggState::of(4.0);
+        approx(one.count(), 1.0);
+        approx(one.std(), 0.0);
+        let empty = AggState::empty();
+        assert!(empty.is_empty());
+        approx(empty.mean(), 0.0);
+        approx(empty.value(AggregateKind::Min), 0.0);
+        approx(empty.value(AggregateKind::Max), 0.0);
+        let repaired = empty.repaired_to(AggregateKind::Sum, 5.0);
+        approx(repaired.sum(), 5.0);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(AggregateKind::Count.name(), "COUNT");
+        assert_eq!(AggregateKind::Std.name(), "STD");
+        assert_eq!(AggregateKind::Sum.name(), "SUM");
+    }
+}

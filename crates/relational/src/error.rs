@@ -1,0 +1,92 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors produced by schema construction, relation building and view
+/// evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// An attribute name was referenced but does not exist in the schema.
+    UnknownAttribute(String),
+    /// An attribute id was out of range for the schema.
+    AttributeOutOfRange(usize),
+    /// A row was appended whose arity does not match the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// A hierarchy was declared whose attributes violate the required
+    /// functional dependency (more specific -> less specific).
+    FunctionalDependencyViolation {
+        hierarchy: String,
+        specific: String,
+        parents: usize,
+    },
+    /// The same attribute was assigned to two dimensions / roles.
+    DuplicateAttribute(String),
+    /// A measure attribute contained a non-numeric value.
+    NonNumericMeasure { attribute: String, row: usize },
+    /// An operation needed a group that does not exist in the view.
+    UnknownGroup(String),
+    /// A drill-down was requested on a hierarchy that has no further levels.
+    NoMoreLevels(String),
+    /// Catch-all for invalid arguments.
+    Invalid(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownAttribute(name) => {
+                write!(f, "unknown attribute `{name}`")
+            }
+            RelationalError::AttributeOutOfRange(id) => {
+                write!(f, "attribute id {id} out of range")
+            }
+            RelationalError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected}, got {got}")
+            }
+            RelationalError::FunctionalDependencyViolation {
+                hierarchy,
+                specific,
+                parents,
+            } => write!(
+                f,
+                "hierarchy `{hierarchy}` violates its functional dependency: \
+                 value `{specific}` has {parents} distinct parents"
+            ),
+            RelationalError::DuplicateAttribute(name) => {
+                write!(f, "attribute `{name}` declared more than once")
+            }
+            RelationalError::NonNumericMeasure { attribute, row } => {
+                write!(f, "measure `{attribute}` has a non-numeric value at row {row}")
+            }
+            RelationalError::UnknownGroup(key) => write!(f, "unknown group `{key}`"),
+            RelationalError::NoMoreLevels(h) => {
+                write!(f, "hierarchy `{h}` has no further level to drill into")
+            }
+            RelationalError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = RelationalError::UnknownAttribute("village".into());
+        assert!(e.to_string().contains("village"));
+        let e = RelationalError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = RelationalError::FunctionalDependencyViolation {
+            hierarchy: "geo".into(),
+            specific: "Dinka".into(),
+            parents: 2,
+        };
+        assert!(e.to_string().contains("geo"));
+        assert!(e.to_string().contains("Dinka"));
+        let e = RelationalError::NoMoreLevels("time".into());
+        assert!(e.to_string().contains("time"));
+    }
+}

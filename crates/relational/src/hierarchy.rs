@@ -1,0 +1,191 @@
+//! Hierarchy metadata derived from data: functional-dependency validation and
+//! per-level parent/child maps.
+
+use crate::error::RelationalError;
+use crate::relation::Relation;
+use crate::schema::{AttrId, Hierarchy};
+use crate::value::Value;
+use crate::Result;
+use std::collections::BTreeMap;
+
+/// Validate that a hierarchy's functional dependencies hold on the data: for
+/// each pair of adjacent levels `(parent, child)`, every child value maps to a
+/// single parent value.
+pub fn validate_hierarchy(relation: &Relation, hierarchy: &Hierarchy) -> Result<()> {
+    for win in hierarchy.levels.windows(2) {
+        let (parent, child) = (win[0], win[1]);
+        let mut map: BTreeMap<&Value, &Value> = BTreeMap::new();
+        let mut bad: BTreeMap<&Value, usize> = BTreeMap::new();
+        for row in 0..relation.len() {
+            let c = relation.value(row, child);
+            let p = relation.value(row, parent);
+            match map.get(c) {
+                None => {
+                    map.insert(c, p);
+                }
+                Some(existing) if *existing == p => {}
+                Some(_) => {
+                    *bad.entry(c).or_insert(1) += 1;
+                }
+            }
+        }
+        if let Some((value, parents)) = bad.into_iter().next() {
+            return Err(RelationalError::FunctionalDependencyViolation {
+                hierarchy: hierarchy.name.clone(),
+                specific: value.to_string(),
+                parents: parents + 1,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Materialised level structure of one hierarchy: the sorted domain of each
+/// level and, for every non-root level, the map from child value to its parent
+/// value. This is the normalised (BCNF) form the factoriser stores.
+#[derive(Debug, Clone)]
+pub struct HierarchyLevels {
+    /// The hierarchy's attribute ids, least specific first.
+    pub levels: Vec<AttrId>,
+    /// Sorted distinct values of each level.
+    pub domains: Vec<Vec<Value>>,
+    /// For level `i > 0`: map child value -> parent value (level `i-1`).
+    pub parent_of: Vec<BTreeMap<Value, Value>>,
+}
+
+impl HierarchyLevels {
+    /// Build the level structure from data; validates the functional
+    /// dependencies as a side effect.
+    pub fn from_relation(relation: &Relation, hierarchy: &Hierarchy) -> Result<Self> {
+        validate_hierarchy(relation, hierarchy)?;
+        let mut domains = Vec::with_capacity(hierarchy.levels.len());
+        for attr in &hierarchy.levels {
+            domains.push(relation.distinct(*attr));
+        }
+        let mut parent_of = vec![BTreeMap::new()];
+        for win in hierarchy.levels.windows(2) {
+            let (parent, child) = (win[0], win[1]);
+            let mut map = BTreeMap::new();
+            for row in 0..relation.len() {
+                map.entry(relation.value(row, child).clone())
+                    .or_insert_with(|| relation.value(row, parent).clone());
+            }
+            parent_of.push(map);
+        }
+        Ok(HierarchyLevels {
+            levels: hierarchy.levels.clone(),
+            domains,
+            parent_of,
+        })
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The children of `parent` at level `level` (i.e. values at `level` whose
+    /// parent at `level-1` equals `parent`).
+    pub fn children(&self, level: usize, parent: &Value) -> Vec<Value> {
+        if level == 0 || level >= self.depth() {
+            return Vec::new();
+        }
+        self.parent_of[level]
+            .iter()
+            .filter(|(_, p)| *p == parent)
+            .map(|(c, _)| c.clone())
+            .collect()
+    }
+
+    /// The ancestor of `value` (a value of level `level`) at level
+    /// `ancestor_level <= level`.
+    pub fn ancestor(&self, level: usize, value: &Value, ancestor_level: usize) -> Option<Value> {
+        if ancestor_level > level || level >= self.depth() {
+            return None;
+        }
+        let mut cur = value.clone();
+        let mut l = level;
+        while l > ancestor_level {
+            cur = self.parent_of[l].get(&cur)?.clone();
+            l -= 1;
+        }
+        Some(cur)
+    }
+
+    /// Total number of distinct values at the leaf level.
+    pub fn leaf_cardinality(&self) -> usize {
+        self.domains.last().map(|d| d.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn geo_relation(consistent: bool) -> (Relation, Hierarchy) {
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["region", "district", "village"])
+                .measure("severity")
+                .build()
+                .unwrap(),
+        );
+        let h = schema.hierarchy("geo").unwrap().clone();
+        let mut b = Relation::builder(schema.clone())
+            .row(["Tigray", "Ofla", "Adishim", "8"])
+            .unwrap()
+            .row(["Tigray", "Ofla", "Darube", "2"])
+            .unwrap()
+            .row(["Tigray", "Raya", "Zata", "5"])
+            .unwrap()
+            .row(["Amhara", "Dessie", "Kombolcha", "6"])
+            .unwrap();
+        if !consistent {
+            // Adishim now also appears under a different district => FD violated.
+            b = b.row(["Tigray", "Raya", "Adishim", "3"]).unwrap();
+        }
+        (b.build(), h)
+    }
+
+    #[test]
+    fn valid_hierarchy_passes() {
+        let (r, h) = geo_relation(true);
+        assert!(validate_hierarchy(&r, &h).is_ok());
+    }
+
+    #[test]
+    fn fd_violation_detected() {
+        let (r, h) = geo_relation(false);
+        let err = validate_hierarchy(&r, &h).unwrap_err();
+        assert!(matches!(
+            err,
+            RelationalError::FunctionalDependencyViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn levels_capture_parent_child_structure() {
+        let (r, h) = geo_relation(true);
+        let levels = HierarchyLevels::from_relation(&r, &h).unwrap();
+        assert_eq!(levels.depth(), 3);
+        assert_eq!(levels.domains[0].len(), 2); // Tigray, Amhara
+        assert_eq!(levels.domains[1].len(), 3); // Ofla, Raya, Dessie
+        assert_eq!(levels.leaf_cardinality(), 4);
+        let mut kids = levels.children(2, &Value::str("Ofla"));
+        kids.sort();
+        assert_eq!(kids, vec![Value::str("Adishim"), Value::str("Darube")]);
+        assert_eq!(
+            levels.ancestor(2, &Value::str("Zata"), 0),
+            Some(Value::str("Tigray"))
+        );
+        assert_eq!(
+            levels.ancestor(2, &Value::str("Kombolcha"), 1),
+            Some(Value::str("Dessie"))
+        );
+        assert_eq!(levels.ancestor(0, &Value::str("Tigray"), 0), Some(Value::str("Tigray")));
+        assert_eq!(levels.ancestor(0, &Value::str("Tigray"), 1), None);
+        assert!(levels.children(0, &Value::str("Tigray")).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! Relational substrate for the Reptile reproduction.
+//!
+//! This crate provides the base data model that the Reptile explanation
+//! engine (SIGMOD 2022, Huang & Wu) is defined over:
+//!
+//! * typed [`Value`]s and columnar [`Relation`]s,
+//! * [`Schema`]s whose dimension attributes are partitioned into
+//!   [`Hierarchy`] dimensions (e.g. `Region -> District -> Village`),
+//! * distributive aggregation ([`AggState`], [`AggregateKind`]) together with
+//!   the merge functions `G` of the paper's Appendix A,
+//! * group-by [`View`]s, provenance filters and the `drilldown` operator of
+//!   Section 3.1.
+//!
+//! Everything in the factorised representation, the multi-level model and the
+//! Reptile engine itself is built on top of these types.
+
+pub mod aggregate;
+pub mod error;
+pub mod hierarchy;
+pub mod predicate;
+pub mod relation;
+pub mod schema;
+pub mod value;
+pub mod view;
+
+pub use aggregate::{AggState, AggregateKind};
+pub use error::RelationalError;
+pub use hierarchy::{validate_hierarchy, HierarchyLevels};
+pub use predicate::Predicate;
+pub use relation::{Relation, RelationBuilder};
+pub use schema::{AttrId, Attribute, AttributeRole, Hierarchy, Schema, SchemaBuilder};
+pub use value::Value;
+pub use view::{DrillDownResult, GroupKey, View};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelationalError>;

@@ -1,0 +1,131 @@
+//! Conjunctive equality predicates used for provenance filters.
+
+use crate::relation::Relation;
+use crate::schema::AttrId;
+use crate::value::Value;
+
+/// A conjunction of `attribute = value` terms.
+///
+/// This is the predicate shape produced by drilling down: the provenance of a
+/// group tuple is exactly the rows matching the tuple's group-by values.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Predicate {
+    terms: Vec<(AttrId, Value)>,
+}
+
+impl Predicate {
+    /// The always-true predicate.
+    pub fn all() -> Self {
+        Predicate { terms: Vec::new() }
+    }
+
+    /// Predicate with a single equality term.
+    pub fn eq(attr: AttrId, value: Value) -> Self {
+        Predicate {
+            terms: vec![(attr, value)],
+        }
+    }
+
+    /// Add an equality term (replacing an existing term on the same attribute).
+    pub fn and_eq(mut self, attr: AttrId, value: Value) -> Self {
+        if let Some(t) = self.terms.iter_mut().find(|(a, _)| *a == attr) {
+            t.1 = value;
+        } else {
+            self.terms.push((attr, value));
+        }
+        self
+    }
+
+    /// The equality terms of the predicate.
+    pub fn terms(&self) -> &[(AttrId, Value)] {
+        &self.terms
+    }
+
+    /// Whether the predicate constrains `attr`.
+    pub fn constrains(&self, attr: AttrId) -> bool {
+        self.terms.iter().any(|(a, _)| *a == attr)
+    }
+
+    /// The value the predicate pins `attr` to, if any.
+    pub fn value_of(&self, attr: AttrId) -> Option<&Value> {
+        self.terms.iter().find(|(a, _)| *a == attr).map(|(_, v)| v)
+    }
+
+    /// Evaluate against a row of `relation`.
+    pub fn matches(&self, relation: &Relation, row: usize) -> bool {
+        self.terms
+            .iter()
+            .all(|(attr, value)| relation.value(row, *attr) == value)
+    }
+
+    /// Row indices of `relation` satisfying the predicate.
+    pub fn select(&self, relation: &Relation) -> Vec<usize> {
+        (0..relation.len())
+            .filter(|&r| self.matches(relation, r))
+            .collect()
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the predicate is the trivial always-true predicate.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn rel() -> Relation {
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["district", "village"])
+                .hierarchy("time", ["year"])
+                .measure("severity")
+                .build()
+                .unwrap(),
+        );
+        Relation::builder(schema)
+            .row(["Ofla", "Adishim", "1986", "8"])
+            .unwrap()
+            .row(["Ofla", "Darube", "1986", "2"])
+            .unwrap()
+            .row(["Bora", "Zata", "1987", "5"])
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn empty_predicate_matches_everything() {
+        let r = rel();
+        let p = Predicate::all();
+        assert!(p.is_empty());
+        assert_eq!(p.select(&r), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn conjunction_narrows() {
+        let r = rel();
+        let p = Predicate::eq(AttrId(0), Value::str("Ofla"));
+        assert_eq!(p.select(&r), vec![0, 1]);
+        let p = p.and_eq(AttrId(1), Value::str("Darube"));
+        assert_eq!(p.select(&r), vec![1]);
+        assert_eq!(p.len(), 2);
+        assert!(p.constrains(AttrId(1)));
+        assert!(!p.constrains(AttrId(2)));
+        assert_eq!(p.value_of(AttrId(0)), Some(&Value::str("Ofla")));
+    }
+
+    #[test]
+    fn and_eq_replaces_existing_term() {
+        let p = Predicate::eq(AttrId(0), Value::str("Ofla")).and_eq(AttrId(0), Value::str("Bora"));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.value_of(AttrId(0)), Some(&Value::str("Bora")));
+    }
+}

@@ -1,0 +1,274 @@
+//! Columnar relations.
+
+use crate::error::RelationalError;
+use crate::schema::{AttrId, Schema};
+use crate::value::Value;
+use crate::Result;
+use std::sync::Arc;
+
+/// A columnar relation (bag of tuples) with an attached [`Schema`].
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl Relation {
+    /// Create an empty relation for `schema`.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        let arity = schema.arity();
+        Relation {
+            schema,
+            columns: vec![Vec::new(); arity],
+            rows: 0,
+        }
+    }
+
+    /// Start building a relation row by row.
+    pub fn builder(schema: Arc<Schema>) -> RelationBuilder {
+        RelationBuilder {
+            relation: Relation::empty(schema),
+        }
+    }
+
+    /// The schema of the relation.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The full column for `attr`.
+    pub fn column(&self, attr: AttrId) -> &[Value] {
+        &self.columns[attr.index()]
+    }
+
+    /// The value at (`row`, `attr`).
+    pub fn value(&self, row: usize, attr: AttrId) -> &Value {
+        &self.columns[attr.index()][row]
+    }
+
+    /// Numeric value at (`row`, `attr`), erroring if non-numeric and non-null.
+    pub fn numeric(&self, row: usize, attr: AttrId) -> Result<Option<f64>> {
+        let v = self.value(row, attr);
+        if v.is_null() {
+            return Ok(None);
+        }
+        v.as_f64()
+            .map(Some)
+            .ok_or_else(|| RelationalError::NonNumericMeasure {
+                attribute: self.schema.name(attr).to_string(),
+                row,
+            })
+    }
+
+    /// Append a row; the row must match the schema arity.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.arity() {
+            return Err(RelationalError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Extract one row as an owned vector of values.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[row].clone()).collect()
+    }
+
+    /// Iterate over row indices satisfying `pred`.
+    pub fn filter_indices<F: Fn(usize) -> bool>(&self, pred: F) -> Vec<usize> {
+        (0..self.rows).filter(|r| pred(*r)).collect()
+    }
+
+    /// Materialise a new relation keeping only the given row indices.
+    pub fn take(&self, indices: &[usize]) -> Relation {
+        let mut out = Relation::empty(self.schema.clone());
+        out.rows = indices.len();
+        for (ci, col) in self.columns.iter().enumerate() {
+            out.columns[ci] = indices.iter().map(|&r| col[r].clone()).collect();
+        }
+        out
+    }
+
+    /// Distinct values of an attribute, sorted.
+    pub fn distinct(&self, attr: AttrId) -> Vec<Value> {
+        let mut vals: Vec<Value> = self.column(attr).to_vec();
+        vals.sort();
+        vals.dedup();
+        vals
+    }
+
+    /// Replace the measure value at a given row (used by error-injection and
+    /// repair simulation utilities).
+    pub fn set_value(&mut self, row: usize, attr: AttrId, value: Value) {
+        self.columns[attr.index()][row] = value;
+    }
+
+    /// Append all rows of `other` (schemas must match by arity; attribute
+    /// compatibility is the caller's responsibility).
+    pub fn extend_from(&mut self, other: &Relation) -> Result<()> {
+        if other.schema.arity() != self.schema.arity() {
+            return Err(RelationalError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: other.schema.arity(),
+            });
+        }
+        for (dst, src) in self.columns.iter_mut().zip(&other.columns) {
+            dst.extend(src.iter().cloned());
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+}
+
+/// Incremental builder over [`Relation::push_row`].
+#[derive(Debug)]
+pub struct RelationBuilder {
+    relation: Relation,
+}
+
+impl RelationBuilder {
+    /// Append a row built from anything convertible to [`Value`].
+    pub fn row<I, V>(mut self, values: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.relation
+            .push_row(values.into_iter().map(Into::into).collect())?;
+        Ok(self)
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Relation {
+        self.relation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["district", "village"])
+                .hierarchy("time", ["year"])
+                .measure("severity")
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn sample() -> Relation {
+        let s = schema();
+        Relation::builder(s)
+            .row([
+                Value::str("Ofla"),
+                Value::str("Adishim"),
+                Value::int(1986),
+                Value::float(8.1),
+            ])
+            .unwrap()
+            .row([
+                Value::str("Ofla"),
+                Value::str("Darube"),
+                Value::int(1986),
+                Value::float(2.2),
+            ])
+            .unwrap()
+            .row([
+                Value::str("Ofla"),
+                Value::str("Dinka"),
+                Value::int(1986),
+                Value::float(7.7),
+            ])
+            .unwrap()
+            .row([
+                Value::str("Bora"),
+                Value::str("Zata"),
+                Value::int(1987),
+                Value::float(3.0),
+            ])
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let r = sample();
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert_eq!(r.value(1, AttrId(1)), &Value::str("Darube"));
+        assert_eq!(r.numeric(1, AttrId(3)).unwrap(), Some(2.2));
+        assert_eq!(r.row(3)[0], Value::str("Bora"));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let s = schema();
+        let mut r = Relation::empty(s);
+        let err = r.push_row(vec![Value::int(1)]).unwrap_err();
+        assert!(matches!(err, RelationalError::ArityMismatch { expected: 4, got: 1 }));
+    }
+
+    #[test]
+    fn non_numeric_measure_detected() {
+        let s = schema();
+        let mut r = Relation::empty(s);
+        r.push_row(vec![
+            Value::str("Ofla"),
+            Value::str("Dinka"),
+            Value::int(1986),
+            Value::str("oops"),
+        ])
+        .unwrap();
+        assert!(r.numeric(0, AttrId(3)).is_err());
+        r.set_value(0, AttrId(3), Value::Null);
+        assert_eq!(r.numeric(0, AttrId(3)).unwrap(), None);
+    }
+
+    #[test]
+    fn filter_and_take() {
+        let r = sample();
+        let idx = r.filter_indices(|row| r.value(row, AttrId(0)) == &Value::str("Ofla"));
+        assert_eq!(idx, vec![0, 1, 2]);
+        let sub = r.take(&idx);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.value(2, AttrId(1)), &Value::str("Dinka"));
+    }
+
+    #[test]
+    fn distinct_is_sorted_and_deduped() {
+        let r = sample();
+        let d = r.distinct(AttrId(0));
+        assert_eq!(d, vec![Value::str("Bora"), Value::str("Ofla")]);
+        let y = r.distinct(AttrId(2));
+        assert_eq!(y, vec![Value::int(1986), Value::int(1987)]);
+    }
+
+    #[test]
+    fn extend_from_concatenates() {
+        let mut a = sample();
+        let b = sample();
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 8);
+    }
+}

@@ -1,0 +1,335 @@
+//! Schemas: attributes, measures and hierarchical dimensions.
+//!
+//! Following Section 3.1 of the paper, the attributes of a relation are
+//! partitioned into hierarchical *dimensions*. A dimension's hierarchy
+//! `H = [A1, ..., Ak]` is an ordered list of attributes from least specific to
+//! most specific, with a functional dependency `An -> Am` for every `m < n`
+//! (e.g. `Village -> District`). The remaining attributes are *measures* over
+//! which aggregates are computed.
+
+use crate::error::RelationalError;
+use crate::Result;
+use std::collections::HashSet;
+
+/// Index of an attribute inside a [`Schema`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub usize);
+
+impl AttrId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// How an attribute participates in analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttributeRole {
+    /// Part of a hierarchical dimension (categorical).
+    Dimension,
+    /// A numeric measure that aggregates are computed over.
+    Measure,
+}
+
+/// A named attribute (column) of a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Column name.
+    pub name: String,
+    /// Dimension or measure.
+    pub role: AttributeRole,
+}
+
+/// An ordered dimension hierarchy, least specific attribute first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hierarchy {
+    /// Human readable name of the dimension, e.g. `"geo"` or `"time"`.
+    pub name: String,
+    /// Attributes from least specific (root) to most specific (leaf).
+    pub levels: Vec<AttrId>,
+}
+
+impl Hierarchy {
+    /// Number of levels in the hierarchy.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The root (least specific) attribute.
+    pub fn root(&self) -> AttrId {
+        self.levels[0]
+    }
+
+    /// The leaf (most specific) attribute.
+    pub fn leaf(&self) -> AttrId {
+        *self.levels.last().expect("hierarchy has at least one level")
+    }
+
+    /// Position of `attr` within the hierarchy, if present.
+    pub fn position(&self, attr: AttrId) -> Option<usize> {
+        self.levels.iter().position(|a| *a == attr)
+    }
+
+    /// Given the set of attributes already grouped by, return the next (more
+    /// specific) attribute to drill into, or `None` if the hierarchy is
+    /// exhausted.
+    pub fn next_level(&self, grouped: &[AttrId]) -> Option<AttrId> {
+        let deepest = self
+            .levels
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| grouped.contains(a))
+            .map(|(i, _)| i)
+            .max();
+        match deepest {
+            None => Some(self.levels[0]),
+            Some(i) if i + 1 < self.levels.len() => Some(self.levels[i + 1]),
+            Some(_) => None,
+        }
+    }
+
+    /// Attributes of this hierarchy that appear in `grouped`, ordered from
+    /// least to most specific.
+    pub fn grouped_prefix(&self, grouped: &[AttrId]) -> Vec<AttrId> {
+        self.levels
+            .iter()
+            .copied()
+            .filter(|a| grouped.contains(a))
+            .collect()
+    }
+}
+
+/// A relation schema: named attributes plus hierarchy metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    hierarchies: Vec<Hierarchy>,
+}
+
+impl Schema {
+    /// Start building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder::default()
+    }
+
+    /// All attributes.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// All hierarchies.
+    pub fn hierarchies(&self) -> &[Hierarchy] {
+        &self.hierarchies
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Look up an attribute id by name.
+    pub fn attr(&self, name: &str) -> Result<AttrId> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == name)
+            .map(AttrId)
+            .ok_or_else(|| RelationalError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Attribute metadata by id.
+    pub fn attribute(&self, id: AttrId) -> Result<&Attribute> {
+        self.attributes
+            .get(id.0)
+            .ok_or(RelationalError::AttributeOutOfRange(id.0))
+    }
+
+    /// Name of an attribute by id (panics if out of range).
+    pub fn name(&self, id: AttrId) -> &str {
+        &self.attributes[id.0].name
+    }
+
+    /// Ids of all measure attributes.
+    pub fn measures(&self) -> Vec<AttrId> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == AttributeRole::Measure)
+            .map(|(i, _)| AttrId(i))
+            .collect()
+    }
+
+    /// Ids of all dimension attributes (in declaration order).
+    pub fn dimensions(&self) -> Vec<AttrId> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.role == AttributeRole::Dimension)
+            .map(|(i, _)| AttrId(i))
+            .collect()
+    }
+
+    /// The hierarchy that contains `attr`, if any.
+    pub fn hierarchy_of(&self, attr: AttrId) -> Option<&Hierarchy> {
+        self.hierarchies
+            .iter()
+            .find(|h| h.levels.contains(&attr))
+    }
+
+    /// Hierarchy by name.
+    pub fn hierarchy(&self, name: &str) -> Result<&Hierarchy> {
+        self.hierarchies
+            .iter()
+            .find(|h| h.name == name)
+            .ok_or_else(|| RelationalError::UnknownAttribute(name.to_string()))
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    attributes: Vec<Attribute>,
+    hierarchies: Vec<(String, Vec<String>)>,
+    measures: Vec<String>,
+}
+
+impl SchemaBuilder {
+    /// Declare a hierarchical dimension with its levels ordered from least to
+    /// most specific (e.g. `hierarchy("geo", ["region", "district", "village"])`).
+    pub fn hierarchy<S: Into<String>>(
+        mut self,
+        name: impl Into<String>,
+        levels: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.hierarchies
+            .push((name.into(), levels.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Declare a numeric measure attribute.
+    pub fn measure(mut self, name: impl Into<String>) -> Self {
+        self.measures.push(name.into());
+        self
+    }
+
+    /// Finish building, checking for duplicate attribute names.
+    pub fn build(mut self) -> Result<Schema> {
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut hierarchies = Vec::new();
+        for (name, levels) in std::mem::take(&mut self.hierarchies) {
+            if levels.is_empty() {
+                return Err(RelationalError::Invalid(format!(
+                    "hierarchy `{name}` must have at least one level"
+                )));
+            }
+            let mut ids = Vec::new();
+            for level in levels {
+                if !seen.insert(level.clone()) {
+                    return Err(RelationalError::DuplicateAttribute(level));
+                }
+                self.attributes.push(Attribute {
+                    name: level,
+                    role: AttributeRole::Dimension,
+                });
+                ids.push(AttrId(self.attributes.len() - 1));
+            }
+            hierarchies.push(Hierarchy { name, levels: ids });
+        }
+        for m in std::mem::take(&mut self.measures) {
+            if !seen.insert(m.clone()) {
+                return Err(RelationalError::DuplicateAttribute(m));
+            }
+            self.attributes.push(Attribute {
+                name: m,
+                role: AttributeRole::Measure,
+            });
+        }
+        Ok(Schema {
+            attributes: self.attributes,
+            hierarchies,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fist_schema() -> Schema {
+        Schema::builder()
+            .hierarchy("geo", ["region", "district", "village"])
+            .hierarchy("time", ["year"])
+            .measure("severity")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builds_attributes_in_declaration_order() {
+        let s = fist_schema();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.name(AttrId(0)), "region");
+        assert_eq!(s.name(AttrId(2)), "village");
+        assert_eq!(s.name(AttrId(3)), "year");
+        assert_eq!(s.name(AttrId(4)), "severity");
+        assert_eq!(s.measures(), vec![AttrId(4)]);
+        assert_eq!(s.dimensions(), vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3)]);
+    }
+
+    #[test]
+    fn attr_lookup_by_name() {
+        let s = fist_schema();
+        assert_eq!(s.attr("district").unwrap(), AttrId(1));
+        assert!(s.attr("nope").is_err());
+        assert_eq!(s.attribute(AttrId(4)).unwrap().role, AttributeRole::Measure);
+        assert!(s.attribute(AttrId(99)).is_err());
+    }
+
+    #[test]
+    fn hierarchy_navigation() {
+        let s = fist_schema();
+        let geo = s.hierarchy("geo").unwrap();
+        assert_eq!(geo.depth(), 3);
+        assert_eq!(geo.root(), AttrId(0));
+        assert_eq!(geo.leaf(), AttrId(2));
+        assert_eq!(geo.position(AttrId(1)), Some(1));
+        assert_eq!(geo.position(AttrId(3)), None);
+        // Nothing grouped yet: drill into the root level.
+        assert_eq!(geo.next_level(&[]), Some(AttrId(0)));
+        // Region grouped: next is district.
+        assert_eq!(geo.next_level(&[AttrId(0)]), Some(AttrId(1)));
+        // Fully grouped: exhausted.
+        assert_eq!(geo.next_level(&[AttrId(0), AttrId(1), AttrId(2)]), None);
+        assert_eq!(
+            geo.grouped_prefix(&[AttrId(3), AttrId(1), AttrId(0)]),
+            vec![AttrId(0), AttrId(1)]
+        );
+    }
+
+    #[test]
+    fn hierarchy_of_finds_owner() {
+        let s = fist_schema();
+        assert_eq!(s.hierarchy_of(AttrId(2)).unwrap().name, "geo");
+        assert_eq!(s.hierarchy_of(AttrId(3)).unwrap().name, "time");
+        assert!(s.hierarchy_of(AttrId(4)).is_none());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = Schema::builder()
+            .hierarchy("geo", ["district", "village"])
+            .hierarchy("time", ["district"])
+            .measure("m")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::DuplicateAttribute(_)));
+    }
+
+    #[test]
+    fn empty_hierarchy_rejected() {
+        let err = Schema::builder()
+            .hierarchy("geo", Vec::<String>::new())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelationalError::Invalid(_)));
+    }
+}

