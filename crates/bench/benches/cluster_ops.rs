@@ -1,39 +1,32 @@
-//! Criterion benchmark behind Figure 15: per-cluster matrix operations vs the
-//! naive per-cluster dense products.
+//! Benchmark behind Figure 15: per-cluster matrix operations vs the naive
+//! per-cluster dense products.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use reptile_bench::{print_bench_table, run_bench};
 use reptile_datasets::hiergen::synthetic_factorization;
 use reptile_factor::ClusterPartition;
 use reptile_linalg::naive;
 
-fn bench_cluster_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig15_cluster_ops");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut stats = Vec::new();
     for d in [2usize, 3, 4] {
         let (fact, features) = synthetic_factorization(d, 1, 10);
         let part = ClusterPartition::new(&fact, &features);
         let x = fact.materialize(&features);
         let ranges = part.row_ranges();
-        group.bench_with_input(BenchmarkId::new("cluster_gram/naive", d), &d, |b, _| {
-            b.iter(|| naive::cluster_grams(&x, &ranges).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("cluster_gram/factorized", d), &d, |b, _| {
-            b.iter(|| part.grams())
-        });
+        stats.push(run_bench(&format!("cluster_gram/naive/{d}"), || {
+            naive::cluster_grams(&x, &ranges).unwrap()
+        }));
+        stats.push(run_bench(&format!("cluster_gram/factorized/{d}"), || {
+            part.grams()
+        }));
         let beta: Vec<f64> = (0..fact.n_cols()).map(|i| i as f64 * 0.1).collect();
-        group.bench_with_input(BenchmarkId::new("cluster_right/factorized", d), &d, |b, _| {
-            b.iter(|| part.right_mult_shared_vec(&beta))
-        });
+        stats.push(run_bench(&format!("cluster_right/factorized/{d}"), || {
+            part.right_mult_shared_vec(&beta)
+        }));
         let v: Vec<f64> = (0..fact.n_rows()).map(|i| (i % 5) as f64).collect();
-        group.bench_with_input(BenchmarkId::new("cluster_left/factorized", d), &d, |b, _| {
-            b.iter(|| part.left_mult_global_vec(&v))
-        });
+        stats.push(run_bench(&format!("cluster_left/factorized/{d}"), || {
+            part.left_mult_global_vec(&v)
+        }));
     }
-    group.finish();
+    print_bench_table("fig15_cluster_ops", &stats);
 }
-
-criterion_group!(benches, bench_cluster_ops);
-criterion_main!(benches);

@@ -1,8 +1,7 @@
-//! Criterion benchmark behind Figure 9: Static vs Dynamic vs Cache+Dynamic
-//! maintenance of the decomposed aggregates across successive drill-downs.
+//! Benchmark behind Figure 9: Static vs Dynamic vs Cache+Dynamic maintenance
+//! of the decomposed aggregates across successive drill-downs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use reptile_bench::{print_bench_table, run_bench};
 use reptile_datasets::hiergen::synthetic_hierarchy;
 use reptile_factor::{DrilldownMode, DrilldownSession, Factorization};
 
@@ -19,26 +18,18 @@ fn run_sequence(mode: DrilldownMode, b_depth: usize, width: usize) {
     }
 }
 
-fn bench_drilldown(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_drilldown");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut stats = Vec::new();
     for b_depth in [3usize, 4, 5] {
-        group.bench_with_input(BenchmarkId::new("static", b_depth), &b_depth, |bench, &b| {
-            bench.iter(|| run_sequence(DrilldownMode::Static, b, 512))
-        });
-        group.bench_with_input(BenchmarkId::new("dynamic", b_depth), &b_depth, |bench, &b| {
-            bench.iter(|| run_sequence(DrilldownMode::Dynamic, b, 512))
-        });
-        group.bench_with_input(
-            BenchmarkId::new("cache_dynamic", b_depth),
-            &b_depth,
-            |bench, &b| bench.iter(|| run_sequence(DrilldownMode::CachedDynamic, b, 512)),
-        );
+        stats.push(run_bench(&format!("static/{b_depth}"), || {
+            run_sequence(DrilldownMode::Static, b_depth, 512)
+        }));
+        stats.push(run_bench(&format!("dynamic/{b_depth}"), || {
+            run_sequence(DrilldownMode::Dynamic, b_depth, 512)
+        }));
+        stats.push(run_bench(&format!("cache_dynamic/{b_depth}"), || {
+            run_sequence(DrilldownMode::CachedDynamic, b_depth, 512)
+        }));
     }
-    group.finish();
+    print_bench_table("fig9_drilldown", &stats);
 }
-
-criterion_group!(benches, bench_drilldown);
-criterion_main!(benches);

@@ -1,40 +1,39 @@
-//! Criterion benchmark behind Figure 10: end-to-end Reptile invocations
-//! (factorised EM) vs the Matlab-style materialised EM on scaled-down
-//! Absentee- and COMPAS-shaped workloads.
+//! Benchmark behind Figure 10: end-to-end Reptile invocations (factorised EM)
+//! vs the Matlab-style materialised EM on scaled-down Absentee- and
+//! COMPAS-shaped workloads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
+use reptile_bench::{print_bench_table, run_bench};
 use reptile_datasets::{absentee, compas};
 use reptile_model::{DesignBuilder, MultilevelConfig, MultilevelModel, TrainingBackend};
 use reptile_relational::{AggregateKind, Predicate, View};
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_end_to_end");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut stats = Vec::new();
+    let config = MultilevelConfig {
+        iterations: 5,
+        ..Default::default()
+    };
 
     let (schema, rel) = absentee::generate(absentee::AbsenteeConfig::test_scale());
     let view = View::compute(
         rel.clone(),
         Predicate::all(),
-        vec![schema.attr("county").unwrap(), schema.attr("party").unwrap()],
+        vec![
+            schema.attr("county").unwrap(),
+            schema.attr("party").unwrap(),
+        ],
         schema.attr("ballots").unwrap(),
     )
     .unwrap();
     let design = DesignBuilder::new(&view, &schema, AggregateKind::Count)
         .build()
         .unwrap();
-    let config = MultilevelConfig {
-        iterations: 5,
-        ..Default::default()
-    };
-    group.bench_function("absentee/reptile_factorized", |b| {
-        b.iter(|| MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Factorized).unwrap())
-    });
-    group.bench_function("absentee/matlab_materialized", |b| {
-        b.iter(|| MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Materialized).unwrap())
-    });
+    stats.push(run_bench("absentee/reptile_factorized", || {
+        MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Factorized).unwrap()
+    }));
+    stats.push(run_bench("absentee/matlab_materialized", || {
+        MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Materialized).unwrap()
+    }));
 
     let (schema, rel) = compas::generate(compas::CompasConfig::test_scale());
     let view = View::compute(
@@ -51,14 +50,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     let design = DesignBuilder::new(&view, &schema, AggregateKind::Count)
         .build()
         .unwrap();
-    group.bench_function("compas/reptile_factorized", |b| {
-        b.iter(|| MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Factorized).unwrap())
-    });
-    group.bench_function("compas/matlab_materialized", |b| {
-        b.iter(|| MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Materialized).unwrap())
-    });
-    group.finish();
+    stats.push(run_bench("compas/reptile_factorized", || {
+        MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Factorized).unwrap()
+    }));
+    stats.push(run_bench("compas/matlab_materialized", || {
+        MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Materialized).unwrap()
+    }));
+    print_bench_table("fig10_end_to_end", &stats);
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

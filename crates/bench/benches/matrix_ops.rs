@@ -1,18 +1,14 @@
-//! Criterion benchmark behind Figure 7: factorised matrix operations vs the
-//! naive (LAPACK-style) implementations over the materialised matrix, as the
+//! Benchmark behind Figure 7: factorised matrix operations vs the naive
+//! (LAPACK-style) implementations over the materialised matrix, as the
 //! number of hierarchies grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use reptile_bench::{print_bench_table, run_bench};
 use reptile_datasets::hiergen::synthetic_factorization;
 use reptile_factor::{ops, DecomposedAggregates};
 use reptile_linalg::{naive, Matrix};
 
-fn bench_matrix_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig7_matrix_ops");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut stats = Vec::new();
     for d in [2usize, 3, 4] {
         let (fact, features) = synthetic_factorization(d, 1, 10);
         let aggs = DecomposedAggregates::compute(&fact);
@@ -20,30 +16,27 @@ fn bench_matrix_ops(c: &mut Criterion) {
         let a = Matrix::from_fn(1, fact.n_rows(), |_, c| (c % 7) as f64 - 3.0);
         let b = Matrix::from_fn(fact.n_cols(), 1, |r, _| r as f64 + 0.5);
 
-        group.bench_with_input(BenchmarkId::new("materialize/naive", d), &d, |bench, _| {
-            bench.iter(|| fact.materialize(&features))
-        });
-        group.bench_with_input(BenchmarkId::new("gram/naive", d), &d, |bench, _| {
-            bench.iter(|| naive::gram(&x).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("gram/factorized", d), &d, |bench, _| {
-            bench.iter(|| ops::gram(&aggs, &features))
-        });
-        group.bench_with_input(BenchmarkId::new("left_mult/naive", d), &d, |bench, _| {
-            bench.iter(|| naive::left_mult(&a, &x).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("left_mult/factorized", d), &d, |bench, _| {
-            bench.iter(|| ops::left_mult(&a, &aggs, &features))
-        });
-        group.bench_with_input(BenchmarkId::new("right_mult/naive", d), &d, |bench, _| {
-            bench.iter(|| naive::right_mult(&x, &b).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("right_mult/factorized", d), &d, |bench, _| {
-            bench.iter(|| ops::right_mult(&fact, &features, &b))
-        });
+        stats.push(run_bench(&format!("materialize/naive/{d}"), || {
+            fact.materialize(&features)
+        }));
+        stats.push(run_bench(&format!("gram/naive/{d}"), || {
+            naive::gram(&x).unwrap()
+        }));
+        stats.push(run_bench(&format!("gram/factorized/{d}"), || {
+            ops::gram(&aggs, &features)
+        }));
+        stats.push(run_bench(&format!("left_mult/naive/{d}"), || {
+            naive::left_mult(&a, &x).unwrap()
+        }));
+        stats.push(run_bench(&format!("left_mult/factorized/{d}"), || {
+            ops::left_mult(&a, &aggs, &features)
+        }));
+        stats.push(run_bench(&format!("right_mult/naive/{d}"), || {
+            naive::right_mult(&x, &b).unwrap()
+        }));
+        stats.push(run_bench(&format!("right_mult/factorized/{d}"), || {
+            ops::right_mult(&fact, &features, &b)
+        }));
     }
-    group.finish();
+    print_bench_table("fig7_matrix_ops", &stats);
 }
-
-criterion_group!(benches, bench_matrix_ops);
-criterion_main!(benches);

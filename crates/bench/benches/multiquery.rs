@@ -1,28 +1,21 @@
-//! Criterion benchmark behind Figure 8: the work-sharing / independence
-//! optimised decomposed-aggregate batch vs the LMFAO-style serial baseline,
-//! as the attribute cardinality grows.
+//! Benchmark behind Figure 8: the work-sharing / independence optimised
+//! decomposed-aggregate batch vs the LMFAO-style serial baseline, as the
+//! attribute cardinality grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
+use reptile_bench::{print_bench_table, run_bench};
 use reptile_datasets::hiergen::synthetic_factorization_with_fanout;
 use reptile_factor::{lmfao, DecomposedAggregates};
 
-fn bench_multiquery(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_multiquery");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(1));
+fn main() {
+    let mut stats = Vec::new();
     for w in [32usize, 128, 256] {
         let (fact, _) = synthetic_factorization_with_fanout(3, 3, w, 2);
-        group.bench_with_input(BenchmarkId::new("reptile_shared", w), &w, |b, _| {
-            b.iter(|| DecomposedAggregates::compute(&fact))
-        });
-        group.bench_with_input(BenchmarkId::new("lmfao_serial", w), &w, |b, _| {
-            b.iter(|| lmfao::compute_serial(&fact))
-        });
+        stats.push(run_bench(&format!("reptile_shared/{w}"), || {
+            DecomposedAggregates::compute(&fact)
+        }));
+        stats.push(run_bench(&format!("lmfao_serial/{w}"), || {
+            lmfao::compute_serial(&fact)
+        }));
     }
-    group.finish();
+    print_bench_table("fig8_multiquery", &stats);
 }
-
-criterion_group!(benches, bench_multiquery);
-criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Session-serving throughput: cold one-shot recommendations vs a
+//! warm-cached `Session` vs an 8-thread `BatchServer`, over a workload of
+//! repeated complaints against a shared view.
+//!
+//! Writes the results to `BENCH_session.json` at the repository root so
+//! later PRs have a perf trajectory to compare against.
+
+use reptile::{Complaint, Direction, Reptile};
+use reptile_bench::{bench_stats_json, print_bench_table, run_bench};
+use reptile_relational::{AggregateKind, GroupKey, Predicate, Relation, Schema, Value, View};
+use reptile_session::{BatchRequest, BatchServer, Session};
+use std::sync::Arc;
+
+/// Synthetic serving workload: regions x districts x villages x years.
+fn dataset() -> (Arc<Relation>, Arc<Schema>) {
+    let schema = Arc::new(
+        Schema::builder()
+            .hierarchy("geo", ["region", "district", "village"])
+            .hierarchy("time", ["year"])
+            .measure("severity")
+            .build()
+            .unwrap(),
+    );
+    let mut b = Relation::builder(schema.clone());
+    for year in 2000i64..2004 {
+        for r in 0..4 {
+            for d in 0..4 {
+                let district = format!("R{r}-D{d}");
+                for v in 0..5 {
+                    let village = format!("{district}-V{v}");
+                    for rep in 0..3 {
+                        let base = 10.0
+                            + r as f64
+                            + 0.5 * d as f64
+                            + 0.2 * v as f64
+                            + 0.1 * rep as f64
+                            + (year - 2000) as f64;
+                        b = b
+                            .row([
+                                Value::str(format!("R{r}")),
+                                Value::str(district.clone()),
+                                Value::str(village.clone()),
+                                Value::int(year),
+                                Value::float(base),
+                            ])
+                            .unwrap();
+                    }
+                }
+            }
+        }
+    }
+    (Arc::new(b.build()), schema)
+}
+
+/// One complaint per (region, year) tuple of the served view.
+fn workload() -> Vec<Complaint> {
+    let mut complaints = Vec::new();
+    for year in 2000i64..2004 {
+        for r in 0..4usize {
+            complaints.push(Complaint::new(
+                GroupKey(vec![Value::str(format!("R{r}")), Value::int(year)]),
+                AggregateKind::Mean,
+                if (r + year as usize).is_multiple_of(2) {
+                    Direction::TooLow
+                } else {
+                    Direction::TooHigh
+                },
+            ));
+        }
+    }
+    complaints
+}
+
+fn main() {
+    let (rel, schema) = dataset();
+    let view = Arc::new(
+        View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
+            schema.attr("severity").unwrap(),
+        )
+        .unwrap(),
+    );
+    let complaints = workload();
+    let n = complaints.len();
+
+    let mut stats = Vec::new();
+
+    // Cold: a fresh stateless engine per complaint — every call recomputes
+    // views and retrains models.
+    stats.push(run_bench(&format!("cold_one_shot/{n}"), || {
+        for c in &complaints {
+            let mut engine = Reptile::new(rel.clone(), schema.clone());
+            engine.recommend(&view, c).unwrap();
+        }
+    }));
+
+    // Warm: one Session serving the whole workload from its caches (the
+    // first full pass below warms them; measured passes are all hits).
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let mut session = Session::new(engine, (*view).clone());
+    for c in &complaints {
+        session.recommend(c).unwrap();
+    }
+    stats.push(run_bench(&format!("warm_session/{n}"), || {
+        for c in &complaints {
+            session.recommend(c).unwrap();
+        }
+    }));
+
+    // Batch: 8 worker threads over a fresh server per iteration (each batch
+    // pays one training, shared across all complaints that need it).
+    let requests: Vec<BatchRequest> = complaints
+        .iter()
+        .map(|c| BatchRequest::new(view.clone(), c.clone()))
+        .collect();
+    stats.push(run_bench(&format!("batch_8_threads/{n}"), || {
+        let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+        let server = BatchServer::new(engine).with_threads(8);
+        let results = server.serve(&requests);
+        assert!(results.iter().all(|r| r.is_ok()));
+    }));
+
+    print_bench_table("session_throughput", &stats);
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
+    std::fs::write(path, bench_stats_json(&stats) + "\n").expect("write BENCH_session.json");
+    println!("\nwrote {path}");
+}

@@ -27,8 +27,8 @@ fn run_sequence(
         // of the drill order, train the repair model each time.
         for depth in 1..=drill_order.len() {
             let group_by = drill_order[..depth].to_vec();
-            let view = View::compute(relation.clone(), Predicate::all(), group_by, measure)
-                .expect("view");
+            let view =
+                View::compute(relation.clone(), Predicate::all(), group_by, measure).expect("view");
             let design = DesignBuilder::new(&view, schema, AggregateKind::Count)
                 .build()
                 .expect("design");
@@ -57,7 +57,13 @@ fn main() {
     ];
     let measure = schema.attr("ballots").unwrap();
     let t_fact = run_sequence(&schema, &rel, &order, measure, TrainingBackend::Factorized);
-    let t_dense = run_sequence(&schema, &rel, &order, measure, TrainingBackend::Materialized);
+    let t_dense = run_sequence(
+        &schema,
+        &rel,
+        &order,
+        measure,
+        TrainingBackend::Materialized,
+    );
     rows.push(vec![
         "Absentee".into(),
         rel.len().to_string(),
@@ -82,7 +88,13 @@ fn main() {
     ];
     let measure = schema.attr("score").unwrap();
     let t_fact = run_sequence(&schema, &rel, &order, measure, TrainingBackend::Factorized);
-    let t_dense = run_sequence(&schema, &rel, &order, measure, TrainingBackend::Materialized);
+    let t_dense = run_sequence(
+        &schema,
+        &rel,
+        &order,
+        measure,
+        TrainingBackend::Materialized,
+    );
     rows.push(vec![
         "COMPAS".into(),
         rel.len().to_string(),
@@ -93,7 +105,13 @@ fn main() {
 
     print_table(
         "Figure 10: end-to-end runtime (seconds)",
-        &["dataset", "rows", "Reptile (factorized)", "Matlab-style (dense)", "speedup"],
+        &[
+            "dataset",
+            "rows",
+            "Reptile (factorized)",
+            "Matlab-style (dense)",
+            "speedup",
+        ],
         &rows,
     );
     println!("\nExpected shape: the factorised path wins on both datasets; the paper");

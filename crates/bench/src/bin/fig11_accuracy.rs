@@ -50,13 +50,19 @@ fn conditions() -> Vec<Condition> {
         },
         Condition {
             name: "Missing+Decrease (SUM)",
-            errors: vec![(ErrorKind::MissingRecords, true), (ErrorKind::DecreaseValues(5.0), true)],
+            errors: vec![
+                (ErrorKind::MissingRecords, true),
+                (ErrorKind::DecreaseValues(5.0), true),
+            ],
             statistic: AggregateKind::Sum,
             direction: Direction::TooLow,
         },
         Condition {
             name: "Dup+Increase (SUM)",
-            errors: vec![(ErrorKind::DuplicateRecords, true), (ErrorKind::IncreaseValues(5.0), true)],
+            errors: vec![
+                (ErrorKind::DuplicateRecords, true),
+                (ErrorKind::IncreaseValues(5.0), true),
+            ],
             statistic: AggregateKind::Sum,
             direction: Direction::TooHigh,
         },
@@ -149,7 +155,10 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Figure 11 — {} ({} trials per point)", condition.name, trials),
+            &format!(
+                "Figure 11 — {} ({} trials per point)",
+                condition.name, trials
+            ),
             &["rho", "Reptile", "Raw", "Sensitivity", "Support"],
             &rows,
         );

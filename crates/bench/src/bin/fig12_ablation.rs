@@ -131,7 +131,10 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Figure 12 — {} ({} trials per point)", condition.name, trials),
+            &format!(
+                "Figure 12 — {} ({} trials per point)",
+                condition.name, trials
+            ),
             &["rho", "Reptile", "Outlier"],
             &rows,
         );

@@ -28,7 +28,11 @@ fn evaluate(case_study: &CovidCaseStudy, title: &str) -> (usize, usize, usize, u
         )
         .unwrap();
         let key = GroupKey(vec![Value::int(issue.day)]);
-        let direction = if issue.too_low { Direction::TooLow } else { Direction::TooHigh };
+        let direction = if issue.too_low {
+            Direction::TooLow
+        } else {
+            Direction::TooHigh
+        };
         let complaint = Complaint::new(key.clone(), AggregateKind::Sum, direction);
         let lag = case_study.lag_feature(&relation, issue.day, 1);
         let plan = FeaturePlan::none().with_extra(ExtraFeature::new(
@@ -41,7 +45,10 @@ fn evaluate(case_study: &CovidCaseStudy, title: &str) -> (usize, usize, usize, u
         total_time += secs;
         let reptile_ok = recommendation
             .ok()
-            .and_then(|r| r.best_group().map(|g| g.key.values().contains(&issue.location)))
+            .and_then(|r| {
+                r.best_group()
+                    .map(|g| g.key.values().contains(&issue.location))
+            })
             .unwrap_or(false);
         let geo = schema.hierarchy("geo").unwrap();
         let dd = day_view.drill_down(&key, geo).unwrap();
@@ -59,7 +66,11 @@ fn evaluate(case_study: &CovidCaseStudy, title: &str) -> (usize, usize, usize, u
         let mark = |b: bool| if b { "yes" } else { "-" }.to_string();
         rows.push(vec![
             issue.id.clone(),
-            format!("{:?}{}", issue.kind, if issue.kind.is_prevalent() { " *" } else { "" }),
+            format!(
+                "{:?}{}",
+                issue.kind,
+                if issue.kind.is_prevalent() { " *" } else { "" }
+            ),
             mark(reptile_ok),
             mark(sens_ok),
             mark(supp_ok),
@@ -92,7 +103,8 @@ fn main() {
         days: 45,
         seed: 12,
     });
-    let (r_us, s_us, p_us, n_us, t_us) = evaluate(&us, "Table 1: simulated US issues (* = prevalent)");
+    let (r_us, s_us, p_us, n_us, t_us) =
+        evaluate(&us, "Table 1: simulated US issues (* = prevalent)");
     let (r_gl, s_gl, p_gl, n_gl, t_gl) =
         evaluate(&global, "Table 2: simulated global issues (* = prevalent)");
 
@@ -101,9 +113,18 @@ fn main() {
         "Figure 13a: average correct rate over all 30 issues",
         &["method", "correct rate"],
         &[
-            vec!["Reptile".into(), format!("{:.2}", (r_us + r_gl) as f64 / total)],
-            vec!["Sensitivity".into(), format!("{:.2}", (s_us + s_gl) as f64 / total)],
-            vec!["Support".into(), format!("{:.2}", (p_us + p_gl) as f64 / total)],
+            vec![
+                "Reptile".into(),
+                format!("{:.2}", (r_us + r_gl) as f64 / total),
+            ],
+            vec![
+                "Sensitivity".into(),
+                format!("{:.2}", (s_us + s_gl) as f64 / total),
+            ],
+            vec![
+                "Support".into(),
+                format!("{:.2}", (p_us + p_gl) as f64 / total),
+            ],
         ],
     );
     print_table(

@@ -23,7 +23,9 @@ fn main() {
         let (t_naive_gram, t_naive_right, t_naive_left) = if d <= 4 {
             let x = fact.materialize(&features);
             let (_, tg) = time(|| naive::cluster_grams(&x, &ranges).unwrap());
-            let a: Vec<Matrix> = (0..part.len()).map(|_| Matrix::column_vector(&beta)).collect();
+            let a: Vec<Matrix> = (0..part.len())
+                .map(|_| Matrix::column_vector(&beta))
+                .collect();
             let (_, tr) = time(|| naive::cluster_right_mult(&x, &a, &ranges).unwrap());
             let dvec: Vec<Matrix> = ranges
                 .iter()

@@ -65,7 +65,10 @@ fn main() {
     let view = View::compute(
         vote.relation.clone(),
         Predicate::all(),
-        vec![schema.attr("state").unwrap(), schema.attr("county").unwrap()],
+        vec![
+            schema.attr("state").unwrap(),
+            schema.attr("county").unwrap(),
+        ],
         schema.attr("share_2020").unwrap(),
     )
     .unwrap();

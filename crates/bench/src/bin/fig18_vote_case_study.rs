@@ -23,7 +23,10 @@ fn margin_gains(
     let view = View::compute(
         relation.clone(),
         Predicate::all(),
-        vec![schema.attr("state").unwrap(), schema.attr("county").unwrap()],
+        vec![
+            schema.attr("state").unwrap(),
+            schema.attr("county").unwrap(),
+        ],
         schema.attr("share_2020").unwrap(),
     )
     .unwrap();
@@ -44,14 +47,19 @@ fn margin_gains(
     let state_view = View::compute(
         relation.clone(),
         Predicate::eq(schema.attr("state").unwrap(), state.clone()),
-        vec![schema.attr("state").unwrap(), schema.attr("county").unwrap()],
+        vec![
+            schema.attr("state").unwrap(),
+            schema.attr("county").unwrap(),
+        ],
         schema.attr("share_2020").unwrap(),
     )
     .unwrap();
     let original = state_view.total().mean();
     let mut gains = BTreeMap::new();
     for (key, agg) in state_view.groups() {
-        let Some(row) = design.row_of_key(key) else { continue };
+        let Some(row) = design.row_of_key(key) else {
+            continue;
+        };
         let expected = preds[row];
         let repaired = agg.repaired_to(AggregateKind::Mean, expected);
         let new_total = state_view.total_with_replacement(key, &repaired).unwrap();
@@ -82,12 +90,22 @@ fn main() {
             format!("{g1:+.3}"),
             format!("{g2:+.3}"),
             format!("{gm:+.3}"),
-            if victims.contains(county) { "yes".into() } else { "-".into() },
+            if victims.contains(county) {
+                "yes".into()
+            } else {
+                "-".into()
+            },
         ]);
     }
     print_table(
         "Figure 18: margin gain after repair (first 12 counties of State00)",
-        &["county", "model 1", "model 2 (+2016)", "model 2 + missing", "records removed"],
+        &[
+            "county",
+            "model 1",
+            "model 2 (+2016)",
+            "model 2 + missing",
+            "records removed",
+        ],
         &rows,
     );
     // Summary statistics mirroring the figure's narrative.
@@ -96,7 +114,11 @@ fn main() {
         let min = g.values().cloned().fold(f64::INFINITY, f64::min);
         max - min
     };
-    println!("\nGain spread: model 1 = {:.3}, model 2 = {:.3}", spread(&gains_m1), spread(&gains_m2));
+    println!(
+        "\nGain spread: model 1 = {:.3}, model 2 = {:.3}",
+        spread(&gains_m1),
+        spread(&gains_m2)
+    );
     println!("Expected shape: model 1 mostly flags within-state outliers; model 2's gains");
     println!("track the 2020-vs-2016 change; injecting missing records changes the gains");
     println!("of exactly the affected counties (GroupKey alignment verified above).");

@@ -32,7 +32,11 @@ fn main() {
         )
         .unwrap();
         let key = GroupKey(vec![spec.scope_district.clone(), Value::int(spec.year)]);
-        let direction = if spec.too_low { Direction::TooLow } else { Direction::TooHigh };
+        let direction = if spec.too_low {
+            Direction::TooLow
+        } else {
+            Direction::TooHigh
+        };
         let complaint = Complaint::new(key, spec.statistic, direction);
         let plan = FeaturePlan::none().with_extra(ExtraFeature::new(
             "rainfall",
@@ -65,7 +69,13 @@ fn main() {
     }
     print_table(
         "FIST case study: per-complaint outcome",
-        &["complaint", "kind", "scope", "statistic", "Reptile top pick"],
+        &[
+            "complaint",
+            "kind",
+            "scope",
+            "statistic",
+            "Reptile top pick",
+        ],
         &rows,
     );
     println!(

@@ -4,13 +4,125 @@
 //! evaluation (see `DESIGN.md` for the full index) and prints its rows/series
 //! to stdout so that the shapes can be compared against the paper.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Time a closure, returning `(result, seconds)`.
 pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64())
+}
+
+/// Summary statistics of one benchmark case, in seconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Case name, e.g. `"gram/factorized/4"`.
+    pub name: String,
+    /// Number of measured samples.
+    pub samples: usize,
+    /// Mean seconds per iteration.
+    pub mean_s: f64,
+    /// Median seconds per iteration.
+    pub median_s: f64,
+    /// Fastest sample.
+    pub min_s: f64,
+    /// Slowest sample.
+    pub max_s: f64,
+}
+
+/// Default benchmark settings: ~300 ms warm-up, then up to 10 samples within
+/// a ~1 s measurement budget (mirroring the original criterion settings).
+pub fn run_bench<T>(name: &str, f: impl FnMut() -> T) -> BenchStats {
+    run_bench_config(
+        name,
+        Duration::from_millis(300),
+        Duration::from_secs(1),
+        10,
+        f,
+    )
+}
+
+/// Run one benchmark case: warm up for `warmup`, then measure single
+/// iterations until `budget` elapses or `max_samples` samples are collected
+/// (at least one sample is always taken).
+pub fn run_bench_config<T>(
+    name: &str,
+    warmup: Duration,
+    budget: Duration,
+    max_samples: usize,
+    mut f: impl FnMut() -> T,
+) -> BenchStats {
+    let warm_start = Instant::now();
+    loop {
+        let _ = f();
+        if warm_start.elapsed() >= warmup {
+            break;
+        }
+    }
+    let mut times = Vec::new();
+    let measure_start = Instant::now();
+    while times.len() < max_samples.max(1) {
+        let t = Instant::now();
+        let _ = f();
+        times.push(t.elapsed().as_secs_f64());
+        if measure_start.elapsed() >= budget {
+            break;
+        }
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let n = times.len();
+    BenchStats {
+        name: name.to_string(),
+        samples: n,
+        mean_s: times.iter().sum::<f64>() / n as f64,
+        median_s: if n % 2 == 1 {
+            times[n / 2]
+        } else {
+            0.5 * (times[n / 2 - 1] + times[n / 2])
+        },
+        min_s: times[0],
+        max_s: times[n - 1],
+    }
+}
+
+/// Print a table of benchmark results.
+pub fn print_bench_table(title: &str, stats: &[BenchStats]) {
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                s.samples.to_string(),
+                fmt(s.median_s),
+                fmt(s.mean_s),
+                fmt(s.min_s),
+                fmt(s.max_s),
+            ]
+        })
+        .collect();
+    print_table(
+        title,
+        &["case", "samples", "median s", "mean s", "min s", "max s"],
+        &rows,
+    );
+}
+
+/// Serialise benchmark results to a minimal JSON document (no external
+/// serialisation crates in this environment).
+pub fn bench_stats_json(stats: &[BenchStats]) -> String {
+    let mut out = String::from("[\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"name\": {:?}, \"samples\": {}, \"median_s\": {:.9}, \"mean_s\": {:.9}, \"min_s\": {:.9}, \"max_s\": {:.9}}}",
+            s.name, s.samples, s.median_s, s.mean_s, s.min_s, s.max_s
+        ));
+        if i + 1 < stats.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
 }
 
 /// Print a simple aligned table: a header row followed by data rows.

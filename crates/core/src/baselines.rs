@@ -52,7 +52,10 @@ pub fn sensitivity(dd_view: &View, complaint: &Complaint) -> BaselineResult {
         .groups()
         .map(|(k, _)| {
             let without = dd_view.total_without(k).expect("group exists");
-            (k.clone(), complaint.penalty(without.value(complaint.statistic)))
+            (
+                k.clone(),
+                complaint.penalty(without.value(complaint.statistic)),
+            )
         })
         .collect();
     BaselineResult::from_scores(scores, true)
@@ -75,7 +78,10 @@ pub fn raw(dd_view: &View, complaint: &Complaint) -> BaselineResult {
             let total = dd_view
                 .total_with_replacement(k, &clipped)
                 .expect("group exists");
-            (k.clone(), complaint.penalty(total.value(complaint.statistic)))
+            (
+                k.clone(),
+                complaint.penalty(total.value(complaint.statistic)),
+            )
         })
         .collect();
     BaselineResult::from_scores(scores, true)
@@ -116,7 +122,10 @@ pub fn repair_with_expectations(
             let total = dd_view
                 .total_with_replacement(k, &repaired)
                 .expect("group exists");
-            (k.clone(), complaint.penalty(total.value(complaint.statistic)))
+            (
+                k.clone(),
+                complaint.penalty(total.value(complaint.statistic)),
+            )
         })
         .collect();
     BaselineResult::from_scores(scores, true)

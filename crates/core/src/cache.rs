@@ -1,0 +1,268 @@
+//! Cross-invocation caching interfaces for the engine (the serving-side
+//! counterpart of the paper's multi-query optimisation, Sections 4.4/5.1.3).
+//!
+//! A stateless [`crate::Reptile::recommend`] call recomputes every view and
+//! retrains every model. Interactive drill-down sessions and batch serving
+//! (see the `reptile-session` crate) instead pass an [`EngineCache`] to
+//! [`crate::Reptile::recommend_with_cache`]: computed views are keyed by a
+//! *canonical* [`ViewKey`] and trained models — bundled with their per-group
+//! predictions as a reusable [`TrainedModel`] handle — by a [`ModelKey`], so
+//! repeated complaints over the same view skip both the group-by scans and
+//! the EM training entirely.
+//!
+//! The trait is deliberately minimal: the engine only asks "have you seen
+//! this signature?" and "remember this". Eviction policy, statistics and
+//! concurrency (including exactly-once training under contention) live with
+//! the implementations in `reptile-session`.
+
+use crate::engine::{RepairModelKind, ReptileConfig};
+use reptile_model::{FeaturePlan, LinearModel, MultilevelModel};
+use reptile_relational::{AggregateKind, AttrId, GroupKey, Predicate, Relation, Value, View};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Canonical signature of a computed view: the identity of the underlying
+/// relation, the predicate's equality terms in sorted order (the same
+/// conjunction written in any attribute order yields the same key), the
+/// group-by list, and the measure.
+///
+/// Relation identity is the `Arc` pointer: two live relations never share an
+/// address, and a cached view keeps its relation alive, so an address cannot
+/// be recycled while a key referencing it is still in a cache. Without it,
+/// equally-shaped views over different relations (e.g. a clean panel and a
+/// corrupted copy) would alias to one entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ViewKey {
+    relation: usize,
+    terms: Vec<(AttrId, Value)>,
+    group_by: Vec<AttrId>,
+    measure: AttrId,
+}
+
+impl ViewKey {
+    /// Canonicalise `(relation, predicate, group_by, measure)` into a key.
+    pub fn new(
+        relation: &Arc<Relation>,
+        predicate: &Predicate,
+        group_by: Vec<AttrId>,
+        measure: AttrId,
+    ) -> Self {
+        let mut terms = predicate.terms().to_vec();
+        terms.sort();
+        ViewKey {
+            relation: Arc::as_ptr(relation) as usize,
+            terms,
+            group_by,
+            measure,
+        }
+    }
+
+    /// The signature of an already-computed view.
+    pub fn of_view(view: &View) -> Self {
+        ViewKey::new(
+            view.relation(),
+            view.predicate(),
+            view.group_by().to_vec(),
+            view.measure(),
+        )
+    }
+
+    /// The signature of `view` drilled down by appending `added` to its
+    /// group-by list (the *parallel groups* training view).
+    pub fn drilled(view: &View, added: AttrId) -> Self {
+        let mut group_by = view.group_by().to_vec();
+        group_by.push(added);
+        ViewKey::new(view.relation(), view.predicate(), group_by, view.measure())
+    }
+
+    /// The signature of `view` drilled down by `added` and restricted to the
+    /// provenance of tuple `key` (the complaint-scoped drill-down view).
+    pub fn drilled_for(view: &View, key: &GroupKey, added: AttrId) -> Self {
+        let mut group_by = view.group_by().to_vec();
+        group_by.push(added);
+        ViewKey::new(
+            view.relation(),
+            &view.provenance_predicate(key),
+            group_by,
+            view.measure(),
+        )
+    }
+}
+
+/// Signature of one trained repair model: the training view it was fitted
+/// over, the modelled statistic, and a fingerprint of everything else that
+/// shapes the fit (model kind, EM config, backend, empty-group policy,
+/// feature plan).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelKey {
+    /// Signature of the parallel-groups training view.
+    pub view: ViewKey,
+    /// The statistic the model estimates.
+    pub statistic: AggregateKind,
+    /// Fingerprint of the engine configuration and feature plan.
+    pub config_fingerprint: u64,
+}
+
+/// Stable fingerprint of the parts of the engine configuration that change
+/// what a fitted model looks like.
+pub fn config_fingerprint(config: &ReptileConfig, plan: &FeaturePlan) -> u64 {
+    let mut h = DefaultHasher::new();
+    match config.model {
+        RepairModelKind::MultiLevel => 0u8.hash(&mut h),
+        RepairModelKind::Linear => 1u8.hash(&mut h),
+    }
+    config.em.iterations.hash(&mut h);
+    config.em.ridge.to_bits().hash(&mut h);
+    config.em.tolerance.to_bits().hash(&mut h);
+    config.backend.hash(&mut h);
+    config.empty_groups.hash(&mut h);
+    plan.extras.len().hash(&mut h);
+    for extra in &plan.extras {
+        extra.name.hash(&mut h);
+        extra.attr.hash(&mut h);
+        extra.values.len().hash(&mut h);
+        for (value, feature) in &extra.values {
+            value.hash(&mut h);
+            feature.to_bits().hash(&mut h);
+        }
+    }
+    plan.exclude_from_random_effects.hash(&mut h);
+    h.finish()
+}
+
+/// The fitted repair model itself.
+#[derive(Debug, Clone)]
+pub enum FittedRepairModel {
+    /// Multi-level (mixed effects) model — the paper default.
+    MultiLevel(MultilevelModel),
+    /// Plain linear regression (the "Linear" ablation).
+    Linear(LinearModel),
+}
+
+/// A reusable trained-model handle: the fitted model plus its expected
+/// statistic for every parallel group of the training view. Serving a warm
+/// complaint needs only the predictions — no design rebuild, no retraining.
+#[derive(Debug, Clone)]
+pub struct TrainedModel {
+    /// The fitted model.
+    pub model: FittedRepairModel,
+    /// Model-estimated expected statistic per training-view group.
+    pub predictions: BTreeMap<GroupKey, f64>,
+}
+
+/// A cache the engine consults during [`crate::Reptile::recommend_with_cache`].
+///
+/// `get_*` returning `None` is a *claim*: the engine computes the entry and
+/// either `put_*`s it or, on failure, `abort_*`s the claim. Blocking
+/// implementations (the batch server's shared cache) use the claim to make
+/// concurrent duplicate work wait instead of retraining.
+pub trait EngineCache {
+    /// Look up a computed view.
+    fn get_view(&mut self, key: &ViewKey) -> Option<Arc<View>>;
+    /// Store a computed view.
+    fn put_view(&mut self, key: ViewKey, view: Arc<View>);
+    /// Release a view claim after a failed computation.
+    fn abort_view(&mut self, _key: &ViewKey) {}
+    /// Look up a trained model.
+    fn get_model(&mut self, key: &ModelKey) -> Option<Arc<TrainedModel>>;
+    /// Store a trained model.
+    fn put_model(&mut self, key: ModelKey, model: Arc<TrainedModel>);
+    /// Release a model claim after a failed fit.
+    fn abort_model(&mut self, _key: &ModelKey) {}
+}
+
+/// The no-op cache behind the stateless [`crate::Reptile::recommend`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCache;
+
+impl EngineCache for NoCache {
+    fn get_view(&mut self, _key: &ViewKey) -> Option<Arc<View>> {
+        None
+    }
+
+    fn put_view(&mut self, _key: ViewKey, _view: Arc<View>) {}
+
+    fn get_model(&mut self, _key: &ModelKey) -> Option<Arc<TrainedModel>> {
+        None
+    }
+
+    fn put_model(&mut self, _key: ModelKey, _model: Arc<TrainedModel>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reptile_relational::Schema;
+
+    fn relation() -> Arc<Relation> {
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("dim", ["g"])
+                .measure("m")
+                .build()
+                .unwrap(),
+        );
+        Arc::new(Relation::builder(schema).row(["g0", "1"]).unwrap().build())
+    }
+
+    #[test]
+    fn view_keys_canonicalize_predicate_order() {
+        let rel = relation();
+        let a = Predicate::eq(AttrId(3), Value::str("x")).and_eq(AttrId(1), Value::int(7));
+        let b = Predicate::eq(AttrId(1), Value::int(7)).and_eq(AttrId(3), Value::str("x"));
+        let ka = ViewKey::new(&rel, &a, vec![AttrId(0)], AttrId(9));
+        let kb = ViewKey::new(&rel, &b, vec![AttrId(0)], AttrId(9));
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn view_keys_distinguish_group_by_measure_and_relation() {
+        let rel = relation();
+        let p = Predicate::all();
+        let base = ViewKey::new(&rel, &p, vec![AttrId(0), AttrId(1)], AttrId(9));
+        assert_ne!(
+            base,
+            ViewKey::new(&rel, &p, vec![AttrId(1), AttrId(0)], AttrId(9))
+        );
+        assert_ne!(
+            base,
+            ViewKey::new(&rel, &p, vec![AttrId(0), AttrId(1)], AttrId(8))
+        );
+        assert_ne!(
+            base,
+            ViewKey::new(
+                &rel,
+                &Predicate::eq(AttrId(5), Value::int(1)),
+                vec![AttrId(0), AttrId(1)],
+                AttrId(9),
+            )
+        );
+        // Equally shaped views over a DIFFERENT relation must not alias.
+        let other = relation();
+        assert_ne!(
+            base,
+            ViewKey::new(&other, &p, vec![AttrId(0), AttrId(1)], AttrId(9))
+        );
+    }
+
+    #[test]
+    fn config_fingerprint_tracks_every_knob() {
+        let base = ReptileConfig::default();
+        let plan = FeaturePlan::none();
+        let fp = config_fingerprint(&base, &plan);
+        assert_eq!(fp, config_fingerprint(&base, &plan));
+
+        let mut other = base.clone();
+        other.model = RepairModelKind::Linear;
+        assert_ne!(fp, config_fingerprint(&other, &plan));
+
+        let mut other = base.clone();
+        other.em.iterations += 1;
+        assert_ne!(fp, config_fingerprint(&other, &plan));
+
+        let excluded = FeaturePlan::none().exclude_from_z("rainfall");
+        assert_ne!(fp, config_fingerprint(&base, &excluded));
+    }
+}

@@ -13,15 +13,21 @@
 //! 5. returns the groups of all hierarchies ranked by how much their repair
 //!    resolves the complaint.
 
+use crate::cache::{
+    config_fingerprint, EngineCache, FittedRepairModel, ModelKey, NoCache, TrainedModel, ViewKey,
+};
 use crate::complaint::Complaint;
 use crate::{ReptileError, Result};
+use reptile_factor::{DrilldownMode, DrilldownSession, Factorization};
 use reptile_model::{
     DesignBuilder, EmptyGroupPolicy, FeaturePlan, LinearModel, MultilevelConfig, MultilevelModel,
     TrainingBackend,
 };
-use reptile_relational::{AggState, GroupKey, Hierarchy, Relation, Schema, View};
+use reptile_relational::{
+    AggState, AggregateKind, AttrId, GroupKey, Hierarchy, Relation, Schema, View,
+};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Which repair model the engine fits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,8 +93,9 @@ pub struct HierarchyRecommendation {
     pub hierarchy: String,
     /// Attribute that the drill-down added.
     pub added_attribute: String,
-    /// The drilled-down view (restricted to the complaint's provenance).
-    pub view: View,
+    /// The drilled-down view (restricted to the complaint's provenance),
+    /// shared with the serving cache rather than deep-copied per call.
+    pub view: Arc<View>,
     /// The groups of this hierarchy, best first.
     pub ranked: Vec<ScoredGroup>,
 }
@@ -117,12 +124,20 @@ impl Recommendation {
 }
 
 /// The Reptile engine.
+///
+/// The engine itself is stateless apart from an internal
+/// [`DrilldownSession`] (behind a mutex, so shared references can serve
+/// concurrent complaints) that carries the decomposed aggregates of
+/// unchanged hierarchies across successive invocations — the `CachedDynamic`
+/// maintenance of Section 4.4. View- and model-level reuse is delegated to
+/// an [`EngineCache`] passed to [`Reptile::recommend_with_cache`].
 #[derive(Debug)]
 pub struct Reptile {
     relation: Arc<Relation>,
     schema: Arc<Schema>,
     config: ReptileConfig,
     plan: FeaturePlan,
+    session: Mutex<DrilldownSession>,
 }
 
 impl Reptile {
@@ -133,6 +148,7 @@ impl Reptile {
             schema,
             config: ReptileConfig::default(),
             plan: FeaturePlan::none(),
+            session: Mutex::new(DrilldownSession::new(DrilldownMode::CachedDynamic)),
         }
     }
 
@@ -165,8 +181,24 @@ impl Reptile {
 
     /// Solve Problem 1 for `complaint` posed against `view`: evaluate every
     /// hierarchy that can still be drilled, rank the drill-down groups, and
-    /// return the overall ranking.
+    /// return the overall ranking. Stateless: every view is recomputed and
+    /// every model retrained (see [`Reptile::recommend_with_cache`]).
     pub fn recommend(&mut self, view: &View, complaint: &Complaint) -> Result<Recommendation> {
+        self.recommend_with_cache(view, complaint, &mut NoCache)
+    }
+
+    /// Like [`Reptile::recommend`], but serving computed views and trained
+    /// models from `cache` where the canonical signatures match, and
+    /// populating it with whatever had to be computed. This is the entry
+    /// point used by `reptile-session`'s interactive sessions and batch
+    /// server; with a warm cache a re-recommendation performs no view scans
+    /// and no model training.
+    pub fn recommend_with_cache(
+        &self,
+        view: &View,
+        complaint: &Complaint,
+        cache: &mut dyn EngineCache,
+    ) -> Result<Recommendation> {
         let original_state = view
             .group(&complaint.key)
             .map_err(|_| ReptileError::UnknownComplaintTuple(complaint.key.to_string()))?;
@@ -185,7 +217,7 @@ impl Reptile {
         let mut hierarchies = Vec::with_capacity(candidates.len());
         let mut all: Vec<ScoredGroup> = Vec::new();
         for hierarchy in candidates {
-            let rec = self.evaluate_hierarchy(view, complaint, hierarchy, original_value)?;
+            let rec = self.evaluate_hierarchy(view, complaint, hierarchy, original_value, cache)?;
             all.extend(rec.ranked.iter().cloned());
             hierarchies.push(rec);
         }
@@ -207,46 +239,149 @@ impl Reptile {
         hierarchy: &Hierarchy,
     ) -> Result<BTreeMap<GroupKey, f64>> {
         let dd = view.drill_down(&complaint.key, hierarchy)?;
-        let (_, predictions) = self.fit_and_predict(view, complaint, hierarchy)?;
+        let trained = self.fit_and_predict(view, complaint, hierarchy, &mut NoCache)?;
         let mut out = BTreeMap::new();
         for (key, _) in dd.view.groups() {
-            if let Some(value) = predictions.get(key) {
+            if let Some(value) = trained.predictions.get(key) {
                 out.insert(key.clone(), *value);
             }
         }
         Ok(out)
     }
 
+    /// The signature of the model [`Reptile::recommend_with_cache`] would fit
+    /// for `statistic` when drilling `view` down to `added` — exposed so
+    /// callers (e.g. the batch server) can deduplicate work items without
+    /// computing anything.
+    pub fn model_key(&self, view: &View, added: AttrId, statistic: AggregateKind) -> ModelKey {
+        ModelKey {
+            view: ViewKey::drilled(view, added),
+            statistic,
+            config_fingerprint: config_fingerprint(&self.config, &self.plan),
+        }
+    }
+
+    /// Drill `view` down into tuple `key` along `hierarchy`, serving the
+    /// resulting view from `cache` when its signature is already known.
+    pub fn drill_down_cached(
+        &self,
+        view: &View,
+        key: &GroupKey,
+        hierarchy: &Hierarchy,
+        cache: &mut dyn EngineCache,
+    ) -> Result<(Arc<View>, AttrId)> {
+        view.group(key)
+            .map_err(|_| ReptileError::UnknownComplaintTuple(key.to_string()))?;
+        let next = hierarchy
+            .next_level(view.group_by())
+            .ok_or(ReptileError::NothingToDrill)?;
+        let view_key = ViewKey::drilled_for(view, key, next);
+        let predicate = view.provenance_predicate(key);
+        let mut group_by = view.group_by().to_vec();
+        group_by.push(next);
+        let drilled = self.view_via_cache(&view_key, cache, || {
+            // Aggregate the VIEW's relation (it may differ from the engine's,
+            // exactly like View::drill_down and drill_down_parallel do).
+            Ok(View::compute(
+                view.relation().clone(),
+                predicate,
+                group_by,
+                view.measure(),
+            )?)
+        })?;
+        Ok((drilled, next))
+    }
+
+    /// Serve a view from `cache` or compute and insert it, releasing the
+    /// claim on failure.
+    fn view_via_cache(
+        &self,
+        key: &ViewKey,
+        cache: &mut dyn EngineCache,
+        compute: impl FnOnce() -> Result<View>,
+    ) -> Result<Arc<View>> {
+        if let Some(view) = cache.get_view(key) {
+            return Ok(view);
+        }
+        match compute() {
+            Ok(view) => {
+                let view = Arc::new(view);
+                cache.put_view(key.clone(), view.clone());
+                Ok(view)
+            }
+            Err(e) => {
+                cache.abort_view(key);
+                Err(e)
+            }
+        }
+    }
+
+    /// Serve the trained model for `(view ⤵ hierarchy, statistic)` from
+    /// `cache`, or assemble the design, fit, and insert it. The aggregate
+    /// computation inside the design build goes through the engine's
+    /// [`DrilldownSession`], so hierarchies unchanged since earlier
+    /// invocations are not recomputed even on a model-cache miss.
     fn fit_and_predict(
         &self,
         view: &View,
         complaint: &Complaint,
         hierarchy: &Hierarchy,
-    ) -> Result<(View, BTreeMap<GroupKey, f64>)> {
-        // Training data: the same drill-down over ALL parallel groups.
-        let parallel = view.drill_down_parallel(hierarchy)?;
-        let design = DesignBuilder::new(&parallel.view, &self.schema, complaint.statistic)
-            .with_plan(self.plan.clone())
-            .empty_groups(self.config.empty_groups)
-            .build()?;
-        let predictions_by_row: Vec<f64> = match self.config.model {
-            RepairModelKind::MultiLevel => {
-                let model =
-                    MultilevelModel::fit_with_backend(&design, self.config.em, self.config.backend)?;
-                model.predict_all(&design)
+        cache: &mut dyn EngineCache,
+    ) -> Result<Arc<TrainedModel>> {
+        let next = hierarchy
+            .next_level(view.group_by())
+            .ok_or(ReptileError::NothingToDrill)?;
+        let model_key = self.model_key(view, next, complaint.statistic);
+        if let Some(model) = cache.get_model(&model_key) {
+            return Ok(model);
+        }
+        let result = (|| {
+            // Training data: the same drill-down over ALL parallel groups.
+            let parallel_key = ViewKey::drilled(view, next);
+            let parallel = self.view_via_cache(&parallel_key, cache, || {
+                Ok(view.drill_down_parallel(hierarchy)?.view)
+            })?;
+            let mut aggregate_source =
+                |fact: &Factorization| self.session.lock().unwrap().aggregates(fact);
+            let design = DesignBuilder::new(&parallel, &self.schema, complaint.statistic)
+                .with_plan(self.plan.clone())
+                .empty_groups(self.config.empty_groups)
+                .with_aggregate_source(&mut aggregate_source)
+                .build()?;
+            let (model, predictions_by_row) = match self.config.model {
+                RepairModelKind::MultiLevel => {
+                    let model = MultilevelModel::fit_with_backend(
+                        &design,
+                        self.config.em,
+                        self.config.backend,
+                    )?;
+                    let predictions = model.predict_all(&design);
+                    (FittedRepairModel::MultiLevel(model), predictions)
+                }
+                RepairModelKind::Linear => {
+                    let model = LinearModel::fit(&design)?;
+                    let predictions = model.predict_all(&design);
+                    (FittedRepairModel::Linear(model), predictions)
+                }
+            };
+            let mut predictions = BTreeMap::new();
+            for (key, _) in parallel.groups() {
+                if let Some(row) = design.row_of_key(key) {
+                    predictions.insert(key.clone(), predictions_by_row[row]);
+                }
             }
-            RepairModelKind::Linear => {
-                let model = LinearModel::fit(&design)?;
-                model.predict_all(&design)
+            Ok(Arc::new(TrainedModel { model, predictions }))
+        })();
+        match result {
+            Ok(model) => {
+                cache.put_model(model_key, model.clone());
+                Ok(model)
             }
-        };
-        let mut by_key = BTreeMap::new();
-        for (key, _) in parallel.view.groups() {
-            if let Some(row) = design.row_of_key(key) {
-                by_key.insert(key.clone(), predictions_by_row[row]);
+            Err(e) => {
+                cache.abort_model(&model_key);
+                Err(e)
             }
         }
-        Ok((parallel.view, by_key))
     }
 
     fn evaluate_hierarchy(
@@ -255,9 +390,11 @@ impl Reptile {
         complaint: &Complaint,
         hierarchy: &Hierarchy,
         original_value: f64,
+        cache: &mut dyn EngineCache,
     ) -> Result<HierarchyRecommendation> {
-        let dd = view.drill_down(&complaint.key, hierarchy)?;
-        let (_, predictions) = self.fit_and_predict(view, complaint, hierarchy)?;
+        let (dd_view, added) = self.drill_down_cached(view, &complaint.key, hierarchy, cache)?;
+        let trained = self.fit_and_predict(view, complaint, hierarchy, cache)?;
+        let predictions = &trained.predictions;
         // For complaints over composed statistics (STD/VAR), the repair must
         // fix the group's *constituent* statistics too: a group whose mean is
         // far from its expectation inflates the parent's spread even if its
@@ -272,22 +409,22 @@ impl Reptile {
                 reptile_relational::AggregateKind::Mean,
                 complaint.direction,
             );
-            Some(self.fit_and_predict(view, &mean_complaint, hierarchy)?.1)
+            Some(self.fit_and_predict(view, &mean_complaint, hierarchy, cache)?)
         } else {
             None
         };
-        let added_attribute = self.schema.name(dd.added_attribute).to_string();
-        let mut ranked = Vec::with_capacity(dd.view.len());
-        for (key, agg) in dd.view.groups() {
+        let added_attribute = self.schema.name(added).to_string();
+        let mut ranked = Vec::with_capacity(dd_view.len());
+        for (key, agg) in dd_view.groups() {
             let observed = agg.value(complaint.statistic);
             let expected = predictions.get(key).copied().unwrap_or(observed);
             let mut repaired: AggState = agg.repaired_to(complaint.statistic, expected);
             if let Some(means) = &mean_predictions {
-                if let Some(expected_mean) = means.get(key) {
+                if let Some(expected_mean) = means.predictions.get(key) {
                     repaired = repaired.with_mean(*expected_mean);
                 }
             }
-            let repaired_total = dd.view.total_with_replacement(key, &repaired)?;
+            let repaired_total = dd_view.total_with_replacement(key, &repaired)?;
             let repaired_value = repaired_total.value(complaint.statistic);
             let penalty = complaint.penalty(repaired_value);
             ranked.push(ScoredGroup {
@@ -305,7 +442,7 @@ impl Reptile {
         Ok(HierarchyRecommendation {
             hierarchy: hierarchy.name.clone(),
             added_attribute,
-            view: dd.view,
+            view: dd_view,
             ranked,
         })
     }
@@ -359,7 +496,10 @@ mod tests {
         View::compute(
             rel.clone(),
             Predicate::all(),
-            vec![schema.attr("district").unwrap(), schema.attr("year").unwrap()],
+            vec![
+                schema.attr("district").unwrap(),
+                schema.attr("year").unwrap(),
+            ],
             schema.attr("severity").unwrap(),
         )
         .unwrap()
@@ -477,9 +617,7 @@ mod tests {
         );
         let geo = schema.hierarchy("geo").unwrap().clone();
         let engine = Reptile::new(rel, schema);
-        let expected = engine
-            .expected_statistics(&view, &complaint, &geo)
-            .unwrap();
+        let expected = engine.expected_statistics(&view, &complaint, &geo).unwrap();
         assert_eq!(expected.len(), 4); // four villages in D1
         for value in expected.values() {
             assert!(value.is_finite());

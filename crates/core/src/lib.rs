@@ -57,15 +57,23 @@
 //! ```
 //!
 //! The heavy lifting lives in the companion crates:
-//! `reptile-relational` (data model), `reptile-factor` (factorised matrices
-//! and decomposed aggregates), `reptile-linalg` (dense substrate),
-//! `reptile-model` (multi-level EM model) and `reptile-datasets`
-//! (workload simulators for the paper's experiments).
+//! `reptile-relational` (data model), `reptile-factor` (factorised matrices,
+//! decomposed aggregates and drill-down maintenance), `reptile-linalg`
+//! (dense substrate), `reptile-model` (multi-level EM model),
+//! `reptile-datasets` (workload simulators for the paper's experiments), and
+//! `reptile-session` (cached interactive explanation sessions and the
+//! parallel multi-complaint `BatchServer`). This crate's [`cache`] module
+//! defines the canonical view/model signatures and the [`cache::EngineCache`]
+//! interface those sessions inject via [`Reptile::recommend_with_cache`].
 
 pub mod baselines;
+pub mod cache;
 pub mod complaint;
 pub mod engine;
 
+pub use cache::{
+    config_fingerprint, EngineCache, FittedRepairModel, ModelKey, NoCache, TrainedModel, ViewKey,
+};
 pub use complaint::{Complaint, Direction};
 pub use engine::{
     HierarchyRecommendation, Recommendation, RepairModelKind, Reptile, ReptileConfig, ScoredGroup,

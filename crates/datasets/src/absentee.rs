@@ -105,10 +105,16 @@ mod tests {
         let (schema, rel) = generate(config);
         assert_eq!(schema.hierarchies().len(), 4);
         assert!(rel.len() > config.rows / 2 && rel.len() < config.rows * 2);
-        assert_eq!(rel.distinct(schema.attr("county").unwrap()).len(), config.counties);
+        assert_eq!(
+            rel.distinct(schema.attr("county").unwrap()).len(),
+            config.counties
+        );
         assert!(rel.distinct(schema.attr("party").unwrap()).len() <= config.parties);
         assert!(rel.distinct(schema.attr("week").unwrap()).len() <= config.weeks);
-        assert_eq!(rel.distinct(schema.attr("gender").unwrap()).len(), config.genders);
+        assert_eq!(
+            rel.distinct(schema.attr("gender").unwrap()).len(),
+            config.genders
+        );
     }
 
     #[test]

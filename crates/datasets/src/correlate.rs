@@ -37,8 +37,7 @@ pub fn correlated_with(
     target
         .iter()
         .map(|x| {
-            let z = rho * ((x - t_mean) / t_std)
-                + (1.0 - rho * rho).sqrt() * rng.standard_normal();
+            let z = rho * ((x - t_mean) / t_std) + (1.0 - rho * rho).sqrt() * rng.standard_normal();
             mean + std * z
         })
         .collect()

@@ -106,6 +106,22 @@ fn location_name(prefix: &str, i: usize) -> String {
     format!("{prefix}{i:03}")
 }
 
+/// Swap the first adjacent digit pair of `v` (rounded) that increases the
+/// number — the classic transposition typo, in the inflating direction. Falls
+/// back to a last-digit slip (+27) when every swap would deflate.
+fn digit_swap_inflate(v: f64) -> f64 {
+    let n = v.max(0.0).round() as u64;
+    let digits: Vec<u8> = n.to_string().bytes().map(|b| b - b'0').collect();
+    for i in 0..digits.len().saturating_sub(1) {
+        if digits[i + 1] > digits[i] {
+            let mut d = digits.clone();
+            d.swap(i, i + 1);
+            return d.iter().fold(0u64, |acc, &x| acc * 10 + u64::from(x)) as f64;
+        }
+    }
+    v + 27.0
+}
+
 impl CovidCaseStudy {
     /// Build the United-States-shaped case study (16 issues, Table 1).
     pub fn us(config: CovidConfig) -> Self {
@@ -128,9 +144,13 @@ impl CovidCaseStudy {
                 .unwrap(),
         );
         // Epidemic-curve shaped daily reports: per-location scale times a
-        // smooth wave plus a day-of-week dip plus noise.
+        // smooth wave plus a day-of-week dip plus noise. Scales are
+        // log-uniform over a wide range, mirroring the heavy-tailed
+        // population sizes of the real JHU panels (magnitude alone must not
+        // identify the corrupted location, or the Scorpion-style baselines
+        // become artificially perfect).
         let scales: Vec<f64> = (0..config.locations)
-            .map(|_| rng.uniform_range(0.5, 8.0))
+            .map(|_| rng.uniform_range(0.2f64.ln(), 50.0f64.ln()).exp())
             .collect();
         let mut relation = Relation::empty(schema.clone());
         for (li, scale) in scales.iter().enumerate() {
@@ -190,7 +210,8 @@ impl CovidCaseStudy {
         let rows_of = |rel: &Relation, d: Option<i64>| -> Vec<usize> {
             rel.filter_indices(|r| {
                 rel.value(r, location) == &issue.location
-                    && d.map(|d| rel.value(r, day) == &Value::int(d)).unwrap_or(true)
+                    && d.map(|d| rel.value(r, day) == &Value::int(d))
+                        .unwrap_or(true)
             })
         };
         match issue.kind {
@@ -217,10 +238,14 @@ impl CovidCaseStudy {
                 }
             }
             CovidIssueKind::Typo => {
-                // A small absolute error on a single sub-location.
+                // A transposed-digit error on a single sub-location: swap the
+                // first adjacent digit pair that inflates the value
+                // (e.g. 1325 -> 3125). Inflates the report by ~10-80% —
+                // detectable by a model of the location's expectation, but
+                // not enough to make the location the day's extreme.
                 if let Some(&r) = rows_of(&out, Some(issue.day)).first() {
                     let v = out.value(r, confirmed).as_f64_or_zero();
-                    out.set_value(r, confirmed, Value::float(v + 27.0));
+                    out.set_value(r, confirmed, Value::float(digit_swap_inflate(v)));
                 }
             }
             CovidIssueKind::PrevalentMissingSource => {
@@ -361,12 +386,18 @@ mod tests {
                 s.attr("confirmed").unwrap(),
             )
             .unwrap();
-            view.aggregate_of(&reptile_relational::GroupKey(vec![loc.clone()]), reptile_relational::AggregateKind::Sum)
-                .unwrap()
+            view.aggregate_of(
+                &reptile_relational::GroupKey(vec![loc.clone()]),
+                reptile_relational::AggregateKind::Sum,
+            )
+            .unwrap()
         };
         let clean_total = day_total(&cs.clean, &issue.location);
         let bad_total = day_total(&corrupted, &issue.location);
-        assert!(bad_total < clean_total * 0.2, "{bad_total} vs {clean_total}");
+        assert!(
+            bad_total < clean_total * 0.2,
+            "{bad_total} vs {clean_total}"
+        );
         assert!(issue.too_low);
     }
 

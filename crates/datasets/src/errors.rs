@@ -58,8 +58,7 @@ pub fn inject(
     kind: ErrorKind,
     rng: &mut SimRng,
 ) -> Relation {
-    let group_rows: Vec<usize> =
-        relation.filter_indices(|r| relation.value(r, attr) == group);
+    let group_rows: Vec<usize> = relation.filter_indices(|r| relation.value(r, attr) == group);
     match kind {
         ErrorKind::MissingRecords => {
             let drop = rng.choose_indices(group_rows.len(), group_rows.len() / 2);
@@ -86,10 +85,7 @@ pub fn inject(
             };
             let mut out = relation.clone();
             for r in group_rows {
-                let v = relation
-                    .value(r, measure)
-                    .as_f64()
-                    .unwrap_or(0.0);
+                let v = relation.value(r, measure).as_f64().unwrap_or(0.0);
                 out.set_value(r, measure, Value::float(v + sign * delta));
             }
             out
@@ -156,7 +152,14 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         let attr = rel.schema().attr("g").unwrap();
         let measure = rel.schema().attr("m").unwrap();
-        let corrupted = inject(&rel, attr, &Value::str("g1"), measure, ErrorKind::MissingRecords, &mut rng);
+        let corrupted = inject(
+            &rel,
+            attr,
+            &Value::str("g1"),
+            measure,
+            ErrorKind::MissingRecords,
+            &mut rng,
+        );
         assert_eq!(corrupted.len(), 25);
         let (count, _) = group_stats(&corrupted, "g1");
         assert_eq!(count, 5.0);
@@ -170,7 +173,14 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(2);
         let attr = rel.schema().attr("g").unwrap();
         let measure = rel.schema().attr("m").unwrap();
-        let corrupted = inject(&rel, attr, &Value::str("g2"), measure, ErrorKind::DuplicateRecords, &mut rng);
+        let corrupted = inject(
+            &rel,
+            attr,
+            &Value::str("g2"),
+            measure,
+            ErrorKind::DuplicateRecords,
+            &mut rng,
+        );
         assert_eq!(corrupted.len(), 35);
         let (count, _) = group_stats(&corrupted, "g2");
         assert_eq!(count, 15.0);
@@ -183,14 +193,28 @@ mod tests {
         let attr = rel.schema().attr("g").unwrap();
         let measure = rel.schema().attr("m").unwrap();
         let (_, before) = group_stats(&rel, "g0");
-        let corrupted = inject(&rel, attr, &Value::str("g0"), measure, ErrorKind::IncreaseValues(5.0), &mut rng);
+        let corrupted = inject(
+            &rel,
+            attr,
+            &Value::str("g0"),
+            measure,
+            ErrorKind::IncreaseValues(5.0),
+            &mut rng,
+        );
         let (count, after) = group_stats(&corrupted, "g0");
         assert_eq!(count, 10.0);
         assert!((after - before - 5.0).abs() < 1e-9);
         let (_, other) = group_stats(&corrupted, "g1");
         let (_, other_before) = group_stats(&rel, "g1");
         assert_eq!(other, other_before);
-        let decreased = inject(&rel, attr, &Value::str("g0"), measure, ErrorKind::DecreaseValues(5.0), &mut rng);
+        let decreased = inject(
+            &rel,
+            attr,
+            &Value::str("g0"),
+            measure,
+            ErrorKind::DecreaseValues(5.0),
+            &mut rng,
+        );
         let (_, dec) = group_stats(&decreased, "g0");
         assert!((before - dec - 5.0).abs() < 1e-9);
     }

@@ -233,8 +233,7 @@ impl FistCaseStudy {
                 });
                 let drop = rng.choose_indices(rows.len(), rows.len() / 2);
                 let drop_set: Vec<usize> = drop.iter().map(|i| rows[*i]).collect();
-                let keep: Vec<usize> =
-                    (0..out.len()).filter(|r| !drop_set.contains(r)).collect();
+                let keep: Vec<usize> = (0..out.len()).filter(|r| !drop_set.contains(r)).collect();
                 out = out.take(&keep);
             }
             FistComplaintKind::TwoDistrictStd => {

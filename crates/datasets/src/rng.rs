@@ -1,30 +1,34 @@
 //! Deterministic random number utilities for the simulators.
 //!
-//! Wraps `rand`'s `StdRng` with the small set of distributions the workload
-//! generators need (uniform, normal via Box–Muller, integer ranges), so the
-//! rest of the crate never depends on distribution crates outside the allowed
-//! dependency set.
+//! A self-contained splitmix64-based generator with the small set of
+//! distributions the workload generators need (uniform, normal via
+//! Box–Muller, integer ranges), so the crate has no dependencies outside the
+//! standard library.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Seeded random generator used by every simulator.
+/// Seeded random generator used by every simulator (splitmix64 core).
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: u64,
 }
 
 impl SimRng {
     /// Create from a seed (all workloads are reproducible given their seed).
     pub fn seed_from_u64(seed: u64) -> Self {
-        SimRng {
-            inner: StdRng::seed_from_u64(seed),
-        }
+        SimRng { state: seed }
+    }
+
+    /// Next raw 64-bit output (splitmix64 step).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -37,7 +41,7 @@ impl SimRng {
         if n == 0 {
             0
         } else {
-            self.inner.gen_range(0..n)
+            (self.next_u64() % n as u64) as usize
         }
     }
 
@@ -111,8 +115,8 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(7);
         let samples: Vec<f64> = (0..20_000).map(|_| rng.normal(10.0, 2.0)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 10.0).abs() < 0.1, "mean = {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std = {}", var.sqrt());
     }

@@ -215,9 +215,18 @@ mod tests {
         let aux: Vec<f64> = groups.iter().map(|g| data.aux_count[g]).collect();
         let r = crate::rng::pearson(&counts, &aux);
         assert!(r > 0.8, "correlation {r}");
-        assert!(std::ptr::eq(data.aux_for(AggregateKind::Count), &data.aux_count));
-        assert!(std::ptr::eq(data.aux_for(AggregateKind::Std), &data.aux_std));
-        assert!(std::ptr::eq(data.aux_for(AggregateKind::Sum), &data.aux_mean));
+        assert!(std::ptr::eq(
+            data.aux_for(AggregateKind::Count),
+            &data.aux_count
+        ));
+        assert!(std::ptr::eq(
+            data.aux_for(AggregateKind::Std),
+            &data.aux_std
+        ));
+        assert!(std::ptr::eq(
+            data.aux_for(AggregateKind::Sum),
+            &data.aux_mean
+        ));
     }
 
     #[test]
@@ -230,7 +239,10 @@ mod tests {
         let data = SyntheticDataset::generate(config);
         let mut rng = SimRng::seed_from_u64(99);
         let (corrupted, errors) = data.corrupt(
-            &[(ErrorKind::MissingRecords, true), (ErrorKind::IncreaseValues(5.0), false)],
+            &[
+                (ErrorKind::MissingRecords, true),
+                (ErrorKind::IncreaseValues(5.0), false),
+            ],
             &mut rng,
         );
         assert_eq!(errors.len(), 2);

@@ -19,6 +19,10 @@ use crate::factorization::{AttrPosition, Factorization, HierarchyFactor};
 use reptile_relational::Value;
 use std::collections::BTreeMap;
 
+/// One same-hierarchy `COF` table: `(parent value, child value, descendant
+/// leaves of child)` triples.
+pub type CofTable = Vec<(Value, Value, f64)>;
+
 /// Aggregates local to one hierarchy (independent of the other hierarchies).
 #[derive(Debug, Clone)]
 pub struct HierarchyAggregates {
@@ -30,7 +34,7 @@ pub struct HierarchyAggregates {
     pub runs: Vec<Vec<(Value, f64)>>,
     /// Same-hierarchy `COF` tables for level pairs `(l1, l2)` with `l1 < l2`:
     /// a list of `(parent value, child value, descendant leaves of child)`.
-    pub cofs: BTreeMap<(usize, usize), Vec<(Value, Value, f64)>>,
+    pub cofs: BTreeMap<(usize, usize), CofTable>,
 }
 
 impl HierarchyAggregates {
@@ -246,12 +250,7 @@ impl DecomposedAggregates {
         if lp.hierarchy == rp.hierarchy {
             let scale = self.later_product(lp.hierarchy);
             let table = &self.per_hierarchy[lp.hierarchy].cofs[&(lp.level, rp.level)];
-            CofPairs::Materialized(
-                table
-                    .iter()
-                    .map(|(a, b, c)| (a, b, c * scale))
-                    .collect(),
-            )
+            CofPairs::Materialized(table.iter().map(|(a, b, c)| (a, b, c * scale)).collect())
         } else {
             // COF[a,b] = desc_left[a] * desc_right[b] * Π leaf counts of the
             // hierarchies after `left`'s, excluding `right`'s.
@@ -274,10 +273,9 @@ impl DecomposedAggregates {
         g: impl Fn(&Value) -> f64,
     ) -> f64 {
         match self.cof(left, right) {
-            CofPairs::Materialized(entries) => entries
-                .iter()
-                .map(|(a, b, c)| c * f(a) * g(b))
-                .sum(),
+            CofPairs::Materialized(entries) => {
+                entries.iter().map(|(a, b, c)| c * f(a) * g(b)).sum()
+            }
             CofPairs::Independent { left, right, scale } => {
                 let ls: f64 = left.iter().map(|(a, c)| c * f(a)).sum();
                 let rs: f64 = right.iter().map(|(b, c)| c * g(b)).sum();
@@ -386,7 +384,11 @@ mod tests {
         let b = HierarchyFactor::from_paths(
             "b",
             vec![AttrId(2)],
-            vec![vec![Value::int(100)], vec![Value::int(200)], vec![Value::int(300)]],
+            vec![
+                vec![Value::int(100)],
+                vec![Value::int(200)],
+                vec![Value::int(300)],
+            ],
         );
         let c = HierarchyFactor::from_paths(
             "c",

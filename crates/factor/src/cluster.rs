@@ -50,7 +50,11 @@ impl ClusterPartition {
     /// Build the partition with the trailing `intra_levels` levels of the last
     /// hierarchy treated as intra-cluster columns (used when auxiliary or
     /// custom features are derived from the drilled attribute).
-    pub fn with_intra_levels(fact: &Factorization, features: &FeatureMap, intra_levels: usize) -> Self {
+    pub fn with_intra_levels(
+        fact: &Factorization,
+        features: &FeatureMap,
+        intra_levels: usize,
+    ) -> Self {
         let m = fact.n_cols();
         let hierarchies = fact.hierarchies();
         assert!(!hierarchies.is_empty(), "factorization has no hierarchies");
@@ -220,7 +224,11 @@ impl ClusterPartition {
     /// Per-cluster right multiplications `X_i·A_i` (Algorithm 7); `a[i]` must
     /// be an `m × p` matrix.
     pub fn right_mult(&self, a: &[Matrix]) -> Vec<Matrix> {
-        assert_eq!(a.len(), self.clusters.len(), "one right operand per cluster");
+        assert_eq!(
+            a.len(),
+            self.clusters.len(),
+            "one right operand per cluster"
+        );
         let m = self.n_cols;
         self.clusters
             .iter()
@@ -244,8 +252,8 @@ impl ClusterPartition {
                 }
                 let mut out = Matrix::zeros(c.len, p);
                 for (r, intra) in c.intra_features.iter().enumerate() {
-                    for col in 0..p {
-                        let mut v = base[col];
+                    for (col, &b) in base.iter().enumerate() {
+                        let mut v = b;
                         for (k, &icol) in self.intra_columns.iter().enumerate() {
                             v += intra[k] * ai.get(icol, col);
                         }
@@ -267,9 +275,9 @@ impl ClusterPartition {
         for (c, beta) in self.clusters.iter().zip(betas) {
             assert_eq!(beta.len(), m);
             let mut base = 0.0;
-            for j in 0..m {
+            for (j, &bj) in beta.iter().enumerate().take(m) {
                 if !self.is_intra(j) {
-                    base += c.const_features[j] * beta[j];
+                    base += c.const_features[j] * bj;
                 }
             }
             for intra in &c.intra_features {
@@ -291,9 +299,9 @@ impl ClusterPartition {
         let mut out = Vec::new();
         for c in &self.clusters {
             let mut base = 0.0;
-            for j in 0..m {
+            for (j, &bj) in beta.iter().enumerate().take(m) {
                 if !self.is_intra(j) {
-                    base += c.const_features[j] * beta[j];
+                    base += c.const_features[j] * bj;
                 }
             }
             for intra in &c.intra_features {
@@ -357,9 +365,9 @@ impl ClusterPartition {
                 let slice = &v[c.start_row..c.start_row + c.len];
                 let row_sum: f64 = slice.iter().sum();
                 let mut out = vec![0.0f64; m];
-                for j in 0..m {
+                for (j, o) in out.iter_mut().enumerate().take(m) {
                     if !self.is_intra(j) {
-                        out[j] = c.const_features[j] * row_sum;
+                        *o = c.const_features[j] * row_sum;
                     }
                 }
                 for (k, &icol) in self.intra_columns.iter().enumerate() {
@@ -415,7 +423,11 @@ mod tests {
         let time = HierarchyFactor::from_paths(
             "time",
             vec![AttrId(0)],
-            vec![vec![Value::str("t1")], vec![Value::str("t2")], vec![Value::str("t3")]],
+            vec![
+                vec![Value::str("t1")],
+                vec![Value::str("t2")],
+                vec![Value::str("t3")],
+            ],
         );
         let geo = HierarchyFactor::from_paths(
             "geo",
@@ -445,7 +457,9 @@ mod tests {
     fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut s = seed;
         Matrix::from_fn(rows, cols, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0
         })
     }
@@ -597,7 +611,11 @@ mod tests {
         let only = HierarchyFactor::from_paths(
             "only",
             vec![AttrId(0)],
-            vec![vec![Value::int(1)], vec![Value::int(2)], vec![Value::int(3)]],
+            vec![
+                vec![Value::int(1)],
+                vec![Value::int(2)],
+                vec![Value::int(3)],
+            ],
         );
         let fact = Factorization::new(vec![only]);
         let features = FeatureMap::indexed(&[vec![Value::int(1), Value::int(2), Value::int(3)]]);

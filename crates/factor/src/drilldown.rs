@@ -39,24 +39,44 @@ pub struct SessionStats {
     pub reused: usize,
 }
 
+/// Cache key of one hierarchy's aggregate state: name, depth, leaf count,
+/// plus a content fingerprint of the paths so that equally shaped factors
+/// over different provenance (e.g. the villages of two different districts)
+/// never alias.
+type FactorKey = (String, usize, usize, u64);
+
+/// Default bound on cached per-hierarchy aggregate states (long-lived
+/// serving sessions touch many distinct provenances; the cache must not grow
+/// with session lifetime).
+pub const DEFAULT_SESSION_CAPACITY: usize = 256;
+
 /// A stateful session that serves decomposed aggregates across successive
 /// drill-down invocations.
 #[derive(Debug)]
 pub struct DrilldownSession {
     mode: DrilldownMode,
-    /// Cache keyed by (hierarchy name, depth, leaf count). Leaf count guards
-    /// against reusing stale state if the underlying provenance changed.
-    cache: HashMap<(String, usize, usize), HierarchyAggregates>,
+    capacity: usize,
+    clock: u64,
+    cache: HashMap<FactorKey, (HierarchyAggregates, u64)>,
     /// Keys used by the previous invocation (the `Dynamic` reuse set).
-    previous: Vec<(String, usize, usize)>,
+    previous: Vec<FactorKey>,
     stats: SessionStats,
 }
 
 impl DrilldownSession {
-    /// Create a session with the given maintenance mode.
+    /// Create a session with the given maintenance mode and the default
+    /// cache bound.
     pub fn new(mode: DrilldownMode) -> Self {
+        Self::with_capacity(mode, DEFAULT_SESSION_CAPACITY)
+    }
+
+    /// Create a session holding at most `capacity` cached hierarchy states
+    /// (least-recently-used beyond that; minimum 1).
+    pub fn with_capacity(mode: DrilldownMode, capacity: usize) -> Self {
         DrilldownSession {
             mode,
+            capacity: capacity.max(1),
+            clock: 0,
             cache: HashMap::new(),
             previous: Vec::new(),
             stats: SessionStats::default(),
@@ -68,13 +88,33 @@ impl DrilldownSession {
         self.mode
     }
 
+    /// The cache bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of cached hierarchy states.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
     /// Statistics of the most recent call.
     pub fn stats(&self) -> SessionStats {
         self.stats
     }
 
-    fn key_of(factor: &crate::factorization::HierarchyFactor) -> (String, usize, usize) {
-        (factor.name.clone(), factor.depth(), factor.leaf_count())
+    fn key_of(factor: &crate::factorization::HierarchyFactor) -> FactorKey {
+        (
+            factor.name.clone(),
+            factor.depth(),
+            factor.leaf_count(),
+            factor.content_fingerprint(),
+        )
     }
 
     /// Compute (or reuse) the decomposed aggregates for `fact`.
@@ -91,13 +131,30 @@ impl DrilldownSession {
                 }
                 DrilldownMode::CachedDynamic => self.cache.contains_key(&key),
             };
+            self.clock += 1;
             let aggs = if reusable {
                 stats.reused += 1;
-                self.cache[&key].clone()
+                let entry = self.cache.get_mut(&key).expect("checked above");
+                entry.1 = self.clock;
+                entry.0.clone()
             } else {
                 stats.recomputed += 1;
                 let computed = HierarchyAggregates::compute(factor);
-                self.cache.insert(key.clone(), computed.clone());
+                if !self.cache.contains_key(&key) && self.cache.len() >= self.capacity {
+                    // Evict the least-recently-used state, but never one of
+                    // this invocation's own hierarchies.
+                    if let Some(oldest) = self
+                        .cache
+                        .iter()
+                        .filter(|(k, _)| !current_keys.contains(*k))
+                        .min_by_key(|(_, (_, used))| *used)
+                        .map(|(k, _)| k.clone())
+                    {
+                        self.cache.remove(&oldest);
+                    }
+                }
+                self.cache
+                    .insert(key.clone(), (computed.clone(), self.clock));
                 computed
             };
             parts.push(aggs);
@@ -159,22 +216,52 @@ mod tests {
     fn static_mode_recomputes_everything() {
         let mut s = DrilldownSession::new(DrilldownMode::Static);
         s.aggregates(&fact(1, 1));
-        assert_eq!(s.stats(), SessionStats { recomputed: 2, reused: 0 });
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 2,
+                reused: 0
+            }
+        );
         s.aggregates(&fact(1, 1));
-        assert_eq!(s.stats(), SessionStats { recomputed: 2, reused: 0 });
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 2,
+                reused: 0
+            }
+        );
     }
 
     #[test]
     fn dynamic_mode_reuses_unchanged_hierarchies() {
         let mut s = DrilldownSession::new(DrilldownMode::Dynamic);
         s.aggregates(&fact(1, 1));
-        assert_eq!(s.stats(), SessionStats { recomputed: 2, reused: 0 });
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 2,
+                reused: 0
+            }
+        );
         // Drill down hierarchy B: only B is recomputed.
         s.aggregates(&fact(1, 2));
-        assert_eq!(s.stats(), SessionStats { recomputed: 1, reused: 1 });
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 1,
+                reused: 1
+            }
+        );
         // Going back to the earlier B depth is NOT cached in dynamic mode.
         s.aggregates(&fact(1, 1));
-        assert_eq!(s.stats(), SessionStats { recomputed: 1, reused: 1 });
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 1,
+                reused: 1
+            }
+        );
     }
 
     #[test]
@@ -182,13 +269,95 @@ mod tests {
         let mut s = DrilldownSession::new(DrilldownMode::CachedDynamic);
         s.aggregates(&fact(1, 1));
         s.aggregates(&fact(1, 2));
-        assert_eq!(s.stats(), SessionStats { recomputed: 1, reused: 1 });
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 1,
+                reused: 1
+            }
+        );
         // Revisit the first configuration: everything is served from cache.
         s.aggregates(&fact(1, 1));
-        assert_eq!(s.stats(), SessionStats { recomputed: 0, reused: 2 });
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 0,
+                reused: 2
+            }
+        );
         // A brand-new depth still requires work for that hierarchy only.
         s.aggregates(&fact(2, 1));
-        assert_eq!(s.stats(), SessionStats { recomputed: 1, reused: 1 });
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 1,
+                reused: 1
+            }
+        );
+    }
+
+    #[test]
+    fn cache_is_bounded_and_evicts_least_recently_used() {
+        let mut s = DrilldownSession::with_capacity(DrilldownMode::CachedDynamic, 2);
+        assert_eq!(s.capacity(), 2);
+        let a = fact(1, 1); // hierarchies A(depth 1), B(depth 1)
+        s.aggregates(&a);
+        assert_eq!(s.len(), 2);
+        // A new A-depth fills the cache past capacity: the oldest state that
+        // is not part of the current invocation (A depth 1) is evicted while
+        // B (just reused this call) survives.
+        s.aggregates(&fact(2, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 1,
+                reused: 1
+            }
+        );
+        // A depth 1 was evicted: recomputed again; B still cached.
+        s.aggregates(&a);
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 1,
+                reused: 1
+            }
+        );
+    }
+
+    #[test]
+    fn equally_shaped_factors_with_different_content_do_not_alias() {
+        // Two factors with the same name/depth/leaf-count but different paths
+        // (think: the villages of district D1 vs district D2) must not reuse
+        // each other's aggregates.
+        let a = hierarchy("H", 0, 1, 2);
+        let mut other_paths = a.paths.clone();
+        for p in &mut other_paths {
+            *p = vec![Value::str(format!("other-{}", p[0]))];
+        }
+        let b = HierarchyFactor::from_paths("H", a.attrs.clone(), other_paths);
+        assert_eq!(a.depth(), b.depth());
+        assert_eq!(a.leaf_count(), b.leaf_count());
+        let mut s = DrilldownSession::new(DrilldownMode::CachedDynamic);
+        s.aggregates(&Factorization::new(vec![a.clone()]));
+        s.aggregates(&Factorization::new(vec![b]));
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 1,
+                reused: 0
+            }
+        );
+        // The original factor is still served from cache.
+        s.aggregates(&Factorization::new(vec![a]));
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 0,
+                reused: 1
+            }
+        );
     }
 
     #[test]

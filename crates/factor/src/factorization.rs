@@ -50,7 +50,11 @@ pub struct HierarchyFactor {
 impl HierarchyFactor {
     /// Build a hierarchy factor from explicit paths (used by synthetic
     /// workload generators). Paths are sorted and de-duplicated.
-    pub fn from_paths(name: impl Into<String>, attrs: Vec<AttrId>, mut paths: Vec<Vec<Value>>) -> Self {
+    pub fn from_paths(
+        name: impl Into<String>,
+        attrs: Vec<AttrId>,
+        mut paths: Vec<Vec<Value>>,
+    ) -> Self {
         paths.sort();
         paths.dedup();
         let ranges = Self::build_ranges(&attrs, &paths);
@@ -68,7 +72,12 @@ impl HierarchyFactor {
         let depth = depth.min(hierarchy.levels.len()).max(1);
         let attrs: Vec<AttrId> = hierarchy.levels[..depth].to_vec();
         let mut paths: Vec<Vec<Value>> = (0..relation.len())
-            .map(|row| attrs.iter().map(|a| relation.value(row, *a).clone()).collect())
+            .map(|row| {
+                attrs
+                    .iter()
+                    .map(|a| relation.value(row, *a).clone())
+                    .collect()
+            })
             .collect();
         paths.sort();
         paths.dedup();
@@ -81,7 +90,10 @@ impl HierarchyFactor {
         }
     }
 
-    fn build_ranges(attrs: &[AttrId], paths: &[Vec<Value>]) -> Vec<BTreeMap<Value, (usize, usize)>> {
+    fn build_ranges(
+        attrs: &[AttrId],
+        paths: &[Vec<Value>],
+    ) -> Vec<BTreeMap<Value, (usize, usize)>> {
         let mut ranges = vec![BTreeMap::new(); attrs.len()];
         for (level, map) in ranges.iter_mut().enumerate() {
             let mut i = 0usize;
@@ -107,6 +119,21 @@ impl HierarchyFactor {
         self.attrs.len()
     }
 
+    /// A stable fingerprint of the factor's content (attribute ids plus
+    /// paths). Caches that reuse aggregates across invocations key on this:
+    /// name/depth/leaf-count alone collide when two views select different
+    /// provenance of the same shape (e.g. the four villages of district D1
+    /// vs the four villages of district D2).
+    pub fn content_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.attrs.hash(&mut h);
+        for path in &self.paths {
+            path.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Number of distinct leaf paths.
     pub fn leaf_count(&self) -> usize {
         self.paths.len()
@@ -120,10 +147,7 @@ impl HierarchyFactor {
     /// Number of leaf paths below value `v` of `level` (the `COUNT` building
     /// block before cross-hierarchy scaling).
     pub fn descendant_leaves(&self, level: usize, v: &Value) -> usize {
-        self.ranges[level]
-            .get(v)
-            .map(|(s, e)| e - s)
-            .unwrap_or(0)
+        self.ranges[level].get(v).map(|(s, e)| e - s).unwrap_or(0)
     }
 
     /// The values of `level` in *path order* together with their descendant
@@ -210,7 +234,10 @@ impl Factorization {
                 };
             }
         }
-        panic!("column {column} out of range for factorization with {} columns", self.columns);
+        panic!(
+            "column {column} out of range for factorization with {} columns",
+            self.columns
+        );
     }
 
     /// Global column index of `(hierarchy, level)`.
@@ -415,11 +442,26 @@ mod tests {
         let rows = f.materialize_values();
         assert_eq!(rows.len(), 6);
         // Figure 3b: rows ordered t1 x (d1 v1, d1 v2, d2 v3), then t2 x ...
-        assert_eq!(rows[0], vec![Value::str("t1"), Value::str("d1"), Value::str("v1")]);
-        assert_eq!(rows[1], vec![Value::str("t1"), Value::str("d1"), Value::str("v2")]);
-        assert_eq!(rows[2], vec![Value::str("t1"), Value::str("d2"), Value::str("v3")]);
-        assert_eq!(rows[3], vec![Value::str("t2"), Value::str("d1"), Value::str("v1")]);
-        assert_eq!(rows[5], vec![Value::str("t2"), Value::str("d2"), Value::str("v3")]);
+        assert_eq!(
+            rows[0],
+            vec![Value::str("t1"), Value::str("d1"), Value::str("v1")]
+        );
+        assert_eq!(
+            rows[1],
+            vec![Value::str("t1"), Value::str("d1"), Value::str("v2")]
+        );
+        assert_eq!(
+            rows[2],
+            vec![Value::str("t1"), Value::str("d2"), Value::str("v3")]
+        );
+        assert_eq!(
+            rows[3],
+            vec![Value::str("t2"), Value::str("d1"), Value::str("v1")]
+        );
+        assert_eq!(
+            rows[5],
+            vec![Value::str("t2"), Value::str("d2"), Value::str("v3")]
+        );
         // row_values agrees with materialize_values
         for (r, row) in rows.iter().enumerate() {
             assert_eq!(&f.row_values(r), row);
@@ -464,7 +506,10 @@ mod tests {
             None
         );
         assert_eq!(f.row_index_of(&[Value::str("t1")]), None);
-        assert_eq!(f.path_index_of(1, &[Value::str("d2"), Value::str("v3")]), Some(2));
+        assert_eq!(
+            f.path_index_of(1, &[Value::str("d2"), Value::str("v3")]),
+            Some(2)
+        );
     }
 
     #[test]

@@ -40,7 +40,8 @@ fn scan_level(factor: &HierarchyFactor, level: usize) -> BTreeMap<Value, f64> {
 fn scan_pair(factor: &HierarchyFactor, l1: usize, l2: usize) -> BTreeMap<(Value, Value), f64> {
     let mut map = BTreeMap::new();
     for path in &factor.paths {
-        *map.entry((path[l1].clone(), path[l2].clone())).or_insert(0.0) += 1.0;
+        *map.entry((path[l1].clone(), path[l2].clone()))
+            .or_insert(0.0) += 1.0;
     }
     map
 }

@@ -30,12 +30,7 @@ pub fn gram(aggs: &DecomposedAggregates, features: &FeatureMap) -> Matrix {
         out.set(p, p, diag);
         for q in (p + 1)..m {
             let val = aggs.repetitions(p)
-                * aggs.cof_weighted_sum(
-                    p,
-                    q,
-                    |a| features.value(p, a),
-                    |b| features.value(q, b),
-                );
+                * aggs.cof_weighted_sum(p, q, |a| features.value(p, a), |b| features.value(q, b));
             out.set(p, q, val);
             out.set(q, p, val);
         }
@@ -165,7 +160,9 @@ mod tests {
     fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut s = seed;
         Matrix::from_fn(rows, cols, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0
         })
     }
@@ -177,7 +174,10 @@ mod tests {
         let x = fact.materialize(&features);
         let expected = naive::gram(&x).unwrap();
         let got = gram(&aggs, &features);
-        assert!(got.max_abs_diff(&expected) < 1e-9, "{got:?} vs {expected:?}");
+        assert!(
+            got.max_abs_diff(&expected) < 1e-9,
+            "{got:?} vs {expected:?}"
+        );
     }
 
     #[test]
@@ -258,7 +258,12 @@ mod tests {
         let h2 = HierarchyFactor::from_paths(
             "h2",
             vec![AttrId(2)],
-            vec![vec![Value::int(5)], vec![Value::int(6)], vec![Value::int(7)], vec![Value::int(8)]],
+            vec![
+                vec![Value::int(5)],
+                vec![Value::int(6)],
+                vec![Value::int(7)],
+                vec![Value::int(8)],
+            ],
         );
         let h3 = HierarchyFactor::from_paths(
             "h3",

@@ -152,8 +152,7 @@ impl Matrix {
                     continue;
                 }
                 let rhs_row = rhs.row(k);
-                let out_row =
-                    &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
                 for (o, b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
                 }
@@ -172,7 +171,12 @@ impl Matrix {
         self.zip_with(rhs, "sub", |a, b| a - b)
     }
 
-    fn zip_with(&self, rhs: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        rhs: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
             return Err(LinalgError::DimensionMismatch {
                 op,

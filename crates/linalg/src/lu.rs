@@ -88,16 +88,16 @@ impl LuDecomposition {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut v = b[self.perm[i]];
-            for j in 0..i {
-                v -= self.lu.get(i, j) * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                v -= self.lu.get(i, j) * yj;
             }
             y[i] = v;
         }
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut v = y[i];
-            for j in (i + 1)..n {
-                v -= self.lu.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                v -= self.lu.get(i, j) * xj;
             }
             x[i] = v / self.lu.get(i, i);
         }
@@ -208,7 +208,10 @@ mod tests {
     #[test]
     fn singular_matrix_rejected() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
-        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::Singular)));
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular)
+        ));
         // with a ridge it becomes invertible
         let inv = invert_with_ridge(&a, 1e-3).unwrap();
         assert_eq!(inv.shape(), (2, 2));
@@ -240,7 +243,9 @@ mod tests {
         // lightweight deterministic pseudo-random check over several sizes
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0
         };
         for n in 1..=6 {

@@ -33,7 +33,11 @@ pub fn cluster_grams(x: &Matrix, clusters: &[(usize, usize)]) -> Result<Vec<Matr
 }
 
 /// Per-cluster left multiplications `A_i · X_i`.
-pub fn cluster_left_mult(a: &[Matrix], x: &Matrix, clusters: &[(usize, usize)]) -> Result<Vec<Matrix>> {
+pub fn cluster_left_mult(
+    a: &[Matrix],
+    x: &Matrix,
+    clusters: &[(usize, usize)],
+) -> Result<Vec<Matrix>> {
     a.iter()
         .zip(clusters)
         .map(|(ai, &(start, len))| ai.matmul(&x.row_block(start, len)))
@@ -41,7 +45,11 @@ pub fn cluster_left_mult(a: &[Matrix], x: &Matrix, clusters: &[(usize, usize)]) 
 }
 
 /// Per-cluster right multiplications `X_i · A_i`.
-pub fn cluster_right_mult(x: &Matrix, a: &[Matrix], clusters: &[(usize, usize)]) -> Result<Vec<Matrix>> {
+pub fn cluster_right_mult(
+    x: &Matrix,
+    a: &[Matrix],
+    clusters: &[(usize, usize)],
+) -> Result<Vec<Matrix>> {
     a.iter()
         .zip(clusters)
         .map(|(ai, &(start, len))| x.row_block(start, len).matmul(ai))
@@ -86,12 +94,18 @@ mod tests {
         assert_eq!(grams[0].get(0, 0), 5.0);
         assert_eq!(grams[1].get(1, 1), 10.0);
 
-        let a = vec![Matrix::row_vector(&[1.0, 1.0]), Matrix::row_vector(&[1.0, -1.0])];
+        let a = vec![
+            Matrix::row_vector(&[1.0, 1.0]),
+            Matrix::row_vector(&[1.0, -1.0]),
+        ];
         let lm = cluster_left_mult(&a, &x, &clusters).unwrap();
         assert_eq!(lm[0].row(0), &[3.0, 1.0]);
         assert_eq!(lm[1].row(0), &[-1.0, 2.0]);
 
-        let c = vec![Matrix::column_vector(&[1.0, 1.0]), Matrix::column_vector(&[2.0, 0.0])];
+        let c = vec![
+            Matrix::column_vector(&[1.0, 1.0]),
+            Matrix::column_vector(&[2.0, 0.0]),
+        ];
         let rm = cluster_right_mult(&x, &c, &clusters).unwrap();
         assert_eq!(rm[0].col(0), vec![1.0, 3.0]);
         assert_eq!(rm[1].col(0), vec![0.0, 2.0]);

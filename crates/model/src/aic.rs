@@ -24,12 +24,18 @@ pub fn aic(log_likelihood: f64, k: usize) -> f64 {
 
 /// AIC of a fitted OLS model.
 pub fn aic_linear(model: &LinearModel) -> f64 {
-    aic(gaussian_log_likelihood(model.rss, model.n), model.n_params())
+    aic(
+        gaussian_log_likelihood(model.rss, model.n),
+        model.n_params(),
+    )
 }
 
 /// AIC of a fitted multi-level model.
 pub fn aic_multilevel(model: &MultilevelModel) -> f64 {
-    aic(gaussian_log_likelihood(model.rss, model.n), model.n_params())
+    aic(
+        gaussian_log_likelihood(model.rss, model.n),
+        model.n_params(),
+    )
 }
 
 /// ΔAIC of each model relative to the best (lowest) in the collection.

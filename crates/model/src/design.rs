@@ -3,13 +3,15 @@
 
 use crate::features::{main_effects, normalize, FeaturePlan};
 use crate::{ModelError, Result};
-use reptile_factor::{ClusterPartition, DecomposedAggregates, Factorization, FeatureMap, HierarchyFactor};
+use reptile_factor::{
+    ClusterPartition, DecomposedAggregates, Factorization, FeatureMap, HierarchyFactor,
+};
 use reptile_relational::{AggregateKind, AttrId, GroupKey, Schema, Value, View};
 use std::collections::BTreeMap;
 
 /// What response value to assign to drill-down groups that have no data
 /// (the "empty groups" of the worst-case analysis in Section 5.1.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EmptyGroupPolicy {
     /// Use the mean of the observed groups (default; keeps the model
     /// unbiased by absent combinations).
@@ -133,16 +135,16 @@ impl TrainingDesign {
 }
 
 /// Builder that assembles a [`TrainingDesign`] from a parallel-groups view.
-#[derive(Debug)]
-pub struct DesignBuilder<'a> {
+pub struct DesignBuilder<'a, 'g> {
     view: &'a View,
     schema: &'a Schema,
     statistic: AggregateKind,
     plan: FeaturePlan,
     empty_policy: EmptyGroupPolicy,
+    aggregate_source: Option<&'g mut dyn FnMut(&Factorization) -> DecomposedAggregates>,
 }
 
-impl<'a> DesignBuilder<'a> {
+impl<'a, 'g> DesignBuilder<'a, 'g> {
     /// Create a builder for `view` (the result of a *parallel* drill-down,
     /// i.e. grouped by the original attributes plus the drilled attribute,
     /// over the complaint view's provenance).
@@ -153,6 +155,7 @@ impl<'a> DesignBuilder<'a> {
             statistic,
             plan: FeaturePlan::none(),
             empty_policy: EmptyGroupPolicy::GlobalMean,
+            aggregate_source: None,
         }
     }
 
@@ -169,20 +172,55 @@ impl<'a> DesignBuilder<'a> {
         self
     }
 
+    /// Obtain the decomposed aggregates from `source` instead of computing
+    /// them from scratch. Engines use this to thread a
+    /// [`reptile_factor::DrilldownSession`] through successive invocations so
+    /// that unchanged hierarchies are served from its cache.
+    pub fn with_aggregate_source(
+        mut self,
+        source: &'g mut dyn FnMut(&Factorization) -> DecomposedAggregates,
+    ) -> Self {
+        self.aggregate_source = Some(source);
+        self
+    }
+
+    /// Convenience wrapper around [`DesignBuilder::with_aggregate_source`]
+    /// for a [`reptile_factor::DrilldownSession`] held by the caller.
+    pub fn build_with_session(
+        self,
+        session: &mut reptile_factor::DrilldownSession,
+    ) -> Result<TrainingDesign> {
+        let mut source = |fact: &Factorization| session.aggregates(fact);
+        let DesignBuilder {
+            view,
+            schema,
+            statistic,
+            plan,
+            empty_policy,
+            aggregate_source: _,
+        } = self;
+        DesignBuilder {
+            view,
+            schema,
+            statistic,
+            plan,
+            empty_policy,
+            aggregate_source: Some(&mut source),
+        }
+        .build()
+    }
+
     /// Build the design.
-    pub fn build(self) -> Result<TrainingDesign> {
+    pub fn build(mut self) -> Result<TrainingDesign> {
         let view = self.view;
         if view.is_empty() {
             return Err(ModelError::EmptyTrainingData);
         }
         let group_by = view.group_by();
         let drilled_attr = *group_by.last().expect("non-empty group-by");
-        let drilled_hierarchy = self
-            .schema
-            .hierarchy_of(drilled_attr)
-            .ok_or_else(|| {
-                ModelError::UnknownAttribute(self.schema.name(drilled_attr).to_string())
-            })?;
+        let drilled_hierarchy = self.schema.hierarchy_of(drilled_attr).ok_or_else(|| {
+            ModelError::UnknownAttribute(self.schema.name(drilled_attr).to_string())
+        })?;
 
         // Hierarchy order: every hierarchy that contributes a group-by
         // attribute, with the drill-down hierarchy last.
@@ -191,8 +229,7 @@ impl<'a> DesignBuilder<'a> {
             .hierarchies()
             .iter()
             .filter(|h| {
-                h.name != drilled_hierarchy.name
-                    && h.levels.iter().any(|a| group_by.contains(a))
+                h.name != drilled_hierarchy.name && h.levels.iter().any(|a| group_by.contains(a))
             })
             .collect();
         ordered.push(drilled_hierarchy);
@@ -240,7 +277,12 @@ impl<'a> DesignBuilder<'a> {
             // Build paths from the distinct group-key projections.
             let mut paths: Vec<Vec<Value>> = view
                 .groups()
-                .map(|(key, _)| specs.iter().map(|s| key.value(s.gb_index).clone()).collect())
+                .map(|(key, _)| {
+                    specs
+                        .iter()
+                        .map(|s| key.value(s.gb_index).clone())
+                        .collect()
+                })
                 .collect();
             paths.sort();
             paths.dedup();
@@ -341,7 +383,10 @@ impl<'a> DesignBuilder<'a> {
             .unwrap_or(1);
         let intra_levels = last_depth - drilled_level_in_last;
         let clusters = ClusterPartition::with_intra_levels(&factorization, &features, intra_levels);
-        let aggregates = DecomposedAggregates::compute(&factorization);
+        let aggregates = match self.aggregate_source.as_mut() {
+            Some(source) => source(&factorization),
+            None => DecomposedAggregates::compute(&factorization),
+        };
 
         Ok(TrainingDesign {
             factorization,
@@ -500,7 +545,12 @@ mod tests {
         let schema = rel.schema().clone();
         let view = training_view(&rel);
         let mut rainfall = BTreeMap::new();
-        for (v, r) in [("Adishim", 150.0), ("Darube", 600.0), ("Dinka", 200.0), ("Zata", 220.0)] {
+        for (v, r) in [
+            ("Adishim", 150.0),
+            ("Darube", 600.0),
+            ("Dinka", 200.0),
+            ("Zata", 220.0),
+        ] {
             rainfall.insert(Value::str(v), r);
         }
         let plan = FeaturePlan::none()

@@ -81,7 +81,7 @@ impl FeaturePlan {
 }
 
 /// Median of a slice (empty slices yield 0).
-pub fn median(values: &mut Vec<f64>) -> f64 {
+pub fn median(values: &mut [f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
@@ -122,7 +122,11 @@ pub fn normalize(values: &mut BTreeMap<Value, f64>) {
     }
     let n = values.len() as f64;
     let mean: f64 = values.values().sum::<f64>() / n;
-    let var: f64 = values.values().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let var: f64 = values
+        .values()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n;
     let std = var.sqrt();
     for v in values.values_mut() {
         *v -= mean;
@@ -178,10 +182,10 @@ mod tests {
 
     #[test]
     fn median_handles_odd_even_and_empty() {
-        assert_eq!(median(&mut vec![3.0, 1.0, 2.0]), 2.0);
-        assert_eq!(median(&mut vec![4.0, 1.0, 2.0, 3.0]), 2.5);
-        assert_eq!(median(&mut vec![]), 0.0);
-        assert_eq!(median(&mut vec![7.0]), 7.0);
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [7.0]), 7.0);
     }
 
     #[test]

@@ -44,7 +44,9 @@ impl std::fmt::Display for ModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ModelError::EmptyTrainingData => write!(f, "training view has no groups"),
-            ModelError::UnknownAttribute(a) => write!(f, "attribute `{a}` is not in the training view"),
+            ModelError::UnknownAttribute(a) => {
+                write!(f, "attribute `{a}` is not in the training view")
+            }
             ModelError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
             ModelError::Relational(msg) => write!(f, "relational error: {msg}"),
         }

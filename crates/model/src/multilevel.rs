@@ -42,7 +42,7 @@ impl Default for MultilevelConfig {
 }
 
 /// Which execution path EM uses for matrix products.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrainingBackend {
     /// Factorised operators (Reptile).
     Factorized,
@@ -186,9 +186,8 @@ impl MultilevelModel {
         let xty_m = x.transpose().matmul(&Matrix::column_vector(y))?;
         let xty = xty_m.col(0);
 
-        let fitted_fixed = |beta: &[f64]| -> Vec<f64> {
-            x.matmul(&Matrix::column_vector(beta)).unwrap().col(0)
-        };
+        let fitted_fixed =
+            |beta: &[f64]| -> Vec<f64> { x.matmul(&Matrix::column_vector(beta)).unwrap().col(0) };
         let zb_concat = |padded: &[Vec<f64>]| -> Vec<f64> {
             let mut out = Vec::with_capacity(x.rows());
             for (&(s, l), b) in ranges.iter().zip(padded) {
@@ -405,7 +404,9 @@ mod tests {
         let mut b = Relation::builder(schema.clone());
         let mut seed = 17u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / u32::MAX as f64) - 0.5
         };
         for (yi, year) in [2000i64, 2001, 2002].iter().enumerate() {
@@ -484,7 +485,10 @@ mod tests {
             linear.rss
         );
         assert_eq!(ml.b.len(), design.clusters().len());
-        assert_eq!(ml.n_params(), design.n_cols() + design.n_cols() * (design.n_cols() + 1) / 2 + 1);
+        assert_eq!(
+            ml.n_params(),
+            design.n_cols() + design.n_cols() * (design.n_cols() + 1) / 2 + 1
+        );
     }
 
     #[test]

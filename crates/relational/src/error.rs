@@ -56,7 +56,10 @@ impl fmt::Display for RelationalError {
                 write!(f, "attribute `{name}` declared more than once")
             }
             RelationalError::NonNumericMeasure { attribute, row } => {
-                write!(f, "measure `{attribute}` has a non-numeric value at row {row}")
+                write!(
+                    f,
+                    "measure `{attribute}` has a non-numeric value at row {row}"
+                )
             }
             RelationalError::UnknownGroup(key) => write!(f, "unknown group `{key}`"),
             RelationalError::NoMoreLevels(h) => {
@@ -77,7 +80,10 @@ mod tests {
     fn display_messages_are_informative() {
         let e = RelationalError::UnknownAttribute("village".into());
         assert!(e.to_string().contains("village"));
-        let e = RelationalError::ArityMismatch { expected: 3, got: 2 };
+        let e = RelationalError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         let e = RelationalError::FunctionalDependencyViolation {
             hierarchy: "geo".into(),

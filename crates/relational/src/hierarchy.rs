@@ -184,7 +184,10 @@ mod tests {
             levels.ancestor(2, &Value::str("Kombolcha"), 1),
             Some(Value::str("Dessie"))
         );
-        assert_eq!(levels.ancestor(0, &Value::str("Tigray"), 0), Some(Value::str("Tigray")));
+        assert_eq!(
+            levels.ancestor(0, &Value::str("Tigray"), 0),
+            Some(Value::str("Tigray"))
+        );
         assert_eq!(levels.ancestor(0, &Value::str("Tigray"), 1), None);
         assert!(levels.children(0, &Value::str("Tigray")).is_empty());
     }

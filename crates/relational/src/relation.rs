@@ -226,7 +226,13 @@ mod tests {
         let s = schema();
         let mut r = Relation::empty(s);
         let err = r.push_row(vec![Value::int(1)]).unwrap_err();
-        assert!(matches!(err, RelationalError::ArityMismatch { expected: 4, got: 1 }));
+        assert!(matches!(
+            err,
+            RelationalError::ArityMismatch {
+                expected: 4,
+                got: 1
+            }
+        ));
     }
 
     #[test]

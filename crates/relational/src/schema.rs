@@ -62,7 +62,10 @@ impl Hierarchy {
 
     /// The leaf (most specific) attribute.
     pub fn leaf(&self) -> AttrId {
-        *self.levels.last().expect("hierarchy has at least one level")
+        *self
+            .levels
+            .last()
+            .expect("hierarchy has at least one level")
     }
 
     /// Position of `attr` within the hierarchy, if present.
@@ -170,9 +173,7 @@ impl Schema {
 
     /// The hierarchy that contains `attr`, if any.
     pub fn hierarchy_of(&self, attr: AttrId) -> Option<&Hierarchy> {
-        self.hierarchies
-            .iter()
-            .find(|h| h.levels.contains(&attr))
+        self.hierarchies.iter().find(|h| h.levels.contains(&attr))
     }
 
     /// Hierarchy by name.
@@ -272,7 +273,10 @@ mod tests {
         assert_eq!(s.name(AttrId(3)), "year");
         assert_eq!(s.name(AttrId(4)), "severity");
         assert_eq!(s.measures(), vec![AttrId(4)]);
-        assert_eq!(s.dimensions(), vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3)]);
+        assert_eq!(
+            s.dimensions(),
+            vec![AttrId(0), AttrId(1), AttrId(2), AttrId(3)]
+        );
     }
 
     #[test]

@@ -184,7 +184,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_variants() {
-        let vals = vec![
+        let vals = [
             Value::Null,
             Value::int(-3),
             Value::int(7),

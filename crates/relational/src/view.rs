@@ -161,7 +161,11 @@ impl View {
 
     /// The parent aggregate after replacing group `key`'s state with
     /// `replacement` (used to score repairs without recomputing the view).
-    pub fn total_with_replacement(&self, key: &GroupKey, replacement: &AggState) -> Result<AggState> {
+    pub fn total_with_replacement(
+        &self,
+        key: &GroupKey,
+        replacement: &AggState,
+    ) -> Result<AggState> {
         let current = self.group(key)?;
         Ok(self.total().unmerge(current).merge(replacement))
     }
@@ -285,7 +289,8 @@ mod tests {
         let r = fist_relation();
         let s = schema_of(&r);
         let gb = vec![s.attr("district").unwrap(), s.attr("year").unwrap()];
-        let v = View::compute(r.clone(), Predicate::all(), gb, s.attr("severity").unwrap()).unwrap();
+        let v =
+            View::compute(r.clone(), Predicate::all(), gb, s.attr("severity").unwrap()).unwrap();
         assert_eq!(v.len(), 4);
         let key = GroupKey(vec![Value::str("Ofla"), Value::int(1986)]);
         let g = v.group(&key).unwrap();

@@ -1,0 +1,343 @@
+//! Parallel multi-complaint serving (the multi-query optimisation of the
+//! paper's Figures 8/9 as a serving primitive).
+//!
+//! A [`BatchServer`] evaluates many independent complaints concurrently with
+//! `std::thread::scope`, sharing the read-only engine (and through it the
+//! relation and schema `Arc`s) across workers. Work deduplication happens at
+//! two levels:
+//!
+//! 1. **Request dedup before fan-out** — byte-identical `(view, complaint)`
+//!    requests are collapsed to one evaluation whose result is replicated.
+//! 2. **Exactly-once training under contention** — the [`SharedCaches`] back
+//!    the engine's claim protocol: the first worker to miss a `(view, model)`
+//!    signature claims it and trains; concurrent workers needing the same
+//!    signature block on a condvar until the model is published, then count a
+//!    hit. Each distinct `(view, model)` pair is trained exactly once per
+//!    batch.
+
+use crate::cache::{CacheStats, LruCache, DEFAULT_MODEL_CAPACITY, DEFAULT_VIEW_CAPACITY};
+use reptile::{
+    Complaint, Direction, EngineCache, ModelKey, Recommendation, Reptile, Result, TrainedModel,
+    ViewKey,
+};
+use reptile_relational::{AggregateKind, GroupKey, View};
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// An LRU cache wrapped with the claim protocol: a miss claims the key, and
+/// concurrent readers of a claimed key wait for the claimant to publish.
+struct Claimable<K, V> {
+    state: Mutex<ClaimState<K, V>>,
+    ready: Condvar,
+}
+
+struct ClaimState<K, V> {
+    cache: LruCache<K, V>,
+    in_flight: HashSet<K>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Claimable<K, V> {
+    fn new(capacity: usize) -> Self {
+        Claimable {
+            state: Mutex::new(ClaimState {
+                cache: LruCache::new(capacity),
+                in_flight: HashSet::new(),
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Return the cached value (a hit — possibly after waiting for an
+    /// in-flight computation), or claim the key and return `None` (a miss;
+    /// the caller must `fulfill` or `abort`).
+    fn get_or_claim(&self, key: &K) -> Option<V> {
+        let mut st = self.state.lock().expect("cache lock");
+        loop {
+            if let Some(value) = st.cache.get_quiet(key) {
+                st.cache.record_hit();
+                return Some(value);
+            }
+            if st.in_flight.contains(key) {
+                st = self.ready.wait(st).expect("cache lock");
+                continue;
+            }
+            st.cache.record_miss();
+            st.in_flight.insert(key.clone());
+            return None;
+        }
+    }
+
+    /// Publish a claimed key's value and wake the waiters.
+    fn fulfill(&self, key: K, value: V) {
+        let mut st = self.state.lock().expect("cache lock");
+        st.in_flight.remove(&key);
+        st.cache.insert(key, value);
+        self.ready.notify_all();
+    }
+
+    /// Release a claim whose computation failed; a waiter will re-claim.
+    fn abort(&self, key: &K) {
+        let mut st = self.state.lock().expect("cache lock");
+        st.in_flight.remove(key);
+        self.ready.notify_all();
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.state.lock().expect("cache lock").cache.stats()
+    }
+}
+
+/// Concurrent view/model caches shared by every worker of a batch (and, if
+/// desired, across batches).
+pub struct SharedCaches {
+    views: Claimable<ViewKey, Arc<View>>,
+    models: Claimable<ModelKey, Arc<TrainedModel>>,
+}
+
+impl SharedCaches {
+    /// Caches with the default capacities.
+    pub fn new() -> Self {
+        Self::with_capacities(DEFAULT_VIEW_CAPACITY, DEFAULT_MODEL_CAPACITY)
+    }
+
+    /// Caches with explicit capacities.
+    pub fn with_capacities(views: usize, models: usize) -> Self {
+        SharedCaches {
+            views: Claimable::new(views),
+            models: Claimable::new(models),
+        }
+    }
+
+    /// View-cache statistics.
+    pub fn view_stats(&self) -> CacheStats {
+        self.views.stats()
+    }
+
+    /// Model-cache statistics (misses count model trainings).
+    pub fn model_stats(&self) -> CacheStats {
+        self.models.stats()
+    }
+
+    /// A per-worker handle implementing [`EngineCache`].
+    pub fn handle(&self) -> SharedCacheHandle<'_> {
+        SharedCacheHandle {
+            caches: self,
+            claimed_views: Vec::new(),
+            claimed_models: Vec::new(),
+        }
+    }
+}
+
+impl Default for SharedCaches {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Borrowed, `EngineCache`-shaped access to a [`SharedCaches`].
+///
+/// The handle tracks its outstanding claims and releases them on drop, so a
+/// worker that panics mid-computation (unwinding past its `put_*`/`abort_*`)
+/// cannot leave a key in-flight forever and deadlock the waiters — they
+/// re-claim and the panic propagates normally through the thread join.
+pub struct SharedCacheHandle<'a> {
+    caches: &'a SharedCaches,
+    claimed_views: Vec<ViewKey>,
+    claimed_models: Vec<ModelKey>,
+}
+
+impl EngineCache for SharedCacheHandle<'_> {
+    fn get_view(&mut self, key: &ViewKey) -> Option<Arc<View>> {
+        let found = self.caches.views.get_or_claim(key);
+        if found.is_none() {
+            self.claimed_views.push(key.clone());
+        }
+        found
+    }
+
+    fn put_view(&mut self, key: ViewKey, view: Arc<View>) {
+        self.claimed_views.retain(|k| k != &key);
+        self.caches.views.fulfill(key, view);
+    }
+
+    fn abort_view(&mut self, key: &ViewKey) {
+        self.claimed_views.retain(|k| k != key);
+        self.caches.views.abort(key);
+    }
+
+    fn get_model(&mut self, key: &ModelKey) -> Option<Arc<TrainedModel>> {
+        let found = self.caches.models.get_or_claim(key);
+        if found.is_none() {
+            self.claimed_models.push(key.clone());
+        }
+        found
+    }
+
+    fn put_model(&mut self, key: ModelKey, model: Arc<TrainedModel>) {
+        self.claimed_models.retain(|k| k != &key);
+        self.caches.models.fulfill(key, model);
+    }
+
+    fn abort_model(&mut self, key: &ModelKey) {
+        self.claimed_models.retain(|k| k != key);
+        self.caches.models.abort(key);
+    }
+}
+
+impl Drop for SharedCacheHandle<'_> {
+    fn drop(&mut self) {
+        for key in &self.claimed_views {
+            self.caches.views.abort(key);
+        }
+        for key in &self.claimed_models {
+            self.caches.models.abort(key);
+        }
+    }
+}
+
+/// One complaint to serve, posed against a (shared) view.
+#[derive(Clone)]
+pub struct BatchRequest {
+    /// The view the complaint is posed against.
+    pub view: Arc<View>,
+    /// The complaint.
+    pub complaint: Complaint,
+}
+
+impl BatchRequest {
+    /// Create a request.
+    pub fn new(view: Arc<View>, complaint: Complaint) -> Self {
+        BatchRequest { view, complaint }
+    }
+}
+
+/// Hashable identity of a request, used for pre-fan-out deduplication.
+type RequestSig = (ViewKey, GroupKey, AggregateKind, u8, u64);
+
+fn request_sig(request: &BatchRequest) -> RequestSig {
+    let (direction, bits) = match request.complaint.direction {
+        Direction::TooHigh => (0u8, 0u64),
+        Direction::TooLow => (1, 0),
+        Direction::ShouldBe(target) => (2, target.to_bits()),
+    };
+    (
+        ViewKey::of_view(&request.view),
+        request.complaint.key.clone(),
+        request.complaint.statistic,
+        direction,
+        bits,
+    )
+}
+
+/// A parallel multi-complaint server over one engine.
+pub struct BatchServer {
+    engine: Arc<Reptile>,
+    caches: SharedCaches,
+    threads: usize,
+}
+
+impl BatchServer {
+    /// Create a server using every available core.
+    pub fn new(engine: Arc<Reptile>) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8);
+        BatchServer {
+            engine,
+            caches: SharedCaches::new(),
+            threads,
+        }
+    }
+
+    /// Limit the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Replace the shared caches (e.g. different capacities).
+    pub fn with_caches(mut self, caches: SharedCaches) -> Self {
+        self.caches = caches;
+        self
+    }
+
+    /// The engine serving the batches.
+    pub fn engine(&self) -> &Arc<Reptile> {
+        &self.engine
+    }
+
+    /// View-cache statistics (cumulative across batches).
+    pub fn view_stats(&self) -> CacheStats {
+        self.caches.view_stats()
+    }
+
+    /// Model-cache statistics; `misses` equals the number of models trained.
+    pub fn model_stats(&self) -> CacheStats {
+        self.caches.model_stats()
+    }
+
+    /// Evaluate `requests` concurrently and return one result per request,
+    /// in order. Identical requests are evaluated once; distinct requests
+    /// sharing `(view, model)` work items train each pair exactly once.
+    pub fn serve(&self, requests: &[BatchRequest]) -> Vec<Result<Recommendation>> {
+        // Collapse byte-identical requests before fanning out.
+        let mut index_of: HashMap<RequestSig, usize> = HashMap::new();
+        let mut unique: Vec<&BatchRequest> = Vec::new();
+        let mut assignment = Vec::with_capacity(requests.len());
+        for request in requests {
+            let next_index = unique.len();
+            let index = *index_of.entry(request_sig(request)).or_insert(next_index);
+            if index == next_index {
+                unique.push(request);
+            }
+            assignment.push(index);
+        }
+
+        let mut unique_results: Vec<Option<Result<Recommendation>>> = vec![None; unique.len()];
+        let workers = self.threads.min(unique.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let unique = &unique;
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= unique.len() {
+                            break;
+                        }
+                        let request = unique[i];
+                        let mut cache = self.caches.handle();
+                        out.push((
+                            i,
+                            self.engine.recommend_with_cache(
+                                &request.view,
+                                &request.complaint,
+                                &mut cache,
+                            ),
+                        ));
+                    }
+                    out
+                }));
+            }
+            for handle in handles {
+                for (i, result) in handle.join().expect("batch worker panicked") {
+                    unique_results[i] = Some(result);
+                }
+            }
+        });
+
+        assignment
+            .into_iter()
+            .map(|i| {
+                unique_results[i]
+                    .clone()
+                    .expect("every unique request evaluated")
+            })
+            .collect()
+    }
+}

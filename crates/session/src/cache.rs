@@ -1,0 +1,305 @@
+//! LRU view/model caches with hit/miss accounting.
+//!
+//! [`ViewCache`] stores computed [`View`]s keyed by their canonical
+//! [`ViewKey`]; [`ModelCache`] stores reusable [`TrainedModel`] handles keyed
+//! by [`ModelKey`]. [`SessionCaches`] bundles one of each and implements the
+//! engine's [`EngineCache`] injection point for single-threaded interactive
+//! sessions; the concurrent variant lives in [`crate::batch`].
+
+use reptile::{EngineCache, ModelKey, TrainedModel, ViewKey};
+use reptile_relational::View;
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// Counters describing a cache's behaviour since creation (or the last
+/// [`LruCache::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (the caller computed the entry).
+    pub misses: u64,
+    /// Entries stored.
+    pub insertions: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; zero when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// A least-recently-used cache with statistics. Eviction scans for the
+/// oldest entry, which is linear in the capacity — fine for the few hundred
+/// entries a serving cache holds, and it keeps the structure dependency-free.
+pub struct LruCache<K, V> {
+    capacity: usize,
+    clock: u64,
+    map: HashMap<K, Entry<V>>,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Create a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            clock: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Zero the statistics (entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Whether `key` is present, without touching recency or statistics.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Look up `key`, counting a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.get_quiet(key) {
+            Some(v) => {
+                self.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Look up `key`, refreshing recency but leaving the statistics alone
+    /// (used by the concurrent wrapper, which accounts hits and misses with
+    /// claim-aware semantics).
+    pub(crate) fn get_quiet(&mut self, key: &K) -> Option<V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = clock;
+            e.value.clone()
+        })
+    }
+
+    pub(crate) fn record_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    pub(crate) fn record_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Store `key -> value`, evicting the least-recently-used entry when the
+    /// cache is full and `key` is new.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(existing) = self.map.get_mut(&key) {
+            existing.value = value;
+            existing.last_used = clock;
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: clock,
+            },
+        );
+        self.stats.insertions += 1;
+    }
+
+    /// Drop every entry (statistics are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// Cache of computed views keyed by canonical signature.
+pub type ViewCache = LruCache<ViewKey, Arc<View>>;
+
+/// Cache of trained-model handles keyed by model signature.
+pub type ModelCache = LruCache<ModelKey, Arc<TrainedModel>>;
+
+/// Default number of views a session keeps.
+pub const DEFAULT_VIEW_CAPACITY: usize = 256;
+/// Default number of trained models a session keeps.
+pub const DEFAULT_MODEL_CAPACITY: usize = 128;
+
+/// The view and model caches of one single-threaded session, pluggable into
+/// [`reptile::Reptile::recommend_with_cache`].
+pub struct SessionCaches {
+    views: ViewCache,
+    models: ModelCache,
+}
+
+impl SessionCaches {
+    /// Caches with the default capacities.
+    pub fn new() -> Self {
+        Self::with_capacities(DEFAULT_VIEW_CAPACITY, DEFAULT_MODEL_CAPACITY)
+    }
+
+    /// Caches with explicit capacities.
+    pub fn with_capacities(views: usize, models: usize) -> Self {
+        SessionCaches {
+            views: ViewCache::new(views),
+            models: ModelCache::new(models),
+        }
+    }
+
+    /// The view cache.
+    pub fn views(&self) -> &ViewCache {
+        &self.views
+    }
+
+    /// The model cache.
+    pub fn models(&self) -> &ModelCache {
+        &self.models
+    }
+
+    /// View-cache statistics.
+    pub fn view_stats(&self) -> CacheStats {
+        self.views.stats()
+    }
+
+    /// Model-cache statistics.
+    pub fn model_stats(&self) -> CacheStats {
+        self.models.stats()
+    }
+
+    /// Zero both caches' statistics.
+    pub fn reset_stats(&mut self) {
+        self.views.reset_stats();
+        self.models.reset_stats();
+    }
+}
+
+impl Default for SessionCaches {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineCache for SessionCaches {
+    fn get_view(&mut self, key: &ViewKey) -> Option<Arc<View>> {
+        self.views.get(key)
+    }
+
+    fn put_view(&mut self, key: ViewKey, view: Arc<View>) {
+        self.views.insert(key, view);
+    }
+
+    fn get_model(&mut self, key: &ModelKey) -> Option<Arc<TrainedModel>> {
+        self.models.get(key)
+    }
+
+    fn put_model(&mut self, key: ModelKey, model: Arc<TrainedModel>) {
+        self.models.insert(key, model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(4);
+        assert_eq!(cache.get(&1), None);
+        cache.insert(1, 10);
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&2), None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.evictions, 0);
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_follows_lru_order() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Touch 1 so that 2 becomes the least recently used.
+        assert_eq!(cache.get(&1), Some(10));
+        cache.insert(3, 30);
+        assert!(cache.contains(&1));
+        assert!(!cache.contains(&2), "2 was least recently used");
+        assert!(cache.contains(&3));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_updates_without_eviction() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn capacity_of_zero_is_clamped_to_one() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&2));
+    }
+}

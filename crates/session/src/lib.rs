@@ -1,0 +1,30 @@
+//! # reptile-session — cached interactive sessions and parallel serving
+//!
+//! Reptile is built for *interactive* drill-down: an analyst complains about
+//! an aggregate, inspects the recommendation, accepts a drill-down, and
+//! complains again one level deeper. The stateless
+//! [`reptile::Reptile::recommend`] retrains every model and recomputes every
+//! view per call; this crate adds the serving layer that makes the loop (and
+//! concurrent multi-complaint workloads) cheap:
+//!
+//! * [`Session`] — tracks the analyst's drill-down path and threads a pair
+//!   of LRU caches (and, inside the engine, the
+//!   `reptile_factor::DrilldownSession` aggregate cache) through every call;
+//! * [`ViewCache`] / [`ModelCache`] — LRU caches keyed by canonical
+//!   signatures of `(predicate, group-by, measure)` and
+//!   `(view, statistic, model config)`, with hit/miss statistics, so
+//!   repeated complaints over the same view reuse trained multilevel models;
+//! * [`BatchServer`] — evaluates many independent complaints concurrently
+//!   via `std::thread::scope`, sharing the read-only relation and schema via
+//!   `Arc` and deduplicating identical `(view, model)` work items across
+//!   complaints (the paper's multi-query optimisation, Figures 8/9, as a
+//!   serving primitive): each distinct pair is trained exactly once per
+//!   batch, however many complaints need it.
+
+pub mod batch;
+pub mod cache;
+pub mod session;
+
+pub use batch::{BatchRequest, BatchServer, SharedCacheHandle, SharedCaches};
+pub use cache::{CacheStats, LruCache, ModelCache, SessionCaches, ViewCache};
+pub use session::{DrillStep, Session};

@@ -1,0 +1,119 @@
+//! The interactive drill-down session (complain → recommend → accept →
+//! complain one level deeper).
+//!
+//! A [`Session`] owns the analyst's current view and a pair of LRU caches.
+//! Every [`Session::recommend`] goes through
+//! [`reptile::Reptile::recommend_with_cache`], so re-posing a complaint over
+//! an unchanged view reuses the trained models (zero retraining), and
+//! [`Session::accept`] drills the current view down through the view cache.
+
+use crate::cache::{CacheStats, SessionCaches};
+use reptile::{Complaint, Recommendation, Reptile, ReptileError, Result};
+use reptile_relational::{GroupKey, View};
+use std::sync::Arc;
+
+/// One accepted drill-down step.
+#[derive(Debug, Clone)]
+pub struct DrillStep {
+    /// The hierarchy that was drilled.
+    pub hierarchy: String,
+    /// The attribute the drill-down appended to the group-by list.
+    pub added_attribute: String,
+    /// The complained tuple whose provenance the session descended into.
+    pub complaint_key: GroupKey,
+}
+
+/// A stateful interactive explanation session over one engine.
+pub struct Session {
+    engine: Arc<Reptile>,
+    caches: SessionCaches,
+    root: Arc<View>,
+    current: Arc<View>,
+    path: Vec<DrillStep>,
+}
+
+impl Session {
+    /// Start a session at `initial_view` (typically the coarse view the
+    /// analyst first complained about).
+    pub fn new(engine: Arc<Reptile>, initial_view: View) -> Self {
+        let root = Arc::new(initial_view);
+        Session {
+            engine,
+            caches: SessionCaches::new(),
+            current: root.clone(),
+            root,
+            path: Vec::new(),
+        }
+    }
+
+    /// Replace the default caches (e.g. to bound memory differently).
+    pub fn with_caches(mut self, caches: SessionCaches) -> Self {
+        self.caches = caches;
+        self
+    }
+
+    /// The engine serving this session.
+    pub fn engine(&self) -> &Arc<Reptile> {
+        &self.engine
+    }
+
+    /// The analyst's current view.
+    pub fn view(&self) -> &View {
+        &self.current
+    }
+
+    /// The accepted drill-down steps, root first.
+    pub fn path(&self) -> &[DrillStep] {
+        &self.path
+    }
+
+    /// Number of accepted drill-downs.
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// View-cache statistics.
+    pub fn view_stats(&self) -> CacheStats {
+        self.caches.view_stats()
+    }
+
+    /// Model-cache statistics (misses count model trainings).
+    pub fn model_stats(&self) -> CacheStats {
+        self.caches.model_stats()
+    }
+
+    /// Recommend a drill-down for `complaint` posed against the current
+    /// view, reusing cached views and trained models.
+    pub fn recommend(&mut self, complaint: &Complaint) -> Result<Recommendation> {
+        self.engine
+            .recommend_with_cache(&self.current, complaint, &mut self.caches)
+    }
+
+    /// Accept a recommendation: descend into the provenance of
+    /// `complaint_key` along `hierarchy`, making the drilled-down view the
+    /// session's current view. The next complaint is posed one level deeper.
+    pub fn accept(&mut self, complaint_key: &GroupKey, hierarchy: &str) -> Result<&View> {
+        let h = self
+            .engine
+            .schema()
+            .hierarchy(hierarchy)
+            .cloned()
+            .map_err(ReptileError::from)?;
+        let (view, added) =
+            self.engine
+                .drill_down_cached(&self.current, complaint_key, &h, &mut self.caches)?;
+        self.path.push(DrillStep {
+            hierarchy: h.name.clone(),
+            added_attribute: self.engine.schema().name(added).to_string(),
+            complaint_key: complaint_key.clone(),
+        });
+        self.current = view;
+        Ok(&self.current)
+    }
+
+    /// Return to the initial view, keeping the caches warm.
+    pub fn reset(&mut self) {
+        self.current = self.root.clone();
+        self.path.clear();
+    }
+}

@@ -67,7 +67,9 @@ fn main() {
         ));
 
         let mut engine = Reptile::new(relation.clone(), schema.clone()).with_plan(plan);
-        let recommendation = engine.recommend(&day_view, &complaint).expect("recommendation");
+        let recommendation = engine
+            .recommend(&day_view, &complaint)
+            .expect("recommendation");
         let best = recommendation.best_group().expect("non-empty");
         let reptile_correct = best.key.values().contains(&issue.location);
         reptile_hits += reptile_correct as usize;

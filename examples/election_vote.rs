@@ -24,7 +24,10 @@ fn main() {
     let view = View::compute(
         data.relation.clone(),
         Predicate::all(),
-        vec![schema.attr("state").unwrap(), schema.attr("county").unwrap()],
+        vec![
+            schema.attr("state").unwrap(),
+            schema.attr("county").unwrap(),
+        ],
         schema.attr("share_2020").unwrap(),
     )
     .expect("view");
@@ -94,12 +97,17 @@ fn main() {
             top_k: 3,
             ..Default::default()
         });
-    let recommendation = engine.recommend(&state_view, &complaint).expect("recommendation");
+    let recommendation = engine
+        .recommend(&state_view, &complaint)
+        .expect("recommendation");
     println!(
         "\nMissing-records case: injected into {} ({}), Reptile's top pick: {}",
         victim,
         victim_state,
-        recommendation.best_group().map(|g| g.key.to_string()).unwrap_or_default()
+        recommendation
+            .best_group()
+            .map(|g| g.key.to_string())
+            .unwrap_or_default()
     );
     let found = recommendation
         .ranked

@@ -38,7 +38,10 @@ fn main() {
         let view = View::compute(
             relation.clone(),
             Predicate::all(),
-            vec![schema.attr("district").unwrap(), schema.attr("year").unwrap()],
+            vec![
+                schema.attr("district").unwrap(),
+                schema.attr("year").unwrap(),
+            ],
             schema.attr("severity").unwrap(),
         )
         .expect("view");
@@ -83,5 +86,8 @@ fn main() {
         );
     }
     println!("\nResolved {resolved}/{evaluated} sampled complaints.");
-    assert!(resolved * 2 >= evaluated, "expected at least half the complaints resolved");
+    assert!(
+        resolved * 2 >= evaluated,
+        "expected at least half the complaints resolved"
+    );
 }

@@ -154,12 +154,19 @@ fn fist_complaints_are_mostly_resolved_with_auxiliary_rainfall() {
         let view = View::compute(
             relation.clone(),
             Predicate::all(),
-            vec![schema.attr("district").unwrap(), schema.attr("year").unwrap()],
+            vec![
+                schema.attr("district").unwrap(),
+                schema.attr("year").unwrap(),
+            ],
             schema.attr("severity").unwrap(),
         )
         .unwrap();
         let key = GroupKey(vec![spec.scope_district.clone(), Value::int(spec.year)]);
-        let direction = if spec.too_low { Direction::TooLow } else { Direction::TooHigh };
+        let direction = if spec.too_low {
+            Direction::TooLow
+        } else {
+            Direction::TooHigh
+        };
         let complaint = Complaint::new(key, spec.statistic, direction);
         let plan = FeaturePlan::none().with_extra(ExtraFeature::new(
             "rainfall",
@@ -214,14 +221,23 @@ fn fist_two_district_std_failure_mode_returns_only_one_district() {
     )
     .unwrap();
     let clean_std = clean_view
-        .group(&GroupKey(vec![spec.scope_district.clone(), Value::int(spec.year)]))
+        .group(&GroupKey(vec![
+            spec.scope_district.clone(),
+            Value::int(spec.year),
+        ]))
         .unwrap()
         .std();
     let corrupted_std = view
-        .group(&GroupKey(vec![spec.scope_district.clone(), Value::int(spec.year)]))
+        .group(&GroupKey(vec![
+            spec.scope_district.clone(),
+            Value::int(spec.year),
+        ]))
         .unwrap()
         .std();
-    assert!(corrupted_std > clean_std, "the corruption must inflate the region STD");
+    assert!(
+        corrupted_std > clean_std,
+        "the corruption must inflate the region STD"
+    );
 
     let mut engine = Reptile::new(relation, schema.clone());
     let rec = engine.recommend(&view, &complaint).unwrap();
@@ -236,7 +252,9 @@ fn fist_two_district_std_failure_mode_returns_only_one_district() {
         .find(|h| h.hierarchy == "geo")
         .expect("geo hierarchy evaluated");
     assert!(
-        spec.true_groups.iter().any(|g| best.key.values().contains(g)),
+        spec.true_groups
+            .iter()
+            .any(|g| best.key.values().contains(g)),
         "top pick {} is not one of the drifted pair",
         best.key
     );

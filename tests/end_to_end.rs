@@ -83,7 +83,9 @@ fn run_trial(
     let sens = baselines::sensitivity(&dd_view, &complaint);
     let supp = baselines::support(&dd_view);
     let hit = |r: &baselines::BaselineResult| {
-        r.best().map(|k| k.values().contains(target)).unwrap_or(false)
+        r.best()
+            .map(|k| k.values().contains(target))
+            .unwrap_or(false)
     };
     let _ = engine; // the engine itself is exercised in the hierarchical test below
     (hit(&reptile_pick), hit(&sens), hit(&supp))
@@ -104,10 +106,16 @@ fn reptile_finds_missing_records_with_count_complaints() {
         reptile += r as usize;
         support += s as usize;
     }
-    assert!(reptile >= 4, "Reptile found {reptile}/5 missing-record errors");
+    assert!(
+        reptile >= 4,
+        "Reptile found {reptile}/5 missing-record errors"
+    );
     // Support picks the largest group and essentially never finds the group
     // that *lost* rows.
-    assert!(support <= 1, "Support should not find missing-record errors");
+    assert!(
+        support <= 1,
+        "Support should not find missing-record errors"
+    );
 }
 
 #[test]

@@ -11,7 +11,9 @@ use reptile_linalg::{naive, Matrix};
 fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut s = seed;
     Matrix::from_fn(rows, cols, |_, _| {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0
     })
 }
@@ -55,7 +57,11 @@ fn cluster_operators_match_naive_across_shapes() {
         }
 
         let betas: Vec<Vec<f64>> = (0..part.len())
-            .map(|i| (0..fact.n_cols()).map(|j| ((i + j) % 5) as f64 - 2.0).collect())
+            .map(|i| {
+                (0..fact.n_cols())
+                    .map(|j| ((i + j) % 5) as f64 - 2.0)
+                    .collect()
+            })
             .collect();
         let concat = part.right_mult_per_cluster_vec(&betas);
         let mut idx = 0usize;
@@ -72,7 +78,9 @@ fn cluster_operators_match_naive_across_shapes() {
         let per_cluster = part.left_mult_global_vec(&v);
         for ((start, len), res) in ranges.iter().zip(&per_cluster) {
             let block = x.row_block(*start, *len);
-            let exp = Matrix::row_vector(&v[*start..*start + *len]).matmul(&block).unwrap();
+            let exp = Matrix::row_vector(&v[*start..*start + *len])
+                .matmul(&block)
+                .unwrap();
             for (j, r) in res.iter().enumerate() {
                 assert!((r - exp.get(0, j)).abs() < 1e-7);
             }
