@@ -1,0 +1,224 @@
+//! Dictionary-encoded columnar backend vs the legacy `Value`-keyed path.
+//!
+//! Two comparisons, mirroring the repo's standing benchmarks:
+//!
+//! * `multiquery/*` — the decomposed-aggregate batch (the Figure 8 workload):
+//!   `DecomposedAggregates::compute` over `BTreeMap<Value, _>` vs
+//!   `EncodedAggregates::compute` over dense code-indexed tables. The
+//!   one-time dictionary-encoding pass is reported as its own case
+//!   (`encode/*`) — in serving it runs once per factor and is cached by the
+//!   drill-down session while the aggregate batch reruns per invocation.
+//! * `end_to_end/*` — a factorised multi-level EM fit on a prebuilt design,
+//!   exactly the shape of the standing `end_to_end` bench (which compares
+//!   `Factorized` vs `Materialized` the same way): the legacy fit pays a
+//!   `BTreeMap` feature lookup per run per repetition per iteration, the
+//!   encoded fit a flat array index.
+//! * `pipeline/*` — design build (aggregates + cluster partition + feature
+//!   encoding) *plus* the fit, from an already-computed training view; the
+//!   build half is dominated by backend-independent view scans, so the ratio
+//!   here bounds what encoding alone can buy a cold invocation.
+//!
+//! Results are written to `BENCH_encoding.json` at the repo root (full mode
+//! only). `--smoke` runs a scaled-down version and exits non-zero if the
+//! encoded backend is slower than the legacy path on `end_to_end` — the CI
+//! regression gate.
+
+use reptile_bench::{fmt, print_bench_table, run_bench, BenchStats};
+use reptile_datasets::hiergen::synthetic_factorization_with_fanout;
+use reptile_factor::{
+    DecomposedAggregates, EncodedAggregates, EncodedFactorization, FactorBackend,
+};
+use reptile_model::{DesignBuilder, MultilevelConfig, MultilevelModel, TrainingBackend};
+use reptile_relational::{AggregateKind, Predicate, Relation, Schema, Value, View};
+use std::sync::Arc;
+
+/// Synthetic panel: `years` × (`districts` × `villages`) with a measure whose
+/// value depends on all three — the shape of a drilled training view.
+fn panel(years: usize, districts: usize, villages: usize) -> (Arc<Schema>, View) {
+    let schema = Arc::new(
+        Schema::builder()
+            .hierarchy("time", ["year"])
+            .hierarchy("geo", ["district", "village"])
+            .measure("m")
+            .build()
+            .unwrap(),
+    );
+    let mut b = Relation::builder(schema.clone());
+    for y in 0..years {
+        for d in 0..districts {
+            for v in 0..villages {
+                let value = y as f64 + d as f64 * 0.5 + ((v * 7 + d) % 13) as f64 * 0.25;
+                b = b
+                    .row([
+                        Value::int(2000 + y as i64),
+                        Value::str(format!("district-{d:04}")),
+                        Value::str(format!("village-{d:04}-{v:04}")),
+                        Value::float(value),
+                    ])
+                    .unwrap();
+            }
+        }
+    }
+    let rel = Arc::new(b.build());
+    let s = rel.schema().clone();
+    let view = View::compute(
+        rel.clone(),
+        Predicate::all(),
+        vec![
+            s.attr("year").unwrap(),
+            s.attr("district").unwrap(),
+            s.attr("village").unwrap(),
+        ],
+        s.attr("m").unwrap(),
+    )
+    .unwrap();
+    (schema, view)
+}
+
+fn median_of(stats: &[BenchStats], name: &str) -> f64 {
+    stats
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| s.median_s)
+        .unwrap_or(f64::NAN)
+}
+
+fn json(stats: &[BenchStats], speedups: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"cases\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": {:?}, \"samples\": {}, \"median_s\": {:.9}, \"mean_s\": {:.9}, \"min_s\": {:.9}, \"max_s\": {:.9}}}",
+            s.name, s.samples, s.median_s, s.mean_s, s.min_s, s.max_s
+        ));
+        if i + 1 < stats.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n  \"median_speedup_encoded_over_legacy\": {\n");
+    for (i, (name, ratio)) in speedups.iter().enumerate() {
+        out.push_str(&format!("    {:?}: {:.3}", name, ratio));
+        if i + 1 < speedups.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut stats = Vec::new();
+
+    // ------------------------------------------------------------------
+    // multiquery: the decomposed-aggregate batch of Figure 8
+    // ------------------------------------------------------------------
+    let widths: &[usize] = if smoke { &[64] } else { &[128, 512] };
+    for &w in widths {
+        let (fact, _) = synthetic_factorization_with_fanout(3, 3, w, 2);
+        stats.push(run_bench(&format!("multiquery/legacy/{w}"), || {
+            DecomposedAggregates::compute(&fact)
+        }));
+        stats.push(run_bench(&format!("encode/{w}"), || {
+            EncodedFactorization::encode(&fact)
+        }));
+        let enc = EncodedFactorization::encode(&fact);
+        stats.push(run_bench(&format!("multiquery/encoded/{w}"), || {
+            EncodedAggregates::compute(&enc)
+        }));
+        // sanity: both batches describe the same matrix
+        let legacy = DecomposedAggregates::compute(&fact);
+        let encoded = EncodedAggregates::compute(&enc);
+        assert_eq!(legacy.grand_total(), encoded.grand_total());
+    }
+
+    // ------------------------------------------------------------------
+    // end_to_end: factorised EM fit on a prebuilt design, per backend
+    // pipeline:  design build + fit, per backend
+    // ------------------------------------------------------------------
+    let (years, districts, villages) = if smoke { (4, 10, 12) } else { (8, 40, 60) };
+    let (schema, view) = panel(years, districts, villages);
+    let config = MultilevelConfig {
+        iterations: if smoke { 4 } else { 8 },
+        ..Default::default()
+    };
+    let build_design = |fb: FactorBackend| {
+        DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .with_factor_backend(fb)
+            .build()
+            .unwrap()
+    };
+    let legacy_design = build_design(FactorBackend::Legacy);
+    let encoded_design = build_design(FactorBackend::Encoded);
+    stats.push(run_bench("end_to_end/legacy", || {
+        MultilevelModel::fit_with_backend(&legacy_design, config, TrainingBackend::FactorizedLegacy)
+            .unwrap()
+    }));
+    stats.push(run_bench("end_to_end/encoded", || {
+        MultilevelModel::fit_with_backend(&encoded_design, config, TrainingBackend::Factorized)
+            .unwrap()
+    }));
+    stats.push(run_bench("pipeline/legacy", || {
+        let design = build_design(FactorBackend::Legacy);
+        MultilevelModel::fit_with_backend(&design, config, TrainingBackend::FactorizedLegacy)
+            .unwrap()
+    }));
+    stats.push(run_bench("pipeline/encoded", || {
+        let design = build_design(FactorBackend::Encoded);
+        MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Factorized).unwrap()
+    }));
+    // sanity: the two backends fit bit-identical models
+    let legacy_model = MultilevelModel::fit_with_backend(
+        &legacy_design,
+        config,
+        TrainingBackend::FactorizedLegacy,
+    )
+    .unwrap();
+    let encoded_model =
+        MultilevelModel::fit_with_backend(&encoded_design, config, TrainingBackend::Factorized)
+            .unwrap();
+    assert_eq!(legacy_model.beta, encoded_model.beta);
+    assert_eq!(legacy_model.sigma2, encoded_model.sigma2);
+
+    print_bench_table("encoding (legacy vs encoded backend)", &stats);
+
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for &w in widths {
+        speedups.push((
+            format!("multiquery/{w}"),
+            median_of(&stats, &format!("multiquery/legacy/{w}"))
+                / median_of(&stats, &format!("multiquery/encoded/{w}")),
+        ));
+    }
+    let e2e = median_of(&stats, "end_to_end/legacy") / median_of(&stats, "end_to_end/encoded");
+    speedups.push(("end_to_end".to_string(), e2e));
+    let pipe = median_of(&stats, "pipeline/legacy") / median_of(&stats, "pipeline/encoded");
+    speedups.push(("pipeline".to_string(), pipe));
+    println!("\n== median speedup (encoded over legacy) ==");
+    for (name, ratio) in &speedups {
+        println!("{name}: {}x", fmt(*ratio));
+    }
+
+    if smoke {
+        // NaN ratios (a missing case) must also fail the gate. The threshold
+        // leaves a 10% noise margin: smoke medians are sub-millisecond over
+        // 10 samples, and a shared CI runner can wobble that much without the
+        // encoded backend actually being slower.
+        const GATE: f64 = 0.9;
+        let ok = e2e.is_finite() && e2e >= GATE && pipe.is_finite() && pipe >= GATE;
+        if !ok {
+            eprintln!(
+                "bench-smoke FAILED: encoded slower than legacy (end_to_end {e2e:.3}x, pipeline {pipe:.3}x)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bench-smoke OK: encoded is {e2e:.2}x legacy on end_to_end, {pipe:.2}x on pipeline"
+        );
+    } else {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_encoding.json");
+        std::fs::write(path, json(&stats, &speedups)).expect("write BENCH_encoding.json");
+        println!("wrote {path}");
+    }
+}

@@ -18,7 +18,10 @@ use crate::cache::{
 };
 use crate::complaint::Complaint;
 use crate::{ReptileError, Result};
-use reptile_factor::{DrilldownMode, DrilldownSession, Factorization};
+use reptile_factor::{
+    AggregateSource, DecomposedAggregates, DrilldownMode, DrilldownSession, EncodedAggregates,
+    EncodedFactorization, FactorBackend, Factorization,
+};
 use reptile_model::{
     DesignBuilder, EmptyGroupPolicy, FeaturePlan, LinearModel, MultilevelConfig, MultilevelModel,
     TrainingBackend,
@@ -120,6 +123,24 @@ impl Recommendation {
     /// The best group overall.
     pub fn best_group(&self) -> Option<&ScoredGroup> {
         self.ranked.first()
+    }
+}
+
+/// [`AggregateSource`] over the engine's shared [`DrilldownSession`]: locks
+/// the mutex per aggregate call only, so a design build does not hold the
+/// session across its (backend-independent) view scans.
+struct SharedSession<'a>(&'a Mutex<DrilldownSession>);
+
+impl AggregateSource for SharedSession<'_> {
+    fn legacy_aggregates(&mut self, fact: &Factorization) -> DecomposedAggregates {
+        self.0.lock().unwrap().aggregates(fact)
+    }
+
+    fn encoded_aggregates(
+        &mut self,
+        fact: &Factorization,
+    ) -> (EncodedFactorization, EncodedAggregates) {
+        self.0.lock().unwrap().encoded(fact)
     }
 }
 
@@ -341,12 +362,22 @@ impl Reptile {
             let parallel = self.view_via_cache(&parallel_key, cache, || {
                 Ok(view.drill_down_parallel(hierarchy)?.view)
             })?;
-            let mut aggregate_source =
-                |fact: &Factorization| self.session.lock().unwrap().aggregates(fact);
+            // The design runs on the factor backend matching the configured
+            // training backend; the engine's drill-down session serves cached
+            // per-hierarchy state (encoded factors + aggregates) either way.
+            // The session mutex is taken per aggregate call, not across the
+            // whole design build, so concurrent batch-served complaints only
+            // serialize the (cached) aggregate step.
+            let factor_backend = match self.config.backend {
+                TrainingBackend::FactorizedLegacy => FactorBackend::Legacy,
+                _ => FactorBackend::Encoded,
+            };
+            let mut source = SharedSession(&self.session);
             let design = DesignBuilder::new(&parallel, &self.schema, complaint.statistic)
                 .with_plan(self.plan.clone())
                 .empty_groups(self.config.empty_groups)
-                .with_aggregate_source(&mut aggregate_source)
+                .with_factor_backend(factor_backend)
+                .with_aggregate_source(&mut source)
                 .build()?;
             let (model, predictions_by_row) = match self.config.model {
                 RepairModelKind::MultiLevel => {

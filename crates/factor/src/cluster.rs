@@ -10,6 +10,7 @@
 //! gram / left / right product is assembled from one shared rank-one structure
 //! plus the (few) intra columns.
 
+use crate::encoded::{EncodedFactorization, EncodedFeatureMap};
 use crate::factorization::Factorization;
 use crate::feature::FeatureMap;
 use reptile_linalg::Matrix;
@@ -55,31 +56,87 @@ impl ClusterPartition {
         features: &FeatureMap,
         intra_levels: usize,
     ) -> Self {
-        let m = fact.n_cols();
         let hierarchies = fact.hierarchies();
-        assert!(!hierarchies.is_empty(), "factorization has no hierarchies");
-        let last = hierarchies.len() - 1;
-        let last_factor = &hierarchies[last];
-        let depth = last_factor.depth();
+        let depths: Vec<usize> = hierarchies.iter().map(|h| h.depth()).collect();
+        let leaf_counts: Vec<usize> = hierarchies.iter().map(|h| h.leaf_count()).collect();
+        Self::build(
+            fact.n_cols(),
+            &depths,
+            &leaf_counts,
+            |h, level| fact.column_of(h, level),
+            |h, level, idx| {
+                features.value(fact.column_of(h, level), &hierarchies[h].paths[idx][level])
+            },
+            |prefix_len, a, b| {
+                let lastf = hierarchies.last().expect("non-empty");
+                lastf.paths[a][..prefix_len] == lastf.paths[b][..prefix_len]
+            },
+            intra_levels,
+        )
+    }
+
+    /// Build the partition from the dictionary-encoded representation: the
+    /// same output as [`ClusterPartition::with_intra_levels`] (bit-identical
+    /// `f64` features), but every path comparison is a `u32` compare and
+    /// every feature lookup a flat-slice index instead of a `Value` slice
+    /// compare plus a `BTreeMap` walk.
+    pub fn from_encoded(
+        fact: &EncodedFactorization,
+        features: &EncodedFeatureMap,
+        intra_levels: usize,
+    ) -> Self {
+        let factors = fact.factors();
+        let depths: Vec<usize> = factors.iter().map(|f| f.depth()).collect();
+        let leaf_counts: Vec<usize> = factors.iter().map(|f| f.leaf_count()).collect();
+        Self::build(
+            fact.n_cols(),
+            &depths,
+            &leaf_counts,
+            |h, level| fact.column_of(h, level),
+            |h, level, idx| features.value(fact.column_of(h, level), factors[h].code(level, idx)),
+            |prefix_len, a, b| {
+                let lastf = factors.last().expect("non-empty");
+                (0..prefix_len).all(|level| lastf.code(level, a) == lastf.code(level, b))
+            },
+            intra_levels,
+        )
+    }
+
+    /// Shared partition construction, parameterised over the backend's
+    /// representation: `column_of(h, level)` maps a hierarchy level to its
+    /// global column, `feature(h, level, path_idx)` reads that path's feature
+    /// value, and `last_prefix_eq(prefix_len, a, b)` compares two paths of
+    /// the *last* hierarchy on their inter-cluster prefix. Both public
+    /// constructors inline this one body, so the backends cannot drift.
+    fn build(
+        m: usize,
+        depths: &[usize],
+        leaf_counts: &[usize],
+        column_of: impl Fn(usize, usize) -> usize,
+        feature: impl Fn(usize, usize, usize) -> f64,
+        last_prefix_eq: impl Fn(usize, usize, usize) -> bool,
+        intra_levels: usize,
+    ) -> Self {
+        assert!(!depths.is_empty(), "factorization has no hierarchies");
+        let last = depths.len() - 1;
+        let depth = depths[last];
         let intra_levels = intra_levels.clamp(1, depth);
         let prefix_len = depth - intra_levels;
         let intra_columns: Vec<usize> = (prefix_len..depth)
-            .map(|level| fact.column_of(last, level))
+            .map(|level| column_of(last, level))
             .collect();
 
         // Group the last hierarchy's paths by their inter-cluster prefix.
+        let last_leafs = leaf_counts[last];
         let mut prefix_groups: Vec<(usize, usize)> = Vec::new(); // (start path, len)
-        if last_factor.leaf_count() > 0 {
+        if last_leafs > 0 {
             if prefix_len == 0 {
-                prefix_groups.push((0, last_factor.leaf_count()));
+                prefix_groups.push((0, last_leafs));
             } else {
                 let mut i = 0usize;
-                while i < last_factor.leaf_count() {
+                while i < last_leafs {
                     let start = i;
-                    let prefix = &last_factor.paths[i][..prefix_len];
-                    while i < last_factor.leaf_count()
-                        && &last_factor.paths[i][..prefix_len] == prefix
-                    {
+                    while i < last_leafs && last_prefix_eq(prefix_len, start, i) {
                         i += 1;
                     }
                     prefix_groups.push((start, i - start));
@@ -88,40 +145,32 @@ impl ClusterPartition {
         }
 
         // Enumerate earlier-hierarchy combinations in row order.
-        let earlier: Vec<&crate::factorization::HierarchyFactor> =
-            hierarchies[..last].iter().collect();
-        let earlier_combos: usize = earlier.iter().map(|h| h.leaf_count()).product();
-        let last_leafs = last_factor.leaf_count();
+        let earlier_combos: usize = leaf_counts[..last].iter().product();
 
         let mut clusters = Vec::with_capacity(earlier_combos.max(1) * prefix_groups.len());
         for combo in 0..earlier_combos.max(1) {
             // Decompose the combo into per-hierarchy path indices to read the
             // constant feature values of the earlier hierarchies.
             let mut const_features = vec![0.0f64; m];
-            if !earlier.is_empty() {
+            if last > 0 {
                 let mut rem = combo;
-                for (h, factor) in earlier.iter().enumerate().rev() {
-                    let idx = rem % factor.leaf_count();
-                    rem /= factor.leaf_count();
-                    for level in 0..factor.depth() {
-                        let col = fact.column_of(h, level);
-                        const_features[col] = features.value(col, &factor.paths[idx][level]);
+                for h in (0..last).rev() {
+                    let idx = rem % leaf_counts[h];
+                    rem /= leaf_counts[h];
+                    for level in 0..depths[h] {
+                        const_features[column_of(h, level)] = feature(h, level, idx);
                     }
                 }
             }
             for &(path_start, path_len) in &prefix_groups {
                 let mut cf = const_features.clone();
                 for level in 0..prefix_len {
-                    let col = fact.column_of(last, level);
-                    cf[col] = features.value(col, &last_factor.paths[path_start][level]);
+                    cf[column_of(last, level)] = feature(last, level, path_start);
                 }
                 let intra_features: Vec<Vec<f64>> = (0..path_len)
                     .map(|i| {
                         (prefix_len..depth)
-                            .map(|level| {
-                                let col = fact.column_of(last, level);
-                                features.value(col, &last_factor.paths[path_start + i][level])
-                            })
+                            .map(|level| feature(last, level, path_start + i))
                             .collect()
                     })
                     .collect();
@@ -602,6 +651,25 @@ mod tests {
                 .unwrap();
             for (j, r) in res.iter().enumerate() {
                 assert!((r - e.get(0, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_partition_is_bit_identical_to_value_partition() {
+        for intra in [1usize, 2] {
+            let (fact, features) = example_multi_intra();
+            let legacy = ClusterPartition::with_intra_levels(&fact, &features, intra);
+            let enc = EncodedFactorization::encode(&fact);
+            let enc_features = EncodedFeatureMap::encode(&features, &enc);
+            let encoded = ClusterPartition::from_encoded(&enc, &enc_features, intra);
+            assert_eq!(legacy.intra_columns(), encoded.intra_columns());
+            assert_eq!(legacy.len(), encoded.len());
+            for (l, e) in legacy.clusters().iter().zip(encoded.clusters()) {
+                assert_eq!(l.start_row, e.start_row);
+                assert_eq!(l.len, e.len);
+                assert_eq!(l.const_features, e.const_features);
+                assert_eq!(l.intra_features, e.intra_features);
             }
         }
     }

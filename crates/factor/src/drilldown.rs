@@ -16,8 +16,12 @@
 //! (additionally reuse any previously computed hierarchy state).
 
 use crate::aggregates::{DecomposedAggregates, HierarchyAggregates};
+use crate::encoded::{
+    EncodedAggregates, EncodedFactor, EncodedFactorization, EncodedHierarchyAggregates,
+};
 use crate::factorization::Factorization;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Maintenance strategy for successive drill-downs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +54,26 @@ type FactorKey = (String, usize, usize, u64);
 /// with session lifetime).
 pub const DEFAULT_SESSION_CAPACITY: usize = 256;
 
+/// One hierarchy's cached *encoded* state: the dictionary-encoded factor and
+/// its aggregates, `Arc`-shared so cache hits are pointer bumps instead of
+/// the deep `HierarchyAggregates` clone the legacy path pays.
+type EncodedEntry = (Arc<EncodedFactor>, Arc<EncodedHierarchyAggregates>);
+
+/// A source of decomposed aggregates that the design builder can consult
+/// instead of recomputing from scratch — implemented by [`DrilldownSession`]
+/// so the engine threads its cross-invocation cache through design builds on
+/// either backend.
+pub trait AggregateSource {
+    /// Serve (or compute) the legacy `Value`-keyed aggregates of `fact`.
+    fn legacy_aggregates(&mut self, fact: &Factorization) -> DecomposedAggregates;
+    /// Serve (or compute) the dictionary-encoded factorisation and
+    /// aggregates of `fact`.
+    fn encoded_aggregates(
+        &mut self,
+        fact: &Factorization,
+    ) -> (EncodedFactorization, EncodedAggregates);
+}
+
 /// A stateful session that serves decomposed aggregates across successive
 /// drill-down invocations.
 #[derive(Debug)]
@@ -60,6 +84,10 @@ pub struct DrilldownSession {
     cache: HashMap<FactorKey, (HierarchyAggregates, u64)>,
     /// Keys used by the previous invocation (the `Dynamic` reuse set).
     previous: Vec<FactorKey>,
+    /// Encoded-backend cache: one encoded factor + aggregates per key.
+    encoded_cache: HashMap<FactorKey, (EncodedEntry, u64)>,
+    /// Keys used by the previous *encoded* invocation.
+    previous_encoded: Vec<FactorKey>,
     stats: SessionStats,
 }
 
@@ -71,7 +99,8 @@ impl DrilldownSession {
     }
 
     /// Create a session holding at most `capacity` cached hierarchy states
-    /// (least-recently-used beyond that; minimum 1).
+    /// *in total across both backends* (least-recently-used beyond that;
+    /// minimum 1).
     pub fn with_capacity(mode: DrilldownMode, capacity: usize) -> Self {
         DrilldownSession {
             mode,
@@ -79,6 +108,8 @@ impl DrilldownSession {
             clock: 0,
             cache: HashMap::new(),
             previous: Vec::new(),
+            encoded_cache: HashMap::new(),
+            previous_encoded: Vec::new(),
             stats: SessionStats::default(),
         }
     }
@@ -93,14 +124,14 @@ impl DrilldownSession {
         self.capacity
     }
 
-    /// Number of cached hierarchy states.
+    /// Number of cached hierarchy states (legacy plus encoded).
     pub fn len(&self) -> usize {
-        self.cache.len()
+        self.cache.len() + self.encoded_cache.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.cache.is_empty()
+        self.cache.is_empty() && self.encoded_cache.is_empty()
     }
 
     /// Statistics of the most recent call.
@@ -115,6 +146,39 @@ impl DrilldownSession {
             factor.leaf_count(),
             factor.content_fingerprint(),
         )
+    }
+
+    /// Make room for one insertion: while the *total* number of cached
+    /// states (legacy + encoded) is at the capacity, evict the globally
+    /// least-recently-used entry — but never one of the current
+    /// invocation's own hierarchies.
+    fn evict_for_insert(&mut self, current_keys: &[FactorKey]) {
+        while self.cache.len() + self.encoded_cache.len() >= self.capacity {
+            let legacy = self
+                .cache
+                .iter()
+                .filter(|(k, _)| !current_keys.contains(*k))
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, (_, used))| (k.clone(), *used));
+            let encoded = self
+                .encoded_cache
+                .iter()
+                .filter(|(k, _)| !current_keys.contains(*k))
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, (_, used))| (k.clone(), *used));
+            match (legacy, encoded) {
+                (Some((lk, lu)), Some((_, eu))) if lu <= eu => {
+                    self.cache.remove(&lk);
+                }
+                (Some((lk, _)), None) => {
+                    self.cache.remove(&lk);
+                }
+                (_, Some((ek, _))) => {
+                    self.encoded_cache.remove(&ek);
+                }
+                (None, None) => break,
+            }
+        }
     }
 
     /// Compute (or reuse) the decomposed aggregates for `fact`.
@@ -140,18 +204,8 @@ impl DrilldownSession {
             } else {
                 stats.recomputed += 1;
                 let computed = HierarchyAggregates::compute(factor);
-                if !self.cache.contains_key(&key) && self.cache.len() >= self.capacity {
-                    // Evict the least-recently-used state, but never one of
-                    // this invocation's own hierarchies.
-                    if let Some(oldest) = self
-                        .cache
-                        .iter()
-                        .filter(|(k, _)| !current_keys.contains(*k))
-                        .min_by_key(|(_, (_, used))| *used)
-                        .map(|(k, _)| k.clone())
-                    {
-                        self.cache.remove(&oldest);
-                    }
+                if !self.cache.contains_key(&key) {
+                    self.evict_for_insert(&current_keys);
                 }
                 self.cache
                     .insert(key.clone(), (computed.clone(), self.clock));
@@ -167,6 +221,89 @@ impl DrilldownSession {
         self.previous = current_keys;
         self.stats = stats;
         DecomposedAggregates::from_parts(fact, parts)
+    }
+
+    /// Compute (or reuse) the dictionary-encoded factorisation and decomposed
+    /// aggregates for `fact`. The cached per-hierarchy state is the encoded
+    /// factor *plus* its aggregates, both behind `Arc`s: a hit skips the
+    /// encoding pass as well as the aggregate batch, and costs two pointer
+    /// clones instead of the legacy path's deep table copy.
+    pub fn encoded(&mut self, fact: &Factorization) -> (EncodedFactorization, EncodedAggregates) {
+        let mut stats = SessionStats::default();
+        let mut factors = Vec::with_capacity(fact.hierarchies().len());
+        let mut parts = Vec::with_capacity(fact.hierarchies().len());
+        let mut current_keys = Vec::with_capacity(fact.hierarchies().len());
+        for factor in fact.hierarchies() {
+            let key = Self::key_of(factor);
+            let reusable = match self.mode {
+                DrilldownMode::Static => false,
+                DrilldownMode::Dynamic => {
+                    self.previous_encoded.contains(&key) && self.encoded_cache.contains_key(&key)
+                }
+                DrilldownMode::CachedDynamic => self.encoded_cache.contains_key(&key),
+            };
+            self.clock += 1;
+            let (enc, aggs) = if reusable {
+                stats.reused += 1;
+                let entry = self.encoded_cache.get_mut(&key).expect("checked above");
+                entry.1 = self.clock;
+                entry.0.clone()
+            } else {
+                stats.recomputed += 1;
+                let enc = Arc::new(EncodedFactor::encode(factor));
+                let aggs = Arc::new(EncodedHierarchyAggregates::compute(&enc));
+                if !self.encoded_cache.contains_key(&key) {
+                    self.evict_for_insert(&current_keys);
+                }
+                self.encoded_cache
+                    .insert(key.clone(), ((enc.clone(), aggs.clone()), self.clock));
+                (enc, aggs)
+            };
+            factors.push(enc);
+            parts.push(aggs);
+            current_keys.push(key);
+        }
+        if self.mode == DrilldownMode::Dynamic {
+            self.encoded_cache.retain(|k, _| current_keys.contains(k));
+        }
+        self.previous_encoded = current_keys;
+        self.stats = stats;
+        let encoded_fact = EncodedFactorization::new(factors);
+        let aggregates = EncodedAggregates::from_parts(&encoded_fact, parts);
+        (encoded_fact, aggregates)
+    }
+}
+
+impl AggregateSource for DrilldownSession {
+    fn legacy_aggregates(&mut self, fact: &Factorization) -> DecomposedAggregates {
+        self.aggregates(fact)
+    }
+
+    fn encoded_aggregates(
+        &mut self,
+        fact: &Factorization,
+    ) -> (EncodedFactorization, EncodedAggregates) {
+        self.encoded(fact)
+    }
+}
+
+/// A stateless [`AggregateSource`] that recomputes everything on every call —
+/// what a design build does when no drill-down session is threaded through.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreshAggregates;
+
+impl AggregateSource for FreshAggregates {
+    fn legacy_aggregates(&mut self, fact: &Factorization) -> DecomposedAggregates {
+        DecomposedAggregates::compute(fact)
+    }
+
+    fn encoded_aggregates(
+        &mut self,
+        fact: &Factorization,
+    ) -> (EncodedFactorization, EncodedAggregates) {
+        let enc = EncodedFactorization::encode(fact);
+        let aggs = EncodedAggregates::compute(&enc);
+        (enc, aggs)
     }
 }
 
@@ -358,6 +495,75 @@ mod tests {
                 reused: 1
             }
         );
+    }
+
+    #[test]
+    fn encoded_mode_reuses_like_legacy_mode() {
+        let mut s = DrilldownSession::new(DrilldownMode::CachedDynamic);
+        s.encoded(&fact(1, 1));
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 2,
+                reused: 0
+            }
+        );
+        s.encoded(&fact(1, 2));
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 1,
+                reused: 1
+            }
+        );
+        // Revisit the first configuration: everything served from cache.
+        s.encoded(&fact(1, 1));
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 0,
+                reused: 2
+            }
+        );
+        // The encoded and legacy caches are independent: a legacy call over
+        // the same shape still has to compute its own state.
+        s.aggregates(&fact(1, 1));
+        assert_eq!(
+            s.stats(),
+            SessionStats {
+                recomputed: 2,
+                reused: 0
+            }
+        );
+    }
+
+    #[test]
+    fn capacity_bounds_both_backends_together() {
+        let mut s = DrilldownSession::with_capacity(DrilldownMode::CachedDynamic, 3);
+        s.aggregates(&fact(1, 1)); // 2 legacy states
+        s.encoded(&fact(1, 1)); // +2 encoded states -> one eviction
+        assert!(s.len() <= s.capacity(), "{} > {}", s.len(), s.capacity());
+        s.encoded(&fact(2, 2));
+        s.aggregates(&fact(2, 1));
+        assert!(s.len() <= s.capacity(), "{} > {}", s.len(), s.capacity());
+    }
+
+    #[test]
+    fn encoded_session_matches_fresh_computation() {
+        use crate::encoded::{EncodedAggregates, EncodedFactorization};
+        let f = fact(2, 2);
+        let mut s = DrilldownSession::new(DrilldownMode::CachedDynamic);
+        s.encoded(&fact(2, 1));
+        let (enc, aggs) = s.encoded(&f);
+        let fresh_fact = EncodedFactorization::encode(&f);
+        let fresh = EncodedAggregates::compute(&fresh_fact);
+        assert_eq!(enc.n_rows(), fresh_fact.n_rows());
+        for c in 0..f.n_cols() {
+            assert_eq!(aggs.total(c), fresh.total(c));
+            assert_eq!(aggs.counts_raw(c).0, fresh.counts_raw(c).0);
+            assert_eq!(aggs.block_runs_raw(c).0, fresh.block_runs_raw(c).0);
+        }
+        assert_eq!(aggs.grand_total(), fresh.grand_total());
     }
 
     #[test]

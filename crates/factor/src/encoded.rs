@@ -1,0 +1,900 @@
+//! Dictionary-encoded columnar backend for the factorised operators.
+//!
+//! The `Value`-keyed representation ([`Factorization`] +
+//! [`DecomposedAggregates`](crate::aggregates::DecomposedAggregates)) pays an
+//! `Arc<str>` clone plus an `O(log n)` string-comparison `BTreeMap` lookup for
+//! every path/value touch on the operator hot paths. This module replaces
+//! those with dense integer codes:
+//!
+//! * [`EncodedFactor`] — one hierarchy stored *columnar*: per level a
+//!   [`ValueDict`] (sorted domain → dense `u32` codes) and the level's code
+//!   column in path order;
+//! * [`EncodedFactorization`] — the ordered hierarchy factors plus column
+//!   offsets, `Arc`-shared so drill-down caches reuse them without copies;
+//! * [`EncodedHierarchyAggregates`] / [`EncodedAggregates`] — the
+//!   `TOTAL`/`COUNT`/`COF` batch of Section 4.2.1 as code-indexed `Vec<f64>`
+//!   descendant tables and run/COF tables of `(u32, f64)` pairs;
+//! * [`EncodedFeatureMap`] — per column a flat `Vec<f64>` indexed by code;
+//! * [`gram`], [`left_mult`], [`right_mult`], [`transpose_vec_mult`] — the
+//!   factorised operators of Algorithms 2–4 running on codes end-to-end.
+//!
+//! Codes are assigned in sorted `Value` order, and every loop below iterates
+//! in exactly the same order (and performs the same floating-point operation
+//! sequence) as its `Value`-keyed counterpart, so results are **bit-identical**
+//! to the legacy path — the equivalence property tests assert `==`, not
+//! tolerance. Decoding back to [`Value`] happens only at the explanation/API
+//! boundary via the per-level dictionaries.
+
+use crate::factorization::{AttrPosition, Factorization, HierarchyFactor};
+use crate::feature::FeatureMap;
+use reptile_linalg::{Matrix, PrefixSum};
+use reptile_relational::{AttrId, Value, ValueDict};
+use std::sync::Arc;
+
+/// Which factor execution path an operator/design runs on. The legacy
+/// `Value`-keyed path stays available so the encoded backend can be
+/// benchmarked and equivalence-tested against it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FactorBackend {
+    /// `Value`-keyed `BTreeMap` aggregates and operators (the original path).
+    Legacy,
+    /// Dictionary-encoded columnar codes (the default).
+    #[default]
+    Encoded,
+}
+
+/// One level of an encoded hierarchy: its domain dictionary and the dense
+/// code column in (sorted) path order.
+#[derive(Debug, Clone)]
+pub struct EncodedLevel {
+    /// Sorted domain of the level; a value's rank is its code.
+    pub dict: ValueDict,
+    /// The level's value codes, one per path, in path order.
+    pub codes: Vec<u32>,
+}
+
+/// A dictionary-encoded hierarchy factor (columnar layout).
+#[derive(Debug, Clone)]
+pub struct EncodedFactor {
+    /// Name of the hierarchy (for diagnostics).
+    pub name: String,
+    /// Attribute ids of the levels included, least specific first.
+    pub attrs: Vec<AttrId>,
+    /// Per-level dictionary + code column.
+    pub levels: Vec<EncodedLevel>,
+    leaf_count: usize,
+}
+
+impl EncodedFactor {
+    /// Encode a `Value`-keyed hierarchy factor. This is the one place that
+    /// still compares `Value`s (building the per-level dictionaries); all
+    /// downstream work runs on the codes.
+    pub fn encode(factor: &HierarchyFactor) -> Self {
+        let depth = factor.depth();
+        let leaf_count = factor.leaf_count();
+        let mut levels = Vec::with_capacity(depth);
+        for level in 0..depth {
+            // Collect one representative per consecutive run (paths are
+            // sorted, so runs bound the distinct count), then sort+dedup the
+            // representatives into the dictionary.
+            let mut reps: Vec<Value> = Vec::new();
+            for path in &factor.paths {
+                if reps.last() != Some(&path[level]) {
+                    reps.push(path[level].clone());
+                }
+            }
+            let dict = ValueDict::from_values(reps);
+            let codes: Vec<u32> = factor
+                .paths
+                .iter()
+                .map(|p| dict.code_of(&p[level]).expect("value drawn from domain"))
+                .collect();
+            levels.push(EncodedLevel { dict, codes });
+        }
+        EncodedFactor {
+            name: factor.name.clone(),
+            attrs: factor.attrs.clone(),
+            levels,
+            leaf_count,
+        }
+    }
+
+    /// Number of levels present.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of distinct leaf paths.
+    pub fn leaf_count(&self) -> usize {
+        self.leaf_count
+    }
+
+    /// Number of distinct values at `level`.
+    pub fn cardinality(&self, level: usize) -> usize {
+        self.levels[level].dict.len()
+    }
+
+    /// The code of path `path_idx` at `level`.
+    #[inline]
+    pub fn code(&self, level: usize, path_idx: usize) -> u32 {
+        self.levels[level].codes[path_idx]
+    }
+
+    /// The values of `level` in *path order* together with their descendant
+    /// leaf counts — the code-space mirror of
+    /// [`HierarchyFactor::level_runs`].
+    pub fn level_runs(&self, level: usize) -> Vec<(u32, usize)> {
+        let codes = &self.levels[level].codes;
+        let mut runs = Vec::new();
+        let mut i = 0usize;
+        while i < codes.len() {
+            let c = codes[i];
+            let start = i;
+            while i < codes.len() && codes[i] == c {
+                i += 1;
+            }
+            runs.push((c, i - start));
+        }
+        runs
+    }
+}
+
+/// The dictionary-encoded factorised matrix: ordered encoded hierarchy
+/// factors plus column offsets. Factors are `Arc`-shared so that the
+/// drill-down session cache can hand them out without copying code columns.
+#[derive(Debug, Clone)]
+pub struct EncodedFactorization {
+    factors: Vec<Arc<EncodedFactor>>,
+    offsets: Vec<usize>,
+    columns: usize,
+}
+
+impl EncodedFactorization {
+    /// Assemble from encoded factors (drill-down hierarchy last).
+    pub fn new(factors: Vec<Arc<EncodedFactor>>) -> Self {
+        let mut offsets = Vec::with_capacity(factors.len());
+        let mut columns = 0usize;
+        for f in &factors {
+            offsets.push(columns);
+            columns += f.depth();
+        }
+        EncodedFactorization {
+            factors,
+            offsets,
+            columns,
+        }
+    }
+
+    /// Encode every hierarchy of a `Value`-keyed factorisation.
+    pub fn encode(fact: &Factorization) -> Self {
+        EncodedFactorization::new(
+            fact.hierarchies()
+                .iter()
+                .map(|h| Arc::new(EncodedFactor::encode(h)))
+                .collect(),
+        )
+    }
+
+    /// The encoded hierarchy factors in order.
+    pub fn factors(&self) -> &[Arc<EncodedFactor>] {
+        &self.factors
+    }
+
+    /// Number of columns (attributes) of the conceptual matrix.
+    pub fn n_cols(&self) -> usize {
+        self.columns
+    }
+
+    /// Number of rows of the conceptual matrix (product of leaf counts).
+    pub fn n_rows(&self) -> usize {
+        self.factors.iter().map(|f| f.leaf_count()).product()
+    }
+
+    /// Map a global column index to its `(hierarchy, level)` position.
+    pub fn position(&self, column: usize) -> AttrPosition {
+        for (h, offset) in self.offsets.iter().enumerate() {
+            let depth = self.factors[h].depth();
+            if column < offset + depth {
+                return AttrPosition {
+                    hierarchy: h,
+                    level: column - offset,
+                    column,
+                };
+            }
+        }
+        panic!(
+            "column {column} out of range for encoded factorization with {} columns",
+            self.columns
+        );
+    }
+
+    /// Global column index of `(hierarchy, level)`.
+    pub fn column_of(&self, hierarchy: usize, level: usize) -> usize {
+        self.offsets[hierarchy] + level
+    }
+
+    /// The dictionary of `column`'s domain — the decode boundary.
+    pub fn dict(&self, column: usize) -> &ValueDict {
+        let pos = self.position(column);
+        &self.factors[pos.hierarchy].levels[pos.level].dict
+    }
+}
+
+/// Aggregates local to one encoded hierarchy: the code-space mirror of
+/// [`HierarchyAggregates`](crate::aggregates::HierarchyAggregates), with
+/// dense code-indexed descendant tables instead of `BTreeMap<Value, f64>`.
+#[derive(Debug, Clone)]
+pub struct EncodedHierarchyAggregates {
+    /// Number of distinct leaf paths.
+    pub leaf_count: f64,
+    /// Per level: `desc[level][code]` = number of descendant leaf paths.
+    pub desc: Vec<Vec<f64>>,
+    /// Per level: `(code, descendant count)` in path (block) order.
+    pub runs: Vec<Vec<(u32, f64)>>,
+    /// Same-hierarchy `COF` tables, indexed by `l1 * depth + l2` for level
+    /// pairs `l1 < l2`: `(parent code, child code, descendant leaves)`.
+    pub cofs: Vec<Vec<(u32, u32, f64)>>,
+}
+
+impl EncodedHierarchyAggregates {
+    /// Compute the per-hierarchy aggregates with the same bottom-up work
+    /// sharing as the `Value`-keyed path — but every map update is a flat
+    /// `Vec` index on a `u32` code.
+    pub fn compute(factor: &EncodedFactor) -> Self {
+        let depth = factor.depth();
+        let leaf_count = factor.leaf_count() as f64;
+        let mut desc: Vec<Vec<f64>> = (0..depth)
+            .map(|level| vec![0.0; factor.cardinality(level)])
+            .collect();
+        let mut runs: Vec<Vec<(u32, f64)>> = vec![Vec::new(); depth];
+
+        if depth > 0 {
+            // Leaf level: every path contributes one leaf.
+            let leaf = depth - 1;
+            for &code in &factor.levels[leaf].codes {
+                desc[leaf][code as usize] += 1.0;
+            }
+            runs[leaf] = factor
+                .level_runs(leaf)
+                .into_iter()
+                .map(|(c, n)| (c, n as f64))
+                .collect();
+            // Shallower levels reuse the level below (work sharing): a value's
+            // descendant count is the sum of its children's descendant counts.
+            // The child run table was materialised by the previous iteration,
+            // so no level's code column is scanned twice.
+            for level in (0..leaf).rev() {
+                let mut path_idx = 0usize;
+                for &(_, child_leaves) in &runs[level + 1] {
+                    let parent = factor.code(level, path_idx) as usize;
+                    desc[level][parent] += child_leaves;
+                    path_idx += child_leaves as usize;
+                }
+                runs[level] = factor
+                    .level_runs(level)
+                    .into_iter()
+                    .map(|(c, n)| (c, n as f64))
+                    .collect();
+            }
+        }
+
+        // Same-hierarchy COF tables for every (shallower, deeper) level pair.
+        let mut cofs = vec![Vec::new(); depth * depth];
+        for l1 in 0..depth {
+            let c1 = &factor.levels[l1].codes;
+            for l2 in (l1 + 1)..depth {
+                let c2 = &factor.levels[l2].codes;
+                let table = &mut cofs[l1 * depth + l2];
+                let mut i = 0usize;
+                while i < c1.len() {
+                    let a = c1[i];
+                    let b = c2[i];
+                    let start = i;
+                    while i < c1.len() && c1[i] == a && c2[i] == b {
+                        i += 1;
+                    }
+                    table.push((a, b, (i - start) as f64));
+                }
+            }
+        }
+
+        EncodedHierarchyAggregates {
+            leaf_count,
+            desc,
+            runs,
+            cofs,
+        }
+    }
+}
+
+/// A cross-column `COF` view over codes: either a materialised same-hierarchy
+/// table or an implicit cross-hierarchy product.
+#[derive(Debug)]
+pub enum EncodedCofPairs<'a> {
+    /// Same hierarchy: raw `(a, b, count)` entries plus the global suffix
+    /// scale to apply per entry.
+    Materialized {
+        /// raw `(parent code, child code, descendant leaves)` entries
+        entries: &'a [(u32, u32, f64)],
+        /// global scaling factor applied per entry
+        scale: f64,
+    },
+    /// Different hierarchies: `COF[a,b] = left[a] * right[b] * scale`.
+    Independent {
+        /// descendant counts for the left column's hierarchy, code-indexed
+        left: &'a [f64],
+        /// descendant counts for the right column's hierarchy, code-indexed
+        right: &'a [f64],
+        /// global scaling factor
+        scale: f64,
+    },
+}
+
+/// All decomposed aggregates of an [`EncodedFactorization`] — the code-space
+/// mirror of [`DecomposedAggregates`](crate::aggregates::DecomposedAggregates).
+#[derive(Debug, Clone)]
+pub struct EncodedAggregates {
+    positions: Vec<AttrPosition>,
+    per_hierarchy: Vec<Arc<EncodedHierarchyAggregates>>,
+    leaf_counts: Vec<f64>,
+}
+
+impl EncodedAggregates {
+    /// Compute the aggregates for every column of `fact`.
+    pub fn compute(fact: &EncodedFactorization) -> Self {
+        let per_hierarchy = fact
+            .factors()
+            .iter()
+            .map(|f| Arc::new(EncodedHierarchyAggregates::compute(f)))
+            .collect();
+        Self::from_parts(fact, per_hierarchy)
+    }
+
+    /// Assemble from precomputed per-hierarchy aggregates (used by the
+    /// drill-down cache, which recomputes only the drilled hierarchy).
+    pub fn from_parts(
+        fact: &EncodedFactorization,
+        per_hierarchy: Vec<Arc<EncodedHierarchyAggregates>>,
+    ) -> Self {
+        let positions = (0..fact.n_cols()).map(|c| fact.position(c)).collect();
+        let leaf_counts = per_hierarchy.iter().map(|h| h.leaf_count).collect();
+        EncodedAggregates {
+            positions,
+            per_hierarchy,
+            leaf_counts,
+        }
+    }
+
+    /// Per-hierarchy aggregates (exposed for the drill-down cache).
+    pub fn per_hierarchy(&self) -> &[Arc<EncodedHierarchyAggregates>] {
+        &self.per_hierarchy
+    }
+
+    /// Number of columns covered.
+    pub fn n_cols(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn pos(&self, column: usize) -> AttrPosition {
+        self.positions[column]
+    }
+
+    /// Product of leaf counts of hierarchies strictly after `h`.
+    fn later_product(&self, h: usize) -> f64 {
+        self.leaf_counts[h + 1..].iter().product()
+    }
+
+    /// Product of leaf counts of hierarchies strictly before `h`.
+    fn earlier_product(&self, h: usize) -> f64 {
+        self.leaf_counts[..h].iter().product()
+    }
+
+    /// `TOTAL` over the whole matrix: the number of conceptual rows.
+    pub fn grand_total(&self) -> f64 {
+        self.leaf_counts.iter().product()
+    }
+
+    /// `TOTAL_A` for the column at `column`.
+    pub fn total(&self, column: usize) -> f64 {
+        let p = self.pos(column);
+        self.per_hierarchy[p.hierarchy].leaf_count * self.later_product(p.hierarchy)
+    }
+
+    /// How many times the suffix pattern starting at `column` repeats.
+    pub fn repetitions(&self, column: usize) -> f64 {
+        let p = self.pos(column);
+        self.earlier_product(p.hierarchy)
+    }
+
+    /// `COUNT_A[code]` for the column at `column`.
+    pub fn count(&self, column: usize, code: u32) -> f64 {
+        let p = self.pos(column);
+        let desc = &self.per_hierarchy[p.hierarchy].desc[p.level];
+        desc.get(code as usize).copied().unwrap_or(0.0) * self.later_product(p.hierarchy)
+    }
+
+    /// The raw (unscaled) code-indexed descendant counts of `column` together
+    /// with the global suffix scale. Because codes follow sorted value order,
+    /// index order here equals the legacy `BTreeMap` iteration order.
+    pub fn counts_raw(&self, column: usize) -> (&[f64], f64) {
+        let p = self.pos(column);
+        (
+            &self.per_hierarchy[p.hierarchy].desc[p.level],
+            self.later_product(p.hierarchy),
+        )
+    }
+
+    /// The raw block-order run table of `column` plus the suffix scale —
+    /// borrowed, unlike the legacy path which clones a fresh `Vec<(Value,
+    /// f64)>` per call.
+    pub fn block_runs_raw(&self, column: usize) -> (&[(u32, f64)], f64) {
+        let p = self.pos(column);
+        (
+            &self.per_hierarchy[p.hierarchy].runs[p.level],
+            self.later_product(p.hierarchy),
+        )
+    }
+
+    /// The `COF` view for two columns `left < right` in attribute order.
+    pub fn cof(&self, left: usize, right: usize) -> EncodedCofPairs<'_> {
+        assert!(left < right, "cof requires left < right column order");
+        let lp = self.pos(left);
+        let rp = self.pos(right);
+        if lp.hierarchy == rp.hierarchy {
+            let agg = &self.per_hierarchy[lp.hierarchy];
+            let depth = agg.desc.len();
+            EncodedCofPairs::Materialized {
+                entries: &agg.cofs[lp.level * depth + rp.level],
+                scale: self.later_product(lp.hierarchy),
+            }
+        } else {
+            EncodedCofPairs::Independent {
+                left: &self.per_hierarchy[lp.hierarchy].desc[lp.level],
+                right: &self.per_hierarchy[rp.hierarchy].desc[rp.level],
+                scale: self.later_product(lp.hierarchy) / self.leaf_counts[rp.hierarchy],
+            }
+        }
+    }
+
+    /// `Σ_{a,b} COF_{A,B}[a,b] · f[a] · g[b]` with feature columns as flat
+    /// slices. The operation order matches the legacy closure-based
+    /// `cof_weighted_sum` exactly.
+    pub fn cof_weighted_sum(&self, left: usize, right: usize, f: &[f64], g: &[f64]) -> f64 {
+        match self.cof(left, right) {
+            EncodedCofPairs::Materialized { entries, scale } => entries
+                .iter()
+                .map(|&(a, b, c)| (c * scale) * f[a as usize] * g[b as usize])
+                .sum(),
+            EncodedCofPairs::Independent { left, right, scale } => {
+                let ls: f64 = left.iter().zip(f).map(|(c, fv)| c * fv).sum();
+                let rs: f64 = right.iter().zip(g).map(|(c, gv)| c * gv).sum();
+                ls * rs * scale
+            }
+        }
+    }
+
+    /// `Σ_a COUNT_A[a] · f[a]` over a code-indexed weight slice.
+    pub fn count_weighted_sum(&self, column: usize, f: impl Fn(usize) -> f64) -> f64 {
+        let (desc, scale) = self.counts_raw(column);
+        desc.iter()
+            .enumerate()
+            .map(|(code, c)| (c * scale) * f(code))
+            .sum()
+    }
+}
+
+/// Code-indexed feature columns: the flat mirror of [`FeatureMap`].
+#[derive(Debug, Clone, Default)]
+pub struct EncodedFeatureMap {
+    columns: Vec<Vec<f64>>,
+}
+
+impl EncodedFeatureMap {
+    /// Bake a `Value`-keyed feature map into code-indexed columns using the
+    /// factorisation's dictionaries (missing values take the map's default,
+    /// exactly as the legacy lookup would).
+    pub fn encode(features: &FeatureMap, fact: &EncodedFactorization) -> Self {
+        let columns = (0..fact.n_cols())
+            .map(|c| {
+                fact.dict(c)
+                    .values()
+                    .iter()
+                    .map(|v| features.value(c, v))
+                    .collect()
+            })
+            .collect();
+        EncodedFeatureMap { columns }
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Look up the feature value of `code` in `column`.
+    #[inline]
+    pub fn value(&self, column: usize, code: u32) -> f64 {
+        self.columns[column][code as usize]
+    }
+
+    /// The full code-indexed feature column.
+    pub fn column(&self, column: usize) -> &[f64] {
+        &self.columns[column]
+    }
+}
+
+/// Everything the encoded execution path needs about one training design:
+/// the encoded factorisation, the code-indexed features, and the aggregates.
+#[derive(Debug, Clone)]
+pub struct EncodedDesign {
+    /// The dictionary-encoded factorisation.
+    pub factorization: EncodedFactorization,
+    /// Code-indexed feature columns.
+    pub features: EncodedFeatureMap,
+    /// The decomposed aggregates over codes.
+    pub aggregates: EncodedAggregates,
+}
+
+impl EncodedDesign {
+    /// Encode a `Value`-keyed factorisation + feature map and compute the
+    /// aggregates from scratch (callers with a drill-down session use its
+    /// cache instead).
+    pub fn build(fact: &Factorization, features: &FeatureMap) -> Self {
+        let factorization = EncodedFactorization::encode(fact);
+        let features = EncodedFeatureMap::encode(features, &factorization);
+        let aggregates = EncodedAggregates::compute(&factorization);
+        EncodedDesign {
+            factorization,
+            features,
+            aggregates,
+        }
+    }
+
+    /// Assemble from pre-encoded parts (the drill-down session path).
+    pub fn from_parts(
+        factorization: EncodedFactorization,
+        aggregates: EncodedAggregates,
+        features: &FeatureMap,
+    ) -> Self {
+        let features = EncodedFeatureMap::encode(features, &factorization);
+        EncodedDesign {
+            factorization,
+            features,
+            aggregates,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Factorised operators on codes (Algorithms 2–4)
+// ---------------------------------------------------------------------------
+
+/// Factorised gram matrix `Xᵀ·X` (Algorithm 2) on the encoded backend.
+pub fn gram(aggs: &EncodedAggregates, features: &EncodedFeatureMap) -> Matrix {
+    let m = aggs.n_cols();
+    let mut out = Matrix::zeros(m, m);
+    for p in 0..m {
+        let fp = features.column(p);
+        let diag = aggs.repetitions(p)
+            * aggs.count_weighted_sum(p, |code| {
+                let f = fp[code];
+                f * f
+            });
+        out.set(p, p, diag);
+        for q in (p + 1)..m {
+            let val = aggs.repetitions(p) * aggs.cof_weighted_sum(p, q, fp, features.column(q));
+            out.set(p, q, val);
+            out.set(q, p, val);
+        }
+    }
+    out
+}
+
+/// Factorised left multiplication `A·X` (Algorithm 3) on the encoded backend.
+pub fn left_mult(a: &Matrix, aggs: &EncodedAggregates, features: &EncodedFeatureMap) -> Matrix {
+    let m = aggs.n_cols();
+    let n = aggs.grand_total() as usize;
+    assert_eq!(
+        a.cols(),
+        n,
+        "left operand must have as many columns as the factorised matrix has rows"
+    );
+    let mut out = Matrix::zeros(a.rows(), m);
+    for i in 0..a.rows() {
+        let prefix = PrefixSum::new(a.row(i));
+        for p in 0..m {
+            let (runs, scale) = aggs.block_runs_raw(p);
+            let fp = features.column(p);
+            let reps = aggs.repetitions(p) as usize;
+            let mut acc = 0.0;
+            let mut start = 0usize;
+            for _ in 0..reps {
+                for &(code, count) in runs {
+                    let len = (count * scale) as usize;
+                    let range = prefix.range_sum(start, start + len);
+                    acc += fp[code as usize] * range;
+                    start += len;
+                }
+            }
+            debug_assert_eq!(start, n);
+            out.set(i, p, acc);
+        }
+    }
+    out
+}
+
+/// `Xᵀ·v` for a column vector `v`, via the factorised left multiplication.
+pub fn transpose_vec_mult(
+    v: &[f64],
+    aggs: &EncodedAggregates,
+    features: &EncodedFeatureMap,
+) -> Vec<f64> {
+    let row = Matrix::row_vector(v);
+    let res = left_mult(&row, aggs, features);
+    res.row(0).to_vec()
+}
+
+/// The changes between two consecutive rows of the conceptual matrix, in
+/// code space.
+#[derive(Debug, Clone)]
+pub struct EncodedRowDelta {
+    /// Index of the row these changes produce.
+    pub row: usize,
+    /// `(column, new code)` pairs in increasing column order; the first row
+    /// lists every column.
+    pub changes: Vec<(usize, u32)>,
+}
+
+/// Delta-based row iterator (Algorithm 1) over an [`EncodedFactorization`].
+#[derive(Debug)]
+pub struct EncodedRowIter<'a> {
+    fact: &'a EncodedFactorization,
+    indices: Vec<usize>,
+    row: usize,
+    n_rows: usize,
+}
+
+impl<'a> EncodedRowIter<'a> {
+    /// Create an iterator positioned before the first row.
+    pub fn new(fact: &'a EncodedFactorization) -> Self {
+        EncodedRowIter {
+            fact,
+            indices: vec![0; fact.factors().len()],
+            row: 0,
+            n_rows: fact.n_rows(),
+        }
+    }
+
+    fn first_row_delta(&self) -> EncodedRowDelta {
+        let mut changes = Vec::with_capacity(self.fact.n_cols());
+        for (h, factor) in self.fact.factors().iter().enumerate() {
+            for level in 0..factor.depth() {
+                changes.push((self.fact.column_of(h, level), factor.code(level, 0)));
+            }
+        }
+        EncodedRowDelta { row: 0, changes }
+    }
+}
+
+impl<'a> Iterator for EncodedRowIter<'a> {
+    type Item = EncodedRowDelta;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.row >= self.n_rows || self.n_rows == 0 {
+            return None;
+        }
+        if self.row == 0 {
+            self.row = 1;
+            return Some(self.first_row_delta());
+        }
+        // Advance the mixed-radix counter (last hierarchy fastest) and record
+        // which hierarchies changed path.
+        let mut changed: Vec<(usize, usize, usize)> = Vec::new();
+        let mut h = self.fact.factors().len();
+        while h > 0 {
+            h -= 1;
+            let leafs = self.fact.factors()[h].leaf_count();
+            let old = self.indices[h];
+            let new = (old + 1) % leafs;
+            self.indices[h] = new;
+            changed.push((h, old, new));
+            if new != 0 {
+                break;
+            }
+        }
+        let mut changes: Vec<(usize, u32)> = Vec::new();
+        for (h, old, new) in changed {
+            let factor = &self.fact.factors()[h];
+            for level in 0..factor.depth() {
+                let new_code = factor.code(level, new);
+                if factor.code(level, old) != new_code {
+                    changes.push((self.fact.column_of(h, level), new_code));
+                }
+            }
+        }
+        changes.sort_by_key(|(c, _)| *c);
+        let delta = EncodedRowDelta {
+            row: self.row,
+            changes,
+        };
+        self.row += 1;
+        Some(delta)
+    }
+}
+
+/// Factorised right multiplication `X·A` (Algorithm 4) on the encoded
+/// backend, updating each output row incrementally from the previous one.
+pub fn right_mult(fact: &EncodedFactorization, features: &EncodedFeatureMap, a: &Matrix) -> Matrix {
+    let m = fact.n_cols();
+    let n = fact.n_rows();
+    assert_eq!(
+        a.rows(),
+        m,
+        "right operand must have as many rows as the factorised matrix has columns"
+    );
+    let p = a.cols();
+    let mut out = Matrix::zeros(n, p);
+    let mut current = vec![0.0f64; m];
+    let mut dots = vec![0.0f64; p];
+    for delta in EncodedRowIter::new(fact) {
+        for &(col, code) in &delta.changes {
+            let new_f = features.value(col, code);
+            let old_f = current[col];
+            if new_f != old_f {
+                for (j, d) in dots.iter_mut().enumerate() {
+                    *d += (new_f - old_f) * a.get(col, j);
+                }
+                current[col] = new_f;
+            }
+        }
+        for (j, d) in dots.iter().enumerate() {
+            out.set(delta.row, j, *d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregates::DecomposedAggregates;
+    use crate::ops;
+
+    fn paper_example() -> (Factorization, FeatureMap) {
+        let time = HierarchyFactor::from_paths(
+            "time",
+            vec![AttrId(0)],
+            vec![vec![Value::str("t1")], vec![Value::str("t2")]],
+        );
+        let geo = HierarchyFactor::from_paths(
+            "geo",
+            vec![AttrId(1), AttrId(2)],
+            vec![
+                vec![Value::str("d1"), Value::str("v1")],
+                vec![Value::str("d1"), Value::str("v2")],
+                vec![Value::str("d2"), Value::str("v3")],
+            ],
+        );
+        let fact = Factorization::new(vec![time, geo]);
+        let mut features = FeatureMap::zeros(3);
+        features.set(0, Value::str("t1"), 1.5);
+        features.set(0, Value::str("t2"), 3.0);
+        features.set(1, Value::str("d1"), 4.0);
+        features.set(1, Value::str("d2"), -1.0);
+        features.set(2, Value::str("v1"), 1.25);
+        features.set(2, Value::str("v2"), 0.25);
+        features.set(2, Value::str("v3"), 5.0);
+        (fact, features)
+    }
+
+    fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn encoding_round_trips_through_dictionaries() {
+        let (fact, _) = paper_example();
+        let enc = EncodedFactorization::encode(&fact);
+        assert_eq!(enc.n_cols(), fact.n_cols());
+        assert_eq!(enc.n_rows(), fact.n_rows());
+        for (h, factor) in fact.hierarchies().iter().enumerate() {
+            let ef = &enc.factors()[h];
+            for level in 0..factor.depth() {
+                for (i, path) in factor.paths.iter().enumerate() {
+                    let code = ef.code(level, i);
+                    assert_eq!(ef.levels[level].dict.value(code), &path[level]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_aggregates_are_bit_identical_to_legacy() {
+        let (fact, _) = paper_example();
+        let legacy = DecomposedAggregates::compute(&fact);
+        let enc = EncodedFactorization::encode(&fact);
+        let encoded = EncodedAggregates::compute(&enc);
+        assert_eq!(legacy.grand_total(), encoded.grand_total());
+        for c in 0..fact.n_cols() {
+            assert_eq!(legacy.total(c), encoded.total(c));
+            assert_eq!(legacy.repetitions(c), encoded.repetitions(c));
+            let (desc, scale) = encoded.counts_raw(c);
+            let legacy_counts = legacy.counts(c);
+            assert_eq!(legacy_counts.len(), desc.len());
+            for ((value, lc), (code, ec)) in legacy_counts.iter().zip(desc.iter().enumerate()) {
+                assert_eq!(enc.dict(c).value(code as u32), value);
+                assert_eq!(*lc, ec * scale);
+                assert_eq!(legacy.count(c, value), encoded.count(c, code as u32));
+            }
+            let (runs, rscale) = encoded.block_runs_raw(c);
+            let legacy_runs = legacy.block_runs(c);
+            assert_eq!(legacy_runs.len(), runs.len());
+            for ((lv, lc), &(code, rc)) in legacy_runs.iter().zip(runs) {
+                assert_eq!(enc.dict(c).value(code), lv);
+                assert_eq!(*lc, rc * rscale);
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_ops_are_bit_identical_to_legacy_ops() {
+        let (fact, features) = paper_example();
+        let legacy = DecomposedAggregates::compute(&fact);
+        let enc = EncodedFactorization::encode(&fact);
+        let encoded = EncodedAggregates::compute(&enc);
+        let enc_features = EncodedFeatureMap::encode(&features, &enc);
+
+        assert_eq!(ops::gram(&legacy, &features), gram(&encoded, &enc_features));
+
+        let a = pseudo_random(3, fact.n_rows(), 5);
+        assert_eq!(
+            ops::left_mult(&a, &legacy, &features),
+            left_mult(&a, &encoded, &enc_features)
+        );
+
+        let b = pseudo_random(fact.n_cols(), 2, 17);
+        assert_eq!(
+            ops::right_mult(&fact, &features, &b),
+            right_mult(&enc, &enc_features, &b)
+        );
+
+        let v: Vec<f64> = (0..fact.n_rows()).map(|i| i as f64 * 0.5 - 1.0).collect();
+        assert_eq!(
+            ops::transpose_vec_mult(&v, &legacy, &features),
+            transpose_vec_mult(&v, &encoded, &enc_features)
+        );
+    }
+
+    #[test]
+    fn encoded_row_iter_mirrors_value_row_iter() {
+        let (fact, _) = paper_example();
+        let enc = EncodedFactorization::encode(&fact);
+        let legacy: Vec<crate::row_iter::RowDelta> = crate::RowIter::new(&fact).collect();
+        let encoded: Vec<EncodedRowDelta> = EncodedRowIter::new(&enc).collect();
+        assert_eq!(legacy.len(), encoded.len());
+        for (l, e) in legacy.iter().zip(&encoded) {
+            assert_eq!(l.row, e.row);
+            assert_eq!(l.changes.len(), e.changes.len());
+            for ((lc, lv), &(ec, code)) in l.changes.iter().zip(&e.changes) {
+                assert_eq!(*lc, ec);
+                assert_eq!(enc.dict(ec).value(code), lv);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_factor_is_handled() {
+        let empty = HierarchyFactor::from_paths("empty", vec![AttrId(0)], Vec::new());
+        let enc = EncodedFactorization::encode(&Factorization::new(vec![empty]));
+        assert_eq!(enc.n_rows(), 0);
+        let aggs = EncodedAggregates::compute(&enc);
+        assert_eq!(aggs.grand_total(), 0.0);
+        assert_eq!(EncodedRowIter::new(&enc).count(), 0);
+    }
+}

@@ -16,6 +16,11 @@
 //!   multiplication (Algorithms 2–4);
 //! * [`cluster`] — the per-cluster operator variants (Appendix E/F) used by
 //!   the EM algorithm's random-effect updates;
+//! * [`encoded`] — the dictionary-encoded columnar backend: per-level
+//!   [`ValueDict`](reptile_relational::ValueDict)s map values to dense `u32`
+//!   codes so the aggregate batch and the operators run on flat `Vec<f64>`
+//!   indexing instead of `BTreeMap<Value, _>` lookups, bit-identically to the
+//!   `Value`-keyed path;
 //! * [`lmfao`] — an LMFAO-style baseline that computes the same aggregate
 //!   batch without cross-hierarchy independence or work sharing (Figure 8);
 //! * [`drilldown`] — the O(1) cross-hierarchy updates and caching performed
@@ -24,6 +29,7 @@
 pub mod aggregates;
 pub mod cluster;
 pub mod drilldown;
+pub mod encoded;
 pub mod factorization;
 pub mod feature;
 pub mod lmfao;
@@ -32,7 +38,11 @@ pub mod row_iter;
 
 pub use aggregates::DecomposedAggregates;
 pub use cluster::ClusterPartition;
-pub use drilldown::{DrilldownMode, DrilldownSession};
+pub use drilldown::{AggregateSource, DrilldownMode, DrilldownSession, FreshAggregates};
+pub use encoded::{
+    EncodedAggregates, EncodedDesign, EncodedFactor, EncodedFactorization, EncodedFeatureMap,
+    EncodedHierarchyAggregates, EncodedRowIter, FactorBackend,
+};
 pub use factorization::{AttrPosition, Factorization, HierarchyFactor};
 pub use feature::FeatureMap;
 pub use row_iter::RowIter;

@@ -1,0 +1,243 @@
+//! Cholesky decomposition for symmetric positive-definite systems.
+//!
+//! The EM algorithm of Appendix D repeatedly inverts gram-style matrices —
+//! `XᵀX`, `Z_iᵀZ_i/σ² + Σ⁻¹`, `Σ` — all of which are symmetric positive
+//! (semi-)definite once the ridge is added. Cholesky (`A = L·Lᵀ`) factors
+//! them in half the flops of LU with no pivoting or permutation bookkeeping,
+//! so it is the preferred path; callers fall back to LU when a matrix turns
+//! out not to be SPD (see [`invert_spd_with_ridge`]).
+
+use crate::dense::Matrix;
+use crate::{LinalgError, Result};
+
+/// A Cholesky factorisation `A = L·Lᵀ` of a symmetric positive-definite
+/// matrix (only the lower triangle of `A` is read).
+#[derive(Debug, Clone)]
+pub struct CholeskyDecomposition {
+    /// Lower-triangular factor `L` (entries above the diagonal are zero).
+    l: Matrix,
+}
+
+impl CholeskyDecomposition {
+    /// Factorise a square SPD matrix. Returns [`LinalgError::Singular`] if a
+    /// diagonal pivot is not strictly positive — the caller's signal that the
+    /// matrix is not (numerically) SPD and LU should be used instead.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let n = a.rows();
+        if a.rows() != a.cols() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let mut d = a.get(j, j);
+            for k in 0..j {
+                let v = l.get(j, k);
+                d -= v * v;
+            }
+            // Non-positive (or NaN) pivot: not numerically SPD.
+            if !d.is_finite() || d <= 1e-12 {
+                return Err(LinalgError::Singular);
+            }
+            let diag = d.sqrt();
+            l.set(j, j, diag);
+            for i in (j + 1)..n {
+                let mut v = a.get(i, j);
+                for k in 0..j {
+                    v -= l.get(i, k) * l.get(j, k);
+                }
+                l.set(i, j, v / diag);
+            }
+        }
+        Ok(CholeskyDecomposition { l })
+    }
+
+    /// Dimension of the factorised matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `A x = b` for a single right-hand-side vector: forward
+    /// substitution with `L`, backward with `Lᵀ`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // L y = b
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut v = b[i];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                v -= self.l.get(i, j) * yj;
+            }
+            y[i] = v / self.l.get(i, i);
+        }
+        // Lᵀ x = y
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut v = y[i];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                v -= self.l.get(j, i) * xj;
+            }
+            x[i] = v / self.l.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Solve `A X = B` for a matrix right-hand side.
+    pub fn solve(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for c in 0..b.cols() {
+            for (v, bv) in col.iter_mut().zip(b.col_iter(c)) {
+                *v = bv;
+            }
+            let x = self.solve_vec(&col)?;
+            for (r, v) in x.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The inverse of the factorised matrix.
+    pub fn inverse(&self) -> Result<Matrix> {
+        self.solve(&Matrix::identity(self.dim()))
+    }
+
+    /// The determinant (product of squared diagonal entries of `L`).
+    pub fn determinant(&self) -> f64 {
+        let mut det = 1.0;
+        for i in 0..self.dim() {
+            let d = self.l.get(i, i);
+            det *= d * d;
+        }
+        det
+    }
+}
+
+/// Invert a symmetric positive-definite matrix, adding `ridge` to the
+/// diagonal first. Tries Cholesky; if the (ridged) matrix is not numerically
+/// SPD, falls back to the pivoted-LU path of
+/// [`invert_with_ridge`](crate::lu::invert_with_ridge), which also handles
+/// the indefinite case.
+pub fn invert_spd_with_ridge(a: &Matrix, ridge: f64) -> Result<Matrix> {
+    let mut reg = a.clone();
+    if ridge != 0.0 {
+        for i in 0..a.rows().min(a.cols()) {
+            reg.add_at(i, i, ridge);
+        }
+    }
+    match CholeskyDecomposition::new(&reg) {
+        Ok(chol) => chol.inverse(),
+        Err(LinalgError::Singular) => crate::lu::invert_with_ridge(a, ridge),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::{invert_with_ridge, LuDecomposition};
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // B·Bᵀ + n·I is SPD for any B.
+        let mut s = seed;
+        let b = Matrix::from_fn(n, n, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0
+        });
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a.add_at(i, i, n as f64);
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd(5, 3);
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let back = chol.l().matmul(&chol.l().transpose()).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn solve_and_inverse_match_lu() {
+        for n in 1..=6 {
+            let a = spd(n, 11 + n as u64);
+            let chol = CholeskyDecomposition::new(&a).unwrap();
+            let lu = LuDecomposition::new(&a).unwrap();
+            let b: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+            let xc = chol.solve_vec(&b).unwrap();
+            let xl = lu.solve_vec(&b).unwrap();
+            for (c, l) in xc.iter().zip(&xl) {
+                assert!((c - l).abs() < 1e-9);
+            }
+            let inv = chol.inverse().unwrap();
+            let prod = a.matmul(&inv).unwrap();
+            assert!(prod.max_abs_diff(&Matrix::identity(n)) < 1e-9);
+            assert!((chol.determinant() - lu.determinant()).abs() < 1e-6 * lu.determinant());
+        }
+    }
+
+    #[test]
+    fn non_spd_matrix_is_rejected() {
+        // Symmetric but indefinite (negative eigenvalue).
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(matches!(
+            CholeskyDecomposition::new(&a),
+            Err(LinalgError::Singular)
+        ));
+        let nonsquare = Matrix::zeros(2, 3);
+        assert!(matches!(
+            CholeskyDecomposition::new(&nonsquare),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn spd_inversion_falls_back_to_lu() {
+        // Indefinite matrix: Cholesky refuses, LU fallback succeeds.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let inv = invert_spd_with_ridge(&a, 0.0).unwrap();
+        let expected = invert_with_ridge(&a, 0.0).unwrap();
+        assert!(inv.max_abs_diff(&expected) < 1e-12);
+        // SPD matrix: result matches the LU inverse to machine precision.
+        let a = spd(4, 7);
+        let inv = invert_spd_with_ridge(&a, 1e-8).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        // the ridge perturbs the inverse by ~1e-8
+        assert!(prod.max_abs_diff(&Matrix::identity(4)) < 1e-6);
+    }
+
+    #[test]
+    fn shape_errors_on_solve() {
+        let a = spd(3, 1);
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        assert!(chol.solve_vec(&[1.0]).is_err());
+        assert!(chol.solve(&Matrix::zeros(2, 2)).is_err());
+    }
+}

@@ -113,9 +113,27 @@ impl Matrix {
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Copy one column out.
+    /// Copy one column out. Prefer [`Matrix::col_iter`] in loops — this
+    /// allocates a fresh `Vec` per call.
     pub fn col(&self, c: usize) -> Vec<f64> {
         (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Borrowing strided iterator over one column (no allocation).
+    pub fn col_iter(&self, c: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(
+            c < self.cols || self.rows == 0,
+            "column {c} out of range for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        self.data.iter().skip(c).step_by(self.cols.max(1)).copied()
+    }
+
+    /// Consume the matrix and return its flat row-major data. For an `n × 1`
+    /// column vector this *is* the column, without the copy `col(0)` pays.
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
     }
 
     /// Flat row-major data.
@@ -303,6 +321,9 @@ mod tests {
         assert_eq!(m.get(2, 1), 6.0);
         assert_eq!(m.row(1), &[3.0, 4.0]);
         assert_eq!(m.col(0), vec![1.0, 3.0, 5.0]);
+        assert_eq!(m.col_iter(0).collect::<Vec<_>>(), vec![1.0, 3.0, 5.0]);
+        assert_eq!(m.col_iter(1).collect::<Vec<_>>(), vec![2.0, 4.0, 6.0]);
+        assert_eq!(m.clone().into_data(), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         let id = Matrix::identity(3);
         assert_eq!(id.trace().unwrap(), 3.0);
         let v = Matrix::column_vector(&[1.0, 2.0]);

@@ -8,11 +8,13 @@
 //! factorised counterparts live in the `reptile-factor` crate and are verified
 //! against these implementations by property tests.
 
+pub mod cholesky;
 pub mod dense;
 pub mod lu;
 pub mod naive;
 pub mod prefix;
 
+pub use cholesky::{invert_spd_with_ridge, CholeskyDecomposition};
 pub use dense::Matrix;
 pub use lu::LuDecomposition;
 pub use prefix::PrefixSum;

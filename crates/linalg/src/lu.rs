@@ -115,8 +115,11 @@ impl LuDecomposition {
             });
         }
         let mut out = Matrix::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
         for c in 0..b.cols() {
-            let col: Vec<f64> = (0..n).map(|r| b.get(r, c)).collect();
+            for (v, bv) in col.iter_mut().zip(b.col_iter(c)) {
+                *v = bv;
+            }
             let x = self.solve_vec(&col)?;
             for (r, v) in x.into_iter().enumerate() {
                 out.set(r, c, v);

@@ -4,10 +4,12 @@
 use crate::features::{main_effects, normalize, FeaturePlan};
 use crate::{ModelError, Result};
 use reptile_factor::{
-    ClusterPartition, DecomposedAggregates, Factorization, FeatureMap, HierarchyFactor,
+    AggregateSource, ClusterPartition, DecomposedAggregates, EncodedDesign, FactorBackend,
+    Factorization, FeatureMap, FreshAggregates, HierarchyFactor,
 };
 use reptile_relational::{AggregateKind, AttrId, GroupKey, Schema, Value, View};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// What response value to assign to drill-down groups that have no data
 /// (the "empty groups" of the worst-case analysis in Section 5.1.4).
@@ -39,11 +41,19 @@ struct ColumnSpec {
 }
 
 /// A complete training design: factorised feature matrix, response, clusters.
+///
+/// The design carries the factor data for *both* execution backends: the one
+/// the builder was configured with is populated eagerly (through the
+/// drill-down session cache when one is threaded in); the other is derived
+/// lazily on first access so backends can always be compared on the same
+/// design.
 #[derive(Debug, Clone)]
 pub struct TrainingDesign {
     factorization: Factorization,
     features: FeatureMap,
-    aggregates: DecomposedAggregates,
+    backend: FactorBackend,
+    aggregates: OnceLock<DecomposedAggregates>,
+    encoded: OnceLock<EncodedDesign>,
     clusters: ClusterPartition,
     y: Vec<f64>,
     observed: Vec<bool>,
@@ -74,9 +84,23 @@ impl TrainingDesign {
         &self.features
     }
 
-    /// The decomposed aggregates of the factorisation.
+    /// The backend this design was built for.
+    pub fn factor_backend(&self) -> FactorBackend {
+        self.backend
+    }
+
+    /// The legacy `Value`-keyed decomposed aggregates of the factorisation
+    /// (computed lazily when the design was built for the encoded backend).
     pub fn aggregates(&self) -> &DecomposedAggregates {
-        &self.aggregates
+        self.aggregates
+            .get_or_init(|| DecomposedAggregates::compute(&self.factorization))
+    }
+
+    /// The dictionary-encoded factorisation, features and aggregates
+    /// (computed lazily when the design was built for the legacy backend).
+    pub fn encoded(&self) -> &EncodedDesign {
+        self.encoded
+            .get_or_init(|| EncodedDesign::build(&self.factorization, &self.features))
     }
 
     /// The cluster partition used for the random effects.
@@ -141,7 +165,8 @@ pub struct DesignBuilder<'a, 'g> {
     statistic: AggregateKind,
     plan: FeaturePlan,
     empty_policy: EmptyGroupPolicy,
-    aggregate_source: Option<&'g mut dyn FnMut(&Factorization) -> DecomposedAggregates>,
+    backend: FactorBackend,
+    aggregate_source: Option<&'g mut dyn AggregateSource>,
 }
 
 impl<'a, 'g> DesignBuilder<'a, 'g> {
@@ -155,6 +180,7 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             statistic,
             plan: FeaturePlan::none(),
             empty_policy: EmptyGroupPolicy::GlobalMean,
+            backend: FactorBackend::default(),
             aggregate_source: None,
         }
     }
@@ -172,14 +198,20 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
         self
     }
 
+    /// Choose which factor backend the design precomputes (default:
+    /// [`FactorBackend::Encoded`]). The other backend's data stays derivable
+    /// lazily, so equivalence tests and benchmarks can always compare both.
+    pub fn with_factor_backend(mut self, backend: FactorBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// Obtain the decomposed aggregates from `source` instead of computing
     /// them from scratch. Engines use this to thread a
     /// [`reptile_factor::DrilldownSession`] through successive invocations so
-    /// that unchanged hierarchies are served from its cache.
-    pub fn with_aggregate_source(
-        mut self,
-        source: &'g mut dyn FnMut(&Factorization) -> DecomposedAggregates,
-    ) -> Self {
+    /// that unchanged hierarchies are served from its cache — on the encoded
+    /// backend a cache hit also skips the dictionary-encoding pass.
+    pub fn with_aggregate_source(mut self, source: &'g mut dyn AggregateSource) -> Self {
         self.aggregate_source = Some(source);
         self
     }
@@ -190,13 +222,13 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
         self,
         session: &mut reptile_factor::DrilldownSession,
     ) -> Result<TrainingDesign> {
-        let mut source = |fact: &Factorization| session.aggregates(fact);
         let DesignBuilder {
             view,
             schema,
             statistic,
             plan,
             empty_policy,
+            backend,
             aggregate_source: _,
         } = self;
         DesignBuilder {
@@ -205,7 +237,8 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             statistic,
             plan,
             empty_policy,
-            aggregate_source: Some(&mut source),
+            backend,
+            aggregate_source: Some(session),
         }
         .build()
     }
@@ -274,18 +307,20 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
                     attrs.push(extra.attr);
                 }
             }
-            // Build paths from the distinct group-key projections.
-            let mut paths: Vec<Vec<Value>> = view
+            // Build paths from the distinct group-key projections. Sort and
+            // de-duplicate *borrowed* projections first so only the distinct
+            // paths are cloned (the view iterates groups in sorted key order,
+            // so the sort is nearly linear).
+            let mut proj: Vec<Vec<&Value>> = view
                 .groups()
-                .map(|(key, _)| {
-                    specs
-                        .iter()
-                        .map(|s| key.value(s.gb_index).clone())
-                        .collect()
-                })
+                .map(|(key, _)| specs.iter().map(|s| key.value(s.gb_index)).collect())
                 .collect();
-            paths.sort();
-            paths.dedup();
+            proj.sort();
+            proj.dedup();
+            let paths: Vec<Vec<Value>> = proj
+                .into_iter()
+                .map(|p| p.into_iter().cloned().collect())
+                .collect();
             factors.push(HierarchyFactor::from_paths(
                 hierarchy.name.clone(),
                 attrs,
@@ -309,9 +344,16 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
         for (c, spec) in columns.iter().enumerate() {
             match &spec.kind {
                 ColumnKind::Base if spec.gb_index == drilled_gb_index => {
+                    // The drilled attribute's domain is already materialised
+                    // as a level of the last hierarchy factor — walk the
+                    // distinct paths instead of every view group.
+                    let last = factorization
+                        .hierarchies()
+                        .last()
+                        .expect("drilled hierarchy present");
                     let mut constant = BTreeMap::new();
-                    for (key, _) in view.groups() {
-                        constant.insert(key.value(spec.gb_index).clone(), 1.0);
+                    for path in &last.paths {
+                        constant.insert(path[drilled_level_in_last].clone(), 1.0);
                     }
                     features.set_column(c, constant);
                 }
@@ -334,20 +376,71 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             }
         }
 
-        // Response vector aligned with the factorisation's row order.
+        // Response vector aligned with the factorisation's row order. The
+        // view iterates groups in sorted key order, so per-hierarchy path
+        // indices are memoized across consecutive groups and re-resolved with
+        // *borrowed* comparisons — no per-group `Vec<Value>` clone, and a
+        // hierarchy whose projection did not change costs one equality check
+        // instead of a binary search.
         let mut y = vec![f64::NAN; n];
         let mut observed = vec![false; n];
         let col_gb_index: Vec<usize> = columns.iter().map(|c| c.gb_index).collect();
+        // group-by indices feeding each hierarchy's levels, in level order
+        // (columns were pushed hierarchy by hierarchy, so this is a split of
+        // `col_gb_index` at the hierarchy offsets)
+        let hier_gb: Vec<Vec<usize>> = {
+            let mut it = col_gb_index.iter().copied();
+            factorization
+                .hierarchies()
+                .iter()
+                .map(|f| {
+                    (0..f.depth())
+                        .map(|_| it.next().expect("column per level"))
+                        .collect()
+                })
+                .collect()
+        };
         let mut sum = 0.0;
         let mut seen = 0.0;
-        for (key, agg) in view.groups() {
-            let values: Vec<Value> = col_gb_index.iter().map(|&i| key.value(i).clone()).collect();
-            if let Some(row) = factorization.row_index_of(&values) {
-                let value = agg.value(self.statistic);
-                y[row] = value;
-                observed[row] = true;
-                sum += value;
-                seen += 1.0;
+        {
+            let hierarchies = factorization.hierarchies();
+            let mut last_idx: Vec<Option<usize>> = vec![None; hierarchies.len()];
+            let mut prev_key: Option<&GroupKey> = None;
+            for (key, agg) in view.groups() {
+                let mut row = Some(0usize);
+                for (h, factor) in hierarchies.iter().enumerate() {
+                    let gbs = &hier_gb[h];
+                    let changed = match prev_key {
+                        Some(pk) => gbs.iter().any(|&g| pk.value(g) != key.value(g)),
+                        None => true,
+                    };
+                    if changed {
+                        last_idx[h] = factor
+                            .paths
+                            .binary_search_by(|p| {
+                                for (level, &g) in gbs.iter().enumerate() {
+                                    match p[level].cmp(key.value(g)) {
+                                        std::cmp::Ordering::Equal => continue,
+                                        other => return other,
+                                    }
+                                }
+                                std::cmp::Ordering::Equal
+                            })
+                            .ok();
+                    }
+                    row = match (row, last_idx[h]) {
+                        (Some(r), Some(idx)) => Some(r * factor.leaf_count() + idx),
+                        _ => None,
+                    };
+                }
+                prev_key = Some(key);
+                if let Some(row) = row {
+                    let value = agg.value(self.statistic);
+                    y[row] = value;
+                    observed[row] = true;
+                    sum += value;
+                    seen += 1.0;
+                }
             }
         }
         let fill = match self.empty_policy {
@@ -375,23 +468,46 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             .collect();
 
         // Cluster partition: the drilled attribute and everything after it in
-        // the last hierarchy vary within a cluster.
+        // the last hierarchy vary within a cluster. The partition and the
+        // decomposed aggregates are built on the configured factor backend;
+        // both backends produce bit-identical numbers.
         let last_depth = factorization
             .hierarchies()
             .last()
             .map(|h| h.depth())
             .unwrap_or(1);
         let intra_levels = last_depth - drilled_level_in_last;
-        let clusters = ClusterPartition::with_intra_levels(&factorization, &features, intra_levels);
-        let aggregates = match self.aggregate_source.as_mut() {
-            Some(source) => source(&factorization),
-            None => DecomposedAggregates::compute(&factorization),
+        let mut fresh = FreshAggregates;
+        let source: &mut dyn AggregateSource = match self.aggregate_source.as_mut() {
+            Some(source) => *source,
+            None => &mut fresh,
+        };
+        let aggregates = OnceLock::new();
+        let encoded = OnceLock::new();
+        let clusters = match self.backend {
+            FactorBackend::Encoded => {
+                let (enc_fact, enc_aggs) = source.encoded_aggregates(&factorization);
+                let design = EncodedDesign::from_parts(enc_fact, enc_aggs, &features);
+                let clusters = ClusterPartition::from_encoded(
+                    &design.factorization,
+                    &design.features,
+                    intra_levels,
+                );
+                let _ = encoded.set(design);
+                clusters
+            }
+            FactorBackend::Legacy => {
+                let _ = aggregates.set(source.legacy_aggregates(&factorization));
+                ClusterPartition::with_intra_levels(&factorization, &features, intra_levels)
+            }
         };
 
         Ok(TrainingDesign {
             factorization,
             features,
+            backend: self.backend,
             aggregates,
+            encoded,
             clusters,
             y,
             observed,

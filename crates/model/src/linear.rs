@@ -6,8 +6,8 @@
 
 use crate::design::TrainingDesign;
 use crate::Result;
-use reptile_factor::ops;
-use reptile_linalg::lu::invert_with_ridge;
+use reptile_factor::{encoded, ops, FactorBackend};
+use reptile_linalg::cholesky::invert_spd_with_ridge;
 use reptile_linalg::Matrix;
 
 /// A fitted ordinary-least-squares model.
@@ -24,13 +24,26 @@ pub struct LinearModel {
 }
 
 impl LinearModel {
-    /// Fit by OLS using the factorised gram matrix and `Xᵀy`.
+    /// Fit by OLS using the factorised gram matrix and `Xᵀy`, on whichever
+    /// factor backend the design was built for (both are bit-identical).
     pub fn fit(design: &TrainingDesign) -> Result<Self> {
-        let gram = ops::gram(design.aggregates(), design.features());
-        let gram_inv = invert_with_ridge(&gram, 1e-8)?;
-        let xty = ops::transpose_vec_mult(design.y(), design.aggregates(), design.features());
+        let (gram, xty) = match design.factor_backend() {
+            FactorBackend::Encoded => {
+                let enc = design.encoded();
+                (
+                    encoded::gram(&enc.aggregates, &enc.features),
+                    encoded::transpose_vec_mult(design.y(), &enc.aggregates, &enc.features),
+                )
+            }
+            FactorBackend::Legacy => (
+                ops::gram(design.aggregates(), design.features()),
+                ops::transpose_vec_mult(design.y(), design.aggregates(), design.features()),
+            ),
+        };
+        // The gram matrix is SPD once ridged: Cholesky with LU fallback.
+        let gram_inv = invert_spd_with_ridge(&gram, 1e-8)?;
         let beta_mat = gram_inv.matmul(&Matrix::column_vector(&xty))?;
-        let beta: Vec<f64> = beta_mat.col(0);
+        let beta: Vec<f64> = beta_mat.into_data();
         let fitted = design.clusters().right_mult_shared_vec(&beta);
         let rss: f64 = design
             .y()
@@ -63,6 +76,9 @@ impl LinearModel {
 mod tests {
     use super::*;
     use crate::design::DesignBuilder;
+    // The dense reference solve deliberately stays on the pivoted-LU path so
+    // it is independent of the Cholesky code under test.
+    use reptile_linalg::lu::invert_with_ridge;
     use reptile_relational::{AggregateKind, Predicate, Relation, Schema, Value, View};
     use std::sync::Arc;
 

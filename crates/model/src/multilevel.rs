@@ -6,18 +6,27 @@
 //! village); `Z_i` defaults to `X_i` restricted to the design's
 //! random-effect columns.
 //!
-//! Two training backends are provided:
+//! Three training backends are provided:
 //! * [`TrainingBackend::Factorized`] — every `X`-involving product goes
 //!   through the factorised operators (gram, left/right multiplication,
-//!   per-cluster variants); the feature matrix is never materialised.
+//!   per-cluster variants) running on the dictionary-encoded columnar
+//!   representation; the feature matrix is never materialised.
+//! * [`TrainingBackend::FactorizedLegacy`] — the same factorised algorithm
+//!   over the `Value`-keyed `BTreeMap` aggregates (the original path, kept
+//!   for honest baselines; bit-identical results to `Factorized`).
 //! * [`TrainingBackend::Materialized`] — the "Matlab/LAPACK style" baseline
 //!   used in Figure 10: the feature matrix is fully materialised and all
 //!   products are dense.
+//!
+//! The gram-style systems inverted by EM (`XᵀX`, `Z_iᵀZ_i/σ² + Σ⁻¹`, `Σ`)
+//! are symmetric positive definite once ridged, so they go through the
+//! Cholesky path of [`invert_spd_with_ridge`], which falls back to pivoted
+//! LU on non-SPD input.
 
 use crate::design::TrainingDesign;
 use crate::{ModelError, Result};
-use reptile_factor::ops;
-use reptile_linalg::lu::invert_with_ridge;
+use reptile_factor::{encoded, ops};
+use reptile_linalg::cholesky::invert_spd_with_ridge;
 use reptile_linalg::Matrix;
 
 /// EM training configuration.
@@ -44,8 +53,10 @@ impl Default for MultilevelConfig {
 /// Which execution path EM uses for matrix products.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TrainingBackend {
-    /// Factorised operators (Reptile).
+    /// Factorised operators over dictionary-encoded codes (Reptile default).
     Factorized,
+    /// Factorised operators over the legacy `Value`-keyed aggregates.
+    FactorizedLegacy,
     /// Fully materialised dense products (Matlab-style baseline).
     Materialized,
 }
@@ -86,7 +97,8 @@ impl MultilevelModel {
         backend: TrainingBackend,
     ) -> Result<Self> {
         match backend {
-            TrainingBackend::Factorized => Self::fit_factorized(design, config),
+            TrainingBackend::Factorized => Self::fit_encoded(design, config),
+            TrainingBackend::FactorizedLegacy => Self::fit_factorized_legacy(design, config),
             TrainingBackend::Materialized => Self::fit_materialized(design, config),
         }
     }
@@ -116,9 +128,51 @@ impl MultilevelModel {
     }
 
     // ------------------------------------------------------------------
-    // Factorised EM
+    // Factorised EM over dictionary-encoded codes (the default)
     // ------------------------------------------------------------------
-    fn fit_factorized(design: &TrainingDesign, config: MultilevelConfig) -> Result<Self> {
+    fn fit_encoded(design: &TrainingDesign, config: MultilevelConfig) -> Result<Self> {
+        if design.n_rows() == 0 {
+            return Err(ModelError::EmptyTrainingData);
+        }
+        let clusters = design.clusters();
+        let z_cols = design.z_columns().to_vec();
+        let m = design.n_cols();
+        let y = design.y();
+        let enc = design.encoded();
+
+        // Precomputed, reused every iteration (Appendix D "Bottleneck").
+        let gram = encoded::gram(&enc.aggregates, &enc.features);
+        let gram_inv = invert_spd_with_ridge(&gram, config.ridge)?;
+        let cluster_grams_full = clusters.grams();
+        let ztz: Vec<Matrix> = cluster_grams_full
+            .iter()
+            .map(|g| select_square(g, &z_cols))
+            .collect();
+
+        let xty = encoded::transpose_vec_mult(y, &enc.aggregates, &enc.features);
+        let xt_residual = |v: &[f64]| -> Vec<f64> {
+            encoded::transpose_vec_mult(v, &enc.aggregates, &enc.features)
+        };
+
+        Self::run_em(EmInputs {
+            y,
+            m,
+            z_cols,
+            gram_inv: &gram_inv,
+            ztz: &ztz,
+            xty: &xty,
+            fitted_fixed: &|beta| clusters.right_mult_shared_vec(beta),
+            zb_concat: &|padded| clusters.right_mult_per_cluster_vec(padded),
+            zt_global: &|v| clusters.left_mult_global_vec(v),
+            xt_vec: &xt_residual,
+            config,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Factorised EM over the legacy Value-keyed aggregates
+    // ------------------------------------------------------------------
+    fn fit_factorized_legacy(design: &TrainingDesign, config: MultilevelConfig) -> Result<Self> {
         if design.n_rows() == 0 {
             return Err(ModelError::EmptyTrainingData);
         }
@@ -129,7 +183,7 @@ impl MultilevelModel {
 
         // Precomputed, reused every iteration (Appendix D "Bottleneck").
         let gram = ops::gram(design.aggregates(), design.features());
-        let gram_inv = invert_with_ridge(&gram, config.ridge)?;
+        let gram_inv = invert_spd_with_ridge(&gram, config.ridge)?;
         let cluster_grams_full = clusters.grams();
         let ztz: Vec<Matrix> = cluster_grams_full
             .iter()
@@ -150,12 +204,7 @@ impl MultilevelModel {
             xty: &xty,
             fitted_fixed: &|beta| clusters.right_mult_shared_vec(beta),
             zb_concat: &|padded| clusters.right_mult_per_cluster_vec(padded),
-            zt_global: &|v| {
-                clusters
-                    .left_mult_global_vec(v)
-                    .into_iter()
-                    .collect::<Vec<Vec<f64>>>()
-            },
+            zt_global: &|v| clusters.left_mult_global_vec(v),
             xt_vec: &xt_residual,
             config,
         })
@@ -175,7 +224,7 @@ impl MultilevelModel {
         let y = design.y();
 
         let gram = x.transpose().matmul(&x)?;
-        let gram_inv = invert_with_ridge(&gram, config.ridge)?;
+        let gram_inv = invert_spd_with_ridge(&gram, config.ridge)?;
         let ztz: Vec<Matrix> = ranges
             .iter()
             .map(|&(s, l)| {
@@ -183,16 +232,16 @@ impl MultilevelModel {
                 select_square(&block.transpose().matmul(&block).unwrap(), &z_cols)
             })
             .collect();
-        let xty_m = x.transpose().matmul(&Matrix::column_vector(y))?;
-        let xty = xty_m.col(0);
+        let xty = x.transpose().matmul(&Matrix::column_vector(y))?.into_data();
 
-        let fitted_fixed =
-            |beta: &[f64]| -> Vec<f64> { x.matmul(&Matrix::column_vector(beta)).unwrap().col(0) };
+        let fitted_fixed = |beta: &[f64]| -> Vec<f64> {
+            x.matmul(&Matrix::column_vector(beta)).unwrap().into_data()
+        };
         let zb_concat = |padded: &[Vec<f64>]| -> Vec<f64> {
             let mut out = Vec::with_capacity(x.rows());
             for (&(s, l), b) in ranges.iter().zip(padded) {
                 let block = x.row_block(s, l);
-                out.extend(block.matmul(&Matrix::column_vector(b)).unwrap().col(0));
+                out.extend(block.matmul(&Matrix::column_vector(b)).unwrap().into_data());
             }
             out
         };
@@ -213,7 +262,7 @@ impl MultilevelModel {
             x.transpose()
                 .matmul(&Matrix::column_vector(v))
                 .unwrap()
-                .col(0)
+                .into_data()
         };
 
         Self::run_em(EmInputs {
@@ -251,7 +300,7 @@ impl MultilevelModel {
         let g = ztz.len();
 
         // Initialise with the OLS solution.
-        let mut beta = gram_inv.matmul(&Matrix::column_vector(xty))?.col(0);
+        let mut beta = gram_inv.matmul(&Matrix::column_vector(xty))?.into_data();
         let mut fitted = fitted_fixed(&beta);
         let mut sigma2 = residual_ss(y, &fitted) / n.max(1) as f64;
         sigma2 = sigma2.max(1e-9);
@@ -263,20 +312,20 @@ impl MultilevelModel {
         for _ in 0..config.iterations {
             iterations_run += 1;
             // ---------------- E step ----------------
-            let sigma_b_inv = invert_with_ridge(&sigma_b, config.ridge)?;
+            let sigma_b_inv = invert_spd_with_ridge(&sigma_b, config.ridge)?;
             let residual: Vec<f64> = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
             let zt_r = zt_global(&residual);
             let mut e_bbt: Vec<Matrix> = Vec::with_capacity(g);
             for i in 0..g {
                 // V_i = (Z_iᵀZ_i / σ² + Σ⁻¹)⁻¹
                 let vi_inner = ztz[i].scale(1.0 / sigma2).add(&sigma_b_inv)?;
-                let vi = invert_with_ridge(&vi_inner, config.ridge)?;
+                let vi = invert_spd_with_ridge(&vi_inner, config.ridge)?;
                 // μ_i = V_i Z_iᵀ (y_i − X_i β) / σ²
                 let zt_ri: Vec<f64> = z_cols.iter().map(|&c| zt_r[i][c]).collect();
                 let mu = vi
                     .matmul(&Matrix::column_vector(&zt_ri))?
                     .scale(1.0 / sigma2);
-                let mu_vec = mu.col(0);
+                let mu_vec = mu.col_iter(0).collect();
                 let mu_outer = mu.matmul(&mu.transpose())?;
                 e_bbt.push(vi.add(&mu_outer)?);
                 b[i] = mu_vec;
@@ -289,7 +338,7 @@ impl MultilevelModel {
             let xt_y_minus_zb = xt_vec(&y_minus_zb);
             let new_beta = gram_inv
                 .matmul(&Matrix::column_vector(&xt_y_minus_zb))?
-                .col(0);
+                .into_data();
 
             // Σ = (1/G) Σ_i E[b_i b_iᵀ]
             let mut sigma_sum = Matrix::zeros(q, q);
@@ -465,6 +514,41 @@ mod tests {
         let pd = dense.predict_all(&design);
         for (a, b) in pf.iter().zip(&pd) {
             assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn encoded_and_legacy_factorized_fits_are_bit_identical() {
+        use reptile_factor::FactorBackend;
+        let (rel, view) = clustered_dataset(1.5);
+        let schema = rel.schema().clone();
+        let config = MultilevelConfig {
+            iterations: 8,
+            ..Default::default()
+        };
+        // Regardless of which backend the design was *built* for, the two
+        // factorised fits must produce exactly the same numbers.
+        for build_backend in [FactorBackend::Encoded, FactorBackend::Legacy] {
+            let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+                .with_factor_backend(build_backend)
+                .build()
+                .unwrap();
+            let enc =
+                MultilevelModel::fit_with_backend(&design, config, TrainingBackend::Factorized)
+                    .unwrap();
+            let legacy = MultilevelModel::fit_with_backend(
+                &design,
+                config,
+                TrainingBackend::FactorizedLegacy,
+            )
+            .unwrap();
+            assert_eq!(enc.beta, legacy.beta);
+            assert_eq!(enc.sigma2, legacy.sigma2);
+            assert_eq!(enc.sigma_b, legacy.sigma_b);
+            assert_eq!(enc.b, legacy.b);
+            assert_eq!(enc.rss, legacy.rss);
+            assert_eq!(enc.iterations_run, legacy.iterations_run);
+            assert_eq!(enc.predict_all(&design), legacy.predict_all(&design));
         }
     }
 

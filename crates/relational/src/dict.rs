@@ -1,0 +1,115 @@
+//! Dictionary encoding of attribute domains.
+//!
+//! A [`ValueDict`] maps each distinct [`Value`] of one attribute domain to a
+//! dense `u32` code. Codes are assigned in the `Value`s' sorted order, so
+//! comparing two codes orders the same way as comparing the values they stand
+//! for — range predicates, sorted-run detection and BTreeMap-iteration
+//! equivalence all survive the encoding. The factorised operators run on
+//! codes end-to-end (flat `Vec<f64>` indexing instead of `BTreeMap<Value, _>`
+//! lookups) and decode back to `Value` only at the explanation/API boundary.
+
+use crate::value::Value;
+
+/// A sorted dictionary assigning dense `u32` codes to one attribute domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueDict {
+    /// Distinct values in sorted order; a value's index is its code.
+    values: Vec<Value>,
+}
+
+impl ValueDict {
+    /// Build a dictionary from an arbitrary collection of values. Values are
+    /// sorted and de-duplicated; the resulting code of a value is its rank in
+    /// the distinct sorted domain.
+    pub fn from_values(mut values: Vec<Value>) -> Self {
+        values.sort();
+        values.dedup();
+        ValueDict { values }
+    }
+
+    /// Build from values already sorted and distinct (checked in debug).
+    pub fn from_sorted_values(values: Vec<Value>) -> Self {
+        debug_assert!(values.windows(2).all(|w| w[0] < w[1]));
+        ValueDict { values }
+    }
+
+    /// Number of distinct values in the domain.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The code of `value`, if it is part of the domain.
+    #[inline]
+    pub fn code_of(&self, value: &Value) -> Option<u32> {
+        self.values.binary_search(value).ok().map(|i| i as u32)
+    }
+
+    /// Decode a code back to its value.
+    ///
+    /// # Panics
+    /// Panics if `code` is out of range (codes only come from this dict).
+    #[inline]
+    pub fn value(&self, code: u32) -> &Value {
+        &self.values[code as usize]
+    }
+
+    /// The full domain in sorted (= code) order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterate `(code, value)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Value)> {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_follow_sorted_order() {
+        let dict = ValueDict::from_values(vec![
+            Value::str("b"),
+            Value::str("a"),
+            Value::str("c"),
+            Value::str("a"),
+        ]);
+        assert_eq!(dict.len(), 3);
+        assert_eq!(dict.code_of(&Value::str("a")), Some(0));
+        assert_eq!(dict.code_of(&Value::str("b")), Some(1));
+        assert_eq!(dict.code_of(&Value::str("c")), Some(2));
+        assert_eq!(dict.code_of(&Value::str("z")), None);
+        assert_eq!(dict.value(1), &Value::str("b"));
+    }
+
+    #[test]
+    fn code_order_matches_value_order_across_variants() {
+        let dict = ValueDict::from_values(vec![
+            Value::str("x"),
+            Value::int(5),
+            Value::Null,
+            Value::float(2.5),
+        ]);
+        let codes: Vec<Value> = dict.values().to_vec();
+        let mut sorted = codes.clone();
+        sorted.sort();
+        assert_eq!(codes, sorted);
+        for (code, value) in dict.iter() {
+            assert_eq!(dict.code_of(value), Some(code));
+        }
+    }
+
+    #[test]
+    fn empty_domain() {
+        let dict = ValueDict::from_values(Vec::new());
+        assert!(dict.is_empty());
+        assert_eq!(dict.code_of(&Value::int(1)), None);
+    }
+}

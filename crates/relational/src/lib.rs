@@ -15,6 +15,7 @@
 //! Reptile engine itself is built on top of these types.
 
 pub mod aggregate;
+pub mod dict;
 pub mod error;
 pub mod hierarchy;
 pub mod predicate;
@@ -24,6 +25,7 @@ pub mod value;
 pub mod view;
 
 pub use aggregate::{AggState, AggregateKind};
+pub use dict::ValueDict;
 pub use error::RelationalError;
 pub use hierarchy::{validate_hierarchy, HierarchyLevels};
 pub use predicate::Predicate;
