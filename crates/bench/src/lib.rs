@@ -1,8 +1,11 @@
 //! Shared utilities for the figure/table harness binaries.
 //!
-//! Every binary in `src/bin/` regenerates one table or figure of the paper's
-//! evaluation (see `DESIGN.md` for the full index) and prints its rows/series
-//! to stdout so that the shapes can be compared against the paper.
+//! **Paper map** (Huang & Wu, *Reptile*, SIGMOD 2022): the evaluation of
+//! **Section 5** — every binary in `src/bin/` regenerates one table or
+//! figure (see `DESIGN.md` for the full index) and prints its rows/series
+//! to stdout so that the shapes can be compared against the paper, and the
+//! `benches/` harnesses track the systems claims (factorised vs dense,
+//! encoded vs `Value`-keyed, delta maintenance vs cold rebuild).
 
 use std::time::{Duration, Instant};
 

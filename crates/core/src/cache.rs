@@ -19,7 +19,7 @@ use crate::engine::{RepairModelKind, ReptileConfig};
 use reptile_model::{FeaturePlan, LinearModel, MultilevelModel};
 use reptile_relational::{AggregateKind, AttrId, GroupKey, Predicate, Relation, Value, View};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -28,14 +28,20 @@ use std::sync::Arc;
 /// conjunction written in any attribute order yields the same key), the
 /// group-by list, and the measure.
 ///
-/// Relation identity is the `Arc` pointer: two live relations never share an
-/// address, and a cached view keeps its relation alive, so an address cannot
-/// be recycled while a key referencing it is still in a cache. Without it,
+/// Relation identity is the relation's *lineage ident*
+/// ([`Relation::ident`]): distinct relations never share one, so
 /// equally-shaped views over different relations (e.g. a clean panel and a
-/// corrupted copy) would alias to one entry.
+/// corrupted copy) cannot alias — while successive ingest snapshots of the
+/// *same* relation deliberately do share it, so that warm entries survive an
+/// ingest of rows their predicate does not select. The flip side of that
+/// sharing is an invalidation obligation: whoever applies an
+/// [`IngestBatch`](reptile_relational::IngestBatch) must evict the entries
+/// the batch *does* touch ([`crate::engine::IngestReport::invalidates_view`]
+/// is the exact rule; `reptile-session`'s `Session::ingest` and
+/// `BatchServer::ingest` apply it).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ViewKey {
-    relation: usize,
+    relation: u64,
     terms: Vec<(AttrId, Value)>,
     group_by: Vec<AttrId>,
     measure: AttrId,
@@ -52,11 +58,26 @@ impl ViewKey {
         let mut terms = predicate.terms().to_vec();
         terms.sort();
         ViewKey {
-            relation: Arc::as_ptr(relation) as usize,
+            relation: relation.ident(),
             terms,
             group_by,
             measure,
         }
+    }
+
+    /// The lineage ident of the relation this view reads.
+    pub fn relation_ident(&self) -> u64 {
+        self.relation
+    }
+
+    /// Whether `row` (a full tuple, indexed by attribute id) satisfies the
+    /// view's predicate — i.e. whether inserting or deleting this row would
+    /// change the view's contents. The invalidation primitive behind
+    /// [`crate::engine::IngestReport::invalidates_view`].
+    pub fn matches_row(&self, row: &[Value]) -> bool {
+        self.terms
+            .iter()
+            .all(|(attr, value)| row.get(attr.index()) == Some(value))
     }
 
     /// The signature of an already-computed view.
@@ -159,6 +180,31 @@ pub struct TrainedModel {
 /// implementations (the batch server's shared cache) use the claim to make
 /// concurrent duplicate work wait instead of retraining.
 pub trait EngineCache {
+    /// Whether this cache accepts requests posed over `view`'s snapshot.
+    /// After an ingest-driven invalidation the serving caches record the
+    /// change set; a view whose snapshot predates an ingest *whose changed
+    /// rows its predicate selects* is out of date (its own contents differ
+    /// from the current snapshot's), and the engine serves such requests
+    /// *without* the cache — they get a snapshot-consistent answer but can
+    /// neither read post-ingest entries (mixing snapshots) nor write
+    /// pre-ingest results under keys that survived the eviction
+    /// (resurrecting staleness). A pre-ingest view whose predicate selects
+    /// none of the changed rows is content-identical to its current
+    /// recomputation — and so is everything the engine derives from it
+    /// (drilled and parallel views only *refine* its predicate) — so it
+    /// keeps full cache access. The default accepts everything.
+    fn accepts_view(&mut self, _view: &View) -> bool {
+        true
+    }
+    /// The highest post-ingest relation version (per lineage ident) this
+    /// cache has been invalidated for — see [`IngestLog::horizon`]. The
+    /// engine refuses to consult a cache whose horizon lags the registered
+    /// relation's current version: such a cache missed an ingest
+    /// invalidation and may hold entries no eviction ever screened. The
+    /// default (0) is correct for caches that never outlive an ingest.
+    fn ingest_horizon(&mut self, _relation_ident: u64) -> u64 {
+        0
+    }
     /// Look up a computed view.
     fn get_view(&mut self, key: &ViewKey) -> Option<Arc<View>>;
     /// Store a computed view.
@@ -171,6 +217,136 @@ pub trait EngineCache {
     fn put_model(&mut self, key: ModelKey, model: Arc<TrainedModel>);
     /// Release a model claim after a failed fit.
     fn abort_model(&mut self, _key: &ModelKey) {}
+}
+
+/// How many ingest change sets [`IngestLog`] retains per relation lineage
+/// before it starts answering conservatively for very old snapshots.
+const INGEST_LOG_WINDOW: usize = 64;
+
+/// Per-lineage log of recent ingest change sets — the bookkeeping behind
+/// [`EngineCache::accepts_view`]. Serving caches record every
+/// [`IngestReport`](crate::engine::IngestReport) they invalidate for;
+/// [`IngestLog::is_current`] then answers whether a view computed over an
+/// older snapshot is still content-identical to its current recomputation
+/// (no logged ingest after its snapshot changed a row its predicate
+/// selects). The log keeps the last 64 change sets per
+/// lineage; snapshots older than the window are conservatively reported
+/// out of date.
+#[derive(Debug, Default)]
+pub struct IngestLog {
+    lineages: HashMap<u64, LineageLog>,
+}
+
+#[derive(Debug)]
+struct LineageLog {
+    /// Snapshots older than this version fall outside the retained window.
+    min_known: u64,
+    /// Highest post-ingest version recorded for the lineage.
+    latest: u64,
+    /// `(post-ingest version, changed rows)`, oldest first. The row sets
+    /// are shared with the [`IngestReport`](crate::engine::IngestReport)s
+    /// they came from (and with every other log), not copied.
+    entries: VecDeque<(u64, Arc<[Vec<Value>]>)>,
+}
+
+impl IngestLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        IngestLog::default()
+    }
+
+    /// Record one ingest's change set (shared by `Arc`, not copied).
+    ///
+    /// Returns whether the lineage was witnessed *contiguously*: versions
+    /// advance by one per ingest, so a recorded version more than one past
+    /// the previously witnessed one means this log's holder missed at least
+    /// one ingest — its cached entries were never screened against the
+    /// missed change sets. In that case the log discards what it knew about
+    /// the lineage (conservatively rejecting every older snapshot from now
+    /// on) and returns `false`; the caller must flush its cached entries
+    /// for the same reason.
+    #[must_use = "a gap means the caller's cached entries were never screened and must be flushed"]
+    pub fn record(&mut self, report: &crate::engine::IngestReport) -> bool {
+        let log = self
+            .lineages
+            .entry(report.relation.ident())
+            .or_insert(LineageLog {
+                min_known: 0,
+                latest: 0,
+                entries: VecDeque::new(),
+            });
+        let version = report.relation.version();
+        let contiguous = version <= log.latest + 1;
+        if !contiguous {
+            // Missed ingest(s): everything known about the lineage is
+            // unreliable. Start over from this snapshot.
+            log.entries.clear();
+            log.min_known = version;
+            log.latest = version;
+            return false;
+        }
+        log.latest = log.latest.max(version);
+        log.entries
+            .push_back((version, report.changed_rows.clone()));
+        while log.entries.len() > INGEST_LOG_WINDOW {
+            if let Some((version, _)) = log.entries.pop_front() {
+                log.min_known = version;
+            }
+        }
+        true
+    }
+
+    /// Mark a lineage as witnessed up to `version` without recording any
+    /// change set — how a *freshly created* (hence empty) cache over an
+    /// already-ingested relation starts: snapshots at or after `version`
+    /// are accepted, anything older is conservatively rejected, and the
+    /// next contiguous ingest keeps full precision.
+    pub fn seed(&mut self, relation_ident: u64, version: u64) {
+        let log = self.lineages.entry(relation_ident).or_insert(LineageLog {
+            min_known: 0,
+            latest: 0,
+            entries: VecDeque::new(),
+        });
+        if version > log.latest {
+            log.entries.clear();
+            log.min_known = version;
+            log.latest = version;
+        }
+    }
+
+    /// The highest post-ingest version recorded for a lineage (0 if none):
+    /// how far this log's holder has *witnessed* the lineage advance. The
+    /// engine compares it against the registered relation's current version
+    /// to detect caches that missed an invalidation entirely (e.g. a second
+    /// `Session` over the same engine that never saw the ingest) and serves
+    /// them cache-less rather than let them return stale entries.
+    pub fn horizon(&self, relation_ident: u64) -> u64 {
+        self.lineages
+            .get(&relation_ident)
+            .map(|log| log.latest)
+            .unwrap_or(0)
+    }
+
+    /// Whether a view with canonical signature `key`, computed over
+    /// snapshot `version` of its lineage, still matches the current
+    /// snapshot's contents.
+    pub fn is_current(&self, key: &ViewKey, version: u64) -> bool {
+        let Some(log) = self.lineages.get(&key.relation_ident()) else {
+            return true; // no ingest ever recorded for this lineage
+        };
+        if version < log.min_known {
+            return false; // predates the retained window: assume stale
+        }
+        log.entries
+            .iter()
+            .filter(|(v, _)| *v > version)
+            .all(|(_, rows)| !rows.iter().any(|row| key.matches_row(row)))
+    }
+
+    /// [`IngestLog::is_current`] for a held [`View`].
+    pub fn view_is_current(&self, view: &View) -> bool {
+        self.is_current(&ViewKey::of_view(view), view.relation().version())
+    }
 }
 
 /// The no-op cache behind the stateless [`crate::Reptile::recommend`].

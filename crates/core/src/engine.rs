@@ -20,17 +20,18 @@ use crate::complaint::Complaint;
 use crate::{ReptileError, Result};
 use reptile_factor::{
     AggregateSource, DecomposedAggregates, DrilldownMode, DrilldownSession, EncodedAggregates,
-    EncodedFactorization, FactorBackend, Factorization,
+    EncodedFactorization, FactorBackend, Factorization, PathCountIndex,
 };
 use reptile_model::{
     DesignBuilder, EmptyGroupPolicy, FeaturePlan, LinearModel, MultilevelConfig, MultilevelModel,
     TrainingBackend,
 };
 use reptile_relational::{
-    AggState, AggregateKind, AttrId, GroupKey, Hierarchy, Relation, Schema, View,
+    AggState, AggregateKind, AttrId, GroupKey, Hierarchy, IngestBatch, Relation, Schema, Value,
+    View,
 };
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Which repair model the engine fits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,32 +145,76 @@ impl AggregateSource for SharedSession<'_> {
     }
 }
 
+/// What one [`Reptile::ingest`] did: the new relation snapshot, the change
+/// counts, which hierarchies' distinct path sets changed (their session
+/// epochs were bumped), and the exact invalidation rule for view/model
+/// caches.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// The post-ingest relation snapshot (same lineage ident, next version).
+    pub relation: Arc<Relation>,
+    /// Rows inserted by the batch.
+    pub inserted: usize,
+    /// Rows deleted by the batch.
+    pub deleted: usize,
+    /// Hierarchies whose distinct full-depth path set changed. The engine
+    /// already bumped their [`DrilldownSession`] epochs; serving layers use
+    /// this to know an ingest happened at all.
+    pub touched_hierarchies: Vec<String>,
+    /// Every inserted or deleted tuple (the predicate-matching set),
+    /// `Arc`-shared with the ingest logs that record it.
+    pub(crate) changed_rows: Arc<[Vec<Value>]>,
+}
+
+impl IngestReport {
+    /// Whether a cached entry under `key` is stale after this ingest: the
+    /// key reads this relation lineage *and* at least one changed tuple
+    /// satisfies its predicate. Entries whose predicate selects none of the
+    /// changed rows aggregate exactly the same multiset before and after
+    /// the batch, so they stay warm.
+    pub fn invalidates_view(&self, key: &ViewKey) -> bool {
+        key.relation_ident() == self.relation.ident()
+            && self.changed_rows.iter().any(|row| key.matches_row(row))
+    }
+
+    /// The inserted and deleted tuples this ingest applied.
+    pub fn changed_rows(&self) -> &[Vec<Value>] {
+        &self.changed_rows
+    }
+}
+
 /// The Reptile engine.
 ///
-/// The engine itself is stateless apart from an internal
+/// The engine holds the registered relation behind an `RwLock` (the current
+/// snapshot; [`Reptile::ingest`] swaps in the next one while readers keep
+/// serving from the views they already hold) and an internal
 /// [`DrilldownSession`] (behind a mutex, so shared references can serve
 /// concurrent complaints) that carries the decomposed aggregates of
 /// unchanged hierarchies across successive invocations — the `CachedDynamic`
-/// maintenance of Section 4.4. View- and model-level reuse is delegated to
-/// an [`EngineCache`] passed to [`Reptile::recommend_with_cache`].
+/// maintenance of Section 4.4, extended with per-hierarchy ingest epochs and
+/// delta maintenance. View- and model-level reuse is delegated to an
+/// [`EngineCache`] passed to [`Reptile::recommend_with_cache`].
 #[derive(Debug)]
 pub struct Reptile {
-    relation: Arc<Relation>,
+    relation: RwLock<Arc<Relation>>,
     schema: Arc<Schema>,
     config: ReptileConfig,
     plan: FeaturePlan,
     session: Mutex<DrilldownSession>,
+    /// Lazily built path-count index behind ingest delta detection.
+    path_index: Mutex<Option<PathCountIndex>>,
 }
 
 impl Reptile {
     /// Create an engine over a relation and its schema with defaults.
     pub fn new(relation: Arc<Relation>, schema: Arc<Schema>) -> Self {
         Reptile {
-            relation,
+            relation: RwLock::new(relation),
             schema,
             config: ReptileConfig::default(),
             plan: FeaturePlan::none(),
             session: Mutex::new(DrilldownSession::new(DrilldownMode::CachedDynamic)),
+            path_index: Mutex::new(None),
         }
     }
 
@@ -185,9 +230,9 @@ impl Reptile {
         self
     }
 
-    /// The relation the engine explains.
-    pub fn relation(&self) -> &Arc<Relation> {
-        &self.relation
+    /// The current snapshot of the relation the engine explains.
+    pub fn relation(&self) -> Arc<Relation> {
+        self.relation.read().expect("relation lock").clone()
     }
 
     /// The schema.
@@ -200,10 +245,173 @@ impl Reptile {
         &self.config
     }
 
+    /// Apply a streaming [`IngestBatch`] to the registered relation with
+    /// *delta maintenance* instead of a cold rebuild: the relation advances
+    /// to its next snapshot (old views keep serving their old snapshot), the
+    /// engine's path index detects which hierarchies' distinct path sets
+    /// changed, and only those hierarchies have their [`DrilldownSession`]
+    /// epochs bumped — cached factor state for untouched hierarchies stays
+    /// warm, and the touched ones are patched forward from their latest
+    /// snapshot on next use.
+    ///
+    /// The returned [`IngestReport`] carries the exact invalidation rule for
+    /// view/model caches ([`IngestReport::invalidates_view`]). Callers that
+    /// hold an [`EngineCache`] **must** apply it (as
+    /// `reptile_session::Session::ingest` and
+    /// `reptile_session::BatchServer::ingest` do) before serving the next
+    /// recommendation from that cache.
+    ///
+    /// ```
+    /// use reptile::{Complaint, Direction, Reptile};
+    /// use reptile_relational::{
+    ///     AggregateKind, GroupKey, IngestBatch, Predicate, Relation, Schema, Value, View,
+    /// };
+    /// use std::sync::Arc;
+    ///
+    /// let schema = Arc::new(
+    ///     Schema::builder()
+    ///         .hierarchy("geo", ["district", "village"])
+    ///         .hierarchy("time", ["day"])
+    ///         .measure("reports")
+    ///         .build()
+    ///         .unwrap(),
+    /// );
+    /// let mut builder = Relation::builder(schema.clone());
+    /// for day in 0..2i64 {
+    ///     for (d, v) in [("D1", "D1-a"), ("D1", "D1-b"), ("D2", "D2-a"), ("D2", "D2-b")] {
+    ///         builder = builder
+    ///             .row([Value::str(d), Value::str(v), Value::int(day), Value::float(10.0)])
+    ///             .unwrap();
+    ///     }
+    /// }
+    /// let engine = Reptile::new(Arc::new(builder.build()), schema.clone());
+    ///
+    /// // Stream in day 2, with village D1-b dropping most of its reports.
+    /// let mut batch = IngestBatch::new();
+    /// for (d, v, m) in [("D1", "D1-a", 10.0), ("D1", "D1-b", 1.0), ("D2", "D2-a", 10.0), ("D2", "D2-b", 10.0)] {
+    ///     batch = batch.insert([Value::str(d), Value::str(v), Value::int(2), Value::float(m)]);
+    /// }
+    /// let report = engine.ingest(&batch).unwrap();
+    /// assert_eq!(report.inserted, 4);
+    /// // day 2 is a new time path; every geo path already existed
+    /// assert_eq!(report.touched_hierarchies, vec!["time".to_string()]);
+    ///
+    /// // Recommending over the new snapshot drills into the faulty village.
+    /// let view = View::compute(
+    ///     report.relation.clone(),
+    ///     Predicate::all(),
+    ///     vec![schema.attr("district").unwrap(), schema.attr("day").unwrap()],
+    ///     schema.attr("reports").unwrap(),
+    /// )
+    /// .unwrap();
+    /// let complaint = Complaint::new(
+    ///     GroupKey(vec![Value::str("D1"), Value::int(2)]),
+    ///     AggregateKind::Mean,
+    ///     Direction::TooLow,
+    /// );
+    /// let recommendation = engine
+    ///     .recommend_with_cache(&view, &complaint, &mut reptile::NoCache)
+    ///     .unwrap();
+    /// let best = recommendation.best_group().unwrap();
+    /// assert_eq!(best.added_attribute, "village");
+    /// assert!(best.key.to_string().contains("D1-b"));
+    /// ```
+    pub fn ingest(&self, batch: &IngestBatch) -> Result<IngestReport> {
+        let mut relation = self.relation.write().expect("relation lock");
+        let next = Arc::new(relation.apply(batch).map_err(ReptileError::from)?);
+        let touched = {
+            let mut index = self.path_index.lock().expect("path index lock");
+            let index = index
+                .get_or_insert_with(|| PathCountIndex::build(&relation, self.schema.hierarchies()));
+            let delta = index.apply(batch, self.schema.hierarchies());
+            self.schema
+                .hierarchies()
+                .iter()
+                .zip(&delta.per_hierarchy)
+                .filter(|(_, d)| d.as_ref().is_some_and(|d| !d.is_empty()))
+                .map(|(h, _)| h.name.clone())
+                .collect::<Vec<String>>()
+        };
+        *relation = next.clone();
+        drop(relation);
+        {
+            let mut session = self.session.lock().expect("session lock");
+            for hierarchy in &touched {
+                session.bump_epoch(hierarchy);
+            }
+        }
+        Ok(IngestReport {
+            relation: next,
+            inserted: batch.inserts().len(),
+            deleted: batch.deletes().len(),
+            touched_hierarchies: touched,
+            changed_rows: batch
+                .changed_rows()
+                .map(<[Value]>::to_vec)
+                .collect::<Vec<_>>()
+                .into(),
+        })
+    }
+
+    /// Recompute `view`'s definition (same predicate, group-by and measure)
+    /// over the engine's *current* relation snapshot — how serving layers
+    /// move a held view forward after an ingest invalidated it.
+    pub fn refresh_view(&self, view: &View) -> Result<Arc<View>> {
+        Ok(Arc::new(View::compute(
+            self.relation(),
+            view.predicate().clone(),
+            view.group_by().to_vec(),
+            view.measure(),
+        )?))
+    }
+
     /// Solve Problem 1 for `complaint` posed against `view`: evaluate every
     /// hierarchy that can still be drilled, rank the drill-down groups, and
     /// return the overall ranking. Stateless: every view is recomputed and
     /// every model retrained (see [`Reptile::recommend_with_cache`]).
+    ///
+    /// ```
+    /// use reptile::{Complaint, Direction, Reptile};
+    /// use reptile_relational::{AggregateKind, GroupKey, Predicate, Relation, Schema, Value, View};
+    /// use std::sync::Arc;
+    ///
+    /// let schema = Arc::new(
+    ///     Schema::builder()
+    ///         .hierarchy("geo", ["district", "village"])
+    ///         .measure("severity")
+    ///         .build()
+    ///         .unwrap(),
+    /// );
+    /// let mut builder = Relation::builder(schema.clone());
+    /// for (d, v, s) in [
+    ///     ("D1", "D1-a", 8.0),
+    ///     ("D1", "D1-b", 1.5), // the anomalous village
+    ///     ("D1", "D1-c", 8.5),
+    ///     ("D2", "D2-a", 8.0),
+    ///     ("D2", "D2-b", 7.5),
+    /// ] {
+    ///     builder = builder.row([Value::str(d), Value::str(v), Value::float(s)]).unwrap();
+    /// }
+    /// let relation = Arc::new(builder.build());
+    /// let view = View::compute(
+    ///     relation.clone(),
+    ///     Predicate::all(),
+    ///     vec![schema.attr("district").unwrap()],
+    ///     schema.attr("severity").unwrap(),
+    /// )
+    /// .unwrap();
+    /// let complaint = Complaint::new(
+    ///     GroupKey(vec![Value::str("D1")]),
+    ///     AggregateKind::Mean,
+    ///     Direction::TooLow,
+    /// );
+    /// let mut engine = Reptile::new(relation, schema);
+    /// let recommendation = engine.recommend(&view, &complaint).unwrap();
+    /// // drilling down to the village level exposes D1-b
+    /// let best = recommendation.best_group().unwrap();
+    /// assert_eq!(best.added_attribute, "village");
+    /// assert!(best.key.to_string().contains("D1-b"));
+    /// ```
     pub fn recommend(&mut self, view: &View, complaint: &Complaint) -> Result<Recommendation> {
         self.recommend_with_cache(view, complaint, &mut NoCache)
     }
@@ -220,6 +428,17 @@ impl Reptile {
         complaint: &Complaint,
         cache: &mut dyn EngineCache,
     ) -> Result<Recommendation> {
+        // A request the cache may not serve — its view snapshot was made out
+        // of date by an ingest, or the cache itself missed an ingest
+        // invalidation — runs cache-less: snapshot-consistent for the
+        // caller, and it can neither read mixed-snapshot entries nor
+        // re-publish pre-ingest state under keys that survived eviction.
+        let mut no_cache = NoCache;
+        let cache: &mut dyn EngineCache = if self.cache_usable(view, cache) {
+            cache
+        } else {
+            &mut no_cache
+        };
         let original_state = view
             .group(&complaint.key)
             .map_err(|_| ReptileError::UnknownComplaintTuple(complaint.key.to_string()))?;
@@ -291,6 +510,12 @@ impl Reptile {
         hierarchy: &Hierarchy,
         cache: &mut dyn EngineCache,
     ) -> Result<(Arc<View>, AttrId)> {
+        let mut no_cache = NoCache;
+        let cache: &mut dyn EngineCache = if self.cache_usable(view, cache) {
+            cache
+        } else {
+            &mut no_cache
+        };
         view.group(key)
             .map_err(|_| ReptileError::UnknownComplaintTuple(key.to_string()))?;
         let next = hierarchy
@@ -311,6 +536,28 @@ impl Reptile {
             )?)
         })?;
         Ok((drilled, next))
+    }
+
+    /// Whether `cache` may serve a request posed over `view`:
+    ///
+    /// 1. if `view` reads the engine's registered lineage, the cache must
+    ///    have *witnessed* every ingest of it
+    ///    ([`EngineCache::ingest_horizon`] at least the current snapshot
+    ///    version) — a cache that missed an invalidation (e.g. a second
+    ///    session over the same engine whose holder never called its
+    ///    `ingest`) may hold entries no eviction ever screened, and gets no
+    ///    cache access until its holder catches up;
+    /// 2. the view's own snapshot must still be content-current
+    ///    ([`EngineCache::accepts_view`]): no witnessed ingest after it
+    ///    changed rows its predicate selects.
+    fn cache_usable(&self, view: &View, cache: &mut dyn EngineCache) -> bool {
+        let current = self.relation.read().expect("relation lock").clone();
+        if view.relation().ident() == current.ident()
+            && cache.ingest_horizon(current.ident()) < current.version()
+        {
+            return false;
+        }
+        cache.accepts_view(view)
     }
 
     /// Serve a view from `cache` or compute and insert it, releasing the
@@ -635,6 +882,110 @@ mod tests {
             .ranked
             .iter()
             .any(|g| g.key.to_string().contains("D2-V3")));
+    }
+
+    #[test]
+    fn ingest_tracks_touched_hierarchies_and_invalidation() {
+        let (rel, schema) = dataset("D1-V2", -4.0);
+        let engine = Reptile::new(rel.clone(), schema.clone());
+        // Appending more rows for existing (village, year) paths touches no
+        // hierarchy's distinct path set.
+        let batch = IngestBatch::new().insert([
+            Value::str("D1"),
+            Value::str("D1-V2"),
+            Value::int(1986),
+            Value::float(5.0),
+        ]);
+        let report = engine.ingest(&batch).unwrap();
+        assert_eq!(report.inserted, 1);
+        assert_eq!(report.deleted, 0);
+        assert!(report.touched_hierarchies.is_empty());
+        assert_eq!(report.relation.ident(), rel.ident());
+        assert_eq!(report.relation.version(), rel.version() + 1);
+        assert_eq!(engine.relation().len(), rel.len() + 1);
+
+        // A new year path touches only the time hierarchy.
+        let batch = IngestBatch::new().insert([
+            Value::str("D1"),
+            Value::str("D1-V2"),
+            Value::int(1988),
+            Value::float(6.0),
+        ]);
+        let report = engine.ingest(&batch).unwrap();
+        assert_eq!(report.touched_hierarchies, vec!["time".to_string()]);
+
+        // Deleting the only 1988 row removes the path again.
+        let batch = IngestBatch::new().delete([
+            Value::str("D1"),
+            Value::str("D1-V2"),
+            Value::int(1988),
+            Value::float(6.0),
+        ]);
+        let report = engine.ingest(&batch).unwrap();
+        assert_eq!(report.touched_hierarchies, vec!["time".to_string()]);
+
+        // The invalidation rule is predicate-based: a 1986 view is stale,
+        // a 1987-only view is not, and a view over an unrelated relation
+        // lineage is never invalidated.
+        let year = schema.attr("year").unwrap();
+        let stale = ViewKey::new(
+            &report.relation,
+            &reptile_relational::Predicate::all(),
+            vec![schema.attr("district").unwrap()],
+            schema.attr("severity").unwrap(),
+        );
+        assert!(report.invalidates_view(&stale));
+        let fresh = ViewKey::new(
+            &report.relation,
+            &reptile_relational::Predicate::eq(year, Value::int(1987)),
+            vec![schema.attr("district").unwrap()],
+            schema.attr("severity").unwrap(),
+        );
+        assert!(!report.invalidates_view(&fresh));
+        let other_lineage = Arc::new((*rel).clone());
+        let foreign = ViewKey::new(
+            &other_lineage,
+            &reptile_relational::Predicate::all(),
+            vec![schema.attr("district").unwrap()],
+            schema.attr("severity").unwrap(),
+        );
+        assert!(!report.invalidates_view(&foreign));
+    }
+
+    #[test]
+    fn recommend_after_ingest_reflects_the_new_snapshot() {
+        // Start clean; stream in a corruption; the recommendation over the
+        // refreshed view must expose the corrupted village.
+        let (rel, schema) = dataset("D0-V0", 0.0); // no corruption yet
+        let engine = Reptile::new(rel.clone(), schema.clone());
+        let view = district_year_view(&rel, &schema);
+        // delete D1-V3's 1986 rows and re-insert them far lower
+        let mut batch = IngestBatch::new();
+        let village = schema.attr("village").unwrap();
+        let year = schema.attr("year").unwrap();
+        for r in 0..rel.len() {
+            if rel.value(r, village) == &Value::str("D1-V3")
+                && rel.value(r, year) == &Value::int(1986)
+            {
+                let mut row = rel.row(r);
+                batch.push_delete(row.clone());
+                row[3] = Value::float(1.0);
+                batch.push_insert(row);
+            }
+        }
+        let report = engine.ingest(&batch).unwrap();
+        assert!(report.touched_hierarchies.is_empty(), "no path changed");
+        let refreshed = engine.refresh_view(&view).unwrap();
+        let complaint = Complaint::new(
+            GroupKey(vec![Value::str("D1"), Value::int(1986)]),
+            AggregateKind::Mean,
+            Direction::TooLow,
+        );
+        let rec = engine
+            .recommend_with_cache(&refreshed, &complaint, &mut NoCache)
+            .unwrap();
+        let best = rec.best_group().unwrap();
+        assert!(best.key.to_string().contains("D1-V3"), "{}", best.key);
     }
 
     #[test]

@@ -1,5 +1,12 @@
 //! # Reptile — aggregation-level explanations for hierarchical data
 //!
+//! **Paper map** (Huang & Wu, *Reptile*, SIGMOD 2022): the complaint model
+//! of **Section 3** and the end-to-end recommendation loop of **Section
+//! 4.5** (Problem 1), tying the §4 factorised machinery and the §5
+//! multi-level model together — plus streaming ingest
+//! ([`Reptile::ingest`]) extending the §4.3/§4.4 maintenance story to a
+//! changing base relation.
+//!
 //! This crate is the top level of a from-scratch reproduction of
 //! *"Reptile: Aggregation-level Explanations for Hierarchical Data"*
 //! (Huang & Wu, SIGMOD 2022). Given an anomalous aggregate query result (a
@@ -72,11 +79,13 @@ pub mod complaint;
 pub mod engine;
 
 pub use cache::{
-    config_fingerprint, EngineCache, FittedRepairModel, ModelKey, NoCache, TrainedModel, ViewKey,
+    config_fingerprint, EngineCache, FittedRepairModel, IngestLog, ModelKey, NoCache, TrainedModel,
+    ViewKey,
 };
 pub use complaint::{Complaint, Direction};
 pub use engine::{
-    HierarchyRecommendation, Recommendation, RepairModelKind, Reptile, ReptileConfig, ScoredGroup,
+    HierarchyRecommendation, IngestReport, Recommendation, RepairModelKind, Reptile, ReptileConfig,
+    ScoredGroup,
 };
 
 /// Errors surfaced by the engine.

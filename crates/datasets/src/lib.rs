@@ -1,5 +1,11 @@
 //! Workload generators for the Reptile reproduction.
 //!
+//! **Paper map** (Huang & Wu, *Reptile*, SIGMOD 2022): the evaluation
+//! workloads of **Section 5** — synthetic hierarchies (§5.1–5.2), the
+//! covid/FIST/absentee/COMPAS/election case studies (§5.3, Tables 1–2),
+//! plus a streaming replay of the covid panel ([`stream`]) feeding the
+//! engine's delta-maintained ingest (the maintenance direction of §4.3).
+//!
 //! The paper evaluates on a mix of synthetic data (Sections 5.1–5.2) and real
 //! datasets (JHU COVID-19, FIST drought surveys, NC absentee ballots, COMPAS,
 //! US election results). The real datasets and their documented data-quality
@@ -18,8 +24,10 @@ pub mod errors;
 pub mod fist;
 pub mod hiergen;
 pub mod rng;
+pub mod stream;
 pub mod synthetic;
 pub mod vote;
 
 pub use errors::{ErrorKind, InjectedError};
 pub use rng::SimRng;
+pub use stream::{CovidStream, StreamBatch, StreamConfig};

@@ -29,6 +29,7 @@ use crate::factorization::{AttrPosition, Factorization, HierarchyFactor};
 use crate::feature::FeatureMap;
 use reptile_linalg::{Matrix, PrefixSum};
 use reptile_relational::{AttrId, Value, ValueDict};
+use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Which factor execution path an operator/design runs on. The legacy
@@ -44,13 +45,19 @@ pub enum FactorBackend {
 }
 
 /// One level of an encoded hierarchy: its domain dictionary and the dense
-/// code column in (sorted) path order.
+/// code column in (value-sorted) path order.
+///
+/// The code column is `Arc`-shared so that [`EncodedFactor::apply_delta`]
+/// can hand untouched columns to the next snapshot without copying them, and
+/// cloning a factor (e.g. into a cache entry) costs pointer bumps per level.
 #[derive(Debug, Clone)]
 pub struct EncodedLevel {
-    /// Sorted domain of the level; a value's rank is its code.
+    /// Domain of the level; sorted-rank codes at construction, with appended
+    /// codes for values first seen by a later delta (see
+    /// [`ValueDict::extend_with`]).
     pub dict: ValueDict,
     /// The level's value codes, one per path, in path order.
-    pub codes: Vec<u32>,
+    pub codes: Arc<Vec<u32>>,
 }
 
 /// A dictionary-encoded hierarchy factor (columnar layout).
@@ -89,7 +96,10 @@ impl EncodedFactor {
                 .iter()
                 .map(|p| dict.code_of(&p[level]).expect("value drawn from domain"))
                 .collect();
-            levels.push(EncodedLevel { dict, codes });
+            levels.push(EncodedLevel {
+                dict,
+                codes: Arc::new(codes),
+            });
         }
         EncodedFactor {
             name: factor.name.clone(),
@@ -136,6 +146,196 @@ impl EncodedFactor {
             runs.push((c, i - start));
         }
         runs
+    }
+
+    /// Decode path `path_idx` back to its values, root level first.
+    pub fn decode_path(&self, path_idx: usize) -> Vec<Value> {
+        self.levels
+            .iter()
+            .map(|l| l.dict.value(l.codes[path_idx]).clone())
+            .collect()
+    }
+
+    /// Compare path `path_idx` against a value path, level by level (the
+    /// lexicographic order the path table is kept sorted in).
+    pub fn cmp_path(&self, path_idx: usize, path: &[Value]) -> Ordering {
+        for (level, value) in path.iter().enumerate() {
+            match self.levels[level]
+                .dict
+                .value(self.levels[level].codes[path_idx])
+                .cmp(value)
+            {
+                Ordering::Equal => continue,
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Apply a path delta, producing the next snapshot of this factor.
+    ///
+    /// Dictionaries are extended in place (stable codes for existing values,
+    /// appended codes for unseen ones — see [`ValueDict::extend_with`]), and
+    /// the code columns are spliced by a single merge pass that keeps the
+    /// path table in value-sorted order. Compared to a cold re-encode this
+    /// skips the per-level dictionary rebuild and the `O(n log |domain|)`
+    /// code lookups; only the delta's own paths touch a dictionary.
+    ///
+    /// `delta.removed` paths must be present and `delta.added` paths absent
+    /// (both sorted and distinct) — [`PathDelta::between`] produces exactly
+    /// this shape. Violations are caught by debug assertions.
+    pub fn apply_delta(&self, delta: &PathDelta) -> EncodedFactor {
+        let depth = self.depth();
+        debug_assert!(delta.added.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(delta.removed.windows(2).all(|w| w[0] < w[1]));
+        // 1. Extend the dictionaries with any unseen values.
+        let mut dicts: Vec<ValueDict> = self.levels.iter().map(|l| l.dict.clone()).collect();
+        for path in &delta.added {
+            debug_assert_eq!(path.len(), depth);
+            for (level, dict) in dicts.iter_mut().enumerate() {
+                dict.code_or_insert(&path[level]);
+            }
+        }
+        // 2. Merge-splice the code columns in one pass over the old table.
+        let target = self.leaf_count + delta.added.len() - delta.removed.len();
+        let mut columns: Vec<Vec<u32>> = (0..depth).map(|_| Vec::with_capacity(target)).collect();
+        let push_value_path = |columns: &mut Vec<Vec<u32>>, path: &[Value]| {
+            for (level, col) in columns.iter_mut().enumerate() {
+                col.push(dicts[level].code_of(&path[level]).expect("extended above"));
+            }
+        };
+        let mut add = delta.added.iter().peekable();
+        let mut rem = delta.removed.iter().peekable();
+        for idx in 0..self.leaf_count {
+            while let Some(a) = add.peek() {
+                match self.cmp_path(idx, a) {
+                    Ordering::Greater => {
+                        push_value_path(&mut columns, a);
+                        add.next();
+                    }
+                    cmp => {
+                        debug_assert_ne!(cmp, Ordering::Equal, "added path already present");
+                        break;
+                    }
+                }
+            }
+            if let Some(r) = rem.peek() {
+                if self.cmp_path(idx, r) == Ordering::Equal {
+                    rem.next();
+                    continue;
+                }
+            }
+            for (level, col) in columns.iter_mut().enumerate() {
+                col.push(self.levels[level].codes[idx]);
+            }
+        }
+        for a in add {
+            push_value_path(&mut columns, a);
+        }
+        debug_assert!(rem.peek().is_none(), "removed path not present in factor");
+        let leaf_count = columns.first().map_or(target, Vec::len);
+        EncodedFactor {
+            name: self.name.clone(),
+            attrs: self.attrs.clone(),
+            levels: dicts
+                .into_iter()
+                .zip(columns)
+                .map(|(dict, codes)| EncodedLevel {
+                    dict,
+                    codes: Arc::new(codes),
+                })
+                .collect(),
+            leaf_count,
+        }
+    }
+}
+
+/// The distinct-path changes of one hierarchy between two snapshots: paths
+/// that appeared and paths that vanished, both in sorted order. This is the
+/// unit [`EncodedFactor::apply_delta`] and
+/// [`EncodedAggregates::apply_delta`] maintain encoded state from — note it
+/// is a *path* delta, not a row delta: a row insert only shows up here if it
+/// created a previously-absent path (and a delete only if it removed the
+/// last row of one).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PathDelta {
+    /// Paths present after but not before, sorted.
+    pub added: Vec<Vec<Value>>,
+    /// Paths present before but not after, sorted.
+    pub removed: Vec<Vec<Value>>,
+}
+
+impl PathDelta {
+    /// Diff an encoded factor against the sorted distinct path table of the
+    /// next snapshot (e.g. `HierarchyFactor::paths`, which
+    /// [`HierarchyFactor::from_paths`] keeps sorted). One merge pass; the
+    /// old side is decoded lazily through the level dictionaries.
+    pub fn between(factor: &EncodedFactor, new_paths: &[Vec<Value>]) -> PathDelta {
+        let mut delta = PathDelta::default();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < factor.leaf_count() && j < new_paths.len() {
+            match factor.cmp_path(i, &new_paths[j]) {
+                Ordering::Less => {
+                    delta.removed.push(factor.decode_path(i));
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    delta.added.push(new_paths[j].clone());
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        while i < factor.leaf_count() {
+            delta.removed.push(factor.decode_path(i));
+            i += 1;
+        }
+        delta.added.extend(new_paths[j..].iter().cloned());
+        delta
+    }
+
+    /// Number of path changes.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+
+    /// Whether the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// Per-hierarchy path deltas for a whole factorisation; `None` marks a
+/// hierarchy whose distinct path set did not change (its factor and
+/// aggregates are re-shared by `Arc` instead of recomputed).
+#[derive(Debug, Clone, Default)]
+pub struct FactorizationDelta {
+    /// One optional delta per hierarchy, in factorisation order.
+    pub per_hierarchy: Vec<Option<PathDelta>>,
+}
+
+impl FactorizationDelta {
+    /// A delta touching none of `hierarchies` hierarchies.
+    pub fn none(hierarchies: usize) -> Self {
+        FactorizationDelta {
+            per_hierarchy: vec![None; hierarchies],
+        }
+    }
+
+    /// Set hierarchy `h`'s path delta (builder style).
+    pub fn with(mut self, h: usize, delta: PathDelta) -> Self {
+        self.per_hierarchy[h] = Some(delta);
+        self
+    }
+
+    /// Whether no hierarchy has a (non-empty) delta.
+    pub fn is_empty(&self) -> bool {
+        self.per_hierarchy
+            .iter()
+            .all(|d| d.as_ref().is_none_or(PathDelta::is_empty))
     }
 }
 
@@ -251,7 +451,7 @@ impl EncodedHierarchyAggregates {
         if depth > 0 {
             // Leaf level: every path contributes one leaf.
             let leaf = depth - 1;
-            for &code in &factor.levels[leaf].codes {
+            for &code in factor.levels[leaf].codes.iter() {
                 desc[leaf][code as usize] += 1.0;
             }
             runs[leaf] = factor
@@ -278,7 +478,18 @@ impl EncodedHierarchyAggregates {
             }
         }
 
-        // Same-hierarchy COF tables for every (shallower, deeper) level pair.
+        EncodedHierarchyAggregates {
+            leaf_count,
+            desc,
+            runs,
+            cofs: Self::cof_tables(factor),
+        }
+    }
+
+    /// Same-hierarchy `COF` tables for every (shallower, deeper) level pair,
+    /// from one linear scan of the code columns per pair.
+    fn cof_tables(factor: &EncodedFactor) -> Vec<Vec<(u32, u32, f64)>> {
+        let depth = factor.depth();
         let mut cofs = vec![Vec::new(); depth * depth];
         for l1 in 0..depth {
             let c1 = &factor.levels[l1].codes;
@@ -297,12 +508,59 @@ impl EncodedHierarchyAggregates {
                 }
             }
         }
+        cofs
+    }
 
+    /// Maintain the aggregates across a path delta instead of recomputing
+    /// from scratch: `new_factor` must be `old_factor.apply_delta(delta)`.
+    ///
+    /// The descendant tables are *patched* — every added (removed) path
+    /// increments (decrements) its value's count at each level, `O(|delta| ·
+    /// depth)` dictionary probes, exact because the counts are integers. The
+    /// run and `COF` tables are re-derived from the spliced code columns in
+    /// linear `u32` scans (their entries are positional, so a single
+    /// mid-table insertion shifts every later entry anyway). What the delta
+    /// path never pays is the cold path's relation scan, path sort and
+    /// dictionary rebuild.
+    ///
+    /// Codes of values whose last path vanished stay in the dictionaries
+    /// with a descendant count of zero — they no longer appear in any run or
+    /// `COF` entry, so every aggregate query is unaffected.
+    pub fn apply_delta(&self, new_factor: &EncodedFactor, delta: &PathDelta) -> Self {
+        let depth = new_factor.depth();
+        let mut desc = self.desc.clone();
+        for (level, table) in desc.iter_mut().enumerate() {
+            table.resize(new_factor.cardinality(level), 0.0);
+        }
+        let mut patch = |path: &[Value], step: f64| {
+            for (level, table) in desc.iter_mut().enumerate() {
+                let code = new_factor.levels[level]
+                    .dict
+                    .code_of(&path[level])
+                    .expect("delta value present in extended dictionary");
+                table[code as usize] += step;
+            }
+        };
+        for path in &delta.added {
+            patch(path, 1.0);
+        }
+        for path in &delta.removed {
+            patch(path, -1.0);
+        }
+        let runs = (0..depth)
+            .map(|level| {
+                new_factor
+                    .level_runs(level)
+                    .into_iter()
+                    .map(|(c, n)| (c, n as f64))
+                    .collect()
+            })
+            .collect();
         EncodedHierarchyAggregates {
-            leaf_count,
+            leaf_count: new_factor.leaf_count() as f64,
             desc,
             runs,
-            cofs,
+            cofs: Self::cof_tables(new_factor),
         }
     }
 }
@@ -368,6 +626,51 @@ impl EncodedAggregates {
     /// Per-hierarchy aggregates (exposed for the drill-down cache).
     pub fn per_hierarchy(&self) -> &[Arc<EncodedHierarchyAggregates>] {
         &self.per_hierarchy
+    }
+
+    /// Maintain the factorisation and its aggregates across an ingest's path
+    /// deltas instead of recomputing: `fact` must be the factorisation these
+    /// aggregates were computed over, with one optional [`PathDelta`] per
+    /// hierarchy. Hierarchies without a (non-empty) delta re-share their
+    /// encoded factor *and* per-hierarchy aggregate state by `Arc` — the
+    /// common streaming case, where a day of appended rows touches the time
+    /// hierarchy and leaves every other hierarchy's state byte-identical at
+    /// zero cost. Changed hierarchies flow through
+    /// [`EncodedFactor::apply_delta`] and
+    /// [`EncodedHierarchyAggregates::apply_delta`].
+    pub fn apply_delta(
+        &self,
+        fact: &EncodedFactorization,
+        delta: &FactorizationDelta,
+    ) -> (EncodedFactorization, EncodedAggregates) {
+        assert_eq!(
+            delta.per_hierarchy.len(),
+            fact.factors().len(),
+            "one delta slot per hierarchy"
+        );
+        let mut factors = Vec::with_capacity(fact.factors().len());
+        let mut parts = Vec::with_capacity(fact.factors().len());
+        for ((factor, part), d) in fact
+            .factors()
+            .iter()
+            .zip(&self.per_hierarchy)
+            .zip(&delta.per_hierarchy)
+        {
+            match d {
+                Some(d) if !d.is_empty() => {
+                    let next = Arc::new(factor.apply_delta(d));
+                    parts.push(Arc::new(part.apply_delta(&next, d)));
+                    factors.push(next);
+                }
+                _ => {
+                    factors.push(factor.clone());
+                    parts.push(part.clone());
+                }
+            }
+        }
+        let next_fact = EncodedFactorization::new(factors);
+        let aggregates = EncodedAggregates::from_parts(&next_fact, parts);
+        (next_fact, aggregates)
     }
 
     /// Number of columns covered.
@@ -481,6 +784,130 @@ impl EncodedAggregates {
             .map(|(code, c)| (c * scale) * f(code))
             .sum()
     }
+}
+
+/// Compare two encoded aggregate states for *semantic* equality in value
+/// space, returning `None` when equal or `Some(description)` of the first
+/// mismatch.
+///
+/// This is the equality contract behind delta maintenance: a
+/// delta-maintained dictionary keeps stable codes (with appended codes for
+/// values first seen mid-stream, and zero-count codes for values whose
+/// paths vanished), so code *numbering* is the one representational freedom
+/// between a maintained state and a cold rebuild. Everything else — grand
+/// total, per-column `TOTAL`/repetitions, per-value `COUNT`s (checked in
+/// both directions), decoded block-run sequences and decoded same-hierarchy
+/// `COF` entry sequences — must match exactly (`==`, not tolerance: every
+/// compared quantity is an integer count, or a product of integer counts
+/// accumulated in identical path order). Used by the in-crate delta tests,
+/// the workspace property tests and the streaming benchmark's correctness
+/// gate, so there is one source of truth for "delta equals cold".
+pub fn semantic_diff(
+    a_fact: &EncodedFactorization,
+    a: &EncodedAggregates,
+    b_fact: &EncodedFactorization,
+    b: &EncodedAggregates,
+) -> Option<String> {
+    if a.grand_total() != b.grand_total() {
+        return Some(format!(
+            "grand_total {} != {}",
+            a.grand_total(),
+            b.grand_total()
+        ));
+    }
+    if a.n_cols() != b.n_cols() {
+        return Some(format!("n_cols {} != {}", a.n_cols(), b.n_cols()));
+    }
+    for c in 0..a.n_cols() {
+        if a.total(c) != b.total(c) {
+            return Some(format!("TOTAL col {c}: {} != {}", a.total(c), b.total(c)));
+        }
+        if a.repetitions(c) != b.repetitions(c) {
+            return Some(format!("repetitions col {c}"));
+        }
+        // COUNT per decoded value, both directions (either dictionary may
+        // hold values the other never saw — their counts must be zero).
+        let (a_desc, a_scale) = a.counts_raw(c);
+        let (b_desc, b_scale) = b.counts_raw(c);
+        let count_of = |fact: &EncodedFactorization, desc: &[f64], scale: f64, value: &Value| {
+            fact.dict(c)
+                .code_of(value)
+                .map(|code| desc[code as usize] * scale)
+                .unwrap_or(0.0)
+        };
+        for (code, count) in a_desc.iter().enumerate() {
+            let value = a_fact.dict(c).value(code as u32);
+            let other = count_of(b_fact, b_desc, b_scale, value);
+            if count * a_scale != other {
+                return Some(format!(
+                    "COUNT col {c} value {value}: {} != {other}",
+                    count * a_scale
+                ));
+            }
+        }
+        for (code, count) in b_desc.iter().enumerate() {
+            let value = b_fact.dict(c).value(code as u32);
+            let other = count_of(a_fact, a_desc, a_scale, value);
+            if count * b_scale != other {
+                return Some(format!(
+                    "COUNT col {c} value {value}: {other} != {}",
+                    count * b_scale
+                ));
+            }
+        }
+        // Block runs: identical decoded (value, scaled count) sequence —
+        // path order is value order on both sides.
+        let (a_runs, ar_scale) = a.block_runs_raw(c);
+        let (b_runs, br_scale) = b.block_runs_raw(c);
+        if a_runs.len() != b_runs.len() {
+            return Some(format!(
+                "run count col {c}: {} != {}",
+                a_runs.len(),
+                b_runs.len()
+            ));
+        }
+        for (i, (&(ac, an), &(bc, bn))) in a_runs.iter().zip(b_runs).enumerate() {
+            if a_fact.dict(c).value(ac) != b_fact.dict(c).value(bc)
+                || an * ar_scale != bn * br_scale
+            {
+                return Some(format!("run {i} col {c} differs"));
+            }
+        }
+    }
+    // Same-hierarchy COF tables: identical decoded entry sequences. The
+    // cross-hierarchy (Independent) case is fully determined by the
+    // per-column counts compared above.
+    for left in 0..a.n_cols() {
+        for right in (left + 1)..a.n_cols() {
+            match (a.cof(left, right), b.cof(left, right)) {
+                (
+                    EncodedCofPairs::Materialized {
+                        entries: ae,
+                        scale: asc,
+                    },
+                    EncodedCofPairs::Materialized {
+                        entries: be,
+                        scale: bsc,
+                    },
+                ) => {
+                    if ae.len() != be.len() {
+                        return Some(format!("COF ({left},{right}) entry count"));
+                    }
+                    for (i, (&(a1, a2, an), &(b1, b2, bn))) in ae.iter().zip(be).enumerate() {
+                        if a_fact.dict(left).value(a1) != b_fact.dict(left).value(b1)
+                            || a_fact.dict(right).value(a2) != b_fact.dict(right).value(b2)
+                            || an * asc != bn * bsc
+                        {
+                            return Some(format!("COF ({left},{right}) entry {i} differs"));
+                        }
+                    }
+                }
+                (EncodedCofPairs::Independent { .. }, EncodedCofPairs::Independent { .. }) => {}
+                _ => return Some(format!("COF ({left},{right}) shape mismatch")),
+            }
+        }
+    }
+    None
 }
 
 /// Code-indexed feature columns: the flat mirror of [`FeatureMap`].
@@ -886,6 +1313,99 @@ mod tests {
                 assert_eq!(enc.dict(ec).value(code), lv);
             }
         }
+    }
+
+    /// Semantic (decoded) equality of two aggregate states whose dictionaries
+    /// may number codes differently — delegates to [`semantic_diff`], the
+    /// shared delta-vs-cold equality contract.
+    fn assert_semantically_equal(
+        a_fact: &EncodedFactorization,
+        a: &EncodedAggregates,
+        b_fact: &EncodedFactorization,
+        b: &EncodedAggregates,
+    ) {
+        assert_eq!(semantic_diff(a_fact, a, b_fact, b), None);
+    }
+
+    #[test]
+    fn apply_delta_matches_recompute_with_new_values_and_removals() {
+        let (fact, _) = paper_example();
+        let enc = EncodedFactorization::encode(&fact);
+        let aggs = EncodedAggregates::compute(&enc);
+        // geo: remove (d1, v2), add (d1, v0) (new leaf value sorting first)
+        // and (d3, v9) (new district and new leaf).
+        let delta = FactorizationDelta::none(2).with(
+            1,
+            PathDelta {
+                added: vec![
+                    vec![Value::str("d1"), Value::str("v0")],
+                    vec![Value::str("d3"), Value::str("v9")],
+                ],
+                removed: vec![vec![Value::str("d1"), Value::str("v2")]],
+            },
+        );
+        let (next_fact, next_aggs) = aggs.apply_delta(&enc, &delta);
+        // the untouched time hierarchy is re-shared, not copied
+        assert!(Arc::ptr_eq(&enc.factors()[0], &next_fact.factors()[0]));
+        assert!(Arc::ptr_eq(
+            &aggs.per_hierarchy()[0],
+            &next_aggs.per_hierarchy()[0]
+        ));
+        // existing codes stayed stable: d1 and d2 keep their old codes
+        for v in ["d1", "d2"] {
+            assert_eq!(
+                enc.dict(1).code_of(&Value::str(v)),
+                next_fact.dict(1).code_of(&Value::str(v))
+            );
+        }
+        // cold rebuild of the same post-delta path set
+        let geo = HierarchyFactor::from_paths(
+            "geo",
+            vec![AttrId(1), AttrId(2)],
+            vec![
+                vec![Value::str("d1"), Value::str("v0")],
+                vec![Value::str("d1"), Value::str("v1")],
+                vec![Value::str("d2"), Value::str("v3")],
+                vec![Value::str("d3"), Value::str("v9")],
+            ],
+        );
+        let time = HierarchyFactor::from_paths(
+            "time",
+            vec![AttrId(0)],
+            vec![vec![Value::str("t1")], vec![Value::str("t2")]],
+        );
+        let cold_fact = EncodedFactorization::encode(&Factorization::new(vec![time, geo]));
+        let cold_aggs = EncodedAggregates::compute(&cold_fact);
+        assert_semantically_equal(&next_fact, &next_aggs, &cold_fact, &cold_aggs);
+    }
+
+    #[test]
+    fn path_delta_between_diffs_sorted_tables() {
+        let (fact, _) = paper_example();
+        let geo = EncodedFactor::encode(&fact.hierarchies()[1]);
+        let new_paths = vec![
+            vec![Value::str("d1"), Value::str("v1")],
+            vec![Value::str("d2"), Value::str("v3")],
+            vec![Value::str("d2"), Value::str("v4")],
+        ];
+        let delta = PathDelta::between(&geo, &new_paths);
+        assert_eq!(delta.added, vec![vec![Value::str("d2"), Value::str("v4")]]);
+        assert_eq!(
+            delta.removed,
+            vec![vec![Value::str("d1"), Value::str("v2")]]
+        );
+        assert_eq!(delta.len(), 2);
+        assert!(!delta.is_empty());
+        // applying the diff reproduces the new table exactly
+        let next = geo.apply_delta(&delta);
+        assert_eq!(next.leaf_count(), 3);
+        for (i, path) in new_paths.iter().enumerate() {
+            assert_eq!(next.cmp_path(i, path), std::cmp::Ordering::Equal);
+            assert_eq!(&next.decode_path(i), path);
+        }
+        // empty diff shares the code columns
+        let noop = PathDelta::between(&next, &new_paths);
+        assert!(noop.is_empty());
     }
 
     #[test]

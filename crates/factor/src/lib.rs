@@ -1,5 +1,11 @@
 //! Factorised representation of hierarchical feature matrices.
 //!
+//! **Paper map** (Huang & Wu, *Reptile*, SIGMOD 2022): the factorised
+//! operators and decomposed aggregates of **Sections 4.2–4.3** (Algorithms
+//! 1–4, 10), the drill-down maintenance of **Section 4.4** — extended here
+//! with streaming delta maintenance (`apply_delta`, ingest epochs) — and
+//! the per-cluster operators of Appendices E/F behind the §5 model's EM.
+//!
 //! The paper's key systems contribution is that the feature matrix used to
 //! train the multi-level repair model never needs to be materialised: its
 //! rows are the cartesian product of per-hierarchy paths, so the matrix is
@@ -24,7 +30,15 @@
 //! * [`lmfao`] — an LMFAO-style baseline that computes the same aggregate
 //!   batch without cross-hierarchy independence or work sharing (Figure 8);
 //! * [`drilldown`] — the O(1) cross-hierarchy updates and caching performed
-//!   when the user drills down (Section 4.4, Appendix J, Figure 9).
+//!   when the user drills down (Section 4.4, Appendix J, Figure 9), with
+//!   per-hierarchy ingest epochs and delta patching so a live feed
+//!   maintains cached state instead of invalidating it wholesale;
+//! * [`encoded::PathDelta`] / [`EncodedAggregates::apply_delta`] — streaming
+//!   delta maintenance of the encoded tables: stable-code dictionary
+//!   extension, spliced `Arc`-shared code columns, patched descendant
+//!   counts.
+
+#![warn(missing_docs)]
 
 pub mod aggregates;
 pub mod cluster;
@@ -38,10 +52,12 @@ pub mod row_iter;
 
 pub use aggregates::DecomposedAggregates;
 pub use cluster::ClusterPartition;
-pub use drilldown::{AggregateSource, DrilldownMode, DrilldownSession, FreshAggregates};
+pub use drilldown::{
+    AggregateSource, DrilldownMode, DrilldownSession, FreshAggregates, PathCountIndex,
+};
 pub use encoded::{
     EncodedAggregates, EncodedDesign, EncodedFactor, EncodedFactorization, EncodedFeatureMap,
-    EncodedHierarchyAggregates, EncodedRowIter, FactorBackend,
+    EncodedHierarchyAggregates, EncodedRowIter, FactorBackend, FactorizationDelta, PathDelta,
 };
 pub use factorization::{AttrPosition, Factorization, HierarchyFactor};
 pub use feature::FeatureMap;

@@ -1,5 +1,10 @@
 //! Dense linear-algebra substrate for the Reptile reproduction.
 //!
+//! **Paper map** (Huang & Wu, *Reptile*, SIGMOD 2022): the dense baseline
+//! the factorised operators of **Section 4.2** are compared against (the
+//! paper uses LAPACK via Matlab), plus the Cholesky/LU solvers behind the
+//! EM updates of the **Section 5** multi-level model.
+//!
 //! The paper compares its factorised matrix operators against LAPACK (via
 //! Matlab). LAPACK is not available offline, so this crate provides the dense
 //! stand-in: a row-major [`Matrix`] with textbook GEMM, LU-based solves and

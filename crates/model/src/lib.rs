@@ -1,5 +1,10 @@
 //! Model layer of the Reptile reproduction.
 //!
+//! **Paper map** (Huang & Wu, *Reptile*, SIGMOD 2022): the multi-level
+//! repair model of **Section 5** — featurisation (§3.3), training-design
+//! assembly over the factorised matrix (§3.4/§5.2), EM training of the
+//! mixed-effects model (Appendix D) and AIC model comparison (Appendix K).
+//!
 //! Reptile estimates a drill-down group's *expected* statistic by fitting a
 //! model to the statistics of all parallel groups (Section 3.2). This crate
 //! provides:

@@ -1,20 +1,38 @@
 //! Dictionary encoding of attribute domains.
 //!
 //! A [`ValueDict`] maps each distinct [`Value`] of one attribute domain to a
-//! dense `u32` code. Codes are assigned in the `Value`s' sorted order, so
-//! comparing two codes orders the same way as comparing the values they stand
-//! for — range predicates, sorted-run detection and BTreeMap-iteration
-//! equivalence all survive the encoding. The factorised operators run on
-//! codes end-to-end (flat `Vec<f64>` indexing instead of `BTreeMap<Value, _>`
-//! lookups) and decode back to `Value` only at the explanation/API boundary.
+//! dense `u32` code. At construction codes are assigned in the `Value`s'
+//! sorted order, so comparing two codes orders the same way as comparing the
+//! values they stand for — range predicates, sorted-run detection and
+//! BTreeMap-iteration equivalence all survive the encoding. The factorised
+//! operators run on codes end-to-end (flat `Vec<f64>` indexing instead of
+//! `BTreeMap<Value, _>` lookups) and decode back to `Value` only at the
+//! explanation/API boundary.
+//!
+//! Under streaming ingest a domain can *grow*: [`ValueDict::extend_with`]
+//! keeps every existing code stable and appends fresh codes for unseen
+//! values, so code-indexed tables built before the extension stay valid and
+//! only need to be lengthened. After an extension, code order is no longer
+//! globally sorted (the appended tail sorts wherever its values fall); a
+//! separate permutation index keeps `code_of` an `O(log n)` binary search
+//! either way.
 
 use crate::value::Value;
 
-/// A sorted dictionary assigning dense `u32` codes to one attribute domain.
+/// A dictionary assigning dense `u32` codes to one attribute domain.
+///
+/// Codes are sorted-rank order at construction and remain *stable* across
+/// [`ValueDict::extend_with`]: extending never renumbers an existing value,
+/// it only appends codes for new ones.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ValueDict {
-    /// Distinct values in sorted order; a value's index is its code.
+    /// Distinct values in *code* order: the sorted construction domain
+    /// followed by appended extension values in arrival order.
     values: Vec<Value>,
+    /// Codes ordered by their value — the binary-search index behind
+    /// [`ValueDict::code_of`]. Equals the identity permutation until the
+    /// first extension appends out of sorted order.
+    by_value: Vec<u32>,
 }
 
 impl ValueDict {
@@ -24,13 +42,15 @@ impl ValueDict {
     pub fn from_values(mut values: Vec<Value>) -> Self {
         values.sort();
         values.dedup();
-        ValueDict { values }
+        let by_value = (0..values.len() as u32).collect();
+        ValueDict { values, by_value }
     }
 
     /// Build from values already sorted and distinct (checked in debug).
     pub fn from_sorted_values(values: Vec<Value>) -> Self {
         debug_assert!(values.windows(2).all(|w| w[0] < w[1]));
-        ValueDict { values }
+        let by_value = (0..values.len() as u32).collect();
+        ValueDict { values, by_value }
     }
 
     /// Number of distinct values in the domain.
@@ -46,7 +66,38 @@ impl ValueDict {
     /// The code of `value`, if it is part of the domain.
     #[inline]
     pub fn code_of(&self, value: &Value) -> Option<u32> {
-        self.values.binary_search(value).ok().map(|i| i as u32)
+        self.by_value
+            .binary_search_by(|&c| self.values[c as usize].cmp(value))
+            .ok()
+            .map(|i| self.by_value[i])
+    }
+
+    /// The code of `value`, appending a fresh code if the value is unseen.
+    /// Existing codes are never renumbered.
+    pub fn code_or_insert(&mut self, value: &Value) -> u32 {
+        match self
+            .by_value
+            .binary_search_by(|&c| self.values[c as usize].cmp(value))
+        {
+            Ok(i) => self.by_value[i],
+            Err(i) => {
+                let code = self.values.len() as u32;
+                self.values.push(value.clone());
+                self.by_value.insert(i, code);
+                code
+            }
+        }
+    }
+
+    /// Extend the domain in place with every unseen value of `values`,
+    /// keeping existing codes stable and appending fresh codes for new
+    /// values. Returns the number of values appended.
+    pub fn extend_with<'a>(&mut self, values: impl IntoIterator<Item = &'a Value>) -> usize {
+        let before = self.values.len();
+        for value in values {
+            self.code_or_insert(value);
+        }
+        self.values.len() - before
     }
 
     /// Decode a code back to its value.
@@ -58,7 +109,8 @@ impl ValueDict {
         &self.values[code as usize]
     }
 
-    /// The full domain in sorted (= code) order.
+    /// The full domain in code order (sorted order until the first
+    /// extension; extension values follow in arrival order).
     pub fn values(&self) -> &[Value] {
         &self.values
     }
@@ -111,5 +163,44 @@ mod tests {
         let dict = ValueDict::from_values(Vec::new());
         assert!(dict.is_empty());
         assert_eq!(dict.code_of(&Value::int(1)), None);
+    }
+
+    #[test]
+    fn extension_keeps_existing_codes_stable() {
+        let mut dict =
+            ValueDict::from_values(vec![Value::str("b"), Value::str("d"), Value::str("f")]);
+        let before: Vec<(u32, Value)> = dict.iter().map(|(c, v)| (c, v.clone())).collect();
+        // "c" and "e" sort into the middle of the domain, "a" before it, and
+        // "f" is already present.
+        let extra = [
+            Value::str("e"),
+            Value::str("a"),
+            Value::str("f"),
+            Value::str("c"),
+        ];
+        assert_eq!(dict.extend_with(extra.iter()), 3);
+        assert_eq!(dict.len(), 6);
+        for (code, value) in before {
+            assert_eq!(dict.code_of(&value), Some(code), "stable code for {value}");
+            assert_eq!(dict.value(code), &value);
+        }
+        // new values got appended codes, in arrival order
+        assert_eq!(dict.code_of(&Value::str("e")), Some(3));
+        assert_eq!(dict.code_of(&Value::str("a")), Some(4));
+        assert_eq!(dict.code_of(&Value::str("c")), Some(5));
+        // lookups still work for every value, seen or appended
+        for (code, value) in dict.iter() {
+            assert_eq!(dict.code_of(value), Some(code));
+        }
+        assert_eq!(dict.code_of(&Value::str("zz")), None);
+    }
+
+    #[test]
+    fn code_or_insert_round_trips() {
+        let mut dict = ValueDict::from_values(Vec::new());
+        assert_eq!(dict.code_or_insert(&Value::int(7)), 0);
+        assert_eq!(dict.code_or_insert(&Value::int(3)), 1);
+        assert_eq!(dict.code_or_insert(&Value::int(7)), 0);
+        assert_eq!(dict.value(1), &Value::int(3));
     }
 }

@@ -11,22 +11,37 @@ pub enum RelationalError {
     /// An attribute id was out of range for the schema.
     AttributeOutOfRange(usize),
     /// A row was appended whose arity does not match the schema.
-    ArityMismatch { expected: usize, got: usize },
+    ArityMismatch {
+        /// The schema's arity.
+        expected: usize,
+        /// The offending row's length.
+        got: usize,
+    },
     /// A hierarchy was declared whose attributes violate the required
     /// functional dependency (more specific -> less specific).
     FunctionalDependencyViolation {
+        /// Name of the violating hierarchy.
         hierarchy: String,
+        /// The more-specific value with multiple parents.
         specific: String,
+        /// How many distinct parents it has.
         parents: usize,
     },
     /// The same attribute was assigned to two dimensions / roles.
     DuplicateAttribute(String),
     /// A measure attribute contained a non-numeric value.
-    NonNumericMeasure { attribute: String, row: usize },
+    NonNumericMeasure {
+        /// Name of the measure attribute.
+        attribute: String,
+        /// Row index of the offending value.
+        row: usize,
+    },
     /// An operation needed a group that does not exist in the view.
     UnknownGroup(String),
     /// A drill-down was requested on a hierarchy that has no further levels.
     NoMoreLevels(String),
+    /// An ingest batch asked to delete a tuple that is not in the relation.
+    NoSuchRow(String),
     /// Catch-all for invalid arguments.
     Invalid(String),
 }
@@ -64,6 +79,12 @@ impl fmt::Display for RelationalError {
             RelationalError::UnknownGroup(key) => write!(f, "unknown group `{key}`"),
             RelationalError::NoMoreLevels(h) => {
                 write!(f, "hierarchy `{h}` has no further level to drill into")
+            }
+            RelationalError::NoSuchRow(row) => {
+                write!(
+                    f,
+                    "cannot delete row {row}: no matching tuple in the relation"
+                )
             }
             RelationalError::Invalid(msg) => write!(f, "{msg}"),
         }

@@ -1,0 +1,269 @@
+//! Streaming ingest: batched inserts/deletes against a registered relation.
+//!
+//! Reptile's factorised representation exists so that aggregates and models
+//! can be *maintained* rather than recomputed as the analyst drills down
+//! (Section 4.3); the same machinery lets the base relation change under a
+//! live feed. An [`IngestBatch`] is the unit of change: a bag of inserted
+//! tuples plus a bag of deleted tuples, applied atomically by
+//! [`Relation::apply`]. The result is a **new snapshot** that shares the
+//! original's lineage identity ([`Relation::ident`]) and bumps its
+//! [`Relation::version`] — views computed before the batch keep their old
+//! snapshot alive through their own `Arc`, so serving and ingest can overlap
+//! without locks at this layer.
+//!
+//! Deletes use bag semantics: each delete tuple removes exactly one matching
+//! row (the earliest not already claimed by the batch), and a tuple with no
+//! match fails the whole batch with [`RelationalError::NoSuchRow`] — nothing
+//! is applied partially.
+
+use crate::error::RelationalError;
+use crate::relation::Relation;
+use crate::value::Value;
+use crate::Result;
+use std::collections::HashMap;
+
+/// A batch of row-level changes to apply to a [`Relation`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestBatch {
+    inserts: Vec<Vec<Value>>,
+    deletes: Vec<Vec<Value>>,
+}
+
+impl IngestBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        IngestBatch::default()
+    }
+
+    /// Add an inserted row (builder style).
+    pub fn insert<I, V>(mut self, row: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.push_insert(row.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Add a deleted row (builder style). The tuple must match an existing
+    /// row exactly (all attributes, including the measure).
+    pub fn delete<I, V>(mut self, row: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.push_delete(row.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Append an inserted row in place.
+    pub fn push_insert(&mut self, row: Vec<Value>) {
+        self.inserts.push(row);
+    }
+
+    /// Append a deleted row in place.
+    pub fn push_delete(&mut self, row: Vec<Value>) {
+        self.deletes.push(row);
+    }
+
+    /// The rows this batch inserts.
+    pub fn inserts(&self) -> &[Vec<Value>] {
+        &self.inserts
+    }
+
+    /// The rows this batch deletes.
+    pub fn deletes(&self) -> &[Vec<Value>] {
+        &self.deletes
+    }
+
+    /// Total number of row changes (inserts plus deletes).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.deletes.len()
+    }
+
+    /// Whether the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Every changed tuple — inserts then deletes. This is the row set that
+    /// cache-invalidation rules match predicates against: a cached view is
+    /// stale if and only if at least one changed tuple satisfies its
+    /// predicate.
+    pub fn changed_rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.inserts
+            .iter()
+            .chain(self.deletes.iter())
+            .map(Vec::as_slice)
+    }
+}
+
+impl Relation {
+    /// Apply `batch` and return the next snapshot of this relation's
+    /// lineage: same [`Relation::ident`], [`Relation::version`] plus one.
+    ///
+    /// The batch is validated up front (row arities, every delete tuple
+    /// matched against a distinct row) and applied all-or-nothing. Deleted
+    /// rows are removed, then inserts are appended in batch order. The
+    /// receiver is untouched — callers holding an `Arc` of the old snapshot
+    /// keep a consistent pre-ingest view of the data.
+    pub fn apply(&self, batch: &IngestBatch) -> Result<Relation> {
+        let arity = self.schema().arity();
+        for row in batch.inserts().iter().chain(batch.deletes()) {
+            if row.len() != arity {
+                return Err(RelationalError::ArityMismatch {
+                    expected: arity,
+                    got: row.len(),
+                });
+            }
+        }
+        // Resolve every delete tuple to a distinct row index (bag semantics:
+        // duplicates in the batch claim duplicates in the relation, earliest
+        // rows first). The index is built over the *deletes* — O(|deletes|)
+        // memory — and resolved by one ascending scan of the relation that
+        // only materialises rows passing a cheap first-column prefilter, so
+        // a small correction batch against a large panel costs one scan of
+        // borrowed comparisons, not a relation-sized map of cloned tuples.
+        let mut claimed = vec![false; self.len()];
+        if !batch.deletes().is_empty() {
+            let mut remaining: HashMap<&Vec<Value>, usize> = HashMap::new();
+            for tuple in batch.deletes() {
+                *remaining.entry(tuple).or_insert(0) += 1;
+            }
+            let first_values: std::collections::HashSet<&Value> =
+                batch.deletes().iter().filter_map(|t| t.first()).collect();
+            let mut unresolved = batch.deletes().len();
+            for (r, claim) in claimed.iter_mut().enumerate() {
+                if unresolved == 0 {
+                    break;
+                }
+                if arity > 0 && !first_values.contains(self.value(r, crate::AttrId(0))) {
+                    continue;
+                }
+                let row = self.row(r);
+                if let Some(n) = remaining.get_mut(&row) {
+                    if *n > 0 {
+                        *n -= 1;
+                        unresolved -= 1;
+                        *claim = true;
+                    }
+                }
+            }
+            if unresolved > 0 {
+                let tuple = batch
+                    .deletes()
+                    .iter()
+                    .find(|t| remaining.get(*t).copied().unwrap_or(0) > 0)
+                    .expect("some delete tuple is unresolved");
+                let shown: Vec<String> = tuple.iter().map(|v| v.to_string()).collect();
+                return Err(RelationalError::NoSuchRow(format!(
+                    "({})",
+                    shown.join(", ")
+                )));
+            }
+        }
+        let keep: Vec<usize> = (0..self.len()).filter(|&r| !claimed[r]).collect();
+        let mut next = self.take(&keep);
+        for row in batch.inserts() {
+            next.push_row(row.clone())?;
+        }
+        Ok(next.into_successor_of(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["district", "village"])
+                .hierarchy("time", ["year"])
+                .measure("severity")
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn base() -> Relation {
+        Relation::builder(schema())
+            .row(["Ofla", "Adishim", "1986", "8"])
+            .unwrap()
+            .row(["Ofla", "Darube", "1986", "2"])
+            .unwrap()
+            .row(["Ofla", "Darube", "1986", "2"])
+            .unwrap()
+            .build()
+    }
+
+    fn row(d: &str, v: &str, y: &str, s: &str) -> Vec<Value> {
+        vec![Value::str(d), Value::str(v), Value::str(y), Value::str(s)]
+    }
+
+    #[test]
+    fn insert_and_delete_apply_atomically() {
+        let rel = base();
+        let batch = IngestBatch::new()
+            .insert(["Raya", "Zata", "1986", "9"])
+            .delete(["Ofla", "Darube", "1986", "2"]);
+        let next = rel.apply(&batch).unwrap();
+        assert_eq!(next.len(), 3);
+        assert_eq!(rel.len(), 3, "old snapshot untouched");
+        assert_eq!(next.ident(), rel.ident(), "same lineage");
+        assert_eq!(next.version(), rel.version() + 1);
+        // one of the duplicate Darube rows survives
+        let darube =
+            next.filter_indices(|r| next.value(r, crate::AttrId(1)) == &Value::str("Darube"));
+        assert_eq!(darube.len(), 1);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.changed_rows().count(), 2);
+    }
+
+    #[test]
+    fn duplicate_deletes_claim_distinct_rows() {
+        let rel = base();
+        let batch = IngestBatch::new()
+            .delete(["Ofla", "Darube", "1986", "2"])
+            .delete(["Ofla", "Darube", "1986", "2"]);
+        let next = rel.apply(&batch).unwrap();
+        assert_eq!(next.len(), 1);
+    }
+
+    #[test]
+    fn missing_delete_tuple_fails_whole_batch() {
+        let rel = base();
+        let batch = IngestBatch::new()
+            .insert(["Raya", "Zata", "1986", "9"])
+            .delete(["Bora", "Nowhere", "1986", "1"]);
+        let err = rel.apply(&batch).unwrap_err();
+        assert!(matches!(err, RelationalError::NoSuchRow(_)), "{err}");
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let rel = base();
+        let batch = IngestBatch::new().insert(["just-one"]);
+        assert!(matches!(
+            rel.apply(&batch),
+            Err(RelationalError::ArityMismatch {
+                expected: 4,
+                got: 1
+            })
+        ));
+        let mut batch = IngestBatch::new();
+        batch.push_delete(row("Ofla", "Adishim", "1986", "8")[..2].to_vec());
+        assert!(rel.apply(&batch).is_err());
+    }
+
+    #[test]
+    fn empty_batch_still_advances_the_version() {
+        let rel = base();
+        let next = rel.apply(&IngestBatch::new()).unwrap();
+        assert_eq!(next.len(), rel.len());
+        assert_eq!(next.version(), rel.version() + 1);
+    }
+}

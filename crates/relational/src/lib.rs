@@ -1,7 +1,11 @@
 //! Relational substrate for the Reptile reproduction.
 //!
-//! This crate provides the base data model that the Reptile explanation
-//! engine (SIGMOD 2022, Huang & Wu) is defined over:
+//! **Paper map** (Huang & Wu, *Reptile*, SIGMOD 2022): this crate implements
+//! the data model of **Section 3.1** — relations whose dimension attributes
+//! are partitioned into hierarchies, complaint views as group-by aggregates
+//! over provenance predicates — plus the distributive merge functions `G` of
+//! **Appendix A** that let a parent aggregate absorb a repaired child
+//! without rescanning the data:
 //!
 //! * typed [`Value`]s and columnar [`Relation`]s,
 //! * [`Schema`]s whose dimension attributes are partitioned into
@@ -9,15 +13,24 @@
 //! * distributive aggregation ([`AggState`], [`AggregateKind`]) together with
 //!   the merge functions `G` of the paper's Appendix A,
 //! * group-by [`View`]s, provenance filters and the `drilldown` operator of
-//!   Section 3.1.
+//!   Section 3.1,
+//! * dictionary encoding of attribute domains ([`ValueDict`]) for the
+//!   factorised operators' columnar backend (§4.2's aggregates run on dense
+//!   codes; values are decoded only at the explanation boundary),
+//! * streaming ingest ([`IngestBatch`], [`Relation::apply`]) — snapshot
+//!   semantics for live feeds, the substrate of the engine's delta-maintained
+//!   aggregates (the maintenance direction of §4.3/§4.4).
 //!
 //! Everything in the factorised representation, the multi-level model and the
 //! Reptile engine itself is built on top of these types.
+
+#![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod dict;
 pub mod error;
 pub mod hierarchy;
+pub mod ingest;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
@@ -28,6 +41,7 @@ pub use aggregate::{AggState, AggregateKind};
 pub use dict::ValueDict;
 pub use error::RelationalError;
 pub use hierarchy::{validate_hierarchy, HierarchyLevels};
+pub use ingest::IngestBatch;
 pub use predicate::Predicate;
 pub use relation::{Relation, RelationBuilder};
 pub use schema::{AttrId, Attribute, AttributeRole, Hierarchy, Schema, SchemaBuilder};

@@ -4,14 +4,47 @@ use crate::error::RelationalError;
 use crate::schema::{AttrId, Schema};
 use crate::value::Value;
 use crate::Result;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Source of fresh lineage identifiers (see [`Relation::ident`]).
+static NEXT_IDENT: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_ident() -> u64 {
+    NEXT_IDENT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A columnar relation (bag of tuples) with an attached [`Schema`].
-#[derive(Debug, Clone)]
+///
+/// Every relation carries a *lineage identity* and a *version*: a freshly
+/// built (or cloned) relation starts a new lineage at version 0, while
+/// [`Relation::apply`](crate::ingest) produces the next snapshot of the
+/// *same* lineage with the version bumped. Caches key on the lineage ident
+/// so that entries can survive an ingest of unrelated rows, and distinct
+/// lineages (e.g. a clean panel and a corrupted copy) can never alias.
+#[derive(Debug)]
 pub struct Relation {
     schema: Arc<Schema>,
     columns: Vec<Vec<Value>>,
     rows: usize,
+    ident: u64,
+    version: u64,
+}
+
+impl Clone for Relation {
+    /// Deep-copy the relation as a **new lineage** (fresh ident, version 0):
+    /// a clone can be mutated independently (e.g. error injection via
+    /// [`Relation::set_value`]), so it must never alias its source in any
+    /// lineage-keyed cache.
+    fn clone(&self) -> Self {
+        Relation {
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            rows: self.rows,
+            ident: fresh_ident(),
+            version: 0,
+        }
+    }
 }
 
 impl Relation {
@@ -22,6 +55,8 @@ impl Relation {
             schema,
             columns: vec![Vec::new(); arity],
             rows: 0,
+            ident: fresh_ident(),
+            version: 0,
         }
     }
 
@@ -35,6 +70,27 @@ impl Relation {
     /// The schema of the relation.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
+    }
+
+    /// The lineage identity: shared by every snapshot produced from this
+    /// relation via [`Relation::apply`](crate::ingest), unique across
+    /// independently built (or cloned) relations.
+    pub fn ident(&self) -> u64 {
+        self.ident
+    }
+
+    /// The snapshot version within the lineage (0 at creation, +1 per
+    /// applied [`IngestBatch`](crate::ingest::IngestBatch)).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Mark `self` as the next snapshot of `predecessor`'s lineage
+    /// (used by [`Relation::apply`](crate::ingest)).
+    pub(crate) fn into_successor_of(mut self, predecessor: &Relation) -> Relation {
+        self.ident = predecessor.ident;
+        self.version = predecessor.version + 1;
+        self
     }
 
     /// Number of rows.

@@ -28,6 +28,17 @@ use std::sync::{Arc, Condvar, Mutex};
 
 /// An LRU cache wrapped with the claim protocol: a miss claims the key, and
 /// concurrent readers of a claimed key wait for the claimant to publish.
+///
+/// A *generation* counter is the first of two guards that make the
+/// protocol ingest-safe: every claim records the generation it was made
+/// under, and [`Claimable::invalidate`] (called when an ingest evicts
+/// stale signatures) bumps it, so a publication whose claim *predates* the
+/// bump is dropped instead of inserted. A worker can also claim *after*
+/// the bump while still computing from a pre-ingest view snapshot — that
+/// case is caught by the second guard, [`SharedCacheHandle`]'s snapshot
+/// pinning against the shared ingest log. Either way the worker's
+/// own request still gets its (snapshot-consistent) result; only the cache
+/// write is suppressed.
 struct Claimable<K, V> {
     state: Mutex<ClaimState<K, V>>,
     ready: Condvar,
@@ -36,6 +47,17 @@ struct Claimable<K, V> {
 struct ClaimState<K, V> {
     cache: LruCache<K, V>,
     in_flight: HashSet<K>,
+    generation: u64,
+}
+
+/// Outcome of [`Claimable::get_or_claim`].
+enum Lookup<V> {
+    /// The cached value (possibly published by a concurrent claimant while
+    /// we waited).
+    Hit(V),
+    /// The key is now claimed by the caller; the payload is the generation
+    /// the claim was made under, to be passed back to `fulfill`.
+    Claimed(u64),
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Claimable<K, V> {
@@ -44,20 +66,21 @@ impl<K: Eq + Hash + Clone, V: Clone> Claimable<K, V> {
             state: Mutex::new(ClaimState {
                 cache: LruCache::new(capacity),
                 in_flight: HashSet::new(),
+                generation: 0,
             }),
             ready: Condvar::new(),
         }
     }
 
     /// Return the cached value (a hit — possibly after waiting for an
-    /// in-flight computation), or claim the key and return `None` (a miss;
-    /// the caller must `fulfill` or `abort`).
-    fn get_or_claim(&self, key: &K) -> Option<V> {
+    /// in-flight computation), or claim the key (a miss; the caller must
+    /// `fulfill` or `abort`).
+    fn get_or_claim(&self, key: &K) -> Lookup<V> {
         let mut st = self.state.lock().expect("cache lock");
         loop {
             if let Some(value) = st.cache.get_quiet(key) {
                 st.cache.record_hit();
-                return Some(value);
+                return Lookup::Hit(value);
             }
             if st.in_flight.contains(key) {
                 st = self.ready.wait(st).expect("cache lock");
@@ -65,15 +88,40 @@ impl<K: Eq + Hash + Clone, V: Clone> Claimable<K, V> {
             }
             st.cache.record_miss();
             st.in_flight.insert(key.clone());
-            return None;
+            return Lookup::Claimed(st.generation);
         }
     }
 
-    /// Publish a claimed key's value and wake the waiters.
-    fn fulfill(&self, key: K, value: V) {
+    /// Publish a claimed key's value and wake the waiters — the
+    /// conservative path for *unpinned* handles: the insert is skipped when
+    /// any invalidation happened after the claim (`generation` no longer
+    /// current), because without a snapshot pin there is no way to tell
+    /// whether the value predates the ingest.
+    fn fulfill(&self, key: K, value: V, generation: u64) {
         let mut st = self.state.lock().expect("cache lock");
         st.in_flight.remove(&key);
-        st.cache.insert(key, value);
+        if st.generation == generation {
+            st.cache.insert(key, value);
+        }
+        self.ready.notify_all();
+    }
+
+    /// Publish a snapshot-verified value from a *pinned* handle:
+    /// `still_valid` re-checks the pin against the ingest log **inside this
+    /// cache's critical section**, so the check and the insert cannot be
+    /// separated by a concurrent `invalidate_ingest` (which records the log
+    /// before evicting — an insert that slips in before the record is
+    /// screened by the eviction that follows; one that comes after sees the
+    /// recorded change set and skips itself). A valid publication is
+    /// inserted even across a generation bump: an ingest of rows the pinned
+    /// predicate does not select must not throw away unrelated in-flight
+    /// work.
+    fn fulfill_verified(&self, key: K, value: V, still_valid: impl FnOnce() -> bool) {
+        let mut st = self.state.lock().expect("cache lock");
+        st.in_flight.remove(&key);
+        if still_valid() {
+            st.cache.insert(key, value);
+        }
         self.ready.notify_all();
     }
 
@@ -82,6 +130,14 @@ impl<K: Eq + Hash + Clone, V: Clone> Claimable<K, V> {
         let mut st = self.state.lock().expect("cache lock");
         st.in_flight.remove(key);
         self.ready.notify_all();
+    }
+
+    /// Drop the entries whose key fails `keep` and start a new generation,
+    /// so in-flight publications claimed before this point cannot land.
+    fn invalidate(&self, keep: impl FnMut(&K) -> bool) {
+        let mut st = self.state.lock().expect("cache lock");
+        st.cache.retain(keep);
+        st.generation += 1;
     }
 
     fn stats(&self) -> CacheStats {
@@ -94,6 +150,10 @@ impl<K: Eq + Hash + Clone, V: Clone> Claimable<K, V> {
 pub struct SharedCaches {
     views: Claimable<ViewKey, Arc<View>>,
     models: Claimable<ModelKey, Arc<TrainedModel>>,
+    /// Recent ingest change sets (see [`EngineCache::accepts_view`]): a
+    /// handle pinned to a snapshot an ingest has since made out of date
+    /// discards its publications.
+    ingest_log: Mutex<reptile::IngestLog>,
 }
 
 impl SharedCaches {
@@ -107,7 +167,24 @@ impl SharedCaches {
         SharedCaches {
             views: Claimable::new(views),
             models: Claimable::new(models),
+            ingest_log: Mutex::new(reptile::IngestLog::new()),
         }
+    }
+
+    /// Whether a view signature over snapshot `version` is still current.
+    fn is_current(&self, key: &ViewKey, version: u64) -> bool {
+        self.ingest_log
+            .lock()
+            .expect("ingest log lock")
+            .is_current(key, version)
+    }
+
+    /// The highest post-ingest version recorded for a lineage.
+    fn horizon(&self, relation_ident: u64) -> u64 {
+        self.ingest_log
+            .lock()
+            .expect("ingest log lock")
+            .horizon(relation_ident)
     }
 
     /// View-cache statistics.
@@ -120,13 +197,71 @@ impl SharedCaches {
         self.models.stats()
     }
 
-    /// A per-worker handle implementing [`EngineCache`].
+    /// A per-worker handle implementing [`EngineCache`], not pinned to any
+    /// snapshot. Prefer [`SharedCaches::handle_for`] when the request's
+    /// view is known — an unpinned handle's publications are only protected
+    /// by the claim-generation guard, which cannot catch a worker that
+    /// claims *after* an invalidation while computing from a pre-ingest
+    /// snapshot.
     pub fn handle(&self) -> SharedCacheHandle<'_> {
         SharedCacheHandle {
             caches: self,
+            snapshot: None,
             claimed_views: Vec::new(),
             claimed_models: Vec::new(),
         }
+    }
+
+    /// A per-worker handle pinned to the snapshot `view` was computed over.
+    /// Everything the engine derives while serving that request (drilled
+    /// views, trained models) comes from the same snapshot, so if an ingest
+    /// changes rows the view's predicate selects — before, during or after
+    /// the request — the handle discards its publications instead of caching
+    /// pre-ingest state under post-ingest keys. The worker's own request
+    /// still gets its snapshot-consistent result.
+    pub fn handle_for(&self, view: &View) -> SharedCacheHandle<'_> {
+        SharedCacheHandle {
+            caches: self,
+            snapshot: Some((ViewKey::of_view(view), view.relation().version())),
+            claimed_views: Vec::new(),
+            claimed_models: Vec::new(),
+        }
+    }
+
+    /// Versioned invalidation after an ingest: drop exactly the views (and
+    /// models trained over them) whose signature the report marks stale,
+    /// advance both caches' generations so claims made before this point
+    /// cannot publish, and record the change set so handles pinned to
+    /// snapshots this batch made out of date (and engine requests posed
+    /// over them, via [`EngineCache::accepts_view`]) cannot either.
+    pub fn invalidate_ingest(&self, report: &reptile::IngestReport) {
+        // Record first: a reader that consults the log after this point sees
+        // the change set before any republished post-ingest entry can land.
+        let contiguous = self
+            .ingest_log
+            .lock()
+            .expect("ingest log lock")
+            .record(report);
+        if contiguous {
+            self.views.invalidate(|key| !report.invalidates_view(key));
+            self.models
+                .invalidate(|key| !report.invalidates_view(&key.view));
+        } else {
+            // Missed an earlier ingest: nothing here was screened — flush.
+            self.views.invalidate(|_| false);
+            self.models.invalidate(|_| false);
+        }
+    }
+
+    /// Mark these caches as up to date with `relation`'s lineage without
+    /// recording a change set — called by `BatchServer::new`/`with_caches`
+    /// so caches created after the engine already ingested start at the
+    /// current snapshot instead of being refused cache access forever.
+    pub fn sync_with(&self, relation: &reptile_relational::Relation) {
+        self.ingest_log
+            .lock()
+            .expect("ingest log lock")
+            .seed(relation.ident(), relation.version());
     }
 }
 
@@ -144,54 +279,141 @@ impl Default for SharedCaches {
 /// re-claim and the panic propagates normally through the thread join.
 pub struct SharedCacheHandle<'a> {
     caches: &'a SharedCaches,
-    claimed_views: Vec<ViewKey>,
-    claimed_models: Vec<ModelKey>,
+    /// Canonical signature + snapshot version of the request's view, when
+    /// known — publications are discarded once an ingest changes rows the
+    /// pinned view's predicate selects (everything the request derives
+    /// only refines that predicate).
+    snapshot: Option<(ViewKey, u64)>,
+    claimed_views: Vec<(ViewKey, u64)>,
+    claimed_models: Vec<(ModelKey, u64)>,
+}
+
+impl SharedCacheHandle<'_> {
+    /// Whether an ingest has made the pinned snapshot out of date.
+    fn snapshot_is_stale(&self) -> bool {
+        self.snapshot
+            .as_ref()
+            .is_some_and(|(key, version)| !self.caches.is_current(key, *version))
+    }
 }
 
 impl EngineCache for SharedCacheHandle<'_> {
+    fn accepts_view(&mut self, view: &View) -> bool {
+        self.caches
+            .is_current(&ViewKey::of_view(view), view.relation().version())
+    }
+
+    fn ingest_horizon(&mut self, relation_ident: u64) -> u64 {
+        self.caches.horizon(relation_ident)
+    }
+
     fn get_view(&mut self, key: &ViewKey) -> Option<Arc<View>> {
-        let found = self.caches.views.get_or_claim(key);
-        if found.is_none() {
-            self.claimed_views.push(key.clone());
+        if self.snapshot_is_stale() {
+            // An ingest superseded the pinned snapshot mid-request: stop
+            // reading the shared cache (its entries may reflect the newer
+            // snapshot — a hit would mix snapshots within one request) and
+            // do not claim (the publication would be discarded anyway, and
+            // waiters should not block on it). The engine recomputes from
+            // the request's own snapshot.
+            return None;
         }
-        found
+        match self.caches.views.get_or_claim(key) {
+            Lookup::Hit(view) => Some(view),
+            Lookup::Claimed(generation) => {
+                self.claimed_views.push((key.clone(), generation));
+                None
+            }
+        }
     }
 
     fn put_view(&mut self, key: ViewKey, view: Arc<View>) {
-        self.claimed_views.retain(|k| k != &key);
-        self.caches.views.fulfill(key, view);
+        // No claim held means the stale-snapshot `get` skipped the claim
+        // protocol: drop the value without touching the in-flight set (the
+        // key may be another worker's live claim).
+        let Some(generation) = take_claim(&mut self.claimed_views, &key) else {
+            return;
+        };
+        if let Some((pin_key, pin_version)) = &self.snapshot {
+            if self.caches.is_current(pin_key, *pin_version) {
+                // Snapshot-verified (re-checked inside the cache lock):
+                // publish even across a generation bump for unrelated rows.
+                let caches = self.caches;
+                self.caches
+                    .views
+                    .fulfill_verified(key, view, || caches.is_current(pin_key, *pin_version));
+            } else {
+                // Superseded mid-request: release the claim (waking waiters
+                // to recompute) without caching the pre-ingest contents.
+                self.caches.views.abort(&key);
+            }
+        } else {
+            // Unpinned: only the claim generation can vouch for freshness.
+            self.caches.views.fulfill(key, view, generation);
+        }
     }
 
     fn abort_view(&mut self, key: &ViewKey) {
-        self.claimed_views.retain(|k| k != key);
-        self.caches.views.abort(key);
+        if take_claim(&mut self.claimed_views, key).is_some() {
+            self.caches.views.abort(key);
+        }
     }
 
     fn get_model(&mut self, key: &ModelKey) -> Option<Arc<TrainedModel>> {
-        let found = self.caches.models.get_or_claim(key);
-        if found.is_none() {
-            self.claimed_models.push(key.clone());
+        if self.snapshot_is_stale() {
+            return None; // see get_view: no mixed-snapshot reads, no claims
         }
-        found
+        match self.caches.models.get_or_claim(key) {
+            Lookup::Hit(model) => Some(model),
+            Lookup::Claimed(generation) => {
+                self.claimed_models.push((key.clone(), generation));
+                None
+            }
+        }
     }
 
     fn put_model(&mut self, key: ModelKey, model: Arc<TrainedModel>) {
-        self.claimed_models.retain(|k| k != &key);
-        self.caches.models.fulfill(key, model);
+        let Some(generation) = take_claim(&mut self.claimed_models, &key) else {
+            return; // see put_view: never touch another worker's claim
+        };
+        if let Some((pin_key, pin_version)) = &self.snapshot {
+            if self.caches.is_current(pin_key, *pin_version) {
+                let caches = self.caches;
+                self.caches
+                    .models
+                    .fulfill_verified(key, model, || caches.is_current(pin_key, *pin_version));
+            } else {
+                self.caches.models.abort(&key);
+            }
+        } else {
+            self.caches.models.fulfill(key, model, generation);
+        }
     }
 
     fn abort_model(&mut self, key: &ModelKey) {
-        self.claimed_models.retain(|k| k != key);
-        self.caches.models.abort(key);
+        if take_claim(&mut self.claimed_models, key).is_some() {
+            self.caches.models.abort(key);
+        }
     }
+}
+
+/// Remove `key`'s outstanding claim, if this handle holds one, returning
+/// the generation it was made under. `None` means the handle never claimed
+/// the key (its stale-snapshot `get` skipped the claim protocol) — the
+/// publication must then be dropped *without* touching the in-flight set,
+/// which may hold another worker's live claim.
+fn take_claim<K: Eq>(claims: &mut Vec<(K, u64)>, key: &K) -> Option<u64> {
+    claims
+        .iter()
+        .position(|(k, _)| k == key)
+        .map(|i| claims.swap_remove(i).1)
 }
 
 impl Drop for SharedCacheHandle<'_> {
     fn drop(&mut self) {
-        for key in &self.claimed_views {
+        for (key, _) in &self.claimed_views {
             self.caches.views.abort(key);
         }
-        for key in &self.claimed_models {
+        for (key, _) in &self.claimed_models {
             self.caches.models.abort(key);
         }
     }
@@ -244,9 +466,13 @@ impl BatchServer {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(8);
+        // Sync the fresh caches to the engine's current snapshot: an engine
+        // that already ingested would otherwise refuse them cache access.
+        let caches = SharedCaches::new();
+        caches.sync_with(&engine.relation());
         BatchServer {
             engine,
-            caches: SharedCaches::new(),
+            caches,
             threads,
         }
     }
@@ -257,8 +483,11 @@ impl BatchServer {
         self
     }
 
-    /// Replace the shared caches (e.g. different capacities).
+    /// Replace the shared caches (e.g. different capacities). The caches
+    /// are synced to the engine's current snapshot (see
+    /// [`SharedCaches::sync_with`]).
     pub fn with_caches(mut self, caches: SharedCaches) -> Self {
+        caches.sync_with(&self.engine.relation());
         self.caches = caches;
         self
     }
@@ -276,6 +505,22 @@ impl BatchServer {
     /// Model-cache statistics; `misses` equals the number of models trained.
     pub fn model_stats(&self) -> CacheStats {
         self.caches.model_stats()
+    }
+
+    /// Stream an [`IngestBatch`](reptile_relational::IngestBatch) into the
+    /// engine while the server keeps serving: the engine applies the batch
+    /// with delta maintenance, then the shared caches drop exactly the
+    /// signatures the batch made stale and advance their generation so a
+    /// worker that is mid-computation against the pre-ingest snapshot
+    /// cannot publish into the post-ingest cache. Requests built from old
+    /// view snapshots keep working (snapshot consistency); callers should
+    /// build subsequent requests from views over
+    /// [`IngestReport::relation`](reptile::IngestReport) (e.g. via
+    /// [`reptile::Reptile::refresh_view`]).
+    pub fn ingest(&self, batch: &reptile_relational::IngestBatch) -> Result<reptile::IngestReport> {
+        let report = self.engine.ingest(batch)?;
+        self.caches.invalidate_ingest(&report);
+        Ok(report)
     }
 
     /// Evaluate `requests` concurrently and return one result per request,
@@ -311,7 +556,7 @@ impl BatchServer {
                             break;
                         }
                         let request = unique[i];
-                        let mut cache = self.caches.handle();
+                        let mut cache = self.caches.handle_for(&request.view);
                         out.push((
                             i,
                             self.engine.recommend_with_cache(

@@ -6,7 +6,7 @@
 //! engine's [`EngineCache`] injection point for single-threaded interactive
 //! sessions; the concurrent variant lives in [`crate::batch`].
 
-use reptile::{EngineCache, ModelKey, TrainedModel, ViewKey};
+use reptile::{EngineCache, IngestLog, IngestReport, ModelKey, TrainedModel, ViewKey};
 use reptile_relational::View;
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -24,6 +24,9 @@ pub struct CacheStats {
     pub insertions: u64,
     /// Entries dropped to make room.
     pub evictions: u64,
+    /// Entries dropped because an ingest made them stale
+    /// (see [`LruCache::retain`]).
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -159,6 +162,18 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         self.stats.insertions += 1;
     }
 
+    /// Keep only the entries whose key satisfies `keep`, counting the
+    /// dropped ones as invalidations — the primitive behind versioned
+    /// (ingest-aware) invalidation: after an
+    /// [`IngestReport`], only the signatures whose
+    /// predicate selects a changed row are dropped and every other entry
+    /// stays warm.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        let before = self.map.len();
+        self.map.retain(|k, _| keep(k));
+        self.stats.invalidations += (before - self.map.len()) as u64;
+    }
+
     /// Drop every entry (statistics are kept).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -181,6 +196,10 @@ pub const DEFAULT_MODEL_CAPACITY: usize = 128;
 pub struct SessionCaches {
     views: ViewCache,
     models: ModelCache,
+    /// Recent ingest change sets, for deciding whether a caller-held view
+    /// over an older snapshot is still current
+    /// (see [`EngineCache::accepts_view`]).
+    ingest_log: IngestLog,
 }
 
 impl SessionCaches {
@@ -194,6 +213,7 @@ impl SessionCaches {
         SessionCaches {
             views: ViewCache::new(views),
             models: ModelCache::new(models),
+            ingest_log: IngestLog::new(),
         }
     }
 
@@ -222,6 +242,40 @@ impl SessionCaches {
         self.views.reset_stats();
         self.models.reset_stats();
     }
+
+    /// Versioned invalidation after an ingest: drop exactly the views (and
+    /// the models trained over them) whose signature the report marks stale
+    /// — i.e. whose predicate selects at least one inserted or deleted row.
+    /// Entries over untouched subtrees survive with their recency intact.
+    ///
+    /// Also records the change set: the engine consults it
+    /// ([`EngineCache::accepts_view`]) and serves any later request still
+    /// posed over a view snapshot this batch made out of date without the
+    /// cache, so stale results can never be re-published under the
+    /// surviving keys. Views whose predicate the batch did not touch stay
+    /// fully cache-served, whatever their snapshot age.
+    pub fn invalidate_ingest(&mut self, report: &IngestReport) {
+        if self.ingest_log.record(report) {
+            self.views.retain(|key| !report.invalidates_view(key));
+            self.models
+                .retain(|key| !report.invalidates_view(&key.view));
+        } else {
+            // This cache missed at least one earlier ingest of the lineage:
+            // its entries were never screened against the missed change
+            // sets, so precision is impossible — flush everything.
+            self.views.retain(|_| false);
+            self.models.retain(|_| false);
+        }
+    }
+
+    /// Mark this cache as up to date with `relation`'s lineage without
+    /// recording a change set — called by `Session::new` (and available to
+    /// direct users) so a cache created *after* the engine already ingested
+    /// starts at the current snapshot instead of being refused cache access
+    /// by the engine's horizon check forever.
+    pub fn sync_with(&mut self, relation: &reptile_relational::Relation) {
+        self.ingest_log.seed(relation.ident(), relation.version());
+    }
 }
 
 impl Default for SessionCaches {
@@ -231,6 +285,14 @@ impl Default for SessionCaches {
 }
 
 impl EngineCache for SessionCaches {
+    fn accepts_view(&mut self, view: &reptile_relational::View) -> bool {
+        self.ingest_log.view_is_current(view)
+    }
+
+    fn ingest_horizon(&mut self, relation_ident: u64) -> u64 {
+        self.ingest_log.horizon(relation_ident)
+    }
+
     fn get_view(&mut self, key: &ViewKey) -> Option<Arc<View>> {
         self.views.get(key)
     }

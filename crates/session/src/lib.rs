@@ -1,5 +1,10 @@
 //! # reptile-session — cached interactive sessions and parallel serving
 //!
+//! **Paper map** (Huang & Wu, *Reptile*, SIGMOD 2022): the serving-side
+//! counterpart of the multi-query optimisation and drill-down maintenance
+//! of **Sections 4.4 and 5.1.3** (Figures 8/9) — plus streaming ingest with
+//! versioned invalidation on top of the §4.3 maintenance machinery.
+//!
 //! Reptile is built for *interactive* drill-down: an analyst complains about
 //! an aggregate, inspects the recommendation, accepts a drill-down, and
 //! complains again one level deeper. The stateless

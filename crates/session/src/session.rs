@@ -8,8 +8,8 @@
 //! [`Session::accept`] drills the current view down through the view cache.
 
 use crate::cache::{CacheStats, SessionCaches};
-use reptile::{Complaint, Recommendation, Reptile, ReptileError, Result};
-use reptile_relational::{GroupKey, View};
+use reptile::{Complaint, IngestReport, Recommendation, Reptile, ReptileError, Result, ViewKey};
+use reptile_relational::{GroupKey, IngestBatch, View};
 use std::sync::Arc;
 
 /// One accepted drill-down step.
@@ -37,17 +37,25 @@ impl Session {
     /// analyst first complained about).
     pub fn new(engine: Arc<Reptile>, initial_view: View) -> Self {
         let root = Arc::new(initial_view);
+        // Sync the fresh caches to the engine's current snapshot: an engine
+        // that already ingested would otherwise refuse them cache access
+        // (their ingest horizon would lag the relation version forever).
+        let mut caches = SessionCaches::new();
+        caches.sync_with(&engine.relation());
         Session {
             engine,
-            caches: SessionCaches::new(),
+            caches,
             current: root.clone(),
             root,
             path: Vec::new(),
         }
     }
 
-    /// Replace the default caches (e.g. to bound memory differently).
-    pub fn with_caches(mut self, caches: SessionCaches) -> Self {
+    /// Replace the default caches (e.g. to bound memory differently). The
+    /// caches are synced to the engine's current snapshot (see
+    /// [`SessionCaches::sync_with`]).
+    pub fn with_caches(mut self, mut caches: SessionCaches) -> Self {
+        caches.sync_with(&self.engine.relation());
         self.caches = caches;
         self
     }
@@ -115,5 +123,33 @@ impl Session {
     pub fn reset(&mut self) {
         self.current = self.root.clone();
         self.path.clear();
+    }
+
+    /// Stream an [`IngestBatch`] into the session's engine and bring the
+    /// session up to date with versioned invalidation:
+    ///
+    /// 1. the engine applies the batch with delta maintenance
+    ///    ([`Reptile::ingest`] — untouched hierarchies keep their cached
+    ///    factor state, touched ones get their epoch bumped and are patched
+    ///    forward on next use);
+    /// 2. exactly the cached views/models whose predicate selects a changed
+    ///    row are evicted ([`SessionCaches::invalidate_ingest`]) — warm
+    ///    entries over untouched subtrees survive;
+    /// 3. the session's root and current views are recomputed over the new
+    ///    snapshot *only if* the ingest actually changed their contents.
+    ///
+    /// The next [`Session::recommend`] therefore reflects the post-ingest
+    /// data while reusing every model whose training view the batch did not
+    /// touch.
+    pub fn ingest(&mut self, batch: &IngestBatch) -> Result<IngestReport> {
+        let report = self.engine.ingest(batch)?;
+        self.caches.invalidate_ingest(&report);
+        if report.invalidates_view(&ViewKey::of_view(&self.root)) {
+            self.root = self.engine.refresh_view(&self.root)?;
+        }
+        if report.invalidates_view(&ViewKey::of_view(&self.current)) {
+            self.current = self.engine.refresh_view(&self.current)?;
+        }
+        Ok(report)
     }
 }

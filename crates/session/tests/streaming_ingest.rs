@@ -1,0 +1,406 @@
+//! Streaming-ingest acceptance tests: after an [`IngestBatch`] flows through
+//! a session or batch server, no stale view, model or factor state is ever
+//! served (the epoch/invalidation regression), while entries over untouched
+//! subtrees stay warm (versioned invalidation, not a cache flush).
+
+use reptile::{Complaint, Direction, Recommendation, Reptile, ScoredGroup};
+use reptile_relational::{
+    AggregateKind, GroupKey, IngestBatch, Predicate, Relation, Schema, Value, View,
+};
+use reptile_session::{BatchRequest, BatchServer, Session, SessionCaches};
+use std::sync::Arc;
+
+/// Region -> district -> village geography crossed with years; village
+/// R0-D1-V2 under-reports in 1986.
+fn dataset() -> (Arc<Relation>, Arc<Schema>) {
+    let schema = Arc::new(
+        Schema::builder()
+            .hierarchy("geo", ["region", "district", "village"])
+            .hierarchy("time", ["year"])
+            .measure("severity")
+            .build()
+            .unwrap(),
+    );
+    let mut b = Relation::builder(schema.clone());
+    for year in [1985i64, 1986] {
+        for r in 0..2 {
+            for d in 0..2 {
+                let district = format!("R{r}-D{d}");
+                for v in 0..3 {
+                    let village = format!("{district}-V{v}");
+                    for rep in 0..3 {
+                        let base = 5.0 + r as f64 + 0.5 * d as f64 + 0.1 * rep as f64;
+                        let value = if village == "R0-D1-V2" && year == 1986 {
+                            base - 4.0
+                        } else {
+                            base
+                        };
+                        b = b
+                            .row([
+                                Value::str(format!("R{r}")),
+                                Value::str(district.clone()),
+                                Value::str(village.clone()),
+                                Value::int(year),
+                                Value::float(value),
+                            ])
+                            .unwrap();
+                    }
+                }
+            }
+        }
+    }
+    (Arc::new(b.build()), schema)
+}
+
+fn region_year_view(rel: &Arc<Relation>, schema: &Arc<Schema>) -> View {
+    View::compute(
+        rel.clone(),
+        Predicate::all(),
+        vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
+        schema.attr("severity").unwrap(),
+    )
+    .unwrap()
+}
+
+fn complaint(region: &str, year: i64) -> Complaint {
+    Complaint::new(
+        GroupKey(vec![Value::str(region), Value::int(year)]),
+        AggregateKind::Mean,
+        Direction::TooLow,
+    )
+}
+
+fn assert_same_ranking(a: &Recommendation, b: &Recommendation) {
+    assert_eq!(a.ranked.len(), b.ranked.len());
+    assert_eq!(a.original_value, b.original_value);
+    for (x, y) in a.ranked.iter().zip(&b.ranked) {
+        let same = |x: &ScoredGroup, y: &ScoredGroup| {
+            x.hierarchy == y.hierarchy
+                && x.added_attribute == y.added_attribute
+                && x.key == y.key
+                && x.observed == y.observed
+                && x.expected == y.expected
+                && x.penalty == y.penalty
+        };
+        assert!(same(x, y), "ranking mismatch: {x:?} vs {y:?}");
+    }
+}
+
+/// A batch that "repairs" R0-D1-V2's 1986 reports by deleting them and
+/// re-inserting corrected values — existing paths only, so no hierarchy's
+/// distinct path set changes.
+fn repair_batch(rel: &Relation, schema: &Schema) -> IngestBatch {
+    let village = schema.attr("village").unwrap();
+    let year = schema.attr("year").unwrap();
+    let mut batch = IngestBatch::new();
+    for r in 0..rel.len() {
+        if rel.value(r, village) == &Value::str("R0-D1-V2")
+            && rel.value(r, year) == &Value::int(1986)
+        {
+            let mut row = rel.row(r);
+            batch.push_delete(row.clone());
+            row[4] = Value::float(6.5);
+            batch.push_insert(row);
+        }
+    }
+    assert!(!batch.is_empty());
+    batch
+}
+
+/// THE regression: a warm session must never serve pre-ingest models or
+/// views after `Session::ingest`. The post-ingest recommendation has to be
+/// indistinguishable from a cold stateless engine over the new snapshot.
+#[test]
+fn session_recommendation_after_ingest_matches_cold_engine() {
+    let (rel, schema) = dataset();
+    let view = region_year_view(&rel, &schema);
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let mut session = Session::new(engine.clone(), view);
+    let c = complaint("R0", 1986);
+
+    // Warm everything up on the pre-ingest data.
+    let before = session.recommend(&c).unwrap();
+    let best = before.best_group().unwrap();
+    assert!(
+        best.key.to_string().contains("R0-D1"),
+        "the corrupted village's district should rank first, got {}",
+        best.key
+    );
+    session.recommend(&c).unwrap(); // fully cached pass
+
+    // Stream the repair in and re-pose the same complaint.
+    let report = session.ingest(&repair_batch(&rel, &schema)).unwrap();
+    assert!(report.touched_hierarchies.is_empty(), "paths unchanged");
+    assert_eq!(report.relation.ident(), rel.ident());
+    let after = session.recommend(&c).unwrap();
+
+    // The session result must equal a cold engine over the new snapshot —
+    // stale observed values or stale model predictions would both break this.
+    let fresh_view = region_year_view(&report.relation, &schema);
+    let mut cold = Reptile::new(report.relation.clone(), schema.clone());
+    let expected = cold.recommend(&fresh_view, &c).unwrap();
+    assert_same_ranking(&expected, &after);
+
+    // And the repair is actually visible: the complaint's observed mean rose.
+    assert!(after.original_value > before.original_value);
+}
+
+/// Versioned invalidation: an ingest touching only 1986 evicts the 1986
+/// signatures and leaves every 1985 model warm.
+#[test]
+fn ingest_keeps_untouched_subtree_models_warm() {
+    let (rel, schema) = dataset();
+    let year = schema.attr("year").unwrap();
+    let engine = Reptile::new(rel.clone(), schema.clone());
+    let mut caches = SessionCaches::new();
+    let year_view = |rel: &Arc<Relation>, y: i64| {
+        View::compute(
+            rel.clone(),
+            Predicate::eq(year, Value::int(y)),
+            vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
+            schema.attr("severity").unwrap(),
+        )
+        .unwrap()
+    };
+    let v85 = year_view(&rel, 1985);
+    let v86 = year_view(&rel, 1986);
+    engine
+        .recommend_with_cache(&v85, &complaint("R0", 1985), &mut caches)
+        .unwrap();
+    engine
+        .recommend_with_cache(&v86, &complaint("R0", 1986), &mut caches)
+        .unwrap();
+    let trained = caches.model_stats().misses;
+    assert!(trained > 0);
+
+    // The batch only changes 1986 rows.
+    let report = engine.ingest(&repair_batch(&rel, &schema)).unwrap();
+    caches.invalidate_ingest(&report);
+    assert!(
+        caches.model_stats().invalidations > 0,
+        "1986 models evicted"
+    );
+    assert!(caches.view_stats().invalidations > 0, "1986 views evicted");
+
+    // 1985: everything still warm — zero new trainings, and the pre-ingest
+    // view snapshot itself is still accepted (its day-pinned predicate
+    // selects none of the changed rows), so the request actually HITS the
+    // cache rather than being served cache-less.
+    let hits_before = caches.model_stats().hits;
+    engine
+        .recommend_with_cache(&v85, &complaint("R0", 1985), &mut caches)
+        .unwrap();
+    assert_eq!(caches.model_stats().misses, trained, "1985 stayed warm");
+    assert!(
+        caches.model_stats().hits > hits_before,
+        "1985 models served from cache"
+    );
+
+    // 1986: must retrain (the old models were evicted), and the result
+    // matches a cold engine over the new snapshot.
+    let v86_fresh = year_view(&report.relation, 1986);
+    let after = engine
+        .recommend_with_cache(&v86_fresh, &complaint("R0", 1986), &mut caches)
+        .unwrap();
+    assert!(caches.model_stats().misses > trained, "1986 retrained");
+    let mut cold = Reptile::new(report.relation.clone(), schema.clone());
+    let expected = cold
+        .recommend(&year_view(&report.relation, 1986), &complaint("R0", 1986))
+        .unwrap();
+    assert_same_ranking(&expected, &after);
+}
+
+/// The snapshot-floor guard: a caller still holding a pre-ingest view
+/// cannot repopulate the cache after an ingest invalidation — its keys
+/// survive (relation idents are lineage-stable by design), so without the
+/// floor its recomputed pre-ingest results would be cached and served to
+/// post-ingest requests.
+#[test]
+fn pre_ingest_snapshot_cannot_repopulate_the_cache() {
+    let (rel, schema) = dataset();
+    let engine = Reptile::new(rel.clone(), schema.clone());
+    let old_view = region_year_view(&rel, &schema); // pre-ingest snapshot
+    let c = complaint("R0", 1986);
+    let mut caches = SessionCaches::new();
+    engine
+        .recommend_with_cache(&old_view, &c, &mut caches)
+        .unwrap();
+    let trained = caches.model_stats().misses;
+
+    let report = engine.ingest(&repair_batch(&rel, &schema)).unwrap();
+    caches.invalidate_ingest(&report);
+
+    // Serving the old snapshot still works (snapshot-consistent) but runs
+    // cache-less: no hits, no misses, nothing published.
+    let stats_before = (caches.model_stats(), caches.view_stats());
+    let stale = engine
+        .recommend_with_cache(&old_view, &c, &mut caches)
+        .unwrap();
+    assert_eq!((caches.model_stats(), caches.view_stats()), stats_before);
+    let mut cold_old = Reptile::new(rel.clone(), schema.clone());
+    assert_same_ranking(&cold_old.recommend(&old_view, &c).unwrap(), &stale);
+
+    // A post-ingest request misses (nothing stale was re-published),
+    // retrains, and matches a cold engine over the new snapshot.
+    let fresh_view = region_year_view(&report.relation, &schema);
+    let fresh = engine
+        .recommend_with_cache(&fresh_view, &c, &mut caches)
+        .unwrap();
+    assert!(
+        caches.model_stats().misses > trained,
+        "fresh snapshot retrained"
+    );
+    let mut cold_new = Reptile::new(report.relation.clone(), schema.clone());
+    assert_same_ranking(&cold_new.recommend(&fresh_view, &c).unwrap(), &fresh);
+    assert!(fresh.original_value > stale.original_value);
+}
+
+/// A cache that missed an ingest invalidation entirely (a second holder
+/// over the same engine whose owner never routed the ingest through it) is
+/// refused cache access instead of silently serving its unscreened stale
+/// entries.
+#[test]
+fn cache_that_missed_an_ingest_is_not_consulted() {
+    let (rel, schema) = dataset();
+    let engine = Reptile::new(rel.clone(), schema.clone());
+    let view = region_year_view(&rel, &schema);
+    let c = complaint("R0", 1986);
+    // Two independent cache holders over the same engine.
+    let mut synced = SessionCaches::new();
+    let mut unsynced = SessionCaches::new();
+    engine.recommend_with_cache(&view, &c, &mut synced).unwrap();
+    engine
+        .recommend_with_cache(&view, &c, &mut unsynced)
+        .unwrap();
+
+    // Only `synced` learns about the ingest.
+    let report = engine.ingest(&repair_batch(&rel, &schema)).unwrap();
+    synced.invalidate_ingest(&report);
+
+    // A post-ingest request through the unsynced cache would, pre-guard,
+    // hit its surviving stale models. The engine must refuse to consult it
+    // (no cache interaction) and still produce the cold-correct answer.
+    let fresh_view = region_year_view(&report.relation, &schema);
+    let unsynced_stats = (unsynced.model_stats(), unsynced.view_stats());
+    let rec = engine
+        .recommend_with_cache(&fresh_view, &c, &mut unsynced)
+        .unwrap();
+    assert_eq!(
+        (unsynced.model_stats(), unsynced.view_stats()),
+        unsynced_stats,
+        "unsynced cache must not be consulted"
+    );
+    let mut cold = Reptile::new(report.relation.clone(), schema.clone());
+    let expected = cold.recommend(&fresh_view, &c).unwrap();
+    assert_same_ranking(&expected, &rec);
+
+    // The synced cache keeps full access and also answers correctly.
+    let rec = engine
+        .recommend_with_cache(&fresh_view, &c, &mut synced)
+        .unwrap();
+    assert_same_ranking(&expected, &rec);
+    assert!(synced.model_stats().misses > 0);
+}
+
+/// A cache that misses one ingest but witnesses a later one must be
+/// flushed, not screened precisely: the later batch's change set says
+/// nothing about the missed batch's rows.
+#[test]
+fn cache_with_an_ingest_gap_is_flushed_not_trusted() {
+    let (rel, schema) = dataset();
+    let year = schema.attr("year").unwrap();
+    let engine = Reptile::new(rel.clone(), schema.clone());
+    let mut caches = SessionCaches::new();
+    let v86 = View::compute(
+        rel.clone(),
+        Predicate::eq(year, Value::int(1986)),
+        vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
+        schema.attr("severity").unwrap(),
+    )
+    .unwrap();
+    let c = complaint("R0", 1986);
+    engine.recommend_with_cache(&v86, &c, &mut caches).unwrap();
+    let trained = caches.model_stats().misses;
+
+    // Batch 1 rewrites 1986 rows — the cache never hears about it.
+    let _missed = engine.ingest(&repair_batch(&rel, &schema)).unwrap();
+    // Batch 2 touches only 1985 rows — the cache witnesses this one. Its
+    // change set does not select the 1986 entries, so precise screening
+    // alone would keep them; the version gap must force a flush instead.
+    let rel_now = engine.relation();
+    let row = rel_now
+        .filter_indices(|r| rel_now.value(r, year) == &Value::int(1985))
+        .first()
+        .map(|&r| rel_now.row(r))
+        .unwrap();
+    let mut corrected = row.clone();
+    corrected[4] = Value::float(9.9);
+    let batch2 = {
+        let mut b = IngestBatch::new();
+        b.push_delete(row);
+        b.push_insert(corrected);
+        b
+    };
+    let report2 = engine.ingest(&batch2).unwrap();
+    caches.invalidate_ingest(&report2);
+    assert!(caches.model_stats().invalidations > 0, "gap flushed models");
+
+    // Recommending over the current snapshot retrains and is correct.
+    let v86_fresh = View::compute(
+        report2.relation.clone(),
+        Predicate::eq(year, Value::int(1986)),
+        vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
+        schema.attr("severity").unwrap(),
+    )
+    .unwrap();
+    let rec = engine
+        .recommend_with_cache(&v86_fresh, &c, &mut caches)
+        .unwrap();
+    assert!(
+        caches.model_stats().misses > trained,
+        "stale model not served"
+    );
+    let mut cold = Reptile::new(report2.relation.clone(), schema.clone());
+    assert_same_ranking(&cold.recommend(&v86_fresh, &c).unwrap(), &rec);
+}
+
+/// The batch server keeps serving across an ingest and never hands out
+/// pre-ingest results for post-ingest requests.
+#[test]
+fn batch_server_serves_fresh_results_after_ingest() {
+    let (rel, schema) = dataset();
+    let view = Arc::new(region_year_view(&rel, &schema));
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = BatchServer::new(engine.clone()).with_threads(4);
+
+    let requests: Vec<BatchRequest> = [("R0", 1986), ("R1", 1985)]
+        .iter()
+        .map(|(r, y)| BatchRequest::new(view.clone(), complaint(r, *y)))
+        .collect();
+    let before = server.serve(&requests);
+    assert!(before.iter().all(Result::is_ok));
+
+    let report = server.ingest(&repair_batch(&rel, &schema)).unwrap();
+    let fresh = engine.refresh_view(&view).unwrap();
+    let requests: Vec<BatchRequest> = [("R0", 1986), ("R1", 1985)]
+        .iter()
+        .map(|(r, y)| BatchRequest::new(fresh.clone(), complaint(r, *y)))
+        .collect();
+    let after = server.serve(&requests);
+
+    let mut cold = Reptile::new(report.relation.clone(), schema.clone());
+    for ((r, y), result) in [("R0", 1986), ("R1", 1985)].iter().zip(&after) {
+        let expected = cold
+            .recommend(
+                &region_year_view(&report.relation, &schema),
+                &complaint(r, *y),
+            )
+            .unwrap();
+        assert_same_ranking(&expected, result.as_ref().unwrap());
+    }
+
+    // The repaired complaint improved, and the pre-ingest answer differed.
+    let obs_before = before[0].as_ref().unwrap().original_value;
+    let obs_after = after[0].as_ref().unwrap().original_value;
+    assert!(obs_after > obs_before);
+}
