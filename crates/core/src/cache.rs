@@ -440,5 +440,12 @@ mod tests {
 
         let excluded = FeaturePlan::none().exclude_from_z("rainfall");
         assert_ne!(fp, config_fingerprint(&base, &excluded));
+
+        // Sharded execution is bit-identical to serial, so the thread budget
+        // must NOT change the fingerprint: a parallel engine and a serial
+        // one share model-cache entries.
+        let mut other = base.clone();
+        other.parallelism = reptile_factor::Parallelism::new(8);
+        assert_eq!(fp, config_fingerprint(&other, &plan));
     }
 }

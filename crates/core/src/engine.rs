@@ -20,7 +20,7 @@ use crate::complaint::Complaint;
 use crate::{ReptileError, Result};
 use reptile_factor::{
     AggregateSource, DecomposedAggregates, DrilldownMode, DrilldownSession, EncodedAggregates,
-    EncodedFactorization, FactorBackend, Factorization, PathCountIndex,
+    EncodedFactorization, FactorBackend, Factorization, Parallelism, PathCountIndex,
 };
 use reptile_model::{
     DesignBuilder, EmptyGroupPolicy, FeaturePlan, LinearModel, MultilevelConfig, MultilevelModel,
@@ -55,6 +55,14 @@ pub struct ReptileConfig {
     pub top_k: usize,
     /// Fill policy for empty parallel groups.
     pub empty_groups: EmptyGroupPolicy,
+    /// Thread budget for the sharded execution backend: cold encoded factor
+    /// builds and ingest delta patches (via the engine's
+    /// [`DrilldownSession`]), design construction, and the multi-level
+    /// fit's gram/cluster/E-step fan-outs. Serial by default. Sharded
+    /// execution is **bit-identical** to serial, so this knob is
+    /// deliberately *not* part of [`config_fingerprint`] — a parallel and a
+    /// serial engine share cache entries.
+    pub parallelism: Parallelism,
 }
 
 impl Default for ReptileConfig {
@@ -65,6 +73,7 @@ impl Default for ReptileConfig {
             backend: TrainingBackend::Factorized,
             top_k: 5,
             empty_groups: EmptyGroupPolicy::GlobalMean,
+            parallelism: Parallelism::serial(),
         }
     }
 }
@@ -218,8 +227,13 @@ impl Reptile {
         }
     }
 
-    /// Override the configuration.
+    /// Override the configuration. The drill-down session's shard budget
+    /// follows the configured [`ReptileConfig::parallelism`].
     pub fn with_config(mut self, config: ReptileConfig) -> Self {
+        self.session
+            .lock()
+            .expect("session lock")
+            .set_parallelism(config.parallelism);
         self.config = config;
         self
     }
@@ -624,16 +638,18 @@ impl Reptile {
                 .with_plan(self.plan.clone())
                 .empty_groups(self.config.empty_groups)
                 .with_factor_backend(factor_backend)
+                .with_parallelism(self.config.parallelism)
                 .with_aggregate_source(&mut source)
                 .build()?;
             let (model, predictions_by_row) = match self.config.model {
                 RepairModelKind::MultiLevel => {
-                    let model = MultilevelModel::fit_with_backend(
+                    let model = MultilevelModel::fit_sharded(
                         &design,
                         self.config.em,
                         self.config.backend,
+                        &self.config.parallelism,
                     )?;
-                    let predictions = model.predict_all(&design);
+                    let predictions = model.predict_all_with(&design, &self.config.parallelism);
                     (FittedRepairModel::MultiLevel(model), predictions)
                 }
                 RepairModelKind::Linear => {
@@ -820,6 +836,42 @@ mod tests {
         assert_eq!(rec.hierarchies[0].hierarchy, "geo");
         assert!(rec.ranked.len() <= engine.config().top_k);
         assert!(!rec.hierarchies[0].ranked.is_empty());
+    }
+
+    #[test]
+    fn sharded_recommendation_is_bit_identical_to_serial() {
+        let (rel, schema) = dataset("D1-V2", -4.0);
+        let view = district_year_view(&rel, &schema);
+        let complaint = Complaint::new(
+            GroupKey(vec![Value::str("D1"), Value::int(1986)]),
+            AggregateKind::Mean,
+            Direction::TooLow,
+        );
+        let mut serial_engine = Reptile::new(rel.clone(), schema.clone());
+        let serial = serial_engine.recommend(&view, &complaint).unwrap();
+        // Thread budgets below and far above the shardable item counts
+        // (single-path shards at 64) must reproduce the serial ranking
+        // exactly: same groups, same scores, to the last bit.
+        for threads in [2usize, 64] {
+            let config = ReptileConfig {
+                parallelism: Parallelism::new(threads),
+                ..Default::default()
+            };
+            let mut engine = Reptile::new(rel.clone(), schema.clone()).with_config(config);
+            let sharded = engine.recommend(&view, &complaint).unwrap();
+            assert_eq!(serial.original_value, sharded.original_value);
+            assert_eq!(serial.ranked.len(), sharded.ranked.len());
+            for (a, b) in serial.ranked.iter().zip(&sharded.ranked) {
+                assert_eq!(a.hierarchy, b.hierarchy);
+                assert_eq!(a.added_attribute, b.added_attribute);
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.observed, b.observed, "{threads} threads, {}", a.key);
+                assert_eq!(a.expected, b.expected, "{threads} threads, {}", a.key);
+                assert_eq!(a.repaired_complaint_value, b.repaired_complaint_value);
+                assert_eq!(a.penalty, b.penalty);
+                assert_eq!(a.improvement, b.improvement);
+            }
+        }
     }
 
     #[test]

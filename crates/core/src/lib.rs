@@ -87,6 +87,7 @@ pub use engine::{
     HierarchyRecommendation, IngestReport, Recommendation, RepairModelKind, Reptile, ReptileConfig,
     ScoredGroup,
 };
+pub use reptile_factor::Parallelism;
 
 /// Errors surfaced by the engine.
 #[derive(Debug, Clone, PartialEq)]

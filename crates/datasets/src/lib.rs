@@ -24,10 +24,12 @@ pub mod errors;
 pub mod fist;
 pub mod hiergen;
 pub mod rng;
+pub mod scaling;
 pub mod stream;
 pub mod synthetic;
 pub mod vote;
 
 pub use errors::{ErrorKind, InjectedError};
 pub use rng::SimRng;
+pub use scaling::{scaling_panel, ScalingConfig, ScalingWorkload};
 pub use stream::{CovidStream, StreamBatch, StreamConfig};

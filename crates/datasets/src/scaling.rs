@@ -1,0 +1,216 @@
+//! Wide synthetic panel for the multi-core scaling experiments.
+//!
+//! The sharded execution backend parallelises the *factorised* hot path —
+//! encoded factor builds, the aggregate batch, the cluster partition and
+//! the EM fit's per-cluster operators — so the workload that shows scaling
+//! must be wide where those paths are hot: many distinct leaf paths (wide
+//! hierarchies, so factor encode/aggregate scans dominate) and many
+//! clusters (so the per-iteration EM operators dominate the fit). That is
+//! exactly the shallow-and-wide shape real hierarchies take (countries →
+//! districts → villages, days × geography), which is why the
+//! partition/merge decomposition pays off.
+//!
+//! Used by `benches/sharding.rs` (speedup vs the serial encoded path, with
+//! the CI smoke gate) and available to examples via `--shards N`.
+
+use crate::rng::SimRng;
+use reptile_relational::{AggregateKind, GroupKey, Predicate, Relation, Schema, Value, View};
+use std::sync::Arc;
+
+/// Shape of the scaling panel.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingConfig {
+    /// Number of days in the time hierarchy.
+    pub days: usize,
+    /// Number of districts (each a cluster parent when drilling to village).
+    pub districts: usize,
+    /// Villages per district (the wide leaf level).
+    pub villages_per_district: usize,
+    /// RNG seed for the measure noise.
+    pub seed: u64,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            days: 6,
+            districts: 40,
+            villages_per_district: 80,
+            seed: 7,
+        }
+    }
+}
+
+impl ScalingConfig {
+    /// A scaled-down shape for smoke runs — still wide enough that one
+    /// scatter's work comfortably dominates the shard pool's per-scatter
+    /// dispatch latency, so the CI gate measures scaling, not wake-up cost.
+    pub fn smoke() -> Self {
+        ScalingConfig {
+            days: 5,
+            districts: 24,
+            villages_per_district: 48,
+            seed: 7,
+        }
+    }
+
+    /// Total rows of the panel (one per day × village).
+    pub fn rows(&self) -> usize {
+        self.days * self.districts * self.villages_per_district
+    }
+}
+
+/// A generated scaling panel plus the views and complaint the benchmarks
+/// pose against it.
+#[derive(Debug)]
+pub struct ScalingWorkload {
+    /// Shared schema: `geo = district -> village`, `time = day`, measure `m`.
+    pub schema: Arc<Schema>,
+    /// The panel relation (one row per day × village).
+    pub relation: Arc<Relation>,
+    /// The analyst's complaint view: mean `m` per (district, day).
+    pub complaint_view: View,
+    /// The drilled training view: mean `m` per (day, district, village) —
+    /// the parallel-groups view whose design build and fit the sharded
+    /// backend accelerates.
+    pub training_view: View,
+    /// A complaint against the corrupted district/day tuple.
+    pub complaint_key: GroupKey,
+    /// The village whose reports were corrupted (ground truth).
+    pub corrupted_village: String,
+}
+
+/// Generate the scaling panel: a smooth day/district/village surface with
+/// deterministic noise, plus one village whose reports collapse on the last
+/// day (the tuple the benchmark complains about).
+pub fn scaling_panel(config: ScalingConfig) -> ScalingWorkload {
+    let schema = Arc::new(
+        Schema::builder()
+            .hierarchy("geo", ["district", "village"])
+            .hierarchy("time", ["day"])
+            .measure("m")
+            .build()
+            .expect("valid scaling schema"),
+    );
+    let mut rng = SimRng::seed_from_u64(config.seed);
+    let corrupted_district = "D0000".to_string();
+    let corrupted_village = "D0000-V0000".to_string();
+    let bad_day = config.days as i64 - 1;
+    let mut b = Relation::builder(schema.clone());
+    for day in 0..config.days as i64 {
+        for d in 0..config.districts {
+            let district = format!("D{d:04}");
+            for v in 0..config.villages_per_district {
+                let village = format!("{district}-V{v:04}");
+                let base = 50.0
+                    + day as f64 * 1.5
+                    + d as f64 * 0.25
+                    + ((v * 13 + d * 7) % 23) as f64 * 0.2
+                    + rng.normal(0.0, 0.5);
+                let value = if village == corrupted_village && day == bad_day {
+                    base - 30.0
+                } else {
+                    base
+                };
+                b = b
+                    .row([
+                        Value::str(district.clone()),
+                        Value::str(village),
+                        Value::int(day),
+                        Value::float(value),
+                    ])
+                    .expect("row matches schema");
+            }
+        }
+    }
+    let relation = Arc::new(b.build());
+    let complaint_view = View::compute(
+        relation.clone(),
+        Predicate::all(),
+        vec![
+            schema.attr("district").unwrap(),
+            schema.attr("day").unwrap(),
+        ],
+        schema.attr("m").unwrap(),
+    )
+    .expect("complaint view");
+    let training_view = View::compute(
+        relation.clone(),
+        Predicate::all(),
+        vec![
+            schema.attr("day").unwrap(),
+            schema.attr("district").unwrap(),
+            schema.attr("village").unwrap(),
+        ],
+        schema.attr("m").unwrap(),
+    )
+    .expect("training view");
+    ScalingWorkload {
+        schema,
+        relation,
+        complaint_view,
+        training_view,
+        complaint_key: GroupKey(vec![Value::str(corrupted_district), Value::int(bad_day)]),
+        corrupted_village,
+    }
+}
+
+/// The statistic the scaling complaint is posed over.
+pub const SCALING_STATISTIC: AggregateKind = AggregateKind::Mean;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_has_configured_shape() {
+        let config = ScalingConfig {
+            days: 3,
+            districts: 4,
+            villages_per_district: 5,
+            seed: 1,
+        };
+        let workload = scaling_panel(config);
+        assert_eq!(workload.relation.len(), config.rows());
+        assert_eq!(workload.complaint_view.len(), 4 * 3);
+        assert_eq!(workload.training_view.len(), 3 * 4 * 5);
+        // The complaint tuple exists and its group mean is depressed.
+        let complained = workload
+            .complaint_view
+            .group(&workload.complaint_key)
+            .expect("complaint tuple present");
+        let other = workload
+            .complaint_view
+            .group(&GroupKey(vec![Value::str("D0001"), Value::int(2)]))
+            .unwrap();
+        assert!(complained.mean() < other.mean());
+    }
+
+    #[test]
+    fn corruption_is_attributable_to_the_village() {
+        let workload = scaling_panel(ScalingConfig::smoke());
+        let village_attr = workload.schema.attr("village").unwrap();
+        let day_attr = workload.schema.attr("day").unwrap();
+        let bad_day = ScalingConfig::smoke().days as i64 - 1;
+        let mut bad = f64::INFINITY;
+        let mut rest = f64::INFINITY;
+        for row in 0..workload.relation.len() {
+            if workload.relation.value(row, day_attr) != &Value::int(bad_day) {
+                continue;
+            }
+            let m = workload
+                .relation
+                .numeric(row, workload.schema.attr("m").unwrap())
+                .unwrap()
+                .unwrap();
+            if workload.relation.value(row, village_attr)
+                == &Value::str(workload.corrupted_village.clone())
+            {
+                bad = bad.min(m);
+            } else {
+                rest = rest.min(m);
+            }
+        }
+        assert!(bad < rest - 10.0, "corruption visible: {bad} vs {rest}");
+    }
+}

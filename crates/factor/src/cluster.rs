@@ -13,6 +13,7 @@
 use crate::encoded::{EncodedFactorization, EncodedFeatureMap};
 use crate::factorization::Factorization;
 use crate::feature::FeatureMap;
+use crate::parallel::Parallelism;
 use reptile_linalg::Matrix;
 
 /// One cluster: a contiguous block of conceptual rows sharing every column
@@ -72,6 +73,7 @@ impl ClusterPartition {
                 lastf.paths[a][..prefix_len] == lastf.paths[b][..prefix_len]
             },
             intra_levels,
+            &Parallelism::serial(),
         )
     }
 
@@ -84,6 +86,20 @@ impl ClusterPartition {
         fact: &EncodedFactorization,
         features: &EncodedFeatureMap,
         intra_levels: usize,
+    ) -> Self {
+        Self::from_encoded_with(fact, features, intra_levels, &Parallelism::serial())
+    }
+
+    /// [`ClusterPartition::from_encoded`] with the earlier-hierarchy
+    /// combination loop — the `O(n_rows)` bulk of the partition build —
+    /// sharded over `par`. Combinations are independent and gathered in
+    /// combination order, so the partition is bit-identical to the serial
+    /// build.
+    pub fn from_encoded_with(
+        fact: &EncodedFactorization,
+        features: &EncodedFeatureMap,
+        intra_levels: usize,
+        par: &Parallelism,
     ) -> Self {
         let factors = fact.factors();
         let depths: Vec<usize> = factors.iter().map(|f| f.depth()).collect();
@@ -99,6 +115,7 @@ impl ClusterPartition {
                 (0..prefix_len).all(|level| lastf.code(level, a) == lastf.code(level, b))
             },
             intra_levels,
+            par,
         )
     }
 
@@ -108,14 +125,16 @@ impl ClusterPartition {
     /// value, and `last_prefix_eq(prefix_len, a, b)` compares two paths of
     /// the *last* hierarchy on their inter-cluster prefix. Both public
     /// constructors inline this one body, so the backends cannot drift.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         m: usize,
         depths: &[usize],
         leaf_counts: &[usize],
-        column_of: impl Fn(usize, usize) -> usize,
-        feature: impl Fn(usize, usize, usize) -> f64,
-        last_prefix_eq: impl Fn(usize, usize, usize) -> bool,
+        column_of: impl Fn(usize, usize) -> usize + Sync,
+        feature: impl Fn(usize, usize, usize) -> f64 + Sync,
+        last_prefix_eq: impl Fn(usize, usize, usize) -> bool + Sync,
         intra_levels: usize,
+        par: &Parallelism,
     ) -> Self {
         assert!(!depths.is_empty(), "factorization has no hierarchies");
         let last = depths.len() - 1;
@@ -144,11 +163,12 @@ impl ClusterPartition {
             }
         }
 
-        // Enumerate earlier-hierarchy combinations in row order.
+        // Enumerate earlier-hierarchy combinations in row order. Each
+        // combination's clusters are built independently (and gathered in
+        // combination order when sharded over `par`).
         let earlier_combos: usize = leaf_counts[..last].iter().product();
-
-        let mut clusters = Vec::with_capacity(earlier_combos.max(1) * prefix_groups.len());
-        for combo in 0..earlier_combos.max(1) {
+        let total_combos = earlier_combos.max(1);
+        let combo_clusters = |combo: usize, clusters: &mut Vec<ClusterInfo>| {
             // Decompose the combo into per-hierarchy path indices to read the
             // constant feature values of the earlier hierarchies.
             let mut const_features = vec![0.0f64; m];
@@ -181,7 +201,23 @@ impl ClusterPartition {
                     intra_features,
                 });
             }
-        }
+        };
+        let clusters = if par.is_serial() || total_combos <= 1 {
+            let mut clusters = Vec::with_capacity(total_combos * prefix_groups.len());
+            for combo in 0..total_combos {
+                combo_clusters(combo, &mut clusters);
+            }
+            clusters
+        } else {
+            par.map_ranges(total_combos, |start, count| {
+                let mut chunk = Vec::with_capacity(count * prefix_groups.len());
+                for combo in start..start + count {
+                    combo_clusters(combo, &mut chunk);
+                }
+                chunk
+            })
+            .concat()
+        };
         ClusterPartition {
             clusters,
             n_cols: m,
@@ -229,45 +265,56 @@ impl ClusterPartition {
         self.intra_columns.iter().position(|c| *c == col)
     }
 
+    /// The gram matrix of one cluster — the per-cluster body shared by
+    /// [`ClusterPartition::grams`] and [`ClusterPartition::grams_with`].
+    fn gram_of(&self, c: &ClusterInfo) -> Matrix {
+        let m = self.n_cols;
+        let s = c.len as f64;
+        // Sums and cross sums of the intra columns.
+        let k = self.intra_columns.len();
+        let mut intra_sum = vec![0.0f64; k];
+        let mut intra_cross = vec![0.0f64; k * k];
+        for row in &c.intra_features {
+            for a in 0..k {
+                intra_sum[a] += row[a];
+                for b in a..k {
+                    intra_cross[a * k + b] += row[a] * row[b];
+                }
+            }
+        }
+        let mut g = Matrix::zeros(m, m);
+        for j in 0..m {
+            for l in j..m {
+                let v = match (self.intra_index(j), self.intra_index(l)) {
+                    (None, None) => s * c.const_features[j] * c.const_features[l],
+                    (None, Some(b)) => c.const_features[j] * intra_sum[b],
+                    (Some(a), None) => c.const_features[l] * intra_sum[a],
+                    (Some(a), Some(b)) => {
+                        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+                        intra_cross[a * k + b]
+                    }
+                };
+                g.set(j, l, v);
+                g.set(l, j, v);
+            }
+        }
+        g
+    }
+
     /// Per-cluster gram matrices `X_iᵀ·X_i` (Algorithm 5). Exploits that the
     /// inter-cluster columns are constant within the cluster.
     pub fn grams(&self) -> Vec<Matrix> {
-        let m = self.n_cols;
-        self.clusters
-            .iter()
-            .map(|c| {
-                let s = c.len as f64;
-                // Sums and cross sums of the intra columns.
-                let k = self.intra_columns.len();
-                let mut intra_sum = vec![0.0f64; k];
-                let mut intra_cross = vec![0.0f64; k * k];
-                for row in &c.intra_features {
-                    for a in 0..k {
-                        intra_sum[a] += row[a];
-                        for b in a..k {
-                            intra_cross[a * k + b] += row[a] * row[b];
-                        }
-                    }
-                }
-                let mut g = Matrix::zeros(m, m);
-                for j in 0..m {
-                    for l in j..m {
-                        let v = match (self.intra_index(j), self.intra_index(l)) {
-                            (None, None) => s * c.const_features[j] * c.const_features[l],
-                            (None, Some(b)) => c.const_features[j] * intra_sum[b],
-                            (Some(a), None) => c.const_features[l] * intra_sum[a],
-                            (Some(a), Some(b)) => {
-                                let (a, b) = if a <= b { (a, b) } else { (b, a) };
-                                intra_cross[a * k + b]
-                            }
-                        };
-                        g.set(j, l, v);
-                        g.set(l, j, v);
-                    }
-                }
-                g
-            })
-            .collect()
+        self.clusters.iter().map(|c| self.gram_of(c)).collect()
+    }
+
+    /// [`ClusterPartition::grams`] with the per-cluster grams fanned out over
+    /// `par`, gathered in cluster order — bit-identical, clusters are
+    /// independent.
+    pub fn grams_with(&self, par: &Parallelism) -> Vec<Matrix> {
+        if par.is_serial() {
+            return self.grams();
+        }
+        par.map_items(self.clusters.len(), |i| self.gram_of(&self.clusters[i]))
     }
 
     /// Per-cluster right multiplications `X_i·A_i` (Algorithm 7); `a[i]` must
@@ -314,54 +361,81 @@ impl ClusterPartition {
             .collect()
     }
 
+    /// Append `X_i · beta` for one cluster to `out` — the per-cluster body
+    /// shared by the serial and sharded right-multiplication variants.
+    fn right_mult_vec_cluster(&self, c: &ClusterInfo, beta: &[f64], out: &mut Vec<f64>) {
+        let m = self.n_cols;
+        let mut base = 0.0;
+        for (j, &bj) in beta.iter().enumerate().take(m) {
+            if !self.is_intra(j) {
+                base += c.const_features[j] * bj;
+            }
+        }
+        for intra in &c.intra_features {
+            let mut v = base;
+            for (k, &icol) in self.intra_columns.iter().enumerate() {
+                v += intra[k] * beta[icol];
+            }
+            out.push(v);
+        }
+    }
+
     /// Per-cluster right multiplication `X_i · beta_i` where each cluster has
     /// its own coefficient vector; results are concatenated in row order
     /// (this is the vertical concatenation used for `Z·b`).
     pub fn right_mult_per_cluster_vec(&self, betas: &[Vec<f64>]) -> Vec<f64> {
+        self.right_mult_per_cluster_vec_with(betas, &Parallelism::serial())
+    }
+
+    /// [`ClusterPartition::right_mult_per_cluster_vec`] with contiguous
+    /// cluster shards fanned out over `par`, concatenated in cluster (= row)
+    /// order — bit-identical to the serial concatenation.
+    pub fn right_mult_per_cluster_vec_with(
+        &self,
+        betas: &[Vec<f64>],
+        par: &Parallelism,
+    ) -> Vec<f64> {
         assert_eq!(betas.len(), self.clusters.len(), "one beta per cluster");
         let m = self.n_cols;
-        let mut out = Vec::new();
-        for (c, beta) in self.clusters.iter().zip(betas) {
-            assert_eq!(beta.len(), m);
-            let mut base = 0.0;
-            for (j, &bj) in beta.iter().enumerate().take(m) {
-                if !self.is_intra(j) {
-                    base += c.const_features[j] * bj;
-                }
+        let shard = |start: usize, count: usize| -> Vec<f64> {
+            let mut out = Vec::new();
+            for (c, beta) in self.clusters[start..start + count]
+                .iter()
+                .zip(&betas[start..start + count])
+            {
+                assert_eq!(beta.len(), m);
+                self.right_mult_vec_cluster(c, beta, &mut out);
             }
-            for intra in &c.intra_features {
-                let mut v = base;
-                for (k, &icol) in self.intra_columns.iter().enumerate() {
-                    v += intra[k] * beta[icol];
-                }
-                out.push(v);
-            }
+            out
+        };
+        if par.is_serial() {
+            return shard(0, self.clusters.len());
         }
-        out
+        par.map_ranges(self.clusters.len(), shard).concat()
     }
 
     /// Per-cluster right multiplication with a single shared vector operand
     /// (the common case `X·β`), concatenated in row order.
     pub fn right_mult_shared_vec(&self, beta: &[f64]) -> Vec<f64> {
+        self.right_mult_shared_vec_with(beta, &Parallelism::serial())
+    }
+
+    /// [`ClusterPartition::right_mult_shared_vec`] with contiguous cluster
+    /// shards fanned out over `par`, concatenated in cluster (= row) order —
+    /// bit-identical to the serial concatenation.
+    pub fn right_mult_shared_vec_with(&self, beta: &[f64], par: &Parallelism) -> Vec<f64> {
         assert_eq!(beta.len(), self.n_cols);
-        let m = self.n_cols;
-        let mut out = Vec::new();
-        for c in &self.clusters {
-            let mut base = 0.0;
-            for (j, &bj) in beta.iter().enumerate().take(m) {
-                if !self.is_intra(j) {
-                    base += c.const_features[j] * bj;
-                }
+        let shard = |start: usize, count: usize| -> Vec<f64> {
+            let mut out = Vec::new();
+            for c in &self.clusters[start..start + count] {
+                self.right_mult_vec_cluster(c, beta, &mut out);
             }
-            for intra in &c.intra_features {
-                let mut v = base;
-                for (k, &icol) in self.intra_columns.iter().enumerate() {
-                    v += intra[k] * beta[icol];
-                }
-                out.push(v);
-            }
+            out
+        };
+        if par.is_serial() {
+            return shard(0, self.clusters.len());
         }
-        out
+        par.map_ranges(self.clusters.len(), shard).concat()
     }
 
     /// Per-cluster left multiplications `D_i·X_i` (Algorithm 6); `d[i]` must
@@ -403,32 +477,48 @@ impl ClusterPartition {
             .collect()
     }
 
+    /// One cluster's `v[cluster rows]·X_i` — the per-cluster body shared by
+    /// the serial and sharded global-vector left multiplications.
+    fn left_mult_global_cluster(&self, c: &ClusterInfo, v: &[f64]) -> Vec<f64> {
+        let m = self.n_cols;
+        let slice = &v[c.start_row..c.start_row + c.len];
+        let row_sum: f64 = slice.iter().sum();
+        let mut out = vec![0.0f64; m];
+        for (j, o) in out.iter_mut().enumerate().take(m) {
+            if !self.is_intra(j) {
+                *o = c.const_features[j] * row_sum;
+            }
+        }
+        for (k, &icol) in self.intra_columns.iter().enumerate() {
+            out[icol] = slice
+                .iter()
+                .zip(&c.intra_features)
+                .map(|(a, w)| a * w[k])
+                .sum();
+        }
+        out
+    }
+
     /// Per-cluster left multiplication of one global row vector `v` (length
     /// `n`): returns, for each cluster, the `1 × m` result of
     /// `v[cluster rows]·X_i`. This is the shape `X_iᵀ·(y_i − X_i·β)` needs.
     pub fn left_mult_global_vec(&self, v: &[f64]) -> Vec<Vec<f64>> {
-        let m = self.n_cols;
         self.clusters
             .iter()
-            .map(|c| {
-                let slice = &v[c.start_row..c.start_row + c.len];
-                let row_sum: f64 = slice.iter().sum();
-                let mut out = vec![0.0f64; m];
-                for (j, o) in out.iter_mut().enumerate().take(m) {
-                    if !self.is_intra(j) {
-                        *o = c.const_features[j] * row_sum;
-                    }
-                }
-                for (k, &icol) in self.intra_columns.iter().enumerate() {
-                    out[icol] = slice
-                        .iter()
-                        .zip(&c.intra_features)
-                        .map(|(a, w)| a * w[k])
-                        .sum();
-                }
-                out
-            })
+            .map(|c| self.left_mult_global_cluster(c, v))
             .collect()
+    }
+
+    /// [`ClusterPartition::left_mult_global_vec`] with the per-cluster
+    /// products fanned out over `par`, gathered in cluster order —
+    /// bit-identical, clusters read disjoint slices of `v`.
+    pub fn left_mult_global_vec_with(&self, v: &[f64], par: &Parallelism) -> Vec<Vec<f64>> {
+        if par.is_serial() {
+            return self.left_mult_global_vec(v);
+        }
+        par.map_items(self.clusters.len(), |i| {
+            self.left_mult_global_cluster(&self.clusters[i], v)
+        })
     }
 }
 

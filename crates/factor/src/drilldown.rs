@@ -21,6 +21,7 @@ use crate::encoded::{
     FactorizationDelta, PathDelta,
 };
 use crate::factorization::{Factorization, HierarchyFactor};
+use crate::parallel::Parallelism;
 use reptile_relational::{Hierarchy, IngestBatch, Relation, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -196,6 +197,10 @@ pub struct DrilldownSession {
     /// Most recently inserted encoded entry per `(hierarchy name, depth)` —
     /// the candidate base for delta patching on a miss.
     delta_bases: HashMap<(String, usize), FactorKey>,
+    /// Thread budget for cold factor builds and delta patches (the shard
+    /// pool of the sharded execution backend). Serial by default; sharded
+    /// execution is bit-identical, so it never affects cache contents.
+    parallelism: Parallelism,
     stats: SessionStats,
 }
 
@@ -220,8 +225,28 @@ impl DrilldownSession {
             previous_encoded: Vec::new(),
             epochs: HashMap::new(),
             delta_bases: HashMap::new(),
+            parallelism: Parallelism::serial(),
             stats: SessionStats::default(),
         }
+    }
+
+    /// Set the thread budget for cold encoded factor builds and delta
+    /// patches (builder style). Sharded builds are bit-identical to serial
+    /// ones, so this changes wall-clock only — never cached contents.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Update the thread budget on a live session (e.g. when the engine's
+    /// configuration is replaced).
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The configured thread budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The maintenance mode.
@@ -343,7 +368,7 @@ impl DrilldownSession {
         }
         let next = Arc::new(base_factor.apply_delta(&delta));
         debug_assert_eq!(next.leaf_count(), factor.leaf_count());
-        let aggs = Arc::new(base_aggs.apply_delta(&next, &delta));
+        let aggs = Arc::new(base_aggs.apply_delta_with(&next, &delta, &self.parallelism));
         Some((next, aggs))
     }
 
@@ -430,8 +455,11 @@ impl DrilldownSession {
                     }
                     None => {
                         stats.recomputed += 1;
-                        let enc = Arc::new(EncodedFactor::encode(factor));
-                        let aggs = Arc::new(EncodedHierarchyAggregates::compute(&enc));
+                        let enc = Arc::new(EncodedFactor::encode_with(factor, &self.parallelism));
+                        let aggs = Arc::new(EncodedHierarchyAggregates::compute_sharded(
+                            &enc,
+                            &self.parallelism,
+                        ));
                         (enc, aggs)
                     }
                 };
@@ -474,8 +502,20 @@ impl AggregateSource for DrilldownSession {
 
 /// A stateless [`AggregateSource`] that recomputes everything on every call —
 /// what a design build does when no drill-down session is threaded through.
+/// Carries a thread budget so stand-alone builds can still shard their
+/// encoded computation (bit-identically; serial by default).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct FreshAggregates;
+pub struct FreshAggregates {
+    /// Thread budget for the encoded factor build and aggregate batch.
+    pub parallelism: Parallelism,
+}
+
+impl FreshAggregates {
+    /// A fresh source sharding its encoded computation over `parallelism`.
+    pub fn with_parallelism(parallelism: Parallelism) -> Self {
+        FreshAggregates { parallelism }
+    }
+}
 
 impl AggregateSource for FreshAggregates {
     fn legacy_aggregates(&mut self, fact: &Factorization) -> DecomposedAggregates {
@@ -486,8 +526,13 @@ impl AggregateSource for FreshAggregates {
         &mut self,
         fact: &Factorization,
     ) -> (EncodedFactorization, EncodedAggregates) {
-        let enc = EncodedFactorization::encode(fact);
-        let aggs = EncodedAggregates::compute(&enc);
+        let factors = fact
+            .hierarchies()
+            .iter()
+            .map(|h| Arc::new(EncodedFactor::encode_with(h, &self.parallelism)))
+            .collect();
+        let enc = EncodedFactorization::new(factors);
+        let aggs = EncodedAggregates::compute_with(&enc, &self.parallelism);
         (enc, aggs)
     }
 }

@@ -27,6 +27,7 @@
 
 use crate::factorization::{AttrPosition, Factorization, HierarchyFactor};
 use crate::feature::FeatureMap;
+use crate::parallel::Parallelism;
 use reptile_linalg::{Matrix, PrefixSum};
 use reptile_relational::{AttrId, Value, ValueDict};
 use std::cmp::Ordering;
@@ -77,6 +78,16 @@ impl EncodedFactor {
     /// still compares `Value`s (building the per-level dictionaries); all
     /// downstream work runs on the codes.
     pub fn encode(factor: &HierarchyFactor) -> Self {
+        Self::encode_with(factor, &Parallelism::serial())
+    }
+
+    /// [`EncodedFactor::encode`] with the per-path dictionary lookups (the
+    /// `O(n log |domain|)` bulk of the encode) sharded over contiguous path
+    /// ranges. Every shard reads the *same* per-level [`ValueDict`] — built
+    /// once, up front, from one linear representatives pass — so codes are
+    /// identical across shards and the concatenated columns equal the serial
+    /// encode bit-for-bit.
+    pub fn encode_with(factor: &HierarchyFactor, par: &Parallelism) -> Self {
         let depth = factor.depth();
         let leaf_count = factor.leaf_count();
         let mut levels = Vec::with_capacity(depth);
@@ -91,11 +102,17 @@ impl EncodedFactor {
                 }
             }
             let dict = ValueDict::from_values(reps);
-            let codes: Vec<u32> = factor
-                .paths
-                .iter()
-                .map(|p| dict.code_of(&p[level]).expect("value drawn from domain"))
-                .collect();
+            let encode_range = |start: usize, len: usize| -> Vec<u32> {
+                factor.paths[start..start + len]
+                    .iter()
+                    .map(|p| dict.code_of(&p[level]).expect("value drawn from domain"))
+                    .collect()
+            };
+            let codes: Vec<u32> = if par.is_serial() {
+                encode_range(0, factor.paths.len())
+            } else {
+                par.map_ranges(factor.paths.len(), encode_range).concat()
+            };
             levels.push(EncodedLevel {
                 dict,
                 codes: Arc::new(codes),
@@ -134,16 +151,28 @@ impl EncodedFactor {
     /// leaf counts — the code-space mirror of
     /// [`HierarchyFactor::level_runs`].
     pub fn level_runs(&self, level: usize) -> Vec<(u32, usize)> {
+        self.level_runs_range(level, 0, self.leaf_count)
+    }
+
+    /// [`EncodedFactor::level_runs`] restricted to the contiguous path range
+    /// `[start, start + len)` — the per-shard scan behind
+    /// [`EncodedHierarchyAggregates::compute_range`]. A run split by a shard
+    /// boundary shows up as one partial run per side; the shard merge joins
+    /// them back (runs are maximal *within* a shard, so only boundary runs
+    /// can share a code with their neighbour).
+    pub fn level_runs_range(&self, level: usize, start: usize, len: usize) -> Vec<(u32, usize)> {
         let codes = &self.levels[level].codes;
+        let end = start + len;
+        debug_assert!(end <= codes.len());
         let mut runs = Vec::new();
-        let mut i = 0usize;
-        while i < codes.len() {
+        let mut i = start;
+        while i < end {
             let c = codes[i];
-            let start = i;
-            while i < codes.len() && codes[i] == c {
+            let run_start = i;
+            while i < end && codes[i] == c {
                 i += 1;
             }
-            runs.push((c, i - start));
+            runs.push((c, i - run_start));
         }
         runs
     }
@@ -423,7 +452,14 @@ impl EncodedFactorization {
 /// Aggregates local to one encoded hierarchy: the code-space mirror of
 /// [`HierarchyAggregates`](crate::aggregates::HierarchyAggregates), with
 /// dense code-indexed descendant tables instead of `BTreeMap<Value, f64>`.
-#[derive(Debug, Clone)]
+///
+/// Every table is additive across contiguous path shards (all counts are
+/// integer-valued `f64`s), which is what makes
+/// [`EncodedHierarchyAggregates::merge`] of per-shard
+/// [`EncodedHierarchyAggregates::compute_range`] partials *exactly* equal
+/// to the unsharded [`EncodedHierarchyAggregates::compute`] — `==`, not
+/// tolerance (`PartialEq` is derived for precisely that assertion).
+#[derive(Debug, Clone, PartialEq)]
 pub struct EncodedHierarchyAggregates {
     /// Number of distinct leaf paths.
     pub leaf_count: f64,
@@ -441,8 +477,22 @@ impl EncodedHierarchyAggregates {
     /// sharing as the `Value`-keyed path — but every map update is a flat
     /// `Vec` index on a `u32` code.
     pub fn compute(factor: &EncodedFactor) -> Self {
+        Self::compute_range(factor, 0, factor.leaf_count())
+    }
+
+    /// The partial aggregates of the contiguous path shard
+    /// `[start, start + len)`: descendant tables still sized to the *full*
+    /// per-level dictionaries (shards share the factor's dictionaries, so
+    /// codes index identically across shards) but counting only the shard's
+    /// leaves; run and `COF` tables scanned over the shard's code-column
+    /// slice. `compute(f)` is exactly `compute_range(f, 0, f.leaf_count())`,
+    /// and any shard partition of the range merges back to it via
+    /// [`EncodedHierarchyAggregates::merge`].
+    pub fn compute_range(factor: &EncodedFactor, start: usize, len: usize) -> Self {
         let depth = factor.depth();
-        let leaf_count = factor.leaf_count() as f64;
+        let end = start + len;
+        debug_assert!(end <= factor.leaf_count());
+        let leaf_count = len as f64;
         let mut desc: Vec<Vec<f64>> = (0..depth)
             .map(|level| vec![0.0; factor.cardinality(level)])
             .collect();
@@ -451,11 +501,11 @@ impl EncodedHierarchyAggregates {
         if depth > 0 {
             // Leaf level: every path contributes one leaf.
             let leaf = depth - 1;
-            for &code in factor.levels[leaf].codes.iter() {
+            for &code in &factor.levels[leaf].codes[start..end] {
                 desc[leaf][code as usize] += 1.0;
             }
             runs[leaf] = factor
-                .level_runs(leaf)
+                .level_runs_range(leaf, start, len)
                 .into_iter()
                 .map(|(c, n)| (c, n as f64))
                 .collect();
@@ -464,14 +514,14 @@ impl EncodedHierarchyAggregates {
             // The child run table was materialised by the previous iteration,
             // so no level's code column is scanned twice.
             for level in (0..leaf).rev() {
-                let mut path_idx = 0usize;
+                let mut path_idx = start;
                 for &(_, child_leaves) in &runs[level + 1] {
                     let parent = factor.code(level, path_idx) as usize;
                     desc[level][parent] += child_leaves;
                     path_idx += child_leaves as usize;
                 }
                 runs[level] = factor
-                    .level_runs(level)
+                    .level_runs_range(level, start, len)
                     .into_iter()
                     .map(|(c, n)| (c, n as f64))
                     .collect();
@@ -482,33 +532,122 @@ impl EncodedHierarchyAggregates {
             leaf_count,
             desc,
             runs,
-            cofs: Self::cof_tables(factor),
+            cofs: Self::cof_tables_range(factor, start, len),
+        }
+    }
+
+    /// Shard the aggregate computation over `par`'s threads (contiguous path
+    /// ranges) and [`merge`](EncodedHierarchyAggregates::merge) the partials.
+    /// Bit-identical to [`compute`](EncodedHierarchyAggregates::compute):
+    /// every merged quantity is an integer-valued `f64` sum, exact in any
+    /// grouping.
+    pub fn compute_sharded(factor: &EncodedFactor, par: &Parallelism) -> Self {
+        let ranges = par.ranges_for(factor.leaf_count());
+        if ranges.len() <= 1 {
+            return Self::compute(factor);
+        }
+        let parts = par.run_shards(&ranges, |start, len| {
+            Self::compute_range(factor, start, len)
+        });
+        Self::merge(&parts)
+    }
+
+    /// Exactly merge per-shard partial aggregates (in shard order) back into
+    /// the unsharded state:
+    ///
+    /// * descendant tables are summed code-wise (shards share one dictionary,
+    ///   so code `c` means the same value everywhere; integer `f64` sums are
+    ///   exact in any grouping);
+    /// * run and `COF` tables are concatenated, joining the boundary entries
+    ///   when a run was split by a shard cut (runs are maximal *within* a
+    ///   shard, so only the first entry of a shard can extend the last entry
+    ///   of the previous one).
+    ///
+    /// # Panics
+    /// Panics on an empty `parts` slice or mismatched table shapes (shards
+    /// of different factors).
+    pub fn merge(parts: &[EncodedHierarchyAggregates]) -> Self {
+        let first = parts.first().expect("merge of at least one shard");
+        let depth = first.desc.len();
+        let leaf_count = parts.iter().map(|p| p.leaf_count).sum();
+        let mut desc = first.desc.clone();
+        for part in &parts[1..] {
+            assert_eq!(part.desc.len(), depth, "shards must share one factor");
+            for (level, table) in part.desc.iter().enumerate() {
+                assert_eq!(
+                    table.len(),
+                    desc[level].len(),
+                    "shards must share one dictionary"
+                );
+                for (acc, v) in desc[level].iter_mut().zip(table) {
+                    *acc += v;
+                }
+            }
+        }
+        let runs = (0..depth)
+            .map(|level| merge_boundary_runs(parts.iter().map(|p| &p.runs[level])))
+            .collect();
+        let cofs = (0..depth * depth)
+            .map(|pair| merge_boundary_cofs(parts.iter().map(|p| &p.cofs[pair])))
+            .collect();
+        EncodedHierarchyAggregates {
+            leaf_count,
+            desc,
+            runs,
+            cofs,
         }
     }
 
     /// Same-hierarchy `COF` tables for every (shallower, deeper) level pair,
     /// from one linear scan of the code columns per pair.
     fn cof_tables(factor: &EncodedFactor) -> Vec<Vec<(u32, u32, f64)>> {
+        Self::cof_tables_range(factor, 0, factor.leaf_count())
+    }
+
+    /// The `COF` scans restricted to the path shard `[start, start + len)`.
+    fn cof_tables_range(
+        factor: &EncodedFactor,
+        start: usize,
+        len: usize,
+    ) -> Vec<Vec<(u32, u32, f64)>> {
         let depth = factor.depth();
+        let end = start + len;
         let mut cofs = vec![Vec::new(); depth * depth];
         for l1 in 0..depth {
             let c1 = &factor.levels[l1].codes;
             for l2 in (l1 + 1)..depth {
                 let c2 = &factor.levels[l2].codes;
                 let table = &mut cofs[l1 * depth + l2];
-                let mut i = 0usize;
-                while i < c1.len() {
+                let mut i = start;
+                while i < end {
                     let a = c1[i];
                     let b = c2[i];
-                    let start = i;
-                    while i < c1.len() && c1[i] == a && c2[i] == b {
+                    let run_start = i;
+                    while i < end && c1[i] == a && c2[i] == b {
                         i += 1;
                     }
-                    table.push((a, b, (i - start) as f64));
+                    table.push((a, b, (i - run_start) as f64));
                 }
             }
         }
         cofs
+    }
+
+    /// The `COF` tables of a whole factor, sharded over `par` and
+    /// boundary-merged — used by the delta-patch path, whose table rebuild is
+    /// the dominant linear scan.
+    fn cof_tables_with(factor: &EncodedFactor, par: &Parallelism) -> Vec<Vec<(u32, u32, f64)>> {
+        let ranges = par.ranges_for(factor.leaf_count());
+        if ranges.len() <= 1 {
+            return Self::cof_tables(factor);
+        }
+        let chunks = par.run_shards(&ranges, |start, len| {
+            Self::cof_tables_range(factor, start, len)
+        });
+        let depth = factor.depth();
+        (0..depth * depth)
+            .map(|pair| merge_boundary_cofs(chunks.iter().map(|c| &c[pair])))
+            .collect()
     }
 
     /// Maintain the aggregates across a path delta instead of recomputing
@@ -527,6 +666,20 @@ impl EncodedHierarchyAggregates {
     /// with a descendant count of zero — they no longer appear in any run or
     /// `COF` entry, so every aggregate query is unaffected.
     pub fn apply_delta(&self, new_factor: &EncodedFactor, delta: &PathDelta) -> Self {
+        self.apply_delta_with(new_factor, delta, &Parallelism::serial())
+    }
+
+    /// [`EncodedHierarchyAggregates::apply_delta`] with the linear run/`COF`
+    /// rebuild scans sharded over `par` (boundary-merged back, so the result
+    /// is bit-identical to the serial patch). The `O(|delta| · depth)`
+    /// descendant patch itself stays on the calling thread — it is already
+    /// sub-linear in the factor.
+    pub fn apply_delta_with(
+        &self,
+        new_factor: &EncodedFactor,
+        delta: &PathDelta,
+        par: &Parallelism,
+    ) -> Self {
         let depth = new_factor.depth();
         let mut desc = self.desc.clone();
         for (level, table) in desc.iter_mut().enumerate() {
@@ -547,22 +700,73 @@ impl EncodedHierarchyAggregates {
         for path in &delta.removed {
             patch(path, -1.0);
         }
-        let runs = (0..depth)
-            .map(|level| {
-                new_factor
-                    .level_runs(level)
-                    .into_iter()
-                    .map(|(c, n)| (c, n as f64))
-                    .collect()
-            })
-            .collect();
+        let level_runs_f64 = |level: usize, start: usize, len: usize| -> Vec<(u32, f64)> {
+            new_factor
+                .level_runs_range(level, start, len)
+                .into_iter()
+                .map(|(c, n)| (c, n as f64))
+                .collect()
+        };
+        let ranges = par.ranges_for(new_factor.leaf_count());
+        let runs = if ranges.len() <= 1 {
+            (0..depth)
+                .map(|level| level_runs_f64(level, 0, new_factor.leaf_count()))
+                .collect()
+        } else {
+            (0..depth)
+                .map(|level| {
+                    let chunks =
+                        par.run_shards(&ranges, |start, len| level_runs_f64(level, start, len));
+                    merge_boundary_runs(chunks.iter())
+                })
+                .collect()
+        };
         EncodedHierarchyAggregates {
             leaf_count: new_factor.leaf_count() as f64,
             desc,
             runs,
-            cofs: Self::cof_tables(new_factor),
+            cofs: Self::cof_tables_with(new_factor, par),
         }
     }
+}
+
+/// Concatenate per-shard run tables in shard order, joining the boundary
+/// entries when one code's run was split by a shard cut. Within a shard runs
+/// are maximal (adjacent entries never share a code), so joining "current
+/// head extends previous tail" exactly reconstructs the unsharded scan.
+fn merge_boundary_runs<'a>(chunks: impl Iterator<Item = &'a Vec<(u32, f64)>>) -> Vec<(u32, f64)> {
+    let mut merged: Vec<(u32, f64)> = Vec::new();
+    for chunk in chunks {
+        let mut rest = &chunk[..];
+        if let (Some(&(code, count)), Some(last)) = (rest.first(), merged.last_mut()) {
+            if last.0 == code {
+                last.1 += count;
+                rest = &rest[1..];
+            }
+        }
+        merged.extend_from_slice(rest);
+    }
+    merged
+}
+
+/// [`merge_boundary_runs`] for `COF` tables: entries are maximal runs of a
+/// `(parent, child)` code pair, so only a shard's first entry can extend the
+/// previous shard's last.
+fn merge_boundary_cofs<'a>(
+    chunks: impl Iterator<Item = &'a Vec<(u32, u32, f64)>>,
+) -> Vec<(u32, u32, f64)> {
+    let mut merged: Vec<(u32, u32, f64)> = Vec::new();
+    for chunk in chunks {
+        let mut rest = &chunk[..];
+        if let (Some(&(a, b, count)), Some(last)) = (rest.first(), merged.last_mut()) {
+            if last.0 == a && last.1 == b {
+                last.2 += count;
+                rest = &rest[1..];
+            }
+        }
+        merged.extend_from_slice(rest);
+    }
+    merged
 }
 
 /// A cross-column `COF` view over codes: either a materialised same-hierarchy
@@ -600,10 +804,18 @@ pub struct EncodedAggregates {
 impl EncodedAggregates {
     /// Compute the aggregates for every column of `fact`.
     pub fn compute(fact: &EncodedFactorization) -> Self {
+        Self::compute_with(fact, &Parallelism::serial())
+    }
+
+    /// [`EncodedAggregates::compute`] with each hierarchy's aggregate batch
+    /// sharded over `par` (see
+    /// [`EncodedHierarchyAggregates::compute_sharded`]); bit-identical to the
+    /// serial computation.
+    pub fn compute_with(fact: &EncodedFactorization, par: &Parallelism) -> Self {
         let per_hierarchy = fact
             .factors()
             .iter()
-            .map(|f| Arc::new(EncodedHierarchyAggregates::compute(f)))
+            .map(|f| Arc::new(EncodedHierarchyAggregates::compute_sharded(f, par)))
             .collect();
         Self::from_parts(fact, per_hierarchy)
     }
@@ -643,6 +855,19 @@ impl EncodedAggregates {
         fact: &EncodedFactorization,
         delta: &FactorizationDelta,
     ) -> (EncodedFactorization, EncodedAggregates) {
+        self.apply_delta_with(fact, delta, &Parallelism::serial())
+    }
+
+    /// [`EncodedAggregates::apply_delta`] with each patched hierarchy's
+    /// table rebuild sharded over `par` (see
+    /// [`EncodedHierarchyAggregates::apply_delta_with`]); bit-identical to
+    /// the serial patch.
+    pub fn apply_delta_with(
+        &self,
+        fact: &EncodedFactorization,
+        delta: &FactorizationDelta,
+        par: &Parallelism,
+    ) -> (EncodedFactorization, EncodedAggregates) {
         assert_eq!(
             delta.per_hierarchy.len(),
             fact.factors().len(),
@@ -659,7 +884,7 @@ impl EncodedAggregates {
             match d {
                 Some(d) if !d.is_empty() => {
                     let next = Arc::new(factor.apply_delta(d));
-                    parts.push(Arc::new(part.apply_delta(&next, d)));
+                    parts.push(Arc::new(part.apply_delta_with(&next, d, par)));
                     factors.push(next);
                 }
                 _ => {
@@ -996,25 +1221,95 @@ impl EncodedDesign {
 // Factorised operators on codes (Algorithms 2–4)
 // ---------------------------------------------------------------------------
 
+/// The gram cell `(p, q)` (upper triangle, `p <= q`) — the one place the
+/// per-entry floating-point sequence lives, shared by the serial and the
+/// sharded gram so they cannot drift.
+#[inline]
+fn gram_entry(aggs: &EncodedAggregates, features: &EncodedFeatureMap, p: usize, q: usize) -> f64 {
+    let fp = features.column(p);
+    if p == q {
+        aggs.repetitions(p)
+            * aggs.count_weighted_sum(p, |code| {
+                let f = fp[code];
+                f * f
+            })
+    } else {
+        aggs.repetitions(p) * aggs.cof_weighted_sum(p, q, fp, features.column(q))
+    }
+}
+
 /// Factorised gram matrix `Xᵀ·X` (Algorithm 2) on the encoded backend.
 pub fn gram(aggs: &EncodedAggregates, features: &EncodedFeatureMap) -> Matrix {
     let m = aggs.n_cols();
     let mut out = Matrix::zeros(m, m);
     for p in 0..m {
-        let fp = features.column(p);
-        let diag = aggs.repetitions(p)
-            * aggs.count_weighted_sum(p, |code| {
-                let f = fp[code];
-                f * f
-            });
-        out.set(p, p, diag);
+        out.set(p, p, gram_entry(aggs, features, p, p));
         for q in (p + 1)..m {
-            let val = aggs.repetitions(p) * aggs.cof_weighted_sum(p, q, fp, features.column(q));
+            let val = gram_entry(aggs, features, p, q);
             out.set(p, q, val);
             out.set(q, p, val);
         }
     }
     out
+}
+
+/// [`gram`] with the upper-triangle cells fanned out over `par`'s threads:
+/// per-shard partials fill disjoint cells of the one SPD system, and every
+/// cell runs the identical serial accumulation (`gram_entry`), so the
+/// matrix is bit-identical to the serial gram.
+pub fn gram_with(
+    aggs: &EncodedAggregates,
+    features: &EncodedFeatureMap,
+    par: &Parallelism,
+) -> Matrix {
+    if par.is_serial() {
+        return gram(aggs, features);
+    }
+    let m = aggs.n_cols();
+    let mut pairs = Vec::with_capacity(m * (m + 1) / 2);
+    for p in 0..m {
+        for q in p..m {
+            pairs.push((p, q));
+        }
+    }
+    let values = par.map_items(pairs.len(), |i| {
+        let (p, q) = pairs[i];
+        gram_entry(aggs, features, p, q)
+    });
+    let mut out = Matrix::zeros(m, m);
+    for (&(p, q), &val) in pairs.iter().zip(&values) {
+        out.set(p, q, val);
+        out.set(q, p, val);
+    }
+    out
+}
+
+/// One output cell of the factorised left multiplication: `row i of A` (as a
+/// prefix sum) against column `p` of the conceptual matrix. Shared by the
+/// serial and the sharded left multiplication.
+#[inline]
+fn left_mult_entry(
+    prefix: &PrefixSum,
+    aggs: &EncodedAggregates,
+    features: &EncodedFeatureMap,
+    p: usize,
+    n: usize,
+) -> f64 {
+    let (runs, scale) = aggs.block_runs_raw(p);
+    let fp = features.column(p);
+    let reps = aggs.repetitions(p) as usize;
+    let mut acc = 0.0;
+    let mut start = 0usize;
+    for _ in 0..reps {
+        for &(code, count) in runs {
+            let len = (count * scale) as usize;
+            let range = prefix.range_sum(start, start + len);
+            acc += fp[code as usize] * range;
+            start += len;
+        }
+    }
+    debug_assert_eq!(start, n);
+    acc
 }
 
 /// Factorised left multiplication `A·X` (Algorithm 3) on the encoded backend.
@@ -1030,21 +1325,7 @@ pub fn left_mult(a: &Matrix, aggs: &EncodedAggregates, features: &EncodedFeature
     for i in 0..a.rows() {
         let prefix = PrefixSum::new(a.row(i));
         for p in 0..m {
-            let (runs, scale) = aggs.block_runs_raw(p);
-            let fp = features.column(p);
-            let reps = aggs.repetitions(p) as usize;
-            let mut acc = 0.0;
-            let mut start = 0usize;
-            for _ in 0..reps {
-                for &(code, count) in runs {
-                    let len = (count * scale) as usize;
-                    let range = prefix.range_sum(start, start + len);
-                    acc += fp[code as usize] * range;
-                    start += len;
-                }
-            }
-            debug_assert_eq!(start, n);
-            out.set(i, p, acc);
+            out.set(i, p, left_mult_entry(&prefix, aggs, features, p, n));
         }
     }
     out
@@ -1059,6 +1340,31 @@ pub fn transpose_vec_mult(
     let row = Matrix::row_vector(v);
     let res = left_mult(&row, aggs, features);
     res.row(0).to_vec()
+}
+
+/// [`transpose_vec_mult`] with the per-column accumulations fanned out over
+/// `par` (the prefix sum over `v` is built once and shared read-only). Each
+/// column runs `left_mult_entry` exactly as the serial path does, so the
+/// result vector is bit-identical.
+pub fn transpose_vec_mult_with(
+    v: &[f64],
+    aggs: &EncodedAggregates,
+    features: &EncodedFeatureMap,
+    par: &Parallelism,
+) -> Vec<f64> {
+    if par.is_serial() {
+        return transpose_vec_mult(v, aggs, features);
+    }
+    let n = aggs.grand_total() as usize;
+    assert_eq!(
+        v.len(),
+        n,
+        "vector operand must have as many entries as the factorised matrix has rows"
+    );
+    let prefix = PrefixSum::new(v);
+    par.map_items(aggs.n_cols(), |p| {
+        left_mult_entry(&prefix, aggs, features, p, n)
+    })
 }
 
 /// The changes between two consecutive rows of the conceptual matrix, in

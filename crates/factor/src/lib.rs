@@ -33,6 +33,12 @@
 //!   when the user drills down (Section 4.4, Appendix J, Figure 9), with
 //!   per-hierarchy ingest epochs and delta patching so a live feed
 //!   maintains cached state instead of invalidating it wholesale;
+//! * [`parallel`] — the sharding primitive ([`Parallelism`]) behind the
+//!   shard-parallel builders and operators: the aggregate batch fans out
+//!   over contiguous path shards onto a process-wide pool of persistent
+//!   std-thread workers and merges *exactly* (every merged quantity is an
+//!   integer-count sum), so sharded and serial execution are
+//!   bit-identical;
 //! * [`encoded::PathDelta`] / [`EncodedAggregates::apply_delta`] — streaming
 //!   delta maintenance of the encoded tables: stable-code dictionary
 //!   extension, spliced `Arc`-shared code columns, patched descendant
@@ -48,6 +54,7 @@ pub mod factorization;
 pub mod feature;
 pub mod lmfao;
 pub mod ops;
+pub mod parallel;
 pub mod row_iter;
 
 pub use aggregates::DecomposedAggregates;
@@ -61,4 +68,5 @@ pub use encoded::{
 };
 pub use factorization::{AttrPosition, Factorization, HierarchyFactor};
 pub use feature::FeatureMap;
+pub use parallel::Parallelism;
 pub use row_iter::RowIter;

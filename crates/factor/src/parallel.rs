@@ -1,0 +1,523 @@
+//! Shard-parallel execution of the factorised hot paths.
+//!
+//! Reptile's training aggregates (`COUNT`/`TOTAL`/`COF`) and gram systems
+//! are *additive across row partitions* of the base relation: every table is
+//! a sum of integer counts (or of products accumulated per entry), so the
+//! encoded hot path can fan out over contiguous shards and merge exactly.
+//! This module provides the one knob and the one fan-out primitive that the
+//! sharded builders in [`encoded`](crate::encoded),
+//! [`cluster`](crate::cluster), `reptile-model` and `reptile-core` share:
+//!
+//! * [`Parallelism`] — how many OS threads a sharded build may use
+//!   (`serial()` by default, so nothing changes unless a caller opts in);
+//! * [`Parallelism::run_shards`] — scatter a closure over contiguous
+//!   `(start, len)` ranges onto a process-wide pool of *persistent* worker
+//!   threads (std-only, no external thread-pool crate; workers idle on a
+//!   condvar between scatters, roughly an order of magnitude cheaper per
+//!   scatter than spawning threads) and gather the per-shard results *in
+//!   shard order*, which is what makes the merges deterministic. The
+//!   workers are detached and long-lived, so the borrowed scatter closures
+//!   are lifetime-erased before queueing; soundness rests on `WaitGuard`
+//!   (the scatter never returns — not even by unwinding — before every
+//!   dispatched shard completed), **not** on scoped threads.
+//!
+//! **Exactness contract.** Every sharded code path in this workspace is
+//! bit-identical (`==`, not tolerance) to its serial counterpart. Two
+//! mechanisms deliver that, and new sharded paths must use one of them:
+//!
+//! 1. *Integer-sum merges* — the encoded aggregate tables hold integer
+//!    counts as `f64`; integer-valued `f64` addition is exact in any
+//!    grouping (up to 2⁵³), so per-shard partial tables summed code-wise
+//!    equal the serial accumulation bit-for-bit.
+//! 2. *Disjoint-output sharding* — operators whose outputs are per-entry
+//!    (gram cells, per-cluster blocks, per-column accumulators) are
+//!    sharded over entries, each entry running the *identical* serial
+//!    floating-point sequence; no partial sum ever crosses a shard.
+//!
+//! What is deliberately **not** sharded: any reduction whose serial
+//! operation order would change (e.g. the response-vector scan over view
+//! groups, or a direct per-shard split of a single gram *entry*'s
+//! `Σ c·f·g`), because floating-point addition is not associative and the
+//! equivalence tests assert exact equality against both the serial encoded
+//! path and the legacy `Value`-keyed path.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// How many threads the sharded builders and operators may use.
+///
+/// The default is [`Parallelism::serial`], which makes every `*_with`
+/// entry point take exactly the code path (and produce exactly the bits)
+/// of its serial counterpart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    threads: NonZeroUsize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::serial()
+    }
+}
+
+impl Parallelism {
+    /// Single-threaded execution (the default): sharded entry points run
+    /// their serial counterpart inline.
+    pub const fn serial() -> Self {
+        Parallelism {
+            threads: NonZeroUsize::MIN,
+        }
+    }
+
+    /// Use up to `threads` OS threads (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Parallelism {
+            threads: NonZeroUsize::new(threads.max(1)).expect("clamped"),
+        }
+    }
+
+    /// Use every core the OS reports
+    /// ([`std::thread::available_parallelism`]), falling back to serial when
+    /// the hint is unavailable.
+    pub fn available() -> Self {
+        Parallelism {
+            threads: std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN),
+        }
+    }
+
+    /// The configured thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads.get()
+    }
+
+    /// Whether this configuration runs everything inline.
+    pub fn is_serial(&self) -> bool {
+        self.threads.get() == 1
+    }
+
+    /// Divide this budget among `workers` concurrent consumers: every
+    /// consumer gets `threads / workers` threads, at least one, so a
+    /// fan-out of fan-outs does not oversubscribe the machine. The same
+    /// division works in both directions — a per-request shard budget
+    /// splitting the machine (`machine.split(per_request)` = how many
+    /// request workers fit) or a worker count splitting the machine into
+    /// per-worker shard budgets; `BatchServer::new` uses the former.
+    pub fn split(&self, workers: usize) -> Self {
+        Parallelism::new(self.threads.get() / workers.max(1))
+    }
+
+    /// Split `0..len` into exactly `shards` contiguous `(start, len)`
+    /// ranges, balanced to within one element. When `shards > len` the
+    /// trailing ranges are empty — shard counts larger than the item count
+    /// are valid (their partial aggregates are empty and merge as
+    /// identities).
+    pub fn shard_ranges(len: usize, shards: usize) -> Vec<(usize, usize)> {
+        let shards = shards.max(1);
+        let base = len / shards;
+        let extra = len % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for s in 0..shards {
+            let chunk = base + usize::from(s < extra);
+            ranges.push((start, chunk));
+            start += chunk;
+        }
+        debug_assert_eq!(start, len);
+        ranges
+    }
+
+    /// The ranges [`Parallelism::run_shards`] would fan `0..len` out over:
+    /// one contiguous range per thread, never more ranges than items.
+    pub fn ranges_for(&self, len: usize) -> Vec<(usize, usize)> {
+        Self::shard_ranges(len, self.threads.get().min(len.max(1)))
+    }
+
+    /// Scatter `shard(start, len)` over the given ranges and gather the
+    /// results **in range order**. Serial configurations (or a single
+    /// range) run inline on the caller's thread; otherwise the trailing
+    /// ranges are dispatched to the process-wide [shard pool](self) —
+    /// persistent workers woken by condvar, roughly an order of magnitude
+    /// cheaper per scatter than spawning threads, which matters because the
+    /// EM loop scatters several times per iteration — and the caller
+    /// computes the first range itself, then blocks until every dispatched
+    /// shard completed. A shard that panics re-raises the panic on the
+    /// calling thread after the remaining shards finish.
+    pub fn run_shards<T: Send>(
+        &self,
+        ranges: &[(usize, usize)],
+        shard: impl Fn(usize, usize) -> T + Sync,
+    ) -> Vec<T> {
+        if self.is_serial() || ranges.len() <= 1 || in_pool_worker() {
+            // A pool worker never scatters (its sub-shards would queue
+            // behind the very scatters the pool is draining — a deadlock
+            // shape); nested parallelism degrades to inline execution.
+            return ranges.iter().map(|&(s, l)| shard(s, l)).collect();
+        }
+        let pool = shard_pool();
+        pool.ensure_workers(self.threads.get() - 1);
+
+        let extra = ranges.len() - 1;
+        let latch = Latch::new(extra);
+        let slots: Vec<Mutex<Option<T>>> = (0..extra).map(|_| Mutex::new(None)).collect();
+        {
+            // The guard blocks until every dispatched job completed — on
+            // the normal path *and* when the caller's own shard panics —
+            // so the jobs' borrows of `shard`, `slots` and `latch` can
+            // never dangle (the safety contract of the lifetime erasure
+            // in `PoolShared::submit`).
+            let _guard = WaitGuard(&latch);
+            {
+                let shard = &shard;
+                let slots = &slots;
+                let latch = &latch;
+                pool.submit_batch(ranges[1..].iter().enumerate().map(move |(j, &(s, l))| {
+                    let job: Box<dyn FnOnce() + Send + '_> =
+                        Box::new(
+                            move || match catch_unwind(AssertUnwindSafe(|| shard(s, l))) {
+                                Ok(value) => {
+                                    *slots[j].lock().expect("shard slot") = Some(value);
+                                    latch.complete(None);
+                                }
+                                Err(payload) => latch.complete(Some(payload)),
+                            },
+                        );
+                    job
+                }));
+            }
+            let (s0, l0) = ranges[0];
+            let first = match catch_unwind(AssertUnwindSafe(|| shard(s0, l0))) {
+                Ok(first) => first,
+                Err(payload) => {
+                    // Let the guard drain the dispatched jobs, then re-raise.
+                    drop(_guard);
+                    resume_unwind(payload);
+                }
+            };
+            drop(_guard);
+            if let Some(payload) = latch.take_panic() {
+                resume_unwind(payload);
+            }
+            let mut out = Vec::with_capacity(ranges.len());
+            out.push(first);
+            for slot in &slots {
+                out.push(
+                    slot.lock()
+                        .expect("shard slot")
+                        .take()
+                        .expect("completed shard filled its slot"),
+                );
+            }
+            out
+        }
+    }
+
+    /// Fan `0..len` out over this budget's threads (contiguous balanced
+    /// ranges) and gather the per-range results in order.
+    pub fn map_ranges<T: Send>(
+        &self,
+        len: usize,
+        shard: impl Fn(usize, usize) -> T + Sync,
+    ) -> Vec<T> {
+        self.run_shards(&self.ranges_for(len), shard)
+    }
+
+    /// Compute `item(i)` for every `i` in `0..len`, sharded over this
+    /// budget, returning the results in item order. Each item runs the
+    /// identical serial computation; only *which thread* runs it changes.
+    pub fn map_items<T: Send>(&self, len: usize, item: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let mut chunks = self.map_ranges(len, |start, chunk| {
+            (start..start + chunk).map(&item).collect::<Vec<T>>()
+        });
+        if chunks.len() == 1 {
+            return chunks.pop().expect("one chunk");
+        }
+        let mut out = Vec::with_capacity(len);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The process-wide shard pool
+// ---------------------------------------------------------------------------
+//
+// One lazily grown set of persistent worker threads serves every
+// [`Parallelism::run_shards`] scatter in the process — the engine's design
+// builds, the EM fits, and all of a `BatchServer`'s request workers share
+// it, so concurrent scatters queue instead of oversubscribing the machine.
+// Jobs are pure compute closures that never block on other jobs (a worker
+// that would scatter runs inline instead — see `run_shards`), so queueing
+// cannot deadlock.
+
+/// A type-erased shard job. Lifetime-erased from the scatter's borrows; the
+/// erasure is sound because `run_shards` (via `WaitGuard`, which waits even
+/// during unwinding) never returns before every submitted job completed.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<PoolQueue>,
+    /// Wakes idle workers when jobs arrive.
+    work: Condvar,
+}
+
+struct PoolQueue {
+    jobs: VecDeque<Job>,
+    workers: usize,
+}
+
+thread_local! {
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn in_pool_worker() -> bool {
+    IN_POOL_WORKER.with(Cell::get)
+}
+
+fn shard_pool() -> &'static Arc<PoolShared> {
+    static POOL: OnceLock<Arc<PoolShared>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        Arc::new(PoolShared {
+            queue: Mutex::new(PoolQueue {
+                jobs: VecDeque::new(),
+                workers: 0,
+            }),
+            work: Condvar::new(),
+        })
+    })
+}
+
+impl PoolShared {
+    /// Grow the pool to at least `wanted` workers (never shrinks; workers
+    /// are detached and idle on a condvar between scatters).
+    fn ensure_workers(self: &Arc<Self>, wanted: usize) {
+        let mut queue = self.queue.lock().expect("shard pool lock");
+        while queue.workers < wanted {
+            queue.workers += 1;
+            let shared = Arc::clone(self);
+            std::thread::Builder::new()
+                .name("reptile-shard".into())
+                .spawn(move || shared.worker_loop())
+                .expect("spawn shard pool worker");
+        }
+    }
+
+    fn worker_loop(self: Arc<Self>) {
+        IN_POOL_WORKER.with(|flag| flag.set(true));
+        let mut queue = self.queue.lock().expect("shard pool lock");
+        loop {
+            if let Some(job) = queue.jobs.pop_front() {
+                drop(queue);
+                // The job catches its own panics (see `run_shards`), so a
+                // worker survives every scatter.
+                job();
+                queue = self.queue.lock().expect("shard pool lock");
+            } else {
+                queue = self.work.wait(queue).expect("shard pool lock");
+            }
+        }
+    }
+
+    /// Enqueue a batch of lifetime-erased jobs and wake the workers.
+    ///
+    /// # Safety contract
+    /// The caller must not let the jobs' borrows expire before every job
+    /// completed — upheld by `run_shards`' `WaitGuard`.
+    fn submit_batch<'a>(&self, jobs: impl Iterator<Item = Box<dyn FnOnce() + Send + 'a>>) {
+        let mut queue = self.queue.lock().expect("shard pool lock");
+        for job in jobs {
+            // SAFETY: `run_shards` blocks (via `WaitGuard`, also on the
+            // unwinding path) until the job has run to completion, so every
+            // borrow inside the closure strictly outlives its execution.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(job) };
+            queue.jobs.push_back(job);
+        }
+        drop(queue);
+        self.work.notify_all();
+    }
+}
+
+/// Completion latch of one scatter: counts outstanding jobs and carries the
+/// first panic payload out of the pool.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().expect("latch lock");
+        state.remaining -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut state = self.state.lock().expect("latch lock");
+        while state.remaining > 0 {
+            state = self.done.wait(state).expect("latch lock");
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.state.lock().expect("latch lock").panic.take()
+    }
+}
+
+/// Blocks until the latch drains — including when the caller unwinds — so
+/// pool jobs can never outlive the stack frame they borrow from.
+struct WaitGuard<'a>(&'a Latch);
+
+impl Drop for WaitGuard<'_> {
+    fn drop(&mut self) {
+        self.0.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_serial() {
+        assert!(Parallelism::default().is_serial());
+        assert_eq!(Parallelism::serial().threads(), 1);
+        assert_eq!(Parallelism::new(0).threads(), 1);
+        assert_eq!(Parallelism::new(4).threads(), 4);
+        assert!(Parallelism::available().threads() >= 1);
+    }
+
+    #[test]
+    fn split_divides_the_budget() {
+        assert_eq!(Parallelism::new(8).split(4).threads(), 2);
+        assert_eq!(Parallelism::new(4).split(8).threads(), 1);
+        assert_eq!(Parallelism::new(4).split(0).threads(), 4);
+    }
+
+    #[test]
+    fn shard_ranges_cover_contiguously_and_balance() {
+        for (len, shards) in [(10, 3), (3, 10), (0, 4), (7, 1), (16, 4)] {
+            let ranges = Parallelism::shard_ranges(len, shards);
+            assert_eq!(ranges.len(), shards.max(1));
+            let mut next = 0usize;
+            for &(start, chunk) in &ranges {
+                assert_eq!(start, next);
+                next += chunk;
+            }
+            assert_eq!(next, len);
+            let max = ranges.iter().map(|r| r.1).max().unwrap();
+            let min = ranges.iter().map(|r| r.1).min().unwrap();
+            assert!(max - min <= 1, "unbalanced: {ranges:?}");
+        }
+    }
+
+    #[test]
+    fn never_more_ranges_than_items() {
+        assert_eq!(Parallelism::new(8).ranges_for(3).len(), 3);
+        assert_eq!(Parallelism::new(8).ranges_for(0).len(), 1);
+        assert_eq!(Parallelism::new(2).ranges_for(100).len(), 2);
+    }
+
+    #[test]
+    fn map_items_preserves_order_under_parallelism() {
+        let serial: Vec<usize> = Parallelism::serial().map_items(100, |i| i * i);
+        let parallel: Vec<usize> = Parallelism::new(4).map_items(100, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.len(), 100);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn run_shards_gathers_in_range_order() {
+        let ranges = Parallelism::shard_ranges(11, 4);
+        let sums = Parallelism::new(4)
+            .run_shards(&ranges, |start, len| (start..start + len).sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), (0..11).sum::<usize>());
+        assert_eq!(sums.len(), 4);
+    }
+
+    #[test]
+    fn pool_workers_are_reused_across_many_scatters() {
+        let par = Parallelism::new(3);
+        for round in 0..200usize {
+            let out = par.map_items(7, move |i| i * 2 + round);
+            let expected: Vec<usize> = (0..7).map(|i| i * 2 + round).collect();
+            assert_eq!(out, expected);
+        }
+    }
+
+    #[test]
+    fn shard_panic_propagates_and_pool_survives() {
+        let par = Parallelism::new(4);
+        let result = std::panic::catch_unwind(|| {
+            par.map_items(8, |i| {
+                if i == 5 {
+                    panic!("shard blew up");
+                }
+                i
+            })
+        });
+        assert!(result.is_err(), "panic must cross the pool boundary");
+        // The pool is still serviceable after a panicking scatter.
+        assert_eq!(par.map_items(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_scatters_do_not_deadlock() {
+        let par = Parallelism::new(2);
+        let out = par.map_ranges(4, |start, len| {
+            Parallelism::new(2)
+                .map_items(3, |i| i + start + len)
+                .into_iter()
+                .sum::<usize>()
+        });
+        assert!(out.iter().sum::<usize>() > 0);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_scatters_share_the_pool() {
+        // Several OS threads scattering at once must all complete with
+        // correct, ordered results (jobs from different scatters interleave
+        // in the shared queue).
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    let par = Parallelism::new(3);
+                    for round in 0..50usize {
+                        let out = par.map_items(5, move |i| i * 10 + t + round);
+                        let expected: Vec<usize> = (0..5).map(|i| i * 10 + t + round).collect();
+                        assert_eq!(out, expected);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("concurrent scatter thread");
+        }
+    }
+}

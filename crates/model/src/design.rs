@@ -5,7 +5,7 @@ use crate::features::{main_effects, normalize, FeaturePlan};
 use crate::{ModelError, Result};
 use reptile_factor::{
     AggregateSource, ClusterPartition, DecomposedAggregates, EncodedDesign, FactorBackend,
-    Factorization, FeatureMap, FreshAggregates, HierarchyFactor,
+    Factorization, FeatureMap, FreshAggregates, HierarchyFactor, Parallelism,
 };
 use reptile_relational::{AggregateKind, AttrId, GroupKey, Schema, Value, View};
 use std::collections::BTreeMap;
@@ -166,6 +166,7 @@ pub struct DesignBuilder<'a, 'g> {
     plan: FeaturePlan,
     empty_policy: EmptyGroupPolicy,
     backend: FactorBackend,
+    parallelism: Parallelism,
     aggregate_source: Option<&'g mut dyn AggregateSource>,
 }
 
@@ -181,8 +182,20 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             plan: FeaturePlan::none(),
             empty_policy: EmptyGroupPolicy::GlobalMean,
             backend: FactorBackend::default(),
+            parallelism: Parallelism::serial(),
             aggregate_source: None,
         }
+    }
+
+    /// Shard the heavy build phases (encoded factor construction when no
+    /// aggregate source is threaded in, and the cluster partition) over a
+    /// thread budget. Sharded builds are bit-identical to serial ones, so
+    /// this only changes wall-clock time, never the design. A threaded-in
+    /// [`reptile_factor::DrilldownSession`] carries its *own* budget for
+    /// the aggregate step.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Attach a featurisation plan (auxiliary datasets, custom features, Z
@@ -229,6 +242,7 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             plan,
             empty_policy,
             backend,
+            parallelism,
             aggregate_source: _,
         } = self;
         DesignBuilder {
@@ -238,6 +252,7 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             plan,
             empty_policy,
             backend,
+            parallelism,
             aggregate_source: Some(session),
         }
         .build()
@@ -275,10 +290,15 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
         }
 
         // Per hierarchy: the level specs (base levels in hierarchy order,
-        // then extras keyed by one of those levels).
+        // then extras keyed by one of those levels). Spec construction is
+        // cheap and stays serial; the expensive part — projecting every
+        // group key onto the hierarchy's levels, sorting and de-duplicating
+        // into the distinct path table — is independent per hierarchy, so
+        // it fans out over the builder's thread budget (hierarchies are
+        // gathered in order; bit-identical to the serial loop).
         let gb_index_of = |attr: AttrId| group_by.iter().position(|a| *a == attr);
-        let mut factors: Vec<HierarchyFactor> = Vec::new();
-        let mut columns: Vec<ColumnSpec> = Vec::new();
+        let mut per_hierarchy_specs: Vec<Vec<ColumnSpec>> = Vec::new();
+        let mut per_hierarchy_attrs: Vec<Vec<AttrId>> = Vec::new();
         let mut drilled_level_in_last = 0usize;
         for (h_idx, hierarchy) in ordered.iter().enumerate() {
             let base_levels: Vec<AttrId> = hierarchy.grouped_prefix(group_by);
@@ -307,10 +327,15 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
                     attrs.push(extra.attr);
                 }
             }
-            // Build paths from the distinct group-key projections. Sort and
-            // de-duplicate *borrowed* projections first so only the distinct
-            // paths are cloned (the view iterates groups in sorted key order,
-            // so the sort is nearly linear).
+            per_hierarchy_specs.push(specs);
+            per_hierarchy_attrs.push(attrs);
+        }
+        // Build paths from the distinct group-key projections. Sort and
+        // de-duplicate *borrowed* projections first so only the distinct
+        // paths are cloned (the view iterates groups in sorted key order,
+        // so the sort is nearly linear).
+        let factors: Vec<HierarchyFactor> = self.parallelism.map_items(ordered.len(), |h_idx| {
+            let specs = &per_hierarchy_specs[h_idx];
             let mut proj: Vec<Vec<&Value>> = view
                 .groups()
                 .map(|(key, _)| specs.iter().map(|s| key.value(s.gb_index)).collect())
@@ -321,13 +346,13 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
                 .into_iter()
                 .map(|p| p.into_iter().cloned().collect())
                 .collect();
-            factors.push(HierarchyFactor::from_paths(
-                hierarchy.name.clone(),
-                attrs,
+            HierarchyFactor::from_paths(
+                ordered[h_idx].name.clone(),
+                per_hierarchy_attrs[h_idx].clone(),
                 paths,
-            ));
-            columns.extend(specs);
-        }
+            )
+        });
+        let columns: Vec<ColumnSpec> = per_hierarchy_specs.into_iter().flatten().collect();
 
         let factorization = Factorization::new(factors);
         let n = factorization.n_rows();
@@ -340,40 +365,48 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
         // group's own statistic, which would leak the anomaly into the model
         // and make every group look "expected".
         let drilled_gb_index = group_by.len() - 1;
+        // Per-column feature mappings are independent group scans, so they
+        // fan out over the thread budget and are gathered in column order
+        // (bit-identical to the serial loop).
+        let plan = &self.plan;
+        let statistic = self.statistic;
+        let column_maps: Vec<BTreeMap<Value, f64>> =
+            self.parallelism.map_items(columns.len(), |c| {
+                let spec = &columns[c];
+                match &spec.kind {
+                    ColumnKind::Base if spec.gb_index == drilled_gb_index => {
+                        // The drilled attribute's domain is already
+                        // materialised as a level of the last hierarchy
+                        // factor — walk the distinct paths instead of every
+                        // view group.
+                        let last = factorization
+                            .hierarchies()
+                            .last()
+                            .expect("drilled hierarchy present");
+                        let mut constant = BTreeMap::new();
+                        for path in &last.paths {
+                            constant.insert(path[drilled_level_in_last].clone(), 1.0);
+                        }
+                        constant
+                    }
+                    ColumnKind::Base => main_effects(view, spec.gb_index, statistic),
+                    ColumnKind::Extra(e_idx) => {
+                        let extra = &plan.extras[*e_idx];
+                        let fallback = extra.fallback();
+                        let mut mapping: BTreeMap<Value, f64> = BTreeMap::new();
+                        for (key, _) in view.groups() {
+                            let v = key.value(spec.gb_index).clone();
+                            let fv = extra.values.get(&v).copied().unwrap_or(fallback);
+                            mapping.entry(v).or_insert(fv);
+                        }
+                        normalize(&mut mapping);
+                        mapping
+                    }
+                }
+            });
         let mut features = FeatureMap::zeros(m);
-        for (c, spec) in columns.iter().enumerate() {
-            match &spec.kind {
-                ColumnKind::Base if spec.gb_index == drilled_gb_index => {
-                    // The drilled attribute's domain is already materialised
-                    // as a level of the last hierarchy factor — walk the
-                    // distinct paths instead of every view group.
-                    let last = factorization
-                        .hierarchies()
-                        .last()
-                        .expect("drilled hierarchy present");
-                    let mut constant = BTreeMap::new();
-                    for path in &last.paths {
-                        constant.insert(path[drilled_level_in_last].clone(), 1.0);
-                    }
-                    features.set_column(c, constant);
-                }
-                ColumnKind::Base => {
-                    let effects = main_effects(view, spec.gb_index, self.statistic);
-                    features.set_column(c, effects);
-                }
-                ColumnKind::Extra(e_idx) => {
-                    let extra = &self.plan.extras[*e_idx];
-                    let fallback = extra.fallback();
-                    let mut mapping: BTreeMap<Value, f64> = BTreeMap::new();
-                    for (key, _) in view.groups() {
-                        let v = key.value(spec.gb_index).clone();
-                        let fv = extra.values.get(&v).copied().unwrap_or(fallback);
-                        mapping.entry(v).or_insert(fv);
-                    }
-                    normalize(&mut mapping);
-                    features.set_column(c, mapping);
-                }
-            }
+        for (c, mapping) in column_maps.into_iter().enumerate() {
+            features.set_column(c, mapping);
         }
 
         // Response vector aligned with the factorisation's row order. The
@@ -404,43 +437,61 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
         let mut seen = 0.0;
         {
             let hierarchies = factorization.hierarchies();
-            let mut last_idx: Vec<Option<usize>> = vec![None; hierarchies.len()];
-            let mut prev_key: Option<&GroupKey> = None;
-            for (key, agg) in view.groups() {
-                let mut row = Some(0usize);
-                for (h, factor) in hierarchies.iter().enumerate() {
-                    let gbs = &hier_gb[h];
-                    let changed = match prev_key {
-                        Some(pk) => gbs.iter().any(|&g| pk.value(g) != key.value(g)),
-                        None => true,
-                    };
-                    if changed {
-                        last_idx[h] = factor
-                            .paths
-                            .binary_search_by(|p| {
-                                for (level, &g) in gbs.iter().enumerate() {
-                                    match p[level].cmp(key.value(g)) {
-                                        std::cmp::Ordering::Equal => continue,
-                                        other => return other,
-                                    }
-                                }
-                                std::cmp::Ordering::Equal
-                            })
-                            .ok();
+            // Contiguous group chunks resolve their rows independently (the
+            // per-hierarchy memo is just a cache — a chunk restarts it cold
+            // and resolves the same rows), so the scan fans out over the
+            // thread budget. The observed `(row, value)` pairs come back in
+            // group order, and the fill-mean accumulation below folds them
+            // serially in that order — the identical floating-point
+            // sequence the serial scan performs.
+            let groups: Vec<(&GroupKey, f64)> = view
+                .groups()
+                .map(|(key, agg)| (key, agg.value(self.statistic)))
+                .collect();
+            let chunks: Vec<Vec<(usize, f64)>> =
+                self.parallelism.map_ranges(groups.len(), |start, len| {
+                    let mut resolved = Vec::with_capacity(len);
+                    let mut last_idx: Vec<Option<usize>> = vec![None; hierarchies.len()];
+                    let mut prev_key: Option<&GroupKey> = None;
+                    for &(key, value) in &groups[start..start + len] {
+                        let mut row = Some(0usize);
+                        for (h, factor) in hierarchies.iter().enumerate() {
+                            let gbs = &hier_gb[h];
+                            let changed = match prev_key {
+                                Some(pk) => gbs.iter().any(|&g| pk.value(g) != key.value(g)),
+                                None => true,
+                            };
+                            if changed {
+                                last_idx[h] = factor
+                                    .paths
+                                    .binary_search_by(|p| {
+                                        for (level, &g) in gbs.iter().enumerate() {
+                                            match p[level].cmp(key.value(g)) {
+                                                std::cmp::Ordering::Equal => continue,
+                                                other => return other,
+                                            }
+                                        }
+                                        std::cmp::Ordering::Equal
+                                    })
+                                    .ok();
+                            }
+                            row = match (row, last_idx[h]) {
+                                (Some(r), Some(idx)) => Some(r * factor.leaf_count() + idx),
+                                _ => None,
+                            };
+                        }
+                        prev_key = Some(key);
+                        if let Some(row) = row {
+                            resolved.push((row, value));
+                        }
                     }
-                    row = match (row, last_idx[h]) {
-                        (Some(r), Some(idx)) => Some(r * factor.leaf_count() + idx),
-                        _ => None,
-                    };
-                }
-                prev_key = Some(key);
-                if let Some(row) = row {
-                    let value = agg.value(self.statistic);
-                    y[row] = value;
-                    observed[row] = true;
-                    sum += value;
-                    seen += 1.0;
-                }
+                    resolved
+                });
+            for (row, value) in chunks.into_iter().flatten() {
+                y[row] = value;
+                observed[row] = true;
+                sum += value;
+                seen += 1.0;
             }
         }
         let fill = match self.empty_policy {
@@ -477,7 +528,7 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             .map(|h| h.depth())
             .unwrap_or(1);
         let intra_levels = last_depth - drilled_level_in_last;
-        let mut fresh = FreshAggregates;
+        let mut fresh = FreshAggregates::with_parallelism(self.parallelism);
         let source: &mut dyn AggregateSource = match self.aggregate_source.as_mut() {
             Some(source) => *source,
             None => &mut fresh,
@@ -488,10 +539,11 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             FactorBackend::Encoded => {
                 let (enc_fact, enc_aggs) = source.encoded_aggregates(&factorization);
                 let design = EncodedDesign::from_parts(enc_fact, enc_aggs, &features);
-                let clusters = ClusterPartition::from_encoded(
+                let clusters = ClusterPartition::from_encoded_with(
                     &design.factorization,
                     &design.features,
                     intra_levels,
+                    &self.parallelism,
                 );
                 let _ = encoded.set(design);
                 clusters

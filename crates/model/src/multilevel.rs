@@ -25,7 +25,7 @@
 
 use crate::design::TrainingDesign;
 use crate::{ModelError, Result};
-use reptile_factor::{encoded, ops};
+use reptile_factor::{encoded, ops, Parallelism};
 use reptile_linalg::cholesky::invert_spd_with_ridge;
 use reptile_linalg::Matrix;
 
@@ -96,8 +96,27 @@ impl MultilevelModel {
         config: MultilevelConfig,
         backend: TrainingBackend,
     ) -> Result<Self> {
+        Self::fit_sharded(design, config, backend, &Parallelism::serial())
+    }
+
+    /// Fit with an explicit backend and a thread budget: on the
+    /// [`TrainingBackend::Factorized`] (encoded) path the gram system, the
+    /// per-cluster gram batch, every EM iteration's cluster operators and
+    /// the per-cluster E-step solves fan out over `par`'s shards. Every
+    /// sharded step runs the identical per-entry/per-cluster serial
+    /// floating-point sequence, so the fitted model is **bit-identical** to
+    /// [`MultilevelModel::fit_with_backend`] — the shard-merge property
+    /// tests assert `==` on `beta`, `sigma2`, `sigma_b`, `b` and the
+    /// predictions. The legacy and materialized baselines ignore the budget
+    /// (they exist to be honest serial baselines).
+    pub fn fit_sharded(
+        design: &TrainingDesign,
+        config: MultilevelConfig,
+        backend: TrainingBackend,
+        par: &Parallelism,
+    ) -> Result<Self> {
         match backend {
-            TrainingBackend::Factorized => Self::fit_encoded(design, config),
+            TrainingBackend::Factorized => Self::fit_encoded(design, config, par),
             TrainingBackend::FactorizedLegacy => Self::fit_factorized_legacy(design, config),
             TrainingBackend::Materialized => Self::fit_materialized(design, config),
         }
@@ -105,13 +124,24 @@ impl MultilevelModel {
 
     /// Fitted values (fixed + random effects) for every design row.
     pub fn predict_all(&self, design: &TrainingDesign) -> Vec<f64> {
-        let fixed = design.clusters().right_mult_shared_vec(&self.beta);
+        self.predict_all_with(design, &Parallelism::serial())
+    }
+
+    /// [`MultilevelModel::predict_all`] with the per-cluster products
+    /// sharded over `par` (bit-identical — the cluster operators gather in
+    /// row order).
+    pub fn predict_all_with(&self, design: &TrainingDesign, par: &Parallelism) -> Vec<f64> {
+        let fixed = design
+            .clusters()
+            .right_mult_shared_vec_with(&self.beta, par);
         let padded: Vec<Vec<f64>> = self
             .b
             .iter()
             .map(|bi| pad(bi, &self.z_columns, design.n_cols()))
             .collect();
-        let random = design.clusters().right_mult_per_cluster_vec(&padded);
+        let random = design
+            .clusters()
+            .right_mult_per_cluster_vec_with(&padded, par);
         fixed.iter().zip(&random).map(|(f, r)| f + r).collect()
     }
 
@@ -130,7 +160,11 @@ impl MultilevelModel {
     // ------------------------------------------------------------------
     // Factorised EM over dictionary-encoded codes (the default)
     // ------------------------------------------------------------------
-    fn fit_encoded(design: &TrainingDesign, config: MultilevelConfig) -> Result<Self> {
+    fn fit_encoded(
+        design: &TrainingDesign,
+        config: MultilevelConfig,
+        par: &Parallelism,
+    ) -> Result<Self> {
         if design.n_rows() == 0 {
             return Err(ModelError::EmptyTrainingData);
         }
@@ -141,17 +175,20 @@ impl MultilevelModel {
         let enc = design.encoded();
 
         // Precomputed, reused every iteration (Appendix D "Bottleneck").
-        let gram = encoded::gram(&enc.aggregates, &enc.features);
+        // The SPD gram system is accumulated from per-shard partials: the
+        // cells fan out over the thread budget, each cell running the serial
+        // accumulation (bit-identical, see `encoded::gram_with`).
+        let gram = encoded::gram_with(&enc.aggregates, &enc.features, par);
         let gram_inv = invert_spd_with_ridge(&gram, config.ridge)?;
-        let cluster_grams_full = clusters.grams();
+        let cluster_grams_full = clusters.grams_with(par);
         let ztz: Vec<Matrix> = cluster_grams_full
             .iter()
             .map(|g| select_square(g, &z_cols))
             .collect();
 
-        let xty = encoded::transpose_vec_mult(y, &enc.aggregates, &enc.features);
+        let xty = encoded::transpose_vec_mult_with(y, &enc.aggregates, &enc.features, par);
         let xt_residual = |v: &[f64]| -> Vec<f64> {
-            encoded::transpose_vec_mult(v, &enc.aggregates, &enc.features)
+            encoded::transpose_vec_mult_with(v, &enc.aggregates, &enc.features, par)
         };
 
         Self::run_em(EmInputs {
@@ -161,11 +198,12 @@ impl MultilevelModel {
             gram_inv: &gram_inv,
             ztz: &ztz,
             xty: &xty,
-            fitted_fixed: &|beta| clusters.right_mult_shared_vec(beta),
-            zb_concat: &|padded| clusters.right_mult_per_cluster_vec(padded),
-            zt_global: &|v| clusters.left_mult_global_vec(v),
+            fitted_fixed: &|beta| clusters.right_mult_shared_vec_with(beta, par),
+            zb_concat: &|padded| clusters.right_mult_per_cluster_vec_with(padded, par),
+            zt_global: &|v| clusters.left_mult_global_vec_with(v, par),
             xt_vec: &xt_residual,
             config,
+            par,
         })
     }
 
@@ -207,6 +245,7 @@ impl MultilevelModel {
             zt_global: &|v| clusters.left_mult_global_vec(v),
             xt_vec: &xt_residual,
             config,
+            par: &Parallelism::serial(),
         })
     }
 
@@ -277,6 +316,7 @@ impl MultilevelModel {
             zt_global: &zt_global,
             xt_vec: &xt_vec,
             config,
+            par: &Parallelism::serial(),
         })
     }
 
@@ -294,6 +334,7 @@ impl MultilevelModel {
             zt_global,
             xt_vec,
             config,
+            par,
         } = inputs;
         let n = y.len();
         let q = z_cols.len();
@@ -315,8 +356,10 @@ impl MultilevelModel {
             let sigma_b_inv = invert_spd_with_ridge(&sigma_b, config.ridge)?;
             let residual: Vec<f64> = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
             let zt_r = zt_global(&residual);
-            let mut e_bbt: Vec<Matrix> = Vec::with_capacity(g);
-            for i in 0..g {
+            // Per-cluster posterior solves are independent; shard them over
+            // the thread budget and gather in cluster order (each cluster's
+            // solve is the identical serial sequence — bit-exact).
+            let e_step = |i: usize| -> Result<(Matrix, Vec<f64>)> {
                 // V_i = (Z_iᵀZ_i / σ² + Σ⁻¹)⁻¹
                 let vi_inner = ztz[i].scale(1.0 / sigma2).add(&sigma_b_inv)?;
                 let vi = invert_spd_with_ridge(&vi_inner, config.ridge)?;
@@ -327,8 +370,21 @@ impl MultilevelModel {
                     .scale(1.0 / sigma2);
                 let mu_vec = mu.col_iter(0).collect();
                 let mu_outer = mu.matmul(&mu.transpose())?;
-                e_bbt.push(vi.add(&mu_outer)?);
-                b[i] = mu_vec;
+                Ok((vi.add(&mu_outer)?, mu_vec))
+            };
+            let mut e_bbt: Vec<Matrix> = Vec::with_capacity(g);
+            if par.is_serial() {
+                for (i, bi) in b.iter_mut().enumerate().take(g) {
+                    let (e, mu_vec) = e_step(i)?;
+                    e_bbt.push(e);
+                    *bi = mu_vec;
+                }
+            } else {
+                for (solved, bi) in par.map_items(g, e_step).into_iter().zip(b.iter_mut()) {
+                    let (e, mu_vec) = solved?;
+                    e_bbt.push(e);
+                    *bi = mu_vec;
+                }
             }
 
             // ---------------- M step ----------------
@@ -411,6 +467,8 @@ struct EmInputs<'a> {
     zt_global: &'a dyn Fn(&[f64]) -> Vec<Vec<f64>>,
     xt_vec: &'a dyn Fn(&[f64]) -> Vec<f64>,
     config: MultilevelConfig,
+    /// Thread budget for the per-cluster E-step solves.
+    par: &'a Parallelism,
 }
 
 /// Expand a q-vector over `z_cols` into an m-vector with zeros elsewhere.
@@ -549,6 +607,44 @@ mod tests {
             assert_eq!(enc.rss, legacy.rss);
             assert_eq!(enc.iterations_run, legacy.iterations_run);
             assert_eq!(enc.predict_all(&design), legacy.predict_all(&design));
+        }
+    }
+
+    #[test]
+    fn sharded_fit_is_bit_identical_to_serial() {
+        let (rel, view) = clustered_dataset(1.5);
+        let schema = rel.schema().clone();
+        let config = MultilevelConfig {
+            iterations: 8,
+            ..Default::default()
+        };
+        let serial_design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+            .build()
+            .unwrap();
+        let serial =
+            MultilevelModel::fit_with_backend(&serial_design, config, TrainingBackend::Factorized)
+                .unwrap();
+        // Shard counts below, at, and above the cluster/thread sweet spot —
+        // all must reproduce the serial fit exactly (==, not tolerance).
+        for threads in [2usize, 3, 64] {
+            let par = Parallelism::new(threads);
+            let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
+                .with_parallelism(par)
+                .build()
+                .unwrap();
+            let sharded =
+                MultilevelModel::fit_sharded(&design, config, TrainingBackend::Factorized, &par)
+                    .unwrap();
+            assert_eq!(serial.beta, sharded.beta, "{threads} threads");
+            assert_eq!(serial.sigma2, sharded.sigma2);
+            assert_eq!(serial.sigma_b, sharded.sigma_b);
+            assert_eq!(serial.b, sharded.b);
+            assert_eq!(serial.rss, sharded.rss);
+            assert_eq!(serial.iterations_run, sharded.iterations_run);
+            assert_eq!(
+                serial.predict_all(&serial_design),
+                sharded.predict_all_with(&design, &par)
+            );
         }
     }
 

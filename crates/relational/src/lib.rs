@@ -19,7 +19,14 @@
 //!   codes; values are decoded only at the explanation boundary),
 //! * streaming ingest ([`IngestBatch`], [`Relation::apply`]) — snapshot
 //!   semantics for live feeds, the substrate of the engine's delta-maintained
-//!   aggregates (the maintenance direction of §4.3/§4.4).
+//!   aggregates (the maintenance direction of §4.3/§4.4),
+//! * row sharding ([`Relation::partition`]) — contiguous row shards that
+//!   share one per-attribute [`ValueDict`] (stable codes across shards):
+//!   the relation-level entry point for distributing a workload, carrying
+//!   the same shard invariant the engine's hot path applies internally to
+//!   encoded *path* ranges (the paper's training aggregates are additive
+//!   across row partitions, so per-shard state merges back exactly — the
+//!   workspace property tests pin both levels).
 //!
 //! Everything in the factorised representation, the multi-level model and the
 //! Reptile engine itself is built on top of these types.
@@ -43,7 +50,7 @@ pub use error::RelationalError;
 pub use hierarchy::{validate_hierarchy, HierarchyLevels};
 pub use ingest::IngestBatch;
 pub use predicate::Predicate;
-pub use relation::{Relation, RelationBuilder};
+pub use relation::{Relation, RelationBuilder, RelationShards};
 pub use schema::{AttrId, Attribute, AttributeRole, Hierarchy, Schema, SchemaBuilder};
 pub use value::Value;
 pub use view::{DrillDownResult, GroupKey, View};

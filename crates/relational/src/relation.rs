@@ -1,5 +1,6 @@
 //! Columnar relations.
 
+use crate::dict::ValueDict;
 use crate::error::RelationalError;
 use crate::schema::{AttrId, Schema};
 use crate::value::Value;
@@ -162,6 +163,55 @@ impl Relation {
         out
     }
 
+    /// Materialise the contiguous row range `[start, start + len)` as a new
+    /// relation (a row shard). Out-of-range requests panic.
+    pub fn take_range(&self, start: usize, len: usize) -> Relation {
+        assert!(
+            start + len <= self.rows,
+            "row range {start}..{} out of bounds for {} rows",
+            start + len,
+            self.rows
+        );
+        let mut out = Relation::empty(self.schema.clone());
+        out.rows = len;
+        for (ci, col) in self.columns.iter().enumerate() {
+            out.columns[ci] = col[start..start + len].to_vec();
+        }
+        out
+    }
+
+    /// Partition the relation into `shards` contiguous row shards (balanced
+    /// to within one row; `shards` is clamped to at least 1, and shards past
+    /// the row count are empty) that **share one dictionary per attribute**,
+    /// built over the *full* relation's column. Shared dictionaries are what
+    /// make per-shard encoded aggregates mergeable code-wise: a code means
+    /// the same value in every shard, so shard partials sum exactly (see
+    /// `reptile-factor`'s sharded aggregation).
+    ///
+    /// Concatenating the shards in order reproduces the relation's rows in
+    /// row order — per-group accumulation over shard-merged data therefore
+    /// visits rows in the original order.
+    pub fn partition(&self, shards: usize) -> RelationShards {
+        let shards = shards.max(1);
+        let dicts: Arc<Vec<ValueDict>> = Arc::new(
+            self.columns
+                .iter()
+                .map(|col| ValueDict::from_values(col.clone()))
+                .collect(),
+        );
+        let base = self.rows / shards;
+        let extra = self.rows % shards;
+        let mut out = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            out.push(Arc::new(self.take_range(start, len)));
+            start += len;
+        }
+        debug_assert_eq!(start, self.rows);
+        RelationShards { shards: out, dicts }
+    }
+
     /// Distinct values of an attribute, sorted.
     pub fn distinct(&self, attr: AttrId) -> Vec<Value> {
         let mut vals: Vec<Value> = self.column(attr).to_vec();
@@ -190,6 +240,48 @@ impl Relation {
         }
         self.rows += other.rows;
         Ok(())
+    }
+}
+
+/// The result of [`Relation::partition`]: contiguous row shards plus the
+/// per-attribute dictionaries every shard shares. Each shard is an ordinary
+/// [`Relation`] (its own lineage — shards are derived data, never aliased
+/// into lineage-keyed caches), and the dictionary vector is `Arc`-shared so
+/// fanning shards out to worker threads costs pointer bumps.
+#[derive(Debug, Clone)]
+pub struct RelationShards {
+    shards: Vec<Arc<Relation>>,
+    dicts: Arc<Vec<ValueDict>>,
+}
+
+impl RelationShards {
+    /// The row shards, in row order (concatenating them reproduces the
+    /// partitioned relation's rows).
+    pub fn shards(&self) -> &[Arc<Relation>] {
+        &self.shards
+    }
+
+    /// Number of shards (including empty trailing shards when the shard
+    /// count exceeded the row count).
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether there are no shards (never true: partitioning clamps to one).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shared per-attribute dictionaries, in schema attribute order —
+    /// one [`ValueDict`] over the **full** relation's column, so a code is
+    /// stable across every shard.
+    pub fn dicts(&self) -> &Arc<Vec<ValueDict>> {
+        &self.dicts
+    }
+
+    /// The shared dictionary of one attribute.
+    pub fn dict(&self, attr: AttrId) -> &ValueDict {
+        &self.dicts[attr.index()]
     }
 }
 
@@ -332,5 +424,57 @@ mod tests {
         let b = sample();
         a.extend_from(&b).unwrap();
         assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn take_range_slices_rows() {
+        let r = sample();
+        let mid = r.take_range(1, 2);
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid.value(0, AttrId(1)), &Value::str("Darube"));
+        assert_eq!(mid.value(1, AttrId(1)), &Value::str("Dinka"));
+        assert!(r.take_range(4, 0).is_empty());
+    }
+
+    #[test]
+    fn partition_covers_rows_in_order_with_shared_dicts() {
+        let r = sample();
+        for shards in [1usize, 2, 3, 4, 7] {
+            let parts = r.partition(shards);
+            assert_eq!(parts.len(), shards);
+            assert!(!parts.is_empty());
+            // Concatenating the shards reproduces the rows in order.
+            let mut row = 0usize;
+            for shard in parts.shards() {
+                assert!(Arc::ptr_eq(shard.schema(), r.schema()));
+                for s in 0..shard.len() {
+                    assert_eq!(shard.row(s), r.row(row));
+                    row += 1;
+                }
+            }
+            assert_eq!(row, r.len());
+            // Balanced to within one row.
+            let sizes: Vec<usize> = parts.shards().iter().map(|s| s.len()).collect();
+            let max = sizes.iter().max().unwrap();
+            let min = sizes.iter().min().unwrap();
+            assert!(max - min <= 1, "unbalanced shards: {sizes:?}");
+            // One dictionary per attribute, shared (stable codes) across
+            // shards and covering the full domain.
+            assert_eq!(parts.dicts().len(), r.schema().arity());
+            for attr in [AttrId(0), AttrId(1), AttrId(2), AttrId(3)] {
+                let dict = parts.dict(attr);
+                for v in r.distinct(attr) {
+                    assert!(dict.code_of(&v).is_some(), "{v} missing from shared dict");
+                }
+                for shard in parts.shards() {
+                    for v in shard.column(attr) {
+                        assert!(dict.code_of(v).is_some());
+                    }
+                }
+            }
+        }
+        // Shard count is clamped to at least one.
+        assert_eq!(r.partition(0).len(), 1);
+        assert_eq!(r.partition(0).shards()[0].len(), r.len());
     }
 }

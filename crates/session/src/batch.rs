@@ -454,6 +454,16 @@ fn request_sig(request: &BatchRequest) -> RequestSig {
 }
 
 /// A parallel multi-complaint server over one engine.
+///
+/// The server's request workers and the engine's sharded execution backend
+/// (`ReptileConfig::parallelism`, threaded through the engine's drill-down
+/// session, design builds and EM fits) draw from the same machine, so
+/// [`BatchServer::new`] divides the available cores by the engine's
+/// per-request shard budget: an engine configured with 4 shards per request
+/// gets `cores / 4` request workers. Within one worker's request, every
+/// cold factor build, ingest delta patch and model fit fans out over the
+/// engine's shard pool — bit-identically to serial execution, so mixing
+/// sharded and serial engines behind one cache is safe.
 pub struct BatchServer {
     engine: Arc<Reptile>,
     caches: SharedCaches,
@@ -461,11 +471,15 @@ pub struct BatchServer {
 }
 
 impl BatchServer {
-    /// Create a server using every available core.
+    /// Create a server using every available core, divided by the engine's
+    /// per-request shard budget (see the type-level docs).
     pub fn new(engine: Arc<Reptile>) -> Self {
-        let threads = std::thread::available_parallelism()
+        let total = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(8);
+        let threads = reptile::Parallelism::new(total)
+            .split(engine.config().parallelism.threads())
+            .threads();
         // Sync the fresh caches to the engine's current snapshot: an engine
         // that already ingested would otherwise refuse them cache access.
         let caches = SharedCaches::new();

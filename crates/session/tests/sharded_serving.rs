@@ -1,0 +1,187 @@
+//! Regression tests for the sharded execution backend behind the serving
+//! layer: a batch server whose engine fans every request out over the shard
+//! pool must return recommendations **bit-identical** to a serial engine —
+//! across cold builds, warm caches, and ingest delta patches — because the
+//! sharded builders and operators are exact (`==`) mirrors of the serial
+//! ones.
+
+use reptile::{Complaint, Direction, Parallelism, Recommendation, Reptile, ReptileConfig};
+use reptile_relational::{
+    AggregateKind, GroupKey, IngestBatch, Predicate, Relation, Schema, Value, View,
+};
+use reptile_session::{BatchRequest, BatchServer};
+use std::sync::Arc;
+
+/// District -> village geography crossed with a day hierarchy; one village
+/// drops its reports on one day.
+fn dataset() -> (Arc<Relation>, Arc<Schema>) {
+    let schema = Arc::new(
+        Schema::builder()
+            .hierarchy("geo", ["district", "village"])
+            .hierarchy("time", ["day"])
+            .measure("reports")
+            .build()
+            .unwrap(),
+    );
+    let mut b = Relation::builder(schema.clone());
+    for day in 0..3i64 {
+        for d in 0..3 {
+            for v in 0..4 {
+                let village = format!("D{d}-V{v}");
+                let base = 20.0 + d as f64 * 2.0 + v as f64 * 0.5;
+                let value = if village == "D1-V3" && day == 1 {
+                    base - 15.0
+                } else {
+                    base
+                };
+                b = b
+                    .row([
+                        Value::str(format!("D{d}")),
+                        Value::str(village),
+                        Value::int(day),
+                        Value::float(value),
+                    ])
+                    .unwrap();
+            }
+        }
+    }
+    (Arc::new(b.build()), schema)
+}
+
+fn district_day_view(rel: &Arc<Relation>, schema: &Arc<Schema>) -> Arc<View> {
+    Arc::new(
+        View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![
+                schema.attr("district").unwrap(),
+                schema.attr("day").unwrap(),
+            ],
+            schema.attr("reports").unwrap(),
+        )
+        .unwrap(),
+    )
+}
+
+fn requests(view: &Arc<View>) -> Vec<BatchRequest> {
+    let mut out = Vec::new();
+    for d in 0..3 {
+        for day in 0..3i64 {
+            out.push(BatchRequest::new(
+                view.clone(),
+                Complaint::new(
+                    GroupKey(vec![Value::str(format!("D{d}")), Value::int(day)]),
+                    AggregateKind::Mean,
+                    Direction::TooLow,
+                ),
+            ));
+        }
+    }
+    // A duplicate, to keep the dedup path under test.
+    out.push(out[4].clone());
+    out
+}
+
+fn assert_identical(a: &Recommendation, b: &Recommendation) {
+    assert_eq!(a.original_value, b.original_value);
+    assert_eq!(a.ranked.len(), b.ranked.len());
+    for (x, y) in a.ranked.iter().zip(&b.ranked) {
+        assert_eq!(x.hierarchy, y.hierarchy);
+        assert_eq!(x.added_attribute, y.added_attribute);
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.observed, y.observed);
+        assert_eq!(x.expected, y.expected, "group {}", x.key);
+        assert_eq!(x.repaired_complaint_value, y.repaired_complaint_value);
+        assert_eq!(x.penalty, y.penalty);
+        assert_eq!(x.improvement, y.improvement);
+    }
+}
+
+#[test]
+fn sharded_engine_batches_match_serial_engine_batches() {
+    let (rel, schema) = dataset();
+    let serial_server = BatchServer::new(Arc::new(Reptile::new(rel.clone(), schema.clone())));
+    let sharded_engine = Reptile::new(rel.clone(), schema.clone()).with_config(ReptileConfig {
+        parallelism: Parallelism::new(4),
+        ..Default::default()
+    });
+    let sharded_server = BatchServer::new(Arc::new(sharded_engine)).with_threads(2);
+
+    let view = district_day_view(&rel, &schema);
+    let reqs = requests(&view);
+    let serial = serial_server.serve(&reqs);
+    let sharded = sharded_server.serve(&reqs);
+    assert_eq!(serial.len(), sharded.len());
+    for (a, b) in serial.iter().zip(&sharded) {
+        assert_identical(a.as_ref().unwrap(), b.as_ref().unwrap());
+    }
+    // Serve the same batch again: the sharded server answers from its warm
+    // caches (no retraining) and still matches.
+    let warm = sharded_server.serve(&reqs);
+    let trained_before = sharded_server.model_stats().misses;
+    for (a, b) in serial.iter().zip(&warm) {
+        assert_identical(a.as_ref().unwrap(), b.as_ref().unwrap());
+    }
+    assert_eq!(sharded_server.model_stats().misses, trained_before);
+}
+
+#[test]
+fn ingest_delta_patching_is_exact_per_shard() {
+    // Stream a new day (a path delta on the time hierarchy) into a serial
+    // and a sharded engine: the sharded engine patches its cached factor
+    // state forward with sharded run/COF rebuild scans, and the post-ingest
+    // recommendations must still match bit-for-bit.
+    let (rel, schema) = dataset();
+    let serial_server = BatchServer::new(Arc::new(Reptile::new(rel.clone(), schema.clone())));
+    let sharded_engine = Reptile::new(rel.clone(), schema.clone()).with_config(ReptileConfig {
+        parallelism: Parallelism::new(3),
+        ..Default::default()
+    });
+    let sharded_server = BatchServer::new(Arc::new(sharded_engine));
+
+    // Warm both servers so the ingest has cached factor state to patch.
+    let view = district_day_view(&rel, &schema);
+    let reqs = requests(&view);
+    for server in [&serial_server, &sharded_server] {
+        for result in server.serve(&reqs) {
+            result.unwrap();
+        }
+    }
+
+    let mut batch = IngestBatch::new();
+    for d in 0..3 {
+        for v in 0..4 {
+            batch = batch.insert([
+                Value::str(format!("D{d}")),
+                Value::str(format!("D{d}-V{v}")),
+                Value::int(3),
+                Value::float(if d == 2 && v == 0 { 4.0 } else { 21.0 }),
+            ]);
+        }
+    }
+    let serial_report = serial_server.ingest(&batch).unwrap();
+    let sharded_report = sharded_server.ingest(&batch.clone()).unwrap();
+    assert_eq!(
+        serial_report.touched_hierarchies,
+        sharded_report.touched_hierarchies
+    );
+
+    let serial_view = district_day_view(&serial_report.relation, &schema);
+    let sharded_view = district_day_view(&sharded_report.relation, &schema);
+    let complaint = Complaint::new(
+        GroupKey(vec![Value::str("D2"), Value::int(3)]),
+        AggregateKind::Mean,
+        Direction::TooLow,
+    );
+    let serial = serial_server
+        .serve(&[BatchRequest::new(serial_view, complaint.clone())])
+        .remove(0)
+        .unwrap();
+    let sharded = sharded_server
+        .serve(&[BatchRequest::new(sharded_view, complaint)])
+        .remove(0)
+        .unwrap();
+    assert_identical(&serial, &sharded);
+    let best = sharded.best_group().unwrap();
+    assert!(best.key.to_string().contains("D2-V0"), "{}", best.key);
+}

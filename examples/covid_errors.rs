@@ -7,14 +7,34 @@
 //! Sensitivity and Support baselines.
 //!
 //! Run with: `cargo run --example covid_errors --release`
+//!
+//! Pass `--shards N` to fan every cold factor build and model fit out over
+//! the sharded execution backend (N threads; results are bit-identical to
+//! the serial run, only wall-clock changes).
 
 use reptile::baselines;
-use reptile::{Complaint, Direction, Reptile};
+use reptile::{Complaint, Direction, Parallelism, Reptile, ReptileConfig};
 use reptile_datasets::covid::{CovidCaseStudy, CovidConfig};
 use reptile_model::{ExtraFeature, FeaturePlan};
 use reptile_relational::{AggregateKind, GroupKey, Predicate, Value, View};
 
+/// Parse `--shards N` (defaults to serial).
+fn shards_from_args() -> Parallelism {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            let n: usize = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--shards takes a thread count, e.g. --shards 4");
+            return Parallelism::new(n);
+        }
+    }
+    Parallelism::serial()
+}
+
 fn main() {
+    let parallelism = shards_from_args();
     let config = CovidConfig {
         locations: 12,
         sub_locations: 3,
@@ -23,9 +43,10 @@ fn main() {
     };
     let case_study = CovidCaseStudy::us(config);
     println!(
-        "Simulated US panel: {} rows, {} catalogued issues",
+        "Simulated US panel: {} rows, {} catalogued issues ({} shard thread(s))",
         case_study.clean.len(),
-        case_study.issues.len()
+        case_study.issues.len(),
+        parallelism.threads(),
     );
 
     let schema = case_study.schema.clone();
@@ -66,7 +87,12 @@ fn main() {
             lag,
         ));
 
-        let mut engine = Reptile::new(relation.clone(), schema.clone()).with_plan(plan);
+        let mut engine = Reptile::new(relation.clone(), schema.clone())
+            .with_plan(plan)
+            .with_config(ReptileConfig {
+                parallelism,
+                ..Default::default()
+            });
         let recommendation = engine
             .recommend(&day_view, &complaint)
             .expect("recommendation");

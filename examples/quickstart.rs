@@ -6,12 +6,90 @@
 //! geography hierarchy.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Pass `--shards N` to run the recommendation on the sharded parallel
+//! execution backend with `N` threads (e.g. `--shards 4`). The sharded
+//! backend is bit-identical to the serial one — the example asserts the
+//! same top recommendation either way — it only changes how many cores the
+//! cold factor builds and the model fit may use. Combine with `--scale` to
+//! pose the complaint against the wide synthetic scaling panel instead of
+//! the toy survey, where the fan-out is actually measurable.
 
-use reptile::{Complaint, Direction, Reptile};
+use reptile::{Complaint, Direction, Parallelism, Reptile, ReptileConfig};
 use reptile_relational::{AggregateKind, GroupKey, Predicate, Relation, Schema, Value, View};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Parse `--shards N` (defaults to serial) and the `--scale` flag.
+fn cli() -> (Parallelism, bool) {
+    let mut parallelism = Parallelism::serial();
+    let mut scale = false;
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards takes a thread count, e.g. --shards 4");
+                parallelism = Parallelism::new(n);
+            }
+            "--scale" => scale = true,
+            _ => {}
+        }
+    }
+    (parallelism, scale)
+}
+
+/// The scaling-panel variant: complain about the corrupted district/day of
+/// `reptile_datasets::scaling` and time the recommendation under the
+/// configured shard budget.
+fn run_scaling(parallelism: Parallelism) {
+    use reptile_datasets::scaling::{scaling_panel, ScalingConfig};
+    let workload = scaling_panel(ScalingConfig::default());
+    println!(
+        "Scaling panel: {} rows, {} training groups, {} shard thread(s)",
+        workload.relation.len(),
+        workload.training_view.len(),
+        parallelism.threads(),
+    );
+    let engine = Reptile::new(workload.relation.clone(), workload.schema.clone()).with_config(
+        ReptileConfig {
+            parallelism,
+            ..Default::default()
+        },
+    );
+    let complaint = Complaint::new(
+        workload.complaint_key.clone(),
+        AggregateKind::Mean,
+        Direction::TooLow,
+    );
+    let start = Instant::now();
+    let recommendation = engine
+        .recommend_with_cache(&workload.complaint_view, &complaint, &mut reptile::NoCache)
+        .expect("recommendation");
+    let elapsed = start.elapsed();
+    let best = recommendation.best_group().expect("at least one group");
+    println!(
+        "cold recommendation in {:.1} ms -> {} (expected {})",
+        elapsed.as_secs_f64() * 1e3,
+        best.key,
+        workload.corrupted_village,
+    );
+    assert!(
+        best.key.to_string().contains(&workload.corrupted_village),
+        "expected {} in {}",
+        workload.corrupted_village,
+        best.key
+    );
+}
 
 fn main() {
+    let (parallelism, scale) = cli();
+    if scale {
+        run_scaling(parallelism);
+        return;
+    }
     // ------------------------------------------------------------------
     // 1. Describe the data: a geography hierarchy (district -> village), a
     //    time hierarchy (year), and the reported drought severity measure.
@@ -96,7 +174,10 @@ fn main() {
     //    for the next drill-down.
     // ------------------------------------------------------------------
     let complaint = Complaint::new(ofla_1986, AggregateKind::Std, Direction::TooHigh);
-    let mut engine = Reptile::new(relation, schema);
+    let mut engine = Reptile::new(relation, schema).with_config(ReptileConfig {
+        parallelism,
+        ..Default::default()
+    });
     let recommendation = engine.recommend(&view, &complaint).expect("recommendation");
 
     println!(
