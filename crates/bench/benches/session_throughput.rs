@@ -91,7 +91,7 @@ fn main() {
     // views and retrains models.
     stats.push(run_bench(&format!("cold_one_shot/{n}"), || {
         for c in &complaints {
-            let mut engine = Reptile::new(rel.clone(), schema.clone());
+            let engine = Reptile::new(rel.clone(), schema.clone());
             engine.recommend(&view, c).unwrap();
         }
     }));

@@ -232,7 +232,7 @@ fn main() {
         let mut acc = 0.0;
         for sb in &stream.batches {
             rel = Arc::new(rel.apply(&sb.batch).unwrap());
-            let mut engine = Reptile::new(rel.clone(), schema.clone());
+            let engine = Reptile::new(rel.clone(), schema.clone());
             let view = investigation_view(&rel);
             let rec = engine
                 .recommend(&view, &complaint_on(investigation_day))
@@ -246,14 +246,14 @@ fn main() {
         // delta maintenance and evicts only the signatures the batch
         // touched — which, for a day-pinned investigation, is none of them.
         let engine = Arc::new(Reptile::new(stream.warm.clone(), schema.clone()));
-        let mut caches = SessionCaches::new();
+        let caches = SessionCaches::new();
         let view = investigation_view(&stream.warm);
         let mut acc = 0.0;
         for sb in &stream.batches {
             let report = engine.ingest(&sb.batch).unwrap();
             caches.invalidate_ingest(&report);
             let rec = engine
-                .recommend_with_cache(&view, &complaint_on(investigation_day), &mut caches)
+                .recommend_with_cache(&view, &complaint_on(investigation_day), &caches)
                 .unwrap();
             acc += rec.original_value;
         }

@@ -40,7 +40,7 @@ fn evaluate(case_study: &CovidCaseStudy, title: &str) -> (usize, usize, usize, u
             schema.attr("location").unwrap(),
             lag,
         ));
-        let mut engine = Reptile::new(relation.clone(), schema.clone()).with_plan(plan);
+        let engine = Reptile::new(relation.clone(), schema.clone()).with_plan(plan);
         let (recommendation, secs) = time(|| engine.recommend(&day_view, &complaint));
         total_time += secs;
         let reptile_ok = recommendation

@@ -98,7 +98,7 @@ fn serving_batch_rows() -> Vec<Vec<String>> {
 
         let (_, t_serial) = time(|| {
             for c in &complaints {
-                let mut engine = Reptile::new(relation.clone(), schema.clone());
+                let engine = Reptile::new(relation.clone(), schema.clone());
                 engine.recommend(&view, c).expect("recommend");
             }
         });

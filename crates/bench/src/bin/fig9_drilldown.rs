@@ -92,7 +92,7 @@ fn serving_walk_rows() -> Vec<Vec<String>> {
     // Stateless: recompute the walk from scratch each replay.
     let (_, t_stateless) = time(|| {
         for _ in 0..3 {
-            let mut engine = Reptile::new(relation.clone(), schema.clone());
+            let engine = Reptile::new(relation.clone(), schema.clone());
             engine.recommend(&root, &top).expect("recommend");
             let geo = schema.hierarchy("geo").expect("geo").clone();
             let dd = root.drill_down(&top.key, &geo).expect("drill");

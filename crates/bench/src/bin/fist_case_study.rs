@@ -43,7 +43,7 @@ fn main() {
             schema.attr("village").unwrap(),
             case_study.rainfall.clone(),
         ));
-        let mut engine = Reptile::new(relation, schema.clone()).with_plan(plan);
+        let engine = Reptile::new(relation, schema.clone()).with_plan(plan);
         let outcome = match engine.recommend(&view, &complaint) {
             Ok(rec) => {
                 let best = rec.best_group();

@@ -179,7 +179,20 @@ pub struct TrainedModel {
 /// either `put_*`s it or, on failure, `abort_*`s the claim. Blocking
 /// implementations (the batch server's shared cache) use the claim to make
 /// concurrent duplicate work wait instead of retraining.
-pub trait EngineCache {
+///
+/// Every method takes `&self` and the trait requires [`Sync`]: the engine
+/// evaluates candidate hierarchies *concurrently* on the shard pool, and
+/// all of them look up and publish through the one cache handle the caller
+/// passed in. Implementations provide their own interior mutability behind
+/// whatever lock discipline they already have — a plain mutex around the
+/// LRU maps for the single-session caches, the claim-protocol mutex +
+/// condvar for the batch server's shared caches. The contract for
+/// implementors: each method must be individually atomic and must never
+/// hold a lock while calling back into the engine; blocking in `get_*`
+/// (waiting out another worker's in-flight claim) is allowed because the
+/// engine dispatches hierarchy evaluations as *may-block* pool jobs, which
+/// the pool's work-stealing assist never runs inline on a waiting caller.
+pub trait EngineCache: Sync {
     /// Whether this cache accepts requests posed over `view`'s snapshot.
     /// After an ingest-driven invalidation the serving caches record the
     /// change set; a view whose snapshot predates an ingest *whose changed
@@ -193,7 +206,7 @@ pub trait EngineCache {
     /// recomputation — and so is everything the engine derives from it
     /// (drilled and parallel views only *refine* its predicate) — so it
     /// keeps full cache access. The default accepts everything.
-    fn accepts_view(&mut self, _view: &View) -> bool {
+    fn accepts_view(&self, _view: &View) -> bool {
         true
     }
     /// The highest post-ingest relation version (per lineage ident) this
@@ -202,21 +215,21 @@ pub trait EngineCache {
     /// relation's current version: such a cache missed an ingest
     /// invalidation and may hold entries no eviction ever screened. The
     /// default (0) is correct for caches that never outlive an ingest.
-    fn ingest_horizon(&mut self, _relation_ident: u64) -> u64 {
+    fn ingest_horizon(&self, _relation_ident: u64) -> u64 {
         0
     }
     /// Look up a computed view.
-    fn get_view(&mut self, key: &ViewKey) -> Option<Arc<View>>;
+    fn get_view(&self, key: &ViewKey) -> Option<Arc<View>>;
     /// Store a computed view.
-    fn put_view(&mut self, key: ViewKey, view: Arc<View>);
+    fn put_view(&self, key: ViewKey, view: Arc<View>);
     /// Release a view claim after a failed computation.
-    fn abort_view(&mut self, _key: &ViewKey) {}
+    fn abort_view(&self, _key: &ViewKey) {}
     /// Look up a trained model.
-    fn get_model(&mut self, key: &ModelKey) -> Option<Arc<TrainedModel>>;
+    fn get_model(&self, key: &ModelKey) -> Option<Arc<TrainedModel>>;
     /// Store a trained model.
-    fn put_model(&mut self, key: ModelKey, model: Arc<TrainedModel>);
+    fn put_model(&self, key: ModelKey, model: Arc<TrainedModel>);
     /// Release a model claim after a failed fit.
-    fn abort_model(&mut self, _key: &ModelKey) {}
+    fn abort_model(&self, _key: &ModelKey) {}
 }
 
 /// How many ingest change sets [`IngestLog`] retains per relation lineage
@@ -354,17 +367,17 @@ impl IngestLog {
 pub struct NoCache;
 
 impl EngineCache for NoCache {
-    fn get_view(&mut self, _key: &ViewKey) -> Option<Arc<View>> {
+    fn get_view(&self, _key: &ViewKey) -> Option<Arc<View>> {
         None
     }
 
-    fn put_view(&mut self, _key: ViewKey, _view: Arc<View>) {}
+    fn put_view(&self, _key: ViewKey, _view: Arc<View>) {}
 
-    fn get_model(&mut self, _key: &ModelKey) -> Option<Arc<TrainedModel>> {
+    fn get_model(&self, _key: &ModelKey) -> Option<Arc<TrainedModel>> {
         None
     }
 
-    fn put_model(&mut self, _key: ModelKey, _model: Arc<TrainedModel>) {}
+    fn put_model(&self, _key: ModelKey, _model: Arc<TrainedModel>) {}
 }
 
 #[cfg(test)]

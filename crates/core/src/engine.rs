@@ -324,7 +324,7 @@ impl Reptile {
     ///     Direction::TooLow,
     /// );
     /// let recommendation = engine
-    ///     .recommend_with_cache(&view, &complaint, &mut reptile::NoCache)
+    ///     .recommend_with_cache(&view, &complaint, &reptile::NoCache)
     ///     .unwrap();
     /// let best = recommendation.best_group().unwrap();
     /// assert_eq!(best.added_attribute, "village");
@@ -369,13 +369,15 @@ impl Reptile {
 
     /// Recompute `view`'s definition (same predicate, group-by and measure)
     /// over the engine's *current* relation snapshot — how serving layers
-    /// move a held view forward after an ingest invalidated it.
+    /// move a held view forward after an ingest invalidated it. The scan
+    /// fans out over the configured shard budget (bit-identically).
     pub fn refresh_view(&self, view: &View) -> Result<Arc<View>> {
-        Ok(Arc::new(View::compute(
+        Ok(Arc::new(View::compute_with(
             self.relation(),
             view.predicate().clone(),
             view.group_by().to_vec(),
             view.measure(),
+            &self.config.parallelism,
         )?))
     }
 
@@ -419,15 +421,15 @@ impl Reptile {
     ///     AggregateKind::Mean,
     ///     Direction::TooLow,
     /// );
-    /// let mut engine = Reptile::new(relation, schema);
+    /// let engine = Reptile::new(relation, schema);
     /// let recommendation = engine.recommend(&view, &complaint).unwrap();
     /// // drilling down to the village level exposes D1-b
     /// let best = recommendation.best_group().unwrap();
     /// assert_eq!(best.added_attribute, "village");
     /// assert!(best.key.to_string().contains("D1-b"));
     /// ```
-    pub fn recommend(&mut self, view: &View, complaint: &Complaint) -> Result<Recommendation> {
-        self.recommend_with_cache(view, complaint, &mut NoCache)
+    pub fn recommend(&self, view: &View, complaint: &Complaint) -> Result<Recommendation> {
+        self.recommend_with_cache(view, complaint, &NoCache)
     }
 
     /// Like [`Reptile::recommend`], but serving computed views and trained
@@ -436,22 +438,31 @@ impl Reptile {
     /// point used by `reptile-session`'s interactive sessions and batch
     /// server; with a warm cache a re-recommendation performs no view scans
     /// and no model training.
+    ///
+    /// Candidate hierarchies are evaluated **concurrently** on the shard
+    /// pool when [`ReptileConfig::parallelism`] allows: the `cache` handle
+    /// is shared (the trait requires `Sync` and `&self` methods), one
+    /// may-block pool job evaluates each hierarchy, and each evaluation's
+    /// own nested scatters (design build, EM fit) run inline on its worker,
+    /// so the fan-out cannot deadlock on pool capacity. Results are
+    /// gathered in schema hierarchy order and every score is bit-identical
+    /// to the serial loop — each hierarchy's evaluation is an independent,
+    /// deterministic computation.
     pub fn recommend_with_cache(
         &self,
         view: &View,
         complaint: &Complaint,
-        cache: &mut dyn EngineCache,
+        cache: &dyn EngineCache,
     ) -> Result<Recommendation> {
         // A request the cache may not serve — its view snapshot was made out
         // of date by an ingest, or the cache itself missed an ingest
         // invalidation — runs cache-less: snapshot-consistent for the
         // caller, and it can neither read mixed-snapshot entries nor
         // re-publish pre-ingest state under keys that survived eviction.
-        let mut no_cache = NoCache;
-        let cache: &mut dyn EngineCache = if self.cache_usable(view, cache) {
+        let cache: &dyn EngineCache = if self.cache_usable(view, cache) {
             cache
         } else {
-            &mut no_cache
+            &NoCache
         };
         let original_state = view
             .group(&complaint.key)
@@ -468,10 +479,41 @@ impl Reptile {
             return Err(ReptileError::NothingToDrill);
         }
 
-        let mut hierarchies = Vec::with_capacity(candidates.len());
+        // One scatter over the candidate hierarchies. Dispatched as
+        // may-block jobs: an evaluation may wait on the serving cache's
+        // claim condvar, so the pool's work-stealing assist must not run
+        // one inline on a caller that might itself hold the awaited claim.
+        // A context that would run the scatter inline anyway keeps the old
+        // sequential short-circuit instead, so a failing hierarchy does
+        // not pay for training the remaining ones.
+        let results: Vec<Result<HierarchyRecommendation>> = if self
+            .config
+            .parallelism
+            .effective_threads()
+            == 1
+        {
+            let mut out = Vec::with_capacity(candidates.len());
+            for hierarchy in &candidates {
+                let result =
+                    self.evaluate_hierarchy(view, complaint, hierarchy, original_value, cache);
+                let failed = result.is_err();
+                out.push(result);
+                if failed {
+                    break;
+                }
+            }
+            out
+        } else {
+            self.config
+                .parallelism
+                .map_items_may_block(candidates.len(), |i| {
+                    self.evaluate_hierarchy(view, complaint, candidates[i], original_value, cache)
+                })
+        };
+        let mut hierarchies = Vec::with_capacity(results.len());
         let mut all: Vec<ScoredGroup> = Vec::new();
-        for hierarchy in candidates {
-            let rec = self.evaluate_hierarchy(view, complaint, hierarchy, original_value, cache)?;
+        for result in results {
+            let rec = result?;
             all.extend(rec.ranked.iter().cloned());
             hierarchies.push(rec);
         }
@@ -492,8 +534,8 @@ impl Reptile {
         complaint: &Complaint,
         hierarchy: &Hierarchy,
     ) -> Result<BTreeMap<GroupKey, f64>> {
-        let dd = view.drill_down(&complaint.key, hierarchy)?;
-        let trained = self.fit_and_predict(view, complaint, hierarchy, &mut NoCache)?;
+        let dd = view.drill_down_with(&complaint.key, hierarchy, &self.config.parallelism)?;
+        let trained = self.fit_and_predict(view, complaint, hierarchy, &NoCache)?;
         let mut out = BTreeMap::new();
         for (key, _) in dd.view.groups() {
             if let Some(value) = trained.predictions.get(key) {
@@ -522,13 +564,12 @@ impl Reptile {
         view: &View,
         key: &GroupKey,
         hierarchy: &Hierarchy,
-        cache: &mut dyn EngineCache,
+        cache: &dyn EngineCache,
     ) -> Result<(Arc<View>, AttrId)> {
-        let mut no_cache = NoCache;
-        let cache: &mut dyn EngineCache = if self.cache_usable(view, cache) {
+        let cache: &dyn EngineCache = if self.cache_usable(view, cache) {
             cache
         } else {
-            &mut no_cache
+            &NoCache
         };
         view.group(key)
             .map_err(|_| ReptileError::UnknownComplaintTuple(key.to_string()))?;
@@ -542,11 +583,12 @@ impl Reptile {
         let drilled = self.view_via_cache(&view_key, cache, || {
             // Aggregate the VIEW's relation (it may differ from the engine's,
             // exactly like View::drill_down and drill_down_parallel do).
-            Ok(View::compute(
+            Ok(View::compute_with(
                 view.relation().clone(),
                 predicate,
                 group_by,
                 view.measure(),
+                &self.config.parallelism,
             )?)
         })?;
         Ok((drilled, next))
@@ -564,7 +606,7 @@ impl Reptile {
     /// 2. the view's own snapshot must still be content-current
     ///    ([`EngineCache::accepts_view`]): no witnessed ingest after it
     ///    changed rows its predicate selects.
-    fn cache_usable(&self, view: &View, cache: &mut dyn EngineCache) -> bool {
+    fn cache_usable(&self, view: &View, cache: &dyn EngineCache) -> bool {
         let current = self.relation.read().expect("relation lock").clone();
         if view.relation().ident() == current.ident()
             && cache.ingest_horizon(current.ident()) < current.version()
@@ -579,7 +621,7 @@ impl Reptile {
     fn view_via_cache(
         &self,
         key: &ViewKey,
-        cache: &mut dyn EngineCache,
+        cache: &dyn EngineCache,
         compute: impl FnOnce() -> Result<View>,
     ) -> Result<Arc<View>> {
         if let Some(view) = cache.get_view(key) {
@@ -608,7 +650,7 @@ impl Reptile {
         view: &View,
         complaint: &Complaint,
         hierarchy: &Hierarchy,
-        cache: &mut dyn EngineCache,
+        cache: &dyn EngineCache,
     ) -> Result<Arc<TrainedModel>> {
         let next = hierarchy
             .next_level(view.group_by())
@@ -621,7 +663,9 @@ impl Reptile {
             // Training data: the same drill-down over ALL parallel groups.
             let parallel_key = ViewKey::drilled(view, next);
             let parallel = self.view_via_cache(&parallel_key, cache, || {
-                Ok(view.drill_down_parallel(hierarchy)?.view)
+                Ok(view
+                    .drill_down_parallel_with(hierarchy, &self.config.parallelism)?
+                    .view)
             })?;
             // The design runs on the factor backend matching the configured
             // training backend; the engine's drill-down session serves cached
@@ -684,7 +728,7 @@ impl Reptile {
         complaint: &Complaint,
         hierarchy: &Hierarchy,
         original_value: f64,
-        cache: &mut dyn EngineCache,
+        cache: &dyn EngineCache,
     ) -> Result<HierarchyRecommendation> {
         let (dd_view, added) = self.drill_down_cached(view, &complaint.key, hierarchy, cache)?;
         let trained = self.fit_and_predict(view, complaint, hierarchy, cache)?;
@@ -808,7 +852,7 @@ mod tests {
             AggregateKind::Mean,
             Direction::TooLow,
         );
-        let mut engine = Reptile::new(rel, schema);
+        let engine = Reptile::new(rel, schema);
         let rec = engine.recommend(&view, &complaint).unwrap();
         let best = rec.best_group().unwrap();
         assert_eq!(best.hierarchy, "geo");
@@ -829,7 +873,7 @@ mod tests {
             AggregateKind::Mean,
             Direction::TooHigh,
         );
-        let mut engine = Reptile::new(rel, schema);
+        let engine = Reptile::new(rel, schema);
         let rec = engine.recommend(&view, &complaint).unwrap();
         // geo can drill to village; time is exhausted (year already grouped)
         assert_eq!(rec.hierarchies.len(), 1);
@@ -847,7 +891,7 @@ mod tests {
             AggregateKind::Mean,
             Direction::TooLow,
         );
-        let mut serial_engine = Reptile::new(rel.clone(), schema.clone());
+        let serial_engine = Reptile::new(rel.clone(), schema.clone());
         let serial = serial_engine.recommend(&view, &complaint).unwrap();
         // Thread budgets below and far above the shardable item counts
         // (single-path shards at 64) must reproduce the serial ranking
@@ -857,7 +901,7 @@ mod tests {
                 parallelism: Parallelism::new(threads),
                 ..Default::default()
             };
-            let mut engine = Reptile::new(rel.clone(), schema.clone()).with_config(config);
+            let engine = Reptile::new(rel.clone(), schema.clone()).with_config(config);
             let sharded = engine.recommend(&view, &complaint).unwrap();
             assert_eq!(serial.original_value, sharded.original_value);
             assert_eq!(serial.ranked.len(), sharded.ranked.len());
@@ -875,6 +919,63 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_hierarchy_evaluation_is_bit_identical_to_serial() {
+        // A district-only view leaves BOTH hierarchies drillable (geo to
+        // village, time to year), so a parallel engine evaluates two
+        // candidate hierarchies concurrently on the shard pool through the
+        // shared cache handle. Results must equal the serial loop exactly,
+        // including the per-hierarchy details in schema order.
+        // Dispatch the hierarchy jobs to the pool for real even on a
+        // 1-core host — this test is about the concurrent evaluation path,
+        // not the inline fallback.
+        let _force = reptile_relational::parallel::ForcePoolDispatch::new();
+        let (rel, schema) = dataset("D1-V2", -4.0);
+        let view = View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![schema.attr("district").unwrap()],
+            schema.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let complaint = Complaint::new(
+            GroupKey(vec![Value::str("D1")]),
+            AggregateKind::Mean,
+            Direction::TooLow,
+        );
+        let serial_engine = Reptile::new(rel.clone(), schema.clone());
+        let serial = serial_engine.recommend(&view, &complaint).unwrap();
+        assert_eq!(serial.hierarchies.len(), 2, "geo and time both drillable");
+        for threads in [2usize, 8] {
+            let config = ReptileConfig {
+                parallelism: Parallelism::new(threads),
+                ..Default::default()
+            };
+            let engine = Reptile::new(rel.clone(), schema.clone()).with_config(config);
+            let parallel = engine.recommend(&view, &complaint).unwrap();
+            assert_eq!(serial.original_value, parallel.original_value);
+            assert_eq!(serial.hierarchies.len(), parallel.hierarchies.len());
+            for (a, b) in serial.hierarchies.iter().zip(&parallel.hierarchies) {
+                assert_eq!(a.hierarchy, b.hierarchy, "schema hierarchy order kept");
+                assert_eq!(a.added_attribute, b.added_attribute);
+                assert_eq!(a.ranked.len(), b.ranked.len());
+                for (x, y) in a.ranked.iter().zip(&b.ranked) {
+                    assert_eq!(x.key, y.key);
+                    assert_eq!(x.observed, y.observed);
+                    assert_eq!(x.expected, y.expected, "{threads} threads, {}", x.key);
+                    assert_eq!(x.penalty, y.penalty);
+                }
+            }
+            assert_eq!(serial.ranked.len(), parallel.ranked.len());
+            for (a, b) in serial.ranked.iter().zip(&parallel.ranked) {
+                assert_eq!(a.hierarchy, b.hierarchy);
+                assert_eq!(a.key, b.key);
+                assert_eq!(a.penalty, b.penalty);
+                assert_eq!(a.improvement, b.improvement);
+            }
+        }
+    }
+
+    #[test]
     fn unknown_complaint_tuple_is_rejected() {
         let (rel, schema) = dataset("D0-V0", 3.0);
         let view = district_year_view(&rel, &schema);
@@ -883,7 +984,7 @@ mod tests {
             AggregateKind::Mean,
             Direction::TooHigh,
         );
-        let mut engine = Reptile::new(rel, schema);
+        let engine = Reptile::new(rel, schema);
         assert!(matches!(
             engine.recommend(&view, &complaint),
             Err(ReptileError::UnknownComplaintTuple(_))
@@ -906,7 +1007,7 @@ mod tests {
         .unwrap();
         let key = view.keys().into_iter().next().unwrap();
         let complaint = Complaint::new(key, AggregateKind::Mean, Direction::TooHigh);
-        let mut engine = Reptile::new(rel, schema);
+        let engine = Reptile::new(rel, schema);
         assert!(matches!(
             engine.recommend(&view, &complaint),
             Err(ReptileError::NothingToDrill)
@@ -927,7 +1028,7 @@ mod tests {
             top_k: 3,
             ..Default::default()
         };
-        let mut engine = Reptile::new(rel, schema).with_config(config);
+        let engine = Reptile::new(rel, schema).with_config(config);
         let rec = engine.recommend(&view, &complaint).unwrap();
         assert_eq!(rec.ranked.len(), 3);
         assert!(rec
@@ -1034,7 +1135,7 @@ mod tests {
             Direction::TooLow,
         );
         let rec = engine
-            .recommend_with_cache(&refreshed, &complaint, &mut NoCache)
+            .recommend_with_cache(&refreshed, &complaint, &NoCache)
             .unwrap();
         let best = rec.best_group().unwrap();
         assert!(best.key.to_string().contains("D1-V3"), "{}", best.key);

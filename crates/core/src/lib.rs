@@ -58,7 +58,7 @@
 //!     AggregateKind::Mean,
 //!     Direction::TooLow,
 //! );
-//! let mut engine = Reptile::new(relation, schema);
+//! let engine = Reptile::new(relation, schema);
 //! let recommendation = engine.recommend(&view, &complaint).unwrap();
 //! assert!(!recommendation.ranked.is_empty());
 //! ```

@@ -38,7 +38,9 @@
 //!   over contiguous path shards onto a process-wide pool of persistent
 //!   std-thread workers and merges *exactly* (every merged quantity is an
 //!   integer-count sum), so sharded and serial execution are
-//!   bit-identical;
+//!   bit-identical. The pool itself lives in
+//!   [`reptile_relational::parallel`] (so the relational layer's
+//!   `View::compute_with` can share it) and is re-exported here unchanged;
 //! * [`encoded::PathDelta`] / [`EncodedAggregates::apply_delta`] — streaming
 //!   delta maintenance of the encoded tables: stable-code dictionary
 //!   extension, spliced `Arc`-shared code columns, patched descendant
@@ -54,7 +56,7 @@ pub mod factorization;
 pub mod feature;
 pub mod lmfao;
 pub mod ops;
-pub mod parallel;
+pub use reptile_relational::parallel;
 pub mod row_iter;
 
 pub use aggregates::DecomposedAggregates;

@@ -17,6 +17,7 @@
 //! separate permutation index keeps `code_of` an `O(log n)` binary search
 //! either way.
 
+use crate::parallel::Parallelism;
 use crate::value::Value;
 
 /// A dictionary assigning dense `u32` codes to one attribute domain.
@@ -51,6 +52,24 @@ impl ValueDict {
         debug_assert!(values.windows(2).all(|w| w[0] < w[1]));
         let by_value = (0..values.len() as u32).collect();
         ValueDict { values, by_value }
+    }
+
+    /// [`ValueDict::from_values`] with the sort fanned out over
+    /// `parallelism`: contiguous column ranges are sorted and de-duplicated
+    /// per shard, then merged in shard order. The result is *identical* to
+    /// the serial constructor (sorting is value-deterministic), so sharded
+    /// and serial dictionary builds assign the same codes.
+    pub fn from_column_with(column: &[Value], parallelism: &Parallelism) -> Self {
+        if parallelism.is_serial() || column.len() < 2 {
+            return Self::from_values(column.to_vec());
+        }
+        let runs: Vec<Vec<Value>> = parallelism.map_ranges(column.len(), |start, len| {
+            let mut run = column[start..start + len].to_vec();
+            run.sort();
+            run.dedup();
+            run
+        });
+        Self::from_sorted_values(merge_distinct_runs(runs))
     }
 
     /// Number of distinct values in the domain.
@@ -121,9 +140,75 @@ impl ValueDict {
     }
 }
 
+/// Merge any number of sorted, de-duplicated runs into one sorted distinct
+/// domain (pairwise rounds). Used by [`ValueDict::from_column_with`] and by
+/// the sharded view scan, whose shards produce one run per column range.
+pub(crate) fn merge_distinct_runs(mut runs: Vec<Vec<Value>>) -> Vec<Value> {
+    while runs.len() > 1 {
+        let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge_distinct(a, b)),
+                None => next.push(a),
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Merge two sorted, de-duplicated runs into one (duplicates across the
+/// runs collapse).
+fn merge_distinct(a: Vec<Value>, b: Vec<Value>) -> Vec<Value> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut a = a.into_iter().peekable();
+    let mut b = b.into_iter().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => match x.cmp(y) {
+                std::cmp::Ordering::Less => out.push(a.next().expect("peeked")),
+                std::cmp::Ordering::Greater => out.push(b.next().expect("peeked")),
+                std::cmp::Ordering::Equal => {
+                    out.push(a.next().expect("peeked"));
+                    b.next();
+                }
+            },
+            (Some(_), None) => out.push(a.next().expect("peeked")),
+            (None, Some(_)) => out.push(b.next().expect("peeked")),
+            (None, None) => return out,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharded_dictionary_build_equals_serial() {
+        let mut rng = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for len in [0usize, 1, 2, 7, 100, 1001] {
+            let column: Vec<Value> = (0..len)
+                .map(|_| match next() % 3 {
+                    0 => Value::int((next() % 17) as i64),
+                    1 => Value::str(format!("v{}", next() % 29)),
+                    _ => Value::float((next() % 11) as f64 * 0.5),
+                })
+                .collect();
+            let serial = ValueDict::from_values(column.clone());
+            for threads in [2usize, 3, 8] {
+                let sharded = ValueDict::from_column_with(&column, &Parallelism::new(threads));
+                assert_eq!(serial, sharded, "len {len}, {threads} threads");
+            }
+        }
+    }
 
     #[test]
     fn codes_follow_sorted_order() {

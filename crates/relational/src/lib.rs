@@ -26,7 +26,12 @@
 //!   the same shard invariant the engine's hot path applies internally to
 //!   encoded *path* ranges (the paper's training aggregates are additive
 //!   across row partitions, so per-shard state merges back exactly — the
-//!   workspace property tests pin both levels).
+//!   workspace property tests pin both levels),
+//! * the sharded execution primitive itself ([`Parallelism`] and the
+//!   process-wide shard pool in [`parallel`]) — hosted here, at the bottom
+//!   of the workspace, so that [`View::compute_with`] can fan its group-by
+//!   scans out over the same pool the factorised operators upstream use
+//!   (`reptile-factor` re-exports it unchanged).
 //!
 //! Everything in the factorised representation, the multi-level model and the
 //! Reptile engine itself is built on top of these types.
@@ -38,6 +43,7 @@ pub mod dict;
 pub mod error;
 pub mod hierarchy;
 pub mod ingest;
+pub mod parallel;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
@@ -49,6 +55,7 @@ pub use dict::ValueDict;
 pub use error::RelationalError;
 pub use hierarchy::{validate_hierarchy, HierarchyLevels};
 pub use ingest::IngestBatch;
+pub use parallel::Parallelism;
 pub use predicate::Predicate;
 pub use relation::{Relation, RelationBuilder, RelationShards};
 pub use schema::{AttrId, Attribute, AttributeRole, Hierarchy, Schema, SchemaBuilder};

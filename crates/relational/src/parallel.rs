@@ -1,12 +1,14 @@
-//! Shard-parallel execution of the factorised hot paths.
+//! Shard-parallel execution of the workspace's hot paths.
 //!
-//! Reptile's training aggregates (`COUNT`/`TOTAL`/`COF`) and gram systems
-//! are *additive across row partitions* of the base relation: every table is
-//! a sum of integer counts (or of products accumulated per entry), so the
-//! encoded hot path can fan out over contiguous shards and merge exactly.
-//! This module provides the one knob and the one fan-out primitive that the
-//! sharded builders in [`encoded`](crate::encoded),
-//! [`cluster`](crate::cluster), `reptile-model` and `reptile-core` share:
+//! Reptile's training aggregates (`COUNT`/`TOTAL`/`COF`), gram systems and
+//! view scans are *additive across row partitions* of the base relation:
+//! every table is a sum of integer counts (or of values accumulated per
+//! entry), so the hot paths can fan out over contiguous shards and merge
+//! exactly. This module provides the one knob and the one fan-out
+//! primitive that [`View::compute_with`](crate::View::compute_with), the
+//! sharded builders in `reptile-factor` (`encoded`, `cluster`),
+//! `reptile-model` and `reptile` (the engine's per-hierarchy candidate
+//! evaluation) share:
 //!
 //! * [`Parallelism`] — how many OS threads a sharded build may use
 //!   (`serial()` by default, so nothing changes unless a caller opts in);
@@ -20,6 +22,21 @@
 //!   are lifetime-erased before queueing; soundness rests on `WaitGuard`
 //!   (the scatter never returns — not even by unwinding — before every
 //!   dispatched shard completed), **not** on scoped threads.
+//!
+//! **Work-stealing assist.** While a caller waits for its dispatched
+//! shards it does not just block on the completion latch: it *drains*
+//! queued compute jobs — its own and unrelated scatters' alike — running
+//! them inline as if it were a pool worker. Under concurrent load
+//! (`BatchServer` request workers all scattering onto the one pool) a
+//! scatter queued behind another therefore makes progress on the caller's
+//! own core instead of idling, which bounds tail latency; and a caller
+//! whose jobs nobody picked up (every worker busy or parked on an
+//! external condition) completes them itself, so a scatter can never
+//! deadlock on pool capacity. Only jobs submitted as pure compute are
+//! stolen: jobs flagged *may-block* (the engine's hierarchy evaluations,
+//! which can wait on a serving cache's claim condvar) are left to the
+//! dedicated workers, because running one inline could park the assisting
+//! caller on a condition only the caller itself can satisfy.
 //!
 //! **Exactness contract.** Every sharded code path in this workspace is
 //! bit-identical (`==`, not tolerance) to its serial counterpart. Two
@@ -45,6 +62,7 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// How many threads the sharded builders and operators may use.
@@ -96,6 +114,21 @@ impl Parallelism {
     /// Whether this configuration runs everything inline.
     pub fn is_serial(&self) -> bool {
         self.threads.get() == 1
+    }
+
+    /// The thread count a scatter from *this calling context* would
+    /// actually overlap: 1 when execution would inline anyway (serial
+    /// budget, single-core host, or already running on a pool worker —
+    /// nested scatters never dispatch), the configured budget otherwise.
+    /// Entry points with a cheaper serial algorithm (e.g.
+    /// `View::compute_with`'s direct scan vs its shard/merge structure)
+    /// consult this to skip the sharded shape when it cannot pay off.
+    pub fn effective_threads(&self) -> usize {
+        if self.is_serial() || single_core_host() || in_pool_worker() {
+            1
+        } else {
+            self.threads.get()
+        }
     }
 
     /// Divide this budget among `workers` concurrent consumers: every
@@ -150,10 +183,40 @@ impl Parallelism {
         ranges: &[(usize, usize)],
         shard: impl Fn(usize, usize) -> T + Sync,
     ) -> Vec<T> {
-        if self.is_serial() || ranges.len() <= 1 || in_pool_worker() {
+        self.scatter(ranges, shard, false)
+    }
+
+    /// Like [`Parallelism::run_shards`], for shard closures that may *park*
+    /// — wait on a condition another thread satisfies, e.g. a serving
+    /// cache's in-flight claim. Jobs dispatched by this variant are flagged
+    /// so the work-stealing assist never runs one inline on a waiting
+    /// caller (which could park the caller on a condition only the caller
+    /// itself can satisfy); only the dedicated pool workers — whose
+    /// claimants always make independent progress — pick them up. The
+    /// engine's per-hierarchy candidate evaluation uses this.
+    pub fn run_shards_may_block<T: Send>(
+        &self,
+        ranges: &[(usize, usize)],
+        shard: impl Fn(usize, usize) -> T + Sync,
+    ) -> Vec<T> {
+        self.scatter(ranges, shard, true)
+    }
+
+    fn scatter<T: Send>(
+        &self,
+        ranges: &[(usize, usize)],
+        shard: impl Fn(usize, usize) -> T + Sync,
+        may_block: bool,
+    ) -> Vec<T> {
+        if self.is_serial() || ranges.len() <= 1 || in_pool_worker() || single_core_host() {
             // A pool worker never scatters (its sub-shards would queue
             // behind the very scatters the pool is draining — a deadlock
-            // shape); nested parallelism degrades to inline execution.
+            // shape); nested parallelism degrades to inline execution. A
+            // single-core host degrades too: dispatching to the pool there
+            // can only add wake-up and timeslicing latency (tens of
+            // milliseconds under cgroup CPU quotas) and can never overlap
+            // any compute — inline execution is bit-identical and strictly
+            // faster.
             return ranges.iter().map(|&(s, l)| shard(s, l)).collect();
         }
         let pool = shard_pool();
@@ -167,25 +230,30 @@ impl Parallelism {
             // the normal path *and* when the caller's own shard panics —
             // so the jobs' borrows of `shard`, `slots` and `latch` can
             // never dangle (the safety contract of the lifetime erasure
-            // in `PoolShared::submit`).
-            let _guard = WaitGuard(&latch);
+            // in `PoolShared::submit`). While blocked it drains queued
+            // compute jobs (the work-stealing assist), so the wait makes
+            // progress even when every worker is busy elsewhere.
+            let _guard = WaitGuard(&latch, pool);
             {
                 let shard = &shard;
                 let slots = &slots;
                 let latch = &latch;
-                pool.submit_batch(ranges[1..].iter().enumerate().map(move |(j, &(s, l))| {
-                    let job: Box<dyn FnOnce() + Send + '_> =
-                        Box::new(
-                            move || match catch_unwind(AssertUnwindSafe(|| shard(s, l))) {
-                                Ok(value) => {
-                                    *slots[j].lock().expect("shard slot") = Some(value);
-                                    latch.complete(None);
+                pool.submit_batch(
+                    ranges[1..].iter().enumerate().map(move |(j, &(s, l))| {
+                        let job: Box<dyn FnOnce() + Send + '_> =
+                            Box::new(move || {
+                                match catch_unwind(AssertUnwindSafe(|| shard(s, l))) {
+                                    Ok(value) => {
+                                        *slots[j].lock().expect("shard slot") = Some(value);
+                                        latch.complete(None);
+                                    }
+                                    Err(payload) => latch.complete(Some(payload)),
                                 }
-                                Err(payload) => latch.complete(Some(payload)),
-                            },
-                        );
-                    job
-                }));
+                            });
+                        job
+                    }),
+                    may_block,
+                );
             }
             let (s0, l0) = ranges[0];
             let first = match catch_unwind(AssertUnwindSafe(|| shard(s0, l0))) {
@@ -228,9 +296,30 @@ impl Parallelism {
     /// budget, returning the results in item order. Each item runs the
     /// identical serial computation; only *which thread* runs it changes.
     pub fn map_items<T: Send>(&self, len: usize, item: impl Fn(usize) -> T + Sync) -> Vec<T> {
-        let mut chunks = self.map_ranges(len, |start, chunk| {
-            (start..start + chunk).map(&item).collect::<Vec<T>>()
-        });
+        Self::gather_chunks(
+            len,
+            self.map_ranges(len, |start, chunk| {
+                (start..start + chunk).map(&item).collect::<Vec<T>>()
+            }),
+        )
+    }
+
+    /// [`Parallelism::map_items`] for items that may *park* mid-computation
+    /// (see [`Parallelism::run_shards_may_block`]).
+    pub fn map_items_may_block<T: Send>(
+        &self,
+        len: usize,
+        item: impl Fn(usize) -> T + Sync,
+    ) -> Vec<T> {
+        Self::gather_chunks(
+            len,
+            self.run_shards_may_block(&self.ranges_for(len), |start, chunk| {
+                (start..start + chunk).map(&item).collect::<Vec<T>>()
+            }),
+        )
+    }
+
+    fn gather_chunks<T>(len: usize, mut chunks: Vec<Vec<T>>) -> Vec<T> {
         if chunks.len() == 1 {
             return chunks.pop().expect("one chunk");
         }
@@ -259,6 +348,14 @@ impl Parallelism {
 /// during unwinding) never returns before every submitted job completed.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// One queue entry: the job plus whether it may park on an external
+/// condition (see [`Parallelism::run_shards_may_block`]). Pool workers run
+/// either kind; the work-stealing assist only drains pure compute.
+struct QueuedJob {
+    run: Job,
+    may_block: bool,
+}
+
 struct PoolShared {
     queue: Mutex<PoolQueue>,
     /// Wakes idle workers when jobs arrive.
@@ -266,7 +363,7 @@ struct PoolShared {
 }
 
 struct PoolQueue {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<QueuedJob>,
     workers: usize,
 }
 
@@ -276,6 +373,46 @@ thread_local! {
 
 fn in_pool_worker() -> bool {
     IN_POOL_WORKER.with(Cell::get)
+}
+
+/// Count of live [`ForcePoolDispatch`] guards (tests only).
+static FORCE_DISPATCH: AtomicUsize = AtomicUsize::new(0);
+
+/// Test-only override: while a guard is alive, scatters dispatch to the
+/// pool even on a single-core host. Without it, every suite run in a
+/// 1-CPU container would exercise only the inline fallback — the pool's
+/// queueing, may-block jobs and work-stealing assist would go untested
+/// exactly where ordering bugs hide. Not part of the public API.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct ForcePoolDispatch;
+
+impl ForcePoolDispatch {
+    /// Activate the override for this guard's lifetime.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        FORCE_DISPATCH.fetch_add(1, Ordering::SeqCst);
+        ForcePoolDispatch
+    }
+}
+
+impl Drop for ForcePoolDispatch {
+    fn drop(&mut self) {
+        FORCE_DISPATCH.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Whether the host exposes only one hardware thread (cached once): pool
+/// dispatch is pure overhead there, so every scatter runs inline —
+/// unless a test holds a [`ForcePoolDispatch`] guard.
+fn single_core_host() -> bool {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    FORCE_DISPATCH.load(Ordering::SeqCst) == 0
+        && *CORES.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }) == 1
 }
 
 fn shard_pool() -> &'static Arc<PoolShared> {
@@ -314,7 +451,7 @@ impl PoolShared {
                 drop(queue);
                 // The job catches its own panics (see `run_shards`), so a
                 // worker survives every scatter.
-                job();
+                (job.run)();
                 queue = self.queue.lock().expect("shard pool lock");
             } else {
                 queue = self.work.wait(queue).expect("shard pool lock");
@@ -327,18 +464,64 @@ impl PoolShared {
     /// # Safety contract
     /// The caller must not let the jobs' borrows expire before every job
     /// completed — upheld by `run_shards`' `WaitGuard`.
-    fn submit_batch<'a>(&self, jobs: impl Iterator<Item = Box<dyn FnOnce() + Send + 'a>>) {
+    fn submit_batch<'a>(
+        &self,
+        jobs: impl Iterator<Item = Box<dyn FnOnce() + Send + 'a>>,
+        may_block: bool,
+    ) {
         let mut queue = self.queue.lock().expect("shard pool lock");
         for job in jobs {
             // SAFETY: `run_shards` blocks (via `WaitGuard`, also on the
             // unwinding path) until the job has run to completion, so every
             // borrow inside the closure strictly outlives its execution.
-            let job: Job =
+            let run: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(job) };
-            queue.jobs.push_back(job);
+            queue.jobs.push_back(QueuedJob { run, may_block });
         }
         drop(queue);
         self.work.notify_all();
+    }
+
+    /// Remove the first queued *pure compute* job (skipping may-block
+    /// ones), for a waiting caller to run inline — the work-stealing
+    /// assist. Returns `None` when no compute job is queued.
+    fn steal_compute(&self) -> Option<Job> {
+        let mut queue = self.queue.lock().expect("shard pool lock");
+        let index = queue.jobs.iter().position(|j| !j.may_block)?;
+        queue.jobs.remove(index).map(|j| j.run)
+    }
+
+    /// Wait for `latch` to drain, running queued compute jobs inline in
+    /// the meantime (flagged as a pool worker for the duration of each
+    /// job, so a stolen job's own nested scatters stay inline). Progress
+    /// is guaranteed: all of the latch's jobs were enqueued before this
+    /// wait starts, so each is either drained right here (compute jobs),
+    /// or already running on / later claimed by a dedicated worker — and
+    /// the final completion always signals the latch condvar.
+    fn wait_assisting(&self, latch: &Latch) {
+        loop {
+            if latch.is_done() {
+                return;
+            }
+            if let Some(job) = self.steal_compute() {
+                IN_POOL_WORKER.with(|flag| {
+                    let prev = flag.get();
+                    flag.set(true);
+                    // Jobs catch their own panics, so the flag restore
+                    // cannot be skipped by an unwind.
+                    job();
+                    flag.set(prev);
+                });
+                continue;
+            }
+            // No compute job left to drain: every outstanding job is
+            // already running on (or will be claimed by) a dedicated
+            // worker, so sleeping on the latch is safe — the done-recheck
+            // happens under the latch lock, so a completion between the
+            // steal attempt and the wait is not missed.
+            latch.wait();
+            return;
+        }
     }
 }
 
@@ -376,6 +559,10 @@ impl Latch {
         }
     }
 
+    fn is_done(&self) -> bool {
+        self.state.lock().expect("latch lock").remaining == 0
+    }
+
     fn wait(&self) {
         let mut state = self.state.lock().expect("latch lock");
         while state.remaining > 0 {
@@ -389,12 +576,14 @@ impl Latch {
 }
 
 /// Blocks until the latch drains — including when the caller unwinds — so
-/// pool jobs can never outlive the stack frame they borrow from.
-struct WaitGuard<'a>(&'a Latch);
+/// pool jobs can never outlive the stack frame they borrow from. The wait
+/// assists (drains queued compute jobs) on both paths, so a scatter whose
+/// jobs nobody picked up completes them on the caller's own thread.
+struct WaitGuard<'a>(&'a Latch, &'a Arc<PoolShared>);
 
 impl Drop for WaitGuard<'_> {
     fn drop(&mut self) {
-        self.0.wait();
+        self.1.wait_assisting(self.0);
     }
 }
 
@@ -462,6 +651,9 @@ mod tests {
 
     #[test]
     fn pool_workers_are_reused_across_many_scatters() {
+        // Dispatch for real even on a 1-core host: this test is about
+        // the pool machinery, not the inline fallback.
+        let _force = ForcePoolDispatch::new();
         let par = Parallelism::new(3);
         for round in 0..200usize {
             let out = par.map_items(7, move |i| i * 2 + round);
@@ -472,6 +664,9 @@ mod tests {
 
     #[test]
     fn shard_panic_propagates_and_pool_survives() {
+        // Dispatch for real even on a 1-core host: this test is about
+        // the pool machinery, not the inline fallback.
+        let _force = ForcePoolDispatch::new();
         let par = Parallelism::new(4);
         let result = std::panic::catch_unwind(|| {
             par.map_items(8, |i| {
@@ -488,6 +683,9 @@ mod tests {
 
     #[test]
     fn nested_scatters_do_not_deadlock() {
+        // Dispatch for real even on a 1-core host: this test is about
+        // the pool machinery, not the inline fallback.
+        let _force = ForcePoolDispatch::new();
         let par = Parallelism::new(2);
         let out = par.map_ranges(4, |start, len| {
             Parallelism::new(2)
@@ -499,8 +697,119 @@ mod tests {
         assert_eq!(out.len(), 2);
     }
 
+    /// A one-way gate a test can park shard closures on.
+    struct Gate {
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn new() -> Self {
+            Gate {
+                open: Mutex::new(false),
+                cv: Condvar::new(),
+            }
+        }
+
+        fn wait(&self) {
+            let mut open = self.open.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+        }
+
+        fn open(&self) {
+            *self.open.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+    }
+
+    #[test]
+    fn may_block_scatter_returns_ordered_results() {
+        // Dispatch for real even on a 1-core host: this test is about
+        // the pool machinery, not the inline fallback.
+        let _force = ForcePoolDispatch::new();
+        let par = Parallelism::new(4);
+        let out = par.map_items_may_block(9, |i| i * 3);
+        assert_eq!(out, (0..9).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn assist_drains_compute_jobs_while_workers_are_parked() {
+        // Dispatch for real even on a 1-core host: this test is about
+        // the pool machinery, not the inline fallback.
+        let _force = ForcePoolDispatch::new();
+        // One worker thread (budget 2). A may-block scatter parks that
+        // worker (and its own caller) on a gate; a second, unrelated
+        // compute scatter must still complete: without the work-stealing
+        // assist its dispatched jobs would sit behind the parked worker
+        // forever, with it the caller drains them inline.
+        let gate = Arc::new(Gate::new());
+        let started = Arc::new(Gate::new());
+        let parked = {
+            let gate = Arc::clone(&gate);
+            let started = Arc::clone(&started);
+            std::thread::spawn(move || {
+                let par = Parallelism::new(2);
+                par.run_shards_may_block(&[(0usize, 1usize), (1, 1)], |start, _| {
+                    started.open();
+                    gate.wait();
+                    start
+                })
+            })
+        };
+        // Wait until at least one parked shard is actually running.
+        started.wait();
+        // The unrelated compute scatter completes while the pool is stuck.
+        let out = Parallelism::new(2).map_items(6, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6]);
+        gate.open();
+        assert_eq!(parked.join().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn caller_completes_its_own_jobs_when_no_worker_picks_them_up() {
+        // Dispatch for real even on a 1-core host: this test is about
+        // the pool machinery, not the inline fallback.
+        let _force = ForcePoolDispatch::new();
+        // Park the pool's workers on may-block jobs, then issue a compute
+        // scatter from a fresh caller: its dispatched shards can only run
+        // via the caller's own assist.
+        let gate = Arc::new(Gate::new());
+        let started = Arc::new(Gate::new());
+        let parked: Vec<_> = (0..2)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                let started = Arc::clone(&started);
+                std::thread::spawn(move || {
+                    let par = Parallelism::new(3);
+                    par.run_shards_may_block(&[(0usize, 1usize), (1, 1)], |start, _| {
+                        started.open();
+                        gate.wait();
+                        start
+                    })
+                })
+            })
+            .collect();
+        started.wait();
+        let sums = Parallelism::new(3).map_ranges(12, |start, len| {
+            (start..start + len).map(|i| i * i).sum::<usize>()
+        });
+        assert_eq!(
+            sums.iter().sum::<usize>(),
+            (0..12).map(|i| i * i).sum::<usize>()
+        );
+        gate.open();
+        for handle in parked {
+            assert_eq!(handle.join().unwrap(), vec![0, 1]);
+        }
+    }
+
     #[test]
     fn concurrent_scatters_share_the_pool() {
+        // Dispatch for real even on a 1-core host: this test is about
+        // the pool machinery, not the inline fallback.
+        let _force = ForcePoolDispatch::new();
         // Several OS threads scattering at once must all complete with
         // correct, ordered results (jobs from different scatters interleave
         // in the shared queue).

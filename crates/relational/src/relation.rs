@@ -196,7 +196,9 @@ impl Relation {
         let dicts: Arc<Vec<ValueDict>> = Arc::new(
             self.columns
                 .iter()
-                .map(|col| ValueDict::from_values(col.clone()))
+                .map(|col| {
+                    ValueDict::from_column_with(col, &crate::parallel::Parallelism::serial())
+                })
                 .collect(),
         );
         let base = self.rows / shards;

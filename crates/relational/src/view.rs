@@ -9,9 +9,29 @@
 //! it appends the next (more specific) attribute of hierarchy `H` to the
 //! group-by list and restricts the input to the provenance of the complaint
 //! tuple `t`.
+//!
+//! # Shard-parallel computation
+//!
+//! [`View::compute_with`] fans the group-by scan out over contiguous row
+//! shards on the process-wide [shard pool](crate::parallel), **bit-exactly**:
+//! group keys become per-shard *code tuples* resolved through one shared
+//! [`ValueDict`] per group-by column (the same stable-code contract as
+//! [`Relation::partition`] — a code means the same value in every shard),
+//! each shard accumulates its matching rows in row order, and the partial
+//! group tables merge in fixed shard order. Because shards are contiguous
+//! and ordered, replaying each shard's per-group measure values at merge
+//! time visits every group's rows in exactly the serial row order — the
+//! floating-point accumulation sequence of [`AggState::push`] is
+//! *identical*, not merely close, so `View::compute_sharded(..., n) ==
+//! View::compute(...)` holds for arbitrary shard counts (the workspace
+//! property tests assert `==`). Provenance vectors concatenate in shard
+//! order, reproducing the serial row order too. Codes are decoded back to
+//! [`Value`]s once per *group* at the boundary, never per row.
 
 use crate::aggregate::{AggState, AggregateKind};
+use crate::dict::ValueDict;
 use crate::error::RelationalError;
+use crate::parallel::Parallelism;
 use crate::predicate::Predicate;
 use crate::relation::Relation;
 use crate::schema::{AttrId, Hierarchy};
@@ -54,6 +74,30 @@ pub struct DrillDownResult {
     pub added_attribute: AttrId,
 }
 
+/// Per-group state of a view: the distributive aggregate plus the input
+/// rows that produced it, held in one map so the per-row accumulation does
+/// a single lookup with a single key allocation.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct GroupData {
+    agg: AggState,
+    rows: Vec<usize>,
+}
+
+/// Per-shard partial of one group during a sharded compute: the measure
+/// values and row indices of the shard's matching rows, in row order, so
+/// the merge can *replay* the serial accumulation exactly.
+#[derive(Default)]
+struct ShardGroup {
+    values: Vec<f64>,
+    rows: Vec<usize>,
+}
+
+/// Row count below which [`View::compute_with`] stays serial: the shared
+/// dictionary build and scatter overhead only pay off once the scan itself
+/// is non-trivial (sharding remains bit-exact either way — this is purely
+/// a latency knob).
+const SHARD_MIN_ROWS: usize = 2048;
+
 /// An aggregation view over a relation.
 #[derive(Debug, Clone)]
 pub struct View {
@@ -61,20 +105,34 @@ pub struct View {
     predicate: Predicate,
     group_by: Vec<AttrId>,
     measure: AttrId,
-    groups: BTreeMap<GroupKey, AggState>,
-    provenance: BTreeMap<GroupKey, Vec<usize>>,
+    groups: BTreeMap<GroupKey, GroupData>,
+}
+
+impl PartialEq for View {
+    /// Two views are equal when they aggregate the same relation snapshot
+    /// (lineage ident and version) under the same definition into
+    /// bit-identical groups — aggregates *and* provenance row order. This
+    /// is the exactness relation the sharded compute path is held to.
+    fn eq(&self, other: &Self) -> bool {
+        self.relation.ident() == other.relation.ident()
+            && self.relation.version() == other.relation.version()
+            && self.predicate == other.predicate
+            && self.group_by == other.group_by
+            && self.measure == other.measure
+            && self.groups == other.groups
+    }
 }
 
 impl View {
-    /// Compute the view `γ_{group_by, aggs(measure)}(σ_predicate(relation))`.
+    /// Compute the view `γ_{group_by, aggs(measure)}(σ_predicate(relation))`
+    /// with a single serial scan.
     pub fn compute(
         relation: Arc<Relation>,
         predicate: Predicate,
         group_by: Vec<AttrId>,
         measure: AttrId,
     ) -> Result<View> {
-        let mut groups: BTreeMap<GroupKey, AggState> = BTreeMap::new();
-        let mut provenance: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
+        let mut groups: BTreeMap<GroupKey, GroupData> = BTreeMap::new();
         for row in 0..relation.len() {
             if !predicate.matches(&relation, row) {
                 continue;
@@ -86,8 +144,9 @@ impl View {
                     .collect(),
             );
             let value = relation.numeric(row, measure)?.unwrap_or(0.0);
-            groups.entry(key.clone()).or_default().push(value);
-            provenance.entry(key).or_default().push(row);
+            let data = groups.entry(key).or_default();
+            data.agg.push(value);
+            data.rows.push(row);
         }
         Ok(View {
             relation,
@@ -95,7 +154,151 @@ impl View {
             group_by,
             measure,
             groups,
-            provenance,
+        })
+    }
+
+    /// [`View::compute`], fanned out over `parallelism` when the relation
+    /// is large enough to pay for the scatter (see the module docs for the
+    /// shard-exact merge rule). Bit-identical to the serial scan for every
+    /// thread budget.
+    pub fn compute_with(
+        relation: Arc<Relation>,
+        predicate: Predicate,
+        group_by: Vec<AttrId>,
+        measure: AttrId,
+        parallelism: &Parallelism,
+    ) -> Result<View> {
+        // The shard/merge structure (shared dictionaries, partial tables,
+        // replay merge) only pays off when the scatter genuinely overlaps
+        // threads; when this context would inline anyway (serial budget,
+        // single-core host, nested on a pool worker) the direct scan is
+        // strictly faster and bit-identical.
+        if parallelism.effective_threads() == 1 || relation.len() < SHARD_MIN_ROWS {
+            return View::compute(relation, predicate, group_by, measure);
+        }
+        let ranges = parallelism.ranges_for(relation.len());
+        View::compute_ranges(relation, predicate, group_by, measure, &ranges, parallelism)
+    }
+
+    /// [`View::compute`] over exactly `shards` contiguous row shards (no
+    /// size threshold — shard counts past the row or group count are valid,
+    /// their partials are empty and merge as identities). Exposed for the
+    /// exactness property tests; serving paths use [`View::compute_with`].
+    pub fn compute_sharded(
+        relation: Arc<Relation>,
+        predicate: Predicate,
+        group_by: Vec<AttrId>,
+        measure: AttrId,
+        shards: usize,
+    ) -> Result<View> {
+        let ranges = Parallelism::shard_ranges(relation.len(), shards.max(1));
+        let parallelism = Parallelism::new(shards);
+        View::compute_ranges(
+            relation,
+            predicate,
+            group_by,
+            measure,
+            &ranges,
+            &parallelism,
+        )
+    }
+
+    /// The sharded scan: shared dictionaries, per-shard code-keyed partial
+    /// tables, fixed-shard-order replay merge, one decode per group.
+    fn compute_ranges(
+        relation: Arc<Relation>,
+        predicate: Predicate,
+        group_by: Vec<AttrId>,
+        measure: AttrId,
+        ranges: &[(usize, usize)],
+        parallelism: &Parallelism,
+    ) -> Result<View> {
+        // One shared dictionary per group-by column, built over the FULL
+        // column — the stable-code contract of `Relation::partition`: a
+        // code means the same value in every shard, so per-shard partial
+        // tables keyed by code tuples merge code-wise. All columns' sorted
+        // distinct runs come out of ONE scatter (scatter dispatch is the
+        // fixed cost of the sharded path, so the whole compute pays exactly
+        // two: this one and the scan below).
+        let shard_runs: Vec<Vec<Vec<Value>>> = parallelism.run_shards(ranges, |start, len| {
+            group_by
+                .iter()
+                .map(|a| {
+                    let mut run = relation.column(*a)[start..start + len].to_vec();
+                    run.sort();
+                    run.dedup();
+                    run
+                })
+                .collect()
+        });
+        let mut per_attr: Vec<Vec<Vec<Value>>> = (0..group_by.len())
+            .map(|_| Vec::with_capacity(shard_runs.len()))
+            .collect();
+        for shard in shard_runs {
+            for (i, run) in shard.into_iter().enumerate() {
+                per_attr[i].push(run);
+            }
+        }
+        let dicts: Vec<ValueDict> = per_attr
+            .into_iter()
+            .map(|runs| ValueDict::from_sorted_values(crate::dict::merge_distinct_runs(runs)))
+            .collect();
+        let partials: Vec<Result<BTreeMap<Vec<u32>, ShardGroup>>> =
+            parallelism.run_shards(ranges, |start, len| {
+                let mut groups: BTreeMap<Vec<u32>, ShardGroup> = BTreeMap::new();
+                for row in start..start + len {
+                    if !predicate.matches(&relation, row) {
+                        continue;
+                    }
+                    let key: Vec<u32> = group_by
+                        .iter()
+                        .zip(&dicts)
+                        .map(|(a, dict)| {
+                            dict.code_of(relation.value(row, *a))
+                                .expect("dictionary built over the full column")
+                        })
+                        .collect();
+                    let value = relation.numeric(row, measure)?.unwrap_or(0.0);
+                    let group = groups.entry(key).or_default();
+                    group.values.push(value);
+                    group.rows.push(row);
+                }
+                Ok(groups)
+            });
+        // Merge in fixed shard order. Shards are contiguous and ordered, so
+        // per group this replays AggState::push over the measure values in
+        // exactly the serial row order — the FP sequence is identical, and
+        // provenance concatenates back to row order.
+        let mut merged: BTreeMap<Vec<u32>, GroupData> = BTreeMap::new();
+        for partial in partials {
+            for (key, shard_group) in partial? {
+                let data = merged.entry(key).or_default();
+                for value in shard_group.values {
+                    data.agg.push(value);
+                }
+                data.rows.extend(shard_group.rows);
+            }
+        }
+        // Decode once per group at the boundary.
+        let groups: BTreeMap<GroupKey, GroupData> = merged
+            .into_iter()
+            .map(|(codes, data)| {
+                let key = GroupKey(
+                    codes
+                        .iter()
+                        .zip(&dicts)
+                        .map(|(code, dict)| dict.value(*code).clone())
+                        .collect(),
+                );
+                (key, data)
+            })
+            .collect();
+        Ok(View {
+            relation,
+            predicate,
+            group_by,
+            measure,
+            groups,
         })
     }
 
@@ -131,7 +334,7 @@ impl View {
 
     /// Iterate over `(key, aggregate)` pairs in key order.
     pub fn groups(&self) -> impl Iterator<Item = (&GroupKey, &AggState)> {
-        self.groups.iter()
+        self.groups.iter().map(|(key, data)| (key, &data.agg))
     }
 
     /// All group keys in order.
@@ -143,6 +346,7 @@ impl View {
     pub fn group(&self, key: &GroupKey) -> Result<&AggState> {
         self.groups
             .get(key)
+            .map(|data| &data.agg)
             .ok_or_else(|| RelationalError::UnknownGroup(key.to_string()))
     }
 
@@ -156,7 +360,7 @@ impl View {
     pub fn total(&self) -> AggState {
         self.groups
             .values()
-            .fold(AggState::empty(), |acc, g| acc.merge(g))
+            .fold(AggState::empty(), |acc, g| acc.merge(&g.agg))
     }
 
     /// The parent aggregate after replacing group `key`'s state with
@@ -179,9 +383,9 @@ impl View {
 
     /// Input row indices that contributed to group `key`.
     pub fn provenance(&self, key: &GroupKey) -> Result<&[usize]> {
-        self.provenance
+        self.groups
             .get(key)
-            .map(|v| v.as_slice())
+            .map(|data| data.rows.as_slice())
             .ok_or_else(|| RelationalError::UnknownGroup(key.to_string()))
     }
 
@@ -209,6 +413,17 @@ impl View {
     /// `drilldown(V, t, H)`: group also by the next level of `hierarchy`,
     /// restricted to the provenance of tuple `key`.
     pub fn drill_down(&self, key: &GroupKey, hierarchy: &Hierarchy) -> Result<DrillDownResult> {
+        self.drill_down_with(key, hierarchy, &Parallelism::serial())
+    }
+
+    /// [`View::drill_down`] with the drilled view's group-by scan fanned
+    /// out over `parallelism` (bit-identical to serial).
+    pub fn drill_down_with(
+        &self,
+        key: &GroupKey,
+        hierarchy: &Hierarchy,
+        parallelism: &Parallelism,
+    ) -> Result<DrillDownResult> {
         // Validate the tuple exists.
         self.group(key)?;
         let next = hierarchy
@@ -217,7 +432,13 @@ impl View {
         let mut group_by = self.group_by.clone();
         group_by.push(next);
         let predicate = self.provenance_predicate(key);
-        let view = View::compute(self.relation.clone(), predicate, group_by, self.measure)?;
+        let view = View::compute_with(
+            self.relation.clone(),
+            predicate,
+            group_by,
+            self.measure,
+            parallelism,
+        )?;
         Ok(DrillDownResult {
             view,
             added_attribute: next,
@@ -229,16 +450,27 @@ impl View {
     /// Section 3.2 (all villages across all districts/years), used to fit the
     /// multi-level model.
     pub fn drill_down_parallel(&self, hierarchy: &Hierarchy) -> Result<DrillDownResult> {
+        self.drill_down_parallel_with(hierarchy, &Parallelism::serial())
+    }
+
+    /// [`View::drill_down_parallel`] with the training view's group-by scan
+    /// fanned out over `parallelism` (bit-identical to serial).
+    pub fn drill_down_parallel_with(
+        &self,
+        hierarchy: &Hierarchy,
+        parallelism: &Parallelism,
+    ) -> Result<DrillDownResult> {
         let next = hierarchy
             .next_level(&self.group_by)
             .ok_or_else(|| RelationalError::NoMoreLevels(hierarchy.name.clone()))?;
         let mut group_by = self.group_by.clone();
         group_by.push(next);
-        let view = View::compute(
+        let view = View::compute_with(
             self.relation.clone(),
             self.predicate.clone(),
             group_by,
             self.measure,
+            parallelism,
         )?;
         Ok(DrillDownResult {
             view,
@@ -420,6 +652,72 @@ mod tests {
         let p = v.provenance_predicate(&key);
         assert_eq!(p.len(), 2);
         assert_eq!(p.select(&r), vec![7]);
+    }
+
+    #[test]
+    fn compute_sharded_is_bit_identical_to_serial() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let gb = vec![s.attr("district").unwrap(), s.attr("year").unwrap()];
+        let measure = s.attr("severity").unwrap();
+        let serial = View::compute(r.clone(), Predicate::all(), gb.clone(), measure).unwrap();
+        // Shard counts below, at, and far past the row count; and a
+        // restricted predicate (fewer matching rows than shards).
+        for shards in [1usize, 2, 3, r.len(), r.len() + 9] {
+            let sharded =
+                View::compute_sharded(r.clone(), Predicate::all(), gb.clone(), measure, shards)
+                    .unwrap();
+            assert_eq!(serial, sharded, "{shards} shards");
+            for key in serial.keys() {
+                assert_eq!(
+                    serial.provenance(&key).unwrap(),
+                    sharded.provenance(&key).unwrap()
+                );
+                assert_eq!(serial.group(&key).unwrap(), sharded.group(&key).unwrap());
+            }
+        }
+        let restricted = Predicate::eq(s.attr("district").unwrap(), Value::str("Raya"));
+        let serial = View::compute(r.clone(), restricted.clone(), gb.clone(), measure).unwrap();
+        let sharded = View::compute_sharded(r.clone(), restricted, gb, measure, 5).unwrap();
+        assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn compute_with_matches_serial_for_any_budget() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let gb = vec![s.attr("village").unwrap()];
+        let measure = s.attr("severity").unwrap();
+        let serial = View::compute(r.clone(), Predicate::all(), gb.clone(), measure).unwrap();
+        for threads in [1usize, 2, 8] {
+            let par = Parallelism::new(threads);
+            let v =
+                View::compute_with(r.clone(), Predicate::all(), gb.clone(), measure, &par).unwrap();
+            assert_eq!(serial, v, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn drill_down_with_matches_drill_down() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let geo = s.hierarchy("geo").unwrap().clone();
+        let v = View::compute(
+            r.clone(),
+            Predicate::all(),
+            vec![s.attr("district").unwrap(), s.attr("year").unwrap()],
+            s.attr("severity").unwrap(),
+        )
+        .unwrap();
+        let key = GroupKey(vec![Value::str("Ofla"), Value::int(1986)]);
+        let par = Parallelism::new(4);
+        let serial = v.drill_down(&key, &geo).unwrap();
+        let sharded = v.drill_down_with(&key, &geo, &par).unwrap();
+        assert_eq!(serial.added_attribute, sharded.added_attribute);
+        assert_eq!(serial.view, sharded.view);
+        let serial = v.drill_down_parallel(&geo).unwrap();
+        let sharded = v.drill_down_parallel_with(&geo, &par).unwrap();
+        assert_eq!(serial.view, sharded.view);
     }
 
     #[test]

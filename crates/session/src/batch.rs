@@ -207,8 +207,8 @@ impl SharedCaches {
         SharedCacheHandle {
             caches: self,
             snapshot: None,
-            claimed_views: Vec::new(),
-            claimed_models: Vec::new(),
+            claimed_views: Mutex::new(Vec::new()),
+            claimed_models: Mutex::new(Vec::new()),
         }
     }
 
@@ -223,8 +223,8 @@ impl SharedCaches {
         SharedCacheHandle {
             caches: self,
             snapshot: Some((ViewKey::of_view(view), view.relation().version())),
-            claimed_views: Vec::new(),
-            claimed_models: Vec::new(),
+            claimed_views: Mutex::new(Vec::new()),
+            claimed_models: Mutex::new(Vec::new()),
         }
     }
 
@@ -277,6 +277,12 @@ impl Default for SharedCaches {
 /// worker that panics mid-computation (unwinding past its `put_*`/`abort_*`)
 /// cannot leave a key in-flight forever and deadlock the waiters — they
 /// re-claim and the panic propagates normally through the thread join.
+///
+/// One handle serves one request, but the engine evaluates that request's
+/// candidate hierarchies *concurrently* ([`EngineCache`] takes `&self`), so
+/// the claim lists sit behind a mutex of their own. Claim-list locks nest
+/// inside nothing: they are taken only in the `EngineCache` methods, before
+/// or after — never while — the `Claimable` cache lock is held.
 pub struct SharedCacheHandle<'a> {
     caches: &'a SharedCaches,
     /// Canonical signature + snapshot version of the request's view, when
@@ -284,8 +290,8 @@ pub struct SharedCacheHandle<'a> {
     /// pinned view's predicate selects (everything the request derives
     /// only refines that predicate).
     snapshot: Option<(ViewKey, u64)>,
-    claimed_views: Vec<(ViewKey, u64)>,
-    claimed_models: Vec<(ModelKey, u64)>,
+    claimed_views: Mutex<Vec<(ViewKey, u64)>>,
+    claimed_models: Mutex<Vec<(ModelKey, u64)>>,
 }
 
 impl SharedCacheHandle<'_> {
@@ -298,16 +304,16 @@ impl SharedCacheHandle<'_> {
 }
 
 impl EngineCache for SharedCacheHandle<'_> {
-    fn accepts_view(&mut self, view: &View) -> bool {
+    fn accepts_view(&self, view: &View) -> bool {
         self.caches
             .is_current(&ViewKey::of_view(view), view.relation().version())
     }
 
-    fn ingest_horizon(&mut self, relation_ident: u64) -> u64 {
+    fn ingest_horizon(&self, relation_ident: u64) -> u64 {
         self.caches.horizon(relation_ident)
     }
 
-    fn get_view(&mut self, key: &ViewKey) -> Option<Arc<View>> {
+    fn get_view(&self, key: &ViewKey) -> Option<Arc<View>> {
         if self.snapshot_is_stale() {
             // An ingest superseded the pinned snapshot mid-request: stop
             // reading the shared cache (its entries may reflect the newer
@@ -320,17 +326,20 @@ impl EngineCache for SharedCacheHandle<'_> {
         match self.caches.views.get_or_claim(key) {
             Lookup::Hit(view) => Some(view),
             Lookup::Claimed(generation) => {
-                self.claimed_views.push((key.clone(), generation));
+                self.claimed_views
+                    .lock()
+                    .expect("claim list lock")
+                    .push((key.clone(), generation));
                 None
             }
         }
     }
 
-    fn put_view(&mut self, key: ViewKey, view: Arc<View>) {
+    fn put_view(&self, key: ViewKey, view: Arc<View>) {
         // No claim held means the stale-snapshot `get` skipped the claim
         // protocol: drop the value without touching the in-flight set (the
         // key may be another worker's live claim).
-        let Some(generation) = take_claim(&mut self.claimed_views, &key) else {
+        let Some(generation) = take_claim(&self.claimed_views, &key) else {
             return;
         };
         if let Some((pin_key, pin_version)) = &self.snapshot {
@@ -352,27 +361,30 @@ impl EngineCache for SharedCacheHandle<'_> {
         }
     }
 
-    fn abort_view(&mut self, key: &ViewKey) {
-        if take_claim(&mut self.claimed_views, key).is_some() {
+    fn abort_view(&self, key: &ViewKey) {
+        if take_claim(&self.claimed_views, key).is_some() {
             self.caches.views.abort(key);
         }
     }
 
-    fn get_model(&mut self, key: &ModelKey) -> Option<Arc<TrainedModel>> {
+    fn get_model(&self, key: &ModelKey) -> Option<Arc<TrainedModel>> {
         if self.snapshot_is_stale() {
             return None; // see get_view: no mixed-snapshot reads, no claims
         }
         match self.caches.models.get_or_claim(key) {
             Lookup::Hit(model) => Some(model),
             Lookup::Claimed(generation) => {
-                self.claimed_models.push((key.clone(), generation));
+                self.claimed_models
+                    .lock()
+                    .expect("claim list lock")
+                    .push((key.clone(), generation));
                 None
             }
         }
     }
 
-    fn put_model(&mut self, key: ModelKey, model: Arc<TrainedModel>) {
-        let Some(generation) = take_claim(&mut self.claimed_models, &key) else {
+    fn put_model(&self, key: ModelKey, model: Arc<TrainedModel>) {
+        let Some(generation) = take_claim(&self.claimed_models, &key) else {
             return; // see put_view: never touch another worker's claim
         };
         if let Some((pin_key, pin_version)) = &self.snapshot {
@@ -389,8 +401,8 @@ impl EngineCache for SharedCacheHandle<'_> {
         }
     }
 
-    fn abort_model(&mut self, key: &ModelKey) {
-        if take_claim(&mut self.claimed_models, key).is_some() {
+    fn abort_model(&self, key: &ModelKey) {
+        if take_claim(&self.claimed_models, key).is_some() {
             self.caches.models.abort(key);
         }
     }
@@ -401,7 +413,8 @@ impl EngineCache for SharedCacheHandle<'_> {
 /// the key (its stale-snapshot `get` skipped the claim protocol) — the
 /// publication must then be dropped *without* touching the in-flight set,
 /// which may hold another worker's live claim.
-fn take_claim<K: Eq>(claims: &mut Vec<(K, u64)>, key: &K) -> Option<u64> {
+fn take_claim<K: Eq>(claims: &Mutex<Vec<(K, u64)>>, key: &K) -> Option<u64> {
+    let mut claims = claims.lock().expect("claim list lock");
     claims
         .iter()
         .position(|(k, _)| k == key)
@@ -410,10 +423,10 @@ fn take_claim<K: Eq>(claims: &mut Vec<(K, u64)>, key: &K) -> Option<u64> {
 
 impl Drop for SharedCacheHandle<'_> {
     fn drop(&mut self) {
-        for (key, _) in &self.claimed_views {
+        for (key, _) in self.claimed_views.lock().expect("claim list lock").iter() {
             self.caches.views.abort(key);
         }
-        for (key, _) in &self.claimed_models {
+        for (key, _) in self.claimed_models.lock().expect("claim list lock").iter() {
             self.caches.models.abort(key);
         }
     }
@@ -570,13 +583,13 @@ impl BatchServer {
                             break;
                         }
                         let request = unique[i];
-                        let mut cache = self.caches.handle_for(&request.view);
+                        let cache = self.caches.handle_for(&request.view);
                         out.push((
                             i,
                             self.engine.recommend_with_cache(
                                 &request.view,
                                 &request.complaint,
-                                &mut cache,
+                                &cache,
                             ),
                         ));
                     }

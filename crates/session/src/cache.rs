@@ -10,7 +10,7 @@ use reptile::{EngineCache, IngestLog, IngestReport, ModelKey, TrainedModel, View
 use reptile_relational::View;
 use std::collections::HashMap;
 use std::hash::Hash;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Counters describing a cache's behaviour since creation (or the last
 /// [`LruCache::reset_stats`]).
@@ -191,15 +191,26 @@ pub const DEFAULT_VIEW_CAPACITY: usize = 256;
 /// Default number of trained models a session keeps.
 pub const DEFAULT_MODEL_CAPACITY: usize = 128;
 
-/// The view and model caches of one single-threaded session, pluggable into
+/// The view and model caches of one interactive session, pluggable into
 /// [`reptile::Reptile::recommend_with_cache`].
+///
+/// The maps live behind plain mutexes ([`EngineCache`] takes `&self` and
+/// requires `Sync`, because the engine's candidate hierarchies look up and
+/// publish concurrently from the shard pool). The lock discipline matches
+/// the batch server's shared caches: each cache operation is individually
+/// atomic, a lock is held only for the map operation itself — never across
+/// a view scan or a model fit — and there is no cross-map lock nesting, so
+/// the engine can call in from any number of pool workers without deadlock.
+/// Unlike [`crate::SharedCaches`] there is no claim protocol: a session
+/// serves one analyst, so concurrent *duplicate* work only arises between
+/// the hierarchies of a single recommendation, which never share keys.
 pub struct SessionCaches {
-    views: ViewCache,
-    models: ModelCache,
+    views: Mutex<ViewCache>,
+    models: Mutex<ModelCache>,
     /// Recent ingest change sets, for deciding whether a caller-held view
     /// over an older snapshot is still current
     /// (see [`EngineCache::accepts_view`]).
-    ingest_log: IngestLog,
+    ingest_log: Mutex<IngestLog>,
 }
 
 impl SessionCaches {
@@ -211,36 +222,26 @@ impl SessionCaches {
     /// Caches with explicit capacities.
     pub fn with_capacities(views: usize, models: usize) -> Self {
         SessionCaches {
-            views: ViewCache::new(views),
-            models: ModelCache::new(models),
-            ingest_log: IngestLog::new(),
+            views: Mutex::new(ViewCache::new(views)),
+            models: Mutex::new(ModelCache::new(models)),
+            ingest_log: Mutex::new(IngestLog::new()),
         }
-    }
-
-    /// The view cache.
-    pub fn views(&self) -> &ViewCache {
-        &self.views
-    }
-
-    /// The model cache.
-    pub fn models(&self) -> &ModelCache {
-        &self.models
     }
 
     /// View-cache statistics.
     pub fn view_stats(&self) -> CacheStats {
-        self.views.stats()
+        self.views.lock().expect("view cache lock").stats()
     }
 
     /// Model-cache statistics.
     pub fn model_stats(&self) -> CacheStats {
-        self.models.stats()
+        self.models.lock().expect("model cache lock").stats()
     }
 
     /// Zero both caches' statistics.
-    pub fn reset_stats(&mut self) {
-        self.views.reset_stats();
-        self.models.reset_stats();
+    pub fn reset_stats(&self) {
+        self.views.lock().expect("view cache lock").reset_stats();
+        self.models.lock().expect("model cache lock").reset_stats();
     }
 
     /// Versioned invalidation after an ingest: drop exactly the views (and
@@ -254,17 +255,26 @@ impl SessionCaches {
     /// cache, so stale results can never be re-published under the
     /// surviving keys. Views whose predicate the batch did not touch stay
     /// fully cache-served, whatever their snapshot age.
-    pub fn invalidate_ingest(&mut self, report: &IngestReport) {
-        if self.ingest_log.record(report) {
-            self.views.retain(|key| !report.invalidates_view(key));
-            self.models
-                .retain(|key| !report.invalidates_view(&key.view));
+    pub fn invalidate_ingest(&self, report: &IngestReport) {
+        // Record the log before evicting (mirroring `SharedCaches`): a
+        // reader consulting it after this point sees the change set before
+        // any stale entry could be served from a surviving key.
+        let contiguous = self
+            .ingest_log
+            .lock()
+            .expect("ingest log lock")
+            .record(report);
+        let mut views = self.views.lock().expect("view cache lock");
+        let mut models = self.models.lock().expect("model cache lock");
+        if contiguous {
+            views.retain(|key| !report.invalidates_view(key));
+            models.retain(|key| !report.invalidates_view(&key.view));
         } else {
             // This cache missed at least one earlier ingest of the lineage:
             // its entries were never screened against the missed change
             // sets, so precision is impossible — flush everything.
-            self.views.retain(|_| false);
-            self.models.retain(|_| false);
+            views.retain(|_| false);
+            models.retain(|_| false);
         }
     }
 
@@ -273,8 +283,11 @@ impl SessionCaches {
     /// direct users) so a cache created *after* the engine already ingested
     /// starts at the current snapshot instead of being refused cache access
     /// by the engine's horizon check forever.
-    pub fn sync_with(&mut self, relation: &reptile_relational::Relation) {
-        self.ingest_log.seed(relation.ident(), relation.version());
+    pub fn sync_with(&self, relation: &reptile_relational::Relation) {
+        self.ingest_log
+            .lock()
+            .expect("ingest log lock")
+            .seed(relation.ident(), relation.version());
     }
 }
 
@@ -285,28 +298,40 @@ impl Default for SessionCaches {
 }
 
 impl EngineCache for SessionCaches {
-    fn accepts_view(&mut self, view: &reptile_relational::View) -> bool {
-        self.ingest_log.view_is_current(view)
+    fn accepts_view(&self, view: &reptile_relational::View) -> bool {
+        self.ingest_log
+            .lock()
+            .expect("ingest log lock")
+            .view_is_current(view)
     }
 
-    fn ingest_horizon(&mut self, relation_ident: u64) -> u64 {
-        self.ingest_log.horizon(relation_ident)
+    fn ingest_horizon(&self, relation_ident: u64) -> u64 {
+        self.ingest_log
+            .lock()
+            .expect("ingest log lock")
+            .horizon(relation_ident)
     }
 
-    fn get_view(&mut self, key: &ViewKey) -> Option<Arc<View>> {
-        self.views.get(key)
+    fn get_view(&self, key: &ViewKey) -> Option<Arc<View>> {
+        self.views.lock().expect("view cache lock").get(key)
     }
 
-    fn put_view(&mut self, key: ViewKey, view: Arc<View>) {
-        self.views.insert(key, view);
+    fn put_view(&self, key: ViewKey, view: Arc<View>) {
+        self.views
+            .lock()
+            .expect("view cache lock")
+            .insert(key, view);
     }
 
-    fn get_model(&mut self, key: &ModelKey) -> Option<Arc<TrainedModel>> {
-        self.models.get(key)
+    fn get_model(&self, key: &ModelKey) -> Option<Arc<TrainedModel>> {
+        self.models.lock().expect("model cache lock").get(key)
     }
 
-    fn put_model(&mut self, key: ModelKey, model: Arc<TrainedModel>) {
-        self.models.insert(key, model);
+    fn put_model(&self, key: ModelKey, model: Arc<TrainedModel>) {
+        self.models
+            .lock()
+            .expect("model cache lock")
+            .insert(key, model);
     }
 }
 

@@ -40,7 +40,7 @@ impl Session {
         // Sync the fresh caches to the engine's current snapshot: an engine
         // that already ingested would otherwise refuse them cache access
         // (their ingest horizon would lag the relation version forever).
-        let mut caches = SessionCaches::new();
+        let caches = SessionCaches::new();
         caches.sync_with(&engine.relation());
         Session {
             engine,
@@ -54,7 +54,7 @@ impl Session {
     /// Replace the default caches (e.g. to bound memory differently). The
     /// caches are synced to the engine's current snapshot (see
     /// [`SessionCaches::sync_with`]).
-    pub fn with_caches(mut self, mut caches: SessionCaches) -> Self {
+    pub fn with_caches(mut self, caches: SessionCaches) -> Self {
         caches.sync_with(&self.engine.relation());
         self.caches = caches;
         self
@@ -94,7 +94,7 @@ impl Session {
     /// view, reusing cached views and trained models.
     pub fn recommend(&mut self, complaint: &Complaint) -> Result<Recommendation> {
         self.engine
-            .recommend_with_cache(&self.current, complaint, &mut self.caches)
+            .recommend_with_cache(&self.current, complaint, &self.caches)
     }
 
     /// Accept a recommendation: descend into the provenance of
@@ -109,7 +109,7 @@ impl Session {
             .map_err(ReptileError::from)?;
         let (view, added) =
             self.engine
-                .drill_down_cached(&self.current, complaint_key, &h, &mut self.caches)?;
+                .drill_down_cached(&self.current, complaint_key, &h, &self.caches)?;
         self.path.push(DrillStep {
             hierarchy: h.name.clone(),
             added_attribute: self.engine.schema().name(added).to_string(),

@@ -113,7 +113,7 @@ fn cached_session_matches_stateless_engine() {
     let view = region_year_view(&rel, &schema);
     let c = complaint("R1", 1985);
 
-    let mut one_shot = Reptile::new(rel.clone(), schema.clone());
+    let one_shot = Reptile::new(rel.clone(), schema.clone());
     let expected = one_shot.recommend(&view, &c).unwrap();
 
     let engine = Arc::new(Reptile::new(rel, schema));
@@ -208,13 +208,13 @@ fn view_cache_canonicalizes_predicate_order() {
         AggregateKind::Mean,
         Direction::TooLow,
     );
-    let mut caches = SessionCaches::new();
-    let first = engine.recommend_with_cache(&v1, &c, &mut caches).unwrap();
+    let caches = SessionCaches::new();
+    let first = engine.recommend_with_cache(&v1, &c, &caches).unwrap();
     let trained = caches.model_stats().misses;
     assert!(trained > 0);
     // The differently-written but identical view must hit the same cache
     // entries: zero additional training.
-    let second = engine.recommend_with_cache(&v2, &c, &mut caches).unwrap();
+    let second = engine.recommend_with_cache(&v2, &c, &caches).unwrap();
     assert_eq!(caches.model_stats().misses, trained);
     assert_same_ranking(&first, &second);
 }
@@ -257,7 +257,7 @@ fn batch_server_trains_each_distinct_pair_exactly_once() {
     // Results are identical to the sequential one-shot engine.
     for (c, result) in complaints.iter().zip(&results) {
         let batched = result.as_ref().unwrap();
-        let mut one_shot = Reptile::new(rel.clone(), schema.clone());
+        let one_shot = Reptile::new(rel.clone(), schema.clone());
         let expected = one_shot.recommend(&view, c).unwrap();
         assert_same_ranking(&expected, batched);
     }

@@ -99,6 +99,8 @@ fn assert_identical(a: &Recommendation, b: &Recommendation) {
 
 #[test]
 fn sharded_engine_batches_match_serial_engine_batches() {
+    // Exercise real pool dispatch even on a 1-core host.
+    let _force = reptile_relational::parallel::ForcePoolDispatch::new();
     let (rel, schema) = dataset();
     let serial_server = BatchServer::new(Arc::new(Reptile::new(rel.clone(), schema.clone())));
     let sharded_engine = Reptile::new(rel.clone(), schema.clone()).with_config(ReptileConfig {
@@ -123,6 +125,81 @@ fn sharded_engine_batches_match_serial_engine_batches() {
         assert_identical(a.as_ref().unwrap(), b.as_ref().unwrap());
     }
     assert_eq!(sharded_server.model_stats().misses, trained_before);
+}
+
+#[test]
+fn concurrent_hierarchy_evaluation_under_batch_serving_matches_serial() {
+    // District-only views leave BOTH hierarchies drillable, so every
+    // request's candidate hierarchies evaluate concurrently on the shard
+    // pool *while* the batch server's request workers contend on the shared
+    // claim-protocol caches. The results — including the per-hierarchy
+    // details in schema order — must equal a serial engine evaluating one
+    // request at a time. Forced pool dispatch keeps this meaningful on a
+    // 1-core host (the inline fallback would serialise everything).
+    let _force = reptile_relational::parallel::ForcePoolDispatch::new();
+    let (rel, schema) = dataset();
+    let view = Arc::new(
+        View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![schema.attr("district").unwrap()],
+            schema.attr("reports").unwrap(),
+        )
+        .unwrap(),
+    );
+    let mut reqs = Vec::new();
+    for d in 0..3 {
+        // Mean and Std complaints; Std additionally fits a second (mean)
+        // model per hierarchy, doubling the shared-cache contention.
+        for statistic in [AggregateKind::Mean, AggregateKind::Std] {
+            reqs.push(BatchRequest::new(
+                view.clone(),
+                Complaint::new(
+                    GroupKey(vec![Value::str(format!("D{d}"))]),
+                    statistic,
+                    Direction::TooLow,
+                ),
+            ));
+        }
+    }
+
+    let serial_engine = Reptile::new(rel.clone(), schema.clone());
+    let expected: Vec<Recommendation> = reqs
+        .iter()
+        .map(|r| serial_engine.recommend(&r.view, &r.complaint).unwrap())
+        .collect();
+    for rec in &expected {
+        assert_eq!(rec.hierarchies.len(), 2, "geo and time both drillable");
+    }
+
+    let sharded_engine = Reptile::new(rel.clone(), schema.clone()).with_config(ReptileConfig {
+        parallelism: Parallelism::new(4),
+        ..Default::default()
+    });
+    let server = BatchServer::new(Arc::new(sharded_engine)).with_threads(3);
+    for round in 0..2 {
+        // Round 0 trains cold under contention; round 1 answers warm.
+        let got = server.serve(&reqs);
+        for (want, got) in expected.iter().zip(&got) {
+            let got = got.as_ref().unwrap();
+            assert_identical(want, got);
+            assert_eq!(
+                want.hierarchies.len(),
+                got.hierarchies.len(),
+                "round {round}"
+            );
+            for (a, b) in want.hierarchies.iter().zip(&got.hierarchies) {
+                assert_eq!(a.hierarchy, b.hierarchy, "schema hierarchy order kept");
+                assert_eq!(a.added_attribute, b.added_attribute);
+                assert_eq!(a.ranked.len(), b.ranked.len());
+                for (x, y) in a.ranked.iter().zip(&b.ranked) {
+                    assert_eq!(x.key, y.key);
+                    assert_eq!(x.expected, y.expected, "round {round}, {}", x.key);
+                    assert_eq!(x.penalty, y.penalty);
+                }
+            }
+        }
+    }
 }
 
 #[test]

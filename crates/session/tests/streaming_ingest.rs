@@ -137,7 +137,7 @@ fn session_recommendation_after_ingest_matches_cold_engine() {
     // The session result must equal a cold engine over the new snapshot —
     // stale observed values or stale model predictions would both break this.
     let fresh_view = region_year_view(&report.relation, &schema);
-    let mut cold = Reptile::new(report.relation.clone(), schema.clone());
+    let cold = Reptile::new(report.relation.clone(), schema.clone());
     let expected = cold.recommend(&fresh_view, &c).unwrap();
     assert_same_ranking(&expected, &after);
 
@@ -152,7 +152,7 @@ fn ingest_keeps_untouched_subtree_models_warm() {
     let (rel, schema) = dataset();
     let year = schema.attr("year").unwrap();
     let engine = Reptile::new(rel.clone(), schema.clone());
-    let mut caches = SessionCaches::new();
+    let caches = SessionCaches::new();
     let year_view = |rel: &Arc<Relation>, y: i64| {
         View::compute(
             rel.clone(),
@@ -165,10 +165,10 @@ fn ingest_keeps_untouched_subtree_models_warm() {
     let v85 = year_view(&rel, 1985);
     let v86 = year_view(&rel, 1986);
     engine
-        .recommend_with_cache(&v85, &complaint("R0", 1985), &mut caches)
+        .recommend_with_cache(&v85, &complaint("R0", 1985), &caches)
         .unwrap();
     engine
-        .recommend_with_cache(&v86, &complaint("R0", 1986), &mut caches)
+        .recommend_with_cache(&v86, &complaint("R0", 1986), &caches)
         .unwrap();
     let trained = caches.model_stats().misses;
     assert!(trained > 0);
@@ -188,7 +188,7 @@ fn ingest_keeps_untouched_subtree_models_warm() {
     // cache rather than being served cache-less.
     let hits_before = caches.model_stats().hits;
     engine
-        .recommend_with_cache(&v85, &complaint("R0", 1985), &mut caches)
+        .recommend_with_cache(&v85, &complaint("R0", 1985), &caches)
         .unwrap();
     assert_eq!(caches.model_stats().misses, trained, "1985 stayed warm");
     assert!(
@@ -200,10 +200,10 @@ fn ingest_keeps_untouched_subtree_models_warm() {
     // matches a cold engine over the new snapshot.
     let v86_fresh = year_view(&report.relation, 1986);
     let after = engine
-        .recommend_with_cache(&v86_fresh, &complaint("R0", 1986), &mut caches)
+        .recommend_with_cache(&v86_fresh, &complaint("R0", 1986), &caches)
         .unwrap();
     assert!(caches.model_stats().misses > trained, "1986 retrained");
-    let mut cold = Reptile::new(report.relation.clone(), schema.clone());
+    let cold = Reptile::new(report.relation.clone(), schema.clone());
     let expected = cold
         .recommend(&year_view(&report.relation, 1986), &complaint("R0", 1986))
         .unwrap();
@@ -221,10 +221,8 @@ fn pre_ingest_snapshot_cannot_repopulate_the_cache() {
     let engine = Reptile::new(rel.clone(), schema.clone());
     let old_view = region_year_view(&rel, &schema); // pre-ingest snapshot
     let c = complaint("R0", 1986);
-    let mut caches = SessionCaches::new();
-    engine
-        .recommend_with_cache(&old_view, &c, &mut caches)
-        .unwrap();
+    let caches = SessionCaches::new();
+    engine.recommend_with_cache(&old_view, &c, &caches).unwrap();
     let trained = caches.model_stats().misses;
 
     let report = engine.ingest(&repair_batch(&rel, &schema)).unwrap();
@@ -233,24 +231,22 @@ fn pre_ingest_snapshot_cannot_repopulate_the_cache() {
     // Serving the old snapshot still works (snapshot-consistent) but runs
     // cache-less: no hits, no misses, nothing published.
     let stats_before = (caches.model_stats(), caches.view_stats());
-    let stale = engine
-        .recommend_with_cache(&old_view, &c, &mut caches)
-        .unwrap();
+    let stale = engine.recommend_with_cache(&old_view, &c, &caches).unwrap();
     assert_eq!((caches.model_stats(), caches.view_stats()), stats_before);
-    let mut cold_old = Reptile::new(rel.clone(), schema.clone());
+    let cold_old = Reptile::new(rel.clone(), schema.clone());
     assert_same_ranking(&cold_old.recommend(&old_view, &c).unwrap(), &stale);
 
     // A post-ingest request misses (nothing stale was re-published),
     // retrains, and matches a cold engine over the new snapshot.
     let fresh_view = region_year_view(&report.relation, &schema);
     let fresh = engine
-        .recommend_with_cache(&fresh_view, &c, &mut caches)
+        .recommend_with_cache(&fresh_view, &c, &caches)
         .unwrap();
     assert!(
         caches.model_stats().misses > trained,
         "fresh snapshot retrained"
     );
-    let mut cold_new = Reptile::new(report.relation.clone(), schema.clone());
+    let cold_new = Reptile::new(report.relation.clone(), schema.clone());
     assert_same_ranking(&cold_new.recommend(&fresh_view, &c).unwrap(), &fresh);
     assert!(fresh.original_value > stale.original_value);
 }
@@ -266,12 +262,10 @@ fn cache_that_missed_an_ingest_is_not_consulted() {
     let view = region_year_view(&rel, &schema);
     let c = complaint("R0", 1986);
     // Two independent cache holders over the same engine.
-    let mut synced = SessionCaches::new();
-    let mut unsynced = SessionCaches::new();
-    engine.recommend_with_cache(&view, &c, &mut synced).unwrap();
-    engine
-        .recommend_with_cache(&view, &c, &mut unsynced)
-        .unwrap();
+    let synced = SessionCaches::new();
+    let unsynced = SessionCaches::new();
+    engine.recommend_with_cache(&view, &c, &synced).unwrap();
+    engine.recommend_with_cache(&view, &c, &unsynced).unwrap();
 
     // Only `synced` learns about the ingest.
     let report = engine.ingest(&repair_batch(&rel, &schema)).unwrap();
@@ -283,20 +277,20 @@ fn cache_that_missed_an_ingest_is_not_consulted() {
     let fresh_view = region_year_view(&report.relation, &schema);
     let unsynced_stats = (unsynced.model_stats(), unsynced.view_stats());
     let rec = engine
-        .recommend_with_cache(&fresh_view, &c, &mut unsynced)
+        .recommend_with_cache(&fresh_view, &c, &unsynced)
         .unwrap();
     assert_eq!(
         (unsynced.model_stats(), unsynced.view_stats()),
         unsynced_stats,
         "unsynced cache must not be consulted"
     );
-    let mut cold = Reptile::new(report.relation.clone(), schema.clone());
+    let cold = Reptile::new(report.relation.clone(), schema.clone());
     let expected = cold.recommend(&fresh_view, &c).unwrap();
     assert_same_ranking(&expected, &rec);
 
     // The synced cache keeps full access and also answers correctly.
     let rec = engine
-        .recommend_with_cache(&fresh_view, &c, &mut synced)
+        .recommend_with_cache(&fresh_view, &c, &synced)
         .unwrap();
     assert_same_ranking(&expected, &rec);
     assert!(synced.model_stats().misses > 0);
@@ -310,7 +304,7 @@ fn cache_with_an_ingest_gap_is_flushed_not_trusted() {
     let (rel, schema) = dataset();
     let year = schema.attr("year").unwrap();
     let engine = Reptile::new(rel.clone(), schema.clone());
-    let mut caches = SessionCaches::new();
+    let caches = SessionCaches::new();
     let v86 = View::compute(
         rel.clone(),
         Predicate::eq(year, Value::int(1986)),
@@ -319,7 +313,7 @@ fn cache_with_an_ingest_gap_is_flushed_not_trusted() {
     )
     .unwrap();
     let c = complaint("R0", 1986);
-    engine.recommend_with_cache(&v86, &c, &mut caches).unwrap();
+    engine.recommend_with_cache(&v86, &c, &caches).unwrap();
     let trained = caches.model_stats().misses;
 
     // Batch 1 rewrites 1986 rows — the cache never hears about it.
@@ -354,13 +348,13 @@ fn cache_with_an_ingest_gap_is_flushed_not_trusted() {
     )
     .unwrap();
     let rec = engine
-        .recommend_with_cache(&v86_fresh, &c, &mut caches)
+        .recommend_with_cache(&v86_fresh, &c, &caches)
         .unwrap();
     assert!(
         caches.model_stats().misses > trained,
         "stale model not served"
     );
-    let mut cold = Reptile::new(report2.relation.clone(), schema.clone());
+    let cold = Reptile::new(report2.relation.clone(), schema.clone());
     assert_same_ranking(&cold.recommend(&v86_fresh, &c).unwrap(), &rec);
 }
 
@@ -388,7 +382,7 @@ fn batch_server_serves_fresh_results_after_ingest() {
         .collect();
     let after = server.serve(&requests);
 
-    let mut cold = Reptile::new(report.relation.clone(), schema.clone());
+    let cold = Reptile::new(report.relation.clone(), schema.clone());
     for ((r, y), result) in [("R0", 1986), ("R1", 1985)].iter().zip(&after) {
         let expected = cold
             .recommend(

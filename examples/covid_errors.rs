@@ -87,7 +87,7 @@ fn main() {
             lag,
         ));
 
-        let mut engine = Reptile::new(relation.clone(), schema.clone())
+        let engine = Reptile::new(relation.clone(), schema.clone())
             .with_plan(plan)
             .with_config(ReptileConfig {
                 parallelism,

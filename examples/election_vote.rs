@@ -91,7 +91,7 @@ fn main() {
         schema.attr("county").unwrap(),
         data.totals_2016.clone(),
     ));
-    let mut engine = Reptile::new(corrupted, schema)
+    let engine = Reptile::new(corrupted, schema)
         .with_plan(plan)
         .with_config(ReptileConfig {
             top_k: 3,

@@ -65,7 +65,7 @@ fn main() {
             case_study.rainfall.clone(),
         ));
 
-        let mut engine = Reptile::new(relation, schema).with_plan(plan);
+        let engine = Reptile::new(relation, schema).with_plan(plan);
         let recommendation = engine.recommend(&view, &complaint).expect("recommendation");
         let best = recommendation.best_group().expect("non-empty ranking");
         let hit = complaint_spec

@@ -66,7 +66,7 @@ fn run_scaling(parallelism: Parallelism) {
     );
     let start = Instant::now();
     let recommendation = engine
-        .recommend_with_cache(&workload.complaint_view, &complaint, &mut reptile::NoCache)
+        .recommend_with_cache(&workload.complaint_view, &complaint, &reptile::NoCache)
         .expect("recommendation");
     let elapsed = start.elapsed();
     let best = recommendation.best_group().expect("at least one group");
@@ -174,7 +174,7 @@ fn main() {
     //    for the next drill-down.
     // ------------------------------------------------------------------
     let complaint = Complaint::new(ofla_1986, AggregateKind::Std, Direction::TooHigh);
-    let mut engine = Reptile::new(relation, schema).with_config(ReptileConfig {
+    let engine = Reptile::new(relation, schema).with_config(ReptileConfig {
         parallelism,
         ..Default::default()
     });

@@ -54,7 +54,7 @@ fn covid_scores(case_study: &CovidCaseStudy, include_prevalent: bool) -> CovidSc
             schema.attr("location").unwrap(),
             lag,
         ));
-        let mut engine = Reptile::new(relation.clone(), schema.clone()).with_plan(plan);
+        let engine = Reptile::new(relation.clone(), schema.clone()).with_plan(plan);
         if let Ok(rec) = engine.recommend(&day_view, &complaint) {
             if let Some(best) = rec.best_group() {
                 scores.reptile += best.key.values().contains(&issue.location) as usize;
@@ -122,7 +122,7 @@ fn covid_prevalent_issues_are_the_documented_failure_mode() {
             AggregateKind::Sum,
             Direction::TooLow,
         );
-        let mut engine = Reptile::new(relation.clone(), schema.clone());
+        let engine = Reptile::new(relation.clone(), schema.clone());
         if let Ok(rec) = engine.recommend(&day_view, &complaint) {
             if let Some(best) = rec.best_group() {
                 prevalent_hits += best.key.values().contains(&issue.location) as usize;
@@ -173,7 +173,7 @@ fn fist_complaints_are_mostly_resolved_with_auxiliary_rainfall() {
             schema.attr("village").unwrap(),
             case_study.rainfall.clone(),
         ));
-        let mut engine = Reptile::new(relation, schema.clone()).with_plan(plan);
+        let engine = Reptile::new(relation, schema.clone()).with_plan(plan);
         let rec = engine.recommend(&view, &complaint).unwrap();
         let best = rec.best_group().unwrap();
         resolved += spec
@@ -239,7 +239,7 @@ fn fist_two_district_std_failure_mode_returns_only_one_district() {
         "the corruption must inflate the region STD"
     );
 
-    let mut engine = Reptile::new(relation, schema.clone());
+    let engine = Reptile::new(relation, schema.clone());
     let rec = engine.recommend(&view, &complaint).unwrap();
     let best = rec.best_group().unwrap();
     // Reptile can only return a single district even though *both* drifted

@@ -208,7 +208,7 @@ fn hierarchical_engine_supports_iterative_drill_down() {
         AggregateKind::Mean,
         Direction::TooLow,
     );
-    let mut engine = Reptile::new(relation.clone(), schema.clone());
+    let engine = Reptile::new(relation.clone(), schema.clone());
     let rec1 = engine.recommend(&region_view, &complaint).unwrap();
     assert_eq!(rec1.best_hierarchy(), Some("geo"));
     let best1 = rec1.best_group().unwrap();
