@@ -23,7 +23,10 @@
 //! encoded backend is slower than the legacy path on `end_to_end` — the CI
 //! regression gate.
 
-use reptile_bench::{fmt, print_bench_table, run_bench, BenchStats};
+use reptile_bench::{
+    baseline_json, fmt, json_f64_map, print_bench_table, run_bench, write_baseline, BenchArgs,
+    BenchStats,
+};
 use reptile_datasets::hiergen::synthetic_factorization_with_fanout;
 use reptile_factor::{
     DecomposedAggregates, EncodedAggregates, EncodedFactorization, FactorBackend,
@@ -83,32 +86,10 @@ fn median_of(stats: &[BenchStats], name: &str) -> f64 {
         .unwrap_or(f64::NAN)
 }
 
-fn json(stats: &[BenchStats], speedups: &[(String, f64)]) -> String {
-    let mut out = String::from("{\n  \"cases\": [\n");
-    for (i, s) in stats.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": {:?}, \"samples\": {}, \"median_s\": {:.9}, \"mean_s\": {:.9}, \"min_s\": {:.9}, \"max_s\": {:.9}}}",
-            s.name, s.samples, s.median_s, s.mean_s, s.min_s, s.max_s
-        ));
-        if i + 1 < stats.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  ],\n  \"median_speedup_encoded_over_legacy\": {\n");
-    for (i, (name, ratio)) in speedups.iter().enumerate() {
-        out.push_str(&format!("    {:?}: {:.3}", name, ratio));
-        if i + 1 < speedups.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  }\n}\n");
-    out
-}
-
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    args.apply_profile();
     let mut stats = Vec::new();
 
     // ------------------------------------------------------------------
@@ -217,8 +198,13 @@ fn main() {
             "bench-smoke OK: encoded is {e2e:.2}x legacy on end_to_end, {pipe:.2}x on pipeline"
         );
     } else {
+        let extras = [(
+            "median_speedup_encoded_over_legacy",
+            json_f64_map(&speedups),
+        )];
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_encoding.json");
-        std::fs::write(path, json(&stats, &speedups)).expect("write BENCH_encoding.json");
+        write_baseline(path, &baseline_json(&stats, &extras), args.force)
+            .expect("write BENCH_encoding.json");
         println!("wrote {path}");
     }
 }

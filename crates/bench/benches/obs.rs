@@ -1,0 +1,238 @@
+//! Observability overhead: the session-serving workload with stage timers
+//! enabled vs disabled.
+//!
+//! The tentpole claim of the observability layer is that it is cheap enough
+//! to leave on in release builds: counters are always-on relaxed atomics,
+//! and the disabled stage-timer path is one relaxed load plus a branch (no
+//! clock read). This harness holds that claim to a number on the workload
+//! where it matters — the warm `Session` serving loop of
+//! `session_throughput` (all cache hits, so the fixed per-call overhead is
+//! the largest *fraction* of the work it will ever be).
+//!
+//! Samples are interleaved A/B: each round measures one full pass over the
+//! workload with the global timers off, then the same pass with them on,
+//! so drift on a shared runner hits both arms equally. The gate (and the
+//! `overhead` section of `BENCH_obs.json`) compares the two *medians*:
+//! enabled must be within 5% of disabled. A cold pass per arm is also
+//! recorded for context (there the timers actually fire — encode, solve,
+//! E-step — so its delta bounds the cost of a timed span on the heavy
+//! path), but the gate watches the warm medians only: cold medians are
+//! model-training-sized and noisy, warm medians are the steady state.
+//!
+//! Full mode writes `BENCH_obs.json` (both arms, the median overhead ratio,
+//! host metadata and the `stages` breakdown captured from the enabled
+//! passes). `--smoke` runs fewer rounds and exits non-zero past the bound —
+//! the CI regression gate for the observability layer itself.
+
+use reptile::{Complaint, Direction, Reptile};
+use reptile_bench::{
+    baseline_json, fmt, print_bench_table, threads_available, write_baseline, BenchArgs, BenchStats,
+};
+use reptile_relational::{AggregateKind, GroupKey, Predicate, Relation, Schema, Value, View};
+use reptile_session::Session;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The session-throughput serving workload: regions x districts x villages
+/// x years, one complaint per (region, year) tuple of the served view.
+fn dataset() -> (Arc<Relation>, Arc<Schema>) {
+    let schema = Arc::new(
+        Schema::builder()
+            .hierarchy("geo", ["region", "district", "village"])
+            .hierarchy("time", ["year"])
+            .measure("severity")
+            .build()
+            .unwrap(),
+    );
+    let mut b = Relation::builder(schema.clone());
+    for year in 2000i64..2004 {
+        for r in 0..4 {
+            for d in 0..4 {
+                let district = format!("R{r}-D{d}");
+                for v in 0..5 {
+                    let village = format!("{district}-V{v}");
+                    for rep in 0..3 {
+                        let base = 10.0
+                            + r as f64
+                            + 0.5 * d as f64
+                            + 0.2 * v as f64
+                            + 0.1 * rep as f64
+                            + (year - 2000) as f64;
+                        b = b
+                            .row([
+                                Value::str(format!("R{r}")),
+                                Value::str(district.clone()),
+                                Value::str(village.clone()),
+                                Value::int(year),
+                                Value::float(base),
+                            ])
+                            .unwrap();
+                    }
+                }
+            }
+        }
+    }
+    (Arc::new(b.build()), schema)
+}
+
+fn workload() -> Vec<Complaint> {
+    let mut complaints = Vec::new();
+    for year in 2000i64..2004 {
+        for r in 0..4usize {
+            complaints.push(Complaint::new(
+                GroupKey(vec![Value::str(format!("R{r}")), Value::int(year)]),
+                AggregateKind::Mean,
+                if (r + year as usize).is_multiple_of(2) {
+                    Direction::TooLow
+                } else {
+                    Direction::TooHigh
+                },
+            ));
+        }
+    }
+    complaints
+}
+
+fn stats_of(name: &str, mut times: Vec<f64>) -> BenchStats {
+    times.sort_by(|a, b| a.total_cmp(b));
+    let n = times.len();
+    BenchStats {
+        name: name.to_string(),
+        samples: n,
+        mean_s: times.iter().sum::<f64>() / n as f64,
+        median_s: if n % 2 == 1 {
+            times[n / 2]
+        } else {
+            0.5 * (times[n / 2 - 1] + times[n / 2])
+        },
+        min_s: times[0],
+        max_s: times[n - 1],
+    }
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let (rel, schema) = dataset();
+    let view = Arc::new(
+        View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
+            schema.attr("severity").unwrap(),
+        )
+        .unwrap(),
+    );
+    let complaints = workload();
+    let n = complaints.len();
+    let rounds = if args.smoke { 15 } else { 31 };
+
+    // One warm session serves every measured pass; toggling the global flag
+    // between passes is the *only* difference between the two arms.
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let mut session = Session::new(engine, (*view).clone());
+    for c in &complaints {
+        session.recommend(c).unwrap();
+    }
+
+    // Cold context passes: a fresh engine per pass, so the stage timers on
+    // the heavy path (encode, design build, solve, E-step) actually fire in
+    // the enabled arm. Interleaved like the warm rounds.
+    let cold_rounds = if args.smoke { 3 } else { 7 };
+    let mut cold_off = Vec::new();
+    let mut cold_on = Vec::new();
+    let cold_pass = |obs_on: bool| {
+        reptile_obs::set_enabled(obs_on);
+        let engine = Reptile::new(rel.clone(), schema.clone());
+        let t = Instant::now();
+        for c in &complaints {
+            engine.recommend(&view, c).unwrap();
+        }
+        let secs = t.elapsed().as_secs_f64();
+        reptile_obs::set_enabled(false);
+        secs
+    };
+    for _ in 0..cold_rounds {
+        cold_off.push(cold_pass(false));
+        cold_on.push(cold_pass(true));
+    }
+
+    // The measured arms: interleaved warm passes. The `stages` section of
+    // the baseline is captured from these enabled passes (plus the cold
+    // ones above), so reset the registry first.
+    reptile_obs::reset();
+    let mut warm_off = Vec::new();
+    let mut warm_on = Vec::new();
+    for _ in 0..rounds {
+        for (on, times) in [(false, &mut warm_off), (true, &mut warm_on)] {
+            reptile_obs::set_enabled(on);
+            let t = Instant::now();
+            for c in &complaints {
+                session.recommend(c).unwrap();
+            }
+            times.push(t.elapsed().as_secs_f64());
+        }
+        reptile_obs::set_enabled(false);
+    }
+    // Re-run the cold passes' enabled half once more *after* the reset so
+    // the captured stages also cover the heavy path.
+    reptile_obs::set_enabled(true);
+    let _ = cold_pass(true);
+
+    let stats = vec![
+        stats_of(&format!("warm_session/obs_off/{n}"), warm_off),
+        stats_of(&format!("warm_session/obs_on/{n}"), warm_on),
+        stats_of(&format!("cold_one_shot/obs_off/{n}"), cold_off),
+        stats_of(&format!("cold_one_shot/obs_on/{n}"), cold_on),
+    ];
+    print_bench_table("obs overhead (stage timers on vs off)", &stats);
+
+    let ratio_of = |layer: &str| {
+        let pick = |arm: &str| {
+            stats
+                .iter()
+                .find(|s| s.name == format!("{layer}/{arm}/{n}"))
+                .map(|s| s.median_s)
+                .unwrap_or(f64::NAN)
+        };
+        pick("obs_on") / pick("obs_off")
+    };
+    let warm_ratio = ratio_of("warm_session");
+    let cold_ratio = ratio_of("cold_one_shot");
+    println!("\n== median enabled/disabled ratio ==");
+    println!("warm_session: {}x", fmt(warm_ratio));
+    println!(
+        "cold_one_shot: {}x (context only, not gated)",
+        fmt(cold_ratio)
+    );
+
+    // Gate: enabled within 5% of disabled on the warm medians.
+    const GATE: f64 = 1.05;
+    if !(warm_ratio.is_finite() && warm_ratio <= GATE) {
+        eprintln!(
+            "obs-overhead FAILED: stage timers cost {:.1}% on the warm serving path \
+             (bound {:.0}%, {} core(s))",
+            (warm_ratio - 1.0) * 100.0,
+            (GATE - 1.0) * 100.0,
+            threads_available()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "obs-overhead OK: enabled is {warm_ratio:.3}x disabled on the warm serving path \
+         (bound {GATE:.2}x)"
+    );
+
+    if !args.smoke {
+        let extras = [(
+            "median_enabled_over_disabled",
+            reptile_bench::json_f64_map(&[
+                ("warm_session".to_string(), warm_ratio),
+                ("cold_one_shot".to_string(), cold_ratio),
+            ]),
+        )];
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+        write_baseline(path, &baseline_json(&stats, &extras), args.force)
+            .expect("write BENCH_obs.json");
+        println!("wrote {path}");
+    }
+}

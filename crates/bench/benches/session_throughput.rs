@@ -3,10 +3,11 @@
 //! repeated complaints against a shared view.
 //!
 //! Writes the results to `BENCH_session.json` at the repository root so
-//! later PRs have a perf trajectory to compare against.
+//! later PRs have a perf trajectory to compare against (run with
+//! `--profile` to populate its `stages` section with real durations).
 
 use reptile::{Complaint, Direction, Reptile};
-use reptile_bench::{bench_stats_json, print_bench_table, run_bench};
+use reptile_bench::{baseline_json, print_bench_table, run_bench, write_baseline, BenchArgs};
 use reptile_relational::{AggregateKind, GroupKey, Predicate, Relation, Schema, Value, View};
 use reptile_session::{BatchRequest, BatchServer, Session};
 use std::sync::Arc;
@@ -72,6 +73,7 @@ fn workload() -> Vec<Complaint> {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     let (rel, schema) = dataset();
     let view = Arc::new(
         View::compute(
@@ -84,6 +86,7 @@ fn main() {
     );
     let complaints = workload();
     let n = complaints.len();
+    args.apply_profile();
 
     let mut stats = Vec::new();
 
@@ -125,6 +128,7 @@ fn main() {
     print_bench_table("session_throughput", &stats);
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
-    std::fs::write(path, bench_stats_json(&stats) + "\n").expect("write BENCH_session.json");
+    write_baseline(path, &baseline_json(&stats, &[]), args.force)
+        .expect("write BENCH_session.json");
     println!("\nwrote {path}");
 }

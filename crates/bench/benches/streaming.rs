@@ -26,7 +26,10 @@
 //! beat the cold rebuild — the CI regression gate for this subsystem.
 
 use reptile::{Complaint, Direction, Reptile};
-use reptile_bench::{fmt, print_bench_table, run_bench, BenchStats};
+use reptile_bench::{
+    baseline_json, fmt, json_f64_map, print_bench_table, run_bench, write_baseline, BenchArgs,
+    BenchStats,
+};
 use reptile_datasets::covid::{CovidCaseStudy, CovidConfig};
 use reptile_datasets::{CovidStream, StreamConfig};
 use reptile_factor::{EncodedAggregates, EncodedFactorization, Factorization, PathCountIndex};
@@ -55,33 +58,11 @@ fn median_of(stats: &[BenchStats], name: &str) -> f64 {
         .unwrap_or(f64::NAN)
 }
 
-fn json(stats: &[BenchStats], speedups: &[(String, f64)]) -> String {
-    let mut out = String::from("{\n  \"cases\": [\n");
-    for (i, s) in stats.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": {:?}, \"samples\": {}, \"median_s\": {:.9}, \"mean_s\": {:.9}, \"min_s\": {:.9}, \"max_s\": {:.9}}}",
-            s.name, s.samples, s.median_s, s.mean_s, s.min_s, s.max_s
-        ));
-        if i + 1 < stats.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  ],\n  \"median_speedup_delta_over_cold\": {\n");
-    for (i, (name, ratio)) in speedups.iter().enumerate() {
-        out.push_str(&format!("    {:?}: {:.3}", name, ratio));
-        if i + 1 < speedups.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  }\n}\n");
-    out
-}
-
 #[allow(clippy::too_many_lines)]
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    args.apply_profile();
     let mut stats: Vec<BenchStats> = Vec::new();
     let mut speedups: Vec<(String, f64)> = Vec::new();
 
@@ -292,8 +273,10 @@ fn main() {
             factor_ratio > 1.0,
             "delta maintenance must beat cold rebuild (got {factor_ratio:.3}x)"
         );
+        let extras = [("median_speedup_delta_over_cold", json_f64_map(&speedups))];
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
-        std::fs::write(path, json(&stats, &speedups)).expect("write BENCH_streaming.json");
+        write_baseline(path, &baseline_json(&stats, &extras), args.force)
+            .expect("write BENCH_streaming.json");
         println!("wrote {path}");
     }
 }

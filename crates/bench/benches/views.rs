@@ -28,7 +28,10 @@
 //! gate degrades to an overhead bound validating exactly that fallback,
 //! and says so.
 
-use reptile_bench::{fmt, print_bench_table, run_bench, BenchStats};
+use reptile_bench::{
+    baseline_json, fmt, json_f64_map, print_bench_table, run_bench, threads_available,
+    write_baseline, BenchArgs, BenchStats,
+};
 use reptile_datasets::scaling::{deep_scaling_panel, DeepScalingConfig, DeepScalingWorkload};
 use reptile_relational::{Parallelism, Predicate, View};
 
@@ -40,32 +43,6 @@ fn median_of(stats: &[BenchStats], name: &str) -> f64 {
         .find(|s| s.name == name)
         .map(|s| s.median_s)
         .unwrap_or(f64::NAN)
-}
-
-fn json(stats: &[BenchStats], speedups: &[(String, f64)], threads_available: usize) -> String {
-    let mut out = String::from("{\n  \"cases\": [\n");
-    for (i, s) in stats.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"name\": {:?}, \"samples\": {}, \"median_s\": {:.9}, \"mean_s\": {:.9}, \"min_s\": {:.9}, \"max_s\": {:.9}}}",
-            s.name, s.samples, s.median_s, s.mean_s, s.min_s, s.max_s
-        ));
-        if i + 1 < stats.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str("  ],\n  \"median_speedup_sharded_over_serial\": {\n");
-    for (i, (name, ratio)) in speedups.iter().enumerate() {
-        out.push_str(&format!("    {:?}: {:.3}", name, ratio));
-        if i + 1 < speedups.len() {
-            out.push(',');
-        }
-        out.push('\n');
-    }
-    out.push_str(&format!(
-        "  }},\n  \"threads_available\": {threads_available}\n}}\n"
-    ));
-    out
 }
 
 /// Assert the view-sharding exactness contract; panics (failing the bench
@@ -134,10 +111,9 @@ fn assert_exactness(workload: &DeepScalingWorkload) {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let threads_available = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let args = BenchArgs::parse();
+    let smoke = args.smoke;
+    let threads_available = threads_available();
     let config = if smoke {
         DeepScalingConfig::smoke()
     } else {
@@ -153,6 +129,7 @@ fn main() {
     );
 
     assert_exactness(&workload);
+    args.apply_profile();
 
     let full_gb = workload.training_view.group_by().to_vec();
     let m = schema.attr("m").unwrap();
@@ -255,8 +232,12 @@ fn main() {
         }
         println!("bench-smoke OK: sharded view compute within gate on {threads_available} core(s)");
     } else {
+        let extras = [(
+            "median_speedup_sharded_over_serial",
+            json_f64_map(&speedups),
+        )];
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_views.json");
-        std::fs::write(path, json(&stats, &speedups, threads_available))
+        write_baseline(path, &baseline_json(&stats, &extras), args.force)
             .expect("write BENCH_views.json");
         println!("wrote {path}");
     }

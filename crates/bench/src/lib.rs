@@ -16,6 +16,59 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64())
 }
 
+/// Command-line flags shared by every bench harness.
+///
+/// * `--smoke` — scaled-down CI gate instead of the full baseline run;
+/// * `--profile` — turn the process-global stage timers on
+///   ([`reptile_obs::set_enabled`]) so the emitted baseline's `stages`
+///   section carries real per-stage durations;
+/// * `--force` — overwrite a baseline recorded at a higher core count
+///   (see [`write_baseline`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchArgs {
+    /// Run the scaled-down CI smoke gate.
+    pub smoke: bool,
+    /// Enable stage timers for the measured run.
+    pub profile: bool,
+    /// Allow overwriting a baseline recorded at a higher core count.
+    pub force: bool,
+}
+
+impl BenchArgs {
+    /// Parse the process arguments (unknown flags are ignored so harnesses
+    /// stay forward-compatible with cargo's own flag forwarding).
+    pub fn parse() -> Self {
+        let mut args = BenchArgs::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--smoke" => args.smoke = true,
+                "--profile" => args.profile = true,
+                "--force" => args.force = true,
+                _ => {}
+            }
+        }
+        args
+    }
+
+    /// Arm the observability layer for the measured section: enables the
+    /// global stage timers when `--profile` was passed, and resets the
+    /// registry either way so setup work (workload generation, exactness
+    /// checks) does not pollute the emitted `stages` section.
+    pub fn apply_profile(&self) {
+        if self.profile {
+            reptile_obs::set_enabled(true);
+        }
+        reptile_obs::reset();
+    }
+}
+
+/// Number of hardware threads backing this run (1 when undetectable).
+pub fn threads_available() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 /// Summary statistics of one benchmark case, in seconds per iteration.
 #[derive(Debug, Clone)]
 pub struct BenchStats {
@@ -128,6 +181,88 @@ pub fn bench_stats_json(stats: &[BenchStats]) -> String {
     out
 }
 
+/// Render a `{name: ratio}` map (e.g. the per-layer speedup section of a
+/// baseline) as an indented JSON object.
+pub fn json_f64_map(entries: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, ratio)) in entries.iter().enumerate() {
+        out.push_str(&format!("    {name:?}: {ratio:.3}"));
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  }");
+    out
+}
+
+/// The uniform `BENCH_*.json` document: `cases` (one object per
+/// [`BenchStats`]), any bench-specific `extras` (key → pre-rendered JSON
+/// value, e.g. a speedup map from [`json_f64_map`]), then the host metadata
+/// every baseline carries — `threads_available`, `total_samples` (sum over
+/// all cases) and the captured `stages` breakdown. Without `--profile` the
+/// stage timers never ran, so `stages` is present but all-zero; with it the
+/// same key carries the real per-stage durations of the measured run.
+pub fn baseline_json(stats: &[BenchStats], extras: &[(&str, String)]) -> String {
+    let mut out = String::from("{\n  \"cases\": [\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": {:?}, \"samples\": {}, \"median_s\": {:.9}, \"mean_s\": {:.9}, \"min_s\": {:.9}, \"max_s\": {:.9}}}",
+            s.name, s.samples, s.median_s, s.mean_s, s.min_s, s.max_s
+        ));
+        if i + 1 < stats.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    for (key, value) in extras {
+        out.push_str(&format!("  {key:?}: {value},\n"));
+    }
+    let total_samples: usize = stats.iter().map(|s| s.samples).sum();
+    out.push_str(&format!(
+        "  \"threads_available\": {},\n  \"total_samples\": {},\n  \"stages\": {}\n}}\n",
+        threads_available(),
+        total_samples,
+        reptile_obs::MetricsSnapshot::capture().stages_json()
+    ));
+    out
+}
+
+/// Extract the integer value of `"key": <n>` from a hand-rolled JSON
+/// document (the baselines are written by this crate, so naive string
+/// scanning is sufficient — no JSON parser in this environment).
+fn json_usize_field(doc: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// Write a `BENCH_*.json` baseline, refusing to replace one recorded on a
+/// beefier host: if the existing file carries a `threads_available` larger
+/// than this machine's, the new numbers are not comparable (speedup ratios
+/// collapse on fewer cores) and the write fails unless `force` is set.
+/// Baselines without the key (pre-metadata format) are always replaced.
+pub fn write_baseline(path: &str, json: &str, force: bool) -> std::io::Result<()> {
+    if !force {
+        if let Ok(existing) = std::fs::read_to_string(path) {
+            if let Some(prev) = json_usize_field(&existing, "threads_available") {
+                let now = threads_available();
+                if now < prev {
+                    return Err(std::io::Error::other(format!(
+                        "refusing to overwrite {path}: existing baseline was recorded with \
+                         {prev} threads available, this host has {now} — pass --force to \
+                         replace it anyway"
+                    )));
+                }
+            }
+        }
+    }
+    std::fs::write(path, json)
+}
+
 /// Print a simple aligned table: a header row followed by data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -186,6 +321,50 @@ mod tests {
         assert_eq!(fmt(123.456), "123.5");
         assert_eq!(fmt(1.23456), "1.235");
         assert_eq!(fmt(0.0123456), "0.01235");
+    }
+
+    #[test]
+    fn baseline_json_carries_host_metadata() {
+        let stats = vec![BenchStats {
+            name: "case/a".into(),
+            samples: 3,
+            mean_s: 0.5,
+            median_s: 0.5,
+            min_s: 0.4,
+            max_s: 0.6,
+        }];
+        let extras = [(
+            "median_speedup_x_over_y",
+            json_f64_map(&[("layer/2".to_string(), 1.5)]),
+        )];
+        let doc = baseline_json(&stats, &extras);
+        assert_eq!(
+            json_usize_field(&doc, "threads_available"),
+            Some(threads_available())
+        );
+        assert_eq!(json_usize_field(&doc, "total_samples"), Some(3));
+        assert!(doc.contains("\"stages\": {\"encode\""));
+        assert!(doc.contains("\"median_speedup_x_over_y\": {"));
+        assert!(doc.contains("\"layer/2\": 1.500"));
+    }
+
+    #[test]
+    fn write_baseline_refuses_fewer_cores_without_force() {
+        let dir = std::env::temp_dir().join(format!("reptile-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_guard.json");
+        let path = path.to_str().unwrap();
+        let richer = format!("{{\n  \"threads_available\": {}\n}}\n", usize::MAX);
+        std::fs::write(path, &richer).unwrap();
+        // This host necessarily has fewer than usize::MAX threads.
+        let err = write_baseline(path, "{}", false).unwrap_err();
+        assert!(err.to_string().contains("--force"), "{err}");
+        assert_eq!(std::fs::read_to_string(path).unwrap(), richer);
+        // --force replaces it; so does a baseline without the key.
+        write_baseline(path, "{}", true).unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "{}");
+        write_baseline(path, "{\"cases\": []}", false).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -460,5 +460,12 @@ mod tests {
         let mut other = base.clone();
         other.parallelism = reptile_factor::Parallelism::new(8);
         assert_eq!(fp, config_fingerprint(&other, &plan));
+
+        // Observability is bit-exact too (timers only read clocks), so the
+        // obs switch must NOT change the fingerprint either: a profiled
+        // engine and an unprofiled one share cache entries.
+        let mut other = base.clone();
+        other.obs = reptile_obs::ObsConfig::profiled();
+        assert_eq!(fp, config_fingerprint(&other, &plan));
     }
 }

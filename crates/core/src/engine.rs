@@ -26,12 +26,19 @@ use reptile_model::{
     DesignBuilder, EmptyGroupPolicy, FeaturePlan, LinearModel, MultilevelConfig, MultilevelModel,
     TrainingBackend,
 };
+use reptile_obs::{ObsConfig, Stage, StageTimer};
 use reptile_relational::{
     AggState, AggregateKind, AttrId, GroupKey, Hierarchy, IngestBatch, Relation, Schema, Value,
     View,
 };
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Whole nanoseconds since `t0`, saturating (for the stage-breakdown fields).
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
 
 /// Which repair model the engine fits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +70,12 @@ pub struct ReptileConfig {
     /// deliberately *not* part of [`config_fingerprint`] — a parallel and a
     /// serial engine share cache entries.
     pub parallelism: Parallelism,
+    /// Per-engine stage timing (design builds, ingest stage breakdowns,
+    /// session stage durations). Off by default; results are
+    /// **bit-identical** either way, so — like `parallelism` — this knob is
+    /// deliberately *not* part of [`config_fingerprint`]: a profiled and an
+    /// unprofiled engine share cache entries.
+    pub obs: ObsConfig,
 }
 
 impl Default for ReptileConfig {
@@ -74,6 +87,7 @@ impl Default for ReptileConfig {
             top_k: 5,
             empty_groups: EmptyGroupPolicy::GlobalMean,
             parallelism: Parallelism::serial(),
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -154,6 +168,22 @@ impl AggregateSource for SharedSession<'_> {
     }
 }
 
+/// Per-stage wall-clock breakdown of one [`Reptile::ingest`] call. All
+/// zeros unless stage timing was on ([`ReptileConfig::obs`] or the
+/// process-wide `reptile_obs` flag) — timing never changes what the ingest
+/// does, only whether clocks are read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStages {
+    /// Applying the batch to the relation snapshot (insert/delete replay).
+    pub apply_ns: u64,
+    /// Folding the batch into the path-count index and deriving the
+    /// per-hierarchy distinct-path deltas (includes the index's lazy first
+    /// build).
+    pub path_delta_ns: u64,
+    /// Bumping the drill-down session epochs of the touched hierarchies.
+    pub epoch_ns: u64,
+}
+
 /// What one [`Reptile::ingest`] did: the new relation snapshot, the change
 /// counts, which hierarchies' distinct path sets changed (their session
 /// epochs were bumped), and the exact invalidation rule for view/model
@@ -170,6 +200,8 @@ pub struct IngestReport {
     /// already bumped their [`DrilldownSession`] epochs; serving layers use
     /// this to know an ingest happened at all.
     pub touched_hierarchies: Vec<String>,
+    /// Per-stage wall-clock breakdown (zeros unless stage timing was on).
+    pub stages: IngestStages,
     /// Every inserted or deleted tuple (the predicate-matching set),
     /// `Arc`-shared with the ingest logs that record it.
     pub(crate) changed_rows: Arc<[Vec<Value>]>,
@@ -228,12 +260,14 @@ impl Reptile {
     }
 
     /// Override the configuration. The drill-down session's shard budget
-    /// follows the configured [`ReptileConfig::parallelism`].
+    /// follows the configured [`ReptileConfig::parallelism`], and its
+    /// stage-timing switch follows [`ReptileConfig::obs`].
     pub fn with_config(mut self, config: ReptileConfig) -> Self {
-        self.session
-            .lock()
-            .expect("session lock")
-            .set_parallelism(config.parallelism);
+        {
+            let mut session = self.session.lock().expect("session lock");
+            session.set_parallelism(config.parallelism);
+            session.set_profile(config.obs.enabled);
+        }
         self.config = config;
         self
     }
@@ -257,6 +291,17 @@ impl Reptile {
     /// The current configuration.
     pub fn config(&self) -> &ReptileConfig {
         &self.config
+    }
+
+    /// Running totals of the engine's internal drill-down session across
+    /// every call since creation: factor-state recomputes vs reuses, delta
+    /// patches absorbed, and (when profiling is on) the encode /
+    /// delta-patch stage durations.
+    pub fn session_stats(&self) -> reptile_factor::SessionStats {
+        self.session
+            .lock()
+            .expect("session lock")
+            .cumulative_stats()
     }
 
     /// Apply a streaming [`IngestBatch`] to the registered relation with
@@ -331,8 +376,18 @@ impl Reptile {
     /// assert!(best.key.to_string().contains("D1-b"));
     /// ```
     pub fn ingest(&self, batch: &IngestBatch) -> Result<IngestReport> {
+        // Per-stage breakdown for the report (apply / path-delta / epoch),
+        // measured only when timing is on; the ingest itself is identical
+        // either way.
+        let timing = self.config.obs.enabled || reptile_obs::enabled();
+        let mut stages = IngestStages::default();
         let mut relation = self.relation.write().expect("relation lock");
+        let t0 = timing.then(Instant::now);
         let next = Arc::new(relation.apply(batch).map_err(ReptileError::from)?);
+        if let Some(t0) = t0 {
+            stages.apply_ns = elapsed_ns(t0);
+        }
+        let t0 = timing.then(Instant::now);
         let touched = {
             let mut index = self.path_index.lock().expect("path index lock");
             let index = index
@@ -346,12 +401,19 @@ impl Reptile {
                 .map(|(h, _)| h.name.clone())
                 .collect::<Vec<String>>()
         };
+        if let Some(t0) = t0 {
+            stages.path_delta_ns = elapsed_ns(t0);
+        }
         *relation = next.clone();
         drop(relation);
         {
+            let t0 = timing.then(Instant::now);
             let mut session = self.session.lock().expect("session lock");
             for hierarchy in &touched {
                 session.bump_epoch(hierarchy);
+            }
+            if let Some(t0) = t0 {
+                stages.epoch_ns = elapsed_ns(t0);
             }
         }
         Ok(IngestReport {
@@ -359,6 +421,7 @@ impl Reptile {
             inserted: batch.inserts().len(),
             deleted: batch.deletes().len(),
             touched_hierarchies: touched,
+            stages,
             changed_rows: batch
                 .changed_rows()
                 .map(<[Value]>::to_vec)
@@ -678,6 +741,7 @@ impl Reptile {
                 _ => FactorBackend::Encoded,
             };
             let mut source = SharedSession(&self.session);
+            let design_span = StageTimer::start_if(Stage::DesignBuild, self.config.obs.enabled);
             let design = DesignBuilder::new(&parallel, &self.schema, complaint.statistic)
                 .with_plan(self.plan.clone())
                 .empty_groups(self.config.empty_groups)
@@ -685,6 +749,7 @@ impl Reptile {
                 .with_parallelism(self.config.parallelism)
                 .with_aggregate_source(&mut source)
                 .build()?;
+            drop(design_span);
             let (model, predictions_by_row) = match self.config.model {
                 RepairModelKind::MultiLevel => {
                     let model = MultilevelModel::fit_sharded(

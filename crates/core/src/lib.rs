@@ -84,10 +84,11 @@ pub use cache::{
 };
 pub use complaint::{Complaint, Direction};
 pub use engine::{
-    HierarchyRecommendation, IngestReport, Recommendation, RepairModelKind, Reptile, ReptileConfig,
-    ScoredGroup,
+    HierarchyRecommendation, IngestReport, IngestStages, Recommendation, RepairModelKind, Reptile,
+    ReptileConfig, ScoredGroup,
 };
-pub use reptile_factor::Parallelism;
+pub use reptile_factor::{Parallelism, SessionStats};
+pub use reptile_obs::{MetricsSnapshot, ObsConfig};
 
 /// Errors surfaced by the engine.
 #[derive(Debug, Clone, PartialEq)]

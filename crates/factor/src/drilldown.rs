@@ -25,6 +25,12 @@ use crate::parallel::Parallelism;
 use reptile_relational::{Hierarchy, IngestBatch, Relation, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Whole nanoseconds since `t0`, saturating (for the `u64` stats fields).
+fn elapsed_ns(t0: Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
 
 /// Maintenance strategy for successive drill-downs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +55,26 @@ pub struct SessionStats {
     /// earlier snapshot instead of recomputed (see
     /// [`EncodedAggregates::apply_delta`]).
     pub delta_patched: usize,
+    /// Nanoseconds the last call spent cold-encoding factors and computing
+    /// their aggregates. Always 0 while stage timing is off (the counters
+    /// above stay exact either way) — durations are integer nanoseconds so
+    /// the struct stays `Copy + Eq`.
+    pub encode_ns: u64,
+    /// Nanoseconds the last call spent in delta-patch attempts (successful
+    /// or abandoned). Always 0 while stage timing is off.
+    pub delta_patch_ns: u64,
+}
+
+impl SessionStats {
+    /// Add `other`'s counters and durations into `self` (used to maintain
+    /// the session-lifetime running totals next to the per-call stats).
+    fn absorb(&mut self, other: &SessionStats) {
+        self.recomputed += other.recomputed;
+        self.reused += other.reused;
+        self.delta_patched += other.delta_patched;
+        self.encode_ns += other.encode_ns;
+        self.delta_patch_ns += other.delta_patch_ns;
+    }
 }
 
 /// Cache key of one hierarchy's aggregate state: name, depth, leaf count,
@@ -201,7 +227,13 @@ pub struct DrilldownSession {
     /// pool of the sharded execution backend). Serial by default; sharded
     /// execution is bit-identical, so it never affects cache contents.
     parallelism: Parallelism,
+    /// Per-session stage-timing switch (the engine mirrors its `ObsConfig`
+    /// here). Timing also turns on when the process-wide
+    /// [`reptile_obs::enabled`] flag is set; either way results and cache
+    /// contents are bit-identical — only [`SessionStats`] durations change.
+    profile: bool,
     stats: SessionStats,
+    cumulative: SessionStats,
 }
 
 impl DrilldownSession {
@@ -226,7 +258,9 @@ impl DrilldownSession {
             epochs: HashMap::new(),
             delta_bases: HashMap::new(),
             parallelism: Parallelism::serial(),
+            profile: false,
             stats: SessionStats::default(),
+            cumulative: SessionStats::default(),
         }
     }
 
@@ -247,6 +281,19 @@ impl DrilldownSession {
     /// The configured thread budget.
     pub fn parallelism(&self) -> Parallelism {
         self.parallelism
+    }
+
+    /// Turn per-call stage timing on or off for this session (the engine
+    /// mirrors its `ObsConfig` here). Off by default; when off, the
+    /// [`SessionStats`] duration fields stay 0 unless the process-wide
+    /// [`reptile_obs::enabled`] flag is set.
+    pub fn set_profile(&mut self, profile: bool) {
+        self.profile = profile;
+    }
+
+    /// Whether this call should read clocks (session switch or global flag).
+    fn timing_on(&self) -> bool {
+        self.profile || reptile_obs::enabled()
     }
 
     /// The maintenance mode.
@@ -272,6 +319,13 @@ impl DrilldownSession {
     /// Statistics of the most recent call.
     pub fn stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// Running totals over the whole session: every counter and duration
+    /// of every [`DrilldownSession::aggregates`] /
+    /// [`DrilldownSession::encoded`] call since creation, summed.
+    pub fn cumulative_stats(&self) -> SessionStats {
+        self.cumulative
     }
 
     /// The current ingest epoch of `hierarchy` (0 until the first
@@ -374,6 +428,7 @@ impl DrilldownSession {
 
     /// Compute (or reuse) the decomposed aggregates for `fact`.
     pub fn aggregates(&mut self, fact: &Factorization) -> DecomposedAggregates {
+        let timing = self.timing_on();
         let mut stats = SessionStats::default();
         let mut parts = Vec::with_capacity(fact.hierarchies().len());
         let mut current_keys = Vec::with_capacity(fact.hierarchies().len());
@@ -394,7 +449,11 @@ impl DrilldownSession {
                 entry.0.clone()
             } else {
                 stats.recomputed += 1;
+                let t0 = timing.then(Instant::now);
                 let computed = HierarchyAggregates::compute(factor);
+                if let Some(t0) = t0 {
+                    stats.encode_ns += elapsed_ns(t0);
+                }
                 if !self.cache.contains_key(&key) {
                     self.evict_for_insert(&current_keys);
                 }
@@ -410,6 +469,7 @@ impl DrilldownSession {
             self.cache.retain(|k, _| current_keys.contains(k));
         }
         self.previous = current_keys;
+        self.cumulative.absorb(&stats);
         self.stats = stats;
         DecomposedAggregates::from_parts(fact, parts)
     }
@@ -420,6 +480,7 @@ impl DrilldownSession {
     /// encoding pass as well as the aggregate batch, and costs two pointer
     /// clones instead of the legacy path's deep table copy.
     pub fn encoded(&mut self, fact: &Factorization) -> (EncodedFactorization, EncodedAggregates) {
+        let timing = self.timing_on();
         let mut stats = SessionStats::default();
         let mut factors = Vec::with_capacity(fact.hierarchies().len());
         let mut parts = Vec::with_capacity(fact.hierarchies().len());
@@ -446,7 +507,12 @@ impl DrilldownSession {
                 let patched = if self.mode == DrilldownMode::Static {
                     None
                 } else {
-                    self.try_delta_patch(factor)
+                    let t0 = timing.then(Instant::now);
+                    let patched = self.try_delta_patch(factor);
+                    if let Some(t0) = t0 {
+                        stats.delta_patch_ns += elapsed_ns(t0);
+                    }
+                    patched
                 };
                 let entry = match patched {
                     Some(entry) => {
@@ -455,11 +521,15 @@ impl DrilldownSession {
                     }
                     None => {
                         stats.recomputed += 1;
+                        let t0 = timing.then(Instant::now);
                         let enc = Arc::new(EncodedFactor::encode_with(factor, &self.parallelism));
                         let aggs = Arc::new(EncodedHierarchyAggregates::compute_sharded(
                             &enc,
                             &self.parallelism,
                         ));
+                        if let Some(t0) = t0 {
+                            stats.encode_ns += elapsed_ns(t0);
+                        }
                         (enc, aggs)
                     }
                 };
@@ -480,6 +550,7 @@ impl DrilldownSession {
             self.encoded_cache.retain(|k, _| current_keys.contains(k));
         }
         self.previous_encoded = current_keys;
+        self.cumulative.absorb(&stats);
         self.stats = stats;
         let encoded_fact = EncodedFactorization::new(factors);
         let aggregates = EncodedAggregates::from_parts(&encoded_fact, parts);
@@ -588,7 +659,9 @@ mod tests {
             SessionStats {
                 recomputed: 2,
                 reused: 0,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         s.aggregates(&fact(1, 1));
@@ -597,7 +670,9 @@ mod tests {
             SessionStats {
                 recomputed: 2,
                 reused: 0,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
     }
@@ -611,7 +686,9 @@ mod tests {
             SessionStats {
                 recomputed: 2,
                 reused: 0,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         // Drill down hierarchy B: only B is recomputed.
@@ -621,7 +698,9 @@ mod tests {
             SessionStats {
                 recomputed: 1,
                 reused: 1,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         // Going back to the earlier B depth is NOT cached in dynamic mode.
@@ -631,7 +710,9 @@ mod tests {
             SessionStats {
                 recomputed: 1,
                 reused: 1,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
     }
@@ -646,7 +727,9 @@ mod tests {
             SessionStats {
                 recomputed: 1,
                 reused: 1,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         // Revisit the first configuration: everything is served from cache.
@@ -656,7 +739,9 @@ mod tests {
             SessionStats {
                 recomputed: 0,
                 reused: 2,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         // A brand-new depth still requires work for that hierarchy only.
@@ -666,7 +751,9 @@ mod tests {
             SessionStats {
                 recomputed: 1,
                 reused: 1,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
     }
@@ -688,7 +775,9 @@ mod tests {
             SessionStats {
                 recomputed: 1,
                 reused: 1,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         // A depth 1 was evicted: recomputed again; B still cached.
@@ -698,7 +787,9 @@ mod tests {
             SessionStats {
                 recomputed: 1,
                 reused: 1,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
     }
@@ -724,7 +815,9 @@ mod tests {
             SessionStats {
                 recomputed: 1,
                 reused: 0,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         // The original factor is still served from cache.
@@ -734,7 +827,9 @@ mod tests {
             SessionStats {
                 recomputed: 0,
                 reused: 1,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
     }
@@ -748,7 +843,9 @@ mod tests {
             SessionStats {
                 recomputed: 2,
                 reused: 0,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         s.encoded(&fact(1, 2));
@@ -757,7 +854,9 @@ mod tests {
             SessionStats {
                 recomputed: 1,
                 reused: 1,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         // Revisit the first configuration: everything served from cache.
@@ -767,7 +866,9 @@ mod tests {
             SessionStats {
                 recomputed: 0,
                 reused: 2,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         // The encoded and legacy caches are independent: a legacy call over
@@ -778,7 +879,9 @@ mod tests {
             SessionStats {
                 recomputed: 2,
                 reused: 0,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
     }
@@ -823,7 +926,9 @@ mod tests {
             SessionStats {
                 recomputed: 0,
                 reused: 2,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
         // After an ingest epoch bump the old key can no longer hit; the
@@ -837,7 +942,9 @@ mod tests {
             SessionStats {
                 recomputed: 0,
                 reused: 1,
-                delta_patched: 1
+                delta_patched: 1,
+
+                ..SessionStats::default()
             }
         );
         // ... and the re-validated entry hits directly on the next call.
@@ -847,7 +954,9 @@ mod tests {
             SessionStats {
                 recomputed: 0,
                 reused: 2,
-                delta_patched: 0
+                delta_patched: 0,
+
+                ..SessionStats::default()
             }
         );
     }
@@ -871,7 +980,9 @@ mod tests {
             SessionStats {
                 recomputed: 0,
                 reused: 1,
-                delta_patched: 1
+                delta_patched: 1,
+
+                ..SessionStats::default()
             }
         );
         // The patched state agrees with a cold computation, decoded per value

@@ -29,6 +29,7 @@ use crate::factorization::{AttrPosition, Factorization, HierarchyFactor};
 use crate::feature::FeatureMap;
 use crate::parallel::Parallelism;
 use reptile_linalg::{Matrix, PrefixSum};
+use reptile_obs::{Stage, StageTimer};
 use reptile_relational::{AttrId, Value, ValueDict};
 use std::cmp::Ordering;
 use std::sync::Arc;
@@ -88,6 +89,7 @@ impl EncodedFactor {
     /// identical across shards and the concatenated columns equal the serial
     /// encode bit-for-bit.
     pub fn encode_with(factor: &HierarchyFactor, par: &Parallelism) -> Self {
+        let _span = StageTimer::start(Stage::Encode);
         let depth = factor.depth();
         let leaf_count = factor.leaf_count();
         let mut levels = Vec::with_capacity(depth);
@@ -489,6 +491,8 @@ impl EncodedHierarchyAggregates {
     /// and any shard partition of the range merges back to it via
     /// [`EncodedHierarchyAggregates::merge`].
     pub fn compute_range(factor: &EncodedFactor, start: usize, len: usize) -> Self {
+        // Per-shard scan span (serial `compute` is the one-shard case).
+        let _span = StageTimer::start(Stage::Scan);
         let depth = factor.depth();
         let end = start + len;
         debug_assert!(end <= factor.leaf_count());
@@ -567,6 +571,7 @@ impl EncodedHierarchyAggregates {
     /// Panics on an empty `parts` slice or mismatched table shapes (shards
     /// of different factors).
     pub fn merge(parts: &[EncodedHierarchyAggregates]) -> Self {
+        let _span = StageTimer::start(Stage::Merge);
         let first = parts.first().expect("merge of at least one shard");
         let depth = first.desc.len();
         let leaf_count = parts.iter().map(|p| p.leaf_count).sum();

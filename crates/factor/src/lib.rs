@@ -62,7 +62,7 @@ pub mod row_iter;
 pub use aggregates::DecomposedAggregates;
 pub use cluster::ClusterPartition;
 pub use drilldown::{
-    AggregateSource, DrilldownMode, DrilldownSession, FreshAggregates, PathCountIndex,
+    AggregateSource, DrilldownMode, DrilldownSession, FreshAggregates, PathCountIndex, SessionStats,
 };
 pub use encoded::{
     EncodedAggregates, EncodedDesign, EncodedFactor, EncodedFactorization, EncodedFeatureMap,

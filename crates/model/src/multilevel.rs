@@ -28,6 +28,7 @@ use crate::{ModelError, Result};
 use reptile_factor::{encoded, ops, Parallelism};
 use reptile_linalg::cholesky::invert_spd_with_ridge;
 use reptile_linalg::Matrix;
+use reptile_obs::{Stage, StageTimer};
 
 /// EM training configuration.
 #[derive(Debug, Clone, Copy)]
@@ -115,6 +116,9 @@ impl MultilevelModel {
         backend: TrainingBackend,
         par: &Parallelism,
     ) -> Result<Self> {
+        // One solve span per model fit (all backends), nested E-step spans
+        // per EM iteration — observability never changes the fit itself.
+        let _span = StageTimer::start(Stage::Solve);
         match backend {
             TrainingBackend::Factorized => Self::fit_encoded(design, config, par),
             TrainingBackend::FactorizedLegacy => Self::fit_factorized_legacy(design, config),
@@ -353,6 +357,7 @@ impl MultilevelModel {
         for _ in 0..config.iterations {
             iterations_run += 1;
             // ---------------- E step ----------------
+            let e_step_span = StageTimer::start(Stage::EStep);
             let sigma_b_inv = invert_spd_with_ridge(&sigma_b, config.ridge)?;
             let residual: Vec<f64> = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
             let zt_r = zt_global(&residual);
@@ -386,6 +391,8 @@ impl MultilevelModel {
                     *bi = mu_vec;
                 }
             }
+
+            drop(e_step_span);
 
             // ---------------- M step ----------------
             let padded: Vec<Vec<f64>> = b.iter().map(|bi| pad(bi, &z_cols, m)).collect();

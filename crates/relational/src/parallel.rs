@@ -57,13 +57,26 @@
 //! `Σ c·f·g`), because floating-point addition is not associative and the
 //! equivalence tests assert exact equality against both the serial encoded
 //! path and the legacy `Value`-keyed path.
+//!
+//! **Observability.** The pool reports to the process-wide `reptile-obs`
+//! registry: always-on relaxed counters for scatters (dispatched vs inline
+//! fallback), jobs dispatched / executed by workers / drained by the
+//! work-stealing assist, and may-block jobs, plus high-water gauges for
+//! queue depth, scatter width and worker count. Per-job queue-wait spans
+//! (enqueue → dequeue) are only measured while `reptile_obs::enabled()` is
+//! set — the disabled path never reads a clock. None of this changes what a
+//! scatter computes: results are bit-identical with observability on or
+//! off. The invariant the concurrency tests assert once the pool is
+//! quiescent: `jobs_dispatched == jobs_executed + steal_assists`.
 
+use reptile_obs as obs;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// How many threads the sharded builders and operators may use.
 ///
@@ -217,10 +230,13 @@ impl Parallelism {
             // milliseconds under cgroup CPU quotas) and can never overlap
             // any compute — inline execution is bit-identical and strictly
             // faster.
+            obs::add_counter(obs::Counter::PoolInlineScatters, 1);
             return ranges.iter().map(|&(s, l)| shard(s, l)).collect();
         }
         let pool = shard_pool();
         pool.ensure_workers(self.threads.get() - 1);
+        obs::add_counter(obs::Counter::PoolScatters, 1);
+        obs::gauge_max(obs::Gauge::PoolScatterWidthMax, ranges.len() as u64);
 
         let extra = ranges.len() - 1;
         let latch = Latch::new(extra);
@@ -354,6 +370,20 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct QueuedJob {
     run: Job,
     may_block: bool,
+    /// Enqueue instant, present only while stage timing is on
+    /// ([`reptile_obs::enabled`]); dequeue records the queue-wait span.
+    enqueued: Option<Instant>,
+}
+
+impl QueuedJob {
+    /// Record the enqueue → dequeue latency into the queue-wait histogram
+    /// (no-op for jobs enqueued while timing was off).
+    fn record_queue_wait(&self) {
+        if let Some(t0) = self.enqueued {
+            let ns = t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            obs::record_duration_ns(obs::Stage::QueueWait, ns);
+        }
+    }
 }
 
 struct PoolShared {
@@ -441,6 +471,7 @@ impl PoolShared {
                 .spawn(move || shared.worker_loop())
                 .expect("spawn shard pool worker");
         }
+        obs::gauge_max(obs::Gauge::PoolWorkers, queue.workers as u64);
     }
 
     fn worker_loop(self: Arc<Self>) {
@@ -449,6 +480,8 @@ impl PoolShared {
         loop {
             if let Some(job) = queue.jobs.pop_front() {
                 drop(queue);
+                job.record_queue_wait();
+                obs::add_counter(obs::Counter::PoolJobsExecuted, 1);
                 // The job catches its own panics (see `run_shards`), so a
                 // worker survives every scatter.
                 (job.run)();
@@ -470,14 +503,26 @@ impl PoolShared {
         may_block: bool,
     ) {
         let mut queue = self.queue.lock().expect("shard pool lock");
+        let mut dispatched = 0u64;
         for job in jobs {
             // SAFETY: `run_shards` blocks (via `WaitGuard`, also on the
             // unwinding path) until the job has run to completion, so every
             // borrow inside the closure strictly outlives its execution.
             let run: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Job>(job) };
-            queue.jobs.push_back(QueuedJob { run, may_block });
+            let enqueued = obs::enabled().then(Instant::now);
+            queue.jobs.push_back(QueuedJob {
+                run,
+                may_block,
+                enqueued,
+            });
+            dispatched += 1;
         }
+        obs::add_counter(obs::Counter::PoolJobsDispatched, dispatched);
+        if may_block {
+            obs::add_counter(obs::Counter::PoolMayBlockJobs, dispatched);
+        }
+        obs::gauge_max(obs::Gauge::PoolQueueDepthMax, queue.jobs.len() as u64);
         drop(queue);
         self.work.notify_all();
     }
@@ -488,7 +533,11 @@ impl PoolShared {
     fn steal_compute(&self) -> Option<Job> {
         let mut queue = self.queue.lock().expect("shard pool lock");
         let index = queue.jobs.iter().position(|j| !j.may_block)?;
-        queue.jobs.remove(index).map(|j| j.run)
+        let job = queue.jobs.remove(index)?;
+        drop(queue);
+        job.record_queue_wait();
+        obs::add_counter(obs::Counter::PoolStealAssists, 1);
+        Some(job.run)
     }
 
     /// Wait for `latch` to drain, running queued compute jobs inline in
@@ -803,6 +852,80 @@ mod tests {
         for handle in parked {
             assert_eq!(handle.join().unwrap(), vec![0, 1]);
         }
+    }
+
+    /// Wait until every dispatched pool job has been accounted for by a
+    /// worker or a stealing assist. Counters are process-global and other
+    /// tests scatter concurrently, so the invariant is asserted at
+    /// quiescence (with a generous deadline) rather than as an exact delta.
+    fn wait_for_pool_quiescence() {
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let dispatched = obs::counter_value(obs::Counter::PoolJobsDispatched);
+            let executed = obs::counter_value(obs::Counter::PoolJobsExecuted);
+            let assists = obs::counter_value(obs::Counter::PoolStealAssists);
+            assert!(
+                executed + assists <= dispatched,
+                "a job was executed that was never dispatched: \
+                 {executed} + {assists} > {dispatched}"
+            );
+            if executed + assists == dispatched {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "pool never quiesced: dispatched={dispatched} executed={executed} \
+                 assists={assists}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn pool_counters_account_for_every_dispatched_job() {
+        // Dispatch for real even on a 1-core host: this test is about
+        // the pool machinery, not the inline fallback.
+        let _force = ForcePoolDispatch::new();
+        let par = Parallelism::new(3);
+        let before = obs::counter_value(obs::Counter::PoolJobsDispatched);
+        for round in 0..20usize {
+            let out = par.map_items(6, move |i| i + round);
+            assert_eq!(out, (0..6).map(|i| i + round).collect::<Vec<_>>());
+        }
+        // map_items(6) over 3 threads dispatches 2 of its 3 ranges per
+        // scatter; concurrent tests can only add more.
+        let after = obs::counter_value(obs::Counter::PoolJobsDispatched);
+        assert!(after >= before + 40, "dispatched {before} -> {after}");
+        wait_for_pool_quiescence();
+    }
+
+    #[test]
+    fn queue_wait_is_recorded_when_enabled_and_monotone() {
+        // Dispatch for real even on a 1-core host: this test is about
+        // the pool machinery, not the inline fallback.
+        let _force = ForcePoolDispatch::new();
+        let par = Parallelism::new(3);
+        let count0 = obs::stage_count(obs::Stage::QueueWait);
+        let total0 = obs::stage_total_ns(obs::Stage::QueueWait);
+        obs::set_enabled(true);
+        for round in 0..5usize {
+            let _ = par.map_items(6, move |i| i * round);
+        }
+        obs::set_enabled(false);
+        // Every job enqueued while timing was on records one wait span:
+        // 5 scatters × 2 dispatched ranges, plus whatever concurrent tests
+        // added — the histogram only ever grows.
+        let count1 = obs::stage_count(obs::Stage::QueueWait);
+        let total1 = obs::stage_total_ns(obs::Stage::QueueWait);
+        assert!(
+            count1 >= count0 + 10,
+            "queue-wait count {count0} -> {count1}"
+        );
+        assert!(total1 >= total0, "queue-wait total must be monotone");
+        // Further (untimed) scatters never decrease the histogram.
+        let _ = par.map_items(6, |i| i);
+        assert!(obs::stage_count(obs::Stage::QueueWait) >= count1);
+        assert!(obs::stage_total_ns(obs::Stage::QueueWait) >= total1);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::relation::Relation;
 use crate::schema::{AttrId, Hierarchy};
 use crate::value::Value;
 use crate::Result;
+use reptile_obs::{Stage, StageTimer};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -132,6 +133,7 @@ impl View {
         group_by: Vec<AttrId>,
         measure: AttrId,
     ) -> Result<View> {
+        let _span = StageTimer::start(Stage::Scan);
         let mut groups: BTreeMap<GroupKey, GroupData> = BTreeMap::new();
         for row in 0..relation.len() {
             if !predicate.matches(&relation, row) {
@@ -245,6 +247,10 @@ impl View {
             .collect();
         let partials: Vec<Result<BTreeMap<Vec<u32>, ShardGroup>>> =
             parallelism.run_shards(ranges, |start, len| {
+                // Per-shard scan span: the histogram's count equals the
+                // shard count, so a profile shows both the fan-out width
+                // and the per-shard balance.
+                let _span = StageTimer::start(Stage::Scan);
                 let mut groups: BTreeMap<Vec<u32>, ShardGroup> = BTreeMap::new();
                 for row in start..start + len {
                     if !predicate.matches(&relation, row) {
@@ -269,6 +275,7 @@ impl View {
         // per group this replays AggState::push over the measure values in
         // exactly the serial row order — the FP sequence is identical, and
         // provenance concatenates back to row order.
+        let _merge_span = StageTimer::start(Stage::Merge);
         let mut merged: BTreeMap<Vec<u32>, GroupData> = BTreeMap::new();
         for partial in partials {
             for (key, shard_group) in partial? {

@@ -197,6 +197,17 @@ impl SharedCaches {
         self.models.stats()
     }
 
+    /// Aggregated snapshot of both caches' statistics (hits, misses,
+    /// evictions and ingest invalidations across the view and model
+    /// caches). Each cache is locked once, never both at the same time —
+    /// the same no-nesting discipline as every other cache operation.
+    pub fn stats_snapshot(&self) -> crate::cache::CachesSnapshot {
+        crate::cache::CachesSnapshot {
+            views: self.view_stats(),
+            models: self.model_stats(),
+        }
+    }
+
     /// A per-worker handle implementing [`EngineCache`], not pinned to any
     /// snapshot. Prefer [`SharedCaches::handle_for`] when the request's
     /// view is known — an unpinned handle's publications are only protected
@@ -532,6 +543,12 @@ impl BatchServer {
     /// Model-cache statistics; `misses` equals the number of models trained.
     pub fn model_stats(&self) -> CacheStats {
         self.caches.model_stats()
+    }
+
+    /// Aggregated snapshot of the shared caches' statistics (see
+    /// [`SharedCaches::stats_snapshot`]).
+    pub fn stats_snapshot(&self) -> crate::cache::CachesSnapshot {
+        self.caches.stats_snapshot()
     }
 
     /// Stream an [`IngestBatch`](reptile_relational::IngestBatch) into the

@@ -39,6 +39,62 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Counter-wise sum of two stats (for aggregated snapshots).
+    fn plus(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            insertions: self.insertions + other.insertions,
+            evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
+
+    fn json_object(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"invalidations\":{}}}",
+            self.hits, self.misses, self.insertions, self.evictions, self.invalidations
+        )
+    }
+}
+
+/// One aggregated, point-in-time copy of a serving cache pair's statistics:
+/// the view cache, the model cache, and their counter-wise total. Returned
+/// by [`SessionCaches::stats_snapshot`] and
+/// [`crate::SharedCaches::stats_snapshot`] (and surfaced from `Session` /
+/// `BatchServer`), so one call answers "what did the caches do" without
+/// stitching per-cache numbers together. Plain `Copy` data — serializable
+/// with [`CachesSnapshot::to_json`] in the same hand-rolled style as
+/// `reptile-bench`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CachesSnapshot {
+    /// View-cache counters.
+    pub views: CacheStats,
+    /// Model-cache counters (misses count model trainings).
+    pub models: CacheStats,
+}
+
+impl CachesSnapshot {
+    /// Counter-wise sum over both caches.
+    pub fn total(&self) -> CacheStats {
+        self.views.plus(&self.models)
+    }
+
+    /// Ingest invalidations across both caches.
+    pub fn invalidations(&self) -> u64 {
+        self.views.invalidations + self.models.invalidations
+    }
+
+    /// JSON object with `views`, `models`, and `total` sub-objects.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"views\":{},\"models\":{},\"total\":{}}}",
+            self.views.json_object(),
+            self.models.json_object(),
+            self.total().json_object()
+        )
+    }
 }
 
 struct Entry<V> {
@@ -236,6 +292,17 @@ impl SessionCaches {
     /// Model-cache statistics.
     pub fn model_stats(&self) -> CacheStats {
         self.models.lock().expect("model cache lock").stats()
+    }
+
+    /// Aggregated snapshot of both caches' statistics (hits, misses,
+    /// evictions and ingest invalidations across the view and model caches)
+    /// in one consistent-enough read: each cache is locked once, never both
+    /// at the same time, matching the no-nesting lock discipline.
+    pub fn stats_snapshot(&self) -> CachesSnapshot {
+        CachesSnapshot {
+            views: self.view_stats(),
+            models: self.model_stats(),
+        }
     }
 
     /// Zero both caches' statistics.

@@ -31,5 +31,5 @@ pub mod cache;
 pub mod session;
 
 pub use batch::{BatchRequest, BatchServer, SharedCacheHandle, SharedCaches};
-pub use cache::{CacheStats, LruCache, ModelCache, SessionCaches, ViewCache};
+pub use cache::{CacheStats, CachesSnapshot, LruCache, ModelCache, SessionCaches, ViewCache};
 pub use session::{DrillStep, Session};

@@ -90,6 +90,12 @@ impl Session {
         self.caches.model_stats()
     }
 
+    /// Aggregated snapshot of both caches' statistics (see
+    /// [`SessionCaches::stats_snapshot`]).
+    pub fn stats_snapshot(&self) -> crate::cache::CachesSnapshot {
+        self.caches.stats_snapshot()
+    }
+
     /// Recommend a drill-down for `complaint` posed against the current
     /// view, reusing cached views and trained models.
     pub fn recommend(&mut self, complaint: &Complaint) -> Result<Recommendation> {

@@ -398,3 +398,174 @@ fn batch_server_serves_fresh_results_after_ingest() {
     let obs_after = after[0].as_ref().unwrap().original_value;
     assert!(obs_after > obs_before);
 }
+
+/// A batch that *grows* the geography hierarchy: a brand-new village under
+/// R0-D0 reporting in both years. Unlike [`repair_batch`] (which only
+/// changes measure values on existing paths), this changes geo's distinct
+/// path set, so the ingest bumps geo's epoch and the next serve must
+/// delta-patch the cached encoded factor state forward.
+fn growth_batch(tag: usize) -> IngestBatch {
+    let mut batch = IngestBatch::new();
+    for year in [1985i64, 1986] {
+        for rep in 0..3 {
+            batch.push_insert(vec![
+                Value::str("R0"),
+                Value::str("R0-D0"),
+                Value::str(format!("R0-D0-N{tag}")),
+                Value::int(year),
+                Value::float(5.0 + 0.1 * rep as f64),
+            ]);
+        }
+    }
+    batch
+}
+
+/// The observability counters stay exact across serve/ingest rounds: the
+/// drill-down session's `delta_patched` advances by the same amount for
+/// identical rounds, the caches' invalidation counters count exactly the
+/// same evictions for identical ingests, and every counter is monotone.
+/// (One worker thread, so the training order — and with it which cached
+/// snapshot serves as each patch's base — is deterministic.)
+#[test]
+fn counters_are_exact_across_identical_serve_ingest_rounds() {
+    let (rel, schema) = dataset();
+    let view = Arc::new(region_year_view(&rel, &schema));
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = BatchServer::new(engine.clone()).with_threads(1);
+    let requests: Vec<BatchRequest> = [("R0", 1985), ("R0", 1986), ("R1", 1985), ("R1", 1986)]
+        .iter()
+        .map(|(r, y)| BatchRequest::new(view.clone(), complaint(r, *y)))
+        .collect();
+
+    // Warm pass: populate both caches.
+    assert!(server.serve(&requests).iter().all(Result::is_ok));
+    let warm = server.stats_snapshot();
+    assert_eq!(warm.invalidations(), 0, "nothing ingested yet");
+    assert!(warm.models.insertions > 0, "warm pass trained models");
+
+    // Two structurally identical (ingest -> serve) rounds, each adding one
+    // new village under R0-D0. Each ingest invalidates the same key set
+    // (the serve in between repopulates exactly the keys the previous
+    // ingest evicted), and each serve patches the same hierarchy states
+    // forward by a one-path delta — so the per-round counter deltas must
+    // be *equal*, not merely positive.
+    let mut patched = Vec::new();
+    let mut invalidated = Vec::new();
+    for round in 0..2 {
+        let stats0 = engine.session_stats();
+        let snap0 = server.stats_snapshot();
+        server.ingest(&growth_batch(round)).unwrap();
+        let fresh = engine.refresh_view(&view).unwrap();
+        let reqs: Vec<BatchRequest> = [("R0", 1985), ("R0", 1986), ("R1", 1985), ("R1", 1986)]
+            .iter()
+            .map(|(r, y)| BatchRequest::new(fresh.clone(), complaint(r, *y)))
+            .collect();
+        assert!(server.serve(&reqs).iter().all(Result::is_ok));
+        let stats1 = engine.session_stats();
+        let snap1 = server.stats_snapshot();
+        patched.push(stats1.delta_patched - stats0.delta_patched);
+        invalidated.push(snap1.invalidations() - snap0.invalidations());
+        // Monotone, componentwise.
+        for (a, b) in [
+            (snap0.views, snap1.views),
+            (snap0.models, snap1.models),
+            (snap0.total(), snap1.total()),
+        ] {
+            assert!(a.hits <= b.hits);
+            assert!(a.misses <= b.misses);
+            assert!(a.insertions <= b.insertions);
+            assert!(a.evictions <= b.evictions);
+            assert!(a.invalidations <= b.invalidations);
+        }
+    }
+    assert!(patched[0] > 0, "ingest followed by serving delta-patches");
+    assert_eq!(patched[0], patched[1], "identical rounds patch identically");
+    assert!(invalidated[0] > 0, "the ingest evicted touched entries");
+    assert_eq!(
+        invalidated[0], invalidated[1],
+        "identical rounds invalidate identical key sets"
+    );
+}
+
+/// Counters under *concurrent* serving + ingest: two threads serve batches
+/// while the main thread streams repair batches through the server. No
+/// interleaving may break the conservation laws — counters only grow, a
+/// cache never removes more than was inserted, the pool ledger never shows
+/// more completed than dispatched jobs — and after the dust settles the
+/// server must agree with a cold engine over the final snapshot.
+#[test]
+fn counters_stay_consistent_under_concurrent_serving_and_ingest() {
+    use reptile_obs as obs;
+
+    let (rel, schema) = dataset();
+    let view = Arc::new(region_year_view(&rel, &schema));
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = BatchServer::new(engine.clone()).with_threads(4);
+    assert!(server
+        .serve(&[BatchRequest::new(view.clone(), complaint("R0", 1986))])
+        .iter()
+        .all(Result::is_ok));
+    let before = server.stats_snapshot();
+    let patched_before = engine.session_stats().delta_patched;
+
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let server = &server;
+            let view = &view;
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    // Views may be mid-ingest stale here; the server must
+                    // still answer (recomputing against its snapshot), and
+                    // the counters must absorb the churn without drift.
+                    let reqs: Vec<BatchRequest> =
+                        [("R0", 1985), ("R0", 1986), ("R1", 1985), ("R1", 1986)]
+                            .iter()
+                            .map(|(r, y)| BatchRequest::new(view.clone(), complaint(r, *y)))
+                            .collect();
+                    assert!(server.serve(&reqs).iter().all(Result::is_ok));
+                }
+            });
+        }
+        for _ in 0..3 {
+            let rel_now = engine.relation();
+            server.ingest(&repair_batch(&rel_now, &schema)).unwrap();
+        }
+    });
+
+    let after = server.stats_snapshot();
+    for (a, b) in [(before.views, after.views), (before.models, after.models)] {
+        assert!(a.hits <= b.hits && a.misses <= b.misses && a.insertions <= b.insertions);
+        // Conservation: a cache cannot remove more entries than it ever
+        // admitted, under any interleaving.
+        assert!(b.evictions + b.invalidations <= b.insertions);
+    }
+    assert!(
+        engine.session_stats().delta_patched >= patched_before,
+        "delta_patched is monotone"
+    );
+    // Pool ledger: completed work never exceeds dispatched work, however
+    // the serve/ingest threads interleaved. (Other tests in this binary
+    // dispatch concurrently, so equality is not asserted here — the
+    // at-quiescence balance is covered by the pool's own tests.)
+    let dispatched = obs::counter_value(obs::Counter::PoolJobsDispatched);
+    let completed = obs::counter_value(obs::Counter::PoolJobsExecuted)
+        + obs::counter_value(obs::Counter::PoolStealAssists);
+    assert!(
+        completed <= dispatched,
+        "pool ledger drifted: {completed} completed vs {dispatched} dispatched"
+    );
+
+    // Final agreement with a cold engine over the settled snapshot.
+    let settled = engine.relation();
+    let fresh = engine.refresh_view(&view).unwrap();
+    let served = server
+        .serve(&[BatchRequest::new(fresh, complaint("R0", 1986))])
+        .pop()
+        .unwrap()
+        .unwrap();
+    let cold = Reptile::new(settled.clone(), schema.clone());
+    let expected = cold
+        .recommend(&region_year_view(&settled, &schema), &complaint("R0", 1986))
+        .unwrap();
+    assert_same_ranking(&expected, &served);
+}

@@ -10,31 +10,41 @@
 //!
 //! Pass `--shards N` to fan every cold factor build and model fit out over
 //! the sharded execution backend (N threads; results are bit-identical to
-//! the serial run, only wall-clock changes).
+//! the serial run, only wall-clock changes). Pass `--profile` to end the
+//! run with the captured per-stage timing table and pool counters.
 
 use reptile::baselines;
-use reptile::{Complaint, Direction, Parallelism, Reptile, ReptileConfig};
+use reptile::{Complaint, Direction, MetricsSnapshot, Parallelism, Reptile, ReptileConfig};
 use reptile_datasets::covid::{CovidCaseStudy, CovidConfig};
 use reptile_model::{ExtraFeature, FeaturePlan};
 use reptile_relational::{AggregateKind, GroupKey, Predicate, Value, View};
 
-/// Parse `--shards N` (defaults to serial).
-fn shards_from_args() -> Parallelism {
+/// Parse `--shards N` (defaults to serial) and the `--profile` flag.
+fn cli() -> (Parallelism, bool) {
+    let mut parallelism = Parallelism::serial();
+    let mut profile = false;
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
-        if arg == "--shards" {
-            let n: usize = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--shards takes a thread count, e.g. --shards 4");
-            return Parallelism::new(n);
+        match arg.as_str() {
+            "--shards" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--shards takes a thread count, e.g. --shards 4");
+                parallelism = Parallelism::new(n);
+            }
+            "--profile" => profile = true,
+            _ => {}
         }
     }
-    Parallelism::serial()
+    (parallelism, profile)
 }
 
 fn main() {
-    let parallelism = shards_from_args();
+    let (parallelism, profile) = cli();
+    if profile {
+        reptile_obs::set_enabled(true);
+    }
     let config = CovidConfig {
         locations: 12,
         sub_locations: 3,
@@ -131,4 +141,8 @@ fn main() {
     println!("  Support:     {support_hits}/{n}");
     assert!(reptile_hits >= sensitivity_hits);
     assert!(reptile_hits >= support_hits);
+    if profile {
+        println!("\n== --profile: captured stage timings and counters ==");
+        print!("{}", MetricsSnapshot::capture().render_table());
+    }
 }

@@ -2,9 +2,10 @@
 //! share with and without the 2016 auxiliary features, and compare the model
 //! quality by AIC.
 //!
-//! Run with: `cargo run --example election_vote`
+//! Run with: `cargo run --example election_vote` (add `--profile` for the
+//! captured per-stage timing table at the end).
 
-use reptile::{Complaint, Direction, Reptile, ReptileConfig};
+use reptile::{Complaint, Direction, MetricsSnapshot, Reptile, ReptileConfig};
 use reptile_datasets::vote::{VoteConfig, VoteDataset};
 use reptile_model::aic::{aic_linear, aic_multilevel, delta_aic};
 use reptile_model::{
@@ -13,6 +14,10 @@ use reptile_model::{
 use reptile_relational::{AggregateKind, GroupKey, Predicate, View};
 
 fn main() {
+    let profile = std::env::args().any(|a| a == "--profile");
+    if profile {
+        reptile_obs::set_enabled(true);
+    }
     let data = VoteDataset::generate(VoteConfig::default());
     let schema = data.schema.clone();
     println!("Simulated election data: {} counties", data.relation.len());
@@ -119,4 +124,8 @@ fn main() {
         engine.config().top_k,
         if found { "yes" } else { "no" }
     );
+    if profile {
+        println!("\n== --profile: captured stage timings and counters ==");
+        print!("{}", MetricsSnapshot::capture().render_table());
+    }
 }

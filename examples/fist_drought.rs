@@ -6,14 +6,19 @@
 //! satellite-rainfall auxiliary feature, and checks that Reptile surfaces the
 //! corrupted village when drilling down from the district level.
 //!
-//! Run with: `cargo run --example fist_drought`
+//! Run with: `cargo run --example fist_drought` (add `--profile` for the
+//! captured per-stage timing table at the end).
 
-use reptile::{Complaint, Direction, Reptile};
+use reptile::{Complaint, Direction, MetricsSnapshot, Reptile};
 use reptile_datasets::fist::{FistCaseStudy, FistComplaintKind, FistConfig};
 use reptile_model::{ExtraFeature, FeaturePlan};
 use reptile_relational::{GroupKey, Predicate, Value, View};
 
 fn main() {
+    let profile = std::env::args().any(|a| a == "--profile");
+    if profile {
+        reptile_obs::set_enabled(true);
+    }
     let case_study = FistCaseStudy::generate(FistConfig::default());
     println!(
         "Simulated FIST survey: {} farmer reports, {} villages, {} complaints",
@@ -90,4 +95,8 @@ fn main() {
         resolved * 2 >= evaluated,
         "expected at least half the complaints resolved"
     );
+    if profile {
+        println!("\n== --profile: captured stage timings and counters ==");
+        print!("{}", MetricsSnapshot::capture().render_table());
+    }
 }

@@ -14,16 +14,24 @@
 //! cold factor builds and the model fit may use. Combine with `--scale` to
 //! pose the complaint against the wide synthetic scaling panel instead of
 //! the toy survey, where the fan-out is actually measurable.
+//!
+//! Pass `--profile` to turn the observability layer on: the run ends with a
+//! per-stage timing table (encode, scan, merge, solve, E-step, ...) and the
+//! pool counters. The recommendation itself is bit-identical either way.
 
-use reptile::{Complaint, Direction, Parallelism, Reptile, ReptileConfig};
+use reptile::{
+    Complaint, Direction, MetricsSnapshot, ObsConfig, Parallelism, Reptile, ReptileConfig,
+};
 use reptile_relational::{AggregateKind, GroupKey, Predicate, Relation, Schema, Value, View};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Parse `--shards N` (defaults to serial) and the `--scale` flag.
-fn cli() -> (Parallelism, bool) {
+/// Parse `--shards N` (defaults to serial) and the `--scale` / `--profile`
+/// flags.
+fn cli() -> (Parallelism, bool, bool) {
     let mut parallelism = Parallelism::serial();
     let mut scale = false;
+    let mut profile = false;
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,16 +43,23 @@ fn cli() -> (Parallelism, bool) {
                 parallelism = Parallelism::new(n);
             }
             "--scale" => scale = true,
+            "--profile" => profile = true,
             _ => {}
         }
     }
-    (parallelism, scale)
+    (parallelism, scale, profile)
+}
+
+/// Print the captured per-stage timings and counters of a `--profile` run.
+fn print_metrics() {
+    println!("\n== --profile: captured stage timings and counters ==");
+    print!("{}", MetricsSnapshot::capture().render_table());
 }
 
 /// The scaling-panel variant: complain about the corrupted district/day of
 /// `reptile_datasets::scaling` and time the recommendation under the
 /// configured shard budget.
-fn run_scaling(parallelism: Parallelism) {
+fn run_scaling(parallelism: Parallelism, profile: bool) {
     use reptile_datasets::scaling::{scaling_panel, ScalingConfig};
     let workload = scaling_panel(ScalingConfig::default());
     println!(
@@ -56,6 +71,11 @@ fn run_scaling(parallelism: Parallelism) {
     let engine = Reptile::new(workload.relation.clone(), workload.schema.clone()).with_config(
         ReptileConfig {
             parallelism,
+            obs: if profile {
+                ObsConfig::profiled()
+            } else {
+                ObsConfig::default()
+            },
             ..Default::default()
         },
     );
@@ -82,12 +102,20 @@ fn run_scaling(parallelism: Parallelism) {
         workload.corrupted_village,
         best.key
     );
+    if profile {
+        print_metrics();
+    }
 }
 
 fn main() {
-    let (parallelism, scale) = cli();
+    let (parallelism, scale, profile) = cli();
+    if profile {
+        // The per-engine ObsConfig below covers the engine's own spans; the
+        // global flag also arms the deep layers (pool, view scans, encode).
+        reptile_obs::set_enabled(true);
+    }
     if scale {
-        run_scaling(parallelism);
+        run_scaling(parallelism, profile);
         return;
     }
     // ------------------------------------------------------------------
@@ -176,6 +204,11 @@ fn main() {
     let complaint = Complaint::new(ofla_1986, AggregateKind::Std, Direction::TooHigh);
     let engine = Reptile::new(relation, schema).with_config(ReptileConfig {
         parallelism,
+        obs: if profile {
+            ObsConfig::profiled()
+        } else {
+            ObsConfig::default()
+        },
         ..Default::default()
     });
     let recommendation = engine.recommend(&view, &complaint).expect("recommendation");
@@ -204,4 +237,7 @@ fn main() {
         best.key
     );
     println!("\nReptile correctly points at Zata's 1986 reports.");
+    if profile {
+        print_metrics();
+    }
 }
