@@ -55,11 +55,11 @@ impl ViewKey {
         group_by: Vec<AttrId>,
         measure: AttrId,
     ) -> Self {
-        let mut terms = predicate.terms().to_vec();
-        terms.sort();
+        // `Predicate` keeps its terms in canonical sorted-by-attribute order
+        // (see `Predicate::and_eq`), so the term list is the key as-is.
         ViewKey {
             relation: relation.ident(),
-            terms,
+            terms: predicate.terms().to_vec(),
             group_by,
             measure,
         }

@@ -127,18 +127,38 @@ pub struct PathCountIndex {
 
 impl PathCountIndex {
     /// Index `relation`'s rows over every hierarchy (one full scan).
+    ///
+    /// The scan runs on the relation's cached code columns: rows are
+    /// counted under dense `u32` code tuples (no per-row `Value` clones)
+    /// and each distinct path is decoded exactly once at the end — the same
+    /// compile-then-decode shape as the view scan kernels.
     pub fn build(relation: &Relation, hierarchies: &[Hierarchy]) -> Self {
-        let mut counts: Vec<BTreeMap<Vec<Value>, usize>> = vec![BTreeMap::new(); hierarchies.len()];
-        for row in 0..relation.len() {
-            for (h, hierarchy) in hierarchies.iter().enumerate() {
-                let path: Vec<Value> = hierarchy
+        let counts = hierarchies
+            .iter()
+            .map(|hierarchy| {
+                let cols: Vec<_> = hierarchy
                     .levels
                     .iter()
-                    .map(|a| relation.value(row, *a).clone())
+                    .map(|a| relation.code_column(*a))
                     .collect();
-                *counts[h].entry(path).or_insert(0) += 1;
-            }
-        }
+                let mut coded: BTreeMap<Vec<u32>, usize> = BTreeMap::new();
+                for row in 0..relation.len() {
+                    let key: Vec<u32> = cols.iter().map(|c| c.code(row)).collect();
+                    *coded.entry(key).or_insert(0) += 1;
+                }
+                coded
+                    .into_iter()
+                    .map(|(codes, n)| {
+                        let path: Vec<Value> = codes
+                            .iter()
+                            .zip(&cols)
+                            .map(|(code, col)| col.dict().value(*code).clone())
+                            .collect();
+                        (path, n)
+                    })
+                    .collect()
+            })
+            .collect();
         PathCountIndex { counts }
     }
 

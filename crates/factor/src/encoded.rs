@@ -72,6 +72,27 @@ pub struct EncodedFactor {
     /// Per-level dictionary + code column.
     pub levels: Vec<EncodedLevel>,
     leaf_count: usize,
+    /// Per level, the start index of every maximal code run plus a
+    /// `leaf_count` sentinel — precomputed at construction so that the
+    /// per-shard [`EncodedFactor::level_runs_range`] scans are a binary
+    /// search plus a walk over the runs actually present in the range,
+    /// instead of an `O(len)` re-detection per call per level per shard.
+    run_starts: Vec<Arc<Vec<usize>>>,
+}
+
+/// The sorted start indices of `codes`' maximal runs, with a final
+/// `codes.len()` sentinel (so run `r` spans `starts[r]..starts[r + 1]`).
+fn run_start_table(codes: &[u32]) -> Vec<usize> {
+    let mut starts = Vec::new();
+    let mut prev = None;
+    for (i, &code) in codes.iter().enumerate() {
+        if prev != Some(code) {
+            starts.push(i);
+            prev = Some(code);
+        }
+    }
+    starts.push(codes.len());
+    starts
 }
 
 impl EncodedFactor {
@@ -120,11 +141,16 @@ impl EncodedFactor {
                 codes: Arc::new(codes),
             });
         }
+        let run_starts = levels
+            .iter()
+            .map(|l| Arc::new(run_start_table(&l.codes)))
+            .collect();
         EncodedFactor {
             name: factor.name.clone(),
             attrs: factor.attrs.clone(),
             levels,
             leaf_count,
+            run_starts,
         }
     }
 
@@ -162,19 +188,29 @@ impl EncodedFactor {
     /// boundary shows up as one partial run per side; the shard merge joins
     /// them back (runs are maximal *within* a shard, so only boundary runs
     /// can share a code with their neighbour).
+    ///
+    /// Served from the precomputed per-level run table: one binary search
+    /// for the run covering `start`, then a walk clipping each run to the
+    /// range — `O(log R + r)` for `r` runs in the range, independent of
+    /// `len`.
     pub fn level_runs_range(&self, level: usize, start: usize, len: usize) -> Vec<(u32, usize)> {
         let codes = &self.levels[level].codes;
         let end = start + len;
         debug_assert!(end <= codes.len());
+        if len == 0 {
+            return Vec::new();
+        }
+        let starts = &self.run_starts[level];
+        // Index of the run containing `start`: the last table entry <= start
+        // (the sentinel guarantees a successor entry exists).
+        let mut run = starts.partition_point(|&s| s <= start) - 1;
         let mut runs = Vec::new();
-        let mut i = start;
-        while i < end {
-            let c = codes[i];
-            let run_start = i;
-            while i < end && codes[i] == c {
-                i += 1;
-            }
-            runs.push((c, i - run_start));
+        let mut lo = start;
+        while lo < end {
+            let hi = starts[run + 1].min(end);
+            runs.push((codes[lo], hi - lo));
+            lo = hi;
+            run += 1;
         }
         runs
     }
@@ -265,18 +301,24 @@ impl EncodedFactor {
         }
         debug_assert!(rem.peek().is_none(), "removed path not present in factor");
         let leaf_count = columns.first().map_or(target, Vec::len);
+        let levels: Vec<EncodedLevel> = dicts
+            .into_iter()
+            .zip(columns)
+            .map(|(dict, codes)| EncodedLevel {
+                dict,
+                codes: Arc::new(codes),
+            })
+            .collect();
+        let run_starts = levels
+            .iter()
+            .map(|l| Arc::new(run_start_table(&l.codes)))
+            .collect();
         EncodedFactor {
             name: self.name.clone(),
             attrs: self.attrs.clone(),
-            levels: dicts
-                .into_iter()
-                .zip(columns)
-                .map(|(dict, codes)| EncodedLevel {
-                    dict,
-                    codes: Arc::new(codes),
-                })
-                .collect(),
+            levels,
             leaf_count,
+            run_starts,
         }
     }
 }

@@ -149,10 +149,19 @@ pub enum Counter {
     PoolStealAssists,
     /// Jobs dispatched with the may-block tag (spill lanes).
     PoolMayBlockJobs,
+    /// Rows the compiled scan kernel tested a predicate against (rows
+    /// accepted in bulk from a matching run are *not* counted — that is the
+    /// point of run skipping).
+    RowsTested,
+    /// Whole runs the compiled scan kernel skipped without testing a row.
+    RunsSkipped,
+    /// Row shards pruned by a zone map before dispatch (no row in the shard
+    /// can satisfy the compiled predicate).
+    ShardsPruned,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 6;
+pub const COUNTER_COUNT: usize = 9;
 
 impl Counter {
     /// All counters, in registry order.
@@ -163,6 +172,9 @@ impl Counter {
         Counter::PoolJobsExecuted,
         Counter::PoolStealAssists,
         Counter::PoolMayBlockJobs,
+        Counter::RowsTested,
+        Counter::RunsSkipped,
+        Counter::ShardsPruned,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -174,6 +186,9 @@ impl Counter {
             Counter::PoolJobsExecuted => "pool_jobs_executed",
             Counter::PoolStealAssists => "pool_steal_assists",
             Counter::PoolMayBlockJobs => "pool_may_block_jobs",
+            Counter::RowsTested => "rows_tested",
+            Counter::RunsSkipped => "runs_skipped",
+            Counter::ShardsPruned => "shards_pruned",
         }
     }
 
@@ -185,6 +200,9 @@ impl Counter {
             Counter::PoolJobsExecuted => 3,
             Counter::PoolStealAssists => 4,
             Counter::PoolMayBlockJobs => 5,
+            Counter::RowsTested => 6,
+            Counter::RunsSkipped => 7,
+            Counter::ShardsPruned => 8,
         }
     }
 }

@@ -167,6 +167,11 @@ impl Relation {
         for row in batch.inserts() {
             next.push_row(row.clone())?;
         }
+        // The successor starts with a warm scan cache: every code column
+        // cached on this snapshot is patched forward (kept rows keep their
+        // codes, inserts extend the dictionary) instead of being re-derived
+        // from a cold sort on the next scan. See `crate::scan`.
+        self.patch_scan_cache_into(&mut next, &keep);
         Ok(next.into_successor_of(self))
     }
 }
@@ -257,6 +262,43 @@ mod tests {
         let mut batch = IngestBatch::new();
         batch.push_delete(row("Ofla", "Adishim", "1986", "8")[..2].to_vec());
         assert!(rel.apply(&batch).is_err());
+    }
+
+    #[test]
+    fn scan_cache_is_patched_across_apply() {
+        let rel = base();
+        // Warm the cache on the predecessor.
+        let warm = rel.code_column(crate::AttrId(1));
+        assert_eq!(warm.dict().len(), 2); // Adishim, Darube
+        let batch = IngestBatch::new()
+            .insert(["Raya", "Zata", "1986", "9"])
+            .insert(["Ofla", "Aaa", "1986", "1"])
+            .delete(["Ofla", "Darube", "1986", "2"]);
+        let next = rel.apply(&batch).unwrap();
+        let patched = next.code_column(crate::AttrId(1));
+        // Kept rows keep their codes (stable extension), inserts append —
+        // "Zata" and "Aaa" get codes 2 and 3 even though "Aaa" sorts first.
+        for v in [Value::str("Adishim"), Value::str("Darube")] {
+            assert_eq!(patched.dict().code_of(&v), warm.dict().code_of(&v));
+        }
+        assert_eq!(patched.dict().code_of(&Value::str("Zata")), Some(2));
+        assert_eq!(patched.dict().code_of(&Value::str("Aaa")), Some(3));
+        // The patched column decodes back to the successor's rows exactly.
+        assert_eq!(patched.len(), next.len());
+        for row in 0..next.len() {
+            assert_eq!(
+                patched.dict().value(patched.code(row)),
+                next.value(row, crate::AttrId(1))
+            );
+        }
+        // A compiled select over the patched snapshot equals the reference.
+        let p = crate::Predicate::eq(crate::AttrId(1), Value::str("Zata"));
+        let reference: Vec<usize> = (0..next.len()).filter(|&r| p.matches(&next, r)).collect();
+        assert_eq!(p.select(&next), reference);
+        // A cold snapshot (predecessor never warmed) still works: nothing
+        // cached, nothing patched, lazily built on the successor.
+        let cold = base().apply(&batch).unwrap();
+        assert_eq!(p.select(&cold), reference);
     }
 
     #[test]

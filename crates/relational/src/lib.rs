@@ -17,6 +17,10 @@
 //! * dictionary encoding of attribute domains ([`ValueDict`]) for the
 //!   factorised operators' columnar backend (§4.2's aggregates run on dense
 //!   codes; values are decoded only at the explanation boundary),
+//! * code-native scan kernels ([`scan`]) — predicates compiled to dense
+//!   `u32` comparisons against cached per-attribute code columns, with
+//!   run skipping and per-shard zone maps, bit-identical to the serial
+//!   `Value` scan (see the [`scan`] module docs for the compilation rule),
 //! * streaming ingest ([`IngestBatch`], [`Relation::apply`]) — snapshot
 //!   semantics for live feeds, the substrate of the engine's delta-maintained
 //!   aggregates (the maintenance direction of §4.3/§4.4),
@@ -46,6 +50,7 @@ pub mod ingest;
 pub mod parallel;
 pub mod predicate;
 pub mod relation;
+pub mod scan;
 pub mod schema;
 pub mod value;
 pub mod view;
@@ -58,6 +63,7 @@ pub use ingest::IngestBatch;
 pub use parallel::Parallelism;
 pub use predicate::Predicate;
 pub use relation::{Relation, RelationBuilder, RelationShards};
+pub use scan::{CodeColumn, CompiledPredicate, MeasureColumn};
 pub use schema::{AttrId, Attribute, AttributeRole, Hierarchy, Schema, SchemaBuilder};
 pub use value::Value;
 pub use view::{DrillDownResult, GroupKey, View};

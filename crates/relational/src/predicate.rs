@@ -8,6 +8,12 @@ use crate::value::Value;
 ///
 /// This is the predicate shape produced by drilling down: the provenance of a
 /// group tuple is exactly the rows matching the tuple's group-by values.
+///
+/// Terms are kept **sorted by attribute**, so two predicates built from the
+/// same terms in any order compare (and hash via their term lists) equal —
+/// `eq(a, x).and_eq(b, y) == eq(b, y).and_eq(a, x)`. Cache layers key on
+/// predicates; without the canonical order the same logical predicate would
+/// silently split cache entries.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Predicate {
     terms: Vec<(AttrId, Value)>,
@@ -26,12 +32,12 @@ impl Predicate {
         }
     }
 
-    /// Add an equality term (replacing an existing term on the same attribute).
+    /// Add an equality term (replacing an existing term on the same
+    /// attribute; new terms insert at the attribute's sorted position).
     pub fn and_eq(mut self, attr: AttrId, value: Value) -> Self {
-        if let Some(t) = self.terms.iter_mut().find(|(a, _)| *a == attr) {
-            t.1 = value;
-        } else {
-            self.terms.push((attr, value));
+        match self.terms.binary_search_by_key(&attr, |(a, _)| *a) {
+            Ok(i) => self.terms[i].1 = value,
+            Err(i) => self.terms.insert(i, (attr, value)),
         }
         self
     }
@@ -58,11 +64,13 @@ impl Predicate {
             .all(|(attr, value)| relation.value(row, *attr) == value)
     }
 
-    /// Row indices of `relation` satisfying the predicate.
+    /// Row indices of `relation` satisfying the predicate, through the
+    /// compiled scan kernel (see [`crate::scan`]): terms resolve to code
+    /// tests once, matching runs are accepted in bulk, and a term on a value
+    /// absent from the column's dictionary returns empty without touching a
+    /// row. Identical to filtering by [`Predicate::matches`].
     pub fn select(&self, relation: &Relation) -> Vec<usize> {
-        (0..relation.len())
-            .filter(|&r| self.matches(relation, r))
-            .collect()
+        crate::scan::CompiledPredicate::compile(self, relation).select_rows(relation.len())
     }
 
     /// Number of terms.
@@ -127,5 +135,32 @@ mod tests {
         let p = Predicate::eq(AttrId(0), Value::str("Ofla")).and_eq(AttrId(0), Value::str("Bora"));
         assert_eq!(p.len(), 1);
         assert_eq!(p.value_of(AttrId(0)), Some(&Value::str("Bora")));
+    }
+
+    #[test]
+    fn term_order_is_canonical() {
+        // The same logical conjunction built in either order must compare
+        // equal (cache layers key on predicates).
+        let ab = Predicate::eq(AttrId(0), Value::str("Ofla")).and_eq(AttrId(2), Value::int(1986));
+        let ba = Predicate::eq(AttrId(2), Value::int(1986)).and_eq(AttrId(0), Value::str("Ofla"));
+        assert_eq!(ab, ba);
+        let attrs: Vec<AttrId> = ab.terms().iter().map(|(a, _)| *a).collect();
+        assert_eq!(attrs, vec![AttrId(0), AttrId(2)]);
+        // Replacement keeps the order canonical too.
+        let replaced = ba.clone().and_eq(AttrId(0), Value::str("Bora"));
+        assert_eq!(
+            replaced,
+            Predicate::eq(AttrId(0), Value::str("Bora")).and_eq(AttrId(2), Value::int(1986))
+        );
+    }
+
+    #[test]
+    fn select_on_absent_value_is_empty() {
+        let r = rel();
+        let p = Predicate::eq(AttrId(0), Value::str("Nowhere"));
+        assert!(p.select(&r).is_empty());
+        // A satisfiable term conjoined with an absent one selects nothing.
+        let p = p.and_eq(AttrId(2), Value::str("1986"));
+        assert!(p.select(&r).is_empty());
     }
 }

@@ -2,9 +2,11 @@
 
 use crate::dict::ValueDict;
 use crate::error::RelationalError;
+use crate::scan::{CodeColumn, CompiledPredicate, ScanCache};
 use crate::schema::{AttrId, Schema};
 use crate::value::Value;
 use crate::Result;
+use reptile_obs::{add_counter, Counter};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -30,13 +32,18 @@ pub struct Relation {
     rows: usize,
     ident: u64,
     version: u64,
+    /// Lazily built per-attribute [`CodeColumn`]s (see [`crate::scan`]).
+    /// Derived data only — never part of relation equality; reset by
+    /// in-place mutation, cold on clone, patched across
+    /// [`Relation::apply`](crate::ingest).
+    scan: ScanCache,
 }
 
 impl Clone for Relation {
     /// Deep-copy the relation as a **new lineage** (fresh ident, version 0):
     /// a clone can be mutated independently (e.g. error injection via
     /// [`Relation::set_value`]), so it must never alias its source in any
-    /// lineage-keyed cache.
+    /// lineage-keyed cache. The scan cache starts cold for the same reason.
     fn clone(&self) -> Self {
         Relation {
             schema: self.schema.clone(),
@@ -44,6 +51,7 @@ impl Clone for Relation {
             rows: self.rows,
             ident: fresh_ident(),
             version: 0,
+            scan: ScanCache::default(),
         }
     }
 }
@@ -58,6 +66,7 @@ impl Relation {
             rows: 0,
             ident: fresh_ident(),
             version: 0,
+            scan: ScanCache::default(),
         }
     }
 
@@ -114,6 +123,44 @@ impl Relation {
         &self.columns[attr.index()][row]
     }
 
+    /// The cached [`CodeColumn`] of `attr` — the scan-kernel backend of this
+    /// snapshot (dictionary, dense codes, run table, zone map). Built on
+    /// first use through the stable-code dictionary machinery, `Arc`-shared
+    /// so shard workers read it without locks. See [`crate::scan`].
+    pub fn code_column(&self, attr: AttrId) -> Arc<CodeColumn> {
+        self.scan
+            .get_or_build(attr.index(), self.schema.arity(), || {
+                CodeColumn::build(self.column(attr))
+            })
+    }
+
+    /// Seed `next`'s scan cache from this relation's across an ingest: for
+    /// every column cached here, kept rows keep their codes (stable-code
+    /// dictionaries never renumber), inserted rows extend the dictionary,
+    /// and the run/zone tables rebuild in one linear pass — the successor
+    /// starts warm without re-sorting any surviving row.
+    pub(crate) fn patch_scan_cache_into(&self, next: &mut Relation, keep: &[usize]) {
+        for (index, cached) in self
+            .scan
+            .cached(self.schema.arity())
+            .into_iter()
+            .enumerate()
+        {
+            let Some(column) = cached else { continue };
+            let mut dict = column.dict().clone();
+            let mut codes: Vec<u32> = keep.iter().map(|&r| column.code(r)).collect();
+            let attr = AttrId(index);
+            for row in keep.len()..next.len() {
+                codes.push(dict.code_or_insert(next.value(row, attr)));
+            }
+            next.scan.install(
+                index,
+                self.schema.arity(),
+                CodeColumn::from_parts(dict, codes),
+            );
+        }
+    }
+
     /// Numeric value at (`row`, `attr`), erroring if non-numeric and non-null.
     pub fn numeric(&self, row: usize, attr: AttrId) -> Result<Option<f64>> {
         let v = self.value(row, attr);
@@ -140,6 +187,7 @@ impl Relation {
             col.push(v);
         }
         self.rows += 1;
+        self.scan.invalidate();
         Ok(())
     }
 
@@ -204,14 +252,37 @@ impl Relation {
         let base = self.rows / shards;
         let extra = self.rows % shards;
         let mut out = Vec::with_capacity(shards);
+        // Per-shard min/max code per attribute, read off the scan-cache code
+        // columns (the same columns predicates compile against, so zone
+        // tests and compiled terms always speak the same code space — even
+        // after an ingest patch appended out-of-sorted-order codes).
+        let code_columns: Vec<Arc<CodeColumn>> = (0..self.schema.arity())
+            .map(|a| self.code_column(AttrId(a)))
+            .collect();
+        let mut zones = Vec::with_capacity(shards);
         let mut start = 0usize;
         for s in 0..shards {
             let len = base + usize::from(s < extra);
             out.push(Arc::new(self.take_range(start, len)));
+            zones.push(
+                code_columns
+                    .iter()
+                    .map(|col| {
+                        let codes = &col.codes()[start..start + len];
+                        let min = codes.iter().copied().min()?;
+                        let max = codes.iter().copied().max()?;
+                        Some((min, max))
+                    })
+                    .collect(),
+            );
             start += len;
         }
         debug_assert_eq!(start, self.rows);
-        RelationShards { shards: out, dicts }
+        RelationShards {
+            shards: out,
+            dicts,
+            zones,
+        }
     }
 
     /// Distinct values of an attribute, sorted.
@@ -226,6 +297,7 @@ impl Relation {
     /// repair simulation utilities).
     pub fn set_value(&mut self, row: usize, attr: AttrId, value: Value) {
         self.columns[attr.index()][row] = value;
+        self.scan.invalidate();
     }
 
     /// Append all rows of `other` (schemas must match by arity; attribute
@@ -241,6 +313,7 @@ impl Relation {
             dst.extend(src.iter().cloned());
         }
         self.rows += other.rows;
+        self.scan.invalidate();
         Ok(())
     }
 }
@@ -250,10 +323,19 @@ impl Relation {
 /// [`Relation`] (its own lineage — shards are derived data, never aliased
 /// into lineage-keyed caches), and the dictionary vector is `Arc`-shared so
 /// fanning shards out to worker threads costs pointer bumps.
+///
+/// Partitioning also records a **zone map**: the min/max code of every
+/// attribute within every shard, in the code space of the source relation's
+/// scan cache (see [`crate::scan`]). [`RelationShards::live_shards`] uses it
+/// to prune shards a compiled predicate provably cannot match before any
+/// work is dispatched for them.
 #[derive(Debug, Clone)]
 pub struct RelationShards {
     shards: Vec<Arc<Relation>>,
     dicts: Arc<Vec<ValueDict>>,
+    /// `zones[shard][attr]` = `(min, max)` code of `attr` within the shard,
+    /// `None` for empty shards.
+    zones: Vec<Vec<Option<(u32, u32)>>>,
 }
 
 impl RelationShards {
@@ -284,6 +366,41 @@ impl RelationShards {
     /// The shared dictionary of one attribute.
     pub fn dict(&self, attr: AttrId) -> &ValueDict {
         &self.dicts[attr.index()]
+    }
+
+    /// The `(min, max)` code of `attr` within shard `shard` (`None` for an
+    /// empty shard), in the source relation's scan-cache code space.
+    pub fn zone(&self, shard: usize, attr: AttrId) -> Option<(u32, u32)> {
+        self.zones[shard][attr.index()]
+    }
+
+    /// Indices of the shards `predicate` may match, per the zone map —
+    /// the shard set worth dispatching. Pruned shards provably contain no
+    /// matching row (exact min/max per shard, so unlike block zones there
+    /// is no edge slack); each one counts toward
+    /// [`Counter::ShardsPruned`]. `predicate` must be compiled against the
+    /// relation this partition was built from.
+    pub fn live_shards(&self, predicate: &CompiledPredicate) -> Vec<usize> {
+        let mut live = Vec::with_capacity(self.shards.len());
+        let mut pruned = 0u64;
+        for s in 0..self.shards.len() {
+            if self.shards[s].is_empty() {
+                continue; // nothing to dispatch, nothing to count
+            }
+            let possible = !predicate.is_unsatisfiable()
+                && predicate.term_codes().all(|(attr, code)| {
+                    self.zones[s][attr.index()].is_some_and(|(lo, hi)| lo <= code && code <= hi)
+                });
+            if possible {
+                live.push(s);
+            } else {
+                pruned += 1;
+            }
+        }
+        if pruned > 0 {
+            add_counter(Counter::ShardsPruned, pruned);
+        }
+        live
     }
 }
 
@@ -478,5 +595,59 @@ mod tests {
         // Shard count is clamped to at least one.
         assert_eq!(r.partition(0).len(), 1);
         assert_eq!(r.partition(0).shards()[0].len(), r.len());
+    }
+
+    #[test]
+    fn partition_zone_maps_prune_exactly() {
+        use crate::predicate::Predicate;
+        use crate::scan::CompiledPredicate;
+        let r = sample(); // rows 0..3 Ofla, row 3 Bora
+        for shards in [1usize, 2, 3, 4, 7] {
+            let parts = r.partition(shards);
+            // Zones cover every shard row.
+            let mut row = 0usize;
+            for (s, shard) in parts.shards().iter().enumerate() {
+                for local in 0..shard.len() {
+                    for a in 0..r.schema().arity() {
+                        let attr = AttrId(a);
+                        let code = r.code_column(attr).code(row + local);
+                        let (lo, hi) = parts.zone(s, attr).expect("non-empty shard has a zone");
+                        assert!(lo <= code && code <= hi);
+                    }
+                }
+                if shard.is_empty() {
+                    assert_eq!(parts.zone(s, AttrId(0)), None);
+                }
+                row += shard.len();
+            }
+            // Bora lives in the last row only: with >= 2 row-bearing shards
+            // the early shard(s) are pruned, and no shard holding a matching
+            // row is ever dropped.
+            let p = CompiledPredicate::compile(&Predicate::eq(AttrId(0), Value::str("Bora")), &r);
+            let live = parts.live_shards(&p);
+            let matching: Vec<usize> = (0..parts.len())
+                .filter(|&s| {
+                    !parts.shards()[s]
+                        .filter_indices(|row| {
+                            parts.shards()[s].value(row, AttrId(0)) == &Value::str("Bora")
+                        })
+                        .is_empty()
+                })
+                .collect();
+            for s in &matching {
+                assert!(live.contains(s), "{shards} shards: shard {s} holds Bora");
+            }
+            if shards >= 2 {
+                assert!(live.len() < shards.min(r.len()), "{shards} shards prune");
+            }
+            // An unsatisfiable predicate keeps nothing.
+            let unsat =
+                CompiledPredicate::compile(&Predicate::eq(AttrId(0), Value::str("Nope")), &r);
+            assert!(parts.live_shards(&unsat).is_empty());
+            // The trivial predicate keeps every non-empty shard.
+            let all = CompiledPredicate::compile(&Predicate::all(), &r);
+            let live = parts.live_shards(&all);
+            assert_eq!(live.len(), shards.min(r.len()));
+        }
     }
 }

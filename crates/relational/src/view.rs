@@ -10,34 +10,48 @@
 //! group-by list and restricts the input to the provenance of the complaint
 //! tuple `t`.
 //!
+//! # Compiled scans
+//!
+//! Every compute path runs on the code-native scan layer of [`crate::scan`]:
+//! the predicate compiles to dense `u32` tests against the relation's cached
+//! [`CodeColumn`]s (a term on a value absent from the dictionary
+//! short-circuits the whole view to empty without touching a row), matching
+//! runs are skipped or bulk-accepted, group keys are per-row code tuples
+//! read straight off the cached columns (decoded back to [`Value`]s once per
+//! *group* at the boundary, never per row), and the measure column's
+//! numeric-ness is resolved **once per scan** up front
+//! ([`MeasureColumn`]) — a non-numeric, non-null measure anywhere in the
+//! column errors immediately instead of per-row `Result` plumbing.
+//!
 //! # Shard-parallel computation
 //!
 //! [`View::compute_with`] fans the group-by scan out over contiguous row
 //! shards on the process-wide [shard pool](crate::parallel), **bit-exactly**:
-//! group keys become per-shard *code tuples* resolved through one shared
-//! [`ValueDict`] per group-by column (the same stable-code contract as
-//! [`Relation::partition`] — a code means the same value in every shard),
+//! every shard reads the same cached code columns (the stable-code contract
+//! of [`Relation::partition`] — a code means the same value in every shard),
 //! each shard accumulates its matching rows in row order, and the partial
-//! group tables merge in fixed shard order. Because shards are contiguous
-//! and ordered, replaying each shard's per-group measure values at merge
-//! time visits every group's rows in exactly the serial row order — the
+//! group tables merge in fixed shard order. Shards whose zone maps prove no
+//! row can match the compiled predicate are pruned *before* dispatch (the
+//! scatter shrinks to the live shards). Because shards are contiguous and
+//! ordered, replaying each shard's per-group measure values at merge time
+//! visits every group's rows in exactly the serial row order — the
 //! floating-point accumulation sequence of [`AggState::push`] is
 //! *identical*, not merely close, so `View::compute_sharded(..., n) ==
 //! View::compute(...)` holds for arbitrary shard counts (the workspace
-//! property tests assert `==`). Provenance vectors concatenate in shard
-//! order, reproducing the serial row order too. Codes are decoded back to
-//! [`Value`]s once per *group* at the boundary, never per row.
+//! property tests assert `==`), and pruning is exactness-safe because a
+//! pruned shard's partial would have been empty. Provenance vectors
+//! concatenate in shard order, reproducing the serial row order too.
 
 use crate::aggregate::{AggState, AggregateKind};
-use crate::dict::ValueDict;
 use crate::error::RelationalError;
 use crate::parallel::Parallelism;
 use crate::predicate::Predicate;
 use crate::relation::Relation;
+use crate::scan::{CodeColumn, CompiledPredicate, MeasureColumn};
 use crate::schema::{AttrId, Hierarchy};
 use crate::value::Value;
 use crate::Result;
-use reptile_obs::{Stage, StageTimer};
+use reptile_obs::{add_counter, Counter, Stage, StageTimer};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -93,10 +107,32 @@ struct ShardGroup {
     rows: Vec<usize>,
 }
 
-/// Row count below which [`View::compute_with`] stays serial: the shared
-/// dictionary build and scatter overhead only pay off once the scan itself
-/// is non-trivial (sharding remains bit-exact either way — this is purely
-/// a latency knob).
+/// Decode code-keyed group tables into value-keyed ones, once per group at
+/// the boundary. Re-inserting under [`GroupKey`]'s `Value` order restores
+/// the canonical group order even when the code order diverges from the
+/// value order (post-ingest dictionaries append new values unsorted).
+fn decode_groups(
+    coded: BTreeMap<Vec<u32>, GroupData>,
+    key_cols: &[Arc<CodeColumn>],
+) -> BTreeMap<GroupKey, GroupData> {
+    coded
+        .into_iter()
+        .map(|(codes, data)| {
+            let key = GroupKey(
+                codes
+                    .iter()
+                    .zip(key_cols)
+                    .map(|(code, col)| col.dict().value(*code).clone())
+                    .collect(),
+            );
+            (key, data)
+        })
+        .collect()
+}
+
+/// Row count below which [`View::compute_with`] stays serial: the scatter
+/// overhead only pays off once the scan itself is non-trivial (sharding
+/// remains bit-exact either way — this is purely a latency knob).
 const SHARD_MIN_ROWS: usize = 2048;
 
 /// An aggregation view over a relation.
@@ -126,7 +162,8 @@ impl PartialEq for View {
 
 impl View {
     /// Compute the view `γ_{group_by, aggs(measure)}(σ_predicate(relation))`
-    /// with a single serial scan.
+    /// with a single serial scan over the compiled kernel (see the module
+    /// docs) — identical output to a row-at-a-time `Value` scan.
     pub fn compute(
         relation: Arc<Relation>,
         predicate: Predicate,
@@ -134,22 +171,31 @@ impl View {
         measure: AttrId,
     ) -> Result<View> {
         let _span = StageTimer::start(Stage::Scan);
-        let mut groups: BTreeMap<GroupKey, GroupData> = BTreeMap::new();
-        for row in 0..relation.len() {
-            if !predicate.matches(&relation, row) {
-                continue;
-            }
-            let key = GroupKey(
-                group_by
-                    .iter()
-                    .map(|a| relation.value(row, *a).clone())
-                    .collect(),
-            );
-            let value = relation.numeric(row, measure)?.unwrap_or(0.0);
-            let data = groups.entry(key).or_default();
-            data.agg.push(value);
-            data.rows.push(row);
+        let compiled = CompiledPredicate::compile(&predicate, &relation);
+        if compiled.is_unsatisfiable() {
+            // A term's value is absent from its column: nothing can match.
+            // Short-circuit before resolving the measure or touching a row.
+            return Ok(View {
+                relation,
+                predicate,
+                group_by,
+                measure,
+                groups: BTreeMap::new(),
+            });
         }
+        let measure_col = MeasureColumn::resolve(&relation, measure)?;
+        let key_cols: Vec<Arc<CodeColumn>> =
+            group_by.iter().map(|a| relation.code_column(*a)).collect();
+        let mut coded: BTreeMap<Vec<u32>, GroupData> = BTreeMap::new();
+        compiled.for_each_matching_range(0, relation.len(), |start, len| {
+            for row in start..start + len {
+                let key: Vec<u32> = key_cols.iter().map(|c| c.code(row)).collect();
+                let data = coded.entry(key).or_default();
+                data.agg.push(measure_col.value(row));
+                data.rows.push(row);
+            }
+        });
+        let groups = decode_groups(coded, &key_cols);
         Ok(View {
             relation,
             predicate,
@@ -205,8 +251,9 @@ impl View {
         )
     }
 
-    /// The sharded scan: shared dictionaries, per-shard code-keyed partial
-    /// tables, fixed-shard-order replay merge, one decode per group.
+    /// The sharded scan: cached code columns, zone-pruned scatter, compiled
+    /// per-shard kernels into code-keyed partial tables, fixed-shard-order
+    /// replay merge, one decode per group.
     fn compute_ranges(
         relation: Arc<Relation>,
         predicate: Predicate,
@@ -215,61 +262,59 @@ impl View {
         ranges: &[(usize, usize)],
         parallelism: &Parallelism,
     ) -> Result<View> {
-        // One shared dictionary per group-by column, built over the FULL
-        // column — the stable-code contract of `Relation::partition`: a
-        // code means the same value in every shard, so per-shard partial
-        // tables keyed by code tuples merge code-wise. All columns' sorted
-        // distinct runs come out of ONE scatter (scatter dispatch is the
-        // fixed cost of the sharded path, so the whole compute pays exactly
-        // two: this one and the scan below).
-        let shard_runs: Vec<Vec<Vec<Value>>> = parallelism.run_shards(ranges, |start, len| {
-            group_by
-                .iter()
-                .map(|a| {
-                    let mut run = relation.column(*a)[start..start + len].to_vec();
-                    run.sort();
-                    run.dedup();
-                    run
-                })
-                .collect()
-        });
-        let mut per_attr: Vec<Vec<Vec<Value>>> = (0..group_by.len())
-            .map(|_| Vec::with_capacity(shard_runs.len()))
-            .collect();
-        for shard in shard_runs {
-            for (i, run) in shard.into_iter().enumerate() {
-                per_attr[i].push(run);
+        let compiled = CompiledPredicate::compile(&predicate, &relation);
+        if compiled.is_unsatisfiable() {
+            return Ok(View {
+                relation,
+                predicate,
+                group_by,
+                measure,
+                groups: BTreeMap::new(),
+            });
+        }
+        // Measure numeric-ness and group-by code columns resolve ONCE, up
+        // front — shard closures are infallible and do per-row array reads
+        // only. The cached columns are the stable-code contract: a code
+        // means the same value in every shard, so per-shard partial tables
+        // keyed by code tuples merge code-wise.
+        let measure_col = MeasureColumn::resolve(&relation, measure)?;
+        let key_cols: Vec<Arc<CodeColumn>> =
+            group_by.iter().map(|a| relation.code_column(*a)).collect();
+        // Zone pruning sizes the scatter: shards the zone maps prove
+        // predicate-free are dropped before dispatch. Exactness-safe — a
+        // pruned shard's partial table would have been empty, and empty
+        // partials merge as identities.
+        let mut live: Vec<(usize, usize)> = Vec::with_capacity(ranges.len());
+        let mut pruned = 0u64;
+        for &(start, len) in ranges {
+            if len == 0 {
+                continue;
+            }
+            if compiled.zone_may_match(start, len) {
+                live.push((start, len));
+            } else {
+                pruned += 1;
             }
         }
-        let dicts: Vec<ValueDict> = per_attr
-            .into_iter()
-            .map(|runs| ValueDict::from_sorted_values(crate::dict::merge_distinct_runs(runs)))
-            .collect();
-        let partials: Vec<Result<BTreeMap<Vec<u32>, ShardGroup>>> =
-            parallelism.run_shards(ranges, |start, len| {
+        if pruned > 0 {
+            add_counter(Counter::ShardsPruned, pruned);
+        }
+        let partials: Vec<BTreeMap<Vec<u32>, ShardGroup>> =
+            parallelism.run_shards(&live, |start, len| {
                 // Per-shard scan span: the histogram's count equals the
                 // shard count, so a profile shows both the fan-out width
                 // and the per-shard balance.
                 let _span = StageTimer::start(Stage::Scan);
                 let mut groups: BTreeMap<Vec<u32>, ShardGroup> = BTreeMap::new();
-                for row in start..start + len {
-                    if !predicate.matches(&relation, row) {
-                        continue;
+                compiled.for_each_matching_range(start, len, |s, l| {
+                    for row in s..s + l {
+                        let key: Vec<u32> = key_cols.iter().map(|c| c.code(row)).collect();
+                        let group = groups.entry(key).or_default();
+                        group.values.push(measure_col.value(row));
+                        group.rows.push(row);
                     }
-                    let key: Vec<u32> = group_by
-                        .iter()
-                        .zip(&dicts)
-                        .map(|(a, dict)| {
-                            dict.code_of(relation.value(row, *a))
-                                .expect("dictionary built over the full column")
-                        })
-                        .collect();
-                    let value = relation.numeric(row, measure)?.unwrap_or(0.0);
-                    let group = groups.entry(key).or_default();
-                    group.values.push(value);
-                    group.rows.push(row);
-                }
-                Ok(groups)
+                });
+                groups
             });
         // Merge in fixed shard order. Shards are contiguous and ordered, so
         // per group this replays AggState::push over the measure values in
@@ -278,7 +323,7 @@ impl View {
         let _merge_span = StageTimer::start(Stage::Merge);
         let mut merged: BTreeMap<Vec<u32>, GroupData> = BTreeMap::new();
         for partial in partials {
-            for (key, shard_group) in partial? {
+            for (key, shard_group) in partial {
                 let data = merged.entry(key).or_default();
                 for value in shard_group.values {
                     data.agg.push(value);
@@ -286,20 +331,7 @@ impl View {
                 data.rows.extend(shard_group.rows);
             }
         }
-        // Decode once per group at the boundary.
-        let groups: BTreeMap<GroupKey, GroupData> = merged
-            .into_iter()
-            .map(|(codes, data)| {
-                let key = GroupKey(
-                    codes
-                        .iter()
-                        .zip(&dicts)
-                        .map(|(code, dict)| dict.value(*code).clone())
-                        .collect(),
-                );
-                (key, data)
-            })
-            .collect();
+        let groups = decode_groups(merged, &key_cols);
         Ok(View {
             relation,
             predicate,
@@ -687,6 +719,65 @@ mod tests {
         let serial = View::compute(r.clone(), restricted.clone(), gb.clone(), measure).unwrap();
         let sharded = View::compute_sharded(r.clone(), restricted, gb, measure, 5).unwrap();
         assert_eq!(serial, sharded);
+    }
+
+    #[test]
+    fn unsatisfiable_predicate_short_circuits_to_empty_view() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let gb = vec![s.attr("district").unwrap()];
+        let measure = s.attr("severity").unwrap();
+        // "Kalu" never occurs: the compiled predicate is unsatisfiable and
+        // the view must come back empty without scanning — on every path.
+        let absent = Predicate::eq(s.attr("district").unwrap(), Value::str("Kalu"));
+        let before = reptile_obs::counter_value(Counter::RowsTested);
+        let serial = View::compute(r.clone(), absent.clone(), gb.clone(), measure).unwrap();
+        let sharded = View::compute_sharded(r.clone(), absent.clone(), gb, measure, 3).unwrap();
+        assert!(serial.is_empty());
+        assert_eq!(serial, sharded);
+        assert_eq!(
+            reptile_obs::counter_value(Counter::RowsTested),
+            before,
+            "unsatisfiable predicate must not test a single row"
+        );
+    }
+
+    #[test]
+    fn sharded_compute_prunes_zone_dead_shards() {
+        // Zone maps are block-quantized (`scan::ZONE_BLOCK_ROWS` rows per
+        // block), so pruning needs shards at least a block wide: 4096 rows,
+        // "Raya" confined to the last quarter, 4 block-aligned shards.
+        let schema = Arc::new(
+            Schema::builder()
+                .hierarchy("geo", ["district", "village"])
+                .measure("severity")
+                .build()
+                .unwrap(),
+        );
+        let mut b = Relation::builder(schema);
+        for row in 0..4096usize {
+            let district = if row < 3072 { "Ofla" } else { "Raya" };
+            b = b
+                .row([
+                    Value::str(district),
+                    Value::str(format!("v{}", row % 7)),
+                    Value::float(row as f64 * 0.5),
+                ])
+                .unwrap();
+        }
+        let r = Arc::new(b.build());
+        let s = r.schema().clone();
+        let gb = vec![s.attr("village").unwrap()];
+        let measure = s.attr("severity").unwrap();
+        let raya = Predicate::eq(s.attr("district").unwrap(), Value::str("Raya"));
+        let before = reptile_obs::counter_value(Counter::ShardsPruned);
+        let serial = View::compute(r.clone(), raya.clone(), gb.clone(), measure).unwrap();
+        let sharded = View::compute_sharded(r.clone(), raya, gb, measure, 4).unwrap();
+        assert_eq!(serial, sharded);
+        assert!(
+            reptile_obs::counter_value(Counter::ShardsPruned) >= before + 3,
+            "zone maps should prune the three Ofla-only shards"
+        );
     }
 
     #[test]
