@@ -1,0 +1,251 @@
+//! End-to-end serving latency through the network front door: concurrent
+//! TCP clients, pool-backed evaluation, and a live ingest stream in the
+//! background — the workload the one-scheduler refactor exists for.
+//!
+//! **Exactness first**: before anything is timed, every distinct request's
+//! response is asserted bit-identical (`==`) to a serial engine over the
+//! same relation snapshot. Only then does the measured section run.
+//!
+//! Writes `BENCH_serving.json` at the repository root with client-observed
+//! per-request latency distributions (p50/p99 in the `serving` extras
+//! section) plus the ledger outcome. Run with `--profile` so the pool's
+//! queue-wait spans land in the `stages` section — serving jobs always
+//! cross the pool queue, so a profiled run must show non-zero queue-wait
+//! counts (the CI smoke gate checks exactly that).
+
+use reptile::{Direction, Reptile};
+use reptile_bench::{
+    baseline_json, json_f64_map, print_bench_table, write_baseline, BenchArgs, BenchStats,
+};
+use reptile_relational::parallel::ForcePoolDispatch;
+use reptile_relational::{AggregateKind, IngestBatch, Predicate, Relation, Schema, Value, View};
+use reptile_serve::{Client, RecommendRequest, ServeConfig, Server, WireRecommendation};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Serving workload: districts x villages x days, one complaint view.
+fn dataset(days: i64) -> (Arc<Relation>, Arc<Schema>) {
+    let schema = Arc::new(
+        Schema::builder()
+            .hierarchy("geo", ["district", "village"])
+            .hierarchy("time", ["day"])
+            .measure("reports")
+            .build()
+            .unwrap(),
+    );
+    let mut b = Relation::builder(schema.clone());
+    for day in 0..days {
+        for d in 0..4 {
+            for v in 0..5 {
+                b = b
+                    .row([
+                        Value::str(format!("D{d}")),
+                        Value::str(format!("D{d}-V{v}")),
+                        Value::int(day),
+                        Value::float(18.0 + d as f64 * 1.5 + v as f64 * 0.3 + day as f64 * 0.1),
+                    ])
+                    .unwrap();
+            }
+        }
+    }
+    (Arc::new(b.build()), schema)
+}
+
+fn request_for(d: usize, day: i64) -> RecommendRequest {
+    RecommendRequest {
+        predicate: vec![],
+        group_by: vec!["district".into(), "day".into()],
+        measure: "reports".into(),
+        complaint_key: vec![Value::str(format!("D{d}")), Value::int(day)],
+        statistic: AggregateKind::Mean,
+        direction: Direction::TooLow,
+        deadline_ms: 0,
+        fault: String::new(),
+    }
+}
+
+fn serial_reference(
+    rel: &Arc<Relation>,
+    schema: &Arc<Schema>,
+    req: &RecommendRequest,
+) -> WireRecommendation {
+    let view = Arc::new(
+        View::compute(
+            rel.clone(),
+            Predicate::all(),
+            req.group_by
+                .iter()
+                .map(|n| schema.attr(n).unwrap())
+                .collect(),
+            schema.attr(&req.measure).unwrap(),
+        )
+        .unwrap(),
+    );
+    let engine = Reptile::new(rel.clone(), schema.clone());
+    let rec = engine.recommend(&view, &req.complaint()).unwrap();
+    WireRecommendation::from_recommendation(&rec, rel.version())
+}
+
+/// Latency samples -> BenchStats (seconds per request, sorted client-side).
+fn stats_from_latencies(name: &str, mut secs: Vec<f64>) -> (BenchStats, f64, f64) {
+    secs.sort_by(|a, b| a.total_cmp(b));
+    let n = secs.len();
+    assert!(n > 0, "no latency samples for {name}");
+    let p = |q: f64| secs[(((n - 1) as f64) * q).round() as usize];
+    let stats = BenchStats {
+        name: name.to_string(),
+        samples: n,
+        mean_s: secs.iter().sum::<f64>() / n as f64,
+        median_s: p(0.5),
+        min_s: secs[0],
+        max_s: secs[n - 1],
+    };
+    (stats, p(0.5), p(0.99))
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    // The point of the bench is pool scheduling — dispatch for real even on
+    // a small host instead of falling back to the inline path.
+    let _force = ForcePoolDispatch::new();
+
+    let days = 3i64;
+    let (rel, schema) = dataset(days);
+    let (clients, rounds, ingest_batches) = if args.smoke { (2, 4, 3) } else { (4, 12, 6) };
+
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = Arc::new(
+        Server::bind(
+            engine,
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 4,
+                max_pending: 128,
+                default_deadline_ms: 0,
+                fault_injection: false,
+            },
+        )
+        .unwrap(),
+    );
+    let addr = server.local_addr();
+
+    // ---- Exactness before timing -------------------------------------
+    // Every (district, day) request served over the wire must equal the
+    // serial engine bit-for-bit before any latency is recorded.
+    {
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        for d in 0..4usize {
+            for day in 0..days {
+                let req = request_for(d, day);
+                let got = client.recommend(req.clone()).unwrap();
+                let want = serial_reference(&rel, &schema, &req);
+                assert_eq!(got, want, "served response must be bit-identical to serial");
+            }
+        }
+        println!("exactness: {} wire responses == serial reference", 4 * days);
+    }
+
+    // Arm stage timers (with --profile) and clear the warm-up's metrics so
+    // the emitted stages reflect only the measured section. The server's
+    // ledger is monotone since bind, so measured-section accounting below
+    // subtracts this snapshot.
+    args.apply_profile();
+    let warmup_ledger = server.ledger();
+
+    // ---- Measured section: concurrent clients + live ingest ----------
+    let ingest_server = Arc::clone(&server);
+    let ingest = std::thread::spawn(move || {
+        for day in days..days + ingest_batches {
+            let mut batch = IngestBatch::new();
+            for d in 0..4 {
+                for v in 0..5 {
+                    batch = batch.insert([
+                        Value::str(format!("D{d}")),
+                        Value::str(format!("D{d}-V{v}")),
+                        Value::int(day),
+                        Value::float(19.0 + d as f64 - v as f64 * 0.2),
+                    ]);
+                }
+            }
+            ingest_server.ingest(&batch).unwrap();
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    });
+
+    let workers: Vec<_> = (0..clients)
+        .map(|worker: usize| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut latencies = Vec::new();
+                for round in 0..rounds {
+                    for day in 0..days {
+                        let d = (worker + round) % 4;
+                        let t0 = Instant::now();
+                        client.recommend(request_for(d, day)).unwrap();
+                        latencies.push(t0.elapsed().as_secs_f64());
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().unwrap());
+    }
+    ingest.join().unwrap();
+
+    let total = latencies.len();
+    let (stats, p50, p99) =
+        stats_from_latencies(&format!("serve_request/{clients}x{rounds}"), latencies);
+    let all_stats = vec![stats];
+    print_bench_table("serving", &all_stats);
+
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("server still shared"));
+    let ledger = server.shutdown();
+    assert!(ledger.conserved(), "ledger must conserve: {ledger:?}");
+    assert_eq!(ledger.protocol_errors, 0, "zero protocol errors required");
+    assert_eq!(
+        ledger.completed - warmup_ledger.completed,
+        total as u64,
+        "every measured request answered with data"
+    );
+    println!(
+        "ledger: admitted={} completed={} rejected={} drained={} dedup_joined={} protocol_errors={}",
+        ledger.admitted,
+        ledger.completed,
+        ledger.rejected,
+        ledger.drained,
+        ledger.dedup_joined,
+        ledger.protocol_errors
+    );
+
+    let extras = [(
+        "serving",
+        json_f64_map(&[
+            ("p50_ms".to_string(), p50 * 1e3),
+            ("p99_ms".to_string(), p99 * 1e3),
+            ("requests_total".to_string(), total as f64),
+            (
+                "admitted".to_string(),
+                (ledger.admitted - warmup_ledger.admitted) as f64,
+            ),
+            (
+                "completed".to_string(),
+                (ledger.completed - warmup_ledger.completed) as f64,
+            ),
+            (
+                "dedup_joined".to_string(),
+                (ledger.dedup_joined - warmup_ledger.dedup_joined) as f64,
+            ),
+            ("protocol_errors".to_string(), ledger.protocol_errors as f64),
+        ]),
+    )];
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    write_baseline(path, &baseline_json(&all_stats, &extras), args.force)
+        .expect("write BENCH_serving.json");
+    println!("\nwrote {path}");
+}

@@ -158,10 +158,36 @@ pub enum Counter {
     /// Row shards pruned by a zone map before dispatch (no row in the shard
     /// can satisfy the compiled predicate).
     ShardsPruned,
+    /// Total items (rows) offered to adaptive scatter sizing — the running
+    /// numerator of the observed mean scatter size.
+    AdaptiveScatterItems,
+    /// Adaptive scatter sizing decisions taken — the running denominator of
+    /// the observed mean scatter size.
+    AdaptiveScatterCalls,
+    /// Requests admitted by the serving front door (including duplicates
+    /// joined onto an in-flight request).
+    ServeAdmitted,
+    /// Admitted requests answered with a recommendation or an engine/internal
+    /// error (a terminal, evaluated outcome).
+    ServeCompleted,
+    /// Requests refused at the door because the pending ledger was full
+    /// (typed `Overloaded` response; never admitted).
+    ServeOverloaded,
+    /// Admitted requests rejected with a typed `DeadlineExceeded` response.
+    ServeDeadlineExpired,
+    /// Admitted requests drained with a typed response because shutdown began
+    /// before their evaluation started.
+    ServeDrained,
+    /// Admissions that joined an identical in-flight request instead of
+    /// consuming a pending-ledger slot (dedup-before-admission).
+    ServeDedupJoined,
+    /// Malformed frames / undecodable requests answered with a typed protocol
+    /// error.
+    ServeProtocolErrors,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 9;
+pub const COUNTER_COUNT: usize = 18;
 
 impl Counter {
     /// All counters, in registry order.
@@ -175,6 +201,15 @@ impl Counter {
         Counter::RowsTested,
         Counter::RunsSkipped,
         Counter::ShardsPruned,
+        Counter::AdaptiveScatterItems,
+        Counter::AdaptiveScatterCalls,
+        Counter::ServeAdmitted,
+        Counter::ServeCompleted,
+        Counter::ServeOverloaded,
+        Counter::ServeDeadlineExpired,
+        Counter::ServeDrained,
+        Counter::ServeDedupJoined,
+        Counter::ServeProtocolErrors,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -189,6 +224,15 @@ impl Counter {
             Counter::RowsTested => "rows_tested",
             Counter::RunsSkipped => "runs_skipped",
             Counter::ShardsPruned => "shards_pruned",
+            Counter::AdaptiveScatterItems => "adaptive_scatter_items",
+            Counter::AdaptiveScatterCalls => "adaptive_scatter_calls",
+            Counter::ServeAdmitted => "serve_admitted",
+            Counter::ServeCompleted => "serve_completed",
+            Counter::ServeOverloaded => "serve_overloaded",
+            Counter::ServeDeadlineExpired => "serve_deadline_expired",
+            Counter::ServeDrained => "serve_drained",
+            Counter::ServeDedupJoined => "serve_dedup_joined",
+            Counter::ServeProtocolErrors => "serve_protocol_errors",
         }
     }
 
@@ -203,6 +247,15 @@ impl Counter {
             Counter::RowsTested => 6,
             Counter::RunsSkipped => 7,
             Counter::ShardsPruned => 8,
+            Counter::AdaptiveScatterItems => 9,
+            Counter::AdaptiveScatterCalls => 10,
+            Counter::ServeAdmitted => 11,
+            Counter::ServeCompleted => 12,
+            Counter::ServeOverloaded => 13,
+            Counter::ServeDeadlineExpired => 14,
+            Counter::ServeDrained => 15,
+            Counter::ServeDedupJoined => 16,
+            Counter::ServeProtocolErrors => 17,
         }
     }
 }
@@ -211,7 +264,9 @@ impl Counter {
 // Gauges
 // ---------------------------------------------------------------------------
 
-/// High-water-mark gauges (always on; updated with a CAS max loop).
+/// Always-on gauges. The `*Max` gauges are high-water marks (updated with
+/// `fetch_max`); [`Gauge::ServePendingDepth`] is a live level set with
+/// [`gauge_set`] every time the serving ledger changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Gauge {
     /// Maximum observed pool queue depth at enqueue time.
@@ -220,10 +275,14 @@ pub enum Gauge {
     PoolScatterWidthMax,
     /// Number of pool worker threads (set once at pool spawn).
     PoolWorkers,
+    /// Current serving front-door pending depth (admitted, not yet terminal).
+    ServePendingDepth,
+    /// High-water mark of [`Gauge::ServePendingDepth`].
+    ServePendingDepthMax,
 }
 
 /// Number of [`Gauge`] variants.
-pub const GAUGE_COUNT: usize = 3;
+pub const GAUGE_COUNT: usize = 5;
 
 impl Gauge {
     /// All gauges, in registry order.
@@ -231,6 +290,8 @@ impl Gauge {
         Gauge::PoolQueueDepthMax,
         Gauge::PoolScatterWidthMax,
         Gauge::PoolWorkers,
+        Gauge::ServePendingDepth,
+        Gauge::ServePendingDepthMax,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -239,6 +300,8 @@ impl Gauge {
             Gauge::PoolQueueDepthMax => "pool_queue_depth_max",
             Gauge::PoolScatterWidthMax => "pool_scatter_width_max",
             Gauge::PoolWorkers => "pool_workers",
+            Gauge::ServePendingDepth => "serve_pending_depth",
+            Gauge::ServePendingDepthMax => "serve_pending_depth_max",
         }
     }
 
@@ -247,6 +310,8 @@ impl Gauge {
             Gauge::PoolQueueDepthMax => 0,
             Gauge::PoolScatterWidthMax => 1,
             Gauge::PoolWorkers => 2,
+            Gauge::ServePendingDepth => 3,
+            Gauge::ServePendingDepthMax => 4,
         }
     }
 }
@@ -365,6 +430,13 @@ pub fn counter_value(counter: Counter) -> u64 {
 #[inline]
 pub fn gauge_max(gauge: Gauge, value: u64) {
     REGISTRY.gauges[gauge.index()].fetch_max(value, Ordering::Relaxed);
+}
+
+/// Overwrite a level gauge with `value` (for gauges that track a current
+/// level rather than a high-water mark, e.g. [`Gauge::ServePendingDepth`]).
+#[inline]
+pub fn gauge_set(gauge: Gauge, value: u64) {
+    REGISTRY.gauges[gauge.index()].store(value, Ordering::Relaxed);
 }
 
 /// Current value of a gauge.
@@ -729,6 +801,19 @@ mod tests {
         gauge_max(Gauge::PoolQueueDepthMax, 2);
         assert_eq!(counter_value(Counter::PoolJobsExecuted), 5);
         assert_eq!(gauge_value(Gauge::PoolQueueDepthMax), 4);
+    }
+
+    #[test]
+    fn gauge_set_overwrites_in_both_directions() {
+        let _g = locked();
+        reset();
+        gauge_set(Gauge::ServePendingDepth, 7);
+        assert_eq!(gauge_value(Gauge::ServePendingDepth), 7);
+        gauge_set(Gauge::ServePendingDepth, 2);
+        assert_eq!(gauge_value(Gauge::ServePendingDepth), 2);
+        gauge_max(Gauge::ServePendingDepthMax, 7);
+        gauge_max(Gauge::ServePendingDepthMax, 2);
+        assert_eq!(gauge_value(Gauge::ServePendingDepthMax), 7);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub use dict::ValueDict;
 pub use error::RelationalError;
 pub use hierarchy::{validate_hierarchy, HierarchyLevels};
 pub use ingest::IngestBatch;
-pub use parallel::Parallelism;
+pub use parallel::{spawn_pool_job, Parallelism, ADAPTIVE_INLINE_FLOOR};
 pub use predicate::Predicate;
 pub use relation::{Relation, RelationBuilder, RelationShards};
 pub use scan::{CodeColumn, CompiledPredicate, MeasureColumn};

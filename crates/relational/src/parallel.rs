@@ -38,6 +38,19 @@
 //! dedicated workers, because running one inline could park the assisting
 //! caller on a condition only the caller itself can satisfy.
 //!
+//! **One scheduler.** The pool is the process's only scheduler: besides
+//! scatters, owned fire-and-forget jobs enter through [`spawn_pool_job`] —
+//! the serving front door (`reptile-serve`) submits every admitted request
+//! as one may-block job, so request execution and the shard scatters it
+//! triggers share the single queue and the single worker set, and a request
+//! worker waiting on its own scatter assists others' instead of idling.
+//! Shard *widths* are adaptive ([`Parallelism::adaptive_width`]): scatters
+//! under [`ADAPTIVE_INLINE_FLOOR`] items run inline, scatters at or above
+//! the observed mean size (fed back through the obs layer's
+//! `adaptive_scatter_*` counters) get the full budget, and sizes in between
+//! scale proportionally — replacing the old static `cores / threads()`
+//! split. Width never changes results, only latency.
+//!
 //! **Exactness contract.** Every sharded code path in this workspace is
 //! bit-identical (`==`, not tolerance) to its serial counterpart. Two
 //! mechanisms deliver that, and new sharded paths must use one of them:
@@ -179,6 +192,48 @@ impl Parallelism {
     /// one contiguous range per thread, never more ranges than items.
     pub fn ranges_for(&self, len: usize) -> Vec<(usize, usize)> {
         Self::shard_ranges(len, self.threads.get().min(len.max(1)))
+    }
+
+    /// Adaptive fan-out width for a scatter over `len` items, replacing the
+    /// static `cores / threads()` split: tiny scatters run inline, scatters
+    /// at or above the observed mean size get the full budget, and scatters
+    /// in between get a width proportional to their size relative to that
+    /// mean. The mean comes from the obs layer's always-on
+    /// `adaptive_scatter_items` / `adaptive_scatter_calls` counters, which
+    /// this call also feeds — so the rule self-tunes to the workload the
+    /// process actually sees (a serving mix of narrow drill-downs and wide
+    /// base-relation scans lands each at its own width).
+    ///
+    /// Any width is bit-exact (the merges are width-independent — see the
+    /// exactness contract above), so this only moves latency, never results.
+    pub fn adaptive_width(&self, len: usize) -> usize {
+        let budget = self.effective_threads();
+        if budget == 1 {
+            return 1;
+        }
+        obs::add_counter(obs::Counter::AdaptiveScatterItems, len as u64);
+        obs::add_counter(obs::Counter::AdaptiveScatterCalls, 1);
+        if len < ADAPTIVE_INLINE_FLOOR {
+            return 1;
+        }
+        let calls = obs::counter_value(obs::Counter::AdaptiveScatterCalls).max(1);
+        let mean = (obs::counter_value(obs::Counter::AdaptiveScatterItems) / calls).max(1);
+        if len as u64 >= mean {
+            budget
+        } else {
+            // Below the running mean but above the inline floor: scale the
+            // width by len/mean, keeping at least a 2-way split (it already
+            // cleared the floor) and never exceeding the budget.
+            let scaled = ((len as u128) * (budget as u128) / (mean as u128)) as usize;
+            scaled.clamp(2, budget)
+        }
+    }
+
+    /// The ranges an adaptive scatter over `0..len` fans out over: one
+    /// contiguous range per [`Parallelism::adaptive_width`] slot, never more
+    /// ranges than items. A single returned range means "run inline".
+    pub fn adaptive_ranges(&self, len: usize) -> Vec<(usize, usize)> {
+        Self::shard_ranges(len, self.adaptive_width(len).min(len.max(1)))
     }
 
     /// Scatter `shard(start, len)` over the given ranges and gather the
@@ -363,6 +418,38 @@ impl Parallelism {
 /// erasure is sound because `run_shards` (via `WaitGuard`, which waits even
 /// during unwinding) never returns before every submitted job completed.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Scatters below this many items run inline regardless of the thread
+/// budget: dispatch and merge overhead exceeds any overlap win (this is the
+/// view layer's long-standing `SHARD_MIN_ROWS` threshold, promoted to the
+/// adaptive rule's floor).
+pub const ADAPTIVE_INLINE_FLOOR: usize = 2048;
+
+/// Submit one owned, fire-and-forget job to the process-wide shard pool,
+/// growing the pool to at least `min_workers` dedicated workers first. This
+/// is the serving front door's entry point: every admitted request becomes
+/// one `may_block` pool job, so the pool is the *only* scheduler in the
+/// process — request jobs and the shard scatters they trigger share the one
+/// queue, and a request worker waiting on its scatter drains other requests'
+/// compute shards (the work-stealing assist) instead of idling.
+///
+/// Unlike a scatter, a spawned job always dispatches — even on a single-core
+/// host — because serving jobs overlap *blocked* time (network writes, claim
+/// waits, deadline queues), not just compute. The job is wrapped in
+/// `catch_unwind` so a panicking request handler can never take a pool
+/// worker down; callers that need to observe the panic (the serving layer
+/// turns it into a typed error response) must catch it themselves first.
+pub fn spawn_pool_job(min_workers: usize, may_block: bool, job: impl FnOnce() + Send + 'static) {
+    let pool = shard_pool();
+    pool.ensure_workers(min_workers.max(1));
+    let boxed: Job = Box::new(move || {
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            // Contained: the worker survives; the payload is dropped because
+            // no scatter latch is waiting to re-raise it.
+        }
+    });
+    pool.submit_batch(std::iter::once(boxed), may_block);
+}
 
 /// One queue entry: the job plus whether it may park on an external
 /// condition (see [`Parallelism::run_shards_may_block`]). Pool workers run
@@ -678,6 +765,88 @@ mod tests {
         assert_eq!(Parallelism::new(8).ranges_for(3).len(), 3);
         assert_eq!(Parallelism::new(8).ranges_for(0).len(), 1);
         assert_eq!(Parallelism::new(2).ranges_for(100).len(), 2);
+    }
+
+    #[test]
+    fn adaptive_width_is_serial_below_the_floor() {
+        let _force = ForcePoolDispatch::new();
+        let par = Parallelism::new(4);
+        assert_eq!(par.adaptive_width(0), 1);
+        assert_eq!(par.adaptive_width(ADAPTIVE_INLINE_FLOOR - 1), 1);
+        assert_eq!(par.adaptive_ranges(17).len(), 1);
+        // A serial budget never fans out, whatever the size.
+        assert_eq!(Parallelism::serial().adaptive_width(1 << 20), 1);
+    }
+
+    #[test]
+    fn adaptive_width_reaches_full_budget_at_or_above_the_mean() {
+        let _force = ForcePoolDispatch::new();
+        let par = Parallelism::new(4);
+        // The running mean can never exceed the largest scatter ever
+        // recorded, so the largest-so-far size always gets the full budget
+        // (counters are process-global; this holds under concurrent tests).
+        let huge = 1usize << 40;
+        assert_eq!(par.adaptive_width(huge), 4);
+        let ranges = par.adaptive_ranges(huge);
+        assert_eq!(ranges.len(), 4);
+        assert_eq!(ranges.iter().map(|r| r.1).sum::<usize>(), huge);
+    }
+
+    #[test]
+    fn adaptive_width_stays_within_bounds_and_feeds_the_obs_mean() {
+        let _force = ForcePoolDispatch::new();
+        let par = Parallelism::new(8);
+        let calls0 = obs::counter_value(obs::Counter::AdaptiveScatterCalls);
+        for len in [0usize, 100, 3000, 50_000, 1 << 22] {
+            let w = par.adaptive_width(len);
+            assert!((1..=8).contains(&w), "width {w} for len {len}");
+            if len < ADAPTIVE_INLINE_FLOOR {
+                assert_eq!(w, 1);
+            }
+        }
+        let calls1 = obs::counter_value(obs::Counter::AdaptiveScatterCalls);
+        assert!(calls1 >= calls0 + 5, "every decision feeds the mean");
+    }
+
+    #[test]
+    fn adaptive_ranges_produce_identical_results_to_serial() {
+        let _force = ForcePoolDispatch::new();
+        let par = Parallelism::new(4);
+        let len = ADAPTIVE_INLINE_FLOOR * 3 + 17;
+        let ranges = par.adaptive_ranges(len);
+        let sums = par.run_shards(&ranges, |start, l| {
+            (start as u64..(start + l) as u64).sum::<u64>()
+        });
+        assert_eq!(sums.iter().sum::<u64>(), (0..len as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn spawn_pool_job_runs_detached() {
+        let _force = ForcePoolDispatch::new();
+        let (tx, rx) = std::sync::mpsc::channel::<usize>();
+        for i in 0..10usize {
+            let tx = tx.clone();
+            spawn_pool_job(2, true, move || {
+                tx.send(i).unwrap();
+            });
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spawn_pool_job_contains_panics_and_pool_survives() {
+        let _force = ForcePoolDispatch::new();
+        spawn_pool_job(2, true, || panic!("injected handler panic"));
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        spawn_pool_job(2, true, move || tx.send(7).unwrap());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(30)),
+            Ok(7),
+            "pool must stay serviceable after a panicking spawned job"
+        );
     }
 
     #[test]

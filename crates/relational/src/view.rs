@@ -130,11 +130,6 @@ fn decode_groups(
         .collect()
 }
 
-/// Row count below which [`View::compute_with`] stays serial: the scatter
-/// overhead only pays off once the scan itself is non-trivial (sharding
-/// remains bit-exact either way — this is purely a latency knob).
-const SHARD_MIN_ROWS: usize = 2048;
-
 /// An aggregation view over a relation.
 #[derive(Debug, Clone)]
 pub struct View {
@@ -205,10 +200,12 @@ impl View {
         })
     }
 
-    /// [`View::compute`], fanned out over `parallelism` when the relation
-    /// is large enough to pay for the scatter (see the module docs for the
-    /// shard-exact merge rule). Bit-identical to the serial scan for every
-    /// thread budget.
+    /// [`View::compute`], fanned out over `parallelism` at the adaptive
+    /// width (see [`Parallelism::adaptive_width`]): scans below the inline
+    /// floor stay serial, scans at or above the observed mean scatter size
+    /// get the full budget, sizes in between get a proportional width — so a
+    /// serving mix of narrow drill-downs and wide base scans lands each at
+    /// its own fan-out. Bit-identical to the serial scan for every width.
     pub fn compute_with(
         relation: Arc<Relation>,
         predicate: Predicate,
@@ -218,13 +215,14 @@ impl View {
     ) -> Result<View> {
         // The shard/merge structure (shared dictionaries, partial tables,
         // replay merge) only pays off when the scatter genuinely overlaps
-        // threads; when this context would inline anyway (serial budget,
-        // single-core host, nested on a pool worker) the direct scan is
+        // threads; a single adaptive range means this context would inline
+        // anyway (serial budget, single-core host, nested on a pool worker,
+        // or a scan too small to pay for the scatter) and the direct scan is
         // strictly faster and bit-identical.
-        if parallelism.effective_threads() == 1 || relation.len() < SHARD_MIN_ROWS {
+        let ranges = parallelism.adaptive_ranges(relation.len());
+        if ranges.len() == 1 {
             return View::compute(relation, predicate, group_by, measure);
         }
-        let ranges = parallelism.ranges_for(relation.len());
         View::compute_ranges(relation, predicate, group_by, measure, &ranges, parallelism)
     }
 

@@ -1,0 +1,43 @@
+//! # reptile-serve — the network front door
+//!
+//! One process, one scheduler, one front door. This crate puts a TCP
+//! server in front of a [`reptile::Reptile`] engine:
+//!
+//! - **Protocol** ([`protocol`]): a versioned, length-prefixed binary
+//!   codec over `std::net` — no external dependencies. Frames are bounded
+//!   ([`protocol::MAX_FRAME_LEN`]), every decode failure is a typed
+//!   [`protocol::ProtocolError`], and `f64`s travel as raw bits so a
+//!   round-tripped request compares equal bit-for-bit.
+//! - **Scheduling** ([`server`]): admitted requests run as may-block jobs
+//!   on the process-wide shard pool — the same workers that execute shard
+//!   scatters — so the process has exactly one scheduler and serving
+//!   concurrency composes with intra-request parallelism instead of
+//!   fighting it.
+//! - **Admission & deadlines** ([`server::ServeConfig`]): a bounded
+//!   pending ledger refuses excess load with typed
+//!   [`protocol::ServeErrorKind::Overloaded`] responses; per-request
+//!   deadlines return typed
+//!   [`protocol::ServeErrorKind::DeadlineExceeded`] — an expired request
+//!   never receives data. Duplicate in-flight requests are detected by
+//!   the session layer's dedup signature *before* admission control and
+//!   join the in-flight evaluation without consuming a pending slot.
+//! - **Drain** ([`server::Server::shutdown`]): graceful shutdown stops
+//!   admission, answers queued-but-unstarted requests with a typed drain
+//!   response, finishes in-flight evaluations, and returns a
+//!   [`server::ServeLedger`] on which the conservation law
+//!   `admitted == completed + rejected + drained` holds.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ProtocolError, RecommendRequest, Request, RequestFrame, Response, ResponseFrame,
+    ServeErrorKind, WireError, WireRecommendation, WireScoredGroup, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, ServeLedger, Server};

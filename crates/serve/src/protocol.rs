@@ -1,0 +1,756 @@
+//! The length-prefixed binary wire protocol (version 1).
+//!
+//! Everything is hand-rolled over `std` — no serde, no external codecs —
+//! per the workspace rule. The framing is:
+//!
+//! ```text
+//! [payload_len: u32 BE]  length of everything after these 4 bytes
+//! [magic: 2 bytes "RP"]
+//! [version: u8]          PROTOCOL_VERSION; others are rejected typed
+//! [kind: u8]             frame kind (request or response discriminant)
+//! [request_id: u64 BE]   echoed verbatim in the response
+//! [body]                 kind-specific
+//! ```
+//!
+//! Body primitives: integers are big-endian; `f64`s travel as
+//! [`f64::to_bits`] so a recommendation's scores arrive **bit-identical**
+//! (the serving exactness tests compare with `==`, never tolerance);
+//! strings are `u32` length + UTF-8 bytes; sequences are `u32` count +
+//! elements; [`Value`]s are a tag byte (0 null / 1 int / 2 float / 3 str)
+//! plus the variant payload.
+//!
+//! **Decode safety.** Every decoder is total: truncated, oversized,
+//! garbage, wrong-version and trailing-byte inputs all return a typed
+//! [`ProtocolError`] — never a panic, never a partial read (a sequence
+//! count is validated against the bytes actually remaining before any
+//! allocation). The codec round-trip (`decode(encode(x)) == x`) and the
+//! rejection behaviour are property-tested in `tests/protocol_roundtrip.rs`.
+
+use reptile::{Complaint, Direction, Recommendation, ScoredGroup};
+use reptile_relational::{AggregateKind, GroupKey, Value};
+use std::io::{Read, Write};
+
+/// Protocol version this build speaks. Frames carrying any other version
+/// are rejected with [`ProtocolError::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Frame magic: the first two payload bytes of every valid frame.
+pub const MAGIC: [u8; 2] = *b"RP";
+
+/// Hard cap on a frame's payload length. A length prefix above this is
+/// rejected before any allocation ([`ProtocolError::Oversized`]).
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Frame header length: magic + version + kind + request id.
+const HEADER_LEN: usize = 2 + 1 + 1 + 8;
+
+/// Frame kind discriminants (requests low, responses high bit set).
+const KIND_PING: u8 = 0;
+const KIND_RECOMMEND: u8 = 1;
+const KIND_PONG: u8 = 0x80;
+const KIND_RECOMMENDATION: u8 = 0x81;
+const KIND_ERROR: u8 = 0x82;
+
+/// Typed decode/framing failure. Every malformed input maps to exactly one
+/// of these; decoding never panics and never partially succeeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The input ended before the structure it promised (also covers
+    /// sequence counts larger than the bytes remaining).
+    Truncated,
+    /// The first two payload bytes were not [`MAGIC`].
+    BadMagic([u8; 2]),
+    /// The frame speaks a protocol version this build does not.
+    UnsupportedVersion(u8),
+    /// Unknown frame kind, or a kind from the wrong direction (a response
+    /// kind where a request was required, or vice versa).
+    UnknownKind(u8),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized(u32),
+    /// Bytes remained after the body was fully decoded.
+    TrailingBytes(usize),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An enum tag byte ([`Value`] tag, statistic, direction, error kind)
+    /// was out of range.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Truncated => write!(f, "frame truncated"),
+            ProtocolError::BadMagic(m) => write!(f, "bad frame magic {m:?}"),
+            ProtocolError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (this build speaks {PROTOCOL_VERSION})"
+                )
+            }
+            ProtocolError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            ProtocolError::Oversized(n) => {
+                write!(
+                    f,
+                    "frame payload of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap"
+                )
+            }
+            ProtocolError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the frame body"),
+            ProtocolError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtocolError::BadTag(t) => write!(f, "tag byte {t} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A failure while moving frames over a stream: either the bytes were
+/// malformed (typed) or the transport itself failed.
+#[derive(Debug)]
+pub enum WireError {
+    /// The bytes violated the protocol.
+    Protocol(ProtocolError),
+    /// The underlying stream failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Protocol(e) => write!(f, "protocol error: {e}"),
+            WireError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<ProtocolError> for WireError {
+    fn from(e: ProtocolError) -> Self {
+        WireError::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire types
+// ---------------------------------------------------------------------------
+
+/// A recommend request as it travels on the wire: the view *definition*
+/// (attribute names, not ids — the server resolves them against its schema)
+/// plus the complaint and the per-request deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecommendRequest {
+    /// Equality predicate terms `attribute = value` (conjunction; order is
+    /// irrelevant — the server canonicalises).
+    pub predicate: Vec<(String, Value)>,
+    /// Group-by attribute names of the complaint view.
+    pub group_by: Vec<String>,
+    /// Measure attribute name.
+    pub measure: String,
+    /// The complained tuple's group-by key, aligned with `group_by`.
+    pub complaint_key: Vec<Value>,
+    /// The complained statistic.
+    pub statistic: AggregateKind,
+    /// The complaint direction.
+    pub direction: Direction,
+    /// Per-request deadline in milliseconds from admission; `0` means "use
+    /// the server's default" (which may be none).
+    pub deadline_ms: u32,
+    /// Test/ops chaos hook (`""` = none). Honoured only by servers started
+    /// with fault injection enabled: `"panic"` panics the handler,
+    /// `"sleep:N"` sleeps N ms before evaluating. A server without fault
+    /// injection answers a non-empty marker with `BadRequest`.
+    pub fault: String,
+}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Evaluate a complaint (see [`RecommendRequest`]).
+    Recommend(RecommendRequest),
+}
+
+/// A request frame: the caller-chosen id is echoed in the response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Caller-chosen correlation id, echoed verbatim.
+    pub id: u64,
+    /// The request.
+    pub request: Request,
+}
+
+/// Typed failure classes a server can answer with. Rejections
+/// (`Overloaded`, `DeadlineExceeded`) are the backpressure surface: a
+/// rejected request **never** receives data, only one of these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeErrorKind {
+    /// Refused at admission: the pending ledger is full (or the server is
+    /// shutting down). Retry later, ideally with backoff.
+    Overloaded,
+    /// The per-request deadline expired before a result could be sent.
+    DeadlineExceeded,
+    /// The request was well-framed but invalid (unknown attribute, arity
+    /// mismatch, fault marker without fault injection, undecodable frame).
+    BadRequest,
+    /// The engine evaluated the request and returned an error (e.g. the
+    /// complaint tuple does not exist in the view).
+    Engine,
+    /// The request handler panicked; the connection remains usable.
+    Internal,
+}
+
+impl ServeErrorKind {
+    fn to_tag(self) -> u8 {
+        match self {
+            ServeErrorKind::Overloaded => 0,
+            ServeErrorKind::DeadlineExceeded => 1,
+            ServeErrorKind::BadRequest => 2,
+            ServeErrorKind::Engine => 3,
+            ServeErrorKind::Internal => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, ProtocolError> {
+        Ok(match tag {
+            0 => ServeErrorKind::Overloaded,
+            1 => ServeErrorKind::DeadlineExceeded,
+            2 => ServeErrorKind::BadRequest,
+            3 => ServeErrorKind::Engine,
+            4 => ServeErrorKind::Internal,
+            t => return Err(ProtocolError::BadTag(t)),
+        })
+    }
+}
+
+impl std::fmt::Display for ServeErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ServeErrorKind::Overloaded => "overloaded",
+            ServeErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ServeErrorKind::BadRequest => "bad_request",
+            ServeErrorKind::Engine => "engine",
+            ServeErrorKind::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One scored group of a recommendation, wire-shaped: all `f64`s travel as
+/// bit patterns, so the client reconstructs the server's scores exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireScoredGroup {
+    /// Name of the hierarchy this group belongs to.
+    pub hierarchy: String,
+    /// The attribute added by the drill-down.
+    pub added_attribute: String,
+    /// The group key in the drilled-down view.
+    pub key: Vec<Value>,
+    /// Observed value of the complained statistic for the group.
+    pub observed: f64,
+    /// Model-estimated expected value of the statistic.
+    pub expected: f64,
+    /// Value of the complaint tuple's statistic after repairing this group.
+    pub repaired_complaint_value: f64,
+    /// Complaint penalty after the repair (lower is better).
+    pub penalty: f64,
+    /// Improvement over the unrepaired complaint penalty.
+    pub improvement: f64,
+}
+
+/// A recommendation as it travels on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRecommendation {
+    /// The complaint tuple's original statistic value.
+    pub original_value: f64,
+    /// The relation snapshot version the request was evaluated over —
+    /// under concurrent ingest, the version to recompute against when
+    /// verifying this response bit-exactly.
+    pub relation_version: u64,
+    /// All groups across hierarchies, best first, truncated to the
+    /// engine's `top_k`.
+    pub ranked: Vec<WireScoredGroup>,
+}
+
+impl WireRecommendation {
+    /// Project an engine [`Recommendation`] onto the wire shape.
+    pub fn from_recommendation(rec: &Recommendation, relation_version: u64) -> Self {
+        WireRecommendation {
+            original_value: rec.original_value,
+            relation_version,
+            ranked: rec
+                .ranked
+                .iter()
+                .map(WireScoredGroup::from_scored)
+                .collect(),
+        }
+    }
+}
+
+impl WireScoredGroup {
+    /// Project an engine [`ScoredGroup`] onto the wire shape.
+    pub fn from_scored(g: &ScoredGroup) -> Self {
+        WireScoredGroup {
+            hierarchy: g.hierarchy.clone(),
+            added_attribute: g.added_attribute.clone(),
+            key: g.key.values().to_vec(),
+            observed: g.observed,
+            expected: g.expected,
+            repaired_complaint_value: g.repaired_complaint_value,
+            penalty: g.penalty,
+            improvement: g.improvement,
+        }
+    }
+}
+
+/// A decoded response frame body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// A successful evaluation.
+    Recommendation(WireRecommendation),
+    /// A typed failure (see [`ServeErrorKind`]).
+    Error {
+        /// The failure class.
+        kind: ServeErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A response frame: `id` echoes the request's (0 for protocol errors
+/// detected before an id could be decoded).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// The request id this answers (0 if the request id never decoded).
+    pub id: u64,
+    /// The response body.
+    pub response: Response,
+}
+
+// ---------------------------------------------------------------------------
+// Complaint helpers
+// ---------------------------------------------------------------------------
+
+impl RecommendRequest {
+    /// The request's complaint, with the wire key re-wrapped as a
+    /// [`GroupKey`].
+    pub fn complaint(&self) -> Complaint {
+        Complaint {
+            key: GroupKey(self.complaint_key.clone()),
+            statistic: self.statistic,
+            direction: self.direction,
+        }
+    }
+}
+
+fn statistic_tag(kind: AggregateKind) -> u8 {
+    match kind {
+        AggregateKind::Count => 0,
+        AggregateKind::Sum => 1,
+        AggregateKind::Mean => 2,
+        AggregateKind::Std => 3,
+        AggregateKind::Var => 4,
+        AggregateKind::Min => 5,
+        AggregateKind::Max => 6,
+    }
+}
+
+fn statistic_from_tag(tag: u8) -> Result<AggregateKind, ProtocolError> {
+    Ok(match tag {
+        0 => AggregateKind::Count,
+        1 => AggregateKind::Sum,
+        2 => AggregateKind::Mean,
+        3 => AggregateKind::Std,
+        4 => AggregateKind::Var,
+        5 => AggregateKind::Min,
+        6 => AggregateKind::Max,
+        t => return Err(ProtocolError::BadTag(t)),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Int(i) => {
+            out.push(1);
+            out.extend_from_slice(&i.to_be_bytes());
+        }
+        Value::Float(f) => {
+            out.push(2);
+            put_f64(out, *f);
+        }
+        Value::Str(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_values(out: &mut Vec<u8>, values: &[Value]) {
+    put_u32(out, values.len() as u32);
+    for v in values {
+        put_value(out, v);
+    }
+}
+
+fn header(kind: u8, id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    put_u64(&mut out, id);
+    out
+}
+
+/// Encode a request frame's payload (everything after the length prefix).
+pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
+    match &frame.request {
+        Request::Ping => header(KIND_PING, frame.id),
+        Request::Recommend(req) => {
+            let mut out = header(KIND_RECOMMEND, frame.id);
+            put_u32(&mut out, req.predicate.len() as u32);
+            for (attr, value) in &req.predicate {
+                put_str(&mut out, attr);
+                put_value(&mut out, value);
+            }
+            put_u32(&mut out, req.group_by.len() as u32);
+            for attr in &req.group_by {
+                put_str(&mut out, attr);
+            }
+            put_str(&mut out, &req.measure);
+            put_values(&mut out, &req.complaint_key);
+            out.push(statistic_tag(req.statistic));
+            match req.direction {
+                Direction::TooHigh => {
+                    out.push(0);
+                    put_u64(&mut out, 0);
+                }
+                Direction::TooLow => {
+                    out.push(1);
+                    put_u64(&mut out, 0);
+                }
+                Direction::ShouldBe(target) => {
+                    out.push(2);
+                    put_f64(&mut out, target);
+                }
+            }
+            put_u32(&mut out, req.deadline_ms);
+            put_str(&mut out, &req.fault);
+            out
+        }
+    }
+}
+
+/// Encode a response frame's payload (everything after the length prefix).
+pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
+    match &frame.response {
+        Response::Pong => header(KIND_PONG, frame.id),
+        Response::Recommendation(rec) => {
+            let mut out = header(KIND_RECOMMENDATION, frame.id);
+            put_f64(&mut out, rec.original_value);
+            put_u64(&mut out, rec.relation_version);
+            put_u32(&mut out, rec.ranked.len() as u32);
+            for g in &rec.ranked {
+                put_str(&mut out, &g.hierarchy);
+                put_str(&mut out, &g.added_attribute);
+                put_values(&mut out, &g.key);
+                put_f64(&mut out, g.observed);
+                put_f64(&mut out, g.expected);
+                put_f64(&mut out, g.repaired_complaint_value);
+                put_f64(&mut out, g.penalty);
+                put_f64(&mut out, g.improvement);
+            }
+            out
+        }
+        Response::Error { kind, message } => {
+            let mut out = header(KIND_ERROR, frame.id);
+            out.push(kind.to_tag());
+            put_str(&mut out, message);
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked cursor over a frame payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.remaining() < n {
+            return Err(ProtocolError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtocolError> {
+        Ok(i64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A sequence count, validated against the bytes remaining (each
+    /// element needs at least `min_element_len` bytes) so a hostile count
+    /// can never trigger a huge allocation.
+    fn count(&mut self, min_element_len: usize) -> Result<usize, ProtocolError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_element_len.max(1)) > self.remaining() {
+            return Err(ProtocolError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, ProtocolError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::BadUtf8)
+    }
+
+    fn value(&mut self) -> Result<Value, ProtocolError> {
+        match self.u8()? {
+            0 => Ok(Value::Null),
+            1 => Ok(Value::Int(self.i64()?)),
+            2 => Ok(Value::Float(self.f64()?)),
+            3 => Ok(Value::str(self.str()?)),
+            t => Err(ProtocolError::BadTag(t)),
+        }
+    }
+
+    fn values(&mut self) -> Result<Vec<Value>, ProtocolError> {
+        let n = self.count(1)?;
+        (0..n).map(|_| self.value()).collect()
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.remaining() != 0 {
+            return Err(ProtocolError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Validate the frame header, returning `(kind, id, body reader)`.
+fn read_header(payload: &[u8]) -> Result<(u8, u64, Reader<'_>), ProtocolError> {
+    if payload.len() < HEADER_LEN {
+        return Err(ProtocolError::Truncated);
+    }
+    let mut r = Reader::new(payload);
+    let magic: [u8; 2] = r.take(2)?.try_into().expect("2 bytes");
+    if magic != MAGIC {
+        return Err(ProtocolError::BadMagic(magic));
+    }
+    let version = r.u8()?;
+    if version != PROTOCOL_VERSION {
+        return Err(ProtocolError::UnsupportedVersion(version));
+    }
+    let kind = r.u8()?;
+    let id = r.u64()?;
+    Ok((kind, id, r))
+}
+
+/// Decode a request frame payload (everything after the length prefix).
+pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, ProtocolError> {
+    let (kind, id, mut r) = read_header(payload)?;
+    let request = match kind {
+        KIND_PING => Request::Ping,
+        KIND_RECOMMEND => {
+            let n_pred = r.count(5)?; // attr (≥4) + value tag (1)
+            let mut predicate = Vec::with_capacity(n_pred);
+            for _ in 0..n_pred {
+                let attr = r.str()?;
+                let value = r.value()?;
+                predicate.push((attr, value));
+            }
+            let n_group = r.count(4)?;
+            let mut group_by = Vec::with_capacity(n_group);
+            for _ in 0..n_group {
+                group_by.push(r.str()?);
+            }
+            let measure = r.str()?;
+            let complaint_key = r.values()?;
+            let statistic = statistic_from_tag(r.u8()?)?;
+            let direction = match (r.u8()?, r.u64()?) {
+                (0, _) => Direction::TooHigh,
+                (1, _) => Direction::TooLow,
+                (2, bits) => Direction::ShouldBe(f64::from_bits(bits)),
+                (t, _) => return Err(ProtocolError::BadTag(t)),
+            };
+            let deadline_ms = r.u32()?;
+            let fault = r.str()?;
+            Request::Recommend(RecommendRequest {
+                predicate,
+                group_by,
+                measure,
+                complaint_key,
+                statistic,
+                direction,
+                deadline_ms,
+                fault,
+            })
+        }
+        k => return Err(ProtocolError::UnknownKind(k)),
+    };
+    r.finish()?;
+    Ok(RequestFrame { id, request })
+}
+
+/// Decode a response frame payload (everything after the length prefix).
+pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, ProtocolError> {
+    let (kind, id, mut r) = read_header(payload)?;
+    let response = match kind {
+        KIND_PONG => Response::Pong,
+        KIND_RECOMMENDATION => {
+            let original_value = r.f64()?;
+            let relation_version = r.u64()?;
+            let n = r.count(8)?;
+            let mut ranked = Vec::with_capacity(n);
+            for _ in 0..n {
+                ranked.push(WireScoredGroup {
+                    hierarchy: r.str()?,
+                    added_attribute: r.str()?,
+                    key: r.values()?,
+                    observed: r.f64()?,
+                    expected: r.f64()?,
+                    repaired_complaint_value: r.f64()?,
+                    penalty: r.f64()?,
+                    improvement: r.f64()?,
+                });
+            }
+            Response::Recommendation(WireRecommendation {
+                original_value,
+                relation_version,
+                ranked,
+            })
+        }
+        KIND_ERROR => {
+            let kind = ServeErrorKind::from_tag(r.u8()?)?;
+            let message = r.str()?;
+            Response::Error { kind, message }
+        }
+        k => return Err(ProtocolError::UnknownKind(k)),
+    };
+    r.finish()?;
+    Ok(ResponseFrame { id, response })
+}
+
+// ---------------------------------------------------------------------------
+// Stream framing
+// ---------------------------------------------------------------------------
+
+/// Write one frame (length prefix + payload) to `w`.
+///
+/// # Panics
+/// If `payload` exceeds [`MAX_FRAME_LEN`] — encoders never produce such a
+/// frame for requests/responses within the engine's `top_k` bounds.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    assert!(
+        payload.len() <= MAX_FRAME_LEN as usize,
+        "frame payload exceeds MAX_FRAME_LEN"
+    );
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame payload from `r`. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary; EOF mid-frame is [`ProtocolError::Truncated`], a length
+/// prefix above [`MAX_FRAME_LEN`] is [`ProtocolError::Oversized`] (the
+/// payload is *not* read, so a hostile prefix cannot trigger allocation).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None)
+                } else {
+                    Err(ProtocolError::Truncated.into())
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::Oversized(len).into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    while filled < payload.len() {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(ProtocolError::Truncated.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(Some(payload))
+}

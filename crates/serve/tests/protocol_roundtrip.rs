@@ -1,0 +1,304 @@
+//! Satellite: codec round-trip property test.
+//!
+//! `decode(encode(request)) == request` for randomized requests (random
+//! predicates, group keys, unicode strings, random `f64` bit patterns
+//! including NaN payloads), and the decoders reject truncated, garbage,
+//! oversized and trailing-byte inputs with typed errors — never a panic,
+//! never a partial success.
+
+use reptile::Direction;
+use reptile_datasets::SimRng;
+use reptile_relational::{AggregateKind, Value};
+use reptile_serve::protocol::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    ProtocolError, RecommendRequest, Request, RequestFrame, Response, ResponseFrame,
+    ServeErrorKind, WireError, WireRecommendation, WireScoredGroup, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+
+const STATISTICS: [AggregateKind; 7] = [
+    AggregateKind::Count,
+    AggregateKind::Sum,
+    AggregateKind::Mean,
+    AggregateKind::Std,
+    AggregateKind::Var,
+    AggregateKind::Min,
+    AggregateKind::Max,
+];
+
+const ERROR_KINDS: [ServeErrorKind; 5] = [
+    ServeErrorKind::Overloaded,
+    ServeErrorKind::DeadlineExceeded,
+    ServeErrorKind::BadRequest,
+    ServeErrorKind::Engine,
+    ServeErrorKind::Internal,
+];
+
+fn random_bits(rng: &mut SimRng) -> u64 {
+    // Compose a full 64-bit pattern from two bounded draws so NaN payloads,
+    // infinities and subnormals all occur.
+    let hi = rng.below(1 << 32) as u64;
+    let lo = rng.below(1 << 32) as u64;
+    (hi << 32) | lo
+}
+
+fn random_f64(rng: &mut SimRng) -> f64 {
+    f64::from_bits(random_bits(rng))
+}
+
+fn random_string(rng: &mut SimRng) -> String {
+    const ALPHABET: [char; 12] = [
+        'a', 'B', '7', '_', ' ', 'é', 'λ', '—', '中', '🦀', '\n', '"',
+    ];
+    let len = rng.below(12);
+    (0..len)
+        .map(|_| ALPHABET[rng.below(ALPHABET.len())])
+        .collect()
+}
+
+fn random_value(rng: &mut SimRng) -> Value {
+    match rng.below(4) {
+        0 => Value::Null,
+        1 => Value::Int(random_bits(rng) as i64),
+        2 => Value::Float(random_f64(rng)),
+        _ => Value::Str(random_string(rng).into()),
+    }
+}
+
+fn random_direction(rng: &mut SimRng) -> Direction {
+    match rng.below(3) {
+        0 => Direction::TooHigh,
+        1 => Direction::TooLow,
+        _ => Direction::ShouldBe(random_f64(rng)),
+    }
+}
+
+fn random_recommend(rng: &mut SimRng) -> RecommendRequest {
+    RecommendRequest {
+        predicate: (0..rng.below(4))
+            .map(|_| (random_string(rng), random_value(rng)))
+            .collect(),
+        group_by: (0..rng.below(4)).map(|_| random_string(rng)).collect(),
+        measure: random_string(rng),
+        complaint_key: (0..rng.below(4)).map(|_| random_value(rng)).collect(),
+        statistic: STATISTICS[rng.below(STATISTICS.len())],
+        direction: random_direction(rng),
+        deadline_ms: rng.below(1 << 31) as u32,
+        fault: random_string(rng),
+    }
+}
+
+fn random_request_frame(rng: &mut SimRng) -> RequestFrame {
+    RequestFrame {
+        id: random_bits(rng),
+        request: if rng.below(8) == 0 {
+            Request::Ping
+        } else {
+            Request::Recommend(random_recommend(rng))
+        },
+    }
+}
+
+fn random_response_frame(rng: &mut SimRng) -> ResponseFrame {
+    let response = match rng.below(3) {
+        0 => Response::Pong,
+        1 => Response::Error {
+            kind: ERROR_KINDS[rng.below(ERROR_KINDS.len())],
+            message: random_string(rng),
+        },
+        _ => Response::Recommendation(WireRecommendation {
+            original_value: random_f64(rng),
+            relation_version: random_bits(rng),
+            ranked: (0..rng.below(4))
+                .map(|_| WireScoredGroup {
+                    hierarchy: random_string(rng),
+                    added_attribute: random_string(rng),
+                    key: (0..rng.below(3)).map(|_| random_value(rng)).collect(),
+                    observed: random_f64(rng),
+                    expected: random_f64(rng),
+                    repaired_complaint_value: random_f64(rng),
+                    penalty: random_f64(rng),
+                    improvement: random_f64(rng),
+                })
+                .collect(),
+        }),
+    };
+    ResponseFrame {
+        id: random_bits(rng),
+        response,
+    }
+}
+
+/// `decode(encode(x)) == x` for randomized frames in both directions.
+/// `Value`/`Direction` equality uses total bit-pattern order, so this holds
+/// even for NaN payloads and signed zeros.
+#[test]
+fn roundtrip_randomized_frames() {
+    let mut rng = SimRng::seed_from_u64(0xC0DEC);
+    for _ in 0..500 {
+        let req = random_request_frame(&mut rng);
+        let decoded = decode_request(&encode_request(&req)).expect("request round-trip decodes");
+        assert_eq!(decoded, req);
+
+        let resp = random_response_frame(&mut rng);
+        let decoded =
+            decode_response(&encode_response(&resp)).expect("response round-trip decodes");
+        assert_eq!(decoded, resp);
+    }
+}
+
+/// Every strict prefix of a valid payload decodes to a typed error (almost
+/// always `Truncated`; very short prefixes can fail on magic/version first)
+/// — never a panic, never an `Ok`.
+#[test]
+fn truncation_at_every_prefix_is_typed() {
+    let mut rng = SimRng::seed_from_u64(0x7241);
+    for _ in 0..40 {
+        let payload = encode_request(&random_request_frame(&mut rng));
+        for cut in 0..payload.len() {
+            let err = decode_request(&payload[..cut]).expect_err("prefix must not decode");
+            match err {
+                ProtocolError::Truncated
+                | ProtocolError::BadMagic(_)
+                | ProtocolError::UnsupportedVersion(_)
+                | ProtocolError::UnknownKind(_) => {}
+                other => panic!("unexpected error class for prefix {cut}: {other:?}"),
+            }
+        }
+        let payload = encode_response(&random_response_frame(&mut rng));
+        for cut in 0..payload.len() {
+            decode_response(&payload[..cut]).expect_err("prefix must not decode");
+        }
+    }
+}
+
+/// Random garbage bytes never panic the decoders and never partially
+/// succeed: any `Ok` must re-encode to a canonical payload that decodes to
+/// the same frame (i.e. an accidental parse is still a *total* parse).
+#[test]
+fn garbage_never_panics_and_never_partially_decodes() {
+    let mut rng = SimRng::seed_from_u64(0x6A42);
+    for _ in 0..2000 {
+        let len = rng.below(64);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.below(256) as u8).collect();
+        if let Ok(frame) = decode_request(&bytes) {
+            assert_eq!(decode_request(&encode_request(&frame)).unwrap(), frame);
+        }
+        if let Ok(frame) = decode_response(&bytes) {
+            assert_eq!(decode_response(&encode_response(&frame)).unwrap(), frame);
+        }
+    }
+}
+
+/// Mutating a valid frame's header bytes yields the matching typed error.
+#[test]
+fn header_mutations_are_typed() {
+    let valid = encode_request(&RequestFrame {
+        id: 42,
+        request: Request::Ping,
+    });
+
+    let mut bad_magic = valid.clone();
+    bad_magic[0] = b'X';
+    assert_eq!(
+        decode_request(&bad_magic),
+        Err(ProtocolError::BadMagic([b'X', b'P']))
+    );
+
+    let mut bad_version = valid.clone();
+    bad_version[2] = PROTOCOL_VERSION + 1;
+    assert_eq!(
+        decode_request(&bad_version),
+        Err(ProtocolError::UnsupportedVersion(PROTOCOL_VERSION + 1))
+    );
+
+    let mut bad_kind = valid.clone();
+    bad_kind[3] = 0x7F;
+    assert_eq!(
+        decode_request(&bad_kind),
+        Err(ProtocolError::UnknownKind(0x7F))
+    );
+
+    // A response kind on the request decoder is also UnknownKind.
+    let pong = encode_response(&ResponseFrame {
+        id: 1,
+        response: Response::Pong,
+    });
+    assert!(matches!(
+        decode_request(&pong),
+        Err(ProtocolError::UnknownKind(0x80))
+    ));
+
+    let mut trailing = valid;
+    trailing.push(0);
+    assert_eq!(
+        decode_request(&trailing),
+        Err(ProtocolError::TrailingBytes(1))
+    );
+}
+
+/// A hostile sequence count (huge `u32` with few bytes behind it) is
+/// rejected before any allocation sized by it.
+#[test]
+fn hostile_sequence_counts_are_rejected() {
+    let mut rng = SimRng::seed_from_u64(0xBADC);
+    let valid = encode_request(&random_request_frame(&mut rng));
+    // Stamp 0xFFFFFFFF over every aligned 4-byte window in the body; each
+    // mutation must fail typed, not OOM or panic.
+    for pos in (12..valid.len().saturating_sub(4)).step_by(1) {
+        let mut hostile = valid.clone();
+        hostile[pos..pos + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let _ = decode_request(&hostile).expect_err("hostile count must be rejected");
+    }
+}
+
+/// The stream framing layer: clean EOF at a boundary is `Ok(None)`,
+/// mid-frame EOF is `Truncated`, an oversized length prefix is rejected
+/// before allocation, and frames written with `write_frame` read back
+/// byte-identically.
+#[test]
+fn stream_framing_roundtrip_and_rejection() {
+    let mut rng = SimRng::seed_from_u64(0xF2A3);
+    let frames: Vec<Vec<u8>> = (0..16)
+        .map(|_| encode_request(&random_request_frame(&mut rng)))
+        .collect();
+
+    let mut stream = Vec::new();
+    for payload in &frames {
+        write_frame(&mut stream, payload).unwrap();
+    }
+    let mut cursor = std::io::Cursor::new(&stream);
+    for payload in &frames {
+        let read = read_frame(&mut cursor).unwrap().expect("frame present");
+        assert_eq!(&read, payload);
+    }
+    assert!(
+        read_frame(&mut cursor).unwrap().is_none(),
+        "clean EOF is None"
+    );
+
+    // Truncated mid-frame: cut the stream inside the last frame.
+    let cut = stream.len() - 1;
+    let mut cursor = std::io::Cursor::new(&stream[..cut]);
+    let mut outcome = Ok(Some(Vec::new()));
+    for _ in 0..frames.len() {
+        outcome = read_frame(&mut cursor);
+        if outcome.is_err() {
+            break;
+        }
+    }
+    assert!(
+        matches!(outcome, Err(WireError::Protocol(ProtocolError::Truncated))),
+        "mid-frame EOF must be Truncated, got {outcome:?}"
+    );
+
+    // Oversized prefix: rejected before the payload is allocated or read.
+    let mut oversized = Vec::new();
+    oversized.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+    oversized.extend_from_slice(&[0u8; 16]);
+    let mut cursor = std::io::Cursor::new(&oversized);
+    assert!(matches!(
+        read_frame(&mut cursor),
+        Err(WireError::Protocol(ProtocolError::Oversized(n))) if n == MAX_FRAME_LEN + 1
+    ));
+}

@@ -1,0 +1,519 @@
+//! The serving test battery: pool-backed serving, concurrency, deadlines,
+//! admission control, dedup-before-admission, panic containment, and the
+//! shutdown ledger conservation law.
+//!
+//! Every admitted request that answers with data must be **bit-identical**
+//! (`==`, never tolerance) to a serial engine evaluating the same complaint
+//! over the same relation snapshot; every rejected request must receive a
+//! typed error and no data.
+
+use reptile::{Direction, Recommendation, Reptile};
+use reptile_relational::{AggregateKind, IngestBatch, Predicate, Relation, Schema, Value, View};
+use reptile_serve::{
+    Client, ClientError, RecommendRequest, ServeConfig, ServeErrorKind, Server, WireRecommendation,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Same district/village/day dataset the session-layer serving tests use.
+fn dataset() -> (Arc<Relation>, Arc<Schema>) {
+    let schema = Arc::new(
+        Schema::builder()
+            .hierarchy("geo", ["district", "village"])
+            .hierarchy("time", ["day"])
+            .measure("reports")
+            .build()
+            .unwrap(),
+    );
+    let mut b = Relation::builder(schema.clone());
+    for day in 0..3i64 {
+        for d in 0..3 {
+            for v in 0..4 {
+                let village = format!("D{d}-V{v}");
+                let base = 20.0 + d as f64 * 2.0 + v as f64 * 0.5;
+                let value = if village == "D1-V3" && day == 1 {
+                    base - 15.0
+                } else {
+                    base
+                };
+                b = b
+                    .row([
+                        Value::str(format!("D{d}")),
+                        Value::str(village),
+                        Value::int(day),
+                        Value::float(value),
+                    ])
+                    .unwrap();
+            }
+        }
+    }
+    (Arc::new(b.build()), schema)
+}
+
+/// A wire request complaining about district `d` on day `day`.
+fn request_for(d: usize, day: i64, deadline_ms: u32, fault: &str) -> RecommendRequest {
+    RecommendRequest {
+        predicate: vec![],
+        group_by: vec!["district".into(), "day".into()],
+        measure: "reports".into(),
+        complaint_key: vec![Value::str(format!("D{d}")), Value::int(day)],
+        statistic: AggregateKind::Mean,
+        direction: Direction::TooLow,
+        deadline_ms,
+        fault: fault.into(),
+    }
+}
+
+/// Serial reference: evaluate the same complaint on a fresh single-threaded
+/// engine over `rel` and project onto the wire shape.
+fn serial_reference(
+    rel: &Arc<Relation>,
+    schema: &Arc<Schema>,
+    req: &RecommendRequest,
+) -> WireRecommendation {
+    let mut predicate = Predicate::all();
+    for (name, value) in &req.predicate {
+        predicate = predicate.and_eq(schema.attr(name).unwrap(), value.clone());
+    }
+    let group_by = req
+        .group_by
+        .iter()
+        .map(|n| schema.attr(n).unwrap())
+        .collect::<Vec<_>>();
+    let view = Arc::new(
+        View::compute(
+            rel.clone(),
+            predicate,
+            group_by,
+            schema.attr(&req.measure).unwrap(),
+        )
+        .unwrap(),
+    );
+    let engine = Reptile::new(rel.clone(), schema.clone());
+    let rec: Recommendation = engine.recommend(&view, &req.complaint()).unwrap();
+    WireRecommendation::from_recommendation(&rec, rel.version())
+}
+
+/// Bit-exact comparison of a served response against the serial reference.
+fn assert_identical(got: &WireRecommendation, want: &WireRecommendation) {
+    assert_eq!(got.original_value.to_bits(), want.original_value.to_bits());
+    assert_eq!(got.ranked.len(), want.ranked.len());
+    for (x, y) in got.ranked.iter().zip(&want.ranked) {
+        assert_eq!(x.hierarchy, y.hierarchy);
+        assert_eq!(x.added_attribute, y.added_attribute);
+        assert_eq!(x.key, y.key);
+        assert_eq!(x.observed.to_bits(), y.observed.to_bits());
+        assert_eq!(x.expected.to_bits(), y.expected.to_bits());
+        assert_eq!(
+            x.repaired_complaint_value.to_bits(),
+            y.repaired_complaint_value.to_bits()
+        );
+        assert_eq!(x.penalty.to_bits(), y.penalty.to_bits());
+        assert_eq!(x.improvement.to_bits(), y.improvement.to_bits());
+    }
+}
+
+/// Tentpole lock-in: responses served over the wire by pool-backed workers
+/// are bit-identical to a serial engine, across many concurrent client
+/// connections, and the shutdown ledger conserves.
+#[test]
+fn pool_backed_serving_matches_serial_reference() {
+    let (rel, schema) = dataset();
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 4,
+            max_pending: 64,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut expected = HashMap::new();
+    for d in 0..3usize {
+        for day in 0..3i64 {
+            expected.insert(
+                (d, day),
+                serial_reference(&rel, &schema, &request_for(d, day, 0, "")),
+            );
+        }
+    }
+    let expected = Arc::new(expected);
+
+    let handles: Vec<_> = (0..4)
+        .map(|worker| {
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.ping().unwrap();
+                for round in 0..3 {
+                    for d in 0..3usize {
+                        for day in 0..3i64 {
+                            let got = client.recommend(request_for(d, day, 0, "")).unwrap();
+                            assert_identical(&got, &expected[&(d, day)]);
+                            let _ = (worker, round);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let ledger = server.shutdown();
+    assert_eq!(ledger.admitted, 4 * 3 * 3 * 3);
+    assert_eq!(
+        ledger.completed + ledger.rejected + ledger.drained,
+        ledger.admitted
+    );
+    assert!(ledger.conserved(), "{ledger:?}");
+    assert_eq!(ledger.protocol_errors, 0);
+    assert!(
+        ledger.dedup_joined > 0,
+        "concurrent identical requests should have joined in flight at least once: {ledger:?}"
+    );
+}
+
+/// Satellite: serving under concurrent ingest with tight deadlines. Every
+/// admitted request either returns a result bit-identical to a serial
+/// engine over the snapshot version it reports, or a typed rejection; the
+/// shutdown ledger conserves admitted = completed + rejected + drained.
+#[test]
+fn concurrent_ingest_with_tight_deadlines_is_exact_and_conserved() {
+    let (rel, schema) = dataset();
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = Arc::new(
+        Server::bind(
+            engine,
+            "127.0.0.1:0",
+            ServeConfig {
+                workers: 4,
+                max_pending: 32,
+                default_deadline_ms: 0,
+                fault_injection: true,
+            },
+        )
+        .unwrap(),
+    );
+    let addr = server.local_addr();
+
+    // Ingest thread: stream new days in while clients hammer the door,
+    // recording every relation snapshot by version for later verification.
+    let snapshots: Arc<std::sync::Mutex<HashMap<u64, Arc<Relation>>>> = Arc::new(
+        std::sync::Mutex::new(HashMap::from([(rel.version(), rel.clone())])),
+    );
+    let ingest_server = Arc::clone(&server);
+    let ingest_snapshots = Arc::clone(&snapshots);
+    let ingest = std::thread::spawn(move || {
+        for day in 3..9i64 {
+            let mut batch = IngestBatch::new();
+            for d in 0..3 {
+                for v in 0..4 {
+                    batch = batch.insert([
+                        Value::str(format!("D{d}")),
+                        Value::str(format!("D{d}-V{v}")),
+                        Value::int(day),
+                        Value::float(21.0 + d as f64 - v as f64 * 0.25),
+                    ]);
+                }
+            }
+            let report = ingest_server.ingest(&batch).unwrap();
+            ingest_snapshots
+                .lock()
+                .unwrap()
+                .insert(report.relation.version(), report.relation.clone());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    });
+
+    // Client threads: a mix of untimed requests, generously-deadlined
+    // requests, and impossible deadlines on slowed (fault-injected)
+    // requests that must come back as typed DeadlineExceeded.
+    let handles: Vec<_> = (0..3)
+        .map(|worker: usize| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut answered: Vec<WireRecommendation> = Vec::new();
+                let mut deadline_hits = 0usize;
+                for round in 0..6 {
+                    let d = (worker + round) % 3;
+                    let day = (round % 3) as i64;
+                    match client.recommend(request_for(d, day, 5_000, "")) {
+                        Ok(rec) => answered.push(rec),
+                        Err(ClientError::Server { kind, .. }) => {
+                            assert!(
+                                matches!(
+                                    kind,
+                                    ServeErrorKind::Overloaded | ServeErrorKind::DeadlineExceeded
+                                ),
+                                "only typed backpressure rejections allowed, got {kind}"
+                            );
+                        }
+                        Err(other) => panic!("unexpected client failure: {other}"),
+                    }
+                    // An impossible deadline on a slowed request: typed
+                    // rejection, never data. (Sleep dominates the 1 ms
+                    // budget regardless of machine speed.)
+                    match client.recommend(request_for(d, day, 1, "sleep:60")) {
+                        Err(ClientError::Server { kind, .. }) => {
+                            assert!(
+                                matches!(
+                                    kind,
+                                    ServeErrorKind::DeadlineExceeded | ServeErrorKind::Overloaded
+                                ),
+                                "expired request must reject typed, got {kind}"
+                            );
+                            deadline_hits += 1;
+                        }
+                        Ok(_) => panic!("expired request must never receive data"),
+                        Err(other) => panic!("unexpected client failure: {other}"),
+                    }
+                }
+                (answered, deadline_hits)
+            })
+        })
+        .collect();
+
+    let mut answered = Vec::new();
+    let mut deadline_hits = 0;
+    for h in handles {
+        let (a, d) = h.join().unwrap();
+        answered.extend(a);
+        deadline_hits += d;
+    }
+    ingest.join().unwrap();
+    assert_eq!(
+        deadline_hits,
+        3 * 6,
+        "every impossible deadline rejected typed"
+    );
+    assert!(!answered.is_empty());
+
+    // Exactness under ingest: each response must match a serial engine over
+    // the exact snapshot version it claims to have been evaluated on.
+    let snapshots = snapshots.lock().unwrap();
+    for rec in &answered {
+        let snapshot = snapshots
+            .get(&rec.relation_version)
+            .unwrap_or_else(|| panic!("response reports unknown version {}", rec.relation_version));
+        // Reconstruct which request produced it: clients only complain
+        // about days 0..3, so recompute those nine candidates serially over
+        // the claimed snapshot and require an exact (==) match.
+        let mut matched = false;
+        'outer: for d in 0..3usize {
+            for day in 0..3i64 {
+                let req = request_for(d, day, 0, "");
+                let want = serial_reference(snapshot, &schema, &req);
+                if want == *rec {
+                    matched = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(
+            matched,
+            "response over version {} matches no serial reference",
+            rec.relation_version
+        );
+    }
+    drop(snapshots);
+
+    let server = Arc::try_unwrap(server).unwrap_or_else(|_| panic!("server still shared"));
+    let ledger = server.shutdown();
+    assert!(ledger.conserved(), "{ledger:?}");
+    assert_eq!(ledger.protocol_errors, 0);
+    assert!(ledger.rejected >= deadline_hits as u64 - ledger.overloaded);
+}
+
+/// Satellite: a panicking request handler is contained — the connection
+/// gets a typed Internal error, the same connection keeps working, other
+/// connections are unaffected, and the pool stays healthy (later requests
+/// still evaluate correctly).
+#[test]
+fn panicking_handler_is_contained() {
+    let (rel, schema) = dataset();
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            max_pending: 16,
+            default_deadline_ms: 0,
+            fault_injection: true,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let want = serial_reference(&rel, &schema, &request_for(0, 0, 0, ""));
+
+    let mut victim = Client::connect(addr).unwrap();
+    let mut bystander = Client::connect(addr).unwrap();
+
+    for _ in 0..3 {
+        match victim.recommend(request_for(0, 0, 0, "panic")) {
+            Err(ClientError::Server { kind, .. }) => assert_eq!(kind, ServeErrorKind::Internal),
+            other => panic!("panicking handler must answer typed Internal, got {other:?}"),
+        }
+        // Same connection still serves.
+        assert_identical(&victim.recommend(request_for(0, 0, 0, "")).unwrap(), &want);
+        // Other connections unaffected.
+        assert_identical(
+            &bystander.recommend(request_for(0, 0, 0, "")).unwrap(),
+            &want,
+        );
+    }
+
+    let ledger = server.shutdown();
+    assert!(ledger.conserved(), "{ledger:?}");
+    // Panicked evaluations are completed (answered), not lost.
+    assert_eq!(ledger.admitted, 9);
+    assert_eq!(ledger.completed, 9);
+}
+
+/// Satellite (fix regression): duplicate in-flight requests are collapsed by
+/// the dedup signature *before* admission control, so duplicates never
+/// consume pending-ledger slots; a genuinely distinct request is the one
+/// that gets the typed Overloaded.
+#[test]
+fn duplicate_inflight_requests_do_not_consume_pending_slots() {
+    let (rel, schema) = dataset();
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 4,
+            max_pending: 2,
+            default_deadline_ms: 0,
+            fault_injection: true,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let want_a = serial_reference(&rel, &schema, &request_for(0, 0, 0, ""));
+
+    // Two distinct slow requests fill both pending slots.
+    let slow_a = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.recommend(request_for(0, 0, 0, "sleep:700")).unwrap()
+    });
+    let slow_b = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.recommend(request_for(1, 1, 0, "sleep:700")).unwrap()
+    });
+    // Let both get admitted and start sleeping.
+    std::thread::sleep(Duration::from_millis(250));
+    assert_eq!(server.ledger().admitted, 2, "both slow requests in flight");
+
+    // Duplicates of request A (same view + complaint — the fault marker is
+    // not part of the dedup signature) must be admitted as joins, not
+    // refused, even though pending == max_pending.
+    let dups: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.recommend(request_for(0, 0, 0, "")).unwrap()
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // A genuinely distinct third signature is refused typed Overloaded.
+    let mut overflow = Client::connect(addr).unwrap();
+    match overflow.recommend(request_for(2, 2, 0, "")) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, ServeErrorKind::Overloaded),
+        other => panic!("distinct request past the bound must be Overloaded, got {other:?}"),
+    }
+
+    // Everyone waiting on A gets A's (bit-exact) result.
+    assert_identical(&slow_a.join().unwrap(), &want_a);
+    slow_b.join().unwrap();
+    for dup in dups {
+        assert_identical(&dup.join().unwrap(), &want_a);
+    }
+
+    let ledger = server.shutdown();
+    assert!(ledger.conserved(), "{ledger:?}");
+    assert_eq!(
+        ledger.dedup_joined, 3,
+        "all three duplicates joined in flight"
+    );
+    assert_eq!(ledger.overloaded, 1);
+    assert_eq!(ledger.admitted, 5);
+    assert_eq!(ledger.completed, 5);
+}
+
+/// Graceful shutdown drains: a queued-but-unstarted request gets a typed
+/// drain response (never silence, never data), in-flight evaluations finish
+/// and deliver, and the final ledger conserves.
+#[test]
+fn shutdown_drains_queued_requests_with_typed_responses() {
+    let (rel, schema) = dataset();
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            // One worker the slow request occupies; later admissions queue
+            // behind it on the pool.
+            workers: 1,
+            max_pending: 8,
+            default_deadline_ms: 0,
+            fault_injection: true,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.recommend(request_for(0, 0, 0, "sleep:600"))
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    // These distinct requests are admitted but (likely) queued behind the
+    // sleeper on the single guaranteed worker.
+    let queued: Vec<_> = (1..3)
+        .map(|d| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                c.recommend(request_for(d, (d % 3) as i64, 0, ""))
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let ledger = server.shutdown();
+    assert!(ledger.conserved(), "{ledger:?}");
+
+    // The sleeper either completed (its evaluation had started) or drained;
+    // either way it got a typed outcome, and so did every queued request.
+    match slow.join().unwrap() {
+        Ok(_) => {}
+        Err(ClientError::Server { kind, .. }) => {
+            assert!(matches!(
+                kind,
+                ServeErrorKind::Overloaded | ServeErrorKind::DeadlineExceeded
+            ));
+        }
+        Err(other) => panic!("sleeper must get a typed outcome, got {other}"),
+    }
+    for q in queued {
+        match q.join().unwrap() {
+            Ok(_) => {}
+            Err(ClientError::Server { kind, .. }) => {
+                assert!(matches!(
+                    kind,
+                    ServeErrorKind::Overloaded | ServeErrorKind::DeadlineExceeded
+                ));
+            }
+            Err(other) => panic!("queued request must get a typed outcome, got {other}"),
+        }
+    }
+}

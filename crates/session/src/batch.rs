@@ -1,29 +1,39 @@
 //! Parallel multi-complaint serving (the multi-query optimisation of the
 //! paper's Figures 8/9 as a serving primitive).
 //!
-//! A [`BatchServer`] evaluates many independent complaints concurrently with
-//! `std::thread::scope`, sharing the read-only engine (and through it the
-//! relation and schema `Arc`s) across workers. Work deduplication happens at
-//! two levels:
+//! A [`BatchServer`] evaluates many independent complaints concurrently **on
+//! the process-wide shard pool** — one may-block pool job per unique
+//! request, so the pool is the only scheduler in the process (the
+//! one-scheduler invariant): request jobs and the shard scatters they
+//! trigger share a single queue and worker set, and a request worker
+//! waiting for its own scatter drains other requests' compute shards (the
+//! pool's work-stealing assist) instead of idling. The engine (and through
+//! it the relation and schema `Arc`s) is shared read-only across jobs. Work
+//! deduplication happens at two levels:
 //!
 //! 1. **Request dedup before fan-out** — byte-identical `(view, complaint)`
-//!    requests are collapsed to one evaluation whose result is replicated.
+//!    requests (see [`BatchRequest::signature`]) are collapsed to one
+//!    evaluation whose result is replicated. The network front door
+//!    (`reptile-serve`) runs the same signature check *before* admission
+//!    control, so duplicate in-flight requests never double-count against
+//!    its pending-queue bound.
 //! 2. **Exactly-once training under contention** — the [`SharedCaches`] back
 //!    the engine's claim protocol: the first worker to miss a `(view, model)`
 //!    signature claims it and trains; concurrent workers needing the same
 //!    signature block on a condvar until the model is published, then count a
 //!    hit. Each distinct `(view, model)` pair is trained exactly once per
-//!    batch.
+//!    batch. Parking on the claim condvar is safe on the pool because
+//!    claimants are always themselves running jobs and make independent
+//!    progress (the same argument as the engine's hierarchy jobs).
 
 use crate::cache::{CacheStats, LruCache, DEFAULT_MODEL_CAPACITY, DEFAULT_VIEW_CAPACITY};
 use reptile::{
     Complaint, Direction, EngineCache, ModelKey, Recommendation, Reptile, Result, TrainedModel,
     ViewKey,
 };
-use reptile_relational::{AggregateKind, GroupKey, View};
+use reptile_relational::{AggregateKind, AttrId, GroupKey, Parallelism, Predicate, View};
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// An LRU cache wrapped with the claim protocol: a miss claims the key, and
@@ -457,37 +467,64 @@ impl BatchRequest {
     pub fn new(view: Arc<View>, complaint: Complaint) -> Self {
         BatchRequest { view, complaint }
     }
+
+    /// Hashable identity of this request: two requests with equal signatures
+    /// pose the byte-identical complaint against the byte-identical view
+    /// signature, so one evaluation serves both. [`BatchServer::serve`] uses
+    /// it to collapse duplicates before fan-out, and the network front door
+    /// (`reptile-serve`) checks it *before* admission control so duplicate
+    /// in-flight requests don't double-count against the pending bound.
+    pub fn signature(&self) -> RequestSignature {
+        RequestSignature::from_parts(ViewKey::of_view(&self.view), &self.complaint)
+    }
 }
 
-/// Hashable identity of a request, used for pre-fan-out deduplication.
-type RequestSig = (ViewKey, GroupKey, AggregateKind, u8, u64);
-
-fn request_sig(request: &BatchRequest) -> RequestSig {
-    let (direction, bits) = match request.complaint.direction {
-        Direction::TooHigh => (0u8, 0u64),
-        Direction::TooLow => (1, 0),
-        Direction::ShouldBe(target) => (2, target.to_bits()),
-    };
-    (
-        ViewKey::of_view(&request.view),
-        request.complaint.key.clone(),
-        request.complaint.statistic,
-        direction,
-        bits,
-    )
+/// Hashable identity of a request (see [`BatchRequest::signature`]). The
+/// complaint direction is encoded as a discriminant plus the `ShouldBe`
+/// target's bit pattern, so `ShouldBe(0.0)` and `ShouldBe(-0.0)` stay
+/// distinct exactly when their evaluations could differ.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequestSignature {
+    view: ViewKey,
+    key: GroupKey,
+    statistic: AggregateKind,
+    direction: u8,
+    direction_bits: u64,
 }
 
-/// A parallel multi-complaint server over one engine.
+impl RequestSignature {
+    /// The signature [`BatchRequest::signature`] computes, built from a
+    /// view *signature* instead of a view object — so admission control can
+    /// dedup a request before the (possibly expensive) view exists.
+    pub fn from_parts(view: ViewKey, complaint: &Complaint) -> Self {
+        let (direction, bits) = match complaint.direction {
+            Direction::TooHigh => (0u8, 0u64),
+            Direction::TooLow => (1, 0),
+            Direction::ShouldBe(target) => (2, target.to_bits()),
+        };
+        RequestSignature {
+            view,
+            key: complaint.key.clone(),
+            statistic: complaint.statistic,
+            direction,
+            direction_bits: bits,
+        }
+    }
+}
+
+/// A parallel multi-complaint server over one engine, scheduled entirely on
+/// the process-wide shard pool.
 ///
-/// The server's request workers and the engine's sharded execution backend
-/// (`ReptileConfig::parallelism`, threaded through the engine's drill-down
-/// session, design builds and EM fits) draw from the same machine, so
-/// [`BatchServer::new`] divides the available cores by the engine's
-/// per-request shard budget: an engine configured with 4 shards per request
-/// gets `cores / 4` request workers. Within one worker's request, every
-/// cold factor build, ingest delta patch and model fit fans out over the
-/// engine's shard pool — bit-identically to serial execution, so mixing
-/// sharded and serial engines behind one cache is safe.
+/// There used to be two schedulers stacked here: scoped request-worker
+/// threads pulling from an atomic cursor on top, the shard pool below. Now
+/// [`BatchServer::serve`] submits one *may-block* pool job per unique
+/// request, so requests and the shard scatters they trigger (cold factor
+/// builds, ingest delta patches, model fits) interleave in one queue over
+/// one worker set — no static `cores / threads()` split of the machine is
+/// needed, because shard widths adapt per scatter
+/// ([`Parallelism::adaptive_width`]) and a request job waiting on its own
+/// scatter assists others'. Results stay bit-identical to serial execution,
+/// so mixing sharded and serial engines behind one cache is safe.
 pub struct BatchServer {
     engine: Arc<Reptile>,
     caches: SharedCaches,
@@ -495,15 +532,14 @@ pub struct BatchServer {
 }
 
 impl BatchServer {
-    /// Create a server using every available core, divided by the engine's
-    /// per-request shard budget (see the type-level docs).
+    /// Create a server whose request fan-out may use every available core:
+    /// the shard pool is the single scheduler, so there is no second budget
+    /// to carve out of the machine — concurrent requests and their scatters
+    /// queue on the same workers instead of oversubscribing.
     pub fn new(engine: Arc<Reptile>) -> Self {
-        let total = std::thread::available_parallelism()
+        let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(8);
-        let threads = reptile::Parallelism::new(total)
-            .split(engine.config().parallelism.threads())
-            .threads();
         // Sync the fresh caches to the engine's current snapshot: an engine
         // that already ingested would otherwise refuse them cache access.
         let caches = SharedCaches::new();
@@ -567,66 +603,91 @@ impl BatchServer {
         Ok(report)
     }
 
+    /// Evaluate one request against the shared caches, pinned to the
+    /// request view's snapshot. This is the whole per-request execution —
+    /// [`BatchServer::serve`] runs it under a pool job per unique request,
+    /// and the network front door (`reptile-serve`) calls it directly from
+    /// its own pool jobs.
+    pub fn serve_one(&self, request: &BatchRequest) -> Result<Recommendation> {
+        let cache = self.caches.handle_for(&request.view);
+        self.engine
+            .recommend_with_cache(&request.view, &request.complaint, &cache)
+    }
+
+    /// Resolve (or compute and cache) the view `γ_{group_by,
+    /// aggs(measure)}(σ_predicate(relation))` over the engine's current
+    /// snapshot, through the shared view cache's claim protocol — concurrent
+    /// requests for the same view signature compute it exactly once. The
+    /// network front door uses this to turn a wire request's view
+    /// *definition* into the [`BatchRequest`]'s view.
+    pub fn resolve_view(
+        &self,
+        predicate: Predicate,
+        group_by: Vec<AttrId>,
+        measure: AttrId,
+    ) -> Result<Arc<View>> {
+        let relation = self.engine.relation();
+        let key = ViewKey::new(&relation, &predicate, group_by.clone(), measure);
+        let cache = self.caches.handle();
+        if let Some(view) = cache.get_view(&key) {
+            return Ok(view);
+        }
+        // Missed and claimed: compute, publish (the handle's Drop aborts the
+        // claim if the compute errors or unwinds).
+        let view = Arc::new(View::compute_with(
+            relation,
+            predicate,
+            group_by,
+            measure,
+            &self.engine.config().parallelism,
+        )?);
+        cache.put_view(key, Arc::clone(&view));
+        Ok(view)
+    }
+
     /// Evaluate `requests` concurrently and return one result per request,
     /// in order. Identical requests are evaluated once; distinct requests
     /// sharing `(view, model)` work items train each pair exactly once.
+    ///
+    /// Fan-out runs on the process-wide shard pool: one may-block job per
+    /// unique request (single-item ranges, so the pool's FIFO queue
+    /// load-balances a skewed batch across workers exactly like the old
+    /// atomic cursor did — but on the *same* scheduler the requests' own
+    /// scatters use). Contexts where dispatch cannot pay off (serial thread
+    /// budget, single-core host, already on a pool worker) evaluate inline,
+    /// bit-identically.
     pub fn serve(&self, requests: &[BatchRequest]) -> Vec<Result<Recommendation>> {
         // Collapse byte-identical requests before fanning out.
-        let mut index_of: HashMap<RequestSig, usize> = HashMap::new();
+        let mut index_of: HashMap<RequestSignature, usize> = HashMap::new();
         let mut unique: Vec<&BatchRequest> = Vec::new();
         let mut assignment = Vec::with_capacity(requests.len());
         for request in requests {
             let next_index = unique.len();
-            let index = *index_of.entry(request_sig(request)).or_insert(next_index);
+            let index = *index_of.entry(request.signature()).or_insert(next_index);
             if index == next_index {
                 unique.push(request);
             }
             assignment.push(index);
         }
 
-        let mut unique_results: Vec<Option<Result<Recommendation>>> = vec![None; unique.len()];
-        let workers = self.threads.min(unique.len()).max(1);
-        let cursor = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let cursor = &cursor;
-                let unique = &unique;
-                handles.push(scope.spawn(move || {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= unique.len() {
-                            break;
-                        }
-                        let request = unique[i];
-                        let cache = self.caches.handle_for(&request.view);
-                        out.push((
-                            i,
-                            self.engine.recommend_with_cache(
-                                &request.view,
-                                &request.complaint,
-                                &cache,
-                            ),
-                        ));
-                    }
-                    out
-                }));
-            }
-            for handle in handles {
-                for (i, result) in handle.join().expect("batch worker panicked") {
-                    unique_results[i] = Some(result);
-                }
-            }
-        });
+        let parallelism = Parallelism::new(self.threads);
+        let unique_results: Vec<Result<Recommendation>> =
+            if unique.len() <= 1 || parallelism.effective_threads() == 1 {
+                unique
+                    .iter()
+                    .map(|request| self.serve_one(request))
+                    .collect()
+            } else {
+                let ranges = Parallelism::shard_ranges(unique.len(), unique.len());
+                parallelism.run_shards_may_block(&ranges, |start, len| {
+                    debug_assert_eq!(len, 1, "one request per pool job");
+                    self.serve_one(unique[start])
+                })
+            };
 
         assignment
             .into_iter()
-            .map(|i| {
-                unique_results[i]
-                    .clone()
-                    .expect("every unique request evaluated")
-            })
+            .map(|i| unique_results[i].clone())
             .collect()
     }
 }

@@ -30,6 +30,6 @@ pub mod batch;
 pub mod cache;
 pub mod session;
 
-pub use batch::{BatchRequest, BatchServer, SharedCacheHandle, SharedCaches};
+pub use batch::{BatchRequest, BatchServer, RequestSignature, SharedCacheHandle, SharedCaches};
 pub use cache::{CacheStats, CachesSnapshot, LruCache, ModelCache, SessionCaches, ViewCache};
 pub use session::{DrillStep, Session};

@@ -203,6 +203,40 @@ fn concurrent_hierarchy_evaluation_under_batch_serving_matches_serial() {
 }
 
 #[test]
+fn batch_serving_dispatches_requests_onto_the_shard_pool() {
+    // One-scheduler lock-in: `BatchServer::serve` fans requests out as
+    // may-block jobs on the process-wide shard pool — not on ad-hoc scoped
+    // threads — so every unique request shows up in the pool's may-block
+    // job counter. (The obs registry is process-global and other tests in
+    // this binary also dispatch, so assert on the delta being at least the
+    // unique-request count, never on an exact total.)
+    let _force = reptile_relational::parallel::ForcePoolDispatch::new();
+    let (rel, schema) = dataset();
+    let engine = Reptile::new(rel.clone(), schema.clone()).with_config(ReptileConfig {
+        parallelism: Parallelism::new(2),
+        ..Default::default()
+    });
+    let server = BatchServer::new(Arc::new(engine)).with_threads(4);
+    let view = district_day_view(&rel, &schema);
+    let reqs = requests(&view);
+    let unique = reqs.len() - 1; // requests() appends one duplicate
+
+    let before = reptile_obs::counter_value(reptile_obs::Counter::PoolMayBlockJobs);
+    for result in server.serve(&reqs) {
+        result.unwrap();
+    }
+    let after = reptile_obs::counter_value(reptile_obs::Counter::PoolMayBlockJobs);
+    // The scattering thread keeps one shard for itself, so a K-request
+    // batch dispatches K-1 pool jobs.
+    let expected = (unique - 1) as u64;
+    assert!(
+        after - before >= expected,
+        "expected at least {expected} may-block pool jobs for {unique} unique requests, \
+         counter moved {before} -> {after}"
+    );
+}
+
+#[test]
 fn ingest_delta_patching_is_exact_per_shard() {
     // Stream a new day (a path delta on the time hierarchy) into a serial
     // and a sharded engine: the sharded engine patches its cached factor
