@@ -121,8 +121,7 @@ fn main() {
             ServeConfig {
                 workers: 4,
                 max_pending: 128,
-                default_deadline_ms: 0,
-                fault_injection: false,
+                ..Default::default()
             },
         )
         .unwrap(),

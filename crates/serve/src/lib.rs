@@ -19,8 +19,14 @@
 //!   deadlines return typed
 //!   [`protocol::ServeErrorKind::DeadlineExceeded`] — an expired request
 //!   never receives data. Duplicate in-flight requests are detected by
-//!   the session layer's dedup signature *before* admission control and
-//!   join the in-flight evaluation without consuming a pending slot.
+//!   the session layer's dedup signature (scoped by the relation version
+//!   seen at admission, so joins never cross an ingest boundary) *before*
+//!   admission control and join the in-flight evaluation without
+//!   consuming a pending slot — up to a per-signature waiter cap, past
+//!   which further duplicates are refused typed. Outbound error detail is
+//!   truncated so an echoed client payload can never push a response past
+//!   the frame cap, and a write timeout drops clients that stop reading
+//!   instead of wedging pool workers.
 //! - **Drain** ([`server::Server::shutdown`]): graceful shutdown stops
 //!   admission, answers queued-but-unstarted requests with a typed drain
 //!   response, finishes in-flight evaluations, and returns a

@@ -704,14 +704,22 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, ProtocolError> {
 
 /// Write one frame (length prefix + payload) to `w`.
 ///
-/// # Panics
-/// If `payload` exceeds [`MAX_FRAME_LEN`] — encoders never produce such a
-/// frame for requests/responses within the engine's `top_k` bounds.
+/// A payload above [`MAX_FRAME_LEN`] returns an
+/// [`std::io::ErrorKind::InvalidInput`] error **before** writing anything —
+/// never a panic, and never a frame the peer would reject as oversized.
+/// (Server responses stay under the cap by construction: error messages
+/// are truncated at the door and recommendation sizes are bounded by the
+/// engine's `top_k`; this guard is the backstop.)
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    assert!(
-        payload.len() <= MAX_FRAME_LEN as usize,
-        "frame payload exceeds MAX_FRAME_LEN"
-    );
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+                payload.len()
+            ),
+        ));
+    }
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()

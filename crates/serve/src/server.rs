@@ -61,6 +61,16 @@ pub struct ServeConfig {
     /// Default per-request deadline in ms applied when a request carries
     /// `deadline_ms == 0`. `0` here means no default deadline.
     pub default_deadline_ms: u32,
+    /// Bound on requests sharing one in-flight evaluation (the original
+    /// plus its dedup joins). Joins past the cap are refused with a typed
+    /// `Overloaded` — without it, hammering one slow signature would grow
+    /// an unbounded waiter list that `max_pending` never sees.
+    pub max_waiters_per_request: usize,
+    /// Write timeout in ms applied to every connection's stream. A client
+    /// that stops reading (full TCP window) fails the blocked send after
+    /// this long and the connection is dropped, instead of wedging a pool
+    /// worker (and shutdown) forever. `0` means no timeout.
+    pub write_timeout_ms: u64,
     /// Honour the wire `fault` markers (`"panic"`, `"sleep:N"`) — test and
     /// chaos tooling only. Off: a non-empty marker is a `BadRequest`.
     pub fault_injection: bool,
@@ -74,6 +84,8 @@ impl Default for ServeConfig {
                 .unwrap_or(2),
             max_pending: 64,
             default_deadline_ms: 0,
+            max_waiters_per_request: 32,
+            write_timeout_ms: 5_000,
             fault_injection: false,
         }
     }
@@ -150,6 +162,27 @@ impl LedgerCells {
     }
 }
 
+/// Outbound error messages are clamped to this many bytes before encoding.
+/// Error detail can echo client-supplied text (a fault marker, an unknown
+/// attribute name) from a request near [`crate::protocol::MAX_FRAME_LEN`];
+/// unbounded, the echo plus response overhead would push the response frame
+/// past the cap.
+const MAX_ERROR_MESSAGE_LEN: usize = 2048;
+
+/// Clamp an error message to [`MAX_ERROR_MESSAGE_LEN`] bytes (on a char
+/// boundary), marking the cut.
+fn truncate_error_message(message: &mut String) {
+    if message.len() <= MAX_ERROR_MESSAGE_LEN {
+        return;
+    }
+    let mut end = MAX_ERROR_MESSAGE_LEN;
+    while !message.is_char_boundary(end) {
+        end -= 1;
+    }
+    message.truncate(end);
+    message.push_str("… [truncated]");
+}
+
 /// One client connection's write half (readers own their clone of the
 /// stream). Responses from pool jobs and the reader interleave through the
 /// mutex, one whole frame at a time.
@@ -158,15 +191,43 @@ struct Conn {
 }
 
 impl Conn {
+    /// A poisoned writer lock is still a usable `TcpStream` — recover it
+    /// rather than cascading one send's panic into every other waiter on
+    /// the connection (and into shutdown).
+    fn lock_writer(&self) -> std::sync::MutexGuard<'_, TcpStream> {
+        self.writer.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Best-effort frame send: a vanished client must not fail the server.
-    fn send(&self, frame: &ResponseFrame) {
-        let payload = encode_response(frame);
-        let mut writer = self.writer.lock().expect("conn writer lock");
-        let _ = write_frame(&mut *writer, &payload);
+    fn send(&self, mut frame: ResponseFrame) {
+        if let Response::Error { message, .. } = &mut frame.response {
+            truncate_error_message(message);
+        }
+        let mut payload = encode_response(&frame);
+        if payload.len() > crate::protocol::MAX_FRAME_LEN as usize {
+            // Backstop for any other over-cap response (e.g. a pathological
+            // recommendation): the waiter still gets a typed answer, never
+            // an unframeable one.
+            payload = encode_response(&ResponseFrame {
+                id: frame.id,
+                response: Response::Error {
+                    kind: ServeErrorKind::Internal,
+                    message: "response exceeded the frame cap".into(),
+                },
+            });
+        }
+        let mut writer = self.lock_writer();
+        if write_frame(&mut *writer, &payload).is_err() {
+            // The client vanished or stopped reading past the write
+            // timeout: the connection is unusable. Close both halves so
+            // its reader exits instead of feeding more requests into a
+            // stream nobody drains.
+            let _ = writer.shutdown(Shutdown::Both);
+        }
     }
 
     fn shutdown_read(&self) {
-        let writer = self.writer.lock().expect("conn writer lock");
+        let writer = self.lock_writer();
         let _ = writer.shutdown(Shutdown::Read);
     }
 }
@@ -187,13 +248,23 @@ struct ResolvedRequest {
     fault: String,
 }
 
+/// Admission-time dedup key: the session-layer [`RequestSignature`] scoped
+/// by the relation version seen at admission. The version matters because
+/// `ViewKey`'s relation identity is the lineage ident, which is *stable
+/// across ingest snapshots* — without the version, a request admitted
+/// after an ingest could join an evaluation started before it and silently
+/// receive pre-admission data. (The cache layer keeps the lineage-keyed
+/// signature on purpose: its entries are invalidated exactly; admission
+/// dedup has no such hook, so it must never cross an ingest boundary.)
+type DedupKey = (u64, RequestSignature);
+
 struct ServeState {
     /// Admitted, not yet terminal (in-flight signatures; dedup joins don't
     /// add to this).
     pending: usize,
-    /// In-flight evaluations by dedup signature; the value is everyone
+    /// In-flight evaluations by dedup key; the value is everyone
     /// waiting on the result.
-    inflight: HashMap<RequestSignature, Vec<Waiter>>,
+    inflight: HashMap<DedupKey, Vec<Waiter>>,
     conns: Vec<Arc<Conn>>,
     readers: Vec<JoinHandle<()>>,
 }
@@ -249,10 +320,11 @@ impl Core {
         })
     }
 
-    /// The dedup signature admission checks — the *same* key
-    /// `BatchServer::serve` collapses duplicates with, built before any
-    /// view exists.
-    fn signature(&self, resolved: &ResolvedRequest) -> RequestSignature {
+    /// The dedup key admission checks — the *same* [`RequestSignature`]
+    /// `BatchServer::serve` collapses duplicates with (built before any
+    /// view exists), scoped by the relation version seen at admission so
+    /// joins never cross an ingest boundary (see [`DedupKey`]).
+    fn signature(&self, resolved: &ResolvedRequest) -> DedupKey {
         let relation = self.batch.engine().relation();
         let key = ViewKey::new(
             &relation,
@@ -260,7 +332,10 @@ impl Core {
             resolved.group_by.clone(),
             resolved.measure,
         );
-        RequestSignature::from_parts(key, &resolved.complaint)
+        (
+            relation.version(),
+            RequestSignature::from_parts(key, &resolved.complaint),
+        )
     }
 
     /// Admit (or refuse) one resolved request from a reader thread.
@@ -272,7 +347,7 @@ impl Core {
             drop(state);
             self.ledger.overloaded.fetch_add(1, Ordering::SeqCst);
             obs::add_counter(obs::Counter::ServeOverloaded, 1);
-            waiter.conn.send(&ResponseFrame {
+            waiter.conn.send(ResponseFrame {
                 id: waiter.id,
                 response: Response::Error {
                     kind: ServeErrorKind::Overloaded,
@@ -284,7 +359,25 @@ impl Core {
         if let Some(waiters) = state.inflight.get_mut(&sig) {
             // Dedup before admission control: a duplicate of an in-flight
             // request is admitted onto its waiter list without consuming a
-            // pending slot, so duplicates can never trip the bound.
+            // pending slot, so duplicates can never trip the bound — up to
+            // the per-signature waiter cap, past which joins are refused
+            // typed (free joins must not become an unbounded bypass).
+            if waiters.len() >= self.config.max_waiters_per_request.max(1) {
+                drop(state);
+                self.ledger.overloaded.fetch_add(1, Ordering::SeqCst);
+                obs::add_counter(obs::Counter::ServeOverloaded, 1);
+                waiter.conn.send(ResponseFrame {
+                    id: waiter.id,
+                    response: Response::Error {
+                        kind: ServeErrorKind::Overloaded,
+                        message: format!(
+                            "in-flight request already has {} waiters",
+                            self.config.max_waiters_per_request
+                        ),
+                    },
+                });
+                return;
+            }
             waiters.push(waiter);
             drop(state);
             self.ledger.admitted.fetch_add(1, Ordering::SeqCst);
@@ -297,7 +390,7 @@ impl Core {
             drop(state);
             self.ledger.overloaded.fetch_add(1, Ordering::SeqCst);
             obs::add_counter(obs::Counter::ServeOverloaded, 1);
-            waiter.conn.send(&ResponseFrame {
+            waiter.conn.send(ResponseFrame {
                 id: waiter.id,
                 response: Response::Error {
                     kind: ServeErrorKind::Overloaded,
@@ -337,14 +430,14 @@ impl Core {
                 obs::add_counter(obs::Counter::ServeDrained, 1);
             }
         }
-        waiter.conn.send(&ResponseFrame {
+        waiter.conn.send(ResponseFrame {
             id: waiter.id,
             response,
         });
     }
 
     /// Evaluate one admitted signature on a pool worker.
-    fn run_request(self: &Arc<Self>, sig: RequestSignature, resolved: ResolvedRequest) {
+    fn run_request(self: &Arc<Self>, sig: DedupKey, resolved: ResolvedRequest) {
         let now = Instant::now();
         let mut expired: Vec<Waiter> = Vec::new();
         let evaluate;
@@ -471,7 +564,7 @@ impl Core {
                 Err(err) => {
                     self.ledger.protocol_errors.fetch_add(1, Ordering::SeqCst);
                     obs::add_counter(obs::Counter::ServeProtocolErrors, 1);
-                    conn.send(&ResponseFrame {
+                    conn.send(ResponseFrame {
                         id: 0,
                         response: Response::Error {
                             kind: ServeErrorKind::BadRequest,
@@ -493,7 +586,7 @@ impl Core {
                     // the stream state suspect — answer id 0 and drop.
                     self.ledger.protocol_errors.fetch_add(1, Ordering::SeqCst);
                     obs::add_counter(obs::Counter::ServeProtocolErrors, 1);
-                    conn.send(&ResponseFrame {
+                    conn.send(ResponseFrame {
                         id: 0,
                         response: Response::Error {
                             kind: ServeErrorKind::BadRequest,
@@ -507,7 +600,7 @@ impl Core {
                     // keep the connection (the next frame can still parse).
                     self.ledger.protocol_errors.fetch_add(1, Ordering::SeqCst);
                     obs::add_counter(obs::Counter::ServeProtocolErrors, 1);
-                    conn.send(&ResponseFrame {
+                    conn.send(ResponseFrame {
                         id: 0,
                         response: Response::Error {
                             kind: ServeErrorKind::BadRequest,
@@ -518,7 +611,7 @@ impl Core {
                 }
             };
             match frame.request {
-                Request::Ping => conn.send(&ResponseFrame {
+                Request::Ping => conn.send(ResponseFrame {
                     id: frame.id,
                     response: Response::Pong,
                 }),
@@ -527,7 +620,7 @@ impl Core {
                         Ok(resolved) => resolved,
                         Err(message) => {
                             self.ledger.bad_requests.fetch_add(1, Ordering::SeqCst);
-                            conn.send(&ResponseFrame {
+                            conn.send(ResponseFrame {
                                 id: frame.id,
                                 response: Response::Error {
                                     kind: ServeErrorKind::BadRequest,
@@ -693,7 +786,24 @@ fn accept_loop(core: Arc<Core>, listener: TcpListener) {
         if core.shutting_down.load(Ordering::SeqCst) {
             return;
         }
-        let Ok(stream) = incoming else { continue };
+        let stream = match incoming {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Persistent accept failures (e.g. EMFILE under fd
+                // exhaustion) would otherwise busy-spin this thread at
+                // 100% CPU; back off briefly before retrying.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        if core.config.write_timeout_ms > 0 {
+            // Bound blocked sends: a client that stops reading fails the
+            // write after the timeout instead of wedging a pool worker
+            // (SO_SNDTIMEO is a socket option, so the cloned write half
+            // shares it; reads are framed by the protocol, not timed).
+            let _ =
+                stream.set_write_timeout(Some(Duration::from_millis(core.config.write_timeout_ms)));
+        }
         let Ok(write_half) = stream.try_clone() else {
             continue;
         };

@@ -302,3 +302,24 @@ fn stream_framing_roundtrip_and_rejection() {
         Err(WireError::Protocol(ProtocolError::Oversized(n))) if n == MAX_FRAME_LEN + 1
     ));
 }
+
+/// Regression: an over-cap payload handed to `write_frame` is a typed io
+/// error, not a panic, and nothing reaches the stream — a response that
+/// cannot be framed must never wedge (or poison) the writer that tried.
+#[test]
+fn write_frame_rejects_oversized_payload_without_writing() {
+    let payload = vec![0u8; MAX_FRAME_LEN as usize + 1];
+    let mut out = Vec::new();
+    let err = write_frame(&mut out, &payload).expect_err("over-cap payload must error");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(
+        out.is_empty(),
+        "nothing may be written before the size check"
+    );
+
+    // Exactly at the cap still writes fine.
+    let payload = vec![0u8; MAX_FRAME_LEN as usize];
+    let mut out = Vec::new();
+    write_frame(&mut out, &payload).unwrap();
+    assert_eq!(out.len(), 4 + MAX_FRAME_LEN as usize);
+}

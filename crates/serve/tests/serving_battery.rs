@@ -195,8 +195,8 @@ fn concurrent_ingest_with_tight_deadlines_is_exact_and_conserved() {
             ServeConfig {
                 workers: 4,
                 max_pending: 32,
-                default_deadline_ms: 0,
                 fault_injection: true,
+                ..Default::default()
             },
         )
         .unwrap(),
@@ -345,8 +345,8 @@ fn panicking_handler_is_contained() {
         ServeConfig {
             workers: 2,
             max_pending: 16,
-            default_deadline_ms: 0,
             fault_injection: true,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -391,8 +391,8 @@ fn duplicate_inflight_requests_do_not_consume_pending_slots() {
         ServeConfig {
             workers: 4,
             max_pending: 2,
-            default_deadline_ms: 0,
             fault_injection: true,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -465,8 +465,8 @@ fn shutdown_drains_queued_requests_with_typed_responses() {
             // behind it on the pool.
             workers: 1,
             max_pending: 8,
-            default_deadline_ms: 0,
             fault_injection: true,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -516,4 +516,180 @@ fn shutdown_drains_queued_requests_with_typed_responses() {
             Err(other) => panic!("queued request must get a typed outcome, got {other}"),
         }
     }
+}
+
+/// Regression (review): a near-`MAX_FRAME_LEN` request whose fault marker
+/// would be echoed into the error detail must come back as a *truncated*
+/// typed `BadRequest` — the response frame stays under the cap, nothing
+/// panics while holding the connection's writer lock, and the same
+/// connection (and in-flight serving generally) keeps working.
+#[test]
+fn oversized_echoed_error_is_truncated_and_typed() {
+    use reptile_serve::MAX_FRAME_LEN;
+
+    let (rel, schema) = dataset();
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    // No fault injection: a non-empty fault marker is refused with an
+    // error message that echoes the marker.
+    let server = Server::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // Minimal request shape: 46 bytes of encoding overhead, so this fault
+    // length puts the request payload exactly at the frame cap while the
+    // echoed error detail (+~35 bytes of surrounding text) would exceed it.
+    let huge_fault = "x".repeat(MAX_FRAME_LEN as usize - 46);
+    let req = RecommendRequest {
+        predicate: vec![],
+        group_by: vec![],
+        measure: String::new(),
+        complaint_key: vec![],
+        statistic: AggregateKind::Mean,
+        direction: Direction::TooLow,
+        deadline_ms: 0,
+        fault: huge_fault,
+    };
+    match client.recommend(req) {
+        Err(ClientError::Server { kind, message }) => {
+            assert_eq!(kind, ServeErrorKind::BadRequest);
+            assert!(
+                message.len() < 4096,
+                "echoed error detail must be truncated, got {} bytes",
+                message.len()
+            );
+            assert!(message.contains("[truncated]"), "{message:?}");
+        }
+        other => panic!("huge fault marker must answer typed BadRequest, got {other:?}"),
+    }
+
+    // The connection survived (resolution errors keep it open) and the
+    // server still serves data.
+    client.ping().unwrap();
+    let want = serial_reference(&rel, &schema, &request_for(0, 0, 0, ""));
+    assert_identical(&client.recommend(request_for(0, 0, 0, "")).unwrap(), &want);
+
+    let ledger = server.shutdown();
+    assert!(ledger.conserved(), "{ledger:?}");
+    assert_eq!(ledger.bad_requests, 1);
+}
+
+/// Regression (review): dedup joins are free of the pending bound but NOT
+/// unbounded — past `max_waiters_per_request` waiters on one in-flight
+/// signature, further duplicates are refused with a typed `Overloaded`.
+#[test]
+fn dedup_joins_are_capped_per_signature() {
+    let (rel, schema) = dataset();
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 4,
+            max_pending: 8,
+            max_waiters_per_request: 2,
+            fault_injection: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let want = serial_reference(&rel, &schema, &request_for(0, 0, 0, ""));
+
+    // One slow evaluation holds the signature in flight (1 waiter)...
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.recommend(request_for(0, 0, 0, "sleep:700")).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    // ...one duplicate still joins (2 waiters == the cap)...
+    let dup = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.recommend(request_for(0, 0, 0, "")).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // ...and the next duplicate is refused typed, with pending nowhere
+    // near max_pending.
+    let mut overflow = Client::connect(addr).unwrap();
+    match overflow.recommend(request_for(0, 0, 0, "")) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, ServeErrorKind::Overloaded),
+        other => panic!("join past the waiter cap must be Overloaded, got {other:?}"),
+    }
+
+    assert_identical(&slow.join().unwrap(), &want);
+    assert_identical(&dup.join().unwrap(), &want);
+    let ledger = server.shutdown();
+    assert!(ledger.conserved(), "{ledger:?}");
+    assert_eq!(ledger.dedup_joined, 1);
+    assert_eq!(ledger.overloaded, 1);
+    assert_eq!(ledger.admitted, 2);
+    assert_eq!(ledger.completed, 2);
+}
+
+/// Regression (review): the admission dedup key is scoped by the relation
+/// version, so a request admitted *after* an ingest never joins an
+/// evaluation admitted *before* it (ViewKey's relation identity is the
+/// lineage ident, stable across snapshots — unscoped, the join would
+/// silently serve pre-admission data).
+#[test]
+fn dedup_never_joins_across_an_ingest_boundary() {
+    let (rel, schema) = dataset();
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = Server::bind(
+        engine,
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 4,
+            max_pending: 8,
+            fault_injection: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // A slow request holds its (pre-ingest) signature in flight.
+    let slow = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).unwrap();
+        c.recommend(request_for(0, 0, 0, "sleep:700")).unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    assert_eq!(server.ledger().admitted, 1);
+
+    // Ingest a new day while it sleeps.
+    let mut batch = IngestBatch::new();
+    for d in 0..3 {
+        for v in 0..4 {
+            batch = batch.insert([
+                Value::str(format!("D{d}")),
+                Value::str(format!("D{d}-V{v}")),
+                Value::int(3),
+                Value::float(22.0 + d as f64 - v as f64 * 0.25),
+            ]);
+        }
+    }
+    let report = server.ingest(&batch).unwrap();
+    let post = report.relation.clone();
+
+    // An identical complaint admitted after the ingest must NOT join the
+    // in-flight pre-ingest evaluation: it evaluates fresh over the new
+    // snapshot and returns it bit-exactly.
+    let mut after = Client::connect(addr).unwrap();
+    let got = after.recommend(request_for(0, 0, 0, "")).unwrap();
+    assert_eq!(got.relation_version, post.version());
+    assert_identical(
+        &got,
+        &serial_reference(&post, &schema, &request_for(0, 0, 0, "")),
+    );
+    assert_eq!(
+        server.ledger().dedup_joined,
+        0,
+        "a post-ingest request must never dedup-join a pre-ingest evaluation"
+    );
+
+    slow.join().unwrap();
+    let ledger = server.shutdown();
+    assert!(ledger.conserved(), "{ledger:?}");
+    assert_eq!(ledger.admitted, 2);
+    assert_eq!(ledger.completed, 2);
+    assert_eq!(ledger.dedup_joined, 0);
 }
