@@ -3,7 +3,7 @@
 
 use reptile_bench::{print_bench_table, run_bench};
 use reptile_datasets::hiergen::synthetic_factorization;
-use reptile_factor::ClusterPartition;
+use reptile_factor::{ClusterPartition, Parallelism};
 use reptile_linalg::naive;
 
 fn main() {
@@ -17,15 +17,15 @@ fn main() {
             naive::cluster_grams(&x, &ranges).unwrap()
         }));
         stats.push(run_bench(&format!("cluster_gram/factorized/{d}"), || {
-            part.grams()
+            part.grams(&Parallelism::serial())
         }));
         let beta: Vec<f64> = (0..fact.n_cols()).map(|i| i as f64 * 0.1).collect();
         stats.push(run_bench(&format!("cluster_right/factorized/{d}"), || {
-            part.right_mult_shared_vec(&beta)
+            part.right_mult_shared_vec(&beta, &Parallelism::serial())
         }));
         let v: Vec<f64> = (0..fact.n_rows()).map(|i| (i % 5) as f64).collect();
         stats.push(run_bench(&format!("cluster_left/factorized/{d}"), || {
-            part.left_mult_global_vec(&v)
+            part.left_mult_global_vec(&v, &Parallelism::serial())
         }));
     }
     print_bench_table("fig15_cluster_ops", &stats);

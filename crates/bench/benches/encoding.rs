@@ -73,6 +73,7 @@ fn panel(years: usize, districts: usize, villages: usize) -> (Arc<Schema>, View)
             s.attr("village").unwrap(),
         ],
         s.attr("m").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     (schema, view)
@@ -106,11 +107,11 @@ fn main() {
         }));
         let enc = EncodedFactorization::encode(&fact);
         stats.push(run_bench(&format!("multiquery/encoded/{w}"), || {
-            EncodedAggregates::compute(&enc)
+            EncodedAggregates::compute(&enc, &reptile_relational::Exec::Serial)
         }));
         // sanity: both batches describe the same matrix
         let legacy = DecomposedAggregates::compute(&fact);
-        let encoded = EncodedAggregates::compute(&enc);
+        let encoded = EncodedAggregates::compute(&enc, &reptile_relational::Exec::Serial);
         assert_eq!(legacy.grand_total(), encoded.grand_total());
     }
 

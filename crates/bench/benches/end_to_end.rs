@@ -23,6 +23,7 @@ fn main() {
             schema.attr("party").unwrap(),
         ],
         schema.attr("ballots").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let design = DesignBuilder::new(&view, &schema, AggregateKind::Count)
@@ -45,6 +46,7 @@ fn main() {
             schema.attr("age_range").unwrap(),
         ],
         schema.attr("score").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let design = DesignBuilder::new(&view, &schema, AggregateKind::Count)

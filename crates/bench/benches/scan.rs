@@ -94,6 +94,7 @@ fn assert_exactness(
         predicate.clone(),
         group_by.to_vec(),
         measure,
+        &reptile_relational::Exec::Serial,
     )
     .expect("compiled view");
     let reference = row_at_a_time(relation, predicate, group_by, measure);
@@ -112,17 +113,17 @@ fn assert_exactness(
         );
     }
     for shards in [2usize, 7, 64] {
-        let sharded = View::compute_sharded(
+        let sharded = View::compute(
             relation.clone(),
             predicate.clone(),
             group_by.to_vec(),
             measure,
-            shards,
+            &reptile_relational::Exec::Shards(shards),
         )
         .expect("sharded view");
         assert_eq!(
             compiled, sharded,
-            "{label}: compute_sharded({shards}) deviated from serial"
+            "{label}: Exec::Shards({shards}) deviated from serial"
         );
     }
 }
@@ -170,7 +171,14 @@ fn main() {
     let mut stats = Vec::new();
     for (label, predicate, group_by) in shapes {
         stats.push(run_bench(&format!("{label}/compiled"), || {
-            View::compute(relation.clone(), predicate.clone(), group_by.to_vec(), m).unwrap()
+            View::compute(
+                relation.clone(),
+                predicate.clone(),
+                group_by.to_vec(),
+                m,
+                &reptile_relational::Exec::Serial,
+            )
+            .unwrap()
         }));
         stats.push(run_bench(&format!("{label}/row_at_a_time"), || {
             row_at_a_time(&relation, predicate, group_by, m)

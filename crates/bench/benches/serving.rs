@@ -78,6 +78,7 @@ fn serial_reference(
                 .map(|n| schema.attr(n).unwrap())
                 .collect(),
             schema.attr(&req.measure).unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap(),
     );

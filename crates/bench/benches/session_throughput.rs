@@ -81,6 +81,7 @@ fn main() {
             Predicate::all(),
             vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
             schema.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap(),
     );

@@ -58,7 +58,7 @@ fn assert_exactness(
 ) {
     // merge(partition(n)) == compute, including shard counts past the path
     // count (empty shards merge as identities).
-    let serial = EncodedHierarchyAggregates::compute(geo);
+    let serial = EncodedHierarchyAggregates::compute(geo, &reptile_relational::Exec::Serial);
     for shards in [2usize, 3, 7, geo.leaf_count(), geo.leaf_count() + 5] {
         let parts: Vec<EncodedHierarchyAggregates> =
             Parallelism::shard_ranges(geo.leaf_count(), shards)
@@ -84,7 +84,7 @@ fn assert_exactness(
             .expect("serial fit");
     let par = Parallelism::new(4);
     let sharded_design = DesignBuilder::new(training_view, schema, SCALING_STATISTIC)
-        .with_parallelism(par)
+        .with_exec(reptile_relational::Exec::Pool(par))
         .build()
         .expect("sharded design");
     let sharded_fit =
@@ -125,6 +125,7 @@ fn main() {
             .hierarchies()
             .last()
             .expect("geo hierarchy"),
+        &reptile_relational::Exec::Serial,
     );
 
     assert_exactness(
@@ -142,12 +143,12 @@ fn main() {
     // aggregates: the encoded per-hierarchy aggregate batch
     // ------------------------------------------------------------------
     stats.push(run_bench("aggregates/serial", || {
-        EncodedHierarchyAggregates::compute(&geo)
+        EncodedHierarchyAggregates::compute(&geo, &reptile_relational::Exec::Serial)
     }));
     for &n in &SHARD_COUNTS {
         let par = Parallelism::new(n);
         stats.push(run_bench(&format!("aggregates/sharded/{n}"), || {
-            EncodedHierarchyAggregates::compute_sharded(&geo, &par)
+            EncodedHierarchyAggregates::compute(&geo, &reptile_relational::Exec::Pool(par))
         }));
     }
 
@@ -172,7 +173,7 @@ fn main() {
     // ------------------------------------------------------------------
     let cold = |par: Parallelism| {
         let design = DesignBuilder::new(&workload.training_view, &schema, SCALING_STATISTIC)
-            .with_parallelism(par)
+            .with_exec(reptile_relational::Exec::Pool(par))
             .build()
             .unwrap();
         MultilevelModel::fit_sharded(&design, em, TrainingBackend::Factorized, &par).unwrap()

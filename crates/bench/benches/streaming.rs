@@ -34,7 +34,7 @@ use reptile_datasets::covid::{CovidCaseStudy, CovidConfig};
 use reptile_datasets::{CovidStream, StreamConfig};
 use reptile_factor::{EncodedAggregates, EncodedFactorization, Factorization, PathCountIndex};
 use reptile_relational::{
-    AggregateKind, GroupKey, Hierarchy, Predicate, Relation, Schema, Value, View,
+    AggregateKind, Exec, GroupKey, Hierarchy, Predicate, Relation, Schema, Value, View,
 };
 use reptile_session::SessionCaches;
 use std::sync::Arc;
@@ -46,7 +46,7 @@ fn cold_state(
 ) -> (EncodedFactorization, EncodedAggregates) {
     let fact = Factorization::from_relation(relation, &[(geo, 2), (time, 1)]);
     let enc = EncodedFactorization::encode(&fact);
-    let aggs = EncodedAggregates::compute(&enc);
+    let aggs = EncodedAggregates::compute(&enc, &Exec::Serial);
     (enc, aggs)
 }
 
@@ -109,7 +109,7 @@ fn main() {
             let mut counts = PathCountIndex::build(&stream.warm, schema.hierarchies());
             for sb in &stream.batches {
                 let delta = counts.apply(&sb.batch, schema.hierarchies());
-                let (e, a) = aggs.apply_delta(&enc, &delta);
+                let (e, a) = aggs.apply_delta(&enc, &delta, &Exec::Serial);
                 enc = e;
                 aggs = a;
             }
@@ -137,7 +137,7 @@ fn main() {
             let mut acc = 0.0;
             for sb in &stream.batches {
                 let delta = counts.apply(&sb.batch, schema.hierarchies());
-                let (e, a) = aggs.apply_delta(&enc, &delta);
+                let (e, a) = aggs.apply_delta(&enc, &delta, &Exec::Serial);
                 enc = e;
                 aggs = a;
                 acc += aggs.grand_total();
@@ -201,6 +201,7 @@ fn main() {
             Predicate::eq(day, Value::int(investigation_day)),
             vec![location, day],
             confirmed,
+            &Exec::Serial,
         )
         .unwrap()
     };

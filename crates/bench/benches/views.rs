@@ -72,20 +72,21 @@ fn assert_exactness(workload: &DeepScalingWorkload) {
             Predicate::all(),
             group_by.clone(),
             measure,
+            &reptile_relational::Exec::Serial,
         )
         .expect("serial view");
         for shards in [2usize, 3, 7, serial.len(), serial.len() + 5] {
-            let sharded = View::compute_sharded(
+            let sharded = View::compute(
                 relation.clone(),
                 Predicate::all(),
                 group_by.clone(),
                 measure,
-                shards,
+                &reptile_relational::Exec::Shards(shards),
             )
             .expect("sharded view");
             assert_eq!(
                 serial, sharded,
-                "{label}: compute_sharded({shards}) deviated from the serial scan"
+                "{label}: Exec::Shards({shards}) deviated from the serial scan"
             );
             for key in serial.keys() {
                 assert_eq!(
@@ -99,12 +100,12 @@ fn assert_exactness(workload: &DeepScalingWorkload) {
     // The engine-shaped drill-down path is sharded through the same merge.
     let serial = workload
         .complaint_view
-        .drill_down_parallel(geo)
+        .drill_down_parallel(geo, &reptile_relational::Exec::Serial)
         .expect("serial drill");
     for threads in SHARD_COUNTS {
         let sharded = workload
             .complaint_view
-            .drill_down_parallel_with(geo, &Parallelism::new(threads))
+            .drill_down_parallel(geo, &reptile_relational::Exec::pool(threads))
             .expect("sharded drill");
         assert_eq!(serial.view, sharded.view, "drill_down_parallel deviated");
     }
@@ -143,36 +144,65 @@ fn main() {
 
     let mut stats = Vec::new();
     stats.push(run_bench("full_scan/serial", || {
-        View::compute(relation.clone(), Predicate::all(), full_gb.clone(), m).unwrap()
+        View::compute(
+            relation.clone(),
+            Predicate::all(),
+            full_gb.clone(),
+            m,
+            &reptile_relational::Exec::Serial,
+        )
+        .unwrap()
     }));
     for &n in &SHARD_COUNTS {
         let par = Parallelism::new(n);
         stats.push(run_bench(&format!("full_scan/sharded/{n}"), || {
-            View::compute_with(relation.clone(), Predicate::all(), full_gb.clone(), m, &par)
-                .unwrap()
+            View::compute(
+                relation.clone(),
+                Predicate::all(),
+                full_gb.clone(),
+                m,
+                &reptile_relational::Exec::Pool(par),
+            )
+            .unwrap()
         }));
     }
 
     stats.push(run_bench("second_measure/serial", || {
-        View::compute(relation.clone(), Predicate::all(), mid_gb.clone(), m2).unwrap()
+        View::compute(
+            relation.clone(),
+            Predicate::all(),
+            mid_gb.clone(),
+            m2,
+            &reptile_relational::Exec::Serial,
+        )
+        .unwrap()
     }));
     for &n in &SHARD_COUNTS {
         let par = Parallelism::new(n);
         stats.push(run_bench(&format!("second_measure/sharded/{n}"), || {
-            View::compute_with(relation.clone(), Predicate::all(), mid_gb.clone(), m2, &par)
-                .unwrap()
+            View::compute(
+                relation.clone(),
+                Predicate::all(),
+                mid_gb.clone(),
+                m2,
+                &reptile_relational::Exec::Pool(par),
+            )
+            .unwrap()
         }));
     }
 
     stats.push(run_bench("drill_down/serial", || {
-        workload.complaint_view.drill_down_parallel(geo).unwrap()
+        workload
+            .complaint_view
+            .drill_down_parallel(geo, &reptile_relational::Exec::Serial)
+            .unwrap()
     }));
     for &n in &SHARD_COUNTS {
         let par = Parallelism::new(n);
         stats.push(run_bench(&format!("drill_down/sharded/{n}"), || {
             workload
                 .complaint_view
-                .drill_down_parallel_with(geo, &par)
+                .drill_down_parallel(geo, &reptile_relational::Exec::Pool(par))
                 .unwrap()
         }));
     }

@@ -27,8 +27,14 @@ fn run_sequence(
         // of the drill order, train the repair model each time.
         for depth in 1..=drill_order.len() {
             let group_by = drill_order[..depth].to_vec();
-            let view =
-                View::compute(relation.clone(), Predicate::all(), group_by, measure).expect("view");
+            let view = View::compute(
+                relation.clone(),
+                Predicate::all(),
+                group_by,
+                measure,
+                &reptile_relational::Exec::Serial,
+            )
+            .expect("view");
             let design = DesignBuilder::new(&view, schema, AggregateKind::Count)
                 .build()
                 .expect("design");

@@ -92,6 +92,7 @@ fn accuracy(condition: &Condition, rho: f64, trials: u64) -> [f64; 4] {
             Predicate::all(),
             vec![data.group_attr],
             data.measure,
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let complaint = Complaint::new(

@@ -78,6 +78,7 @@ fn run(condition: &Condition, rho: f64, trials: u64) -> (f64, f64) {
             Predicate::all(),
             vec![data.group_attr],
             data.measure,
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let complaint = Complaint::new(

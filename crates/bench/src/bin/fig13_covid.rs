@@ -25,6 +25,7 @@ fn evaluate(case_study: &CovidCaseStudy, title: &str) -> (usize, usize, usize, u
             Predicate::all(),
             vec![schema.attr("day").unwrap()],
             schema.attr("confirmed").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let key = GroupKey(vec![Value::int(issue.day)]);
@@ -51,7 +52,9 @@ fn evaluate(case_study: &CovidCaseStudy, title: &str) -> (usize, usize, usize, u
             })
             .unwrap_or(false);
         let geo = schema.hierarchy("geo").unwrap();
-        let dd = day_view.drill_down(&key, geo).unwrap();
+        let dd = day_view
+            .drill_down(&key, geo, &reptile_relational::Exec::Serial)
+            .unwrap();
         let sens_ok = baselines::sensitivity(&dd.view, &complaint)
             .best()
             .map(|k| k.values().contains(&issue.location))

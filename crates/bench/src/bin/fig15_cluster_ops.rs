@@ -5,7 +5,7 @@
 
 use reptile_bench::{fmt, print_table, time};
 use reptile_datasets::hiergen::synthetic_factorization;
-use reptile_factor::ClusterPartition;
+use reptile_factor::{ClusterPartition, Parallelism};
 use reptile_linalg::{naive, Matrix};
 
 fn main() {
@@ -14,11 +14,11 @@ fn main() {
         let (fact, features) = synthetic_factorization(d, 1, 10);
         let part = ClusterPartition::new(&fact, &features);
         let ranges = part.row_ranges();
-        let (_, t_fact_gram) = time(|| part.grams());
+        let (_, t_fact_gram) = time(|| part.grams(&Parallelism::serial()));
         let beta: Vec<f64> = (0..fact.n_cols()).map(|i| i as f64 * 0.1 + 1.0).collect();
-        let (_, t_fact_right) = time(|| part.right_mult_shared_vec(&beta));
+        let (_, t_fact_right) = time(|| part.right_mult_shared_vec(&beta, &Parallelism::serial()));
         let v: Vec<f64> = (0..fact.n_rows()).map(|i| (i % 9) as f64 - 4.0).collect();
-        let (_, t_fact_left) = time(|| part.left_mult_global_vec(&v));
+        let (_, t_fact_left) = time(|| part.left_mult_global_vec(&v, &Parallelism::serial()));
 
         let (t_naive_gram, t_naive_right, t_naive_left) = if d <= 4 {
             let x = fact.materialize(&features);

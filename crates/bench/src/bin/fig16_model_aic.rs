@@ -44,6 +44,7 @@ fn main() {
             schema.attr("village").unwrap(),
         ],
         schema.attr("severity").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let plain = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
@@ -70,6 +71,7 @@ fn main() {
             schema.attr("county").unwrap(),
         ],
         schema.attr("share_2020").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let plain = DesignBuilder::new(&view, &schema, AggregateKind::Mean)

@@ -28,6 +28,7 @@ fn margin_gains(
             schema.attr("county").unwrap(),
         ],
         schema.attr("share_2020").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let mut builder = DesignBuilder::new(&view, schema, AggregateKind::Mean);
@@ -52,6 +53,7 @@ fn margin_gains(
             schema.attr("county").unwrap(),
         ],
         schema.attr("share_2020").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let original = state_view.total().mean();

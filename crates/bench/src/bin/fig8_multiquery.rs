@@ -79,6 +79,7 @@ fn serving_batch_rows() -> Vec<Vec<String>> {
             Predicate::all(),
             vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
             schema.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap(),
     );

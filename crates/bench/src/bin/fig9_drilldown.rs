@@ -72,6 +72,7 @@ fn serving_walk_rows() -> Vec<Vec<String>> {
         Predicate::all(),
         vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
         schema.attr("severity").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let top = Complaint::new(
@@ -95,7 +96,9 @@ fn serving_walk_rows() -> Vec<Vec<String>> {
             let engine = Reptile::new(relation.clone(), schema.clone());
             engine.recommend(&root, &top).expect("recommend");
             let geo = schema.hierarchy("geo").expect("geo").clone();
-            let dd = root.drill_down(&top.key, &geo).expect("drill");
+            let dd = root
+                .drill_down(&top.key, &geo, &reptile_relational::Exec::Serial)
+                .expect("drill");
             engine.recommend(&dd.view, &deeper).expect("recommend");
         }
     });

@@ -29,6 +29,7 @@ fn main() {
             Predicate::all(),
             vec![scope_attr, schema.attr("year").unwrap()],
             schema.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let key = GroupKey(vec![spec.scope_district.clone(), Value::int(spec.year)]);

@@ -36,8 +36,11 @@ pub struct BenchArgs {
 
 impl BenchArgs {
     /// Parse the process arguments (unknown flags are ignored so harnesses
-    /// stay forward-compatible with cargo's own flag forwarding).
+    /// stay forward-compatible with cargo's own flag forwarding). Also
+    /// prints the single-thread warning banner when applicable, so every
+    /// harness warns without opting in.
     pub fn parse() -> Self {
+        warn_if_single_threaded();
         let mut args = BenchArgs::default();
         for arg in std::env::args().skip(1) {
             match arg.as_str() {
@@ -67,6 +70,29 @@ pub fn threads_available() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Print a loud banner on stderr when the host exposes a single hardware
+/// thread. Every parallel-speedup claim in the baselines collapses to ~1×
+/// on such a host — the numbers are still *correct* (the exactness gates
+/// hold on any core count), but they are not comparable with baselines
+/// recorded on multi-core machines, so the run should be read as a smoke
+/// check, not a measurement. Called by [`BenchArgs::parse`], so every
+/// harness warns automatically.
+pub fn warn_if_single_threaded() {
+    if threads_available() > 1 {
+        return;
+    }
+    eprintln!(
+        "\n\
+         ============================================================\n\
+         WARNING: threads_available: 1 — single-threaded host.\n\
+         Parallel/sharded speedups will measure ~1x on this machine;\n\
+         treat these numbers as a smoke check, not a baseline. The\n\
+         emitted JSON records threads_available so comparisons against\n\
+         multi-core baselines are refused (see write_baseline).\n\
+         ============================================================\n"
+    );
 }
 
 /// Summary statistics of one benchmark case, in seconds per iteration.

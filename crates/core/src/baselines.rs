@@ -169,6 +169,7 @@ mod tests {
             Predicate::all(),
             vec![s.attr("g").unwrap()],
             s.attr("m").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap()
     }

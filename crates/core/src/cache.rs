@@ -454,11 +454,11 @@ mod tests {
         let excluded = FeaturePlan::none().exclude_from_z("rainfall");
         assert_ne!(fp, config_fingerprint(&base, &excluded));
 
-        // Sharded execution is bit-identical to serial, so the thread budget
-        // must NOT change the fingerprint: a parallel engine and a serial
-        // one share model-cache entries.
+        // Every execution context is bit-identical to serial, so the exec
+        // knob must NOT change the fingerprint: a parallel engine and a
+        // serial one share model-cache entries.
         let mut other = base.clone();
-        other.parallelism = reptile_factor::Parallelism::new(8);
+        other.exec = reptile_factor::Exec::pool(8);
         assert_eq!(fp, config_fingerprint(&other, &plan));
 
         // Observability is bit-exact too (timers only read clocks), so the

@@ -20,7 +20,7 @@ use crate::complaint::Complaint;
 use crate::{ReptileError, Result};
 use reptile_factor::{
     AggregateSource, DecomposedAggregates, DrilldownMode, DrilldownSession, EncodedAggregates,
-    EncodedFactorization, FactorBackend, Factorization, Parallelism, PathCountIndex,
+    EncodedFactorization, Exec, FactorBackend, Factorization, PathCountIndex,
 };
 use reptile_model::{
     DesignBuilder, EmptyGroupPolicy, FeaturePlan, LinearModel, MultilevelConfig, MultilevelModel,
@@ -62,17 +62,19 @@ pub struct ReptileConfig {
     pub top_k: usize,
     /// Fill policy for empty parallel groups.
     pub empty_groups: EmptyGroupPolicy,
-    /// Thread budget for the sharded execution backend: cold encoded factor
-    /// builds and ingest delta patches (via the engine's
-    /// [`DrilldownSession`]), design construction, and the multi-level
-    /// fit's gram/cluster/E-step fan-outs. Serial by default. Sharded
-    /// execution is **bit-identical** to serial, so this knob is
-    /// deliberately *not* part of [`config_fingerprint`] — a parallel and a
-    /// serial engine share cache entries.
-    pub parallelism: Parallelism,
+    /// Where the engine's factorised work runs: inline, on the shared
+    /// thread pool, over an exact shard count, or scattered to worker
+    /// processes. Governs cold encoded factor builds and ingest delta
+    /// patches (via the engine's [`DrilldownSession`]), view scans, design
+    /// construction, and the multi-level fit's gram/cluster/E-step
+    /// fan-outs. Serial by default. Every context is **bit-identical** to
+    /// serial, so this knob is deliberately *not* part of
+    /// [`config_fingerprint`] — engines with different execution contexts
+    /// share cache entries.
+    pub exec: Exec,
     /// Per-engine stage timing (design builds, ingest stage breakdowns,
     /// session stage durations). Off by default; results are
-    /// **bit-identical** either way, so — like `parallelism` — this knob is
+    /// **bit-identical** either way, so — like `exec` — this knob is
     /// deliberately *not* part of [`config_fingerprint`]: a profiled and an
     /// unprofiled engine share cache entries.
     pub obs: ObsConfig,
@@ -86,7 +88,7 @@ impl Default for ReptileConfig {
             backend: TrainingBackend::Factorized,
             top_k: 5,
             empty_groups: EmptyGroupPolicy::GlobalMean,
-            parallelism: Parallelism::serial(),
+            exec: Exec::Serial,
             obs: ObsConfig::default(),
         }
     }
@@ -184,6 +186,31 @@ pub struct IngestStages {
     pub epoch_ns: u64,
 }
 
+/// A unified ingest surface: anything that can apply an [`IngestBatch`]
+/// atomically and report what changed. Every ingest entry point in the
+/// workspace — [`Reptile::ingest`], `Session::ingest`,
+/// `BatchServer::ingest`, the serving front door's `Server::ingest` and
+/// its network `Ingest` frame — implements this trait and shares one
+/// report shape ([`IngestReport`]) and one error shape
+/// ([`crate::ReptileError`]), so callers can be written once against the
+/// trait and pointed at any layer.
+///
+/// The receiver is `&mut self` to accommodate the strictest implementor
+/// (`Session` revalidates its borrowed state); implementors whose inherent
+/// `ingest` takes `&self` simply delegate.
+pub trait IngestSink {
+    /// Apply `batch` as one atomic ingest: one new relation snapshot
+    /// version, delta-maintained derived state, and a report of what
+    /// changed.
+    fn apply_batch(&mut self, batch: &IngestBatch) -> Result<IngestReport>;
+}
+
+impl IngestSink for Reptile {
+    fn apply_batch(&mut self, batch: &IngestBatch) -> Result<IngestReport> {
+        self.ingest(batch)
+    }
+}
+
 /// What one [`Reptile::ingest`] did: the new relation snapshot, the change
 /// counts, which hierarchies' distinct path sets changed (their session
 /// epochs were bumped), and the exact invalidation rule for view/model
@@ -260,12 +287,12 @@ impl Reptile {
     }
 
     /// Override the configuration. The drill-down session's shard budget
-    /// follows the configured [`ReptileConfig::parallelism`], and its
+    /// follows the configured [`ReptileConfig::exec`], and its
     /// stage-timing switch follows [`ReptileConfig::obs`].
     pub fn with_config(mut self, config: ReptileConfig) -> Self {
         {
             let mut session = self.session.lock().expect("session lock");
-            session.set_parallelism(config.parallelism);
+            session.set_exec(config.exec.clone());
             session.set_profile(config.obs.enabled);
         }
         self.config = config;
@@ -361,6 +388,7 @@ impl Reptile {
     ///     Predicate::all(),
     ///     vec![schema.attr("district").unwrap(), schema.attr("day").unwrap()],
     ///     schema.attr("reports").unwrap(),
+    ///     &reptile_relational::Exec::Serial,
     /// )
     /// .unwrap();
     /// let complaint = Complaint::new(
@@ -435,12 +463,12 @@ impl Reptile {
     /// move a held view forward after an ingest invalidated it. The scan
     /// fans out over the configured shard budget (bit-identically).
     pub fn refresh_view(&self, view: &View) -> Result<Arc<View>> {
-        Ok(Arc::new(View::compute_with(
+        Ok(Arc::new(View::compute(
             self.relation(),
             view.predicate().clone(),
             view.group_by().to_vec(),
             view.measure(),
-            &self.config.parallelism,
+            &self.config.exec,
         )?))
     }
 
@@ -477,6 +505,7 @@ impl Reptile {
     ///     Predicate::all(),
     ///     vec![schema.attr("district").unwrap()],
     ///     schema.attr("severity").unwrap(),
+    ///     &reptile_relational::Exec::Serial,
     /// )
     /// .unwrap();
     /// let complaint = Complaint::new(
@@ -503,7 +532,7 @@ impl Reptile {
     /// and no model training.
     ///
     /// Candidate hierarchies are evaluated **concurrently** on the shard
-    /// pool when [`ReptileConfig::parallelism`] allows: the `cache` handle
+    /// pool when [`ReptileConfig::exec`] allows: the `cache` handle
     /// is shared (the trait requires `Sync` and `&self` methods), one
     /// may-block pool job evaluates each hierarchy, and each evaluation's
     /// own nested scatters (design build, EM fit) run inline on its worker,
@@ -549,12 +578,8 @@ impl Reptile {
         // A context that would run the scatter inline anyway keeps the old
         // sequential short-circuit instead, so a failing hierarchy does
         // not pay for training the remaining ones.
-        let results: Vec<Result<HierarchyRecommendation>> = if self
-            .config
-            .parallelism
-            .effective_threads()
-            == 1
-        {
+        let local = self.config.exec.parallelism();
+        let results: Vec<Result<HierarchyRecommendation>> = if local.effective_threads() == 1 {
             let mut out = Vec::with_capacity(candidates.len());
             for hierarchy in &candidates {
                 let result =
@@ -567,11 +592,9 @@ impl Reptile {
             }
             out
         } else {
-            self.config
-                .parallelism
-                .map_items_may_block(candidates.len(), |i| {
-                    self.evaluate_hierarchy(view, complaint, candidates[i], original_value, cache)
-                })
+            local.map_items_may_block(candidates.len(), |i| {
+                self.evaluate_hierarchy(view, complaint, candidates[i], original_value, cache)
+            })
         };
         let mut hierarchies = Vec::with_capacity(results.len());
         let mut all: Vec<ScoredGroup> = Vec::new();
@@ -597,7 +620,7 @@ impl Reptile {
         complaint: &Complaint,
         hierarchy: &Hierarchy,
     ) -> Result<BTreeMap<GroupKey, f64>> {
-        let dd = view.drill_down_with(&complaint.key, hierarchy, &self.config.parallelism)?;
+        let dd = view.drill_down(&complaint.key, hierarchy, &self.config.exec)?;
         let trained = self.fit_and_predict(view, complaint, hierarchy, &NoCache)?;
         let mut out = BTreeMap::new();
         for (key, _) in dd.view.groups() {
@@ -646,12 +669,12 @@ impl Reptile {
         let drilled = self.view_via_cache(&view_key, cache, || {
             // Aggregate the VIEW's relation (it may differ from the engine's,
             // exactly like View::drill_down and drill_down_parallel do).
-            Ok(View::compute_with(
+            Ok(View::compute(
                 view.relation().clone(),
                 predicate,
                 group_by,
                 view.measure(),
-                &self.config.parallelism,
+                &self.config.exec,
             )?)
         })?;
         Ok((drilled, next))
@@ -726,9 +749,7 @@ impl Reptile {
             // Training data: the same drill-down over ALL parallel groups.
             let parallel_key = ViewKey::drilled(view, next);
             let parallel = self.view_via_cache(&parallel_key, cache, || {
-                Ok(view
-                    .drill_down_parallel_with(hierarchy, &self.config.parallelism)?
-                    .view)
+                Ok(view.drill_down_parallel(hierarchy, &self.config.exec)?.view)
             })?;
             // The design runs on the factor backend matching the configured
             // training backend; the engine's drill-down session serves cached
@@ -746,7 +767,7 @@ impl Reptile {
                 .with_plan(self.plan.clone())
                 .empty_groups(self.config.empty_groups)
                 .with_factor_backend(factor_backend)
-                .with_parallelism(self.config.parallelism)
+                .with_exec(self.config.exec.clone())
                 .with_aggregate_source(&mut source)
                 .build()?;
             drop(design_span);
@@ -756,9 +777,10 @@ impl Reptile {
                         &design,
                         self.config.em,
                         self.config.backend,
-                        &self.config.parallelism,
+                        &self.config.exec.parallelism(),
                     )?;
-                    let predictions = model.predict_all_with(&design, &self.config.parallelism);
+                    let predictions =
+                        model.predict_all_with(&design, &self.config.exec.parallelism());
                     (FittedRepairModel::MultiLevel(model), predictions)
                 }
                 RepairModelKind::Linear => {
@@ -904,6 +926,7 @@ mod tests {
                 schema.attr("year").unwrap(),
             ],
             schema.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap()
     }
@@ -963,7 +986,7 @@ mod tests {
         // exactly: same groups, same scores, to the last bit.
         for threads in [2usize, 64] {
             let config = ReptileConfig {
-                parallelism: Parallelism::new(threads),
+                exec: Exec::pool(threads),
                 ..Default::default()
             };
             let engine = Reptile::new(rel.clone(), schema.clone()).with_config(config);
@@ -1000,6 +1023,7 @@ mod tests {
             Predicate::all(),
             vec![schema.attr("district").unwrap()],
             schema.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let complaint = Complaint::new(
@@ -1012,7 +1036,7 @@ mod tests {
         assert_eq!(serial.hierarchies.len(), 2, "geo and time both drillable");
         for threads in [2usize, 8] {
             let config = ReptileConfig {
-                parallelism: Parallelism::new(threads),
+                exec: Exec::pool(threads),
                 ..Default::default()
             };
             let engine = Reptile::new(rel.clone(), schema.clone()).with_config(config);
@@ -1068,6 +1092,7 @@ mod tests {
                 schema.attr("year").unwrap(),
             ],
             schema.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let key = view.keys().into_iter().next().unwrap();

@@ -48,6 +48,7 @@
 //!     Predicate::all(),
 //!     vec![schema.attr("district").unwrap(), schema.attr("year").unwrap()],
 //!     schema.attr("severity").unwrap(),
+//!     &reptile_relational::Exec::Serial,
 //! )
 //! .unwrap();
 //!
@@ -84,10 +85,10 @@ pub use cache::{
 };
 pub use complaint::{Complaint, Direction};
 pub use engine::{
-    HierarchyRecommendation, IngestReport, IngestStages, Recommendation, RepairModelKind, Reptile,
-    ReptileConfig, ScoredGroup,
+    HierarchyRecommendation, IngestReport, IngestSink, IngestStages, Recommendation,
+    RepairModelKind, Reptile, ReptileConfig, ScoredGroup,
 };
-pub use reptile_factor::{Parallelism, SessionStats};
+pub use reptile_factor::{Exec, Parallelism, Remote, RemoteError, RemoteTransport, SessionStats};
 pub use reptile_obs::{MetricsSnapshot, ObsConfig};
 
 /// Errors surfaced by the engine.

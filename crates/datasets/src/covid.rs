@@ -384,6 +384,7 @@ mod tests {
                 Predicate::eq(s.attr("day").unwrap(), Value::int(issue.day)),
                 vec![s.attr("location").unwrap()],
                 s.attr("confirmed").unwrap(),
+                &reptile_relational::Exec::Serial,
             )
             .unwrap();
             view.aggregate_of(

@@ -139,6 +139,7 @@ mod tests {
             Predicate::all(),
             vec![s.attr("g").unwrap()],
             s.attr("m").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let key = reptile_relational::GroupKey(vec![Value::str(g)]);

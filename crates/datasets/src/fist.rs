@@ -271,6 +271,7 @@ mod tests {
             Predicate::all(),
             vec![s.attr("village").unwrap()],
             s.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let mut sev = Vec::new();
@@ -314,6 +315,7 @@ mod tests {
                 year_pred.clone(),
                 vec![s.attr("village").unwrap()],
                 s.attr("severity").unwrap(),
+                &reptile_relational::Exec::Serial,
             )
             .unwrap();
             view.group(&GroupKey(vec![complaint.true_groups[0].clone()]))
@@ -339,6 +341,7 @@ mod tests {
                 Predicate::eq(s.attr("year").unwrap(), Value::int(complaint.year)),
                 vec![s.attr("region").unwrap()],
                 s.attr("severity").unwrap(),
+                &reptile_relational::Exec::Serial,
             )
             .unwrap();
             view.group(&GroupKey(vec![Value::str("Region0")]))

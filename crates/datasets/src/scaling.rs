@@ -132,6 +132,7 @@ pub fn scaling_panel(config: ScalingConfig) -> ScalingWorkload {
             schema.attr("day").unwrap(),
         ],
         schema.attr("m").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .expect("complaint view");
     let training_view = View::compute(
@@ -143,6 +144,7 @@ pub fn scaling_panel(config: ScalingConfig) -> ScalingWorkload {
             schema.attr("village").unwrap(),
         ],
         schema.attr("m").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .expect("training view");
     ScalingWorkload {
@@ -305,10 +307,22 @@ pub fn deep_scaling_panel(config: DeepScalingConfig) -> DeepScalingWorkload {
     let region = schema.attr("region").unwrap();
     let m = schema.attr("m").unwrap();
     let m2 = schema.attr("m2").unwrap();
-    let complaint_view =
-        View::compute(relation.clone(), Predicate::all(), vec![region], m).expect("complaint view");
-    let complaint_view_m2 = View::compute(relation.clone(), Predicate::all(), vec![region], m2)
-        .expect("complaint view (m2)");
+    let complaint_view = View::compute(
+        relation.clone(),
+        Predicate::all(),
+        vec![region],
+        m,
+        &reptile_relational::Exec::Serial,
+    )
+    .expect("complaint view");
+    let complaint_view_m2 = View::compute(
+        relation.clone(),
+        Predicate::all(),
+        vec![region],
+        m2,
+        &reptile_relational::Exec::Serial,
+    )
+    .expect("complaint view (m2)");
     let training_view = View::compute(
         relation.clone(),
         Predicate::all(),
@@ -319,6 +333,7 @@ pub fn deep_scaling_panel(config: DeepScalingConfig) -> DeepScalingWorkload {
             schema.attr("village").unwrap(),
         ],
         m,
+        &reptile_relational::Exec::Serial,
     )
     .expect("training view");
     DeepScalingWorkload {

@@ -168,6 +168,7 @@ impl SyntheticDataset {
             Predicate::all(),
             vec![self.group_attr],
             self.measure,
+            &reptile_relational::Exec::Serial,
         )
         .expect("clean view")
     }
@@ -254,6 +255,7 @@ mod tests {
             Predicate::all(),
             vec![data.group_attr],
             data.measure,
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         // the missing-records group lost about half its rows

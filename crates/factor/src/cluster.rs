@@ -82,20 +82,12 @@ impl ClusterPartition {
     /// `f64` features), but every path comparison is a `u32` compare and
     /// every feature lookup a flat-slice index instead of a `Value` slice
     /// compare plus a `BTreeMap` walk.
+    /// The earlier-hierarchy combination loop — the `O(n_rows)` bulk of the
+    /// partition build — is sharded over `par` (the coordinator-local
+    /// thread budget; pass [`Parallelism::serial`] for the inline build).
+    /// Combinations are independent and gathered in combination order, so
+    /// the partition is bit-identical for any budget.
     pub fn from_encoded(
-        fact: &EncodedFactorization,
-        features: &EncodedFeatureMap,
-        intra_levels: usize,
-    ) -> Self {
-        Self::from_encoded_with(fact, features, intra_levels, &Parallelism::serial())
-    }
-
-    /// [`ClusterPartition::from_encoded`] with the earlier-hierarchy
-    /// combination loop — the `O(n_rows)` bulk of the partition build —
-    /// sharded over `par`. Combinations are independent and gathered in
-    /// combination order, so the partition is bit-identical to the serial
-    /// build.
-    pub fn from_encoded_with(
         fact: &EncodedFactorization,
         features: &EncodedFeatureMap,
         intra_levels: usize,
@@ -265,8 +257,8 @@ impl ClusterPartition {
         self.intra_columns.iter().position(|c| *c == col)
     }
 
-    /// The gram matrix of one cluster — the per-cluster body shared by
-    /// [`ClusterPartition::grams`] and [`ClusterPartition::grams_with`].
+    /// The gram matrix of one cluster — the per-cluster body the serial and
+    /// fanned-out [`ClusterPartition::grams`] budgets share.
     fn gram_of(&self, c: &ClusterInfo) -> Matrix {
         let m = self.n_cols;
         let s = c.len as f64;
@@ -302,17 +294,13 @@ impl ClusterPartition {
     }
 
     /// Per-cluster gram matrices `X_iᵀ·X_i` (Algorithm 5). Exploits that the
-    /// inter-cluster columns are constant within the cluster.
-    pub fn grams(&self) -> Vec<Matrix> {
-        self.clusters.iter().map(|c| self.gram_of(c)).collect()
-    }
-
-    /// [`ClusterPartition::grams`] with the per-cluster grams fanned out over
-    /// `par`, gathered in cluster order — bit-identical, clusters are
-    /// independent.
-    pub fn grams_with(&self, par: &Parallelism) -> Vec<Matrix> {
+    /// inter-cluster columns are constant within the cluster. The
+    /// per-cluster grams fan out over `par` (the coordinator-local thread
+    /// budget), gathered in cluster order — bit-identical for any budget,
+    /// clusters are independent.
+    pub fn grams(&self, par: &Parallelism) -> Vec<Matrix> {
         if par.is_serial() {
-            return self.grams();
+            return self.clusters.iter().map(|c| self.gram_of(c)).collect();
         }
         par.map_items(self.clusters.len(), |i| self.gram_of(&self.clusters[i]))
     }
@@ -382,19 +370,10 @@ impl ClusterPartition {
 
     /// Per-cluster right multiplication `X_i · beta_i` where each cluster has
     /// its own coefficient vector; results are concatenated in row order
-    /// (this is the vertical concatenation used for `Z·b`).
-    pub fn right_mult_per_cluster_vec(&self, betas: &[Vec<f64>]) -> Vec<f64> {
-        self.right_mult_per_cluster_vec_with(betas, &Parallelism::serial())
-    }
-
-    /// [`ClusterPartition::right_mult_per_cluster_vec`] with contiguous
-    /// cluster shards fanned out over `par`, concatenated in cluster (= row)
+    /// (this is the vertical concatenation used for `Z·b`). Contiguous
+    /// cluster shards fan out over `par`, concatenated in cluster (= row)
     /// order — bit-identical to the serial concatenation.
-    pub fn right_mult_per_cluster_vec_with(
-        &self,
-        betas: &[Vec<f64>],
-        par: &Parallelism,
-    ) -> Vec<f64> {
+    pub fn right_mult_per_cluster_vec(&self, betas: &[Vec<f64>], par: &Parallelism) -> Vec<f64> {
         assert_eq!(betas.len(), self.clusters.len(), "one beta per cluster");
         let m = self.n_cols;
         let shard = |start: usize, count: usize| -> Vec<f64> {
@@ -415,15 +394,10 @@ impl ClusterPartition {
     }
 
     /// Per-cluster right multiplication with a single shared vector operand
-    /// (the common case `X·β`), concatenated in row order.
-    pub fn right_mult_shared_vec(&self, beta: &[f64]) -> Vec<f64> {
-        self.right_mult_shared_vec_with(beta, &Parallelism::serial())
-    }
-
-    /// [`ClusterPartition::right_mult_shared_vec`] with contiguous cluster
-    /// shards fanned out over `par`, concatenated in cluster (= row) order —
-    /// bit-identical to the serial concatenation.
-    pub fn right_mult_shared_vec_with(&self, beta: &[f64], par: &Parallelism) -> Vec<f64> {
+    /// (the common case `X·β`), concatenated in row order. Contiguous
+    /// cluster shards fan out over `par`, concatenated in cluster (= row)
+    /// order — bit-identical to the serial concatenation.
+    pub fn right_mult_shared_vec(&self, beta: &[f64], par: &Parallelism) -> Vec<f64> {
         assert_eq!(beta.len(), self.n_cols);
         let shard = |start: usize, count: usize| -> Vec<f64> {
             let mut out = Vec::new();
@@ -502,19 +476,16 @@ impl ClusterPartition {
     /// Per-cluster left multiplication of one global row vector `v` (length
     /// `n`): returns, for each cluster, the `1 × m` result of
     /// `v[cluster rows]·X_i`. This is the shape `X_iᵀ·(y_i − X_i·β)` needs.
-    pub fn left_mult_global_vec(&self, v: &[f64]) -> Vec<Vec<f64>> {
-        self.clusters
-            .iter()
-            .map(|c| self.left_mult_global_cluster(c, v))
-            .collect()
-    }
-
-    /// [`ClusterPartition::left_mult_global_vec`] with the per-cluster
-    /// products fanned out over `par`, gathered in cluster order —
-    /// bit-identical, clusters read disjoint slices of `v`.
-    pub fn left_mult_global_vec_with(&self, v: &[f64], par: &Parallelism) -> Vec<Vec<f64>> {
+    /// The per-cluster products fan out over `par`, gathered in cluster
+    /// order — bit-identical for any budget, clusters read disjoint slices
+    /// of `v`.
+    pub fn left_mult_global_vec(&self, v: &[f64], par: &Parallelism) -> Vec<Vec<f64>> {
         if par.is_serial() {
-            return self.left_mult_global_vec(v);
+            return self
+                .clusters
+                .iter()
+                .map(|c| self.left_mult_global_cluster(c, v))
+                .collect();
         }
         par.map_items(self.clusters.len(), |i| {
             self.left_mult_global_cluster(&self.clusters[i], v)
@@ -628,7 +599,7 @@ mod tests {
         let part = ClusterPartition::new(&fact, &features);
         let x = fact.materialize(&features);
         let expected = naive::cluster_grams(&x, &part.row_ranges()).unwrap();
-        let got = part.grams();
+        let got = part.grams(&Parallelism::serial());
         assert_eq!(got.len(), expected.len());
         for (g, e) in got.iter().zip(&expected) {
             assert!(g.max_abs_diff(e) < 1e-9, "{g:?} vs {e:?}");
@@ -674,14 +645,14 @@ mod tests {
         let part = ClusterPartition::new(&fact, &features);
         let x = fact.materialize(&features);
         let beta = vec![0.3, -1.0, 2.0];
-        let shared = part.right_mult_shared_vec(&beta);
+        let shared = part.right_mult_shared_vec(&beta, &Parallelism::serial());
         let expected = x.matmul(&Matrix::column_vector(&beta)).unwrap();
         for (i, v) in shared.iter().enumerate() {
             assert!((v - expected.get(i, 0)).abs() < 1e-9);
         }
 
         let v: Vec<f64> = (0..fact.n_rows()).map(|i| i as f64 * 0.25 - 0.5).collect();
-        let per_cluster = part.left_mult_global_vec(&v);
+        let per_cluster = part.left_mult_global_vec(&v, &Parallelism::serial());
         for (c, res) in part.clusters().iter().zip(&per_cluster) {
             let block = x.row_block(c.start_row, c.len);
             let expected = Matrix::row_vector(&v[c.start_row..c.start_row + c.len])
@@ -701,7 +672,7 @@ mod tests {
         let betas: Vec<Vec<f64>> = (0..part.len())
             .map(|i| vec![i as f64, 1.0 - i as f64, 0.5 * i as f64])
             .collect();
-        let got = part.right_mult_per_cluster_vec(&betas);
+        let got = part.right_mult_per_cluster_vec(&betas, &Parallelism::serial());
         let mut idx = 0usize;
         for (c, beta) in part.clusters().iter().zip(&betas) {
             let block = x.row_block(c.start_row, c.len);
@@ -723,17 +694,17 @@ mod tests {
         assert_eq!(part.len(), 6);
         let x = fact.materialize(&features);
         let expected = naive::cluster_grams(&x, &part.row_ranges()).unwrap();
-        for (g, e) in part.grams().iter().zip(&expected) {
+        for (g, e) in part.grams(&Parallelism::serial()).iter().zip(&expected) {
             assert!(g.max_abs_diff(e) < 1e-9);
         }
         let beta = vec![0.3, -1.0, 2.0, 0.01];
-        let shared = part.right_mult_shared_vec(&beta);
+        let shared = part.right_mult_shared_vec(&beta, &Parallelism::serial());
         let exp = x.matmul(&Matrix::column_vector(&beta)).unwrap();
         for (i, v) in shared.iter().enumerate() {
             assert!((v - exp.get(i, 0)).abs() < 1e-9);
         }
         let v: Vec<f64> = (0..fact.n_rows()).map(|i| (i % 5) as f64 - 2.0).collect();
-        let per_cluster = part.left_mult_global_vec(&v);
+        let per_cluster = part.left_mult_global_vec(&v, &Parallelism::serial());
         for (c, res) in part.clusters().iter().zip(&per_cluster) {
             let block = x.row_block(c.start_row, c.len);
             let e = Matrix::row_vector(&v[c.start_row..c.start_row + c.len])
@@ -752,7 +723,8 @@ mod tests {
             let legacy = ClusterPartition::with_intra_levels(&fact, &features, intra);
             let enc = EncodedFactorization::encode(&fact);
             let enc_features = EncodedFeatureMap::encode(&features, &enc);
-            let encoded = ClusterPartition::from_encoded(&enc, &enc_features, intra);
+            let encoded =
+                ClusterPartition::from_encoded(&enc, &enc_features, intra, &Parallelism::serial());
             assert_eq!(legacy.intra_columns(), encoded.intra_columns());
             assert_eq!(legacy.len(), encoded.len());
             for (l, e) in legacy.clusters().iter().zip(encoded.clusters()) {

@@ -21,7 +21,7 @@ use crate::encoded::{
     FactorizationDelta, PathDelta,
 };
 use crate::factorization::{Factorization, HierarchyFactor};
-use crate::parallel::Parallelism;
+use reptile_relational::Exec;
 use reptile_relational::{Hierarchy, IngestBatch, Relation, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -243,10 +243,11 @@ pub struct DrilldownSession {
     /// Most recently inserted encoded entry per `(hierarchy name, depth)` —
     /// the candidate base for delta patching on a miss.
     delta_bases: HashMap<(String, usize), FactorKey>,
-    /// Thread budget for cold factor builds and delta patches (the shard
-    /// pool of the sharded execution backend). Serial by default; sharded
-    /// execution is bit-identical, so it never affects cache contents.
-    parallelism: Parallelism,
+    /// Execution context for cold factor builds and delta patches —
+    /// inline, shard pool, exact shards, or worker processes. Serial by
+    /// default; every context is bit-identical, so it never affects cache
+    /// contents.
+    exec: Exec,
     /// Per-session stage-timing switch (the engine mirrors its `ObsConfig`
     /// here). Timing also turns on when the process-wide
     /// [`reptile_obs::enabled`] flag is set; either way results and cache
@@ -277,30 +278,30 @@ impl DrilldownSession {
             previous_encoded: Vec::new(),
             epochs: HashMap::new(),
             delta_bases: HashMap::new(),
-            parallelism: Parallelism::serial(),
+            exec: Exec::Serial,
             profile: false,
             stats: SessionStats::default(),
             cumulative: SessionStats::default(),
         }
     }
 
-    /// Set the thread budget for cold encoded factor builds and delta
-    /// patches (builder style). Sharded builds are bit-identical to serial
-    /// ones, so this changes wall-clock only — never cached contents.
-    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
-        self.parallelism = parallelism;
+    /// Set the execution context for cold encoded factor builds and delta
+    /// patches (builder style). Every context is bit-identical to serial,
+    /// so this changes *where* the work runs — never cached contents.
+    pub fn with_exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
         self
     }
 
-    /// Update the thread budget on a live session (e.g. when the engine's
-    /// configuration is replaced).
-    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
-        self.parallelism = parallelism;
+    /// Update the execution context on a live session (e.g. when the
+    /// engine's configuration is replaced).
+    pub fn set_exec(&mut self, exec: Exec) {
+        self.exec = exec;
     }
 
-    /// The configured thread budget.
-    pub fn parallelism(&self) -> Parallelism {
-        self.parallelism
+    /// The configured execution context.
+    pub fn exec(&self) -> &Exec {
+        &self.exec
     }
 
     /// Turn per-call stage timing on or off for this session (the engine
@@ -442,7 +443,7 @@ impl DrilldownSession {
         }
         let next = Arc::new(base_factor.apply_delta(&delta));
         debug_assert_eq!(next.leaf_count(), factor.leaf_count());
-        let aggs = Arc::new(base_aggs.apply_delta_with(&next, &delta, &self.parallelism));
+        let aggs = Arc::new(base_aggs.apply_delta(&next, &delta, &self.exec));
         Some((next, aggs))
     }
 
@@ -542,11 +543,8 @@ impl DrilldownSession {
                     None => {
                         stats.recomputed += 1;
                         let t0 = timing.then(Instant::now);
-                        let enc = Arc::new(EncodedFactor::encode_with(factor, &self.parallelism));
-                        let aggs = Arc::new(EncodedHierarchyAggregates::compute_sharded(
-                            &enc,
-                            &self.parallelism,
-                        ));
+                        let enc = Arc::new(EncodedFactor::encode(factor, &self.exec));
+                        let aggs = Arc::new(EncodedHierarchyAggregates::compute(&enc, &self.exec));
                         if let Some(t0) = t0 {
                             stats.encode_ns += elapsed_ns(t0);
                         }
@@ -593,18 +591,18 @@ impl AggregateSource for DrilldownSession {
 
 /// A stateless [`AggregateSource`] that recomputes everything on every call —
 /// what a design build does when no drill-down session is threaded through.
-/// Carries a thread budget so stand-alone builds can still shard their
-/// encoded computation (bit-identically; serial by default).
-#[derive(Debug, Clone, Copy, Default)]
+/// Carries an execution context so stand-alone builds can still fan their
+/// encoded computation out (bit-identically; serial by default).
+#[derive(Debug, Clone, Default)]
 pub struct FreshAggregates {
-    /// Thread budget for the encoded factor build and aggregate batch.
-    pub parallelism: Parallelism,
+    /// Execution context for the encoded factor build and aggregate batch.
+    pub exec: Exec,
 }
 
 impl FreshAggregates {
-    /// A fresh source sharding its encoded computation over `parallelism`.
-    pub fn with_parallelism(parallelism: Parallelism) -> Self {
-        FreshAggregates { parallelism }
+    /// A fresh source running its encoded computation on `exec`.
+    pub fn with_exec(exec: Exec) -> Self {
+        FreshAggregates { exec }
     }
 }
 
@@ -620,10 +618,10 @@ impl AggregateSource for FreshAggregates {
         let factors = fact
             .hierarchies()
             .iter()
-            .map(|h| Arc::new(EncodedFactor::encode_with(h, &self.parallelism)))
+            .map(|h| Arc::new(EncodedFactor::encode(h, &self.exec)))
             .collect();
         let enc = EncodedFactorization::new(factors);
-        let aggs = EncodedAggregates::compute_with(&enc, &self.parallelism);
+        let aggs = EncodedAggregates::compute(&enc, &self.exec);
         (enc, aggs)
     }
 }
@@ -925,7 +923,7 @@ mod tests {
         s.encoded(&fact(2, 1));
         let (enc, aggs) = s.encoded(&f);
         let fresh_fact = EncodedFactorization::encode(&f);
-        let fresh = EncodedAggregates::compute(&fresh_fact);
+        let fresh = EncodedAggregates::compute(&fresh_fact, &Exec::Serial);
         assert_eq!(enc.n_rows(), fresh_fact.n_rows());
         for c in 0..f.n_cols() {
             assert_eq!(aggs.total(c), fresh.total(c));
@@ -1009,7 +1007,7 @@ mod tests {
         // (the patched dictionary keeps stable codes plus an appended tail).
         let fresh_fact =
             crate::encoded::EncodedFactorization::encode(&Factorization::new(vec![a2, b]));
-        let fresh = EncodedAggregates::compute(&fresh_fact);
+        let fresh = EncodedAggregates::compute(&fresh_fact, &Exec::Serial);
         assert_eq!(aggs.grand_total(), fresh.grand_total());
         for c in 0..enc.n_cols() {
             assert_eq!(aggs.total(c), fresh.total(c));
@@ -1025,7 +1023,7 @@ mod tests {
             }
         }
         // Pre-existing values kept their codes (stable-code extension).
-        let base = crate::encoded::EncodedFactor::encode(&a);
+        let base = crate::encoded::EncodedFactor::encode(&a, &Exec::Serial);
         for (code, value) in base.levels[0].dict.iter() {
             assert_eq!(enc.factors()[0].levels[0].dict.code_of(value), Some(code));
         }

@@ -28,11 +28,13 @@
 use crate::factorization::{AttrPosition, Factorization, HierarchyFactor};
 use crate::feature::FeatureMap;
 use crate::parallel::Parallelism;
+use crate::payload;
 use reptile_linalg::{Matrix, PrefixSum};
-use reptile_obs::{Stage, StageTimer};
-use reptile_relational::{AttrId, Value, ValueDict};
+use reptile_obs::{add_counter, Counter, Stage, StageTimer};
+use reptile_relational::exec::{DOMAIN_FACTOR, OP_AGG_RANGE};
+use reptile_relational::{AttrId, Exec, Remote, RemoteError, Value, ValueDict};
 use std::cmp::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Which factor execution path an operator/design runs on. The legacy
 /// `Value`-keyed path stays available so the encoded backend can be
@@ -63,7 +65,7 @@ pub struct EncodedLevel {
 }
 
 /// A dictionary-encoded hierarchy factor (columnar layout).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EncodedFactor {
     /// Name of the hierarchy (for diagnostics).
     pub name: String,
@@ -78,6 +80,34 @@ pub struct EncodedFactor {
     /// search plus a walk over the runs actually present in the range,
     /// instead of an `O(len)` re-detection per call per level per shard.
     run_starts: Vec<Arc<Vec<usize>>>,
+    /// Lazily computed content fingerprint (FNV-1a over the wire encoding)
+    /// — the `(DOMAIN_FACTOR, key)` remote state key. Content-addressing
+    /// makes stale worker state impossible by construction: a post-ingest
+    /// snapshot is a *different* factor with a different fingerprint, so it
+    /// ships under a new key instead of silently aliasing the old one.
+    fingerprint: OnceLock<u64>,
+}
+
+impl Clone for EncodedFactor {
+    fn clone(&self) -> Self {
+        EncodedFactor {
+            name: self.name.clone(),
+            attrs: self.attrs.clone(),
+            levels: self.levels.clone(),
+            leaf_count: self.leaf_count,
+            run_starts: self.run_starts.clone(),
+            // `OnceLock` is not `Clone`; carry the computed value over so a
+            // cached clone never re-hashes.
+            fingerprint: match self.fingerprint.get() {
+                Some(&fp) => {
+                    let lock = OnceLock::new();
+                    let _ = lock.set(fp);
+                    lock
+                }
+                None => OnceLock::new(),
+            },
+        }
+    }
 }
 
 /// The sorted start indices of `codes`' maximal runs, with a final
@@ -99,17 +129,16 @@ impl EncodedFactor {
     /// Encode a `Value`-keyed hierarchy factor. This is the one place that
     /// still compares `Value`s (building the per-level dictionaries); all
     /// downstream work runs on the codes.
-    pub fn encode(factor: &HierarchyFactor) -> Self {
-        Self::encode_with(factor, &Parallelism::serial())
-    }
-
-    /// [`EncodedFactor::encode`] with the per-path dictionary lookups (the
-    /// `O(n log |domain|)` bulk of the encode) sharded over contiguous path
-    /// ranges. Every shard reads the *same* per-level [`ValueDict`] — built
-    /// once, up front, from one linear representatives pass — so codes are
-    /// identical across shards and the concatenated columns equal the serial
-    /// encode bit-for-bit.
-    pub fn encode_with(factor: &HierarchyFactor, par: &Parallelism) -> Self {
+    ///
+    /// The per-path dictionary lookups (the `O(n log |domain|)` bulk of the
+    /// encode) fan out over `exec`'s *local* thread budget — encoding reads
+    /// the coordinator-resident path table, so it never goes remote. Every
+    /// shard reads the *same* per-level [`ValueDict`] — built once, up
+    /// front, from one linear representatives pass — so codes are identical
+    /// across shards and the concatenated columns equal the serial encode
+    /// bit-for-bit.
+    pub fn encode(factor: &HierarchyFactor, exec: &Exec) -> Self {
+        let par = exec.parallelism();
         let _span = StageTimer::start(Stage::Encode);
         let depth = factor.depth();
         let leaf_count = factor.leaf_count();
@@ -151,7 +180,40 @@ impl EncodedFactor {
             levels,
             leaf_count,
             run_starts,
+            fingerprint: OnceLock::new(),
         }
+    }
+
+    /// Reassemble a factor from its levels — the wire decode path
+    /// ([`payload::decode_factor`]). The leaf count is the (shared) code
+    /// column length and the run tables are rebuilt; dictionaries arrive in
+    /// the encoder's code order, so the result is structurally identical to
+    /// the factor that was encoded.
+    pub fn from_levels(name: String, attrs: Vec<AttrId>, levels: Vec<EncodedLevel>) -> Self {
+        let leaf_count = levels.first().map_or(0, |l| l.codes.len());
+        debug_assert!(levels.iter().all(|l| l.codes.len() == leaf_count));
+        let run_starts = levels
+            .iter()
+            .map(|l| Arc::new(run_start_table(&l.codes)))
+            .collect();
+        EncodedFactor {
+            name,
+            attrs,
+            levels,
+            leaf_count,
+            run_starts,
+            fingerprint: OnceLock::new(),
+        }
+    }
+
+    /// The factor's content fingerprint: FNV-1a over its wire encoding,
+    /// computed once and cached. Coordinator and worker compute the same
+    /// value from the same content, so it doubles as an end-to-end shipping
+    /// integrity check.
+    pub fn fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| payload::fnv1a(&payload::encode_factor(self)))
     }
 
     /// Number of levels present.
@@ -319,6 +381,7 @@ impl EncodedFactor {
             levels,
             leaf_count,
             run_starts,
+            fingerprint: OnceLock::new(),
         }
     }
 }
@@ -438,12 +501,14 @@ impl EncodedFactorization {
         }
     }
 
-    /// Encode every hierarchy of a `Value`-keyed factorisation.
+    /// Encode every hierarchy of a `Value`-keyed factorisation (serial
+    /// convenience; per-hierarchy callers on a hot path use
+    /// [`EncodedFactor::encode`] with their own [`Exec`]).
     pub fn encode(fact: &Factorization) -> Self {
         EncodedFactorization::new(
             fact.hierarchies()
                 .iter()
-                .map(|h| Arc::new(EncodedFactor::encode(h)))
+                .map(|h| Arc::new(EncodedFactor::encode(h, &Exec::Serial)))
                 .collect(),
         )
     }
@@ -520,8 +585,104 @@ impl EncodedHierarchyAggregates {
     /// Compute the per-hierarchy aggregates with the same bottom-up work
     /// sharing as the `Value`-keyed path — but every map update is a flat
     /// `Vec` index on a `u32` code.
-    pub fn compute(factor: &EncodedFactor) -> Self {
-        Self::compute_range(factor, 0, factor.leaf_count())
+    ///
+    /// `exec` says *where* the scan runs: inline ([`Exec::Serial`]), over
+    /// the in-process shard pool at the adaptive width ([`Exec::Pool`]),
+    /// over exactly `n` contiguous leaf shards ([`Exec::Shards`]), or
+    /// scattered across worker processes ([`Exec::Remote`]) with the
+    /// partials merged back on the coordinator. Every context is
+    /// bit-identical to serial: all merged quantities are integer-valued
+    /// `f64` sums (exact in any grouping) and boundary-split runs re-join
+    /// exactly ([`EncodedHierarchyAggregates::merge`]).
+    ///
+    /// This signature is infallible, so a remote failure (worker gone,
+    /// protocol error) falls back to the coordinator-local pool after
+    /// bumping the `remote_fallbacks` counter — the result is still exact,
+    /// only the placement changed. Distributed deployments gate on
+    /// `remote_fallbacks == 0` to catch silent degradation.
+    pub fn compute(factor: &EncodedFactor, exec: &Exec) -> Self {
+        match exec {
+            Exec::Serial => Self::compute_range(factor, 0, factor.leaf_count()),
+            Exec::Pool(par) => Self::compute_pool(factor, par),
+            Exec::Shards(shards) => {
+                // Exactly `shards` contiguous leaf shards, no size threshold
+                // — counts past the leaf count are valid, their partials are
+                // empty and merge as identities. The exactness property
+                // tests drive this arm (and it is the in-process mirror of
+                // the per-worker scatter below).
+                let ranges = Parallelism::shard_ranges(factor.leaf_count(), (*shards).max(1));
+                if ranges.len() <= 1 {
+                    return Self::compute_range(factor, 0, factor.leaf_count());
+                }
+                let par = Parallelism::new(*shards);
+                let parts = par.run_shards(&ranges, |start, len| {
+                    Self::compute_range(factor, start, len)
+                });
+                Self::merge(&parts)
+            }
+            Exec::Remote(remote) => match Self::compute_remote(factor, remote) {
+                Ok(aggs) => aggs,
+                Err(_) => {
+                    add_counter(Counter::RemoteFallbacks, 1);
+                    Self::compute_pool(factor, &remote.local())
+                }
+            },
+        }
+    }
+
+    /// The [`Exec::Pool`] arm: shard over `par`'s adaptive ranges and merge.
+    fn compute_pool(factor: &EncodedFactor, par: &Parallelism) -> Self {
+        let ranges = par.ranges_for(factor.leaf_count());
+        if ranges.len() <= 1 {
+            return Self::compute_range(factor, 0, factor.leaf_count());
+        }
+        let parts = par.run_shards(&ranges, |start, len| {
+            Self::compute_range(factor, start, len)
+        });
+        Self::merge(&parts)
+    }
+
+    /// The [`Exec::Remote`] arm: ship the factor (content-addressed, so the
+    /// transport skips workers that already hold it), scatter one
+    /// contiguous leaf range per worker, and merge the decoded partials in
+    /// worker order — structurally identical to `Exec::Shards(workers)`,
+    /// hence bit-identical to serial.
+    ///
+    /// The *full* factor ships to every worker (dictionaries in code order
+    /// plus whole code columns) rather than a sliced partition: factors are
+    /// small relative to relations (distinct paths, not rows), one blob
+    /// serves every later range request, and shared full dictionaries are
+    /// what make the code-keyed partials merge with no translation.
+    pub fn compute_remote(factor: &EncodedFactor, remote: &Remote) -> Result<Self, RemoteError> {
+        let transport = remote.transport();
+        let fingerprint = factor.fingerprint();
+        transport.ensure_state(DOMAIN_FACTOR, fingerprint, &|| {
+            payload::encode_factor(factor)
+        })?;
+        let ranges = Parallelism::shard_ranges(factor.leaf_count(), transport.workers().max(1));
+        let requests: Vec<Option<Vec<u8>>> = ranges
+            .iter()
+            .map(|&(start, len)| {
+                (len > 0).then(|| payload::encode_agg_request(fingerprint, start, len))
+            })
+            .collect();
+        let replies = transport.scatter(OP_AGG_RANGE, requests)?;
+        let _span = StageTimer::start(Stage::RemoteMerge);
+        let mut parts = Vec::new();
+        for reply in replies.iter().flatten() {
+            let part = payload::decode_aggregates(reply)
+                .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+            // Shape-check before merging so a corrupt or mismatched reply
+            // becomes a typed error instead of a panic inside `merge`.
+            payload::check_partial_shape(factor, &part)
+                .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+            parts.push(part);
+        }
+        if parts.is_empty() {
+            // Every worker was range-pruned (empty factor).
+            return Ok(Self::compute_range(factor, 0, 0));
+        }
+        Ok(Self::merge(&parts))
     }
 
     /// The partial aggregates of the contiguous path shard
@@ -580,22 +741,6 @@ impl EncodedHierarchyAggregates {
             runs,
             cofs: Self::cof_tables_range(factor, start, len),
         }
-    }
-
-    /// Shard the aggregate computation over `par`'s threads (contiguous path
-    /// ranges) and [`merge`](EncodedHierarchyAggregates::merge) the partials.
-    /// Bit-identical to [`compute`](EncodedHierarchyAggregates::compute):
-    /// every merged quantity is an integer-valued `f64` sum, exact in any
-    /// grouping.
-    pub fn compute_sharded(factor: &EncodedFactor, par: &Parallelism) -> Self {
-        let ranges = par.ranges_for(factor.leaf_count());
-        if ranges.len() <= 1 {
-            return Self::compute(factor);
-        }
-        let parts = par.run_shards(&ranges, |start, len| {
-            Self::compute_range(factor, start, len)
-        });
-        Self::merge(&parts)
     }
 
     /// Exactly merge per-shard partial aggregates (in shard order) back into
@@ -712,21 +857,14 @@ impl EncodedHierarchyAggregates {
     /// Codes of values whose last path vanished stay in the dictionaries
     /// with a descendant count of zero — they no longer appear in any run or
     /// `COF` entry, so every aggregate query is unaffected.
-    pub fn apply_delta(&self, new_factor: &EncodedFactor, delta: &PathDelta) -> Self {
-        self.apply_delta_with(new_factor, delta, &Parallelism::serial())
-    }
-
-    /// [`EncodedHierarchyAggregates::apply_delta`] with the linear run/`COF`
-    /// rebuild scans sharded over `par` (boundary-merged back, so the result
-    /// is bit-identical to the serial patch). The `O(|delta| · depth)`
-    /// descendant patch itself stays on the calling thread — it is already
-    /// sub-linear in the factor.
-    pub fn apply_delta_with(
-        &self,
-        new_factor: &EncodedFactor,
-        delta: &PathDelta,
-        par: &Parallelism,
-    ) -> Self {
+    ///
+    /// The linear run/`COF` rebuild scans fan out over `exec`'s *local*
+    /// thread budget (boundary-merged back, so the result is bit-identical
+    /// to the serial patch); the patch never goes remote — it reads the
+    /// coordinator's own delta, and the `O(|delta| · depth)` descendant
+    /// patch is already sub-linear in the factor.
+    pub fn apply_delta(&self, new_factor: &EncodedFactor, delta: &PathDelta, exec: &Exec) -> Self {
+        let par = &exec.parallelism();
         let depth = new_factor.depth();
         let mut desc = self.desc.clone();
         for (level, table) in desc.iter_mut().enumerate() {
@@ -849,20 +987,16 @@ pub struct EncodedAggregates {
 }
 
 impl EncodedAggregates {
-    /// Compute the aggregates for every column of `fact`.
-    pub fn compute(fact: &EncodedFactorization) -> Self {
-        Self::compute_with(fact, &Parallelism::serial())
-    }
-
-    /// [`EncodedAggregates::compute`] with each hierarchy's aggregate batch
-    /// sharded over `par` (see
-    /// [`EncodedHierarchyAggregates::compute_sharded`]); bit-identical to the
-    /// serial computation.
-    pub fn compute_with(fact: &EncodedFactorization, par: &Parallelism) -> Self {
+    /// Compute the aggregates for every column of `fact` on the execution
+    /// context `exec` — each hierarchy's batch runs through
+    /// [`EncodedHierarchyAggregates::compute`], so all four contexts
+    /// (serial, pool, exact shards, worker processes) are available and
+    /// bit-identical.
+    pub fn compute(fact: &EncodedFactorization, exec: &Exec) -> Self {
         let per_hierarchy = fact
             .factors()
             .iter()
-            .map(|f| Arc::new(EncodedHierarchyAggregates::compute_sharded(f, par)))
+            .map(|f| Arc::new(EncodedHierarchyAggregates::compute(f, exec)))
             .collect();
         Self::from_parts(fact, per_hierarchy)
     }
@@ -896,24 +1030,14 @@ impl EncodedAggregates {
     /// hierarchy and leaves every other hierarchy's state byte-identical at
     /// zero cost. Changed hierarchies flow through
     /// [`EncodedFactor::apply_delta`] and
-    /// [`EncodedHierarchyAggregates::apply_delta`].
+    /// [`EncodedHierarchyAggregates::apply_delta`], whose table rebuilds fan
+    /// out over `exec`'s local thread budget (bit-identical to the serial
+    /// patch).
     pub fn apply_delta(
         &self,
         fact: &EncodedFactorization,
         delta: &FactorizationDelta,
-    ) -> (EncodedFactorization, EncodedAggregates) {
-        self.apply_delta_with(fact, delta, &Parallelism::serial())
-    }
-
-    /// [`EncodedAggregates::apply_delta`] with each patched hierarchy's
-    /// table rebuild sharded over `par` (see
-    /// [`EncodedHierarchyAggregates::apply_delta_with`]); bit-identical to
-    /// the serial patch.
-    pub fn apply_delta_with(
-        &self,
-        fact: &EncodedFactorization,
-        delta: &FactorizationDelta,
-        par: &Parallelism,
+        exec: &Exec,
     ) -> (EncodedFactorization, EncodedAggregates) {
         assert_eq!(
             delta.per_hierarchy.len(),
@@ -931,7 +1055,7 @@ impl EncodedAggregates {
             match d {
                 Some(d) if !d.is_empty() => {
                     let next = Arc::new(factor.apply_delta(d));
-                    parts.push(Arc::new(part.apply_delta_with(&next, d, par)));
+                    parts.push(Arc::new(part.apply_delta(&next, d, exec)));
                     factors.push(next);
                 }
                 _ => {
@@ -1241,7 +1365,7 @@ impl EncodedDesign {
     pub fn build(fact: &Factorization, features: &FeatureMap) -> Self {
         let factorization = EncodedFactorization::encode(fact);
         let features = EncodedFeatureMap::encode(features, &factorization);
-        let aggregates = EncodedAggregates::compute(&factorization);
+        let aggregates = EncodedAggregates::compute(&factorization, &Exec::Serial);
         EncodedDesign {
             factorization,
             features,
@@ -1285,34 +1409,28 @@ fn gram_entry(aggs: &EncodedAggregates, features: &EncodedFeatureMap, p: usize, 
     }
 }
 
-/// Factorised gram matrix `Xᵀ·X` (Algorithm 2) on the encoded backend.
-pub fn gram(aggs: &EncodedAggregates, features: &EncodedFeatureMap) -> Matrix {
+/// Factorised gram matrix `Xᵀ·X` (Algorithm 2) on the encoded backend,
+/// with the upper-triangle cells fanned out over `par`'s threads. The gram's
+/// operands (aggregates and baked features) live on the coordinator, so
+/// this operator takes the local thread budget directly
+/// ([`Exec::parallelism`]) and never goes remote. Per-shard partials fill
+/// disjoint cells of the one SPD system, and every cell runs the identical
+/// serial accumulation (`gram_entry`), so the matrix is bit-identical for
+/// any budget.
+pub fn gram(aggs: &EncodedAggregates, features: &EncodedFeatureMap, par: &Parallelism) -> Matrix {
     let m = aggs.n_cols();
     let mut out = Matrix::zeros(m, m);
-    for p in 0..m {
-        out.set(p, p, gram_entry(aggs, features, p, p));
-        for q in (p + 1)..m {
-            let val = gram_entry(aggs, features, p, q);
-            out.set(p, q, val);
-            out.set(q, p, val);
-        }
-    }
-    out
-}
-
-/// [`gram`] with the upper-triangle cells fanned out over `par`'s threads:
-/// per-shard partials fill disjoint cells of the one SPD system, and every
-/// cell runs the identical serial accumulation (`gram_entry`), so the
-/// matrix is bit-identical to the serial gram.
-pub fn gram_with(
-    aggs: &EncodedAggregates,
-    features: &EncodedFeatureMap,
-    par: &Parallelism,
-) -> Matrix {
     if par.is_serial() {
-        return gram(aggs, features);
+        for p in 0..m {
+            out.set(p, p, gram_entry(aggs, features, p, p));
+            for q in (p + 1)..m {
+                let val = gram_entry(aggs, features, p, q);
+                out.set(p, q, val);
+                out.set(q, p, val);
+            }
+        }
+        return out;
     }
-    let m = aggs.n_cols();
     let mut pairs = Vec::with_capacity(m * (m + 1) / 2);
     for p in 0..m {
         for q in p..m {
@@ -1323,7 +1441,6 @@ pub fn gram_with(
         let (p, q) = pairs[i];
         gram_entry(aggs, features, p, q)
     });
-    let mut out = Matrix::zeros(m, m);
     for (&(p, q), &val) in pairs.iter().zip(&values) {
         out.set(p, q, val);
         out.set(q, p, val);
@@ -1378,29 +1495,23 @@ pub fn left_mult(a: &Matrix, aggs: &EncodedAggregates, features: &EncodedFeature
     out
 }
 
-/// `Xᵀ·v` for a column vector `v`, via the factorised left multiplication.
+/// `Xᵀ·v` for a column vector `v`, via the factorised left multiplication,
+/// with the per-column accumulations fanned out over `par` (the prefix sum
+/// over `v` is built once and shared read-only). Like [`gram`], the
+/// operands are coordinator-resident, so the operator takes the local
+/// thread budget directly and never goes remote. Each column runs
+/// `left_mult_entry` exactly as the serial path does, so the result vector
+/// is bit-identical for any budget.
 pub fn transpose_vec_mult(
-    v: &[f64],
-    aggs: &EncodedAggregates,
-    features: &EncodedFeatureMap,
-) -> Vec<f64> {
-    let row = Matrix::row_vector(v);
-    let res = left_mult(&row, aggs, features);
-    res.row(0).to_vec()
-}
-
-/// [`transpose_vec_mult`] with the per-column accumulations fanned out over
-/// `par` (the prefix sum over `v` is built once and shared read-only). Each
-/// column runs `left_mult_entry` exactly as the serial path does, so the
-/// result vector is bit-identical.
-pub fn transpose_vec_mult_with(
     v: &[f64],
     aggs: &EncodedAggregates,
     features: &EncodedFeatureMap,
     par: &Parallelism,
 ) -> Vec<f64> {
     if par.is_serial() {
-        return transpose_vec_mult(v, aggs, features);
+        let row = Matrix::row_vector(v);
+        let res = left_mult(&row, aggs, features);
+        return res.row(0).to_vec();
     }
     let n = aggs.grand_total() as usize;
     assert_eq!(
@@ -1599,7 +1710,7 @@ mod tests {
         let (fact, _) = paper_example();
         let legacy = DecomposedAggregates::compute(&fact);
         let enc = EncodedFactorization::encode(&fact);
-        let encoded = EncodedAggregates::compute(&enc);
+        let encoded = EncodedAggregates::compute(&enc, &Exec::Serial);
         assert_eq!(legacy.grand_total(), encoded.grand_total());
         for c in 0..fact.n_cols() {
             assert_eq!(legacy.total(c), encoded.total(c));
@@ -1627,10 +1738,13 @@ mod tests {
         let (fact, features) = paper_example();
         let legacy = DecomposedAggregates::compute(&fact);
         let enc = EncodedFactorization::encode(&fact);
-        let encoded = EncodedAggregates::compute(&enc);
+        let encoded = EncodedAggregates::compute(&enc, &Exec::Serial);
         let enc_features = EncodedFeatureMap::encode(&features, &enc);
 
-        assert_eq!(ops::gram(&legacy, &features), gram(&encoded, &enc_features));
+        assert_eq!(
+            ops::gram(&legacy, &features),
+            gram(&encoded, &enc_features, &Parallelism::serial())
+        );
 
         let a = pseudo_random(3, fact.n_rows(), 5);
         assert_eq!(
@@ -1647,7 +1761,7 @@ mod tests {
         let v: Vec<f64> = (0..fact.n_rows()).map(|i| i as f64 * 0.5 - 1.0).collect();
         assert_eq!(
             ops::transpose_vec_mult(&v, &legacy, &features),
-            transpose_vec_mult(&v, &encoded, &enc_features)
+            transpose_vec_mult(&v, &encoded, &enc_features, &Parallelism::serial())
         );
     }
 
@@ -1684,7 +1798,7 @@ mod tests {
     fn apply_delta_matches_recompute_with_new_values_and_removals() {
         let (fact, _) = paper_example();
         let enc = EncodedFactorization::encode(&fact);
-        let aggs = EncodedAggregates::compute(&enc);
+        let aggs = EncodedAggregates::compute(&enc, &Exec::Serial);
         // geo: remove (d1, v2), add (d1, v0) (new leaf value sorting first)
         // and (d3, v9) (new district and new leaf).
         let delta = FactorizationDelta::none(2).with(
@@ -1697,7 +1811,7 @@ mod tests {
                 removed: vec![vec![Value::str("d1"), Value::str("v2")]],
             },
         );
-        let (next_fact, next_aggs) = aggs.apply_delta(&enc, &delta);
+        let (next_fact, next_aggs) = aggs.apply_delta(&enc, &delta, &Exec::Serial);
         // the untouched time hierarchy is re-shared, not copied
         assert!(Arc::ptr_eq(&enc.factors()[0], &next_fact.factors()[0]));
         assert!(Arc::ptr_eq(
@@ -1728,14 +1842,14 @@ mod tests {
             vec![vec![Value::str("t1")], vec![Value::str("t2")]],
         );
         let cold_fact = EncodedFactorization::encode(&Factorization::new(vec![time, geo]));
-        let cold_aggs = EncodedAggregates::compute(&cold_fact);
+        let cold_aggs = EncodedAggregates::compute(&cold_fact, &Exec::Serial);
         assert_semantically_equal(&next_fact, &next_aggs, &cold_fact, &cold_aggs);
     }
 
     #[test]
     fn path_delta_between_diffs_sorted_tables() {
         let (fact, _) = paper_example();
-        let geo = EncodedFactor::encode(&fact.hierarchies()[1]);
+        let geo = EncodedFactor::encode(&fact.hierarchies()[1], &Exec::Serial);
         let new_paths = vec![
             vec![Value::str("d1"), Value::str("v1")],
             vec![Value::str("d2"), Value::str("v3")],
@@ -1766,8 +1880,202 @@ mod tests {
         let empty = HierarchyFactor::from_paths("empty", vec![AttrId(0)], Vec::new());
         let enc = EncodedFactorization::encode(&Factorization::new(vec![empty]));
         assert_eq!(enc.n_rows(), 0);
-        let aggs = EncodedAggregates::compute(&enc);
+        let aggs = EncodedAggregates::compute(&enc, &Exec::Serial);
         assert_eq!(aggs.grand_total(), 0.0);
         assert_eq!(EncodedRowIter::new(&enc).count(), 0);
+    }
+
+    #[test]
+    fn every_exec_context_is_bit_identical_to_serial() {
+        let (fact, _) = paper_example();
+        let enc = EncodedFactorization::encode(&fact);
+        for factor in enc.factors() {
+            let serial = EncodedHierarchyAggregates::compute(factor, &Exec::Serial);
+            for shards in [1, 2, 3, 7, 64] {
+                assert_eq!(
+                    serial,
+                    EncodedHierarchyAggregates::compute(factor, &Exec::Shards(shards)),
+                    "{shards} shards"
+                );
+            }
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    serial,
+                    EncodedHierarchyAggregates::compute(factor, &Exec::pool(threads)),
+                    "{threads}-thread pool"
+                );
+            }
+        }
+    }
+
+    /// In-process `RemoteTransport`: `ensure_state` stores the shipped blob
+    /// by `(domain, key)`, and `scatter` answers each `OP_AGG_RANGE` request
+    /// through the *real* payload codecs — decode the request, decode the
+    /// stored factor, `compute_range`, encode the partial. Exercises the
+    /// entire remote aggregate path except the socket.
+    struct Loopback {
+        workers: usize,
+        state: std::sync::Mutex<std::collections::HashMap<(u8, u64), Vec<u8>>>,
+    }
+
+    impl Loopback {
+        fn new(workers: usize) -> Self {
+            Loopback {
+                workers,
+                state: std::sync::Mutex::new(std::collections::HashMap::new()),
+            }
+        }
+    }
+
+    impl reptile_relational::RemoteTransport for Loopback {
+        fn workers(&self) -> usize {
+            self.workers
+        }
+
+        fn ensure_relation(
+            &self,
+            _relation: &Arc<reptile_relational::Relation>,
+        ) -> Result<Vec<(usize, usize)>, RemoteError> {
+            Err(RemoteError::Transport(
+                "factor loopback ships no relations".into(),
+            ))
+        }
+
+        fn ensure_state(
+            &self,
+            domain: u8,
+            key: u64,
+            encode: &dyn Fn() -> Vec<u8>,
+        ) -> Result<(), RemoteError> {
+            self.state
+                .lock()
+                .unwrap()
+                .entry((domain, key))
+                .or_insert_with(encode);
+            Ok(())
+        }
+
+        fn scatter(
+            &self,
+            op: u8,
+            requests: Vec<Option<Vec<u8>>>,
+        ) -> Result<Vec<Option<Vec<u8>>>, RemoteError> {
+            assert_eq!(op, OP_AGG_RANGE);
+            assert_eq!(requests.len(), self.workers);
+            let state = self.state.lock().unwrap();
+            requests
+                .into_iter()
+                .map(|request| {
+                    let Some(request) = request else {
+                        return Ok(None);
+                    };
+                    let (key, start, len) = payload::decode_agg_request(&request)
+                        .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+                    let blob = state
+                        .get(&(DOMAIN_FACTOR, key))
+                        .ok_or_else(|| RemoteError::Worker(format!("no state {key:#x}")))?;
+                    let factor = payload::decode_factor(blob)
+                        .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+                    let part = EncodedHierarchyAggregates::compute_range(&factor, start, len);
+                    Ok(Some(payload::encode_aggregates(&part)))
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn remote_aggregates_are_bit_identical_to_serial() {
+        let (fact, _) = paper_example();
+        let enc = EncodedFactorization::encode(&fact);
+        for workers in [1, 2, 3, 8] {
+            let transport = Arc::new(Loopback::new(workers));
+            let remote = Remote::new(transport.clone());
+            let exec = Exec::Remote(remote.clone());
+            for factor in enc.factors() {
+                let serial = EncodedHierarchyAggregates::compute(factor, &Exec::Serial);
+                let distributed = EncodedHierarchyAggregates::compute_remote(factor, &remote)
+                    .expect("loopback scatter");
+                assert_eq!(serial, distributed, "{workers} workers");
+                // The infallible surface takes the same path.
+                assert_eq!(serial, EncodedHierarchyAggregates::compute(factor, &exec));
+            }
+            // The whole-factorisation surface propagates the context.
+            let serial_all = EncodedAggregates::compute(&enc, &Exec::Serial);
+            let remote_all = EncodedAggregates::compute(&enc, &exec);
+            assert_eq!(semantic_diff(&enc, &serial_all, &enc, &remote_all), None);
+            // Each factor shipped exactly once, keyed by fingerprint.
+            assert_eq!(
+                transport.state.lock().unwrap().len(),
+                enc.factors().len(),
+                "content-addressed state ships once per factor"
+            );
+        }
+    }
+
+    #[test]
+    fn remote_failure_falls_back_to_local_pool() {
+        struct Refusing;
+        impl reptile_relational::RemoteTransport for Refusing {
+            fn workers(&self) -> usize {
+                2
+            }
+            fn ensure_relation(
+                &self,
+                _relation: &Arc<reptile_relational::Relation>,
+            ) -> Result<Vec<(usize, usize)>, RemoteError> {
+                Err(RemoteError::Transport("down".into()))
+            }
+            fn ensure_state(
+                &self,
+                _domain: u8,
+                _key: u64,
+                _encode: &dyn Fn() -> Vec<u8>,
+            ) -> Result<(), RemoteError> {
+                Err(RemoteError::Transport("down".into()))
+            }
+            fn scatter(
+                &self,
+                _op: u8,
+                _requests: Vec<Option<Vec<u8>>>,
+            ) -> Result<Vec<Option<Vec<u8>>>, RemoteError> {
+                Err(RemoteError::Transport("down".into()))
+            }
+        }
+        let (fact, _) = paper_example();
+        let enc = EncodedFactorization::encode(&fact);
+        let factor = &enc.factors()[1];
+        let exec = Exec::Remote(Remote::new(Arc::new(Refusing)));
+        let before = reptile_obs::counter_value(Counter::RemoteFallbacks);
+        let aggs = EncodedHierarchyAggregates::compute(factor, &exec);
+        assert_eq!(
+            aggs,
+            EncodedHierarchyAggregates::compute(factor, &Exec::Serial),
+            "fallback result is still exact"
+        );
+        assert_eq!(
+            reptile_obs::counter_value(Counter::RemoteFallbacks),
+            before + 1,
+            "the degradation is observable"
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_across_epochs() {
+        let (fact, _) = paper_example();
+        let geo = EncodedFactor::encode(&fact.hierarchies()[1], &Exec::Serial);
+        let clone = geo.clone();
+        assert_eq!(geo.fingerprint(), clone.fingerprint());
+        // A delta produces a *different* factor with a different
+        // fingerprint — post-ingest state ships under a new key, so a stale
+        // worker copy can never answer for the new epoch.
+        let delta = PathDelta {
+            added: vec![vec![Value::str("d9"), Value::str("v9")]],
+            removed: vec![],
+        };
+        let next = geo.apply_delta(&delta);
+        assert_ne!(geo.fingerprint(), next.fingerprint());
+        // Same content rebuilt from scratch -> same fingerprint.
+        let rebuilt = payload::decode_factor(&payload::encode_factor(&next)).unwrap();
+        assert_eq!(next.fingerprint(), rebuilt.fingerprint());
     }
 }

@@ -40,7 +40,14 @@
 //!   integer-count sum), so sharded and serial execution are
 //!   bit-identical. The pool itself lives in
 //!   [`reptile_relational::parallel`] (so the relational layer's
-//!   `View::compute_with` can share it) and is re-exported here unchanged;
+//!   [`View::compute`](reptile_relational::View::compute) can share it) and
+//!   is re-exported here unchanged. *Where* work runs — inline, pool,
+//!   exact shard count, or worker processes — is one [`Exec`] argument on
+//!   every compute surface;
+//! * [`payload`] — the byte codecs that ship encoded factors and aggregate
+//!   partials between coordinator and worker processes,
+//!   content-fingerprinted so stale remote state is impossible by
+//!   construction;
 //! * [`encoded::PathDelta`] / [`EncodedAggregates::apply_delta`] — streaming
 //!   delta maintenance of the encoded tables: stable-code dictionary
 //!   extension, spliced `Arc`-shared code columns, patched descendant
@@ -57,6 +64,7 @@ pub mod feature;
 pub mod lmfao;
 pub mod ops;
 pub use reptile_relational::parallel;
+pub mod payload;
 pub mod row_iter;
 
 pub use aggregates::DecomposedAggregates;
@@ -71,4 +79,5 @@ pub use encoded::{
 pub use factorization::{AttrPosition, Factorization, HierarchyFactor};
 pub use feature::FeatureMap;
 pub use parallel::Parallelism;
+pub use reptile_relational::{Exec, Remote, RemoteError, RemoteTransport};
 pub use row_iter::RowIter;

@@ -1,0 +1,381 @@
+//! Byte codecs for shipping encoded factors and aggregate partials between
+//! coordinator and workers (the `reptile-factor` half of the distributed
+//! execution wire contract; relation partitions and view plans live in
+//! [`reptile_relational::ship`]).
+//!
+//! The encoding follows the same house rules as the relational codecs:
+//! big-endian fixed-width integers, `f64` as raw bits, counts validated
+//! *before* any allocation, total decoders returning a typed
+//! [`CodecError`] — hostile bytes must never panic or partially decode.
+//!
+//! The factor payload ships the **full per-level dictionaries in code
+//! order** ([`ValueDict::from_code_order`] on decode), so a worker's decoded
+//! factor has byte-identical code columns and dictionaries to the
+//! coordinator's — which is what makes a worker's
+//! [`EncodedHierarchyAggregates::compute_range`] partial merge code-wise
+//! into the coordinator's state with no translation, bit-exactly.
+
+use crate::encoded::{EncodedFactor, EncodedHierarchyAggregates, EncodedLevel};
+use reptile_relational::codec::{
+    put_f64, put_str, put_u32, put_u64, put_value, CodecError, Reader,
+};
+use reptile_relational::{AttrId, ValueDict};
+use std::sync::Arc;
+
+/// 64-bit FNV-1a over `bytes` — the content fingerprint
+/// [`EncodedFactor::fingerprint`] keys shipped factor state by.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+/// Encode an [`EncodedFactor`] — name, level attributes, and per level the
+/// full dictionary (values in **code order**, not re-sorted, so post-ingest
+/// appended codes survive the trip) plus the code column.
+pub fn encode_factor(factor: &EncodedFactor) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_str(&mut buf, &factor.name);
+    put_u32(&mut buf, factor.attrs.len() as u32);
+    for attr in &factor.attrs {
+        put_u64(&mut buf, attr.index() as u64);
+    }
+    put_u64(&mut buf, factor.leaf_count() as u64);
+    put_u32(&mut buf, factor.levels.len() as u32);
+    for level in &factor.levels {
+        put_u32(&mut buf, level.dict.len() as u32);
+        for value in level.dict.values() {
+            put_value(&mut buf, value);
+        }
+        put_u32(&mut buf, level.codes.len() as u32);
+        for &code in level.codes.iter() {
+            put_u32(&mut buf, code);
+        }
+    }
+    buf
+}
+
+/// Decode an [`EncodedFactor`] shipped by [`encode_factor`]. Total: hostile
+/// bytes produce a typed error, never a panic or a partially built factor.
+pub fn decode_factor(bytes: &[u8]) -> Result<EncodedFactor, CodecError> {
+    let mut r = Reader::new(bytes);
+    let name = r.str()?.to_string();
+    let attr_count = r.count(8)?;
+    let mut attrs = Vec::with_capacity(attr_count);
+    for _ in 0..attr_count {
+        attrs.push(AttrId(r.u64()? as usize));
+    }
+    let leaf_count = r.u64()?;
+    let depth = r.count(8)?;
+    let mut levels = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        let dict_len = r.count(1)?;
+        let mut values = Vec::with_capacity(dict_len);
+        for _ in 0..dict_len {
+            values.push(r.value()?);
+        }
+        let dict = ValueDict::from_code_order(values);
+        let code_count = r.count(4)?;
+        if code_count as u64 != leaf_count {
+            return Err(CodecError::Invalid(format!(
+                "level code column has {code_count} entries, factor has {leaf_count} leaves"
+            )));
+        }
+        let mut codes = Vec::with_capacity(code_count);
+        for _ in 0..code_count {
+            let code = r.u32()?;
+            if code as usize >= dict.len() {
+                return Err(CodecError::Invalid(format!(
+                    "code {code} out of range for dictionary of {}",
+                    dict.len()
+                )));
+            }
+            codes.push(code);
+        }
+        levels.push(EncodedLevel {
+            dict,
+            codes: Arc::new(codes),
+        });
+    }
+    if depth == 0 && leaf_count != 0 {
+        return Err(CodecError::Invalid(
+            "factor with no levels cannot have leaves".into(),
+        ));
+    }
+    r.finish()?;
+    Ok(EncodedFactor::from_levels(name, attrs, levels))
+}
+
+/// Encode an aggregate-range scatter request: the factor's content
+/// fingerprint (the `ensure_state` key the worker looks the factor up by)
+/// plus the contiguous leaf range `[start, start + len)` this worker scans.
+pub fn encode_agg_request(key: u64, start: usize, len: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, key);
+    put_u64(&mut buf, start as u64);
+    put_u64(&mut buf, len as u64);
+    buf
+}
+
+/// Decode an aggregate-range request: `(fingerprint key, start, len)`.
+pub fn decode_agg_request(bytes: &[u8]) -> Result<(u64, usize, usize), CodecError> {
+    let mut r = Reader::new(bytes);
+    let key = r.u64()?;
+    let start = r.u64()?;
+    let len = r.u64()?;
+    r.finish()?;
+    if start.checked_add(len).is_none() {
+        return Err(CodecError::Invalid("leaf range overflows".into()));
+    }
+    Ok((key, start as usize, len as usize))
+}
+
+/// Encode an [`EncodedHierarchyAggregates`] partial (a worker's reply to an
+/// aggregate-range scatter). `f64` counts ship as raw bits, so the partial
+/// the coordinator merges is bit-identical to the one the worker computed.
+pub fn encode_aggregates(aggs: &EncodedHierarchyAggregates) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_f64(&mut buf, aggs.leaf_count);
+    put_u32(&mut buf, aggs.desc.len() as u32);
+    for table in &aggs.desc {
+        put_u32(&mut buf, table.len() as u32);
+        for &count in table {
+            put_f64(&mut buf, count);
+        }
+    }
+    put_u32(&mut buf, aggs.runs.len() as u32);
+    for table in &aggs.runs {
+        put_u32(&mut buf, table.len() as u32);
+        for &(code, count) in table {
+            put_u32(&mut buf, code);
+            put_f64(&mut buf, count);
+        }
+    }
+    put_u32(&mut buf, aggs.cofs.len() as u32);
+    for table in &aggs.cofs {
+        put_u32(&mut buf, table.len() as u32);
+        for &(a, b, count) in table {
+            put_u32(&mut buf, a);
+            put_u32(&mut buf, b);
+            put_f64(&mut buf, count);
+        }
+    }
+    buf
+}
+
+/// Decode an [`EncodedHierarchyAggregates`] partial. Total — truncation,
+/// garbage and oversized counts all produce a typed error before any large
+/// allocation.
+pub fn decode_aggregates(bytes: &[u8]) -> Result<EncodedHierarchyAggregates, CodecError> {
+    let mut r = Reader::new(bytes);
+    let leaf_count = r.f64()?;
+    let depth = r.count(4)?;
+    let mut desc = Vec::with_capacity(depth);
+    for _ in 0..depth {
+        let len = r.count(8)?;
+        let mut table = Vec::with_capacity(len);
+        for _ in 0..len {
+            table.push(r.f64()?);
+        }
+        desc.push(table);
+    }
+    let run_levels = r.count(4)?;
+    if run_levels != depth {
+        return Err(CodecError::Invalid(format!(
+            "partial has {depth} descendant levels but {run_levels} run levels"
+        )));
+    }
+    let mut runs = Vec::with_capacity(run_levels);
+    for _ in 0..run_levels {
+        let len = r.count(12)?;
+        let mut table = Vec::with_capacity(len);
+        for _ in 0..len {
+            let code = r.u32()?;
+            let count = r.f64()?;
+            table.push((code, count));
+        }
+        runs.push(table);
+    }
+    let cof_tables = r.count(4)?;
+    if cof_tables != depth * depth {
+        return Err(CodecError::Invalid(format!(
+            "partial has {cof_tables} COF tables for depth {depth}"
+        )));
+    }
+    let mut cofs = Vec::with_capacity(cof_tables);
+    for _ in 0..cof_tables {
+        let len = r.count(16)?;
+        let mut table = Vec::with_capacity(len);
+        for _ in 0..len {
+            let a = r.u32()?;
+            let b = r.u32()?;
+            let count = r.f64()?;
+            table.push((a, b, count));
+        }
+        cofs.push(table);
+    }
+    r.finish()?;
+    Ok(EncodedHierarchyAggregates {
+        leaf_count,
+        desc,
+        runs,
+        cofs,
+    })
+}
+
+/// Shape-check a decoded partial against the factor it claims to be a
+/// partial of: per-level descendant tables must index the factor's
+/// dictionaries. The coordinator runs this before merging so a corrupt or
+/// mismatched worker reply becomes a typed protocol error instead of a
+/// panic inside [`EncodedHierarchyAggregates::merge`].
+pub fn check_partial_shape(
+    factor: &EncodedFactor,
+    partial: &EncodedHierarchyAggregates,
+) -> Result<(), CodecError> {
+    if partial.desc.len() != factor.depth() {
+        return Err(CodecError::Invalid(format!(
+            "partial depth {} != factor depth {}",
+            partial.desc.len(),
+            factor.depth()
+        )));
+    }
+    for (level, table) in partial.desc.iter().enumerate() {
+        if table.len() != factor.cardinality(level) {
+            return Err(CodecError::Invalid(format!(
+                "partial level {level} has {} counts, dictionary has {}",
+                table.len(),
+                factor.cardinality(level)
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factorization::HierarchyFactor;
+    use reptile_relational::{Exec, Value};
+
+    fn geo_factor() -> EncodedFactor {
+        let geo = HierarchyFactor::from_paths(
+            "geo",
+            vec![AttrId(1), AttrId(2)],
+            vec![
+                vec![Value::str("d1"), Value::str("v1")],
+                vec![Value::str("d1"), Value::str("v2")],
+                vec![Value::str("d2"), Value::str("v3")],
+            ],
+        );
+        EncodedFactor::encode(&geo, &Exec::Serial)
+    }
+
+    #[test]
+    fn factor_round_trips_bit_exactly() {
+        let factor = geo_factor();
+        let bytes = encode_factor(&factor);
+        let back = decode_factor(&bytes).expect("round trip");
+        assert_eq!(back.name, factor.name);
+        assert_eq!(back.attrs, factor.attrs);
+        assert_eq!(back.leaf_count(), factor.leaf_count());
+        for (a, b) in factor.levels.iter().zip(&back.levels) {
+            assert_eq!(a.dict.values(), b.dict.values());
+            assert_eq!(*a.codes, *b.codes);
+        }
+        // Same content -> same fingerprint on both sides of the wire.
+        assert_eq!(back.fingerprint(), factor.fingerprint());
+    }
+
+    #[test]
+    fn post_delta_code_order_survives_the_wire() {
+        use crate::encoded::PathDelta;
+        // A delta appends a value that sorts *before* existing ones: its
+        // code is appended, so the dictionary is no longer in sorted order.
+        let factor = geo_factor();
+        let delta = PathDelta {
+            added: vec![vec![Value::str("a0"), Value::str("a0v")]],
+            removed: vec![],
+        };
+        let next = factor.apply_delta(&delta);
+        let back = decode_factor(&encode_factor(&next)).expect("round trip");
+        for (a, b) in next.levels.iter().zip(&back.levels) {
+            assert_eq!(a.dict.values(), b.dict.values(), "code order preserved");
+            assert_eq!(*a.codes, *b.codes);
+        }
+        assert_eq!(back.fingerprint(), next.fingerprint());
+    }
+
+    #[test]
+    fn aggregates_round_trip_bit_exactly() {
+        let factor = geo_factor();
+        let aggs = EncodedHierarchyAggregates::compute(&factor, &Exec::Serial);
+        let back = decode_aggregates(&encode_aggregates(&aggs)).expect("round trip");
+        assert_eq!(back, aggs);
+        check_partial_shape(&factor, &back).expect("shape matches");
+        // A range partial round-trips too (the actual scatter reply shape).
+        let part = EncodedHierarchyAggregates::compute_range(&factor, 1, 2);
+        let back = decode_aggregates(&encode_aggregates(&part)).expect("round trip");
+        assert_eq!(back, part);
+    }
+
+    #[test]
+    fn agg_request_round_trips() {
+        let bytes = encode_agg_request(0xdead_beef, 7, 1234);
+        assert_eq!(decode_agg_request(&bytes).unwrap(), (0xdead_beef, 7, 1234));
+        assert!(decode_agg_request(&bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decode_agg_request(&trailing).is_err());
+    }
+
+    #[test]
+    fn hostile_factor_bytes_never_panic() {
+        let factor = geo_factor();
+        let bytes = encode_factor(&factor);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_factor(&bytes[..cut]).is_err(),
+                "truncation at {cut} must be a typed error"
+            );
+        }
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xff;
+            let _ = decode_factor(&corrupt); // must not panic
+        }
+        assert!(decode_factor(&[0xff; 64]).is_err());
+    }
+
+    #[test]
+    fn hostile_aggregate_bytes_never_panic() {
+        let factor = geo_factor();
+        let aggs = EncodedHierarchyAggregates::compute(&factor, &Exec::Serial);
+        let bytes = encode_aggregates(&aggs);
+        for cut in 0..bytes.len() {
+            assert!(decode_aggregates(&bytes[..cut]).is_err());
+        }
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xff;
+            let _ = decode_aggregates(&corrupt); // must not panic
+        }
+        // Oversized counts are rejected before allocation.
+        let mut huge = Vec::new();
+        put_f64(&mut huge, 1.0);
+        put_u32(&mut huge, u32::MAX);
+        assert!(decode_aggregates(&huge).is_err());
+    }
+
+    #[test]
+    fn shape_check_rejects_mismatched_partials() {
+        let factor = geo_factor();
+        let mut aggs = EncodedHierarchyAggregates::compute(&factor, &Exec::Serial);
+        aggs.desc[0].push(0.0);
+        assert!(check_partial_shape(&factor, &aggs).is_err());
+        aggs.desc.pop();
+        assert!(check_partial_shape(&factor, &aggs).is_err());
+    }
+}

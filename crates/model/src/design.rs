@@ -4,8 +4,8 @@
 use crate::features::{main_effects, normalize, FeaturePlan};
 use crate::{ModelError, Result};
 use reptile_factor::{
-    AggregateSource, ClusterPartition, DecomposedAggregates, EncodedDesign, FactorBackend,
-    Factorization, FeatureMap, FreshAggregates, HierarchyFactor, Parallelism,
+    AggregateSource, ClusterPartition, DecomposedAggregates, EncodedDesign, Exec, FactorBackend,
+    Factorization, FeatureMap, FreshAggregates, HierarchyFactor,
 };
 use reptile_relational::{AggregateKind, AttrId, GroupKey, Schema, Value, View};
 use std::collections::BTreeMap;
@@ -166,7 +166,7 @@ pub struct DesignBuilder<'a, 'g> {
     plan: FeaturePlan,
     empty_policy: EmptyGroupPolicy,
     backend: FactorBackend,
-    parallelism: Parallelism,
+    exec: Exec,
     aggregate_source: Option<&'g mut dyn AggregateSource>,
 }
 
@@ -182,19 +182,21 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             plan: FeaturePlan::none(),
             empty_policy: EmptyGroupPolicy::GlobalMean,
             backend: FactorBackend::default(),
-            parallelism: Parallelism::serial(),
+            exec: Exec::Serial,
             aggregate_source: None,
         }
     }
 
-    /// Shard the heavy build phases (encoded factor construction when no
-    /// aggregate source is threaded in, and the cluster partition) over a
-    /// thread budget. Sharded builds are bit-identical to serial ones, so
-    /// this only changes wall-clock time, never the design. A threaded-in
-    /// [`reptile_factor::DrilldownSession`] carries its *own* budget for
-    /// the aggregate step.
-    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
-        self.parallelism = parallelism;
+    /// Run the heavy build phases (encoded factor construction when no
+    /// aggregate source is threaded in, and the cluster partition) on an
+    /// execution context. Every context is bit-identical to serial, so this
+    /// only changes *where* the work runs, never the design. A threaded-in
+    /// [`reptile_factor::DrilldownSession`] carries its *own* context for
+    /// the aggregate step; build phases whose operands live on the
+    /// coordinator (feature baking, the cluster partition) use the
+    /// context's local thread budget.
+    pub fn with_exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
         self
     }
 
@@ -242,7 +244,7 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             plan,
             empty_policy,
             backend,
-            parallelism,
+            exec,
             aggregate_source: _,
         } = self;
         DesignBuilder {
@@ -252,7 +254,7 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             plan,
             empty_policy,
             backend,
-            parallelism,
+            exec,
             aggregate_source: Some(session),
         }
         .build()
@@ -334,24 +336,25 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
         // de-duplicate *borrowed* projections first so only the distinct
         // paths are cloned (the view iterates groups in sorted key order,
         // so the sort is nearly linear).
-        let factors: Vec<HierarchyFactor> = self.parallelism.map_items(ordered.len(), |h_idx| {
-            let specs = &per_hierarchy_specs[h_idx];
-            let mut proj: Vec<Vec<&Value>> = view
-                .groups()
-                .map(|(key, _)| specs.iter().map(|s| key.value(s.gb_index)).collect())
-                .collect();
-            proj.sort();
-            proj.dedup();
-            let paths: Vec<Vec<Value>> = proj
-                .into_iter()
-                .map(|p| p.into_iter().cloned().collect())
-                .collect();
-            HierarchyFactor::from_paths(
-                ordered[h_idx].name.clone(),
-                per_hierarchy_attrs[h_idx].clone(),
-                paths,
-            )
-        });
+        let factors: Vec<HierarchyFactor> =
+            self.exec.parallelism().map_items(ordered.len(), |h_idx| {
+                let specs = &per_hierarchy_specs[h_idx];
+                let mut proj: Vec<Vec<&Value>> = view
+                    .groups()
+                    .map(|(key, _)| specs.iter().map(|s| key.value(s.gb_index)).collect())
+                    .collect();
+                proj.sort();
+                proj.dedup();
+                let paths: Vec<Vec<Value>> = proj
+                    .into_iter()
+                    .map(|p| p.into_iter().cloned().collect())
+                    .collect();
+                HierarchyFactor::from_paths(
+                    ordered[h_idx].name.clone(),
+                    per_hierarchy_attrs[h_idx].clone(),
+                    paths,
+                )
+            });
         let columns: Vec<ColumnSpec> = per_hierarchy_specs.into_iter().flatten().collect();
 
         let factorization = Factorization::new(factors);
@@ -371,7 +374,7 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
         let plan = &self.plan;
         let statistic = self.statistic;
         let column_maps: Vec<BTreeMap<Value, f64>> =
-            self.parallelism.map_items(columns.len(), |c| {
+            self.exec.parallelism().map_items(columns.len(), |c| {
                 let spec = &columns[c];
                 match &spec.kind {
                     ColumnKind::Base if spec.gb_index == drilled_gb_index => {
@@ -449,44 +452,46 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
                 .map(|(key, agg)| (key, agg.value(self.statistic)))
                 .collect();
             let chunks: Vec<Vec<(usize, f64)>> =
-                self.parallelism.map_ranges(groups.len(), |start, len| {
-                    let mut resolved = Vec::with_capacity(len);
-                    let mut last_idx: Vec<Option<usize>> = vec![None; hierarchies.len()];
-                    let mut prev_key: Option<&GroupKey> = None;
-                    for &(key, value) in &groups[start..start + len] {
-                        let mut row = Some(0usize);
-                        for (h, factor) in hierarchies.iter().enumerate() {
-                            let gbs = &hier_gb[h];
-                            let changed = match prev_key {
-                                Some(pk) => gbs.iter().any(|&g| pk.value(g) != key.value(g)),
-                                None => true,
-                            };
-                            if changed {
-                                last_idx[h] = factor
-                                    .paths
-                                    .binary_search_by(|p| {
-                                        for (level, &g) in gbs.iter().enumerate() {
-                                            match p[level].cmp(key.value(g)) {
-                                                std::cmp::Ordering::Equal => continue,
-                                                other => return other,
+                self.exec
+                    .parallelism()
+                    .map_ranges(groups.len(), |start, len| {
+                        let mut resolved = Vec::with_capacity(len);
+                        let mut last_idx: Vec<Option<usize>> = vec![None; hierarchies.len()];
+                        let mut prev_key: Option<&GroupKey> = None;
+                        for &(key, value) in &groups[start..start + len] {
+                            let mut row = Some(0usize);
+                            for (h, factor) in hierarchies.iter().enumerate() {
+                                let gbs = &hier_gb[h];
+                                let changed = match prev_key {
+                                    Some(pk) => gbs.iter().any(|&g| pk.value(g) != key.value(g)),
+                                    None => true,
+                                };
+                                if changed {
+                                    last_idx[h] = factor
+                                        .paths
+                                        .binary_search_by(|p| {
+                                            for (level, &g) in gbs.iter().enumerate() {
+                                                match p[level].cmp(key.value(g)) {
+                                                    std::cmp::Ordering::Equal => continue,
+                                                    other => return other,
+                                                }
                                             }
-                                        }
-                                        std::cmp::Ordering::Equal
-                                    })
-                                    .ok();
+                                            std::cmp::Ordering::Equal
+                                        })
+                                        .ok();
+                                }
+                                row = match (row, last_idx[h]) {
+                                    (Some(r), Some(idx)) => Some(r * factor.leaf_count() + idx),
+                                    _ => None,
+                                };
                             }
-                            row = match (row, last_idx[h]) {
-                                (Some(r), Some(idx)) => Some(r * factor.leaf_count() + idx),
-                                _ => None,
-                            };
+                            prev_key = Some(key);
+                            if let Some(row) = row {
+                                resolved.push((row, value));
+                            }
                         }
-                        prev_key = Some(key);
-                        if let Some(row) = row {
-                            resolved.push((row, value));
-                        }
-                    }
-                    resolved
-                });
+                        resolved
+                    });
             for (row, value) in chunks.into_iter().flatten() {
                 y[row] = value;
                 observed[row] = true;
@@ -528,7 +533,7 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             .map(|h| h.depth())
             .unwrap_or(1);
         let intra_levels = last_depth - drilled_level_in_last;
-        let mut fresh = FreshAggregates::with_parallelism(self.parallelism);
+        let mut fresh = FreshAggregates::with_exec(self.exec.clone());
         let source: &mut dyn AggregateSource = match self.aggregate_source.as_mut() {
             Some(source) => *source,
             None => &mut fresh,
@@ -539,11 +544,11 @@ impl<'a, 'g> DesignBuilder<'a, 'g> {
             FactorBackend::Encoded => {
                 let (enc_fact, enc_aggs) = source.encoded_aggregates(&factorization);
                 let design = EncodedDesign::from_parts(enc_fact, enc_aggs, &features);
-                let clusters = ClusterPartition::from_encoded_with(
+                let clusters = ClusterPartition::from_encoded(
                     &design.factorization,
                     &design.features,
                     intra_levels,
-                    &self.parallelism,
+                    &self.exec.parallelism(),
                 );
                 let _ = encoded.set(design);
                 clusters
@@ -618,6 +623,7 @@ mod tests {
                 s.attr("village").unwrap(),
             ],
             s.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap()
     }
@@ -678,6 +684,7 @@ mod tests {
                 s.attr("village").unwrap(),
             ],
             s.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
@@ -757,6 +764,7 @@ mod tests {
             Predicate::all(),
             vec![s.attr("year").unwrap(), s.attr("district").unwrap()],
             s.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let plan = FeaturePlan::none().with_extra(ExtraFeature::new(

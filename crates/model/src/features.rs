@@ -176,6 +176,7 @@ mod tests {
                 s.attr("village").unwrap(),
             ],
             s.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap()
     }

@@ -6,7 +6,7 @@
 
 use crate::design::TrainingDesign;
 use crate::Result;
-use reptile_factor::{encoded, ops, FactorBackend};
+use reptile_factor::{encoded, ops, FactorBackend, Parallelism};
 use reptile_linalg::cholesky::invert_spd_with_ridge;
 use reptile_linalg::Matrix;
 
@@ -31,8 +31,13 @@ impl LinearModel {
             FactorBackend::Encoded => {
                 let enc = design.encoded();
                 (
-                    encoded::gram(&enc.aggregates, &enc.features),
-                    encoded::transpose_vec_mult(design.y(), &enc.aggregates, &enc.features),
+                    encoded::gram(&enc.aggregates, &enc.features, &Parallelism::serial()),
+                    encoded::transpose_vec_mult(
+                        design.y(),
+                        &enc.aggregates,
+                        &enc.features,
+                        &Parallelism::serial(),
+                    ),
                 )
             }
             FactorBackend::Legacy => (
@@ -44,7 +49,9 @@ impl LinearModel {
         let gram_inv = invert_spd_with_ridge(&gram, 1e-8)?;
         let beta_mat = gram_inv.matmul(&Matrix::column_vector(&xty))?;
         let beta: Vec<f64> = beta_mat.into_data();
-        let fitted = design.clusters().right_mult_shared_vec(&beta);
+        let fitted = design
+            .clusters()
+            .right_mult_shared_vec(&beta, &Parallelism::serial());
         let rss: f64 = design
             .y()
             .iter()
@@ -62,7 +69,9 @@ impl LinearModel {
 
     /// Fitted values for every design row (`X·β`).
     pub fn predict_all(&self, design: &TrainingDesign) -> Vec<f64> {
-        design.clusters().right_mult_shared_vec(&self.beta)
+        design
+            .clusters()
+            .right_mult_shared_vec(&self.beta, &Parallelism::serial())
     }
 
     /// Number of estimated parameters (coefficients plus the noise variance),
@@ -113,6 +122,7 @@ mod tests {
             Predicate::all(),
             vec![s.attr("year").unwrap(), s.attr("village").unwrap()],
             s.attr("m").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         (rel, view)

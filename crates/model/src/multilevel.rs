@@ -135,23 +135,21 @@ impl MultilevelModel {
     /// sharded over `par` (bit-identical — the cluster operators gather in
     /// row order).
     pub fn predict_all_with(&self, design: &TrainingDesign, par: &Parallelism) -> Vec<f64> {
-        let fixed = design
-            .clusters()
-            .right_mult_shared_vec_with(&self.beta, par);
+        let fixed = design.clusters().right_mult_shared_vec(&self.beta, par);
         let padded: Vec<Vec<f64>> = self
             .b
             .iter()
             .map(|bi| pad(bi, &self.z_columns, design.n_cols()))
             .collect();
-        let random = design
-            .clusters()
-            .right_mult_per_cluster_vec_with(&padded, par);
+        let random = design.clusters().right_mult_per_cluster_vec(&padded, par);
         fixed.iter().zip(&random).map(|(f, r)| f + r).collect()
     }
 
     /// Fixed-effect-only predictions (`X·β`).
     pub fn predict_fixed(&self, design: &TrainingDesign) -> Vec<f64> {
-        design.clusters().right_mult_shared_vec(&self.beta)
+        design
+            .clusters()
+            .right_mult_shared_vec(&self.beta, &Parallelism::serial())
     }
 
     /// Number of estimated parameters, used for AIC: the fixed effects, the
@@ -181,18 +179,18 @@ impl MultilevelModel {
         // Precomputed, reused every iteration (Appendix D "Bottleneck").
         // The SPD gram system is accumulated from per-shard partials: the
         // cells fan out over the thread budget, each cell running the serial
-        // accumulation (bit-identical, see `encoded::gram_with`).
-        let gram = encoded::gram_with(&enc.aggregates, &enc.features, par);
+        // accumulation (bit-identical, see `encoded::gram`).
+        let gram = encoded::gram(&enc.aggregates, &enc.features, par);
         let gram_inv = invert_spd_with_ridge(&gram, config.ridge)?;
-        let cluster_grams_full = clusters.grams_with(par);
+        let cluster_grams_full = clusters.grams(par);
         let ztz: Vec<Matrix> = cluster_grams_full
             .iter()
             .map(|g| select_square(g, &z_cols))
             .collect();
 
-        let xty = encoded::transpose_vec_mult_with(y, &enc.aggregates, &enc.features, par);
+        let xty = encoded::transpose_vec_mult(y, &enc.aggregates, &enc.features, par);
         let xt_residual = |v: &[f64]| -> Vec<f64> {
-            encoded::transpose_vec_mult_with(v, &enc.aggregates, &enc.features, par)
+            encoded::transpose_vec_mult(v, &enc.aggregates, &enc.features, par)
         };
 
         Self::run_em(EmInputs {
@@ -202,9 +200,9 @@ impl MultilevelModel {
             gram_inv: &gram_inv,
             ztz: &ztz,
             xty: &xty,
-            fitted_fixed: &|beta| clusters.right_mult_shared_vec_with(beta, par),
-            zb_concat: &|padded| clusters.right_mult_per_cluster_vec_with(padded, par),
-            zt_global: &|v| clusters.left_mult_global_vec_with(v, par),
+            fitted_fixed: &|beta| clusters.right_mult_shared_vec(beta, par),
+            zb_concat: &|padded| clusters.right_mult_per_cluster_vec(padded, par),
+            zt_global: &|v| clusters.left_mult_global_vec(v, par),
             xt_vec: &xt_residual,
             config,
             par,
@@ -226,7 +224,7 @@ impl MultilevelModel {
         // Precomputed, reused every iteration (Appendix D "Bottleneck").
         let gram = ops::gram(design.aggregates(), design.features());
         let gram_inv = invert_spd_with_ridge(&gram, config.ridge)?;
-        let cluster_grams_full = clusters.grams();
+        let cluster_grams_full = clusters.grams(&Parallelism::serial());
         let ztz: Vec<Matrix> = cluster_grams_full
             .iter()
             .map(|g| select_square(g, &z_cols))
@@ -244,9 +242,11 @@ impl MultilevelModel {
             gram_inv: &gram_inv,
             ztz: &ztz,
             xty: &xty,
-            fitted_fixed: &|beta| clusters.right_mult_shared_vec(beta),
-            zb_concat: &|padded| clusters.right_mult_per_cluster_vec(padded),
-            zt_global: &|v| clusters.left_mult_global_vec(v),
+            fitted_fixed: &|beta| clusters.right_mult_shared_vec(beta, &Parallelism::serial()),
+            zb_concat: &|padded| {
+                clusters.right_mult_per_cluster_vec(padded, &Parallelism::serial())
+            },
+            zt_global: &|v| clusters.left_mult_global_vec(v, &Parallelism::serial()),
             xt_vec: &xt_residual,
             config,
             par: &Parallelism::serial(),
@@ -549,6 +549,7 @@ mod tests {
                 s.attr("village").unwrap(),
             ],
             s.attr("m").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         (rel, view)
@@ -636,7 +637,7 @@ mod tests {
         for threads in [2usize, 3, 64] {
             let par = Parallelism::new(threads);
             let design = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
-                .with_parallelism(par)
+                .with_exec(reptile_relational::Exec::Pool(par))
                 .build()
                 .unwrap();
             let sharded =

@@ -29,13 +29,14 @@
 //!
 //! | Stage | Paper locus | Code locus |
 //! |---|---|---|
-//! | [`Stage::Encode`] | §5 factorised encoding | `EncodedFactor::encode_with` |
-//! | [`Stage::Scan`] | §5 aggregate pushdown | `View::compute_ranges`, `EncodedHierarchyAggregates::compute_sharded` |
+//! | [`Stage::Encode`] | §5 factorised encoding | `EncodedFactor::encode` |
+//! | [`Stage::Scan`] | §5 aggregate pushdown | `View::compute_ranges`, `EncodedHierarchyAggregates::compute` |
 //! | [`Stage::Merge`] | shard-exact merge (PR 4/5) | `View` replay merge, `EncodedHierarchyAggregates::merge` |
 //! | [`Stage::Solve`] | §6 model training | `MultilevelModel::fit_sharded` |
 //! | [`Stage::DesignBuild`] | §6 design assembly | `Reptile::fit_and_predict` |
 //! | [`Stage::EStep`] | Appendix D EM bottleneck | per-iteration E-step in `run_em` |
 //! | [`Stage::QueueWait`] | — | shard-pool submit→execute latency |
+//! | [`Stage::RemoteMerge`] | distributed partial merge (PR 9) | coordinator merge of decoded worker partials |
 //!
 //! # Example
 //!
@@ -65,7 +66,7 @@ use std::time::Instant;
 /// design-build / E-step / queue-wait.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
-    /// Dictionary-encoding a hierarchy factor (`EncodedFactor::encode_with`).
+    /// Dictionary-encoding a hierarchy factor (`EncodedFactor::encode`).
     Encode,
     /// Scanning rows into per-shard partial aggregates (views and encoded
     /// hierarchy aggregates).
@@ -81,10 +82,14 @@ pub enum Stage {
     /// Latency between a shard job's enqueue and the moment a worker (or a
     /// stealing submitter) starts running it.
     QueueWait,
+    /// Coordinator-side merge of partials decoded from remote workers
+    /// (distributed execution; disjoint from [`Stage::Merge`], which covers
+    /// in-process shard merges).
+    RemoteMerge,
 }
 
 /// Number of [`Stage`] variants (array size for the registry).
-pub const STAGE_COUNT: usize = 7;
+pub const STAGE_COUNT: usize = 8;
 
 impl Stage {
     /// All stages, in registry order.
@@ -96,6 +101,7 @@ impl Stage {
         Stage::DesignBuild,
         Stage::EStep,
         Stage::QueueWait,
+        Stage::RemoteMerge,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -108,6 +114,7 @@ impl Stage {
             Stage::DesignBuild => "design_build",
             Stage::EStep => "e_step",
             Stage::QueueWait => "queue_wait",
+            Stage::RemoteMerge => "remote_merge",
         }
     }
 
@@ -120,6 +127,7 @@ impl Stage {
             Stage::DesignBuild => 4,
             Stage::EStep => 5,
             Stage::QueueWait => 6,
+            Stage::RemoteMerge => 7,
         }
     }
 }
@@ -184,10 +192,19 @@ pub enum Counter {
     /// Malformed frames / undecodable requests answered with a typed protocol
     /// error.
     ServeProtocolErrors,
+    /// Bytes of encoded payload shipped to remote workers (partitions, layer
+    /// state, and scatter plans — request side of the wire).
+    RemoteBytesShipped,
+    /// Scatter RPCs issued to remote workers (one per worker per scatter that
+    /// was not pruned away).
+    RemoteRpcs,
+    /// Remote scatters that fell back to local execution after a transport
+    /// error (distributed correctness tests gate this at zero).
+    RemoteFallbacks,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 18;
+pub const COUNTER_COUNT: usize = 21;
 
 impl Counter {
     /// All counters, in registry order.
@@ -210,6 +227,9 @@ impl Counter {
         Counter::ServeDrained,
         Counter::ServeDedupJoined,
         Counter::ServeProtocolErrors,
+        Counter::RemoteBytesShipped,
+        Counter::RemoteRpcs,
+        Counter::RemoteFallbacks,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -233,6 +253,9 @@ impl Counter {
             Counter::ServeDrained => "serve_drained",
             Counter::ServeDedupJoined => "serve_dedup_joined",
             Counter::ServeProtocolErrors => "serve_protocol_errors",
+            Counter::RemoteBytesShipped => "remote_bytes_shipped",
+            Counter::RemoteRpcs => "remote_rpcs",
+            Counter::RemoteFallbacks => "remote_fallbacks",
         }
     }
 
@@ -256,6 +279,9 @@ impl Counter {
             Counter::ServeDrained => 15,
             Counter::ServeDedupJoined => 16,
             Counter::ServeProtocolErrors => 17,
+            Counter::RemoteBytesShipped => 18,
+            Counter::RemoteRpcs => 19,
+            Counter::RemoteFallbacks => 20,
         }
     }
 }

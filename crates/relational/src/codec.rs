@@ -1,0 +1,335 @@
+//! Byte-level codec primitives shared by every Reptile wire encoding.
+//!
+//! The serve crate's binary protocol established the house framing
+//! discipline; this module extracts its byte-level core so the distributed
+//! layer (shipped relation partitions, view plans, partial aggregate tables
+//! — see [`crate::ship`] and `reptile-wire`) encodes with the same rules:
+//!
+//! * **Big-endian fixed-width integers** (`u8`/`u32`/`u64`) — no varints, no
+//!   platform-dependent `usize` on the wire.
+//! * **`f64` as raw bits** ([`f64::to_bits`]/[`f64::from_bits`]): a partial
+//!   aggregate must merge to the *bit-exact* serial result, so floats round
+//!   trip bit-for-bit, NaN payloads and signed zeros included.
+//! * **Counts validated before allocation** ([`Reader::count`]): a decoder
+//!   never reserves more memory than the remaining bytes could possibly
+//!   fill, so a hostile length prefix cannot allocate unbounded memory.
+//! * **Total decoders with typed errors** ([`CodecError`]): truncated,
+//!   garbage, or oversized input returns an error — never a panic, never a
+//!   partially decoded value.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Typed decode failure. Every [`Reader`] method returns one of these
+/// instead of panicking, whatever the input bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a fixed-width read completed.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that were left.
+        available: usize,
+    },
+    /// An enum tag byte had no defined meaning.
+    BadTag(u8),
+    /// A string's bytes were not valid UTF-8.
+    BadUtf8,
+    /// A count prefix promised more elements than the remaining bytes could
+    /// possibly hold (rejected *before* any allocation).
+    CountOverflow {
+        /// The count the prefix claimed.
+        count: u64,
+        /// Bytes remaining after the prefix.
+        remaining: usize,
+    },
+    /// A decoder consumed the payload but bytes were left over.
+    TrailingBytes(usize),
+    /// Structurally valid bytes that violate a semantic invariant (e.g. a
+    /// code out of dictionary range).
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => {
+                write!(f, "truncated input: needed {needed} bytes, had {available}")
+            }
+            CodecError::BadTag(tag) => write!(f, "unknown tag byte 0x{tag:02x}"),
+            CodecError::BadUtf8 => write!(f, "string bytes are not valid UTF-8"),
+            CodecError::CountOverflow { count, remaining } => write!(
+                f,
+                "count prefix {count} cannot fit in {remaining} remaining bytes"
+            ),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+            CodecError::Invalid(msg) => write!(f, "invalid payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// Writers
+// ---------------------------------------------------------------------------
+
+/// Append a `u8`.
+#[inline]
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Append a big-endian `u32`.
+#[inline]
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append a big-endian `u64`.
+#[inline]
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Append an `f64` as its raw bit pattern (bit-exact round trip).
+#[inline]
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Append a length-prefixed UTF-8 string (`u32` byte length + bytes).
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Value variant tags (stable wire contract).
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+
+/// Append a [`Value`] (tag byte + payload; floats as raw bits).
+pub fn put_value(buf: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => put_u8(buf, TAG_NULL),
+        Value::Int(i) => {
+            put_u8(buf, TAG_INT);
+            put_u64(buf, *i as u64);
+        }
+        Value::Float(x) => {
+            put_u8(buf, TAG_FLOAT);
+            put_f64(buf, *x);
+        }
+        Value::Str(s) => {
+            put_u8(buf, TAG_STR);
+            put_str(buf, s);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// A cursor over untrusted bytes. Every read is bounds-checked and returns
+/// [`CodecError`] on malformed input; nothing panics.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Assert the payload is fully consumed (decoders call this last so
+    /// garbage appended to a valid payload is rejected, not ignored).
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.is_done() {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read an `f64` from its raw bit pattern.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `u32` element count and validate it against the remaining
+    /// bytes **before** the caller allocates: with each element at least
+    /// `min_element_len` bytes, a count that cannot fit is rejected here, so
+    /// a hostile prefix can never size an allocation.
+    pub fn count(&mut self, min_element_len: usize) -> Result<usize, CodecError> {
+        let count = self.u32()? as u64;
+        let need = count.saturating_mul(min_element_len.max(1) as u64);
+        if need > self.remaining() as u64 {
+            return Err(CodecError::CountOverflow {
+                count,
+                remaining: self.remaining(),
+            });
+        }
+        Ok(count as usize)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Read a [`Value`] (tag byte + payload).
+    pub fn value(&mut self) -> Result<Value, CodecError> {
+        match self.u8()? {
+            TAG_NULL => Ok(Value::Null),
+            TAG_INT => Ok(Value::Int(self.u64()? as i64)),
+            TAG_FLOAT => Ok(Value::Float(self.f64()?)),
+            TAG_STR => Ok(Value::str(self.str()?)),
+            tag => Err(CodecError::BadTag(tag)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u8(&mut buf, 7);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 3);
+        put_f64(&mut buf, -0.0);
+        put_str(&mut buf, "héllo");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn values_round_trip_bit_exact() {
+        let nan = f64::from_bits(0x7FF8_0000_0000_1234);
+        let values = [
+            Value::Null,
+            Value::int(i64::MIN),
+            Value::int(-1),
+            Value::float(nan),
+            Value::float(f64::NEG_INFINITY),
+            Value::str(""),
+            Value::str("Ofla"),
+        ];
+        let mut buf = Vec::new();
+        for v in &values {
+            put_value(&mut buf, v);
+        }
+        let mut r = Reader::new(&buf);
+        for v in &values {
+            let decoded = r.value().unwrap();
+            match (v, &decoded) {
+                // NaN != NaN under PartialEq; compare bits explicitly.
+                (Value::Float(a), Value::Float(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                _ => assert_eq!(v, &decoded),
+            }
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::str("district"));
+        put_u64(&mut buf, 42);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            let first = r.value();
+            if cut < buf.len() - 8 {
+                // Some prefix of the value is missing.
+                if first.is_ok() {
+                    assert!(r.u64().is_err());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_count_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.count(8), Err(CodecError::CountOverflow { .. })));
+        // Strings validate their length prefix the same way.
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.str(), Err(CodecError::CountOverflow { .. })));
+    }
+
+    #[test]
+    fn bad_tag_and_bad_utf8_are_typed() {
+        let mut r = Reader::new(&[0xEE]);
+        assert_eq!(r.value(), Err(CodecError::BadTag(0xEE)));
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 2);
+        buf.extend_from_slice(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.str(), Err(CodecError::BadUtf8));
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes(2)));
+    }
+}

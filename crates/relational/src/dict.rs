@@ -72,6 +72,23 @@ impl ValueDict {
         Self::from_sorted_values(merge_distinct_runs(runs))
     }
 
+    /// Rebuild a dictionary from its domain in *code* order (the exact
+    /// `values()` slice of another dictionary, e.g. decoded off the wire).
+    /// Unlike [`ValueDict::from_values`] the input is **not** re-sorted:
+    /// value `i` keeps code `i`, so a dictionary whose tail was appended by
+    /// post-ingest extensions round-trips with every code intact. The
+    /// `code_of` permutation index is rebuilt by sorting codes by value.
+    ///
+    /// Values must be distinct (dictionary domains always are).
+    pub fn from_code_order(values: Vec<Value>) -> Self {
+        let mut by_value: Vec<u32> = (0..values.len() as u32).collect();
+        by_value.sort_by(|&a, &b| values[a as usize].cmp(&values[b as usize]));
+        debug_assert!(by_value
+            .windows(2)
+            .all(|w| values[w[0] as usize] < values[w[1] as usize]));
+        ValueDict { values, by_value }
+    }
+
     /// Number of distinct values in the domain.
     pub fn len(&self) -> usize {
         self.values.len()

@@ -42,6 +42,9 @@ pub enum RelationalError {
     NoMoreLevels(String),
     /// An ingest batch asked to delete a tuple that is not in the relation.
     NoSuchRow(String),
+    /// A distributed execution failed (transport, worker, or protocol — see
+    /// `exec::RemoteError` for the typed source).
+    Remote(String),
     /// Catch-all for invalid arguments.
     Invalid(String),
 }
@@ -86,6 +89,7 @@ impl fmt::Display for RelationalError {
                     "cannot delete row {row}: no matching tuple in the relation"
                 )
             }
+            RelationalError::Remote(msg) => write!(f, "remote execution failed: {msg}"),
             RelationalError::Invalid(msg) => write!(f, "{msg}"),
         }
     }

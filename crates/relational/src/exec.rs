@@ -1,0 +1,267 @@
+//! The execution context: one knob that says *where* a plan runs.
+//!
+//! Reptile's operators used to encode their execution site in their names —
+//! `compute` / `compute_with` / `compute_sharded` — which hard-wired *where*
+//! work runs into *what* work is. [`Exec`] is the redesign: every compute
+//! surface takes one `&Exec` and the same plan fans out inline
+//! ([`Exec::Serial`]), onto the in-process shard pool ([`Exec::Pool`]), over
+//! an exact shard count ([`Exec::Shards`]), or across worker *processes*
+//! ([`Exec::Remote`]). Partials always merge on the coordinator by the same
+//! integer-sum + replay-merge rules, so every variant is **bit-exact** `==`
+//! serial — the workspace property tests assert `==` across all of them,
+//! including across process boundaries.
+//!
+//! # The plan/transport split
+//!
+//! [`RemoteTransport`] is deliberately byte-oriented: the coordinator-side
+//! operators (view scans in this crate, hierarchy aggregates in
+//! `reptile-factor`) build *plans* and merge *partials*; the transport only
+//! ships opaque payloads and is implemented once, by `reptile-wire`'s
+//! `WorkerSet`, over `std::net`. Operators whose operands live entirely
+//! coordinator-side (gram products, model solves) never go remote — they
+//! take [`Exec::parallelism`], the local budget every variant carries.
+
+use crate::parallel::Parallelism;
+use crate::relation::Relation;
+use std::fmt;
+use std::sync::Arc;
+
+/// State domain tag for shipped `EncodedFactor`s
+/// (`reptile-factor`'s hierarchy aggregate inputs).
+pub const DOMAIN_FACTOR: u8 = 1;
+
+/// Scatter op: code-keyed partial view table over a shipped partition
+/// (plan/partial codecs in [`crate::ship`]).
+pub const OP_VIEW_SCAN: u8 = 1;
+
+/// Scatter op: `EncodedHierarchyAggregates` partial over a leaf range
+/// (plan/partial codecs in `reptile-factor`).
+pub const OP_AGG_RANGE: u8 = 2;
+
+/// A remote execution failure, surfaced to callers as
+/// [`RelationalError::Remote`](crate::error::RelationalError::Remote) (views)
+/// or absorbed by a local fallback plus the `remote_fallbacks` counter
+/// (infallible aggregate signatures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The transport failed (connection refused, broken pipe, short read).
+    Transport(String),
+    /// A worker answered with a typed error payload.
+    Worker(String),
+    /// A worker's reply failed to decode.
+    Protocol(String),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Transport(msg) => write!(f, "transport: {msg}"),
+            RemoteError::Worker(msg) => write!(f, "worker error: {msg}"),
+            RemoteError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+/// The byte-oriented coordinator→workers transport. Implemented by
+/// `reptile-wire`'s `WorkerSet` (TCP worker processes); tests implement it
+/// in-process. All methods take `&self`: the transport is shared behind an
+/// `Arc` and must synchronise internally.
+pub trait RemoteTransport: Send + Sync {
+    /// Number of workers. Scatter calls must pass exactly this many
+    /// requests and return exactly this many replies.
+    fn workers(&self) -> usize;
+
+    /// Make sure every worker holds its partition of `relation`'s current
+    /// snapshot (idempotent, keyed by lineage ident + version: a post-ingest
+    /// version bump re-ships). Returns each worker's contiguous row range
+    /// `(start, len)` in worker order — ordered and disjoint, covering
+    /// `0..relation.len()`, so worker partials replay-merge exactly like
+    /// in-process shard partials.
+    fn ensure_relation(&self, relation: &Arc<Relation>)
+        -> Result<Vec<(usize, usize)>, RemoteError>;
+
+    /// Make sure every worker holds the opaque state blob identified by
+    /// `(domain, key)`, calling `encode` only when a worker is missing it
+    /// (idempotent; `key` is a content fingerprint chosen by the layer).
+    fn ensure_state(
+        &self,
+        domain: u8,
+        key: u64,
+        encode: &dyn Fn() -> Vec<u8>,
+    ) -> Result<(), RemoteError>;
+
+    /// Fan one scatter out: `requests[i]` goes to worker `i` (`None` = this
+    /// worker is pruned, no RPC), replies come back in worker order with
+    /// `None` exactly where the request was `None`.
+    fn scatter(
+        &self,
+        op: u8,
+        requests: Vec<Option<Vec<u8>>>,
+    ) -> Result<Vec<Option<Vec<u8>>>, RemoteError>;
+}
+
+/// A connected worker fleet plus the local thread budget used for
+/// coordinator-side work (merges, gram products, model solves).
+#[derive(Clone)]
+pub struct Remote {
+    transport: Arc<dyn RemoteTransport>,
+    local: Parallelism,
+}
+
+impl Remote {
+    /// Wrap a transport; coordinator-side work stays serial.
+    pub fn new(transport: Arc<dyn RemoteTransport>) -> Self {
+        Remote {
+            transport,
+            local: Parallelism::serial(),
+        }
+    }
+
+    /// Use `local` threads for coordinator-side work.
+    pub fn with_local(mut self, local: Parallelism) -> Self {
+        self.local = local;
+        self
+    }
+
+    /// The transport.
+    pub fn transport(&self) -> &Arc<dyn RemoteTransport> {
+        &self.transport
+    }
+
+    /// The coordinator-side thread budget.
+    pub fn local(&self) -> Parallelism {
+        self.local
+    }
+}
+
+impl fmt::Debug for Remote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Remote")
+            .field("workers", &self.transport.workers())
+            .field("local", &self.local)
+            .finish()
+    }
+}
+
+impl PartialEq for Remote {
+    /// Two `Remote`s are equal when they share the same transport instance
+    /// and local budget (config-equality for cache keys; transports have no
+    /// meaningful value identity).
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.transport, &other.transport) && self.local == other.local
+    }
+}
+
+/// Where a plan executes. The serial default makes every compute surface
+/// take exactly the code path (and produce exactly the bits) of the old
+/// serial entry points.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Exec {
+    /// Inline on the calling thread.
+    #[default]
+    Serial,
+    /// The in-process shard pool at the adaptive scatter width (the old
+    /// `*_with` paths).
+    Pool(Parallelism),
+    /// Exactly this many contiguous shards, no size threshold (the old
+    /// `*_sharded` paths — shard counts past the row count are valid, their
+    /// partials are empty and merge as identities). The exactness property
+    /// tests drive this variant.
+    Shards(usize),
+    /// Across worker processes, partials merged on the coordinator.
+    Remote(Remote),
+}
+
+impl Exec {
+    /// `Exec::Pool` over `threads` OS threads (clamped to at least 1).
+    pub fn pool(threads: usize) -> Exec {
+        Exec::Pool(Parallelism::new(threads))
+    }
+
+    /// `Exec::Pool` over every core the OS reports.
+    pub fn available() -> Exec {
+        Exec::Pool(Parallelism::available())
+    }
+
+    /// The *local* thread budget this context carries — what
+    /// coordinator-resident operators (gram products, solves, merges) fan
+    /// out over. `Remote` returns its coordinator-side budget: operands that
+    /// live on the coordinator never go over the wire.
+    pub fn parallelism(&self) -> Parallelism {
+        match self {
+            Exec::Serial => Parallelism::serial(),
+            Exec::Pool(par) => *par,
+            Exec::Shards(shards) => Parallelism::new(*shards),
+            Exec::Remote(remote) => remote.local(),
+        }
+    }
+
+    /// Whether this context runs everything inline on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        matches!(self, Exec::Serial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct NullTransport;
+    impl RemoteTransport for NullTransport {
+        fn workers(&self) -> usize {
+            2
+        }
+        fn ensure_relation(
+            &self,
+            relation: &Arc<Relation>,
+        ) -> Result<Vec<(usize, usize)>, RemoteError> {
+            Ok(Parallelism::shard_ranges(relation.len(), 2))
+        }
+        fn ensure_state(
+            &self,
+            _domain: u8,
+            _key: u64,
+            _encode: &dyn Fn() -> Vec<u8>,
+        ) -> Result<(), RemoteError> {
+            Ok(())
+        }
+        fn scatter(
+            &self,
+            _op: u8,
+            requests: Vec<Option<Vec<u8>>>,
+        ) -> Result<Vec<Option<Vec<u8>>>, RemoteError> {
+            Ok(requests.into_iter().map(|_| None).collect())
+        }
+    }
+
+    #[test]
+    fn default_is_serial() {
+        assert!(Exec::default().is_serial());
+        assert_eq!(Exec::default().parallelism(), Parallelism::serial());
+    }
+
+    #[test]
+    fn parallelism_reflects_variant() {
+        assert_eq!(Exec::pool(4).parallelism(), Parallelism::new(4));
+        assert_eq!(Exec::Shards(3).parallelism(), Parallelism::new(3));
+        let remote = Remote::new(Arc::new(NullTransport)).with_local(Parallelism::new(2));
+        assert_eq!(
+            Exec::Remote(remote.clone()).parallelism(),
+            Parallelism::new(2)
+        );
+        assert!(!Exec::Remote(remote).is_serial());
+    }
+
+    #[test]
+    fn remote_equality_is_transport_identity() {
+        let t: Arc<dyn RemoteTransport> = Arc::new(NullTransport);
+        let a = Remote::new(t.clone());
+        let b = Remote::new(t);
+        let c = Remote::new(Arc::new(NullTransport));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, b.clone().with_local(Parallelism::new(2)));
+    }
+}

@@ -33,9 +33,14 @@
 //!   workspace property tests pin both levels),
 //! * the sharded execution primitive itself ([`Parallelism`] and the
 //!   process-wide shard pool in [`parallel`]) — hosted here, at the bottom
-//!   of the workspace, so that [`View::compute_with`] can fan its group-by
+//!   of the workspace, so that [`View::compute`] can fan its group-by
 //!   scans out over the same pool the factorised operators upstream use
-//!   (`reptile-factor` re-exports it unchanged).
+//!   (`reptile-factor` re-exports it unchanged),
+//! * the execution context ([`Exec`]) that collapses *where* a plan runs —
+//!   inline, shard pool, exact shard count, or across worker processes —
+//!   into one argument on every compute surface, with the byte codecs
+//!   ([`codec`], [`ship`]) that let `reptile-wire` ship partitions, plans
+//!   and partials between coordinator and workers bit-exactly.
 //!
 //! Everything in the factorised representation, the multi-level model and the
 //! Reptile engine itself is built on top of these types.
@@ -43,8 +48,10 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod codec;
 pub mod dict;
 pub mod error;
+pub mod exec;
 pub mod hierarchy;
 pub mod ingest;
 pub mod parallel;
@@ -52,12 +59,15 @@ pub mod predicate;
 pub mod relation;
 pub mod scan;
 pub mod schema;
+pub mod ship;
 pub mod value;
 pub mod view;
 
 pub use aggregate::{AggState, AggregateKind};
+pub use codec::CodecError;
 pub use dict::ValueDict;
 pub use error::RelationalError;
+pub use exec::{Exec, Remote, RemoteError, RemoteTransport};
 pub use hierarchy::{validate_hierarchy, HierarchyLevels};
 pub use ingest::IngestBatch;
 pub use parallel::{spawn_pool_job, Parallelism, ADAPTIVE_INLINE_FLOOR};

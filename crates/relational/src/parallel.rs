@@ -5,7 +5,8 @@
 //! every table is a sum of integer counts (or of values accumulated per
 //! entry), so the hot paths can fan out over contiguous shards and merge
 //! exactly. This module provides the one knob and the one fan-out
-//! primitive that [`View::compute_with`](crate::View::compute_with), the
+//! primitive that [`View::compute`](crate::View::compute) (under
+//! [`Exec::Pool`](crate::Exec)), the
 //! sharded builders in `reptile-factor` (`encoded`, `cluster`),
 //! `reptile-model` and `reptile` (the engine's per-hierarchy candidate
 //! evaluation) share:
@@ -147,7 +148,7 @@ impl Parallelism {
     /// budget, single-core host, or already running on a pool worker —
     /// nested scatters never dispatch), the configured budget otherwise.
     /// Entry points with a cheaper serial algorithm (e.g.
-    /// `View::compute_with`'s direct scan vs its shard/merge structure)
+    /// `View::compute`'s direct scan vs its shard/merge structure)
     /// consult this to skip the sharded shape when it cannot pay off.
     pub fn effective_threads(&self) -> usize {
         if self.is_serial() || single_core_host() || in_pool_worker() {

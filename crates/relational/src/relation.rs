@@ -113,6 +113,45 @@ impl Relation {
         self.rows == 0
     }
 
+    /// Reassemble a relation from parts decoded off the wire (see
+    /// [`crate::ship`]): a worker-side partition that must keep the
+    /// *coordinator's* lineage ident, version, and code space. The value
+    /// columns are decoded per row from the shipped dictionaries, and every
+    /// attribute's [`CodeColumn`] is installed hot — the codes are the
+    /// coordinator's, so code-keyed partials computed here merge with
+    /// coordinator partials code-wise.
+    pub(crate) fn from_shipped_parts(
+        schema: Arc<Schema>,
+        ident: u64,
+        version: u64,
+        code_columns: Vec<CodeColumn>,
+    ) -> Relation {
+        debug_assert_eq!(code_columns.len(), schema.arity());
+        let rows = code_columns.first().map_or(0, |c| c.len());
+        let columns: Vec<Vec<Value>> = code_columns
+            .iter()
+            .map(|col| {
+                col.codes()
+                    .iter()
+                    .map(|&code| col.dict().value(code).clone())
+                    .collect()
+            })
+            .collect();
+        let mut scan = ScanCache::default();
+        let arity = schema.arity();
+        for (index, col) in code_columns.into_iter().enumerate() {
+            scan.install(index, arity, col);
+        }
+        Relation {
+            schema,
+            columns,
+            rows,
+            ident,
+            version,
+            scan,
+        }
+    }
+
     /// The full column for `attr`.
     pub fn column(&self, attr: AttrId) -> &[Value] {
         &self.columns[attr.index()]

@@ -23,32 +23,39 @@
 //! ([`MeasureColumn`]) — a non-numeric, non-null measure anywhere in the
 //! column errors immediately instead of per-row `Result` plumbing.
 //!
-//! # Shard-parallel computation
+//! # One surface, every execution site
 //!
-//! [`View::compute_with`] fans the group-by scan out over contiguous row
-//! shards on the process-wide [shard pool](crate::parallel), **bit-exactly**:
-//! every shard reads the same cached code columns (the stable-code contract
-//! of [`Relation::partition`] — a code means the same value in every shard),
-//! each shard accumulates its matching rows in row order, and the partial
-//! group tables merge in fixed shard order. Shards whose zone maps prove no
-//! row can match the compiled predicate are pruned *before* dispatch (the
-//! scatter shrinks to the live shards). Because shards are contiguous and
-//! ordered, replaying each shard's per-group measure values at merge time
-//! visits every group's rows in exactly the serial row order — the
-//! floating-point accumulation sequence of [`AggState::push`] is
-//! *identical*, not merely close, so `View::compute_sharded(..., n) ==
-//! View::compute(...)` holds for arbitrary shard counts (the workspace
-//! property tests assert `==`), and pruning is exactness-safe because a
-//! pruned shard's partial would have been empty. Provenance vectors
-//! concatenate in shard order, reproducing the serial row order too.
+//! [`View::compute`] takes an [`Exec`] context that says *where* the scan
+//! runs — inline, on the in-process shard pool, over an exact shard count,
+//! or across worker processes — and every variant is **bit-exact** `==` the
+//! serial scan: every shard (or worker) reads the same cached code columns
+//! (the stable-code contract — a code means the same value in every shard),
+//! each accumulates its matching rows in row order, and the partial group
+//! tables merge in fixed shard order. Shards whose zone maps prove no row
+//! can match the compiled predicate are pruned *before* dispatch (the
+//! scatter shrinks to the live shards; for [`Exec::Remote`] a pruned worker
+//! gets no RPC at all). Because shards are contiguous and ordered,
+//! replaying each shard's per-group measure values at merge time visits
+//! every group's rows in exactly the serial row order — the floating-point
+//! accumulation sequence of [`AggState::push`] is *identical*, not merely
+//! close, so `compute(..., &Exec::Shards(n)) == compute(..., &Exec::Serial)`
+//! holds for arbitrary shard counts (the workspace property tests assert
+//! `==`, including across process boundaries), and pruning is
+//! exactness-safe because a pruned shard's partial would have been empty.
+//! Provenance vectors concatenate in shard order, reproducing the serial
+//! row order too. Remote partials arrive as bytes (see [`crate::ship`])
+//! with provenance rows already globalised, and merge by the same replay
+//! rule under the [`Stage::RemoteMerge`] span.
 
 use crate::aggregate::{AggState, AggregateKind};
 use crate::error::RelationalError;
+use crate::exec::{Exec, Remote, RemoteError, OP_VIEW_SCAN};
 use crate::parallel::Parallelism;
 use crate::predicate::Predicate;
 use crate::relation::Relation;
 use crate::scan::{CodeColumn, CompiledPredicate, MeasureColumn};
 use crate::schema::{AttrId, Hierarchy};
+use crate::ship;
 use crate::value::Value;
 use crate::Result;
 use reptile_obs::{add_counter, Counter, Stage, StageTimer};
@@ -157,9 +164,61 @@ impl PartialEq for View {
 
 impl View {
     /// Compute the view `γ_{group_by, aggs(measure)}(σ_predicate(relation))`
-    /// with a single serial scan over the compiled kernel (see the module
-    /// docs) — identical output to a row-at-a-time `Value` scan.
+    /// on the execution context `exec` — inline ([`Exec::Serial`]), fanned
+    /// out over the in-process shard pool at the adaptive width
+    /// ([`Exec::Pool`]), over exactly `n` contiguous shards
+    /// ([`Exec::Shards`]), or scattered across worker processes
+    /// ([`Exec::Remote`]). Every context produces **bit-identical** output
+    /// (see the module docs); remote failures surface as
+    /// [`RelationalError::Remote`].
     pub fn compute(
+        relation: Arc<Relation>,
+        predicate: Predicate,
+        group_by: Vec<AttrId>,
+        measure: AttrId,
+        exec: &Exec,
+    ) -> Result<View> {
+        match exec {
+            Exec::Serial => View::compute_serial(relation, predicate, group_by, measure),
+            Exec::Pool(parallelism) => {
+                // The shard/merge structure (shared dictionaries, partial
+                // tables, replay merge) only pays off when the scatter
+                // genuinely overlaps threads; a single adaptive range means
+                // this context would inline anyway (serial budget,
+                // single-core host, nested on a pool worker, or a scan too
+                // small to pay for the scatter) and the direct scan is
+                // strictly faster and bit-identical.
+                let ranges = parallelism.adaptive_ranges(relation.len());
+                if ranges.len() == 1 {
+                    return View::compute_serial(relation, predicate, group_by, measure);
+                }
+                View::compute_ranges(relation, predicate, group_by, measure, &ranges, parallelism)
+            }
+            Exec::Shards(shards) => {
+                // Exactly `shards` contiguous row shards, no size threshold —
+                // shard counts past the row or group count are valid, their
+                // partials are empty and merge as identities. The exactness
+                // property tests drive this arm.
+                let ranges = Parallelism::shard_ranges(relation.len(), (*shards).max(1));
+                let parallelism = Parallelism::new(*shards);
+                View::compute_ranges(
+                    relation,
+                    predicate,
+                    group_by,
+                    measure,
+                    &ranges,
+                    &parallelism,
+                )
+            }
+            Exec::Remote(remote) => {
+                View::compute_remote(relation, predicate, group_by, measure, remote)
+            }
+        }
+    }
+
+    /// The single serial scan over the compiled kernel (see the module
+    /// docs) — identical output to a row-at-a-time `Value` scan.
+    fn compute_serial(
         relation: Arc<Relation>,
         predicate: Predicate,
         group_by: Vec<AttrId>,
@@ -200,53 +259,93 @@ impl View {
         })
     }
 
-    /// [`View::compute`], fanned out over `parallelism` at the adaptive
-    /// width (see [`Parallelism::adaptive_width`]): scans below the inline
-    /// floor stay serial, scans at or above the observed mean scatter size
-    /// get the full budget, sizes in between get a proportional width — so a
-    /// serving mix of narrow drill-downs and wide base scans lands each at
-    /// its own fan-out. Bit-identical to the serial scan for every width.
-    pub fn compute_with(
+    /// The distributed scan: ship-once partitions (idempotent per snapshot
+    /// epoch), one plan RPC per un-pruned worker, partials decoded off the
+    /// wire and replay-merged in worker order — bit-identical to the
+    /// in-process sharded scan over the same ranges, which is bit-identical
+    /// to serial.
+    fn compute_remote(
         relation: Arc<Relation>,
         predicate: Predicate,
         group_by: Vec<AttrId>,
         measure: AttrId,
-        parallelism: &Parallelism,
+        remote: &Remote,
     ) -> Result<View> {
-        // The shard/merge structure (shared dictionaries, partial tables,
-        // replay merge) only pays off when the scatter genuinely overlaps
-        // threads; a single adaptive range means this context would inline
-        // anyway (serial budget, single-core host, nested on a pool worker,
-        // or a scan too small to pay for the scatter) and the direct scan is
-        // strictly faster and bit-identical.
-        let ranges = parallelism.adaptive_ranges(relation.len());
-        if ranges.len() == 1 {
-            return View::compute(relation, predicate, group_by, measure);
+        let remote_err = |e: RemoteError| RelationalError::Remote(e.to_string());
+        let compiled = CompiledPredicate::compile(&predicate, &relation);
+        if compiled.is_unsatisfiable() {
+            // Nothing can match: short-circuit with zero RPCs.
+            return Ok(View {
+                relation,
+                predicate,
+                group_by,
+                measure,
+                groups: BTreeMap::new(),
+            });
         }
-        View::compute_ranges(relation, predicate, group_by, measure, &ranges, parallelism)
-    }
-
-    /// [`View::compute`] over exactly `shards` contiguous row shards (no
-    /// size threshold — shard counts past the row or group count are valid,
-    /// their partials are empty and merge as identities). Exposed for the
-    /// exactness property tests; serving paths use [`View::compute_with`].
-    pub fn compute_sharded(
-        relation: Arc<Relation>,
-        predicate: Predicate,
-        group_by: Vec<AttrId>,
-        measure: AttrId,
-        shards: usize,
-    ) -> Result<View> {
-        let ranges = Parallelism::shard_ranges(relation.len(), shards.max(1));
-        let parallelism = Parallelism::new(shards);
-        View::compute_ranges(
+        // Resolve the measure coordinator-side first so a non-numeric
+        // column fails with the same typed error as every other context.
+        MeasureColumn::resolve(&relation, measure)?;
+        let key_cols: Vec<Arc<CodeColumn>> =
+            group_by.iter().map(|a| relation.code_column(*a)).collect();
+        let ranges = remote
+            .transport()
+            .ensure_relation(&relation)
+            .map_err(remote_err)?;
+        // Zone-prune workers with the coordinator's zone maps before any
+        // RPC: a pruned worker's partial would have been empty.
+        let plan = ship::encode_view_plan(
+            relation.ident(),
+            relation.version(),
+            &predicate,
+            &group_by,
+            measure,
+        );
+        let mut pruned = 0u64;
+        let requests: Vec<Option<Vec<u8>>> = ranges
+            .iter()
+            .map(|&(start, len)| {
+                if len == 0 {
+                    None
+                } else if compiled.zone_may_match(start, len) {
+                    Some(plan.clone())
+                } else {
+                    pruned += 1;
+                    None
+                }
+            })
+            .collect();
+        if pruned > 0 {
+            add_counter(Counter::ShardsPruned, pruned);
+        }
+        let replies = remote
+            .transport()
+            .scatter(OP_VIEW_SCAN, requests)
+            .map_err(remote_err)?;
+        // Merge in fixed worker order — worker ranges are contiguous,
+        // ordered, and disjoint, so this is the same replay merge as the
+        // in-process sharded scan (provenance rows arrive pre-globalised).
+        let _merge_span = StageTimer::start(Stage::RemoteMerge);
+        let mut merged: BTreeMap<Vec<u32>, GroupData> = BTreeMap::new();
+        for reply in replies.into_iter().flatten() {
+            let partial = ship::decode_view_partial(&reply, group_by.len())
+                .map_err(|e| RelationalError::Remote(e.to_string()))?;
+            for (key, values, rows) in partial {
+                let data = merged.entry(key).or_default();
+                for value in values {
+                    data.agg.push(value);
+                }
+                data.rows.extend(rows);
+            }
+        }
+        let groups = decode_groups(merged, &key_cols);
+        Ok(View {
             relation,
             predicate,
             group_by,
             measure,
-            &ranges,
-            &parallelism,
-        )
+            groups,
+        })
     }
 
     /// The sharded scan: cached code columns, zone-pruned scatter, compiled
@@ -448,18 +547,13 @@ impl View {
     }
 
     /// `drilldown(V, t, H)`: group also by the next level of `hierarchy`,
-    /// restricted to the provenance of tuple `key`.
-    pub fn drill_down(&self, key: &GroupKey, hierarchy: &Hierarchy) -> Result<DrillDownResult> {
-        self.drill_down_with(key, hierarchy, &Parallelism::serial())
-    }
-
-    /// [`View::drill_down`] with the drilled view's group-by scan fanned
-    /// out over `parallelism` (bit-identical to serial).
-    pub fn drill_down_with(
+    /// restricted to the provenance of tuple `key`. The drilled view's
+    /// group-by scan runs on `exec` (bit-identical for every context).
+    pub fn drill_down(
         &self,
         key: &GroupKey,
         hierarchy: &Hierarchy,
-        parallelism: &Parallelism,
+        exec: &Exec,
     ) -> Result<DrillDownResult> {
         // Validate the tuple exists.
         self.group(key)?;
@@ -469,12 +563,12 @@ impl View {
         let mut group_by = self.group_by.clone();
         group_by.push(next);
         let predicate = self.provenance_predicate(key);
-        let view = View::compute_with(
+        let view = View::compute(
             self.relation.clone(),
             predicate,
             group_by,
             self.measure,
-            parallelism,
+            exec,
         )?;
         Ok(DrillDownResult {
             view,
@@ -486,28 +580,22 @@ impl View {
     /// tuple's provenance. This yields the "parallel groups" training view of
     /// Section 3.2 (all villages across all districts/years), used to fit the
     /// multi-level model.
-    pub fn drill_down_parallel(&self, hierarchy: &Hierarchy) -> Result<DrillDownResult> {
-        self.drill_down_parallel_with(hierarchy, &Parallelism::serial())
-    }
-
-    /// [`View::drill_down_parallel`] with the training view's group-by scan
-    /// fanned out over `parallelism` (bit-identical to serial).
-    pub fn drill_down_parallel_with(
+    pub fn drill_down_parallel(
         &self,
         hierarchy: &Hierarchy,
-        parallelism: &Parallelism,
+        exec: &Exec,
     ) -> Result<DrillDownResult> {
         let next = hierarchy
             .next_level(&self.group_by)
             .ok_or_else(|| RelationalError::NoMoreLevels(hierarchy.name.clone()))?;
         let mut group_by = self.group_by.clone();
         group_by.push(next);
-        let view = View::compute_with(
+        let view = View::compute(
             self.relation.clone(),
             self.predicate.clone(),
             group_by,
             self.measure,
-            parallelism,
+            exec,
         )?;
         Ok(DrillDownResult {
             view,
@@ -558,8 +646,14 @@ mod tests {
         let r = fist_relation();
         let s = schema_of(&r);
         let gb = vec![s.attr("district").unwrap(), s.attr("year").unwrap()];
-        let v =
-            View::compute(r.clone(), Predicate::all(), gb, s.attr("severity").unwrap()).unwrap();
+        let v = View::compute(
+            r.clone(),
+            Predicate::all(),
+            gb,
+            s.attr("severity").unwrap(),
+            &Exec::Serial,
+        )
+        .unwrap();
         assert_eq!(v.len(), 4);
         let key = GroupKey(vec![Value::str("Ofla"), Value::int(1986)]);
         let g = v.group(&key).unwrap();
@@ -580,6 +674,7 @@ mod tests {
             Predicate::all(),
             vec![s.attr("district").unwrap()],
             s.attr("severity").unwrap(),
+            &Exec::Serial,
         )
         .unwrap();
         let bogus = GroupKey(vec![Value::str("Nowhere")]);
@@ -600,10 +695,11 @@ mod tests {
             Predicate::all(),
             vec![s.attr("district").unwrap(), s.attr("year").unwrap()],
             s.attr("severity").unwrap(),
+            &Exec::Serial,
         )
         .unwrap();
         let key = GroupKey(vec![Value::str("Ofla"), Value::int(1986)]);
-        let dd = v.drill_down(&key, &geo).unwrap();
+        let dd = v.drill_down(&key, &geo, &Exec::Serial).unwrap();
         assert_eq!(dd.added_attribute, s.attr("village").unwrap());
         assert_eq!(dd.view.len(), 3); // Adishim, Darube, Dinka in Ofla 1986
         let zata = GroupKey(vec![
@@ -624,9 +720,10 @@ mod tests {
             Predicate::all(),
             vec![s.attr("district").unwrap(), s.attr("year").unwrap()],
             s.attr("severity").unwrap(),
+            &Exec::Serial,
         )
         .unwrap();
-        let dd = v.drill_down_parallel(&geo).unwrap();
+        let dd = v.drill_down_parallel(&geo, &Exec::Serial).unwrap();
         // every (district, year, village) combination present in the data
         assert_eq!(dd.view.len(), 6);
     }
@@ -641,11 +738,12 @@ mod tests {
             Predicate::all(),
             vec![s.attr("year").unwrap()],
             s.attr("severity").unwrap(),
+            &Exec::Serial,
         )
         .unwrap();
         let key = GroupKey(vec![Value::int(1986)]);
         assert!(matches!(
-            v.drill_down(&key, &time),
+            v.drill_down(&key, &time, &Exec::Serial),
             Err(RelationalError::NoMoreLevels(_))
         ));
     }
@@ -659,6 +757,7 @@ mod tests {
             Predicate::all(),
             vec![s.attr("district").unwrap()],
             s.attr("severity").unwrap(),
+            &Exec::Serial,
         )
         .unwrap();
         let ofla = GroupKey(vec![Value::str("Ofla")]);
@@ -683,6 +782,7 @@ mod tests {
             Predicate::all(),
             vec![s.attr("district").unwrap(), s.attr("year").unwrap()],
             s.attr("severity").unwrap(),
+            &Exec::Serial,
         )
         .unwrap();
         let key = GroupKey(vec![Value::str("Raya"), Value::int(1987)]);
@@ -697,13 +797,25 @@ mod tests {
         let s = schema_of(&r);
         let gb = vec![s.attr("district").unwrap(), s.attr("year").unwrap()];
         let measure = s.attr("severity").unwrap();
-        let serial = View::compute(r.clone(), Predicate::all(), gb.clone(), measure).unwrap();
+        let serial = View::compute(
+            r.clone(),
+            Predicate::all(),
+            gb.clone(),
+            measure,
+            &Exec::Serial,
+        )
+        .unwrap();
         // Shard counts below, at, and far past the row count; and a
         // restricted predicate (fewer matching rows than shards).
         for shards in [1usize, 2, 3, r.len(), r.len() + 9] {
-            let sharded =
-                View::compute_sharded(r.clone(), Predicate::all(), gb.clone(), measure, shards)
-                    .unwrap();
+            let sharded = View::compute(
+                r.clone(),
+                Predicate::all(),
+                gb.clone(),
+                measure,
+                &Exec::Shards(shards),
+            )
+            .unwrap();
             assert_eq!(serial, sharded, "{shards} shards");
             for key in serial.keys() {
                 assert_eq!(
@@ -714,8 +826,15 @@ mod tests {
             }
         }
         let restricted = Predicate::eq(s.attr("district").unwrap(), Value::str("Raya"));
-        let serial = View::compute(r.clone(), restricted.clone(), gb.clone(), measure).unwrap();
-        let sharded = View::compute_sharded(r.clone(), restricted, gb, measure, 5).unwrap();
+        let serial = View::compute(
+            r.clone(),
+            restricted.clone(),
+            gb.clone(),
+            measure,
+            &Exec::Serial,
+        )
+        .unwrap();
+        let sharded = View::compute(r.clone(), restricted, gb, measure, &Exec::Shards(5)).unwrap();
         assert_eq!(serial, sharded);
     }
 
@@ -729,8 +848,16 @@ mod tests {
         // the view must come back empty without scanning — on every path.
         let absent = Predicate::eq(s.attr("district").unwrap(), Value::str("Kalu"));
         let before = reptile_obs::counter_value(Counter::RowsTested);
-        let serial = View::compute(r.clone(), absent.clone(), gb.clone(), measure).unwrap();
-        let sharded = View::compute_sharded(r.clone(), absent.clone(), gb, measure, 3).unwrap();
+        let serial = View::compute(
+            r.clone(),
+            absent.clone(),
+            gb.clone(),
+            measure,
+            &Exec::Serial,
+        )
+        .unwrap();
+        let sharded =
+            View::compute(r.clone(), absent.clone(), gb, measure, &Exec::Shards(3)).unwrap();
         assert!(serial.is_empty());
         assert_eq!(serial, sharded);
         assert_eq!(
@@ -769,8 +896,9 @@ mod tests {
         let measure = s.attr("severity").unwrap();
         let raya = Predicate::eq(s.attr("district").unwrap(), Value::str("Raya"));
         let before = reptile_obs::counter_value(Counter::ShardsPruned);
-        let serial = View::compute(r.clone(), raya.clone(), gb.clone(), measure).unwrap();
-        let sharded = View::compute_sharded(r.clone(), raya, gb, measure, 4).unwrap();
+        let serial =
+            View::compute(r.clone(), raya.clone(), gb.clone(), measure, &Exec::Serial).unwrap();
+        let sharded = View::compute(r.clone(), raya, gb, measure, &Exec::Shards(4)).unwrap();
         assert_eq!(serial, sharded);
         assert!(
             reptile_obs::counter_value(Counter::ShardsPruned) >= before + 3,
@@ -779,22 +907,34 @@ mod tests {
     }
 
     #[test]
-    fn compute_with_matches_serial_for_any_budget() {
+    fn pool_exec_matches_serial_for_any_budget() {
         let r = fist_relation();
         let s = schema_of(&r);
         let gb = vec![s.attr("village").unwrap()];
         let measure = s.attr("severity").unwrap();
-        let serial = View::compute(r.clone(), Predicate::all(), gb.clone(), measure).unwrap();
+        let serial = View::compute(
+            r.clone(),
+            Predicate::all(),
+            gb.clone(),
+            measure,
+            &Exec::Serial,
+        )
+        .unwrap();
         for threads in [1usize, 2, 8] {
-            let par = Parallelism::new(threads);
-            let v =
-                View::compute_with(r.clone(), Predicate::all(), gb.clone(), measure, &par).unwrap();
+            let v = View::compute(
+                r.clone(),
+                Predicate::all(),
+                gb.clone(),
+                measure,
+                &Exec::pool(threads),
+            )
+            .unwrap();
             assert_eq!(serial, v, "{threads} threads");
         }
     }
 
     #[test]
-    fn drill_down_with_matches_drill_down() {
+    fn drill_down_exec_contexts_agree() {
         let r = fist_relation();
         let s = schema_of(&r);
         let geo = s.hierarchy("geo").unwrap().clone();
@@ -803,17 +943,175 @@ mod tests {
             Predicate::all(),
             vec![s.attr("district").unwrap(), s.attr("year").unwrap()],
             s.attr("severity").unwrap(),
+            &Exec::Serial,
         )
         .unwrap();
         let key = GroupKey(vec![Value::str("Ofla"), Value::int(1986)]);
-        let par = Parallelism::new(4);
-        let serial = v.drill_down(&key, &geo).unwrap();
-        let sharded = v.drill_down_with(&key, &geo, &par).unwrap();
+        let pool = Exec::pool(4);
+        let serial = v.drill_down(&key, &geo, &Exec::Serial).unwrap();
+        let sharded = v.drill_down(&key, &geo, &pool).unwrap();
         assert_eq!(serial.added_attribute, sharded.added_attribute);
         assert_eq!(serial.view, sharded.view);
-        let serial = v.drill_down_parallel(&geo).unwrap();
-        let sharded = v.drill_down_parallel_with(&geo, &par).unwrap();
+        let serial = v.drill_down_parallel(&geo, &Exec::Serial).unwrap();
+        let sharded = v.drill_down_parallel(&geo, &pool).unwrap();
         assert_eq!(serial.view, sharded.view);
+    }
+
+    /// In-process loopback transport: partitions the relation through the
+    /// real wire codecs ([`ship::encode_partition`] → bytes →
+    /// [`ship::decode_partition`]) and answers scatter RPCs with the real
+    /// worker-side scan. What `reptile-wire` does over TCP, minus the
+    /// sockets — so `Exec::Remote` exactness is pinned at this layer too.
+    struct Loopback {
+        partitions: std::sync::Mutex<Vec<ship::ShippedPartition>>,
+        workers: usize,
+    }
+
+    impl Loopback {
+        fn new(workers: usize) -> Self {
+            Loopback {
+                partitions: std::sync::Mutex::new(Vec::new()),
+                workers,
+            }
+        }
+    }
+
+    impl crate::exec::RemoteTransport for Loopback {
+        fn workers(&self) -> usize {
+            self.workers
+        }
+
+        fn ensure_relation(
+            &self,
+            relation: &Arc<Relation>,
+        ) -> std::result::Result<Vec<(usize, usize)>, RemoteError> {
+            let ranges = Parallelism::shard_ranges(relation.len(), self.workers);
+            let mut partitions = self.partitions.lock().unwrap();
+            partitions.clear();
+            for &(start, len) in &ranges {
+                let bytes = ship::encode_partition(relation, start, len);
+                partitions.push(
+                    ship::decode_partition(&bytes)
+                        .map_err(|e| RemoteError::Protocol(e.to_string()))?,
+                );
+            }
+            Ok(ranges)
+        }
+
+        fn ensure_state(
+            &self,
+            _domain: u8,
+            _key: u64,
+            _encode: &dyn Fn() -> Vec<u8>,
+        ) -> std::result::Result<(), RemoteError> {
+            Ok(())
+        }
+
+        fn scatter(
+            &self,
+            op: u8,
+            requests: Vec<Option<Vec<u8>>>,
+        ) -> std::result::Result<Vec<Option<Vec<u8>>>, RemoteError> {
+            assert_eq!(op, OP_VIEW_SCAN);
+            let partitions = self.partitions.lock().unwrap();
+            requests
+                .into_iter()
+                .enumerate()
+                .map(|(worker, request)| match request {
+                    None => Ok(None),
+                    Some(plan) => ship::answer_view_scan(&partitions[worker], &plan)
+                        .map(Some)
+                        .map_err(|e| RemoteError::Worker(e.to_string())),
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn remote_exec_is_bit_identical_to_serial_and_sharded() {
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let gb = vec![s.attr("district").unwrap(), s.attr("year").unwrap()];
+        let measure = s.attr("severity").unwrap();
+        for workers in [1usize, 2, 3] {
+            let remote = Exec::Remote(Remote::new(Arc::new(Loopback::new(workers))));
+            for predicate in [
+                Predicate::all(),
+                Predicate::eq(s.attr("district").unwrap(), Value::str("Ofla")),
+                Predicate::eq(s.attr("district").unwrap(), Value::str("Kalu")), // unsat
+            ] {
+                let serial = View::compute(
+                    r.clone(),
+                    predicate.clone(),
+                    gb.clone(),
+                    measure,
+                    &Exec::Serial,
+                )
+                .unwrap();
+                let sharded = View::compute(
+                    r.clone(),
+                    predicate.clone(),
+                    gb.clone(),
+                    measure,
+                    &Exec::Shards(workers),
+                )
+                .unwrap();
+                let distributed =
+                    View::compute(r.clone(), predicate, gb.clone(), measure, &remote).unwrap();
+                assert_eq!(serial, sharded, "{workers} workers");
+                assert_eq!(serial, distributed, "{workers} workers");
+                for key in serial.keys() {
+                    assert_eq!(
+                        serial.provenance(&key).unwrap(),
+                        distributed.provenance(&key).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remote_transport_failure_surfaces_as_typed_error() {
+        struct Failing;
+        impl crate::exec::RemoteTransport for Failing {
+            fn workers(&self) -> usize {
+                1
+            }
+            fn ensure_relation(
+                &self,
+                _relation: &Arc<Relation>,
+            ) -> std::result::Result<Vec<(usize, usize)>, RemoteError> {
+                Err(RemoteError::Transport("connection refused".into()))
+            }
+            fn ensure_state(
+                &self,
+                _domain: u8,
+                _key: u64,
+                _encode: &dyn Fn() -> Vec<u8>,
+            ) -> std::result::Result<(), RemoteError> {
+                Ok(())
+            }
+            fn scatter(
+                &self,
+                _op: u8,
+                _requests: Vec<Option<Vec<u8>>>,
+            ) -> std::result::Result<Vec<Option<Vec<u8>>>, RemoteError> {
+                unreachable!("ensure_relation fails first")
+            }
+        }
+        let r = fist_relation();
+        let s = schema_of(&r);
+        let remote = Exec::Remote(Remote::new(Arc::new(Failing)));
+        let err = View::compute(
+            r.clone(),
+            Predicate::all(),
+            vec![s.attr("district").unwrap()],
+            s.attr("severity").unwrap(),
+            &remote,
+        )
+        .unwrap_err();
+        assert!(matches!(err, RelationalError::Remote(_)));
+        assert!(err.to_string().contains("connection refused"));
     }
 
     #[test]

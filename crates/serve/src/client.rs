@@ -7,7 +7,7 @@
 
 use crate::protocol::{
     decode_response, encode_request, read_frame, write_frame, Request, RequestFrame, Response,
-    ResponseFrame, ServeErrorKind, WireError, WireRecommendation,
+    ResponseFrame, ServeErrorKind, WireError, WireIngestReport, WireRecommendation,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -115,6 +115,20 @@ impl Client {
     ) -> Result<WireRecommendation, ClientError> {
         match self.round_trip(Request::Recommend(request))? {
             Response::Recommendation(rec) => Ok(rec),
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
+        }
+    }
+
+    /// Apply an ingest batch through the front door and wait for its
+    /// report. The server applies the batch atomically: one new relation
+    /// snapshot version, same semantics as every in-process ingest surface.
+    pub fn ingest(
+        &mut self,
+        request: crate::protocol::IngestRequest,
+    ) -> Result<WireIngestReport, ClientError> {
+        match self.round_trip(Request::Ingest(request))? {
+            Response::IngestReport(report) => Ok(report),
             Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
             other => Err(ClientError::UnexpectedResponse(format!("{other:?}"))),
         }

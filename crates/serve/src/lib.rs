@@ -42,8 +42,8 @@ pub mod server;
 pub use client::{Client, ClientError};
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    ProtocolError, RecommendRequest, Request, RequestFrame, Response, ResponseFrame,
-    ServeErrorKind, WireError, WireRecommendation, WireScoredGroup, MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    IngestRequest, ProtocolError, RecommendRequest, Request, RequestFrame, Response, ResponseFrame,
+    ServeErrorKind, WireError, WireIngestReport, WireRecommendation, WireScoredGroup,
+    MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 pub use server::{ServeConfig, ServeLedger, Server};

@@ -47,9 +47,11 @@ const HEADER_LEN: usize = 2 + 1 + 1 + 8;
 /// Frame kind discriminants (requests low, responses high bit set).
 const KIND_PING: u8 = 0;
 const KIND_RECOMMEND: u8 = 1;
+const KIND_INGEST: u8 = 2;
 const KIND_PONG: u8 = 0x80;
 const KIND_RECOMMENDATION: u8 = 0x81;
 const KIND_ERROR: u8 = 0x82;
+const KIND_INGEST_REPORT: u8 = 0x83;
 
 /// Typed decode/framing failure. Every malformed input maps to exactly one
 /// of these; decoding never panics and never partially succeeds.
@@ -168,6 +170,20 @@ pub struct RecommendRequest {
     pub fault: String,
 }
 
+/// An ingest request as it travels on the wire: rows to insert and rows to
+/// delete, each a full tuple in schema attribute order. The server applies
+/// them as one atomic [`IngestBatch`](reptile_relational::IngestBatch) —
+/// one new relation snapshot version, answered with
+/// [`Response::IngestReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRequest {
+    /// Rows to insert, each in schema attribute order.
+    pub inserts: Vec<Vec<Value>>,
+    /// Rows to delete (first match wins, as in
+    /// [`IngestBatch::delete`](reptile_relational::IngestBatch::delete)).
+    pub deletes: Vec<Vec<Value>>,
+}
+
 /// A decoded request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -175,6 +191,8 @@ pub enum Request {
     Ping,
     /// Evaluate a complaint (see [`RecommendRequest`]).
     Recommend(RecommendRequest),
+    /// Apply an ingest batch (see [`IngestRequest`]).
+    Ingest(IngestRequest),
 }
 
 /// A request frame: the caller-chosen id is echoed in the response.
@@ -309,6 +327,34 @@ impl WireScoredGroup {
     }
 }
 
+/// An ingest report as it travels on the wire: the same fields every
+/// in-process ingest surface reports
+/// ([`reptile::IngestReport`]), minus the relation
+/// handle (the version stands in for it across the wire).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireIngestReport {
+    /// Rows inserted by the batch.
+    pub inserted: u64,
+    /// Rows deleted by the batch.
+    pub deleted: u64,
+    /// The post-ingest relation snapshot version.
+    pub relation_version: u64,
+    /// Hierarchies whose distinct full-depth path set changed.
+    pub touched_hierarchies: Vec<String>,
+}
+
+impl WireIngestReport {
+    /// Project an engine [`reptile::IngestReport`] onto the wire shape.
+    pub fn from_report(report: &reptile::IngestReport) -> Self {
+        WireIngestReport {
+            inserted: report.inserted as u64,
+            deleted: report.deleted as u64,
+            relation_version: report.relation.version(),
+            touched_hierarchies: report.touched_hierarchies.clone(),
+        }
+    }
+}
+
 /// A decoded response frame body.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -323,6 +369,8 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// Answer to [`Request::Ingest`]: the batch was applied atomically.
+    IngestReport(WireIngestReport),
 }
 
 /// A response frame: `id` echoes the request's (0 for protocol errors
@@ -348,6 +396,21 @@ impl RecommendRequest {
             statistic: self.statistic,
             direction: self.direction,
         }
+    }
+}
+
+impl IngestRequest {
+    /// The request's rows as an engine
+    /// [`IngestBatch`](reptile_relational::IngestBatch).
+    pub fn batch(&self) -> reptile_relational::IngestBatch {
+        let mut batch = reptile_relational::IngestBatch::new();
+        for row in &self.inserts {
+            batch = batch.insert(row.clone());
+        }
+        for row in &self.deletes {
+            batch = batch.delete(row.clone());
+        }
+        batch
     }
 }
 
@@ -467,6 +530,18 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
             put_str(&mut out, &req.fault);
             out
         }
+        Request::Ingest(req) => {
+            let mut out = header(KIND_INGEST, frame.id);
+            put_u32(&mut out, req.inserts.len() as u32);
+            for row in &req.inserts {
+                put_values(&mut out, row);
+            }
+            put_u32(&mut out, req.deletes.len() as u32);
+            for row in &req.deletes {
+                put_values(&mut out, row);
+            }
+            out
+        }
     }
 }
 
@@ -495,6 +570,17 @@ pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
             let mut out = header(KIND_ERROR, frame.id);
             out.push(kind.to_tag());
             put_str(&mut out, message);
+            out
+        }
+        Response::IngestReport(report) => {
+            let mut out = header(KIND_INGEST_REPORT, frame.id);
+            put_u64(&mut out, report.inserted);
+            put_u64(&mut out, report.deleted);
+            put_u64(&mut out, report.relation_version);
+            put_u32(&mut out, report.touched_hierarchies.len() as u32);
+            for name in &report.touched_hierarchies {
+                put_str(&mut out, name);
+            }
             out
         }
     }
@@ -653,6 +739,19 @@ pub fn decode_request(payload: &[u8]) -> Result<RequestFrame, ProtocolError> {
                 fault,
             })
         }
+        KIND_INGEST => {
+            let n_ins = r.count(4)?;
+            let mut inserts = Vec::with_capacity(n_ins);
+            for _ in 0..n_ins {
+                inserts.push(r.values()?);
+            }
+            let n_del = r.count(4)?;
+            let mut deletes = Vec::with_capacity(n_del);
+            for _ in 0..n_del {
+                deletes.push(r.values()?);
+            }
+            Request::Ingest(IngestRequest { inserts, deletes })
+        }
         k => return Err(ProtocolError::UnknownKind(k)),
     };
     r.finish()?;
@@ -691,6 +790,22 @@ pub fn decode_response(payload: &[u8]) -> Result<ResponseFrame, ProtocolError> {
             let kind = ServeErrorKind::from_tag(r.u8()?)?;
             let message = r.str()?;
             Response::Error { kind, message }
+        }
+        KIND_INGEST_REPORT => {
+            let inserted = r.u64()?;
+            let deleted = r.u64()?;
+            let relation_version = r.u64()?;
+            let n = r.count(4)?;
+            let mut touched_hierarchies = Vec::with_capacity(n);
+            for _ in 0..n {
+                touched_hierarchies.push(r.str()?);
+            }
+            Response::IngestReport(WireIngestReport {
+                inserted,
+                deleted,
+                relation_version,
+                touched_hierarchies,
+            })
         }
         k => return Err(ProtocolError::UnknownKind(k)),
     };

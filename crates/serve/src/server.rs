@@ -32,7 +32,7 @@
 
 use crate::protocol::{
     decode_request, encode_response, read_frame, write_frame, ProtocolError, RecommendRequest,
-    Request, Response, ResponseFrame, ServeErrorKind, WireRecommendation,
+    Request, Response, ResponseFrame, ServeErrorKind, WireIngestReport, WireRecommendation,
 };
 use reptile::{Complaint, IngestReport, Reptile, Result as EngineResult, ViewKey};
 use reptile_obs as obs;
@@ -646,6 +646,45 @@ impl Core {
                         },
                     );
                 }
+                Request::Ingest(req) => {
+                    // Ingest runs inline on the reader: per-connection
+                    // ordering (a client's ingest happens-before its next
+                    // recommend) falls out of the loop, and the engine's
+                    // ingest path is already safe under concurrent serving.
+                    if self.shutting_down.load(Ordering::SeqCst) {
+                        conn.send(ResponseFrame {
+                            id: frame.id,
+                            response: Response::Error {
+                                kind: ServeErrorKind::Overloaded,
+                                message: "server is shutting down".into(),
+                            },
+                        });
+                        continue;
+                    }
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| self.batch.ingest(&req.batch())));
+                    let response = match outcome {
+                        Ok(Ok(report)) => {
+                            Response::IngestReport(WireIngestReport::from_report(&report))
+                        }
+                        Ok(Err(engine_err)) => {
+                            self.ledger.bad_requests.fetch_add(1, Ordering::SeqCst);
+                            Response::Error {
+                                kind: ServeErrorKind::Engine,
+                                message: engine_err.to_string(),
+                            }
+                        }
+                        Err(_) => Response::Error {
+                            kind: ServeErrorKind::Internal,
+                            message: "ingest handler panicked; connection remains serviceable"
+                                .into(),
+                        },
+                    };
+                    conn.send(ResponseFrame {
+                        id: frame.id,
+                        response,
+                    });
+                }
             }
         }
     }
@@ -778,6 +817,12 @@ impl Server {
             let _ = reader.join();
         }
         self.core.ledger.snapshot()
+    }
+}
+
+impl reptile::IngestSink for Server {
+    fn apply_batch(&mut self, batch: &IngestBatch) -> EngineResult<IngestReport> {
+        self.ingest(batch)
     }
 }
 

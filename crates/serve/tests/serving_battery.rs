@@ -87,6 +87,7 @@ fn serial_reference(
             predicate,
             group_by,
             schema.attr(&req.measure).unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap(),
     );
@@ -692,4 +693,92 @@ fn dedup_never_joins_across_an_ingest_boundary() {
     assert_eq!(ledger.admitted, 2);
     assert_eq!(ledger.completed, 2);
     assert_eq!(ledger.dedup_joined, 0);
+}
+
+/// Satellite: the wire `Ingest` frame and the unified [`reptile::IngestSink`]
+/// surface. A client ingests through the front door; the wire report matches
+/// what the in-process sink reports field for field, and a recommendation
+/// over the post-ingest snapshot is bit-identical to a serial engine that
+/// applied the same batch. A malformed batch answers a typed `Engine` error
+/// and leaves the connection (and the relation) intact.
+#[test]
+fn wire_ingest_matches_in_process_sinks() {
+    use reptile::IngestSink;
+    use reptile_serve::IngestRequest;
+
+    let (rel, schema) = dataset();
+    let engine = Arc::new(Reptile::new(rel.clone(), schema.clone()));
+    let server = Server::bind(engine, "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // The same batch through two sinks: the wire, and the trait on a
+    // serial engine.
+    let inserts = vec![
+        vec![
+            Value::str("D0"),
+            Value::str("D0-V9"),
+            Value::int(1),
+            Value::float(4.75),
+        ],
+        vec![
+            Value::str("D3"),
+            Value::str("D3-V0"),
+            Value::int(2),
+            Value::float(31.5),
+        ],
+    ];
+    let deletes = vec![vec![
+        Value::str("D0"),
+        Value::str("D0-V0"),
+        Value::int(0),
+        Value::float(20.0),
+    ]];
+    let mut batch = IngestBatch::new();
+    for row in &inserts {
+        batch = batch.insert(row.clone());
+    }
+    for row in &deletes {
+        batch = batch.delete(row.clone());
+    }
+    let mut serial_engine = Reptile::new(rel.clone(), schema.clone());
+    let serial_report = serial_engine.apply_batch(&batch).unwrap();
+
+    let wire_report = client.ingest(IngestRequest { inserts, deletes }).unwrap();
+    assert_eq!(wire_report.inserted as usize, serial_report.inserted);
+    assert_eq!(wire_report.deleted as usize, serial_report.deleted);
+    assert_eq!(
+        wire_report.relation_version,
+        serial_report.relation.version()
+    );
+    assert_eq!(
+        wire_report.touched_hierarchies,
+        serial_report.touched_hierarchies
+    );
+
+    // A recommendation over the post-ingest snapshot, served over the wire,
+    // is bit-identical to the serial reference over the same snapshot.
+    let req = request_for(1, 1, 0, "");
+    let want = serial_reference(&serial_report.relation, &schema, &req);
+    let got = client.recommend(req).unwrap();
+    assert_eq!(got.relation_version, wire_report.relation_version);
+    assert_identical(&got, &want);
+
+    // A row with the wrong arity is an Engine error, not a dropped
+    // connection — and must not have bumped the snapshot.
+    let err = client
+        .ingest(IngestRequest {
+            inserts: vec![vec![Value::str("short")]],
+            deletes: vec![],
+        })
+        .unwrap_err();
+    match err {
+        ClientError::Server { kind, .. } => assert_eq!(kind, ServeErrorKind::Engine),
+        other => panic!("expected typed server error, got {other}"),
+    }
+    let again = client.recommend(request_for(1, 1, 0, "")).unwrap();
+    assert_eq!(again.relation_version, wire_report.relation_version);
+
+    let ledger = server.shutdown();
+    assert!(ledger.conserved(), "{ledger:?}");
+    assert_eq!(ledger.protocol_errors, 0);
 }

@@ -634,12 +634,12 @@ impl BatchServer {
         }
         // Missed and claimed: compute, publish (the handle's Drop aborts the
         // claim if the compute errors or unwinds).
-        let view = Arc::new(View::compute_with(
+        let view = Arc::new(View::compute(
             relation,
             predicate,
             group_by,
             measure,
-            &self.engine.config().parallelism,
+            &self.engine.config().exec,
         )?);
         cache.put_view(key, Arc::clone(&view));
         Ok(view)
@@ -689,5 +689,14 @@ impl BatchServer {
             .into_iter()
             .map(|i| unique_results[i].clone())
             .collect()
+    }
+}
+
+impl reptile::IngestSink for BatchServer {
+    fn apply_batch(
+        &mut self,
+        batch: &reptile_relational::IngestBatch,
+    ) -> Result<reptile::IngestReport> {
+        self.ingest(batch)
     }
 }

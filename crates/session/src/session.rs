@@ -159,3 +159,9 @@ impl Session {
         Ok(report)
     }
 }
+
+impl reptile::IngestSink for Session {
+    fn apply_batch(&mut self, batch: &IngestBatch) -> Result<IngestReport> {
+        self.ingest(batch)
+    }
+}

@@ -56,6 +56,7 @@ fn region_year_view(rel: &Arc<Relation>, schema: &Arc<Schema>) -> View {
         Predicate::all(),
         vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
         schema.attr("severity").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap()
 }
@@ -199,8 +200,22 @@ fn view_cache_canonicalizes_predicate_order() {
     // The same restriction written in both attribute orders.
     let p1 = Predicate::eq(region, Value::str("R0")).and_eq(year, Value::int(1986));
     let p2 = Predicate::eq(year, Value::int(1986)).and_eq(region, Value::str("R0"));
-    let v1 = View::compute(rel.clone(), p1, gb.clone(), measure).unwrap();
-    let v2 = View::compute(rel.clone(), p2, gb, measure).unwrap();
+    let v1 = View::compute(
+        rel.clone(),
+        p1,
+        gb.clone(),
+        measure,
+        &reptile_relational::Exec::Serial,
+    )
+    .unwrap();
+    let v2 = View::compute(
+        rel.clone(),
+        p2,
+        gb,
+        measure,
+        &reptile_relational::Exec::Serial,
+    )
+    .unwrap();
 
     let engine = Arc::new(Reptile::new(rel, schema));
     let c = Complaint::new(
@@ -276,6 +291,7 @@ fn batch_server_handles_mixed_views_and_errors() {
                 schema.attr("district").unwrap(),
             ],
             schema.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap(),
     );

@@ -5,7 +5,7 @@
 //! sharded builders and operators are exact (`==`) mirrors of the serial
 //! ones.
 
-use reptile::{Complaint, Direction, Parallelism, Recommendation, Reptile, ReptileConfig};
+use reptile::{Complaint, Direction, Exec, Recommendation, Reptile, ReptileConfig};
 use reptile_relational::{
     AggregateKind, GroupKey, IngestBatch, Predicate, Relation, Schema, Value, View,
 };
@@ -58,6 +58,7 @@ fn district_day_view(rel: &Arc<Relation>, schema: &Arc<Schema>) -> Arc<View> {
                 schema.attr("day").unwrap(),
             ],
             schema.attr("reports").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap(),
     )
@@ -104,7 +105,7 @@ fn sharded_engine_batches_match_serial_engine_batches() {
     let (rel, schema) = dataset();
     let serial_server = BatchServer::new(Arc::new(Reptile::new(rel.clone(), schema.clone())));
     let sharded_engine = Reptile::new(rel.clone(), schema.clone()).with_config(ReptileConfig {
-        parallelism: Parallelism::new(4),
+        exec: Exec::pool(4),
         ..Default::default()
     });
     let sharded_server = BatchServer::new(Arc::new(sharded_engine)).with_threads(2);
@@ -144,6 +145,7 @@ fn concurrent_hierarchy_evaluation_under_batch_serving_matches_serial() {
             Predicate::all(),
             vec![schema.attr("district").unwrap()],
             schema.attr("reports").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap(),
     );
@@ -173,7 +175,7 @@ fn concurrent_hierarchy_evaluation_under_batch_serving_matches_serial() {
     }
 
     let sharded_engine = Reptile::new(rel.clone(), schema.clone()).with_config(ReptileConfig {
-        parallelism: Parallelism::new(4),
+        exec: Exec::pool(4),
         ..Default::default()
     });
     let server = BatchServer::new(Arc::new(sharded_engine)).with_threads(3);
@@ -213,7 +215,7 @@ fn batch_serving_dispatches_requests_onto_the_shard_pool() {
     let _force = reptile_relational::parallel::ForcePoolDispatch::new();
     let (rel, schema) = dataset();
     let engine = Reptile::new(rel.clone(), schema.clone()).with_config(ReptileConfig {
-        parallelism: Parallelism::new(2),
+        exec: Exec::pool(2),
         ..Default::default()
     });
     let server = BatchServer::new(Arc::new(engine)).with_threads(4);
@@ -245,7 +247,7 @@ fn ingest_delta_patching_is_exact_per_shard() {
     let (rel, schema) = dataset();
     let serial_server = BatchServer::new(Arc::new(Reptile::new(rel.clone(), schema.clone())));
     let sharded_engine = Reptile::new(rel.clone(), schema.clone()).with_config(ReptileConfig {
-        parallelism: Parallelism::new(3),
+        exec: Exec::pool(3),
         ..Default::default()
     });
     let sharded_server = BatchServer::new(Arc::new(sharded_engine));

@@ -58,6 +58,7 @@ fn region_year_view(rel: &Arc<Relation>, schema: &Arc<Schema>) -> View {
         Predicate::all(),
         vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
         schema.attr("severity").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap()
 }
@@ -159,6 +160,7 @@ fn ingest_keeps_untouched_subtree_models_warm() {
             Predicate::eq(year, Value::int(y)),
             vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
             schema.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap()
     };
@@ -310,6 +312,7 @@ fn cache_with_an_ingest_gap_is_flushed_not_trusted() {
         Predicate::eq(year, Value::int(1986)),
         vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
         schema.attr("severity").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let c = complaint("R0", 1986);
@@ -345,6 +348,7 @@ fn cache_with_an_ingest_gap_is_flushed_not_trusted() {
         Predicate::eq(year, Value::int(1986)),
         vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
         schema.attr("severity").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let rec = engine

@@ -1,0 +1,139 @@
+//! Distributed Reptile quickstart: a coordinator recommendation computed
+//! over worker processes, checked bit-for-bit against serial.
+//!
+//! By default the example starts two in-process workers on ephemeral TCP
+//! ports (the full wire path — framing, shipping, scatter — just without
+//! separate processes). To run against real worker processes instead:
+//!
+//! ```text
+//! cargo run -p reptile-wire --bin reptile-worker -- --port 7101 &
+//! cargo run -p reptile-wire --bin reptile-worker -- --port 7102 &
+//! cargo run -p reptile-wire --example distributed_quickstart -- \
+//!     127.0.0.1:7101 127.0.0.1:7102
+//! ```
+
+use reptile::{Complaint, Direction, Reptile, ReptileConfig};
+use reptile_relational::{
+    AggregateKind, Exec, GroupKey, Predicate, Relation, Remote, Schema, Value, View,
+};
+use reptile_wire::WorkerSet;
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn main() {
+    // 1. Workers: either the addresses given on the command line, or two
+    //    local listeners served from background threads.
+    let mut addrs: Vec<String> = std::env::args().skip(1).collect();
+    if addrs.is_empty() {
+        for _ in 0..2 {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind worker");
+            addrs.push(listener.local_addr().expect("worker addr").to_string());
+            std::thread::spawn(move || {
+                let _ = reptile_wire::worker::serve(listener);
+            });
+        }
+        println!("started 2 in-process workers: {}", addrs.join(", "));
+    }
+    let set = WorkerSet::connect(&addrs).expect("connect workers");
+    let remote = Exec::Remote(Remote::new(set.clone()));
+
+    // 2. Data: districts × villages × years with one faulty village.
+    let schema = Arc::new(
+        Schema::builder()
+            .hierarchy("geo", ["district", "village"])
+            .hierarchy("time", ["year"])
+            .measure("turnout")
+            .build()
+            .expect("schema"),
+    );
+    let mut b = Relation::builder(schema.clone());
+    for year in [2019i64, 2020] {
+        for d in 0..4 {
+            for v in 0..5 {
+                let faulty = d == 2 && v == 3 && year == 2020;
+                let turnout = 60.0 + d as f64 + 0.5 * v as f64 - if faulty { 25.0 } else { 0.0 };
+                b = b
+                    .row([
+                        Value::str(format!("D{d}")),
+                        Value::str(format!("D{d}-V{v}")),
+                        Value::int(year),
+                        Value::float(turnout),
+                    ])
+                    .expect("row");
+            }
+        }
+    }
+    let relation = Arc::new(b.build());
+
+    // 3. The complaint view, computed on the workers.
+    let district = schema.attr("district").expect("district");
+    let year = schema.attr("year").expect("year");
+    let turnout = schema.attr("turnout").expect("turnout");
+    let view = View::compute(
+        relation.clone(),
+        Predicate::all(),
+        vec![district, year],
+        turnout,
+        &remote,
+    )
+    .expect("distributed view");
+    let serial_view = View::compute(
+        relation.clone(),
+        Predicate::all(),
+        vec![district, year],
+        turnout,
+        &Exec::Serial,
+    )
+    .expect("serial view");
+    assert_eq!(view, serial_view, "distributed view must equal serial");
+
+    // 4. A distributed recommendation vs the serial one.
+    let complaint = Complaint::new(
+        GroupKey(vec![Value::str("D2"), Value::int(2020)]),
+        AggregateKind::Mean,
+        Direction::TooLow,
+    );
+    let engine = Reptile::new(relation.clone(), schema.clone()).with_config(ReptileConfig {
+        exec: remote.clone(),
+        ..Default::default()
+    });
+    let recommendation = engine.recommend(&view, &complaint).expect("recommend");
+    let serial_engine = Reptile::new(relation, schema);
+    let serial = serial_engine
+        .recommend(&serial_view, &complaint)
+        .expect("serial recommend");
+
+    println!(
+        "complaint: mean turnout of {} looks too low ({:.3})",
+        complaint.key, recommendation.original_value
+    );
+    for (rank, group) in recommendation.ranked.iter().take(3).enumerate() {
+        println!(
+            "  #{rank}: {} / {}  (observed {:.3}, expected {:.3}, repaired mean {:.3})",
+            group.hierarchy,
+            group.key,
+            group.observed,
+            group.expected,
+            group.repaired_complaint_value
+        );
+    }
+    let exact = recommendation
+        .ranked
+        .iter()
+        .zip(&serial.ranked)
+        .all(|(a, b)| a.key == b.key && a.improvement == b.improvement);
+    println!(
+        "bit-exact vs serial: {}",
+        if exact && recommendation.ranked.len() == serial.ranked.len() {
+            "yes"
+        } else {
+            "NO — wire bug"
+        }
+    );
+    println!(
+        "remote rpcs: {}, bytes shipped: {}",
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteRpcs),
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteBytesShipped),
+    );
+    set.shutdown().expect("shutdown workers");
+}

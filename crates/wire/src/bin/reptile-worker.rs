@@ -1,0 +1,61 @@
+//! The Reptile worker process: bind a TCP port, print the bound address,
+//! and answer coordinator RPCs until a shutdown frame arrives.
+//!
+//! ```text
+//! reptile-worker [--port N]
+//! ```
+//!
+//! `--port 0` (the default) binds an ephemeral port; the process prints
+//! `listening on <addr>` on stdout so a launcher can scrape the address.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut port = 0u16;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--port needs a value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse() {
+                    Ok(p) => port = p,
+                    Err(_) => {
+                        eprintln!("invalid port {value:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: reptile-worker [--port N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let listener = match TcpListener::bind(("127.0.0.1", port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("local_addr failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(e) = reptile_wire::worker::serve(listener) {
+        eprintln!("worker failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,282 @@
+//! The coordinator-side transport: a [`WorkerSet`] of connected worker
+//! processes implementing [`RemoteTransport`].
+//!
+//! The set owns one TCP connection per worker and does three things:
+//!
+//! * **Ship-once relations** — [`RemoteTransport::ensure_relation`]
+//!   partitions the relation over the workers ([`Parallelism::shard_ranges`],
+//!   the *same* contiguous split as in-process sharding, which is what makes
+//!   remote partial merges bit-identical) and ships each worker its rows
+//!   with the full dictionaries. Shipping is idempotent per snapshot epoch
+//!   `(ident, version)`: the first caller pays the bytes, every later plan
+//!   against that epoch pays nothing.
+//! * **Ship-once state** — [`RemoteTransport::ensure_state`] ships keyed
+//!   blobs (encoded factors under their content fingerprint) to every
+//!   worker, once per key. Content addressing makes staleness impossible:
+//!   post-ingest state has a different fingerprint, so it ships under a new
+//!   key instead of silently colliding with the old.
+//! * **Pipelined scatters** — [`RemoteTransport::scatter`] writes every
+//!   un-pruned worker's request before reading any reply, so one scatter
+//!   costs one round trip, not `workers` of them.
+//!
+//! Every frame written bumps [`Counter::RemoteRpcs`] and adds its bytes to
+//! [`Counter::RemoteBytesShipped`].
+
+use crate::frame::{read_frame, write_frame, Frame, WireError, KIND_ERROR, KIND_OK, KIND_RESULT};
+use crate::frame::{KIND_LOAD_PARTITION, KIND_LOAD_STATE, KIND_PING, KIND_SCATTER, KIND_SHUTDOWN};
+use crate::worker::decode_error_body;
+use reptile_obs::{add_counter, Counter};
+use reptile_relational::ship;
+use reptile_relational::{Parallelism, Relation, RemoteError, RemoteTransport};
+use std::collections::{HashMap, HashSet};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One worker connection.
+struct WorkerConn {
+    stream: TcpStream,
+}
+
+impl WorkerConn {
+    fn send(&mut self, frame: &Frame) -> Result<(), RemoteError> {
+        let bytes = write_frame(&mut self.stream, frame).map_err(wire_err)?;
+        add_counter(Counter::RemoteRpcs, 1);
+        add_counter(Counter::RemoteBytesShipped, bytes as u64);
+        Ok(())
+    }
+
+    fn recv(&mut self, expect_id: u64) -> Result<Frame, RemoteError> {
+        let frame = read_frame(&mut self.stream)
+            .map_err(wire_err)?
+            .ok_or_else(|| RemoteError::Transport("worker closed the connection".to_string()))?;
+        if frame.id != expect_id {
+            return Err(RemoteError::Protocol(format!(
+                "reply id {} does not match request id {expect_id}",
+                frame.id
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+fn wire_err(e: WireError) -> RemoteError {
+    match e {
+        WireError::Frame(f) => RemoteError::Protocol(f.to_string()),
+        WireError::Io(io) => RemoteError::Transport(io.to_string()),
+    }
+}
+
+/// Check an OK-expected reply; worker errors surface typed.
+fn expect_ok(frame: &Frame) -> Result<(), RemoteError> {
+    match frame.kind {
+        KIND_OK => Ok(()),
+        KIND_ERROR => {
+            let (kind, msg) = decode_error_body(&frame.body);
+            Err(RemoteError::Worker(format!("{kind}: {msg}")))
+        }
+        k => Err(RemoteError::Protocol(format!(
+            "expected OK reply, got kind {k:#04x}"
+        ))),
+    }
+}
+
+/// A worker's contiguous `(start, len)` row range within a shipped
+/// relation snapshot — the same split `Parallelism::shard_ranges` gives
+/// in-process shards.
+type ShardRange = (usize, usize);
+
+/// A connected set of worker processes. Cloneable handles share the
+/// connections and the ship-once ledgers; typically wrapped in
+/// [`Remote::new`](reptile_relational::Remote::new) and carried by
+/// [`Exec::Remote`](reptile_relational::Exec).
+pub struct WorkerSet {
+    conns: Mutex<Vec<WorkerConn>>,
+    /// Worker ranges per shipped snapshot epoch `(ident, version)`.
+    shipped_relations: Mutex<HashMap<(u64, u64), Vec<ShardRange>>>,
+    /// State keys already on every worker.
+    shipped_state: Mutex<HashSet<(u8, u64)>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerSet")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+impl WorkerSet {
+    /// Connect to worker processes at `addrs` and ping each one. Fails if
+    /// any worker is unreachable or answers the ping wrong.
+    pub fn connect<A: ToSocketAddrs>(addrs: &[A]) -> Result<Arc<WorkerSet>, RemoteError> {
+        if addrs.is_empty() {
+            return Err(RemoteError::Transport("no worker addresses".to_string()));
+        }
+        let mut conns = Vec::with_capacity(addrs.len());
+        for addr in addrs {
+            let stream = TcpStream::connect(addr)
+                .map_err(|e| RemoteError::Transport(format!("connect: {e}")))?;
+            stream
+                .set_nodelay(true)
+                .map_err(|e| RemoteError::Transport(e.to_string()))?;
+            conns.push(WorkerConn { stream });
+        }
+        let set = WorkerSet {
+            conns: Mutex::new(conns),
+            shipped_relations: Mutex::new(HashMap::new()),
+            shipped_state: Mutex::new(HashSet::new()),
+            next_id: AtomicU64::new(1),
+        };
+        set.ping()?;
+        Ok(Arc::new(set))
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Ping every worker (pipelined), verifying liveness and protocol.
+    pub fn ping(&self) -> Result<(), RemoteError> {
+        let id = self.fresh_id();
+        let mut conns = self.conns.lock().expect("worker set lock");
+        for conn in conns.iter_mut() {
+            conn.send(&Frame::new(KIND_PING, id, Vec::new()))?;
+        }
+        for conn in conns.iter_mut() {
+            expect_ok(&conn.recv(id)?)?;
+        }
+        Ok(())
+    }
+
+    /// Ask every worker process to exit. The set is unusable afterwards.
+    pub fn shutdown(&self) -> Result<(), RemoteError> {
+        let id = self.fresh_id();
+        let mut conns = self.conns.lock().expect("worker set lock");
+        for conn in conns.iter_mut() {
+            conn.send(&Frame::new(KIND_SHUTDOWN, id, Vec::new()))?;
+        }
+        for conn in conns.iter_mut() {
+            expect_ok(&conn.recv(id)?)?;
+        }
+        Ok(())
+    }
+}
+
+impl RemoteTransport for WorkerSet {
+    fn workers(&self) -> usize {
+        self.conns.lock().expect("worker set lock").len()
+    }
+
+    fn ensure_relation(
+        &self,
+        relation: &Arc<Relation>,
+    ) -> Result<Vec<(usize, usize)>, RemoteError> {
+        let epoch = (relation.ident(), relation.version());
+        if let Some(ranges) = self
+            .shipped_relations
+            .lock()
+            .expect("shipped relations lock")
+            .get(&epoch)
+        {
+            return Ok(ranges.clone());
+        }
+        let mut conns = self.conns.lock().expect("worker set lock");
+        let ranges = Parallelism::shard_ranges(relation.len(), conns.len().max(1));
+        let id = self.fresh_id();
+        for (conn, &(start, len)) in conns.iter_mut().zip(&ranges) {
+            let body = ship::encode_partition(relation, start, len);
+            conn.send(&Frame::new(KIND_LOAD_PARTITION, id, body))?;
+        }
+        for conn in conns.iter_mut() {
+            expect_ok(&conn.recv(id)?)?;
+        }
+        drop(conns);
+        self.shipped_relations
+            .lock()
+            .expect("shipped relations lock")
+            .insert(epoch, ranges.clone());
+        Ok(ranges)
+    }
+
+    fn ensure_state(
+        &self,
+        domain: u8,
+        key: u64,
+        encode: &dyn Fn() -> Vec<u8>,
+    ) -> Result<(), RemoteError> {
+        if self
+            .shipped_state
+            .lock()
+            .expect("shipped state lock")
+            .contains(&(domain, key))
+        {
+            return Ok(());
+        }
+        let mut body = vec![domain];
+        body.extend_from_slice(&key.to_be_bytes());
+        body.extend_from_slice(&encode());
+        let id = self.fresh_id();
+        let mut conns = self.conns.lock().expect("worker set lock");
+        for conn in conns.iter_mut() {
+            conn.send(&Frame::new(KIND_LOAD_STATE, id, body.clone()))?;
+        }
+        for conn in conns.iter_mut() {
+            expect_ok(&conn.recv(id)?)?;
+        }
+        drop(conns);
+        self.shipped_state
+            .lock()
+            .expect("shipped state lock")
+            .insert((domain, key));
+        Ok(())
+    }
+
+    fn scatter(
+        &self,
+        op: u8,
+        requests: Vec<Option<Vec<u8>>>,
+    ) -> Result<Vec<Option<Vec<u8>>>, RemoteError> {
+        let mut conns = self.conns.lock().expect("worker set lock");
+        if requests.len() != conns.len() {
+            return Err(RemoteError::Protocol(format!(
+                "scatter carries {} requests for {} workers",
+                requests.len(),
+                conns.len()
+            )));
+        }
+        let id = self.fresh_id();
+        // Write every un-pruned request before reading any reply: one
+        // scatter, one round trip.
+        for (conn, request) in conns.iter_mut().zip(&requests) {
+            if let Some(payload) = request {
+                let mut body = Vec::with_capacity(1 + payload.len());
+                body.push(op);
+                body.extend_from_slice(payload);
+                conn.send(&Frame::new(KIND_SCATTER, id, body))?;
+            }
+        }
+        let mut replies = Vec::with_capacity(requests.len());
+        for (conn, request) in conns.iter_mut().zip(&requests) {
+            if request.is_none() {
+                replies.push(None);
+                continue;
+            }
+            let frame = conn.recv(id)?;
+            match frame.kind {
+                KIND_RESULT => replies.push(Some(frame.body)),
+                KIND_ERROR => {
+                    let (kind, msg) = decode_error_body(&frame.body);
+                    return Err(RemoteError::Worker(format!("{kind}: {msg}")));
+                }
+                k => {
+                    return Err(RemoteError::Protocol(format!(
+                        "expected scatter result, got kind {k:#04x}"
+                    )))
+                }
+            }
+        }
+        Ok(replies)
+    }
+}

@@ -1,0 +1,214 @@
+//! Wire-layer round trips and hostile-bytes safety.
+//!
+//! The frame layer's own unit tests cover header-level hostility; this
+//! suite drives the *payload* codecs the worker protocol carries —
+//! shipped partitions, view plans, encoded factors, aggregate partials —
+//! plus a live worker fed hostile frames over a real socket. The
+//! invariant everywhere: malformed input is a typed error, never a panic
+//! and never a giant allocation.
+
+use reptile_relational::{ship, Exec, Predicate, Relation, Schema, Value, View};
+use reptile_wire::frame::{
+    read_frame, write_frame, Frame, KIND_LOAD_PARTITION, KIND_LOAD_STATE, KIND_OK, KIND_PING,
+    KIND_RESULT, KIND_SCATTER,
+};
+use reptile_wire::WorkerState;
+use std::sync::Arc;
+
+fn sample_relation() -> Arc<Relation> {
+    let schema = Arc::new(
+        Schema::builder()
+            .hierarchy("geo", ["region", "site"])
+            .measure("kwh")
+            .build()
+            .unwrap(),
+    );
+    let mut b = Relation::builder(schema);
+    for (region, site, kwh) in [
+        ("north", "n1", 4.5),
+        ("north", "n2", 5.25),
+        ("south", "s1", -1.0),
+        ("south", "s2", 2.0),
+        ("south", "s3", 0.125),
+    ] {
+        b = b
+            .row([Value::str(region), Value::str(site), Value::float(kwh)])
+            .unwrap();
+    }
+    Arc::new(b.build())
+}
+
+#[test]
+fn partition_payload_round_trips_bit_exactly() {
+    let rel = sample_relation();
+    let bytes = ship::encode_partition(&rel, 1, 3);
+    let part = ship::decode_partition(&bytes).expect("decode partition");
+    assert_eq!(part.row_offset, 1);
+    assert_eq!(part.relation.len(), 3);
+    assert_eq!(part.relation.ident(), rel.ident());
+    assert_eq!(part.relation.version(), rel.version());
+    // Shared-dictionary contract: the partition carries the FULL
+    // dictionaries in code order, so a code means the same value on the
+    // worker as on the coordinator — even for values absent from this
+    // partition's rows.
+    let schema = rel.schema();
+    for attr in [schema.attr("region").unwrap(), schema.attr("site").unwrap()] {
+        let full = rel.code_column(attr);
+        let shipped = part.relation.code_column(attr);
+        assert_eq!(shipped.dict(), full.dict());
+        assert_eq!(shipped.codes(), &full.codes()[1..4]);
+    }
+    for local in 0..3 {
+        assert_eq!(part.relation.row(local), rel.row(1 + local));
+    }
+}
+
+#[test]
+fn partition_payload_rejects_hostile_bytes_without_panicking() {
+    let rel = sample_relation();
+    let bytes = ship::encode_partition(&rel, 0, rel.len());
+    // Truncation at every prefix length must be a typed error, not a panic.
+    for cut in 0..bytes.len() {
+        assert!(
+            ship::decode_partition(&bytes[..cut]).is_err(),
+            "prefix of {cut} bytes decoded"
+        );
+    }
+    // Bit flips in the leading counts either decode (harmlessly different
+    // metadata) or fail typed; they must never panic or over-allocate.
+    for i in 0..bytes.len().min(64) {
+        let mut evil = bytes.clone();
+        evil[i] ^= 0xff;
+        let _ = ship::decode_partition(&evil);
+    }
+    assert!(ship::decode_partition(b"not a partition").is_err());
+}
+
+#[test]
+fn view_plan_and_partial_round_trip() {
+    let rel = sample_relation();
+    let schema = rel.schema();
+    let region = schema.attr("region").unwrap();
+    let kwh = schema.attr("kwh").unwrap();
+    let plan_bytes = ship::encode_view_plan(
+        rel.ident(),
+        rel.version(),
+        &Predicate::all(),
+        &[region],
+        kwh,
+    );
+    let plan = ship::decode_view_plan(&plan_bytes).expect("decode plan");
+    assert_eq!(plan.ident, rel.ident());
+    assert_eq!(plan.version, rel.version());
+    for cut in 0..plan_bytes.len() {
+        assert!(ship::decode_view_plan(&plan_bytes[..cut]).is_err());
+    }
+
+    // A partial computed from a shipped partition merges back losslessly:
+    // this is the exact path the worker drives, minus the socket.
+    let part_bytes = ship::encode_partition(&rel, 0, rel.len());
+    let part = ship::decode_partition(&part_bytes).unwrap();
+    let partial_bytes = ship::answer_view_scan(&part, &plan_bytes).expect("scan");
+    let groups = ship::decode_view_partial(&partial_bytes, 1).expect("decode partial");
+    let serial = View::compute(
+        rel.clone(),
+        Predicate::all(),
+        vec![region],
+        kwh,
+        &Exec::Serial,
+    )
+    .unwrap();
+    assert_eq!(groups.len(), serial.len());
+    for cut in 0..partial_bytes.len() {
+        assert!(ship::decode_view_partial(&partial_bytes[..cut], 1).is_err());
+    }
+    // Wrong expected key width is a typed shape error.
+    assert!(ship::decode_view_partial(&partial_bytes, 2).is_err());
+}
+
+#[test]
+fn worker_rejects_hostile_frames_over_a_live_socket() {
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut state = WorkerState::new();
+        // Serve exactly three connections, then stop.
+        for stream in listener.incoming().take(3) {
+            let _ = reptile_wire::worker::serve_connection(&mut state, stream.unwrap());
+        }
+        state
+    });
+
+    // Connection 1: raw garbage after a valid length prefix — the worker
+    // must drop the connection without dying.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&9u32.to_be_bytes()).unwrap();
+    s.write_all(b"XXgarbage").unwrap();
+    drop(s);
+
+    // Connection 2: well-framed frames with hostile bodies — each must be
+    // answered with a typed error frame, and the connection must survive
+    // all of them.
+    let mut s = TcpStream::connect(addr).unwrap();
+    let hostile = [
+        Frame::new(KIND_LOAD_PARTITION, 1, b"not a partition".to_vec()),
+        Frame::new(KIND_LOAD_STATE, 2, vec![7u8; 3]),
+        Frame::new(KIND_SCATTER, 3, Vec::new()),
+        Frame::new(KIND_SCATTER, 4, vec![0x77, 1, 2, 3]),
+    ];
+    for frame in &hostile {
+        write_frame(&mut s, frame).unwrap();
+        let reply = read_frame(&mut s).unwrap().expect("reply");
+        assert_eq!(reply.id, frame.id);
+        assert_eq!(
+            reply.kind,
+            reptile_wire::frame::KIND_ERROR,
+            "hostile frame id {} got kind {:#04x}",
+            frame.id,
+            reply.kind
+        );
+        let (_kind, msg) = reptile_wire::worker::decode_error_body(&reply.body);
+        assert!(!msg.is_empty());
+    }
+    // Still alive: a ping on the same connection answers OK.
+    write_frame(&mut s, &Frame::new(KIND_PING, 5, Vec::new())).unwrap();
+    assert_eq!(read_frame(&mut s).unwrap().unwrap().kind, KIND_OK);
+    drop(s);
+
+    // Connection 3: a legitimate load + scatter works after all the abuse,
+    // and state survived across connections.
+    let rel = sample_relation();
+    let schema = rel.schema();
+    let region = schema.attr("region").unwrap();
+    let kwh = schema.attr("kwh").unwrap();
+    let mut s = TcpStream::connect(addr).unwrap();
+    write_frame(
+        &mut s,
+        &Frame::new(
+            KIND_LOAD_PARTITION,
+            6,
+            ship::encode_partition(&rel, 0, rel.len()),
+        ),
+    )
+    .unwrap();
+    assert_eq!(read_frame(&mut s).unwrap().unwrap().kind, KIND_OK);
+    let plan = ship::encode_view_plan(
+        rel.ident(),
+        rel.version(),
+        &Predicate::all(),
+        &[region],
+        kwh,
+    );
+    let mut body = vec![reptile_relational::exec::OP_VIEW_SCAN];
+    body.extend_from_slice(&plan);
+    write_frame(&mut s, &Frame::new(KIND_SCATTER, 7, body)).unwrap();
+    let reply = read_frame(&mut s).unwrap().unwrap();
+    assert_eq!(reply.kind, KIND_RESULT);
+    assert_eq!(ship::decode_view_partial(&reply.body, 1).unwrap().len(), 2);
+    drop(s);
+
+    let state = server.join().unwrap();
+    assert_eq!(state.partition_count(), 1);
+}

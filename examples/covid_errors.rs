@@ -14,7 +14,7 @@
 //! run with the captured per-stage timing table and pool counters.
 
 use reptile::baselines;
-use reptile::{Complaint, Direction, MetricsSnapshot, Parallelism, Reptile, ReptileConfig};
+use reptile::{Complaint, Direction, Exec, MetricsSnapshot, Parallelism, Reptile, ReptileConfig};
 use reptile_datasets::covid::{CovidCaseStudy, CovidConfig};
 use reptile_model::{ExtraFeature, FeaturePlan};
 use reptile_relational::{AggregateKind, GroupKey, Predicate, Value, View};
@@ -79,6 +79,7 @@ fn main() {
             Predicate::all(),
             vec![schema.attr("day").unwrap()],
             schema.attr("confirmed").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .expect("day view");
         let key = GroupKey(vec![Value::int(issue.day)]);
@@ -100,7 +101,7 @@ fn main() {
         let engine = Reptile::new(relation.clone(), schema.clone())
             .with_plan(plan)
             .with_config(ReptileConfig {
-                parallelism,
+                exec: Exec::Pool(parallelism),
                 ..Default::default()
             });
         let recommendation = engine
@@ -112,7 +113,9 @@ fn main() {
 
         // Baselines operate on the drilled-down (location) view directly.
         let geo = schema.hierarchy("geo").unwrap();
-        let dd = day_view.drill_down(&key, geo).expect("drill down");
+        let dd = day_view
+            .drill_down(&key, geo, &reptile_relational::Exec::Serial)
+            .expect("drill down");
         let sens = baselines::sensitivity(&dd.view, &complaint);
         let supp = baselines::support(&dd.view);
         sensitivity_hits += sens

@@ -34,6 +34,7 @@ fn main() {
             schema.attr("county").unwrap(),
         ],
         schema.attr("share_2020").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .expect("view");
     let plain = DesignBuilder::new(&view, &schema, AggregateKind::Mean)
@@ -84,6 +85,7 @@ fn main() {
         Predicate::all(),
         vec![schema.attr("state").unwrap()],
         schema.attr("total_votes").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .expect("state view");
     let complaint = Complaint::new(

@@ -48,6 +48,7 @@ fn main() {
                 schema.attr("year").unwrap(),
             ],
             schema.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .expect("view");
 

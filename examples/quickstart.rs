@@ -20,7 +20,7 @@
 //! pool counters. The recommendation itself is bit-identical either way.
 
 use reptile::{
-    Complaint, Direction, MetricsSnapshot, ObsConfig, Parallelism, Reptile, ReptileConfig,
+    Complaint, Direction, Exec, MetricsSnapshot, ObsConfig, Parallelism, Reptile, ReptileConfig,
 };
 use reptile_relational::{AggregateKind, GroupKey, Predicate, Relation, Schema, Value, View};
 use std::sync::Arc;
@@ -70,7 +70,7 @@ fn run_scaling(parallelism: Parallelism, profile: bool) {
     );
     let engine = Reptile::new(workload.relation.clone(), workload.schema.clone()).with_config(
         ReptileConfig {
-            parallelism,
+            exec: Exec::Pool(parallelism),
             obs: if profile {
                 ObsConfig::profiled()
             } else {
@@ -186,6 +186,7 @@ fn main() {
             schema.attr("year").unwrap(),
         ],
         schema.attr("severity").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .expect("view");
     let ofla_1986 = GroupKey(vec![Value::str("Ofla"), Value::int(1986)]);
@@ -203,7 +204,7 @@ fn main() {
     // ------------------------------------------------------------------
     let complaint = Complaint::new(ofla_1986, AggregateKind::Std, Direction::TooHigh);
     let engine = Reptile::new(relation, schema).with_config(ReptileConfig {
-        parallelism,
+        exec: Exec::Pool(parallelism),
         obs: if profile {
             ObsConfig::profiled()
         } else {

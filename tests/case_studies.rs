@@ -39,6 +39,7 @@ fn covid_scores(case_study: &CovidCaseStudy, include_prevalent: bool) -> CovidSc
             Predicate::all(),
             vec![schema.attr("day").unwrap()],
             schema.attr("confirmed").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let key = GroupKey(vec![Value::int(issue.day)]);
@@ -61,7 +62,9 @@ fn covid_scores(case_study: &CovidCaseStudy, include_prevalent: bool) -> CovidSc
             }
         }
         let geo = schema.hierarchy("geo").unwrap();
-        let dd = day_view.drill_down(&key, geo).unwrap();
+        let dd = day_view
+            .drill_down(&key, geo, &reptile_relational::Exec::Serial)
+            .unwrap();
         scores.sensitivity += baselines::sensitivity(&dd.view, &complaint)
             .best()
             .map(|k| k.values().contains(&issue.location))
@@ -115,6 +118,7 @@ fn covid_prevalent_issues_are_the_documented_failure_mode() {
             Predicate::all(),
             vec![schema.attr("day").unwrap()],
             schema.attr("confirmed").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let complaint = Complaint::new(
@@ -159,6 +163,7 @@ fn fist_complaints_are_mostly_resolved_with_auxiliary_rainfall() {
                 schema.attr("year").unwrap(),
             ],
             schema.attr("severity").unwrap(),
+            &reptile_relational::Exec::Serial,
         )
         .unwrap();
         let key = GroupKey(vec![spec.scope_district.clone(), Value::int(spec.year)]);
@@ -205,6 +210,7 @@ fn fist_two_district_std_failure_mode_returns_only_one_district() {
         Predicate::all(),
         vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
         schema.attr("severity").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let complaint = Complaint::new(
@@ -218,6 +224,7 @@ fn fist_two_district_std_failure_mode_returns_only_one_district() {
         Predicate::all(),
         vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
         schema.attr("severity").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let clean_std = clean_view

@@ -45,6 +45,7 @@ fn run_trial(
         Predicate::all(),
         vec![data.group_attr],
         data.measure,
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let complaint = Complaint::new(GroupKey(vec![Value::str("ALL")]), statistic, direction);
@@ -201,6 +202,7 @@ fn hierarchical_engine_supports_iterative_drill_down() {
         Predicate::all(),
         vec![schema.attr("region").unwrap(), schema.attr("year").unwrap()],
         schema.attr("m").unwrap(),
+        &reptile_relational::Exec::Serial,
     )
     .unwrap();
     let complaint = Complaint::new(

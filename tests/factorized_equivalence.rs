@@ -5,7 +5,7 @@
 //! performance claims (Figures 7, 10, 15).
 
 use reptile_datasets::hiergen::synthetic_factorization_with_fanout;
-use reptile_factor::{ops, ClusterPartition, DecomposedAggregates};
+use reptile_factor::{ops, ClusterPartition, DecomposedAggregates, Parallelism};
 use reptile_linalg::{naive, Matrix};
 
 fn pseudo_random(rows: usize, cols: usize, seed: u64) -> Matrix {
@@ -50,7 +50,7 @@ fn cluster_operators_match_naive_across_shapes() {
         let x = fact.materialize(&features);
         let ranges = part.row_ranges();
 
-        let grams = part.grams();
+        let grams = part.grams(&Parallelism::serial());
         let expected = naive::cluster_grams(&x, &ranges).unwrap();
         for (g, e) in grams.iter().zip(&expected) {
             assert!(g.max_abs_diff(e) < 1e-7);
@@ -63,7 +63,7 @@ fn cluster_operators_match_naive_across_shapes() {
                     .collect()
             })
             .collect();
-        let concat = part.right_mult_per_cluster_vec(&betas);
+        let concat = part.right_mult_per_cluster_vec(&betas, &Parallelism::serial());
         let mut idx = 0usize;
         for (c, beta) in ranges.iter().zip(&betas) {
             let block = x.row_block(c.0, c.1);
@@ -75,7 +75,7 @@ fn cluster_operators_match_naive_across_shapes() {
         }
 
         let v: Vec<f64> = (0..fact.n_rows()).map(|i| (i % 7) as f64 - 3.0).collect();
-        let per_cluster = part.left_mult_global_vec(&v);
+        let per_cluster = part.left_mult_global_vec(&v, &Parallelism::serial());
         for ((start, len), res) in ranges.iter().zip(&per_cluster) {
             let block = x.row_block(*start, *len);
             let exp = Matrix::row_vector(&v[*start..*start + *len])
