@@ -9,9 +9,17 @@
 //!
 //! Writes `BENCH_distributed.json` at the repository root. The `distributed`
 //! extras section records the coordinator-observed wire accounting (RPCs,
-//! bytes shipped) and the remote-over-serial median overhead per layer —
-//! on localhost the wire adds serialization + loopback latency, so the
-//! overhead ratio is the honest headline, not a speedup.
+//! bytes shipped, overlapped merges, worker-side gram/E-step partials)
+//! and the remote-over-serial median overhead per layer — on localhost the
+//! wire adds serialization + loopback latency, so the overhead ratio is
+//! the honest headline, not a speedup.
+//!
+//! Two pipeline properties are asserted before timing and exported as
+//! counters: the scatter/merge path folds partials while later replies
+//! are still in flight (non-zero `remote_overlapped_merges`, made
+//! deterministic with a delayed loopback fleet), and the EM fit computes
+//! its gram and E-step partials worker-side (non-zero
+//! `remote_gram_partials` / `remote_e_step_partials`).
 
 use reptile::{Complaint, Direction, Reptile, ReptileConfig};
 use reptile_bench::{
@@ -19,12 +27,16 @@ use reptile_bench::{
 };
 use reptile_factor::encoded::EncodedHierarchyAggregates;
 use reptile_factor::{EncodedFactor, HierarchyFactor};
+use reptile_model::multilevel::{MultilevelConfig, MultilevelModel, TrainingBackend};
+use reptile_model::DesignBuilder;
 use reptile_relational::{
     AggregateKind, Exec, GroupKey, Predicate, Relation, Remote, Schema, Value, View,
 };
+use reptile_wire::testing::LoopbackWorkers;
 use reptile_wire::WorkerSet;
 use std::net::TcpListener;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Districts x villages x days with one faulty village, sized by `days`.
 fn dataset(days: i64) -> (Arc<Relation>, Arc<Schema>) {
@@ -141,19 +153,102 @@ fn main() {
         assert_eq!(a.improvement.to_bits(), b.improvement.to_bits());
         assert_eq!(a.penalty.to_bits(), b.penalty.to_bits());
     }
+    // Remote EM fit: the per-iteration gram / ZᵀZ / E-step operators fan
+    // out worker-side; the fitted model must still be bit-identical.
+    let village = schema.attr("village").unwrap();
+    let fit_view = View::compute(
+        rel.clone(),
+        Predicate::all(),
+        vec![day, district, village],
+        reports,
+        &Exec::Serial,
+    )
+    .unwrap();
+    let fit_config = MultilevelConfig {
+        iterations: 8,
+        ..Default::default()
+    };
+    let serial_design = DesignBuilder::new(&fit_view, &schema, AggregateKind::Mean)
+        .build()
+        .unwrap();
+    let remote_design = DesignBuilder::new(&fit_view, &schema, AggregateKind::Mean)
+        .with_exec(remote.clone())
+        .build()
+        .unwrap();
+    let fit_serial = || {
+        MultilevelModel::fit_with_backend(&serial_design, fit_config, TrainingBackend::Factorized)
+            .unwrap()
+    };
+    let fit_remote = || {
+        MultilevelModel::fit_exec(
+            &remote_design,
+            fit_config,
+            TrainingBackend::Factorized,
+            &remote,
+        )
+        .unwrap()
+    };
+    let gram_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteGramPartials);
+    let e_step_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteEStepPartials);
+    let (serial_fit, remote_fit) = (fit_serial(), fit_remote());
+    assert_eq!(serial_fit.beta, remote_fit.beta, "remote fit: beta");
+    assert_eq!(serial_fit.sigma2, remote_fit.sigma2, "remote fit: sigma2");
+    assert_eq!(
+        serial_fit.sigma_b, remote_fit.sigma_b,
+        "remote fit: sigma_b"
+    );
+    assert_eq!(serial_fit.b, remote_fit.b, "remote fit: b");
+    assert_eq!(serial_fit.rss, remote_fit.rss, "remote fit: rss");
+    assert_eq!(
+        serial_fit.predict_all(&serial_design),
+        remote_fit.predict_all(&remote_design),
+        "remote fit: predictions"
+    );
+    assert!(
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteGramPartials) > gram_before,
+        "the remote fit must have merged worker-side gram partials"
+    );
+    assert!(
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteEStepPartials) > e_step_before,
+        "the remote fit must have merged worker-side E-step partials"
+    );
+
+    // Overlapped pipeline, made deterministic: a loopback fleet whose
+    // replies arrive in ascending stagger forces the in-order merge to
+    // fold early partials while later ones are still outstanding.
+    let overlaps_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteOverlappedMerges);
+    let staggered = Remote::new(Arc::new(LoopbackWorkers::new(vec![
+        Duration::ZERO,
+        Duration::from_millis(5),
+        Duration::from_millis(10),
+    ])));
+    assert_eq!(
+        EncodedHierarchyAggregates::compute(&enc, &Exec::Serial),
+        EncodedHierarchyAggregates::compute_remote(&enc, &staggered).unwrap(),
+        "overlapped merge must equal serial"
+    );
+    let overlapped_merges =
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteOverlappedMerges) - overlaps_before;
+    assert!(
+        overlapped_merges >= 2,
+        "staggered replies must produce overlapped merges, got {overlapped_merges}"
+    );
+
     let fallbacks = reptile_obs::counter_value(reptile_obs::Counter::RemoteFallbacks);
     assert_eq!(
         fallbacks, 0,
         "exactness ran through the wire, not a local fallback"
     );
     println!(
-        "exactness: remote == sharded == serial for views, aggregates, recommendation ({} rows)",
+        "exactness: remote == sharded == serial for views, aggregates, fit, recommendation ({} rows, {overlapped_merges} overlapped merges)",
         rel.len()
     );
 
     args.apply_profile();
     let rpcs_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteRpcs);
     let bytes_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteBytesShipped);
+    let gram_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteGramPartials);
+    let e_step_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteEStepPartials);
 
     // ---- Measured section --------------------------------------------
     // Partitions and factor state are already shipped (ship-once), so the
@@ -177,6 +272,8 @@ fn main() {
         run_bench(&format!("recommend/remote/{workers}"), || {
             remote_engine.recommend(&serial_view, &complaint).unwrap()
         }),
+        run_bench("fit/serial", fit_serial),
+        run_bench(&format!("fit/remote/{workers}"), fit_remote),
     ];
     print_bench_table("distributed", &all_stats);
 
@@ -189,9 +286,17 @@ fn main() {
     };
     let rpcs = reptile_obs::counter_value(reptile_obs::Counter::RemoteRpcs) - rpcs_before;
     let bytes = reptile_obs::counter_value(reptile_obs::Counter::RemoteBytesShipped) - bytes_before;
+    let gram_partials =
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteGramPartials) - gram_before;
+    let e_step_partials =
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteEStepPartials) - e_step_before;
     assert!(
         rpcs > 0,
         "the measured section must have scattered remotely"
+    );
+    assert!(
+        gram_partials > 0 && e_step_partials > 0,
+        "the measured fits must have merged worker-side partials"
     );
     assert_eq!(
         reptile_obs::counter_value(reptile_obs::Counter::RemoteFallbacks),
@@ -216,8 +321,18 @@ fn main() {
                 "recommend_remote_overhead_x".to_string(),
                 median("recommend/remote") / median("recommend/serial"),
             ),
+            (
+                "fit_remote_overhead_x".to_string(),
+                median("fit/remote") / median("fit/serial"),
+            ),
             ("remote_rpcs".to_string(), rpcs as f64),
             ("remote_bytes_shipped".to_string(), bytes as f64),
+            (
+                "remote_overlapped_merges".to_string(),
+                overlapped_merges as f64,
+            ),
+            ("remote_gram_partials".to_string(), gram_partials as f64),
+            ("remote_e_step_partials".to_string(), e_step_partials as f64),
         ]),
     )];
 

@@ -773,11 +773,11 @@ impl Reptile {
             drop(design_span);
             let (model, predictions_by_row) = match self.config.model {
                 RepairModelKind::MultiLevel => {
-                    let model = MultilevelModel::fit_sharded(
+                    let model = MultilevelModel::fit_exec(
                         &design,
                         self.config.em,
                         self.config.backend,
-                        &self.config.exec.parallelism(),
+                        &self.config.exec,
                     )?;
                     let predictions =
                         model.predict_all_with(&design, &self.config.exec.parallelism());

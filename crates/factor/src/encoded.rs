@@ -31,7 +31,7 @@ use crate::parallel::Parallelism;
 use crate::payload;
 use reptile_linalg::{Matrix, PrefixSum};
 use reptile_obs::{add_counter, Counter, Stage, StageTimer};
-use reptile_relational::exec::{DOMAIN_FACTOR, OP_AGG_RANGE};
+use reptile_relational::exec::{scatter_fold_in_order, DOMAIN_FACTOR, OP_AGG_RANGE};
 use reptile_relational::{AttrId, Exec, Remote, RemoteError, Value, ValueDict};
 use std::cmp::Ordering;
 use std::sync::{Arc, OnceLock};
@@ -666,23 +666,38 @@ impl EncodedHierarchyAggregates {
                 (len > 0).then(|| payload::encode_agg_request(fingerprint, start, len))
             })
             .collect();
-        let replies = transport.scatter(OP_AGG_RANGE, requests)?;
+        // Streamed scatter: each partial decodes, shape-checks and folds the
+        // moment it lands (in worker order — out-of-order arrivals buffer in
+        // `scatter_fold_in_order`), so merge work overlaps the network wait.
+        // The incremental pairwise merge is the same left fold `merge` runs
+        // over a full slice — integer-`f64` sums and boundary run joins are
+        // associative — so the result is bit-identical to the gathered path.
+        // The overlap span covers the whole scatter+fold window.
         let _span = StageTimer::start(Stage::RemoteMerge);
-        let mut parts = Vec::new();
-        for reply in replies.iter().flatten() {
-            let part = payload::decode_aggregates(reply)
-                .map_err(|e| RemoteError::Protocol(e.to_string()))?;
-            // Shape-check before merging so a corrupt or mismatched reply
-            // becomes a typed error instead of a panic inside `merge`.
-            payload::check_partial_shape(factor, &part)
-                .map_err(|e| RemoteError::Protocol(e.to_string()))?;
-            parts.push(part);
-        }
-        if parts.is_empty() {
+        let mut acc: Option<Self> = None;
+        scatter_fold_in_order(
+            transport.as_ref(),
+            OP_AGG_RANGE,
+            requests,
+            &mut |_, reply| {
+                let part = payload::decode_aggregates(&reply)
+                    .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+                // Shape-check before merging so a corrupt or mismatched reply
+                // becomes a typed error instead of a panic inside `merge`.
+                payload::check_partial_shape(factor, &part)
+                    .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+                acc = Some(match acc.take() {
+                    Some(prev) => Self::merge(&[prev, part]),
+                    None => part,
+                });
+                Ok(())
+            },
+        )?;
+        match acc {
+            Some(merged) => Ok(merged),
             // Every worker was range-pruned (empty factor).
-            return Ok(Self::compute_range(factor, 0, 0));
+            None => Ok(Self::compute_range(factor, 0, 0)),
         }
-        Ok(Self::merge(&parts))
     }
 
     /// The partial aggregates of the contiguous path shard
@@ -1021,6 +1036,42 @@ impl EncodedAggregates {
         &self.per_hierarchy
     }
 
+    /// Column positions, in column order (exposed for the wire codecs).
+    pub fn positions(&self) -> &[AttrPosition] {
+        &self.positions
+    }
+
+    /// Reassemble from shipped parts — the worker-side mirror of
+    /// [`EncodedAggregates::from_parts`] for hosts that hold the *decoded
+    /// aggregate tables* but not the factorisation they came from. The
+    /// tables must be the coordinator's actual state (shipped, not
+    /// recomputed): a delta-patched table can order its entries differently
+    /// from a cold rebuild, and the gram's per-cell FP sequence follows
+    /// entry order.
+    ///
+    /// # Panics
+    /// Panics if a position names a hierarchy outside `per_hierarchy`
+    /// (decoders validate positions before calling this).
+    pub fn from_raw_parts(
+        positions: Vec<AttrPosition>,
+        per_hierarchy: Vec<Arc<EncodedHierarchyAggregates>>,
+    ) -> Self {
+        for p in &positions {
+            assert!(
+                p.hierarchy < per_hierarchy.len(),
+                "position names hierarchy {} of {}",
+                p.hierarchy,
+                per_hierarchy.len()
+            );
+        }
+        let leaf_counts = per_hierarchy.iter().map(|h| h.leaf_count).collect();
+        EncodedAggregates {
+            positions,
+            per_hierarchy,
+            leaf_counts,
+        }
+    }
+
     /// Maintain the factorisation and its aggregates across an ingest's path
     /// deltas instead of recomputing: `fact` must be the factorisation these
     /// aggregates were computed over, with one optional [`PathDelta`] per
@@ -1344,6 +1395,18 @@ impl EncodedFeatureMap {
     pub fn column(&self, column: usize) -> &[f64] {
         &self.columns[column]
     }
+
+    /// All code-indexed columns (exposed for the wire codecs).
+    pub fn columns(&self) -> &[Vec<f64>] {
+        &self.columns
+    }
+
+    /// Reassemble from shipped code-indexed columns — the worker-side
+    /// mirror of [`EncodedFeatureMap::encode`] for hosts without the
+    /// `Value`-keyed feature map.
+    pub fn from_columns(columns: Vec<Vec<f64>>) -> Self {
+        EncodedFeatureMap { columns }
+    }
 }
 
 /// Everything the encoded execution path needs about one training design:
@@ -1431,12 +1494,7 @@ pub fn gram(aggs: &EncodedAggregates, features: &EncodedFeatureMap, par: &Parall
         }
         return out;
     }
-    let mut pairs = Vec::with_capacity(m * (m + 1) / 2);
-    for p in 0..m {
-        for q in p..m {
-            pairs.push((p, q));
-        }
-    }
+    let pairs = gram_pairs(m);
     let values = par.map_items(pairs.len(), |i| {
         let (p, q) = pairs[i];
         gram_entry(aggs, features, p, q)
@@ -1446,6 +1504,51 @@ pub fn gram(aggs: &EncodedAggregates, features: &EncodedFeatureMap, par: &Parall
         out.set(q, p, val);
     }
     out
+}
+
+/// The canonical upper-triangle cell enumeration of an `m × m` gram matrix:
+/// `(p, q)` with `p <= q` in row-major order. This is the index space every
+/// gram partial speaks — the sharded gram fans these cells over threads and
+/// the remote gram ships contiguous ranges of them to workers, so the cell
+/// at index `k` means the same `(p, q)` on every host.
+pub fn gram_pairs(m: usize) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(m * (m + 1) / 2);
+    for p in 0..m {
+        for q in p..m {
+            pairs.push((p, q));
+        }
+    }
+    pairs
+}
+
+/// Gram cells `[start, start + len)` of the [`gram_pairs`] enumeration —
+/// the worker-side gram partial. Each cell runs the identical serial
+/// accumulation ([`gram_entry`]), so partials computed on any host drop
+/// bit-exactly into the coordinator's matrix.
+///
+/// Returns `None` when the range falls outside the enumeration (hostile or
+/// mismatched request — callers answer typed, never panic).
+pub fn gram_cells(
+    aggs: &EncodedAggregates,
+    features: &EncodedFeatureMap,
+    start: usize,
+    len: usize,
+) -> Option<Vec<f64>> {
+    let m = aggs.n_cols();
+    if features.n_cols() != m {
+        return None;
+    }
+    let n_cells = m * (m + 1) / 2;
+    if start.checked_add(len)? > n_cells {
+        return None;
+    }
+    let pairs = gram_pairs(m);
+    Some(
+        pairs[start..start + len]
+            .iter()
+            .map(|&(p, q)| gram_entry(aggs, features, p, q))
+            .collect(),
+    )
 }
 
 /// One output cell of the factorised left multiplication: `row i of A` (as a

@@ -26,6 +26,7 @@ pub mod design;
 pub mod features;
 pub mod linear;
 pub mod multilevel;
+pub mod remote;
 
 pub use design::{DesignBuilder, EmptyGroupPolicy, TrainingDesign};
 pub use features::{ExtraFeature, FeaturePlan};

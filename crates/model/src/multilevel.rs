@@ -24,11 +24,12 @@
 //! LU on non-SPD input.
 
 use crate::design::TrainingDesign;
-use crate::{ModelError, Result};
-use reptile_factor::{encoded, ops, Parallelism};
+use crate::{remote, ModelError, Result};
+use reptile_factor::{encoded, ops, Exec, Parallelism, Remote};
 use reptile_linalg::cholesky::invert_spd_with_ridge;
 use reptile_linalg::Matrix;
-use reptile_obs::{Stage, StageTimer};
+use reptile_obs::{add_counter, Counter, Stage, StageTimer};
+use reptile_relational::exec::DOMAIN_EM;
 
 /// EM training configuration.
 #[derive(Debug, Clone, Copy)]
@@ -126,6 +127,28 @@ impl MultilevelModel {
         }
     }
 
+    /// Fit under an execution context. [`Exec::Remote`] on the
+    /// [`TrainingBackend::Factorized`] path ships the EM state to the
+    /// worker fleet once and fans the per-iteration operators (gram cells,
+    /// per-cluster `ZᵀZ`, the E-step posterior solves) across it, with
+    /// partials replay-merged in worker order — **bit-identical** to the
+    /// serial fit. Any remote failure falls back to the local fit (counted
+    /// by `remote_fallbacks`, never silent). Every other context delegates
+    /// to [`MultilevelModel::fit_sharded`] at the context's local thread
+    /// budget.
+    pub fn fit_exec(
+        design: &TrainingDesign,
+        config: MultilevelConfig,
+        backend: TrainingBackend,
+        exec: &Exec,
+    ) -> Result<Self> {
+        if let (TrainingBackend::Factorized, Exec::Remote(remote)) = (backend, exec) {
+            let _span = StageTimer::start(Stage::Solve);
+            return Self::fit_encoded_remote(design, config, remote);
+        }
+        Self::fit_sharded(design, config, backend, &exec.parallelism())
+    }
+
     /// Fitted values (fixed + random effects) for every design row.
     pub fn predict_all(&self, design: &TrainingDesign) -> Vec<f64> {
         self.predict_all_with(design, &Parallelism::serial())
@@ -204,8 +227,94 @@ impl MultilevelModel {
             zb_concat: &|padded| clusters.right_mult_per_cluster_vec(padded, par),
             zt_global: &|v| clusters.left_mult_global_vec(v, par),
             xt_vec: &xt_residual,
+            e_step_remote: None,
             config,
             par,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Factorised EM with the per-iteration operators on the worker fleet
+    // ------------------------------------------------------------------
+    fn fit_encoded_remote(
+        design: &TrainingDesign,
+        config: MultilevelConfig,
+        rem: &Remote,
+    ) -> Result<Self> {
+        if design.n_rows() == 0 {
+            return Err(ModelError::EmptyTrainingData);
+        }
+        let par = rem.local();
+        let clusters = design.clusters();
+        let z_cols = design.z_columns().to_vec();
+        let m = design.n_cols();
+        let y = design.y();
+        let enc = design.encoded();
+        let q = z_cols.len();
+        let g = clusters.len();
+
+        // Ship the EM state once (content-addressed, idempotent) and build
+        // the iteration-invariant systems worker-side: the gram's
+        // upper-triangle cells and the per-cluster `ZᵀZ` blocks each fan
+        // out as one contiguous range per worker. Any failure here —
+        // oversized state, transport error, malformed partial — falls back
+        // to the full local fit, counted, never silent.
+        let shipped = (|| -> std::result::Result<(u64, Matrix, Vec<Matrix>), String> {
+            let bytes = remote::encode_em_state(&enc.aggregates, &enc.features, clusters, &z_cols)
+                .map_err(|e| e.to_string())?;
+            let key = remote::em_state_fingerprint(&bytes);
+            rem.transport()
+                .ensure_state(DOMAIN_EM, key, &|| bytes.clone())
+                .map_err(|e| e.to_string())?;
+            let gram = remote::remote_gram(rem, key, m).map_err(|e| e.to_string())?;
+            let ztz = remote::remote_cluster_ztz(rem, key, g, q).map_err(|e| e.to_string())?;
+            Ok((key, gram, ztz))
+        })();
+        let (key, gram, ztz) = match shipped {
+            Ok(parts) => parts,
+            Err(_) => {
+                add_counter(Counter::RemoteFallbacks, 1);
+                return Self::fit_encoded(design, config, &par);
+            }
+        };
+
+        let gram_inv = invert_spd_with_ridge(&gram, config.ridge)?;
+        let xty = encoded::transpose_vec_mult(y, &enc.aggregates, &enc.features, &par);
+        let xt_residual = |v: &[f64]| -> Vec<f64> {
+            encoded::transpose_vec_mult(v, &enc.aggregates, &enc.features, &par)
+        };
+        // Per-iteration E-step on the fleet: Σ⁻¹ is inverted once on the
+        // coordinator and shipped raw-bits with σ² and the residual, so
+        // workers run the identical per-cluster solve sequence. A failed
+        // iteration falls back to the local E-step (counted) and later
+        // iterations try the fleet again.
+        let e_step_remote = |sigma2: f64,
+                             sigma_b_inv: &Matrix,
+                             residual: &[f64]|
+         -> Option<Vec<(Matrix, Vec<f64>)>> {
+            match remote::remote_e_step(rem, key, g, q, sigma2, config.ridge, sigma_b_inv, residual)
+            {
+                Ok(solved) => Some(solved),
+                Err(_) => {
+                    add_counter(Counter::RemoteFallbacks, 1);
+                    None
+                }
+            }
+        };
+        Self::run_em(EmInputs {
+            y,
+            m,
+            z_cols,
+            gram_inv: &gram_inv,
+            ztz: &ztz,
+            xty: &xty,
+            fitted_fixed: &|beta| clusters.right_mult_shared_vec(beta, &par),
+            zb_concat: &|padded| clusters.right_mult_per_cluster_vec(padded, &par),
+            zt_global: &|v| clusters.left_mult_global_vec(v, &par),
+            xt_vec: &xt_residual,
+            e_step_remote: Some(&e_step_remote),
+            config,
+            par: &par,
         })
     }
 
@@ -248,6 +357,7 @@ impl MultilevelModel {
             },
             zt_global: &|v| clusters.left_mult_global_vec(v, &Parallelism::serial()),
             xt_vec: &xt_residual,
+            e_step_remote: None,
             config,
             par: &Parallelism::serial(),
         })
@@ -319,6 +429,7 @@ impl MultilevelModel {
             zb_concat: &zb_concat,
             zt_global: &zt_global,
             xt_vec: &xt_vec,
+            e_step_remote: None,
             config,
             par: &Parallelism::serial(),
         })
@@ -337,6 +448,7 @@ impl MultilevelModel {
             zb_concat,
             zt_global,
             xt_vec,
+            e_step_remote,
             config,
             par,
         } = inputs;
@@ -360,35 +472,50 @@ impl MultilevelModel {
             let e_step_span = StageTimer::start(Stage::EStep);
             let sigma_b_inv = invert_spd_with_ridge(&sigma_b, config.ridge)?;
             let residual: Vec<f64> = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
-            let zt_r = zt_global(&residual);
-            // Per-cluster posterior solves are independent; shard them over
-            // the thread budget and gather in cluster order (each cluster's
-            // solve is the identical serial sequence — bit-exact).
-            let e_step = |i: usize| -> Result<(Matrix, Vec<f64>)> {
-                // V_i = (Z_iᵀZ_i / σ² + Σ⁻¹)⁻¹
-                let vi_inner = ztz[i].scale(1.0 / sigma2).add(&sigma_b_inv)?;
-                let vi = invert_spd_with_ridge(&vi_inner, config.ridge)?;
-                // μ_i = V_i Z_iᵀ (y_i − X_i β) / σ²
-                let zt_ri: Vec<f64> = z_cols.iter().map(|&c| zt_r[i][c]).collect();
-                let mu = vi
-                    .matmul(&Matrix::column_vector(&zt_ri))?
-                    .scale(1.0 / sigma2);
-                let mu_vec = mu.col_iter(0).collect();
-                let mu_outer = mu.matmul(&mu.transpose())?;
-                Ok((vi.add(&mu_outer)?, mu_vec))
-            };
             let mut e_bbt: Vec<Matrix> = Vec::with_capacity(g);
-            if par.is_serial() {
-                for (i, bi) in b.iter_mut().enumerate().take(g) {
-                    let (e, mu_vec) = e_step(i)?;
+            // Worker-side E-step when a fleet is attached: workers solve
+            // from bit-identical shipped operands and partials gather in
+            // cluster order, so this branch is `==` the local one. `None`
+            // (remote failure, counted by the closure) runs the iteration
+            // locally.
+            let remote_solved = e_step_remote.and_then(|f| f(sigma2, &sigma_b_inv, &residual));
+            if let Some(solved) = remote_solved {
+                debug_assert_eq!(solved.len(), g);
+                for ((e, mu_vec), bi) in solved.into_iter().zip(b.iter_mut()) {
                     e_bbt.push(e);
                     *bi = mu_vec;
                 }
             } else {
-                for (solved, bi) in par.map_items(g, e_step).into_iter().zip(b.iter_mut()) {
-                    let (e, mu_vec) = solved?;
-                    e_bbt.push(e);
-                    *bi = mu_vec;
+                let zt_r = zt_global(&residual);
+                // Per-cluster posterior solves are independent; shard them
+                // over the thread budget and gather in cluster order (each
+                // cluster's solve is the identical serial sequence —
+                // bit-exact).
+                let e_step = |i: usize| -> Result<(Matrix, Vec<f64>)> {
+                    // V_i = (Z_iᵀZ_i / σ² + Σ⁻¹)⁻¹
+                    let vi_inner = ztz[i].scale(1.0 / sigma2).add(&sigma_b_inv)?;
+                    let vi = invert_spd_with_ridge(&vi_inner, config.ridge)?;
+                    // μ_i = V_i Z_iᵀ (y_i − X_i β) / σ²
+                    let zt_ri: Vec<f64> = z_cols.iter().map(|&c| zt_r[i][c]).collect();
+                    let mu = vi
+                        .matmul(&Matrix::column_vector(&zt_ri))?
+                        .scale(1.0 / sigma2);
+                    let mu_vec = mu.col_iter(0).collect();
+                    let mu_outer = mu.matmul(&mu.transpose())?;
+                    Ok((vi.add(&mu_outer)?, mu_vec))
+                };
+                if par.is_serial() {
+                    for (i, bi) in b.iter_mut().enumerate().take(g) {
+                        let (e, mu_vec) = e_step(i)?;
+                        e_bbt.push(e);
+                        *bi = mu_vec;
+                    }
+                } else {
+                    for (solved, bi) in par.map_items(g, e_step).into_iter().zip(b.iter_mut()) {
+                        let (e, mu_vec) = solved?;
+                        e_bbt.push(e);
+                        *bi = mu_vec;
+                    }
                 }
             }
 
@@ -461,6 +588,10 @@ impl MultilevelModel {
     }
 }
 
+/// A remote E-step: `(σ², Σ⁻¹, residual)` → per-cluster posterior solves
+/// `(E[bbᵀ], μ)` in cluster order, or `None` to run the iteration locally.
+type EStepRemote<'a> = &'a dyn Fn(f64, &Matrix, &[f64]) -> Option<Vec<(Matrix, Vec<f64>)>>;
+
 /// Bundled inputs for the shared EM loop.
 struct EmInputs<'a> {
     y: &'a [f64],
@@ -473,6 +604,10 @@ struct EmInputs<'a> {
     zb_concat: &'a dyn Fn(&[Vec<f64>]) -> Vec<f64>,
     zt_global: &'a dyn Fn(&[f64]) -> Vec<Vec<f64>>,
     xt_vec: &'a dyn Fn(&[f64]) -> Vec<f64>,
+    /// Remote E-step, or `None` to always solve locally (the caller counts
+    /// any per-iteration fallback). `Some` means exactly one solve per
+    /// cluster, bit-identical to the local sequence.
+    e_step_remote: Option<EStepRemote<'a>>,
     config: MultilevelConfig,
     /// Thread budget for the per-cluster E-step solves.
     par: &'a Parallelism,
@@ -487,8 +622,10 @@ fn pad(b: &[f64], z_cols: &[usize], m: usize) -> Vec<f64> {
     out
 }
 
-/// Select the square sub-matrix of `m` given row/column indices.
-fn select_square(m: &Matrix, idx: &[usize]) -> Matrix {
+/// Select the square sub-matrix of `m` given row/column indices (shared
+/// with the worker-side E-step in [`crate::remote`], which must run the
+/// identical selection).
+pub(crate) fn select_square(m: &Matrix, idx: &[usize]) -> Matrix {
     Matrix::from_fn(idx.len(), idx.len(), |r, c| m.get(idx[r], idx[c]))
 }
 

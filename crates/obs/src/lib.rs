@@ -201,10 +201,20 @@ pub enum Counter {
     /// Remote scatters that fell back to local execution after a transport
     /// error (distributed correctness tests gate this at zero).
     RemoteFallbacks,
+    /// Remote partials folded into the coordinator merge while at least one
+    /// later worker reply was still in flight — the overlap the streamed
+    /// scatter pipeline exists to create (merge work hides network wait).
+    RemoteOverlappedMerges,
+    /// Gram partials (gram-cell ranges and per-cluster gram blocks) computed
+    /// worker-side instead of on the coordinator.
+    RemoteGramPartials,
+    /// E-step partials (per-cluster posterior moments) computed worker-side
+    /// instead of on the coordinator.
+    RemoteEStepPartials,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 21;
+pub const COUNTER_COUNT: usize = 24;
 
 impl Counter {
     /// All counters, in registry order.
@@ -230,6 +240,9 @@ impl Counter {
         Counter::RemoteBytesShipped,
         Counter::RemoteRpcs,
         Counter::RemoteFallbacks,
+        Counter::RemoteOverlappedMerges,
+        Counter::RemoteGramPartials,
+        Counter::RemoteEStepPartials,
     ];
 
     /// Stable snake_case name used as the JSON key.
@@ -256,6 +269,9 @@ impl Counter {
             Counter::RemoteBytesShipped => "remote_bytes_shipped",
             Counter::RemoteRpcs => "remote_rpcs",
             Counter::RemoteFallbacks => "remote_fallbacks",
+            Counter::RemoteOverlappedMerges => "remote_overlapped_merges",
+            Counter::RemoteGramPartials => "remote_gram_partials",
+            Counter::RemoteEStepPartials => "remote_e_step_partials",
         }
     }
 
@@ -282,6 +298,9 @@ impl Counter {
             Counter::RemoteBytesShipped => 18,
             Counter::RemoteRpcs => 19,
             Counter::RemoteFallbacks => 20,
+            Counter::RemoteOverlappedMerges => 21,
+            Counter::RemoteGramPartials => 22,
+            Counter::RemoteEStepPartials => 23,
         }
     }
 }

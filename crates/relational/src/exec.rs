@@ -23,12 +23,18 @@
 
 use crate::parallel::Parallelism;
 use crate::relation::Relation;
+use reptile_obs::{add_counter, Counter};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// State domain tag for shipped `EncodedFactor`s
 /// (`reptile-factor`'s hierarchy aggregate inputs).
 pub const DOMAIN_FACTOR: u8 = 1;
+
+/// State domain tag for shipped EM fit state (encoded aggregates, feature
+/// map, cluster partition — codecs in `reptile-model`).
+pub const DOMAIN_EM: u8 = 2;
 
 /// Scatter op: code-keyed partial view table over a shipped partition
 /// (plan/partial codecs in [`crate::ship`]).
@@ -37,6 +43,18 @@ pub const OP_VIEW_SCAN: u8 = 1;
 /// Scatter op: `EncodedHierarchyAggregates` partial over a leaf range
 /// (plan/partial codecs in `reptile-factor`).
 pub const OP_AGG_RANGE: u8 = 2;
+
+/// Scatter op: gram-matrix cell range over shipped EM state (upper-triangle
+/// cells in row-major order; codecs in `reptile-model`).
+pub const OP_GRAM_CELLS: u8 = 3;
+
+/// Scatter op: per-cluster `ZᵀZ` blocks over a cluster range of shipped EM
+/// state (codecs in `reptile-model`).
+pub const OP_CLUSTER_ZTZ: u8 = 4;
+
+/// Scatter op: per-cluster E-step posterior moments over a cluster range of
+/// shipped EM state (codecs in `reptile-model`).
+pub const OP_E_STEP: u8 = 5;
 
 /// A remote execution failure, surfaced to callers as
 /// [`RelationalError::Remote`](crate::error::RelationalError::Remote) (views)
@@ -100,6 +118,92 @@ pub trait RemoteTransport: Send + Sync {
         op: u8,
         requests: Vec<Option<Vec<u8>>>,
     ) -> Result<Vec<Option<Vec<u8>>>, RemoteError>;
+
+    /// Fan one scatter out and surface each reply **as it arrives**, in
+    /// arrival order. `complete(worker, reply, outstanding)` is invoked once
+    /// per non-pruned worker with the number of replies still in flight at
+    /// that moment (`0` for the last). An error from `complete` aborts the
+    /// scatter and is returned verbatim.
+    ///
+    /// The default delegates to the blocking [`scatter`](Self::scatter) and
+    /// reports every reply with `outstanding = 0` — honest for transports
+    /// with no streaming: by the time anything is delivered, nothing is in
+    /// flight. Streaming transports (`reptile-wire`'s `WorkerSet`, the test
+    /// delay transports) override this to deliver replies the moment they
+    /// land.
+    fn scatter_streamed(
+        &self,
+        op: u8,
+        requests: Vec<Option<Vec<u8>>>,
+        complete: &mut dyn FnMut(usize, Vec<u8>, usize) -> Result<(), RemoteError>,
+    ) -> Result<(), RemoteError> {
+        let replies = self.scatter(op, requests)?;
+        for (worker, reply) in replies.into_iter().enumerate() {
+            if let Some(bytes) = reply {
+                complete(worker, bytes, 0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Drive one streamed scatter and fold the partials **in worker order**
+/// while replies are still arriving.
+///
+/// This is the coordinator half of the overlapped pipeline: replies arrive
+/// in whatever order the workers finish, but every merge rule in the
+/// workspace (integer-sum view tables, boundary-joined run/COF tables,
+/// gram-cell placement) is only bit-exact when partials fold in fixed
+/// worker order. So out-of-order arrivals are buffered, and `fold` is
+/// invoked strictly in worker order the moment its predecessor has folded —
+/// merge work overlaps the network wait without changing the FP sequence.
+///
+/// Every `fold` that runs while at least one later reply is still in flight
+/// bumps [`Counter::RemoteOverlappedMerges`]. A worker reply the transport
+/// never delivered (without erroring) is a [`RemoteError::Protocol`].
+pub fn scatter_fold_in_order(
+    transport: &dyn RemoteTransport,
+    op: u8,
+    requests: Vec<Option<Vec<u8>>>,
+    fold: &mut dyn FnMut(usize, Vec<u8>) -> Result<(), RemoteError>,
+) -> Result<(), RemoteError> {
+    let expected: Vec<usize> = requests
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.is_some().then_some(i))
+        .collect();
+    // Out-of-order arrivals wait here until every earlier worker has folded.
+    let mut buffered: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+    // Index into `expected` of the next worker allowed to fold.
+    let mut next = 0usize;
+    let mut folded = 0usize;
+    transport.scatter_streamed(op, requests, &mut |worker, bytes, outstanding| {
+        buffered.insert(worker, bytes);
+        // Fold the contiguous in-order prefix that just became available.
+        while next < expected.len() {
+            let want = expected[next];
+            let Some(bytes) = buffered.remove(&want) else {
+                break;
+            };
+            // Only merges that run while a later reply is genuinely still
+            // in flight count as overlapped — folding a locally buffered
+            // straggler after the last arrival hides no network wait.
+            if outstanding > 0 {
+                add_counter(Counter::RemoteOverlappedMerges, 1);
+            }
+            fold(want, bytes)?;
+            next += 1;
+            folded += 1;
+        }
+        Ok(())
+    })?;
+    if folded != expected.len() {
+        return Err(RemoteError::Protocol(format!(
+            "streamed scatter delivered {folded} of {} expected replies",
+            expected.len()
+        )));
+    }
+    Ok(())
 }
 
 /// A connected worker fleet plus the local thread budget used for
@@ -234,6 +338,186 @@ mod tests {
         ) -> Result<Vec<Option<Vec<u8>>>, RemoteError> {
             Ok(requests.into_iter().map(|_| None).collect())
         }
+    }
+
+    /// Streams replies in reverse worker order, reporting honest in-flight
+    /// counts, so the fold driver must buffer everything and replay.
+    struct ReversedTransport;
+    impl RemoteTransport for ReversedTransport {
+        fn workers(&self) -> usize {
+            3
+        }
+        fn ensure_relation(
+            &self,
+            relation: &Arc<Relation>,
+        ) -> Result<Vec<(usize, usize)>, RemoteError> {
+            Ok(Parallelism::shard_ranges(relation.len(), 3))
+        }
+        fn ensure_state(
+            &self,
+            _domain: u8,
+            _key: u64,
+            _encode: &dyn Fn() -> Vec<u8>,
+        ) -> Result<(), RemoteError> {
+            Ok(())
+        }
+        fn scatter(
+            &self,
+            _op: u8,
+            requests: Vec<Option<Vec<u8>>>,
+        ) -> Result<Vec<Option<Vec<u8>>>, RemoteError> {
+            Ok(requests)
+        }
+        fn scatter_streamed(
+            &self,
+            _op: u8,
+            requests: Vec<Option<Vec<u8>>>,
+            complete: &mut dyn FnMut(usize, Vec<u8>, usize) -> Result<(), RemoteError>,
+        ) -> Result<(), RemoteError> {
+            let mut live: Vec<(usize, Vec<u8>)> = requests
+                .into_iter()
+                .enumerate()
+                .filter_map(|(i, r)| r.map(|b| (i, b)))
+                .collect();
+            live.reverse();
+            let mut outstanding = live.len();
+            for (worker, bytes) in live {
+                outstanding -= 1;
+                complete(worker, bytes, outstanding)?;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn fold_in_order_replays_out_of_order_arrivals() {
+        let requests = vec![Some(vec![0u8]), None, Some(vec![2u8])];
+        let mut seen = Vec::new();
+        scatter_fold_in_order(&ReversedTransport, 9, requests, &mut |worker, bytes| {
+            seen.push((worker, bytes));
+            Ok(())
+        })
+        .unwrap();
+        // Worker 2 arrived first but worker 0 folds first: fixed-order replay.
+        assert_eq!(seen, vec![(0, vec![0u8]), (2, vec![2u8])]);
+    }
+
+    // Counter assertions live in one test: the obs registry is
+    // process-global and the harness runs tests concurrently, so split
+    // exact-equality checks on the same counter would race each other.
+    #[test]
+    fn fold_in_order_overlap_counting() {
+        // In-order streaming: worker 0 folds while 1 and 2 are in flight,
+        // worker 1 folds while 2 is in flight, worker 2 folds last.
+        struct InOrderStreaming;
+        impl RemoteTransport for InOrderStreaming {
+            fn workers(&self) -> usize {
+                3
+            }
+            fn ensure_relation(
+                &self,
+                relation: &Arc<Relation>,
+            ) -> Result<Vec<(usize, usize)>, RemoteError> {
+                Ok(Parallelism::shard_ranges(relation.len(), 3))
+            }
+            fn ensure_state(
+                &self,
+                _domain: u8,
+                _key: u64,
+                _encode: &dyn Fn() -> Vec<u8>,
+            ) -> Result<(), RemoteError> {
+                Ok(())
+            }
+            fn scatter(
+                &self,
+                _op: u8,
+                requests: Vec<Option<Vec<u8>>>,
+            ) -> Result<Vec<Option<Vec<u8>>>, RemoteError> {
+                Ok(requests)
+            }
+            fn scatter_streamed(
+                &self,
+                _op: u8,
+                requests: Vec<Option<Vec<u8>>>,
+                complete: &mut dyn FnMut(usize, Vec<u8>, usize) -> Result<(), RemoteError>,
+            ) -> Result<(), RemoteError> {
+                let live: Vec<(usize, Vec<u8>)> = requests
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(i, r)| r.map(|b| (i, b)))
+                    .collect();
+                let mut outstanding = live.len();
+                for (worker, bytes) in live {
+                    outstanding -= 1;
+                    complete(worker, bytes, outstanding)?;
+                }
+                Ok(())
+            }
+        }
+        // The default (blocking) streamed impl reports outstanding = 0:
+        // a gather-then-deliver transport can never claim overlap.
+        struct EchoTransport;
+        impl RemoteTransport for EchoTransport {
+            fn workers(&self) -> usize {
+                2
+            }
+            fn ensure_relation(
+                &self,
+                relation: &Arc<Relation>,
+            ) -> Result<Vec<(usize, usize)>, RemoteError> {
+                Ok(Parallelism::shard_ranges(relation.len(), 2))
+            }
+            fn ensure_state(
+                &self,
+                _domain: u8,
+                _key: u64,
+                _encode: &dyn Fn() -> Vec<u8>,
+            ) -> Result<(), RemoteError> {
+                Ok(())
+            }
+            fn scatter(
+                &self,
+                _op: u8,
+                requests: Vec<Option<Vec<u8>>>,
+            ) -> Result<Vec<Option<Vec<u8>>>, RemoteError> {
+                Ok(requests)
+            }
+        }
+
+        let before = reptile_obs::counter_value(Counter::RemoteOverlappedMerges);
+        // All three replies stream back-to-back in reverse order: workers 2
+        // and 1 are buffered, then worker 0 lands last (outstanding = 0) and
+        // the whole buffer folds — no merge overlapped a reply in flight.
+        let requests = vec![Some(vec![0u8]), Some(vec![1u8]), Some(vec![2u8])];
+        scatter_fold_in_order(&ReversedTransport, 9, requests, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(
+            reptile_obs::counter_value(Counter::RemoteOverlappedMerges),
+            before
+        );
+        let requests = vec![Some(vec![0u8]), Some(vec![1u8])];
+        scatter_fold_in_order(&EchoTransport, 9, requests, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(
+            reptile_obs::counter_value(Counter::RemoteOverlappedMerges),
+            before
+        );
+        // In-order streaming overlaps: two of the three folds run while a
+        // later reply is still in flight.
+        let requests = vec![Some(vec![0u8]), Some(vec![1u8]), Some(vec![2u8])];
+        scatter_fold_in_order(&InOrderStreaming, 9, requests, &mut |_, _| Ok(())).unwrap();
+        assert_eq!(
+            reptile_obs::counter_value(Counter::RemoteOverlappedMerges),
+            before + 2
+        );
+    }
+
+    #[test]
+    fn fold_in_order_rejects_missing_replies() {
+        // NullTransport answers every request with None: zero delivered
+        // replies for two expected is a typed protocol error.
+        let requests = vec![Some(vec![1u8]), Some(vec![2u8])];
+        let err =
+            scatter_fold_in_order(&NullTransport, 1, requests, &mut |_, _| Ok(())).unwrap_err();
+        assert!(matches!(err, RemoteError::Protocol(_)));
     }
 
     #[test]

@@ -49,7 +49,7 @@
 
 use crate::aggregate::{AggState, AggregateKind};
 use crate::error::RelationalError;
-use crate::exec::{Exec, Remote, RemoteError, OP_VIEW_SCAN};
+use crate::exec::{self, Exec, Remote, RemoteError, OP_VIEW_SCAN};
 use crate::parallel::Parallelism;
 use crate::predicate::Predicate;
 use crate::relation::Relation;
@@ -318,26 +318,34 @@ impl View {
         if pruned > 0 {
             add_counter(Counter::ShardsPruned, pruned);
         }
-        let replies = remote
-            .transport()
-            .scatter(OP_VIEW_SCAN, requests)
-            .map_err(remote_err)?;
-        // Merge in fixed worker order — worker ranges are contiguous,
-        // ordered, and disjoint, so this is the same replay merge as the
-        // in-process sharded scan (provenance rows arrive pre-globalised).
+        // Streamed scatter, merged in fixed worker order — worker ranges
+        // are contiguous, ordered, and disjoint, so this is the same replay
+        // merge as the in-process sharded scan (provenance rows arrive
+        // pre-globalised). Each partial decodes and folds the moment it
+        // lands while later replies are still in flight; out-of-order
+        // arrivals buffer inside `scatter_fold_in_order`, so the fold order
+        // (and hence every group's value sequence) never changes. The
+        // overlap span covers the whole scatter+fold window.
         let _merge_span = StageTimer::start(Stage::RemoteMerge);
         let mut merged: BTreeMap<Vec<u32>, GroupData> = BTreeMap::new();
-        for reply in replies.into_iter().flatten() {
-            let partial = ship::decode_view_partial(&reply, group_by.len())
-                .map_err(|e| RelationalError::Remote(e.to_string()))?;
-            for (key, values, rows) in partial {
-                let data = merged.entry(key).or_default();
-                for value in values {
-                    data.agg.push(value);
+        exec::scatter_fold_in_order(
+            remote.transport().as_ref(),
+            OP_VIEW_SCAN,
+            requests,
+            &mut |_, reply| {
+                let partial = ship::decode_view_partial(&reply, group_by.len())
+                    .map_err(|e| RemoteError::Protocol(e.to_string()))?;
+                for (key, values, rows) in partial {
+                    let data = merged.entry(key).or_default();
+                    for value in values {
+                        data.agg.push(value);
+                    }
+                    data.rows.extend(rows);
                 }
-                data.rows.extend(rows);
-            }
-        }
+                Ok(())
+            },
+        )
+        .map_err(remote_err)?;
         let groups = decode_groups(merged, &key_cols);
         Ok(View {
             relation,

@@ -34,8 +34,10 @@ pub const MAGIC: [u8; 2] = *b"RW";
 
 /// Hard cap on a frame's payload length. Worker frames carry whole
 /// relation partitions and encoded factors, so the cap is far above the
-/// serving protocol's: 64 MiB.
-pub const MAX_FRAME_LEN: u32 = 64 << 20;
+/// serving protocol's: 64 MiB. Defined from the codec layer's
+/// [`MAX_WIRE_PAYLOAD`](reptile_relational::codec::MAX_WIRE_PAYLOAD) so
+/// encode-time payload validation and read-time rejection share one number.
+pub const MAX_FRAME_LEN: u32 = reptile_relational::codec::MAX_WIRE_PAYLOAD as u32;
 
 /// Frame header length: magic + version + kind + request id.
 const HEADER_LEN: usize = 2 + 1 + 1 + 8;
@@ -56,6 +58,12 @@ pub const KIND_OK: u8 = 0x80;
 pub const KIND_RESULT: u8 = 0x81;
 /// Typed failure (body: kind tag + message string).
 pub const KIND_ERROR: u8 = 0x82;
+/// Success carrying a worker-computed gram partial (gram-cell range or
+/// per-cluster `ZᵀZ` blocks; body codecs in `reptile-model`).
+pub const KIND_GRAM_PARTIAL: u8 = 0x83;
+/// Success carrying a worker-computed E-step partial (per-cluster posterior
+/// moments; body codecs in `reptile-model`).
+pub const KIND_ESTEP_PARTIAL: u8 = 0x84;
 
 /// Typed framing failure. Every malformed input maps to exactly one of
 /// these; decoding never panics and never partially succeeds.
@@ -145,6 +153,8 @@ impl Frame {
                 | KIND_OK
                 | KIND_RESULT
                 | KIND_ERROR
+                | KIND_GRAM_PARTIAL
+                | KIND_ESTEP_PARTIAL
         ) {
             return Err(FrameError::UnknownKind(kind));
         }
@@ -251,6 +261,8 @@ mod tests {
             (KIND_PING, 0u64, vec![]),
             (KIND_SCATTER, u64::MAX, vec![1u8, 2, 3]),
             (KIND_RESULT, 42, vec![0u8; 1000]),
+            (KIND_GRAM_PARTIAL, 43, vec![8u8; 24]),
+            (KIND_ESTEP_PARTIAL, 44, vec![9u8; 48]),
         ] {
             let frame = Frame::new(kind, id, body);
             assert_eq!(Frame::decode(&frame.encode()).unwrap(), frame);

@@ -33,6 +33,7 @@
 
 pub mod coordinator;
 pub mod frame;
+pub mod testing;
 pub mod worker;
 
 pub use coordinator::WorkerSet;

@@ -12,13 +12,17 @@
 //! partial.
 
 use crate::frame::{
-    read_frame, write_frame, Frame, WireError, KIND_ERROR, KIND_LOAD_PARTITION, KIND_LOAD_STATE,
-    KIND_OK, KIND_PING, KIND_RESULT, KIND_SCATTER, KIND_SHUTDOWN,
+    read_frame, write_frame, Frame, WireError, KIND_ERROR, KIND_ESTEP_PARTIAL, KIND_GRAM_PARTIAL,
+    KIND_LOAD_PARTITION, KIND_LOAD_STATE, KIND_OK, KIND_PING, KIND_RESULT, KIND_SCATTER,
+    KIND_SHUTDOWN,
 };
 use reptile_factor::encoded::EncodedHierarchyAggregates;
 use reptile_factor::{payload, EncodedFactor};
+use reptile_model::remote::{self as em_remote, EmAnswerError, EmWorkerState};
 use reptile_relational::codec::{put_str, Reader};
-use reptile_relational::exec::{DOMAIN_FACTOR, OP_AGG_RANGE, OP_VIEW_SCAN};
+use reptile_relational::exec::{
+    DOMAIN_EM, DOMAIN_FACTOR, OP_AGG_RANGE, OP_CLUSTER_ZTZ, OP_E_STEP, OP_GRAM_CELLS, OP_VIEW_SCAN,
+};
 use reptile_relational::ship::{self, ShippedPartition};
 use std::collections::HashMap;
 use std::io::BufWriter;
@@ -95,6 +99,10 @@ pub struct WorkerState {
     partitions: HashMap<u64, ShippedPartition>,
     /// Decoded encoded-factor state by content fingerprint.
     factors: HashMap<u64, EncodedFactor>,
+    /// Decoded EM state (aggregates + features + clusters) by content
+    /// fingerprint — the ship-once operands of the per-iteration gram and
+    /// E-step scatters.
+    em_states: HashMap<u64, EmWorkerState>,
 }
 
 impl WorkerState {
@@ -111,6 +119,11 @@ impl WorkerState {
     /// Number of factor state blobs currently held.
     pub fn factor_count(&self) -> usize {
         self.factors.len()
+    }
+
+    /// Number of EM state blobs currently held.
+    pub fn em_state_count(&self) -> usize {
+        self.em_states.len()
     }
 
     /// Handle one request frame, producing the reply frame. `shutdown` is
@@ -158,27 +171,38 @@ impl WorkerState {
                 )
             }
         };
-        if domain != DOMAIN_FACTOR {
-            return Frame::new(
+        // Decode at load time so scatters never pay it and a bad payload
+        // fails loudly here, keyed to the exact ship.
+        match domain {
+            DOMAIN_FACTOR => match payload::decode_factor(&body[9..]) {
+                Ok(factor) => {
+                    self.factors.insert(key, factor);
+                    Frame::new(KIND_OK, id, Vec::new())
+                }
+                Err(e) => Frame::new(
+                    KIND_ERROR,
+                    id,
+                    error_body(WorkerErrorKind::BadRequest, &format!("factor state: {e}")),
+                ),
+            },
+            DOMAIN_EM => match em_remote::decode_em_state(&body[9..]) {
+                Ok(state) => {
+                    self.em_states.insert(key, state);
+                    Frame::new(KIND_OK, id, Vec::new())
+                }
+                Err(e) => Frame::new(
+                    KIND_ERROR,
+                    id,
+                    error_body(WorkerErrorKind::BadRequest, &format!("EM state: {e}")),
+                ),
+            },
+            _ => Frame::new(
                 KIND_ERROR,
                 id,
                 error_body(
                     WorkerErrorKind::BadRequest,
                     &format!("unknown state domain {domain}"),
                 ),
-            );
-        }
-        // Decode at load time so scatters never pay it and a bad payload
-        // fails loudly here, keyed to the exact ship.
-        match payload::decode_factor(&body[9..]) {
-            Ok(factor) => {
-                self.factors.insert(key, factor);
-                Frame::new(KIND_OK, id, Vec::new())
-            }
-            Err(e) => Frame::new(
-                KIND_ERROR,
-                id,
-                error_body(WorkerErrorKind::BadRequest, &format!("factor state: {e}")),
             ),
         }
     }
@@ -194,6 +218,15 @@ impl WorkerState {
         match op {
             OP_VIEW_SCAN => self.view_scan(id, payload_bytes),
             OP_AGG_RANGE => self.agg_range(id, payload_bytes),
+            OP_GRAM_CELLS => self.em_answer(id, KIND_GRAM_PARTIAL, |s| {
+                em_remote::answer_gram_cells(&s.em_states, payload_bytes)
+            }),
+            OP_CLUSTER_ZTZ => self.em_answer(id, KIND_GRAM_PARTIAL, |s| {
+                em_remote::answer_cluster_ztz(&s.em_states, payload_bytes)
+            }),
+            OP_E_STEP => self.em_answer(id, KIND_ESTEP_PARTIAL, |s| {
+                em_remote::answer_e_step(&s.em_states, payload_bytes)
+            }),
             _ => Frame::new(
                 KIND_ERROR,
                 id,
@@ -202,6 +235,35 @@ impl WorkerState {
                     &format!("unknown scatter op {op}"),
                 ),
             ),
+        }
+    }
+
+    /// Run one EM operator and wrap its partial in `reply_kind`, mapping
+    /// typed answer errors onto the wire error kinds.
+    fn em_answer(
+        &self,
+        id: u64,
+        reply_kind: u8,
+        answer: impl FnOnce(&Self) -> Result<Vec<u8>, EmAnswerError>,
+    ) -> Frame {
+        match answer(self) {
+            Ok(partial) => Frame::new(reply_kind, id, partial),
+            Err(EmAnswerError::BadRequest(msg)) => Frame::new(
+                KIND_ERROR,
+                id,
+                error_body(WorkerErrorKind::BadRequest, &msg),
+            ),
+            Err(EmAnswerError::MissingState(key)) => Frame::new(
+                KIND_ERROR,
+                id,
+                error_body(
+                    WorkerErrorKind::MissingState,
+                    &format!("no EM state under key {key:#018x}"),
+                ),
+            ),
+            Err(EmAnswerError::Compute(msg)) => {
+                Frame::new(KIND_ERROR, id, error_body(WorkerErrorKind::Compute, &msg))
+            }
         }
     }
 

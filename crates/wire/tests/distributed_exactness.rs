@@ -295,6 +295,146 @@ fn remote_recommendation_equals_serial_across_epochs() {
 }
 
 #[test]
+fn overlapped_scatter_merges_before_last_worker_reply() {
+    use reptile_factor::encoded::EncodedHierarchyAggregates;
+    use reptile_factor::{EncodedFactor, HierarchyFactor};
+    use reptile_wire::testing::LoopbackWorkers;
+    use std::time::Duration;
+
+    let rel = sample_relation();
+    let schema = rel.schema().clone();
+    let geo = schema
+        .hierarchies()
+        .iter()
+        .find(|h| h.name == "geo")
+        .unwrap();
+    let factor = HierarchyFactor::from_relation(&rel, geo, 2);
+    let enc = EncodedFactor::encode(&factor, &Exec::Serial);
+    let serial = EncodedHierarchyAggregates::compute(&enc, &Exec::Serial);
+
+    // Deterministic overlap: worker 0 (first in fold order) answers
+    // immediately, workers 1 and 2 lag far apart. Worker 0's partial MUST
+    // fold while two replies are outstanding and worker 1's while one is —
+    // two overlapped merges per scatter, by construction.
+    let overlaps_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteOverlappedMerges);
+    let fallbacks_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteFallbacks);
+    let transport = Arc::new(LoopbackWorkers::new(vec![
+        Duration::ZERO,
+        Duration::from_millis(80),
+        Duration::from_millis(160),
+    ]));
+    let remote = Remote::new(transport);
+    let merged = EncodedHierarchyAggregates::compute_remote(&enc, &remote).unwrap();
+    assert_eq!(serial, merged);
+    assert!(
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteOverlappedMerges)
+            >= overlaps_before + 2,
+        "ascending reply delays must produce overlapped merges"
+    );
+
+    // Property sweep: random per-worker delay assignments (seeded LCG) must
+    // never change the merged bits — buffered out-of-order arrivals replay
+    // in worker order whatever the network timing.
+    let mut seed = 0xC0FFEE_u64;
+    for round in 0..5 {
+        let mut delays = Vec::with_capacity(3);
+        for _ in 0..3 {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            delays.push(Duration::from_millis((seed >> 33) % 50));
+        }
+        let remote = Remote::new(Arc::new(LoopbackWorkers::new(delays.clone())));
+        let merged = EncodedHierarchyAggregates::compute_remote(&enc, &remote).unwrap();
+        assert_eq!(serial, merged, "round {round} delays {delays:?}");
+    }
+    assert_eq!(
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteFallbacks),
+        fallbacks_before
+    );
+}
+
+#[test]
+fn remote_fit_is_bit_identical_to_serial_across_epochs() {
+    use reptile_model::multilevel::{MultilevelConfig, MultilevelModel, TrainingBackend};
+    use reptile_model::DesignBuilder;
+
+    let fallbacks_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteFallbacks);
+    let gram_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteGramPartials);
+    let e_step_before = reptile_obs::counter_value(reptile_obs::Counter::RemoteEStepPartials);
+    let (_workers, remote) = spawn_worker_set(2);
+    let schema_of = |rel: &Arc<Relation>| rel.schema().clone();
+    let view_of = |rel: &Arc<Relation>, exec: &Exec| {
+        let schema = schema_of(rel);
+        View::compute(
+            rel.clone(),
+            Predicate::all(),
+            vec![
+                schema.attr("year").unwrap(),
+                schema.attr("district").unwrap(),
+                schema.attr("village").unwrap(),
+            ],
+            schema.attr("m").unwrap(),
+            exec,
+        )
+        .unwrap()
+    };
+    let config = MultilevelConfig {
+        iterations: 8,
+        ..Default::default()
+    };
+
+    let mut rel = sample_relation();
+    for epoch in 0..2 {
+        let schema = schema_of(&rel);
+        let serial_design =
+            DesignBuilder::new(&view_of(&rel, &Exec::Serial), &schema, AggregateKind::Mean)
+                .build()
+                .unwrap();
+        let serial =
+            MultilevelModel::fit_with_backend(&serial_design, config, TrainingBackend::Factorized)
+                .unwrap();
+        let remote_design =
+            DesignBuilder::new(&view_of(&rel, &remote), &schema, AggregateKind::Mean)
+                .with_exec(remote.clone())
+                .build()
+                .unwrap();
+        let distributed =
+            MultilevelModel::fit_exec(&remote_design, config, TrainingBackend::Factorized, &remote)
+                .unwrap();
+        // The standing bar: ==, never tolerance.
+        assert_eq!(serial.beta, distributed.beta, "epoch {epoch}");
+        assert_eq!(serial.sigma2, distributed.sigma2, "epoch {epoch}");
+        assert_eq!(serial.sigma_b, distributed.sigma_b, "epoch {epoch}");
+        assert_eq!(serial.b, distributed.b, "epoch {epoch}");
+        assert_eq!(serial.rss, distributed.rss, "epoch {epoch}");
+        assert_eq!(
+            serial.iterations_run, distributed.iterations_run,
+            "epoch {epoch}"
+        );
+        assert_eq!(
+            serial.predict_all(&serial_design),
+            distributed.predict_all(&remote_design),
+            "epoch {epoch}"
+        );
+        rel = ingest_epoch(&rel);
+    }
+    assert_eq!(
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteFallbacks),
+        fallbacks_before,
+        "the remote fit silently fell back to local compute"
+    );
+    assert!(
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteGramPartials) > gram_before,
+        "gram/ZᵀZ partials must have been computed worker-side"
+    );
+    assert!(
+        reptile_obs::counter_value(reptile_obs::Counter::RemoteEStepPartials) > e_step_before,
+        "E-step partials must have been computed worker-side"
+    );
+}
+
+#[test]
 fn worker_set_shutdown_terminates_workers() {
     let workers: Vec<Worker> = (0..2).map(|_| Worker::spawn()).collect();
     let addrs: Vec<String> = workers.iter().map(|w| w.addr.clone()).collect();

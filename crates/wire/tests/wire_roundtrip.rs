@@ -127,6 +127,70 @@ fn view_plan_and_partial_round_trip() {
 }
 
 #[test]
+fn worker_rejects_hostile_em_frames_over_a_live_socket() {
+    use reptile_relational::exec::{DOMAIN_EM, OP_CLUSTER_ZTZ, OP_E_STEP, OP_GRAM_CELLS};
+    use std::net::{TcpListener, TcpStream};
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut state = WorkerState::new();
+        for stream in listener.incoming().take(1) {
+            let _ = reptile_wire::worker::serve_connection(&mut state, stream.unwrap());
+        }
+        state
+    });
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    // An EM state blob that is pure garbage, then EM scatters against a
+    // key that was never loaded, then EM scatters with hostile payloads:
+    // every one must come back as a typed error frame on a live
+    // connection — never a panic, never a wedged worker.
+    let mut evil_state = vec![DOMAIN_EM];
+    evil_state.extend_from_slice(&0x1234u64.to_be_bytes());
+    evil_state.extend_from_slice(b"definitely not an EM state blob");
+    let mut missing_key_req = 0x9999u64.to_be_bytes().to_vec();
+    missing_key_req.extend_from_slice(&[0u8; 16]);
+    let mut hostile: Vec<Frame> = vec![
+        Frame::new(KIND_LOAD_STATE, 1, evil_state),
+        Frame::new(KIND_SCATTER, 2, {
+            let mut b = vec![OP_GRAM_CELLS];
+            b.extend_from_slice(&missing_key_req);
+            b
+        }),
+        Frame::new(KIND_SCATTER, 3, vec![OP_CLUSTER_ZTZ, 1, 2, 3]),
+        Frame::new(KIND_SCATTER, 4, vec![OP_E_STEP]),
+    ];
+    // Truncation sweep over an E-step request body: every prefix is a
+    // typed error too.
+    for (n, cut) in [0usize, 5, 9, 17, 24].iter().enumerate() {
+        let mut b = vec![OP_E_STEP];
+        b.extend_from_slice(&missing_key_req[..(*cut).min(missing_key_req.len())]);
+        hostile.push(Frame::new(KIND_SCATTER, 5 + n as u64, b));
+    }
+    for frame in &hostile {
+        write_frame(&mut s, frame).unwrap();
+        let reply = read_frame(&mut s).unwrap().expect("reply");
+        assert_eq!(reply.id, frame.id);
+        assert_eq!(
+            reply.kind,
+            reptile_wire::frame::KIND_ERROR,
+            "hostile EM frame id {} got kind {:#04x}",
+            frame.id,
+            reply.kind
+        );
+        let (_kind, msg) = reptile_wire::worker::decode_error_body(&reply.body);
+        assert!(!msg.is_empty());
+    }
+    // The connection survived all of it.
+    write_frame(&mut s, &Frame::new(KIND_PING, 99, Vec::new())).unwrap();
+    assert_eq!(read_frame(&mut s).unwrap().unwrap().kind, KIND_OK);
+    drop(s);
+
+    let state = server.join().unwrap();
+    assert_eq!(state.em_state_count(), 0, "no hostile blob may be retained");
+}
+
+#[test]
 fn worker_rejects_hostile_frames_over_a_live_socket() {
     use std::io::Write as _;
     use std::net::{TcpListener, TcpStream};
